@@ -1,0 +1,63 @@
+// Command rhodos-bench runs the reproduction experiments (E1–E14 and the
+// paper's Table 1) and prints their result tables — the data recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	rhodos-bench            # run everything
+//	rhodos-bench -only E8   # run one experiment (comma-separated list)
+//	rhodos-bench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E8)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	runners := experiments.All()
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return 0
+	}
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	failed := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := r.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		tbl.Render(os.Stdout)
+		fmt.Printf("  (%s took %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,140 @@
+// Command rhodos-trace drives a synthetic workload through a full facility
+// and reports the resulting operation and cache profile — a quick way to see
+// how the design behaves under a given file-size mix and access pattern.
+//
+// Usage:
+//
+//	rhodos-trace -files 200 -ops 5000 -readfrac 0.8 -dist office
+//	rhodos-trace -dist exp -mean 32768 -seq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fileservice"
+	"repro/internal/fit"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	files := flag.Int("files", 100, "number of files")
+	ops := flag.Int("ops", 2000, "number of operations")
+	readFrac := flag.Float64("readfrac", 0.8, "fraction of reads")
+	opSize := flag.Int("opsize", 4096, "bytes per operation")
+	dist := flag.String("dist", "office", "file-size distribution: office|exp|fixed")
+	mean := flag.Int("mean", 16384, "mean/fixed size for exp/fixed distributions")
+	seq := flag.Bool("seq", false, "sequential access within files")
+	seed := flag.Int64("seed", 1, "workload seed")
+	disks := flag.Int("disks", 1, "number of disks")
+	flag.Parse()
+
+	var sizeDist workload.SizeDist
+	switch *dist {
+	case "office":
+		sizeDist = workload.OfficeFiles()
+	case "exp":
+		sizeDist = workload.Exponential{Mean: *mean, Cap: 4 << 20}
+	case "fixed":
+		sizeDist = workload.Fixed{N: *mean}
+	default:
+		fmt.Fprintf(os.Stderr, "rhodos-trace: unknown distribution %q\n", *dist)
+		return 2
+	}
+
+	met := metrics.NewSet()
+	cluster, err := core.New(core.Config{
+		Disks:    *disks,
+		Geometry: device.Geometry{FragmentsPerTrack: 32, Tracks: 8192}, // 512 MB/disk
+		Metrics:  met,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhodos-trace: %v\n", err)
+		return 1
+	}
+	defer func() { _ = cluster.Close() }()
+
+	// Populate.
+	rng := rand.New(rand.NewSource(*seed))
+	sizes := workload.FileSet(sizeDist, *files, *seed)
+	ids := make([]fileservice.FileID, 0, *files)
+	gens := make([]*workload.AccessGen, 0, *files)
+	start := time.Now()
+	for _, size := range sizes {
+		id, err := cluster.Files.Create(fit.Attributes{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "create: %v\n", err)
+			return 1
+		}
+		buf := make([]byte, size)
+		rng.Read(buf)
+		if _, err := cluster.Files.WriteAt(id, 0, buf); err != nil {
+			fmt.Fprintf(os.Stderr, "populate: %v\n", err)
+			return 1
+		}
+		ids = append(ids, id)
+		gens = append(gens, &workload.AccessGen{
+			FileSize: int64(size), ReadFrac: *readFrac,
+			OpSize: min(*opSize, size), Sequential: *seq,
+		})
+	}
+	populate := time.Since(start)
+	if err := cluster.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "flush: %v\n", err)
+		return 1
+	}
+	cluster.InvalidateCaches()
+	met.Reset()
+
+	// Drive.
+	start = time.Now()
+	for i := 0; i < *ops; i++ {
+		k := rng.Intn(len(ids))
+		a := gens[k].Next(rng)
+		if a.Read {
+			if _, err := cluster.Files.ReadAt(ids[k], a.Offset, a.Length); err != nil {
+				fmt.Fprintf(os.Stderr, "read: %v\n", err)
+				return 1
+			}
+		} else {
+			buf := make([]byte, a.Length)
+			rng.Read(buf)
+			if _, err := cluster.Files.WriteAt(ids[k], a.Offset, buf); err != nil {
+				fmt.Fprintf(os.Stderr, "write: %v\n", err)
+				return 1
+			}
+		}
+	}
+	drive := time.Since(start)
+
+	refs := met.Get(metrics.DiskReferences)
+	fmt.Printf("workload : %d files (%s), %d ops (%.0f%% reads, %dB, seq=%v) on %d disk(s)\n",
+		*files, *dist, *ops, *readFrac*100, *opSize, *seq, *disks)
+	fmt.Printf("populate : %v wall\n", populate.Round(time.Millisecond))
+	fmt.Printf("drive    : %v wall, %v simulated disk time\n",
+		drive.Round(time.Millisecond), met.SimTime().Round(time.Millisecond))
+	fmt.Printf("disk refs: %d (%.3f per op)\n", refs, float64(refs)/float64(*ops))
+	fmt.Printf("caches   : server %.0f%%  track %.0f%%\n",
+		100*metrics.HitRate(met.Get(metrics.ServerCacheHit), met.Get(metrics.ServerCacheMiss)),
+		100*metrics.HitRate(met.Get(metrics.TrackCacheHit), met.Get(metrics.TrackCacheMiss)))
+	fmt.Println("\ncounters:")
+	fmt.Print(met.String())
+	return 0
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

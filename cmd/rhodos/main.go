@@ -1,0 +1,142 @@
+// Command rhodos is the client CLI for a rhodosd server: it resolves
+// attributed path names through the remote naming service and performs
+// basic-file-service operations over the idempotent message layer.
+//
+// Usage:
+//
+//	rhodos -addr 127.0.0.1:7423 put /docs/report ./report.txt
+//	rhodos -addr 127.0.0.1:7423 get /docs/report
+//	rhodos -addr 127.0.0.1:7423 ls /docs
+//	rhodos -addr 127.0.0.1:7423 stat /docs/report
+//	rhodos -addr 127.0.0.1:7423 rm /docs/report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/fileservice"
+	"repro/internal/fit"
+	"repro/internal/rpc"
+	"repro/internal/rpcfs"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func usage() int {
+	fmt.Fprintln(os.Stderr, "usage: rhodos [-addr host:port] <put|get|ls|stat|rm> args...")
+	return 2
+}
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:7423", "rhodosd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		return usage()
+	}
+	tr, err := rpc.DialTCP(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhodos: %v\n", err)
+		return 1
+	}
+	defer func() { _ = tr.Close() }()
+	cl := &rpcfs.Client{C: rpc.NewClient(tr, uint64(os.Getpid()), 10, nil)}
+
+	fail := func(err error) int {
+		fmt.Fprintf(os.Stderr, "rhodos: %v\n", err)
+		return 1
+	}
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			return usage()
+		}
+		data, err := os.ReadFile(args[2])
+		if err != nil {
+			return fail(err)
+		}
+		// Reuse the existing file if the name resolves, else create.
+		var id fileservice.FileID
+		if e, err := cl.Resolve(args[1]); err == nil {
+			id = fileservice.FileID(e.SystemName)
+			if err := cl.Truncate(id, 0); err != nil {
+				return fail(err)
+			}
+		} else if rpcfs.IsNotFound(err) {
+			id, err = cl.CreatePath(fit.Attributes{}, args[1])
+			if err != nil {
+				return fail(err)
+			}
+		} else {
+			return fail(err)
+		}
+		if _, err := cl.WriteAt(id, 0, data); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("put %s (%d bytes) as file %d\n", args[1], len(data), id)
+	case "get":
+		if len(args) != 2 {
+			return usage()
+		}
+		e, err := cl.Resolve(args[1])
+		if err != nil {
+			return fail(err)
+		}
+		id := fileservice.FileID(e.SystemName)
+		size, err := cl.Size(id)
+		if err != nil {
+			return fail(err)
+		}
+		data, err := cl.ReadAt(id, 0, int(size))
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := os.Stdout.Write(data); err != nil {
+			return fail(err)
+		}
+	case "ls":
+		if len(args) != 2 {
+			return usage()
+		}
+		names, err := cl.List(args[1])
+		if err != nil {
+			return fail(err)
+		}
+		for _, n := range names {
+			fmt.Println(n)
+		}
+	case "stat":
+		if len(args) != 2 {
+			return usage()
+		}
+		e, err := cl.Resolve(args[1])
+		if err != nil {
+			return fail(err)
+		}
+		attr, err := cl.Attributes(fileservice.FileID(e.SystemName))
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Printf("path:     %s\nsystem:   %d\nsize:     %d bytes\nservice:  %v\nlocking:  %v\ncreated:  %v\n",
+			args[1], e.SystemName, attr.Size, attr.Service, attr.Locking, attr.Created)
+	case "rm":
+		if len(args) != 2 {
+			return usage()
+		}
+		e, err := cl.Resolve(args[1])
+		if err != nil {
+			return fail(err)
+		}
+		if err := cl.Delete(fileservice.FileID(e.SystemName)); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("removed %s\n", args[1])
+	default:
+		return usage()
+	}
+	return 0
+}

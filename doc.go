@@ -1,0 +1,19 @@
+// Package repro is a Go reproduction of "A High Performance and Reliable
+// Distributed File Facility" (Panadiwal & Goscinski, ICDCS 1994) — the
+// RHODOS distributed file facility.
+//
+// The layered architecture of the paper's Figure 1 is implemented in full
+// under internal/: the disk service with blocks and fragments, the
+// free-space run table, track read-ahead and stable storage; the basic file
+// service with file index tables and contiguity counts; the transaction
+// service with RO/IR/IW two-phase locking at record/page/file granularity,
+// LT-timeout deadlock resolution, the intentions list and both commit
+// techniques (write-ahead logging and shadow pages); the naming, replication
+// and message layers; and the per-machine file, transaction and device
+// agents.
+//
+// See DESIGN.md for the system inventory and per-experiment index,
+// EXPERIMENTS.md for paper-claim-versus-measured results, and examples/ for
+// runnable programs. The benchmarks in bench_test.go regenerate every
+// experiment table.
+package repro

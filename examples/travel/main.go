@@ -1,0 +1,111 @@
+// Travel booking: nested transactions — the feature §6.4's remark about
+// nested transactions presupposes. A trip is one top-level transaction;
+// each booking attempt is a subtransaction that can abort (releasing only
+// its own tentative work) and be retried, while the whole trip commits or
+// aborts atomically.
+//
+//	go run ./examples/travel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fit"
+	"repro/internal/txn"
+)
+
+func main() {
+	cluster, err := core.New(core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	svc := cluster.Txns
+
+	// The inventory file: one byte per seat/room, 0 = free.
+	setup, err := svc.Begin(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inv, err := svc.Create(setup, fit.Attributes{Locking: fit.LockRecord})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := svc.PWrite(setup, inv, 0, make([]byte, 64)); err != nil {
+		log.Fatal(err)
+	}
+	// Hotel "Grand" (slot 10) is already full.
+	if _, err := svc.PWrite(setup, inv, 10, []byte{1}); err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.End(setup); err != nil {
+		log.Fatal(err)
+	}
+
+	// The trip.
+	trip, err := svc.Begin(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.Open(trip, inv, fit.LockRecord); err != nil {
+		log.Fatal(err)
+	}
+
+	book := func(name string, slot int64) error {
+		sub, err := svc.BeginChild(trip)
+		if err != nil {
+			return err
+		}
+		state, err := svc.PRead(sub, inv, slot, 1, true)
+		if err != nil {
+			_ = svc.Abort(sub)
+			return err
+		}
+		if state[0] != 0 {
+			fmt.Printf("  %-18s slot %2d taken — aborting this attempt only\n", name, slot)
+			return svc.Abort(sub)
+		}
+		if _, err := svc.PWrite(sub, inv, slot, []byte{1}); err != nil {
+			_ = svc.Abort(sub)
+			return err
+		}
+		fmt.Printf("  %-18s slot %2d booked (subtransaction committed into the trip)\n", name, slot)
+		return svc.End(sub)
+	}
+
+	fmt.Println("booking the trip:")
+	if err := book("flight RH-404", 3); err != nil {
+		log.Fatal(err)
+	}
+	if err := book("hotel Grand", 10); err != nil { // full: child aborts
+		log.Fatal(err)
+	}
+	if err := book("hotel Terminus", 11); err != nil { // fallback succeeds
+		log.Fatal(err)
+	}
+
+	// Nothing is durable yet.
+	before, err := cluster.Files.ReadAt(txn.FileID(inv), 3, 1)
+	if err != nil || before[0] != 0 {
+		log.Fatalf("tentative booking leaked before trip commit: %v %v", before, err)
+	}
+	if err := svc.End(trip); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("trip committed atomically")
+
+	final, err := cluster.Files.ReadAt(txn.FileID(inv), 0, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inventory after commit: flight[3]=%d grand[10]=%d terminus[11]=%d\n",
+		final[3], final[10], final[11])
+	if final[3] != 1 || final[11] != 1 {
+		log.Fatal("bookings lost!")
+	}
+	if final[10] != 1 {
+		log.Fatal("pre-existing booking clobbered!")
+	}
+}

@@ -1,0 +1,175 @@
+package agent
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/naming"
+)
+
+// DeviceAgent facilitates I/O on devices such as communication ports,
+// keyboards and monitors (§3). Devices are registered under system names;
+// processes open them by attributed name and get object descriptors below
+// DescriptorBase.
+type DeviceAgent struct {
+	machine *Machine
+
+	mu      sync.Mutex
+	devices map[string]*Device
+}
+
+// Device is one registered device: a reader, a writer, or both.
+type Device struct {
+	Name   string
+	Reader io.Reader
+	Writer io.Writer
+	mu     sync.Mutex
+}
+
+func newDeviceAgent(m *Machine) *DeviceAgent {
+	a := &DeviceAgent{machine: m, devices: make(map[string]*Device)}
+	// Every machine has a console and a null device.
+	a.MustRegister(&Device{Name: "console", Reader: bytes.NewReader(nil), Writer: io.Discard})
+	a.MustRegister(&Device{Name: "null", Reader: bytes.NewReader(nil), Writer: io.Discard})
+	return a
+}
+
+// Register adds a device under its system name and publishes its attributed
+// name (type=TTY, dev=<name>) in the naming service.
+func (a *DeviceAgent) Register(d *Device) error {
+	if d == nil || d.Name == "" {
+		return fmt.Errorf("agent: invalid device")
+	}
+	a.mu.Lock()
+	if _, ok := a.devices[d.Name]; ok {
+		a.mu.Unlock()
+		return fmt.Errorf("agent: device %q already registered", d.Name)
+	}
+	a.devices[d.Name] = d
+	a.mu.Unlock()
+	err := a.machine.naming.Register(naming.Entry{
+		Name: naming.Name{"type": "TTY", "dev": d.Name},
+		Type: naming.DeviceObject,
+	})
+	if err != nil && !errors.Is(err, naming.ErrExists) {
+		return err
+	}
+	return nil
+}
+
+// MustRegister registers a built-in device; it panics only on programmer
+// error during machine construction.
+func (a *DeviceAgent) MustRegister(d *Device) {
+	if err := a.Register(d); err != nil {
+		panic(err)
+	}
+}
+
+// Open opens a device by attributed name, returning an object descriptor
+// below DescriptorBase.
+func (a *DeviceAgent) Open(p *Process, name naming.Name) (int, error) {
+	e, err := a.machine.naming.Resolve(name)
+	if err != nil {
+		return 0, err
+	}
+	if e.Type != naming.DeviceObject {
+		return 0, fmt.Errorf("%w: %s is not a device", ErrNoDevice, name)
+	}
+	dev := e.Name["dev"]
+	a.mu.Lock()
+	_, ok := a.devices[dev]
+	a.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrNoDevice, dev)
+	}
+	fd := p.addDeviceDesc(&descriptor{kind: descDevice, device: dev})
+	if fd >= DescriptorBase {
+		return 0, fmt.Errorf("agent: device descriptor overflow")
+	}
+	return fd, nil
+}
+
+// Write writes to a device descriptor.
+func (a *DeviceAgent) Write(p *Process, fd int, data []byte) (int, error) {
+	dev, err := a.deviceFor(p, fd)
+	if err != nil {
+		return 0, err
+	}
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	if dev.Writer == nil {
+		return 0, fmt.Errorf("agent: device %q is not writable", dev.Name)
+	}
+	return dev.Writer.Write(data)
+}
+
+// Read reads from a device descriptor.
+func (a *DeviceAgent) Read(p *Process, fd int, n int) ([]byte, error) {
+	dev, err := a.deviceFor(p, fd)
+	if err != nil {
+		return nil, err
+	}
+	dev.mu.Lock()
+	defer dev.mu.Unlock()
+	if dev.Reader == nil {
+		return nil, fmt.Errorf("agent: device %q is not readable", dev.Name)
+	}
+	buf := make([]byte, n)
+	got, err := dev.Reader.Read(buf)
+	if err == io.EOF {
+		return buf[:got], nil
+	}
+	return buf[:got], err
+}
+
+func (a *DeviceAgent) deviceFor(p *Process, fd int) (*Device, error) {
+	d, err := p.desc(fd)
+	if err != nil {
+		return nil, err
+	}
+	if d.kind != descDevice {
+		return nil, fmt.Errorf("%w: %d", ErrNotDevice, fd)
+	}
+	a.mu.Lock()
+	dev, ok := a.devices[d.device]
+	a.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoDevice, d.device)
+	}
+	return dev, nil
+}
+
+// RedirectStdout points the process's stdout variable at an already-open
+// file descriptor, following §3: the variable becomes 100001 and the special
+// descriptor aliases the file.
+func (p *Process) RedirectStdout(fileFD int) error {
+	return p.redirect(fileFD, RedirectedStdout, &p.Stdout)
+}
+
+// RedirectStdin points stdin at a file descriptor (variable 100002).
+func (p *Process) RedirectStdin(fileFD int) error {
+	return p.redirect(fileFD, RedirectedStdin, &p.Stdin)
+}
+
+// RedirectStderr points stderr at a file descriptor (variable 100003).
+func (p *Process) RedirectStderr(fileFD int) error {
+	return p.redirect(fileFD, RedirectedStderr, &p.Stderr)
+}
+
+func (p *Process) redirect(fileFD, special int, envVar *int) error {
+	d, err := p.desc(fileFD)
+	if err != nil {
+		return err
+	}
+	if d.kind != descFile {
+		return fmt.Errorf("%w: redirection target %d is not a file", ErrNotFile, fileFD)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.descs[special] = d
+	*envVar = special
+	return nil
+}

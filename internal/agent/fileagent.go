@@ -1,0 +1,356 @@
+package agent
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/fileservice"
+	"repro/internal/fit"
+	"repro/internal/metrics"
+	"repro/internal/naming"
+)
+
+// clientKey identifies a cached block in the file agent's cache.
+type clientKey struct {
+	file fileservice.FileID
+	blk  int64
+}
+
+// FileAgent is the per-machine basic-file-service agent (§3): it resolves
+// attributed names through the naming service, tracks open-file state
+// (cursors live in the process descriptors), and caches file data in the
+// client's machine with the delayed-write policy (§5).
+type FileAgent struct {
+	machine *Machine
+	cache   *cache.Cache[clientKey] // nil when the client cache is disabled
+}
+
+func newFileAgent(m *Machine, cfg MachineConfig) (*FileAgent, error) {
+	fa := &FileAgent{machine: m}
+	if cfg.DisableClientCache {
+		return fa, nil
+	}
+	blocks := cfg.CacheBlocks
+	if blocks <= 0 {
+		blocks = 64
+	}
+	c, err := cache.New(cache.Config[clientKey]{
+		Capacity: blocks,
+		Policy:   cache.DelayedWrite,
+		Writeback: func(k clientKey, data []byte) error {
+			// Cached blocks are padded to BlockSize; clamp the writeback to
+			// the file's size so the tail block does not extend the file.
+			size, err := m.files.Size(k.file)
+			if err != nil {
+				return err
+			}
+			off := k.blk * fileservice.BlockSize
+			if off >= size {
+				return nil // block beyond a truncation; nothing to persist
+			}
+			n := int64(len(data))
+			if off+n > size {
+				n = size - off
+			}
+			_, err = m.files.WriteAt(k.file, off, data[:n])
+			return err
+		},
+		Metrics:     cfg.Metrics,
+		HitCounter:  metrics.AgentCacheHit,
+		MissCounter: metrics.AgentCacheMiss,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fa.cache = c
+	return fa, nil
+}
+
+// Create creates a file and registers its attributed name, returning an
+// object descriptor on the calling process.
+func (a *FileAgent) Create(p *Process, path string, attr fit.Attributes) (int, error) {
+	id, err := a.machine.files.Create(attr)
+	if err != nil {
+		return 0, err
+	}
+	if err := a.machine.naming.Register(naming.Entry{
+		Name:       naming.Name{"type": "FILE", "path": path},
+		Type:       naming.FileObject,
+		SystemName: uint64(id),
+		Service:    "fs0",
+	}); err != nil {
+		_ = a.machine.files.Delete(id)
+		return 0, err
+	}
+	if err := a.machine.files.Open(id); err != nil {
+		return 0, err
+	}
+	return p.addFileDesc(&descriptor{kind: descFile, file: id}), nil
+}
+
+// Open resolves the attributed path name to a system name (§3's name
+// evaluation) and opens the file, returning an object descriptor.
+func (a *FileAgent) Open(p *Process, path string) (int, error) {
+	e, err := a.machine.naming.ResolvePath(path)
+	if err != nil {
+		return 0, err
+	}
+	id := fileservice.FileID(e.SystemName)
+	if err := a.machine.files.Open(id); err != nil {
+		return 0, err
+	}
+	return p.addFileDesc(&descriptor{kind: descFile, file: id}), nil
+}
+
+// Close flushes the descriptor's cached blocks and closes the file.
+func (a *FileAgent) Close(p *Process, fd int) error {
+	d, err := p.desc(fd)
+	if err != nil {
+		return err
+	}
+	if d.kind != descFile {
+		return fmt.Errorf("%w: %d", ErrNotFile, fd)
+	}
+	if a.cache != nil {
+		if err := a.cache.Flush(); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	delete(p.descs, fd)
+	p.mu.Unlock()
+	return a.machine.files.Close(d.file)
+}
+
+// Delete removes the file named by path (it must not be open).
+func (a *FileAgent) Delete(path string) error {
+	e, err := a.machine.naming.ResolvePath(path)
+	if err != nil {
+		return err
+	}
+	id := fileservice.FileID(e.SystemName)
+	if err := a.machine.files.Delete(id); err != nil {
+		return err
+	}
+	if a.cache != nil {
+		a.cache.InvalidateAll()
+	}
+	a.machine.naming.UnregisterSystemName(naming.FileObject, e.SystemName)
+	return nil
+}
+
+// PRead reads n bytes at offset off through the client cache.
+func (a *FileAgent) PRead(p *Process, fd int, off int64, n int) ([]byte, error) {
+	d, err := p.desc(fd)
+	if err != nil {
+		return nil, err
+	}
+	if d.kind != descFile {
+		return nil, fmt.Errorf("%w: %d", ErrNotFile, fd)
+	}
+	return a.readAt(d.file, off, n)
+}
+
+func (a *FileAgent) readAt(id fileservice.FileID, off int64, n int) ([]byte, error) {
+	if a.cache == nil {
+		return a.machine.files.ReadAt(id, off, n)
+	}
+	size, err := a.machine.files.Size(id)
+	if err != nil {
+		return nil, err
+	}
+	if off >= size {
+		return nil, nil
+	}
+	if off+int64(n) > size {
+		n = int(size - off)
+	}
+	out := make([]byte, n)
+	covered := 0
+	for covered < n {
+		pos := off + int64(covered)
+		blk := pos / fileservice.BlockSize
+		within := pos % fileservice.BlockSize
+		key := clientKey{file: id, blk: blk}
+		data, ok := a.cache.Get(key)
+		if !ok {
+			data, err = a.machine.files.ReadAt(id, blk*fileservice.BlockSize, fileservice.BlockSize)
+			if err != nil {
+				return nil, err
+			}
+			// Pad the tail block so cached blocks are uniform.
+			if len(data) < fileservice.BlockSize {
+				padded := make([]byte, fileservice.BlockSize)
+				copy(padded, data)
+				data = padded
+			}
+			if err := a.cache.Put(key, data, false); err != nil {
+				return nil, err
+			}
+		}
+		covered += copy(out[covered:], data[within:])
+	}
+	return out, nil
+}
+
+// PWrite writes data at offset off. Modified blocks stay in the client
+// cache (delayed write) until eviction, Flush or Close.
+func (a *FileAgent) PWrite(p *Process, fd int, off int64, data []byte) (int, error) {
+	d, err := p.desc(fd)
+	if err != nil {
+		return 0, err
+	}
+	if d.kind != descFile {
+		return 0, fmt.Errorf("%w: %d", ErrNotFile, fd)
+	}
+	return a.writeAt(d.file, off, data)
+}
+
+func (a *FileAgent) writeAt(id fileservice.FileID, off int64, data []byte) (int, error) {
+	if a.cache == nil {
+		return a.machine.files.WriteAt(id, off, data)
+	}
+	if len(data) == 0 {
+		return 0, nil
+	}
+	if off < 0 {
+		return 0, fileservice.ErrBadOffset
+	}
+	size, err := a.machine.files.Size(id)
+	if err != nil {
+		return 0, err
+	}
+	written := 0
+	for written < len(data) {
+		pos := off + int64(written)
+		blk := pos / fileservice.BlockSize
+		within := int(pos % fileservice.BlockSize)
+		chunk := fileservice.BlockSize - within
+		if chunk > len(data)-written {
+			chunk = len(data) - written
+		}
+		key := clientKey{file: id, blk: blk}
+		buf, ok := a.cache.Get(key)
+		if !ok {
+			buf = make([]byte, fileservice.BlockSize)
+			if blk*fileservice.BlockSize < size {
+				base, err := a.machine.files.ReadAt(id, blk*fileservice.BlockSize, fileservice.BlockSize)
+				if err != nil {
+					return written, err
+				}
+				copy(buf, base)
+			}
+		}
+		copy(buf[within:], data[written:written+chunk])
+		if err := a.cache.Put(key, buf, true); err != nil {
+			return written, err
+		}
+		written += chunk
+	}
+	// Grow the committed size eagerly so Size/GetAttribute reflect the
+	// write even while the data itself is still delayed in the cache.
+	if end := off + int64(len(data)); end > size {
+		if err := a.machine.files.Truncate(id, end); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Read reads from the descriptor's cursor, advancing it.
+func (a *FileAgent) Read(p *Process, fd int, n int) ([]byte, error) {
+	d, err := p.desc(fd)
+	if err != nil {
+		return nil, err
+	}
+	if d.kind != descFile {
+		return nil, fmt.Errorf("%w: %d", ErrNotFile, fd)
+	}
+	data, err := a.readAt(d.file, d.cursor, n)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	d.cursor += int64(len(data))
+	p.mu.Unlock()
+	return data, nil
+}
+
+// Write writes at the descriptor's cursor, advancing it.
+func (a *FileAgent) Write(p *Process, fd int, data []byte) (int, error) {
+	d, err := p.desc(fd)
+	if err != nil {
+		return 0, err
+	}
+	if d.kind != descFile {
+		return 0, fmt.Errorf("%w: %d", ErrNotFile, fd)
+	}
+	n, err := a.writeAt(d.file, d.cursor, data)
+	if err != nil {
+		return n, err
+	}
+	p.mu.Lock()
+	d.cursor += int64(n)
+	p.mu.Unlock()
+	return n, nil
+}
+
+// LSeek moves the descriptor's cursor.
+func (a *FileAgent) LSeek(p *Process, fd int, off int64, whence int) (int64, error) {
+	d, err := p.desc(fd)
+	if err != nil {
+		return 0, err
+	}
+	if d.kind != descFile {
+		return 0, fmt.Errorf("%w: %d", ErrNotFile, fd)
+	}
+	size, err := a.machine.files.Size(d.file)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var pos int64
+	switch whence {
+	case 0:
+		pos = off
+	case 1:
+		pos = d.cursor + off
+	case 2:
+		pos = size + off
+	default:
+		return 0, fmt.Errorf("agent: bad whence %d", whence)
+	}
+	if pos < 0 {
+		return 0, fileservice.ErrBadOffset
+	}
+	d.cursor = pos
+	return pos, nil
+}
+
+// GetAttribute returns the file's attributes.
+func (a *FileAgent) GetAttribute(p *Process, fd int) (fit.Attributes, error) {
+	d, err := p.desc(fd)
+	if err != nil {
+		return fit.Attributes{}, err
+	}
+	if d.kind != descFile {
+		return fit.Attributes{}, fmt.Errorf("%w: %d", ErrNotFile, fd)
+	}
+	return a.machine.files.Attributes(d.file)
+}
+
+// Flush writes all delayed blocks back to the file service.
+func (a *FileAgent) Flush() error {
+	if a.cache == nil {
+		return nil
+	}
+	return a.cache.Flush()
+}
+
+// InvalidateCache drops the client cache (experiments).
+func (a *FileAgent) InvalidateCache() {
+	if a.cache != nil {
+		a.cache.InvalidateAll()
+	}
+}

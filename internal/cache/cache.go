@@ -1,0 +1,384 @@
+// Package cache provides the buffer-cache machinery used at every level of
+// the facility (§2.2, §5): the client agents, the file service, and the disk
+// service each keep a cache so a request need not descend to the level below.
+//
+// Space is modeled as the paper describes: buffers come from a fragment-pool
+// or block-pool sized by available memory (Pool), and a Cache is an LRU map
+// of keys to buffers with one of two modification policies — delayed-write
+// (dirty buffers flushed on eviction or an explicit Flush, the policy of the
+// file agent) or write-through (every dirty Put is written back immediately,
+// the policy the file service adds for transaction data).
+package cache
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// WritePolicy selects how dirty buffers reach the layer below.
+type WritePolicy int
+
+const (
+	// DelayedWrite keeps dirty buffers in the cache until eviction or Flush.
+	DelayedWrite WritePolicy = iota + 1
+	// WriteThrough writes every dirty buffer back immediately on Put.
+	WriteThrough
+)
+
+// String implements fmt.Stringer.
+func (p WritePolicy) String() string {
+	switch p {
+	case DelayedWrite:
+		return "delayed-write"
+	case WriteThrough:
+		return "write-through"
+	default:
+		return fmt.Sprintf("WritePolicy(%d)", int(p))
+	}
+}
+
+// ErrPoolExhausted reports that a Pool has no free buffers.
+var ErrPoolExhausted = errors.New("cache: buffer pool exhausted")
+
+// Pool is a bounded recycler of fixed-size buffers — the paper's
+// fragment-pool and block-pool (§5). The zero value is unusable; use NewPool.
+type Pool struct {
+	size int
+	max  int
+
+	mu          sync.Mutex
+	free        [][]byte
+	outstanding int
+}
+
+// NewPool returns a pool of at most max buffers of size bytes each.
+func NewPool(size, max int) (*Pool, error) {
+	if size <= 0 || max <= 0 {
+		return nil, fmt.Errorf("cache: invalid pool size=%d max=%d", size, max)
+	}
+	return &Pool{size: size, max: max}, nil
+}
+
+// BufferSize returns the size of each buffer in bytes.
+func (p *Pool) BufferSize() int { return p.size }
+
+// Get returns a zeroed buffer, or ErrPoolExhausted if max buffers are
+// already outstanding.
+func (p *Pool) Get() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.outstanding >= p.max {
+		return nil, ErrPoolExhausted
+	}
+	p.outstanding++
+	if n := len(p.free); n > 0 {
+		buf := p.free[n-1]
+		p.free = p.free[:n-1]
+		for i := range buf {
+			buf[i] = 0
+		}
+		return buf, nil
+	}
+	return make([]byte, p.size), nil
+}
+
+// Put returns a buffer to the pool. Buffers of the wrong size are dropped.
+func (p *Pool) Put(buf []byte) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.outstanding > 0 {
+		p.outstanding--
+	}
+	if len(buf) == p.size {
+		p.free = append(p.free, buf)
+	}
+}
+
+// Outstanding returns the number of buffers currently checked out.
+func (p *Pool) Outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.outstanding
+}
+
+// WritebackFunc persists a dirty buffer to the layer below.
+type WritebackFunc[K comparable] func(key K, data []byte) error
+
+// Cache is an LRU buffer cache. It is safe for concurrent use. Buffers are
+// copied on Put and Get, so callers may freely reuse their slices.
+type Cache[K comparable] struct {
+	capacity  int
+	policy    WritePolicy
+	writeback WritebackFunc[K]
+	met       *metrics.Set
+	hitName   string
+	missName  string
+
+	mu      sync.Mutex
+	entries map[K]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type entry[K comparable] struct {
+	key   K
+	data  []byte
+	dirty bool
+}
+
+// Config configures a Cache.
+type Config[K comparable] struct {
+	// Capacity is the maximum number of cached buffers; must be positive.
+	Capacity int
+	// Policy is the modification policy; defaults to DelayedWrite.
+	Policy WritePolicy
+	// Writeback persists dirty buffers; required unless the cache only ever
+	// holds clean data.
+	Writeback WritebackFunc[K]
+	// Metrics, HitCounter and MissCounter, when set, record hit/miss counts.
+	Metrics     *metrics.Set
+	HitCounter  string
+	MissCounter string
+}
+
+// New creates a cache from cfg.
+func New[K comparable](cfg Config[K]) (*Cache[K], error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("cache: invalid capacity %d", cfg.Capacity)
+	}
+	policy := cfg.Policy
+	if policy == 0 {
+		policy = DelayedWrite
+	}
+	if policy != DelayedWrite && policy != WriteThrough {
+		return nil, fmt.Errorf("cache: invalid policy %v", policy)
+	}
+	return &Cache[K]{
+		capacity:  cfg.Capacity,
+		policy:    policy,
+		writeback: cfg.Writeback,
+		met:       cfg.Metrics,
+		hitName:   cfg.HitCounter,
+		missName:  cfg.MissCounter,
+		entries:   make(map[K]*list.Element),
+		lru:       list.New(),
+	}, nil
+}
+
+// Policy returns the cache's modification policy.
+func (c *Cache[K]) Policy() WritePolicy { return c.policy }
+
+// Len returns the number of cached buffers.
+func (c *Cache[K]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Get returns a copy of the buffer cached under key, marking it most
+// recently used.
+func (c *Cache[K]) Get(key K) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		if c.missName != "" {
+			c.met.Inc(c.missName)
+		}
+		return nil, false
+	}
+	if c.hitName != "" {
+		c.met.Inc(c.hitName)
+	}
+	c.lru.MoveToFront(el)
+	e := el.Value.(*entry[K])
+	out := make([]byte, len(e.data))
+	copy(out, e.data)
+	return out, true
+}
+
+// Contains reports whether key is cached, without affecting LRU order or
+// hit/miss counters.
+func (c *Cache[K]) Contains(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Put caches a copy of data under key. When dirty is true the buffer is
+// written back according to the cache policy: immediately for WriteThrough,
+// or on eviction/Flush for DelayedWrite. Put may evict the least recently
+// used buffer, writing it back first if dirty; a failed eviction writeback
+// fails the Put and keeps the victim.
+func (c *Cache[K]) Put(key K, data []byte, dirty bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if dirty && c.policy == WriteThrough {
+		if c.writeback == nil {
+			return errors.New("cache: write-through cache has no writeback")
+		}
+		if err := c.writeback(key, data); err != nil {
+			return fmt.Errorf("cache: write-through: %w", err)
+		}
+		dirty = false
+	}
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*entry[K])
+		e.data = append(e.data[:0], data...)
+		e.dirty = e.dirty || dirty
+		c.lru.MoveToFront(el)
+		return nil
+	}
+	if len(c.entries) >= c.capacity {
+		if err := c.evictLocked(); err != nil {
+			return err
+		}
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	el := c.lru.PushFront(&entry[K]{key: key, data: cp, dirty: dirty})
+	c.entries[key] = el
+	return nil
+}
+
+// evictLocked removes the least recently used entry, writing it back first
+// if dirty. Callers must hold c.mu.
+func (c *Cache[K]) evictLocked() error {
+	el := c.lru.Back()
+	if el == nil {
+		return nil
+	}
+	e := el.Value.(*entry[K])
+	if e.dirty {
+		if c.writeback == nil {
+			return errors.New("cache: evicting dirty buffer with no writeback")
+		}
+		if err := c.writeback(e.key, e.data); err != nil {
+			return fmt.Errorf("cache: eviction writeback: %w", err)
+		}
+	}
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	return nil
+}
+
+// Invalidate drops key from the cache, discarding any dirty data (used when
+// the layer below changed underneath us, e.g. on transaction abort).
+func (c *Cache[K]) Invalidate(key K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+// InvalidateAll empties the cache, discarding dirty data.
+func (c *Cache[K]) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[K]*list.Element)
+	c.lru.Init()
+}
+
+// Flush writes back every dirty buffer, leaving them cached clean.
+func (c *Cache[K]) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K])
+		if !e.dirty {
+			continue
+		}
+		if c.writeback == nil {
+			return errors.New("cache: flushing dirty buffer with no writeback")
+		}
+		if err := c.writeback(e.key, e.data); err != nil {
+			return fmt.Errorf("cache: flush: %w", err)
+		}
+		e.dirty = false
+	}
+	return nil
+}
+
+// FlushKey writes back the buffer under key if it is dirty.
+func (c *Cache[K]) FlushKey(key K) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	e := el.Value.(*entry[K])
+	if !e.dirty {
+		return nil
+	}
+	if c.writeback == nil {
+		return errors.New("cache: flushing dirty buffer with no writeback")
+	}
+	if err := c.writeback(e.key, e.data); err != nil {
+		return fmt.Errorf("cache: flush: %w", err)
+	}
+	e.dirty = false
+	return nil
+}
+
+// DirtyCount returns the number of dirty buffers (diagnostic).
+func (c *Cache[K]) DirtyCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if el.Value.(*entry[K]).dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// Flusher periodically flushes a cache in the background — the delayed-write
+// daemon. Stop it with Close; Close waits for the goroutine to exit.
+type Flusher struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Flushable is anything with a Flush method (satisfied by *Cache[K]).
+type Flushable interface{ Flush() error }
+
+// StartFlusher flushes c every interval until Close is called. Flush errors
+// are delivered to onErr, which may be nil.
+func StartFlusher(c Flushable, interval time.Duration, onErr func(error)) *Flusher {
+	f := &Flusher{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-f.stop:
+				return
+			case <-t.C:
+				if err := c.Flush(); err != nil && onErr != nil {
+					onErr(err)
+				}
+			}
+		}
+	}()
+	return f
+}
+
+// Close stops the flusher and waits for it to exit. Close is idempotent.
+func (f *Flusher) Close() {
+	select {
+	case <-f.stop:
+	default:
+		close(f.stop)
+	}
+	<-f.done
+}

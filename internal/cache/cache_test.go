@@ -1,0 +1,411 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func newDelayed(t *testing.T, capacity int, wb WritebackFunc[int]) *Cache[int] {
+	t.Helper()
+	c, err := New(Config[int]{Capacity: capacity, Policy: DelayedWrite, Writeback: wb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config[int]{Capacity: 0}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := New(Config[int]{Capacity: 1, Policy: WritePolicy(99)}); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	c, err := New(Config[int]{Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Policy() != DelayedWrite {
+		t.Fatalf("default policy = %v, want delayed-write", c.Policy())
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := newDelayed(t, 4, nil)
+	if err := c.Put(1, []byte("hello"), false); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(1)
+	if !ok || string(got) != "hello" {
+		t.Fatalf("Get = %q,%v, want hello,true", got, ok)
+	}
+	if _, ok := c.Get(2); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+}
+
+func TestBuffersAreCopied(t *testing.T) {
+	c := newDelayed(t, 4, nil)
+	src := []byte("abc")
+	if err := c.Put(1, src, false); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 'z'
+	got, _ := c.Get(1)
+	if string(got) != "abc" {
+		t.Fatal("Put did not copy the caller's buffer")
+	}
+	got[0] = 'q'
+	again, _ := c.Get(1)
+	if string(again) != "abc" {
+		t.Fatal("Get did not return a copy")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newDelayed(t, 2, nil)
+	mustPut := func(k int) {
+		t.Helper()
+		if err := c.Put(k, []byte{byte(k)}, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPut(1)
+	mustPut(2)
+	c.Get(1) // 1 is now most recent
+	mustPut(3)
+	if c.Contains(2) {
+		t.Fatal("LRU victim 2 still cached")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Fatal("wrong entries evicted")
+	}
+}
+
+func TestDelayedWriteFlushesOnEviction(t *testing.T) {
+	var wrote []int
+	c := newDelayed(t, 1, func(k int, data []byte) error {
+		wrote = append(wrote, k)
+		return nil
+	})
+	if err := c.Put(1, []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 0 {
+		t.Fatal("delayed-write wrote back before eviction")
+	}
+	if err := c.Put(2, []byte("y"), false); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 1 || wrote[0] != 1 {
+		t.Fatalf("eviction writebacks = %v, want [1]", wrote)
+	}
+}
+
+func TestWriteThroughWritesImmediately(t *testing.T) {
+	var wrote []int
+	c, err := New(Config[int]{Capacity: 4, Policy: WriteThrough, Writeback: func(k int, data []byte) error {
+		wrote = append(wrote, k)
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(1, []byte("x"), true); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 1 {
+		t.Fatalf("write-through writebacks = %v, want [1]", wrote)
+	}
+	// The entry is now clean: flushing writes nothing more.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 1 {
+		t.Fatalf("flush after write-through rewrote: %v", wrote)
+	}
+}
+
+func TestFlushWritesDirtyOnly(t *testing.T) {
+	var wrote []int
+	c := newDelayed(t, 4, func(k int, data []byte) error {
+		wrote = append(wrote, k)
+		return nil
+	})
+	if err := c.Put(1, []byte("a"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(2, []byte("b"), false); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.DirtyCount(); got != 1 {
+		t.Fatalf("DirtyCount = %d, want 1", got)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 1 || wrote[0] != 1 {
+		t.Fatalf("flush wrote %v, want [1]", wrote)
+	}
+	if got := c.DirtyCount(); got != 0 {
+		t.Fatalf("DirtyCount after flush = %d, want 0", got)
+	}
+	// Second flush is a no-op.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 1 {
+		t.Fatalf("second flush rewrote: %v", wrote)
+	}
+}
+
+func TestFlushKey(t *testing.T) {
+	var wrote []int
+	c := newDelayed(t, 4, func(k int, data []byte) error {
+		wrote = append(wrote, k)
+		return nil
+	})
+	if err := c.Put(1, []byte("a"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FlushKey(2); err != nil { // absent key: no-op
+		t.Fatal(err)
+	}
+	if err := c.FlushKey(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 1 || wrote[0] != 1 {
+		t.Fatalf("FlushKey wrote %v, want [1]", wrote)
+	}
+}
+
+func TestDirtyBitSticksAcrossCleanPut(t *testing.T) {
+	var wrote []int
+	c := newDelayed(t, 4, func(k int, data []byte) error {
+		wrote = append(wrote, k)
+		return nil
+	})
+	if err := c.Put(1, []byte("a"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(1, []byte("b"), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 1 {
+		t.Fatalf("dirty bit lost on clean re-Put: wrote %v", wrote)
+	}
+}
+
+func TestInvalidateDiscardsDirty(t *testing.T) {
+	var wrote []int
+	c := newDelayed(t, 4, func(k int, data []byte) error {
+		wrote = append(wrote, k)
+		return nil
+	})
+	if err := c.Put(1, []byte("a"), true); err != nil {
+		t.Fatal(err)
+	}
+	c.Invalidate(1)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(wrote) != 0 {
+		t.Fatalf("invalidated dirty buffer was written back: %v", wrote)
+	}
+	if c.Contains(1) {
+		t.Fatal("entry survives Invalidate")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := newDelayed(t, 4, nil)
+	for i := 0; i < 3; i++ {
+		if err := c.Put(i, []byte("x"), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.InvalidateAll()
+	if c.Len() != 0 {
+		t.Fatalf("Len after InvalidateAll = %d, want 0", c.Len())
+	}
+}
+
+func TestEvictionWritebackFailureKeepsVictim(t *testing.T) {
+	fail := errors.New("disk down")
+	c := newDelayed(t, 1, func(k int, data []byte) error { return fail })
+	if err := c.Put(1, []byte("a"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(2, []byte("b"), false); !errors.Is(err, fail) {
+		t.Fatalf("Put during failed eviction = %v, want wrapped disk error", err)
+	}
+	if !c.Contains(1) {
+		t.Fatal("victim discarded despite failed writeback")
+	}
+}
+
+func TestDirtyWithNoWritebackErrors(t *testing.T) {
+	c := newDelayed(t, 1, nil)
+	if err := c.Put(1, []byte("a"), true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err == nil {
+		t.Fatal("Flush of dirty buffer with nil writeback succeeded")
+	}
+}
+
+func TestHitMissCounters(t *testing.T) {
+	met := metrics.NewSet()
+	c, err := New(Config[int]{
+		Capacity: 2, Writeback: nil,
+		Metrics: met, HitCounter: "h", MissCounter: "m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(1, []byte("a"), false); err != nil {
+		t.Fatal(err)
+	}
+	c.Get(1)
+	c.Get(1)
+	c.Get(9)
+	if met.Get("h") != 2 || met.Get("m") != 1 {
+		t.Fatalf("hits=%d misses=%d, want 2 and 1", met.Get("h"), met.Get("m"))
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := newDelayed(t, 16, func(k int, data []byte) error { return nil })
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (w*200 + i) % 32
+				if err := c.Put(k, []byte{byte(k)}, i%2 == 0); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if got, ok := c.Get(k); ok && len(got) == 1 && got[0] != byte(k) {
+					t.Errorf("Get(%d) = %v", k, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPool(t *testing.T) {
+	p, err := NewPool(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BufferSize() != 8 {
+		t.Fatalf("BufferSize = %d, want 8", p.BufferSize())
+	}
+	a, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("third Get = %v, want ErrPoolExhausted", err)
+	}
+	if p.Outstanding() != 2 {
+		t.Fatalf("Outstanding = %d, want 2", p.Outstanding())
+	}
+	a[0] = 0xAA
+	p.Put(a)
+	c, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c[0] != 0 {
+		t.Fatal("recycled buffer not zeroed")
+	}
+	_ = b
+}
+
+func TestPoolValidation(t *testing.T) {
+	if _, err := NewPool(0, 1); err == nil {
+		t.Fatal("NewPool(0,1) succeeded")
+	}
+	if _, err := NewPool(8, 0); err == nil {
+		t.Fatal("NewPool(8,0) succeeded")
+	}
+}
+
+func TestFlusherFlushesPeriodically(t *testing.T) {
+	var mu sync.Mutex
+	flushes := 0
+	c := newDelayed(t, 4, func(k int, data []byte) error {
+		mu.Lock()
+		flushes++
+		mu.Unlock()
+		return nil
+	})
+	f := StartFlusher(c, 5*time.Millisecond, nil)
+	defer f.Close()
+	if err := c.Put(1, []byte("a"), true); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := flushes
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flusher never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestFlusherCloseIdempotent(t *testing.T) {
+	c := newDelayed(t, 4, nil)
+	f := StartFlusher(c, time.Hour, nil)
+	f.Close()
+	f.Close()
+}
+
+func TestFlusherReportsErrors(t *testing.T) {
+	errCh := make(chan error, 1)
+	c := newDelayed(t, 4, func(k int, data []byte) error { return fmt.Errorf("boom") })
+	if err := c.Put(1, []byte("a"), true); err != nil {
+		t.Fatal(err)
+	}
+	f := StartFlusher(c, 2*time.Millisecond, func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	})
+	defer f.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("nil error delivered")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("flusher never reported the error")
+	}
+}

@@ -1,0 +1,350 @@
+// Package core assembles the complete RHODOS distributed file facility of
+// Figure 1: simulated drives with stable-storage mirrors at the bottom, one
+// disk server per drive, the basic file service and the transaction service
+// (with its write-ahead log) above them, the naming service beside them, and
+// per-machine client agents on top.
+//
+// A Cluster is one facility instance. It can be crashed and rebooted
+// (Cluster.Crash), which discards all volatile state and remounts everything
+// from the surviving media — the substrate for the recovery experiments and
+// examples.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/device"
+	"repro/internal/diskservice"
+	"repro/internal/fileservice"
+	"repro/internal/intentions"
+	"repro/internal/lock"
+	"repro/internal/metrics"
+	"repro/internal/naming"
+	"repro/internal/simclock"
+	"repro/internal/stable"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// Config sizes and tunes a cluster. The zero value is usable: one 64 MB
+// disk, 1 MB log, default caches.
+type Config struct {
+	// Disks is the number of data disks (default 1).
+	Disks int
+	// Geometry sizes each disk (default device.DefaultGeometry, 64 MB).
+	Geometry device.Geometry
+	// Model is the drive timing model (default device.DefaultModel).
+	Model device.Model
+	// LogFragments sizes the write-ahead log region (default 512 = 1 MB).
+	LogFragments int
+	// ServerCacheBlocks / ClientCacheBlocks size the file-service and
+	// file-agent caches.
+	ServerCacheBlocks int
+	ClientCacheBlocks int
+	// TrackCacheTracks sizes each disk server's read-ahead cache.
+	TrackCacheTracks int
+	// Stripe selects extent placement (default Locality).
+	Stripe fileservice.StripePolicy
+	// StripeUnitBlocks is the Spread policy's unit.
+	StripeUnitBlocks int
+	// LT and MaxRenewals configure deadlock timeouts (§6.4).
+	LT          time.Duration
+	MaxRenewals int
+	// LockClock drives lock timeouts (default wall clock).
+	LockClock simclock.Clock
+	// Metrics receives all counters; created if nil.
+	Metrics *metrics.Set
+	// ForceTechnique overrides the §6.7 commit-technique rule (ablation E8).
+	ForceTechnique intentions.Technique
+	// AllowMixedLevels enables §6.1's deferred relaxation: one file may be
+	// locked at several granularities by concurrent transactions.
+	AllowMixedLevels bool
+	// AdaptiveLockLevel derives a file's default lock level from its open
+	// frequency (§7).
+	AdaptiveLockLevel bool
+	// Ablations.
+	DisableReadAhead   bool // disk-service track cache off (E5)
+	DisableClientCache bool // file-agent cache off (E6)
+	CombinedLockTable  bool // one lock table for all levels (E12)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Disks <= 0 {
+		c.Disks = 1
+	}
+	if c.Geometry == (device.Geometry{}) {
+		c.Geometry = device.DefaultGeometry
+	}
+	if c.Model == (device.Model{}) {
+		c.Model = device.DefaultModel
+	}
+	if c.LogFragments <= 0 {
+		c.LogFragments = 512
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewSet()
+	}
+}
+
+// Cluster is one assembled facility.
+type Cluster struct {
+	cfg Config
+
+	// Metrics is the shared counter set.
+	Metrics *metrics.Set
+	// Naming is the naming service.
+	Naming *naming.Service
+	// Files is the basic file service.
+	Files *fileservice.Service
+	// Txns is the transaction service.
+	Txns *txn.Service
+	// Log is the write-ahead log.
+	Log *wal.Log
+
+	devices    []*device.Disk
+	diskClocks []*simclock.Virtual
+	stables    []*stable.Store
+	logDevs    [2]*device.Disk
+	logStable  *stable.Store
+	logStart   int
+	servers    []*diskservice.Server
+	locks      *lock.Manager
+	sweeper    *lock.Sweeper
+}
+
+// New builds a fresh cluster (all disks formatted).
+func New(cfg Config) (*Cluster, error) {
+	cfg.fillDefaults()
+	c := &Cluster{cfg: cfg, Metrics: cfg.Metrics, Naming: naming.NewService()}
+	// Data disks, their stable mirrors, and their servers.
+	for i := 0; i < cfg.Disks; i++ {
+		clk := simclock.New()
+		d, err := device.New(cfg.Geometry,
+			device.WithMetrics(cfg.Metrics), device.WithClock(clk), device.WithModel(cfg.Model))
+		if err != nil {
+			return nil, err
+		}
+		sp, err := device.New(cfg.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		sm, err := device.New(cfg.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		st, err := stable.NewStore(sp, sm, stable.WithMetrics(cfg.Metrics))
+		if err != nil {
+			return nil, err
+		}
+		c.devices = append(c.devices, d)
+		c.diskClocks = append(c.diskClocks, clk)
+		c.stables = append(c.stables, st)
+		srv, err := diskservice.Format(diskservice.Config{
+			DiskID: i, Disk: d, Stable: st, Metrics: cfg.Metrics,
+			TrackCacheTracks: cfg.TrackCacheTracks, DisableReadAhead: cfg.DisableReadAhead,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.servers = append(c.servers, srv)
+	}
+	// Log stable pair.
+	logGeom := device.Geometry{FragmentsPerTrack: 32, Tracks: (cfg.LogFragments + 31) / 32}
+	var err error
+	c.logDevs[0], err = device.New(logGeom)
+	if err != nil {
+		return nil, err
+	}
+	c.logDevs[1], err = device.New(logGeom)
+	if err != nil {
+		return nil, err
+	}
+	c.logStable, err = stable.NewStore(c.logDevs[0], c.logDevs[1], stable.WithMetrics(cfg.Metrics))
+	if err != nil {
+		return nil, err
+	}
+	c.logStart, err = c.logStable.Allocate(cfg.LogFragments)
+	if err != nil {
+		return nil, err
+	}
+	return c, c.buildServices(true)
+}
+
+// buildServices constructs (or reconstructs) the volatile service layer over
+// the current devices. fresh selects New vs Mount for the file service.
+func (c *Cluster) buildServices(fresh bool) error {
+	fsCfg := fileservice.Config{
+		Disks:            c.servers,
+		Metrics:          c.cfg.Metrics,
+		CacheBlocks:      c.cfg.ServerCacheBlocks,
+		Stripe:           c.cfg.Stripe,
+		StripeUnitBlocks: c.cfg.StripeUnitBlocks,
+	}
+	var err error
+	if fresh {
+		c.Files, err = fileservice.New(fsCfg)
+	} else {
+		c.Files, err = fileservice.Mount(fsCfg)
+	}
+	if err != nil {
+		return err
+	}
+	c.Log, err = wal.Open(c.logStable, c.logStart, c.cfg.LogFragments)
+	if err != nil {
+		return err
+	}
+	clk := c.cfg.LockClock
+	if clk == nil {
+		clk = &simclock.Wall{}
+	}
+	c.locks = lock.New(lock.Config{
+		Clock: clk, LT: c.cfg.LT, MaxRenewals: c.cfg.MaxRenewals,
+		Metrics: c.cfg.Metrics, Combined: c.cfg.CombinedLockTable,
+		AllowMixedLevels: c.cfg.AllowMixedLevels,
+	})
+	c.Txns, err = txn.New(txn.Config{
+		Files: c.Files, Log: c.Log, Locks: c.locks,
+		Metrics: c.cfg.Metrics, ForceTechnique: c.cfg.ForceTechnique,
+		AdaptiveDefault: c.cfg.AdaptiveLockLevel,
+	})
+	return err
+}
+
+// NewMachine creates a client machine attached to the cluster's services.
+func (c *Cluster) NewMachine() (*agent.Machine, error) {
+	return agent.NewMachine(agent.MachineConfig{
+		Naming:             c.Naming,
+		Files:              c.Files,
+		Txns:               c.Txns,
+		Metrics:            c.cfg.Metrics,
+		CacheBlocks:        c.cfg.ClientCacheBlocks,
+		DisableClientCache: c.cfg.DisableClientCache,
+	})
+}
+
+// StartSweeper runs the deadlock-timeout sweeper in the background; stop it
+// with StopSweeper (or Close).
+func (c *Cluster) StartSweeper(interval time.Duration) {
+	if c.sweeper == nil {
+		c.sweeper = c.locks.StartSweeper(interval)
+	}
+}
+
+// StopSweeper stops the background sweeper.
+func (c *Cluster) StopSweeper() {
+	if c.sweeper != nil {
+		c.sweeper.Close()
+		c.sweeper = nil
+	}
+}
+
+// Locks exposes the lock manager (experiments).
+func (c *Cluster) Locks() *lock.Manager { return c.locks }
+
+// DiskServer returns disk server i.
+func (c *Cluster) DiskServer(i int) *diskservice.Server { return c.servers[i] }
+
+// Device returns drive i (failure injection in tests and examples).
+func (c *Cluster) Device(i int) *device.Disk { return c.devices[i] }
+
+// Disks returns the number of data disks.
+func (c *Cluster) Disks() int { return len(c.devices) }
+
+// DiskTimes returns each disk's accumulated virtual time.
+func (c *Cluster) DiskTimes() []time.Duration {
+	out := make([]time.Duration, len(c.diskClocks))
+	for i, clk := range c.diskClocks {
+		out[i] = clk.Now()
+	}
+	return out
+}
+
+// Makespan returns the largest per-disk virtual time — the parallel-transfer
+// completion time for striped workloads (E14).
+func (c *Cluster) Makespan() time.Duration {
+	var max time.Duration
+	for _, d := range c.DiskTimes() {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// InvalidateCaches drops every cache level (cold-start for experiments).
+func (c *Cluster) InvalidateCaches() {
+	c.Files.InvalidateCaches()
+	c.Files.DropFITCache()
+}
+
+// Crash simulates a machine crash and reboot: all volatile state (caches,
+// lock tables, live transactions, unsynced log records) is lost; the disks
+// and stable storage survive; services are remounted. Run Recover afterwards
+// to redo committed transactions.
+func (c *Cluster) Crash() error {
+	c.StopSweeper()
+	c.Txns.Close()
+	c.locks.Close() // volatile lock tables die with the machine
+	c.Log.DropUnsynced()
+	// Remount disk servers from media.
+	for i := range c.servers {
+		srv, err := diskservice.Mount(diskservice.Config{
+			DiskID: i, Disk: c.devices[i], Stable: c.stables[i], Metrics: c.cfg.Metrics,
+			TrackCacheTracks: c.cfg.TrackCacheTracks, DisableReadAhead: c.cfg.DisableReadAhead,
+		})
+		if err != nil {
+			return fmt.Errorf("core: remounting disk %d: %w", i, err)
+		}
+		c.servers[i] = srv
+	}
+	return c.buildServices(false)
+}
+
+// Recover replays the write-ahead log after Crash, redoing committed
+// transactions. It returns how many were redone.
+func (c *Cluster) Recover() (int, error) {
+	return c.Txns.Recover()
+}
+
+// RecoverStable reconciles every stable-storage mirror pair (run after media
+// corruption, not needed on a clean reboot).
+func (c *Cluster) RecoverStable() error {
+	for i, st := range c.stables {
+		if _, err := st.Recover(); err != nil {
+			return fmt.Errorf("core: stable recovery of disk %d: %w", i, err)
+		}
+	}
+	_, err := c.logStable.Recover()
+	return err
+}
+
+// Flush makes all buffered state durable (flush-block all the way down).
+func (c *Cluster) Flush() error {
+	if err := c.Files.Flush(); err != nil {
+		return err
+	}
+	return c.Log.Sync()
+}
+
+// Close shuts the cluster down, flushing everything.
+func (c *Cluster) Close() error {
+	c.StopSweeper()
+	c.Txns.Close()
+	c.locks.Close()
+	var firstErr error
+	if err := c.Files.Shutdown(); err != nil && !errors.Is(err, fileservice.ErrClosed) {
+		firstErr = err
+	}
+	for _, st := range c.stables {
+		if err := st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if err := c.logStable.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}

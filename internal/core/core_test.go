@@ -1,0 +1,381 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/fileservice"
+	"repro/internal/fit"
+	"repro/internal/metrics"
+	"repro/internal/txn"
+)
+
+func newCluster(t *testing.T, mutate ...func(*Config)) *Cluster {
+	t.Helper()
+	cfg := Config{LT: 200 * time.Millisecond, MaxRenewals: 3}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return c
+}
+
+// TestFigure1FullStack exercises every layer of the architecture through the
+// public surface: naming, agents, basic file service, disk service.
+func TestFigure1FullStack(t *testing.T) {
+	c := newCluster(t)
+	m, err := c.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewProcess()
+	fa := m.FileAgent()
+
+	// Client process -> file agent -> naming -> file service -> disk service.
+	fd, err := fa.Create(p, "/reports/q3", fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("quarterly numbers")
+	if _, err := fa.Write(p, fd, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Close(p, fd); err != nil {
+		t.Fatal(err)
+	}
+	// A second machine resolves the same attributed name.
+	m2, err := c.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := m2.NewProcess()
+	fd2, err := m2.FileAgent().Open(p2, "/reports/q3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m2.FileAgent().Read(p2, fd2, 100)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("cross-machine read = %q, %v", got, err)
+	}
+	// Something actually hit the disk.
+	if c.Metrics.Get(metrics.DiskReferences) == 0 {
+		t.Fatal("no disk references recorded end to end")
+	}
+}
+
+// TestFigure1TransactionPath exercises the transaction branch of Fig. 1:
+// client -> transaction agent -> transaction service -> file service.
+func TestFigure1TransactionPath(t *testing.T) {
+	c := newCluster(t)
+	m, err := c.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewProcess()
+	id, err := p.TBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := p.TCreate(id, "/bank/ledger", fit.Attributes{Locking: fit.LockRecord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TPWrite(id, fd, 0, []byte("balance=100")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TEnd(id); err != nil {
+		t.Fatal(err)
+	}
+	// The committed file is visible through the basic path.
+	fa := m.FileAgent()
+	fd2, err := fa.Open(p, "/bank/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fa.Read(p, fd2, 100)
+	if err != nil || string(got) != "balance=100" {
+		t.Fatalf("committed content = %q, %v", got, err)
+	}
+	if c.Metrics.Get(metrics.TxnCommitted) != 1 {
+		t.Fatal("commit not counted")
+	}
+}
+
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	c := newCluster(t)
+	m, err := c.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewProcess()
+	// Commit a transaction.
+	id, err := p.TBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := p.TCreate(id, "/durable", fit.Attributes{Locking: fit.LockPage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte("D"), 10000)
+	if _, err := p.TPWrite(id, fd, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TEnd(id); err != nil {
+		t.Fatal(err)
+	}
+	// Leave an uncommitted transaction hanging.
+	id2, err := p.TBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd2, err := p.TOpen(id2, "/durable", fit.LockNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.TPWrite(id2, fd2, 0, []byte("UNCOMMITTED")); err != nil {
+		t.Fatal(err)
+	}
+	// Crash and recover.
+	if err := c.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if _, err := c.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	// Committed data survives, tentative data is gone.
+	e, err := c.Naming.ResolvePath("/durable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Files.ReadAt(fileservice.FileID(e.SystemName), 0, len(want))
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("committed data after crash: %v", err)
+	}
+}
+
+func TestDiskFailureSurvivedByStableStorage(t *testing.T) {
+	c := newCluster(t)
+	m, err := c.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.NewProcess()
+	fa := m.FileAgent()
+	fd, err := fa.Create(p, "/vital", fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fa.Write(p, fd, []byte("irreplaceable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Close(p, fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the FIT on the main disk; the stable copy must heal it.
+	e, err := c.Naming.ResolvePath("/vital")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fitAddr, err := c.Files.FITLocation(fileservice.FileID(e.SystemName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.InvalidateCaches()
+	if err := c.Device(0).CorruptFragment(fitAddr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Files.ReadAt(fileservice.FileID(e.SystemName), 0, 13)
+	if err != nil || string(got) != "irreplaceable" {
+		t.Fatalf("read with corrupt FIT = %q, %v", got, err)
+	}
+}
+
+func TestMultiDiskStriping(t *testing.T) {
+	c := newCluster(t, func(cfg *Config) {
+		cfg.Disks = 4
+		cfg.Stripe = fileservice.Spread
+		cfg.StripeUnitBlocks = 2
+	})
+	id, err := c.Files.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 32*fileservice.BlockSize)
+	rand.New(rand.NewSource(1)).Read(data)
+	if _, err := c.Files.WriteAt(id, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	exts, err := c.Files.Extents(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	used := map[uint16]bool{}
+	for _, e := range exts {
+		used[e.Disk] = true
+	}
+	if len(used) < 4 {
+		t.Fatalf("striped file used %d disks, want 4", len(used))
+	}
+	// Per-disk clocks advanced on more than one disk (parallel transfer).
+	busy := 0
+	for _, d := range c.DiskTimes() {
+		if d > 0 {
+			busy++
+		}
+	}
+	if busy < 4 {
+		t.Fatalf("only %d disks accumulated time", busy)
+	}
+	if c.Makespan() == 0 {
+		t.Fatal("zero makespan")
+	}
+}
+
+func TestDeadlockSweeperIntegration(t *testing.T) {
+	c := newCluster(t, func(cfg *Config) { cfg.LT = 30 * time.Millisecond; cfg.MaxRenewals = 2 })
+	c.StartSweeper(10 * time.Millisecond)
+	m, err := c.NewMachine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := m.NewProcess()
+	p2 := m.NewProcess()
+	// Two files.
+	setup, err := p1.TBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := p1.TCreate(setup, "/da", fit.Attributes{Locking: fit.LockFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := p1.TCreate(setup, "/db", fit.Attributes{Locking: fit.LockFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.TPWrite(setup, fa, 0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.TPWrite(setup, fb, 0, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.TEnd(setup); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-order transactions.
+	t1, err := p1.TBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := p2.TBegin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1a, err := p1.TOpen(t1, "/da", fit.LockFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2b, err := p2.TOpen(t2, "/db", fit.LockFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p1.TPWrite(t1, f1a, 0, []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.TPWrite(t2, f2b, 0, []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	go func() {
+		fd, err := p1.TOpen(t1, "/db", fit.LockFile)
+		if err == nil {
+			_, err = p1.TPWrite(t1, fd, 0, []byte("1"))
+		}
+		if err == nil {
+			err = p1.TEnd(t1)
+		} else {
+			_ = p1.TAbort(t1)
+		}
+		done <- err
+	}()
+	go func() {
+		fd, err := p2.TOpen(t2, "/da", fit.LockFile)
+		if err == nil {
+			_, err = p2.TPWrite(t2, fd, 0, []byte("2"))
+		}
+		if err == nil {
+			err = p2.TEnd(t2)
+		} else {
+			_ = p2.TAbort(t2)
+		}
+		done <- err
+	}()
+	var aborted, committed int
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			switch {
+			case err == nil:
+				committed++
+			case errors.Is(err, txn.ErrAborted), errors.Is(err, txn.ErrNoTxn):
+				aborted++
+			default:
+				t.Fatalf("unexpected: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("deadlock not resolved")
+		}
+	}
+	if aborted == 0 {
+		t.Fatal("deadlock resolved with no abort?")
+	}
+}
+
+func TestZeroConfigDefaults(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	if c.Disks() != 1 {
+		t.Fatalf("default disks = %d", c.Disks())
+	}
+	id, err := c.Files.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Files.WriteAt(id, 0, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseIdempotentFlushes(t *testing.T) {
+	c, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Files.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Files.WriteAt(id, 0, []byte("bye")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fileservice"
+	"repro/internal/fit"
+	"repro/internal/txn"
+)
+
+// TestStressMixedWorkloadWithCrash runs several machines' worth of
+// concurrent basic-file and transactional work, crashes the facility in the
+// middle, recovers, and verifies every guarantee that survives a crash:
+// committed transactional data intact, conservation invariants preserved,
+// and the on-disk structure fsck-clean.
+func TestStressMixedWorkloadWithCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	c := newCluster(t, func(cfg *Config) { cfg.LT = 300 * time.Millisecond; cfg.MaxRenewals = 4 })
+	c.StartSweeper(20 * time.Millisecond)
+
+	// Shared transactional counter file: N slots, each incremented under
+	// record locks; the committed total is tracked exactly.
+	const slots = 8
+	setup, err := c.Txns.Begin(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counterFile, err := c.Txns.Create(setup, fit.Attributes{Locking: fit.LockRecord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Txns.PWrite(setup, counterFile, 0, make([]byte, slots*8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Txns.End(setup); err != nil {
+		t.Fatal(err)
+	}
+
+	var committedIncrements int64
+	var mu sync.Mutex
+
+	var wg sync.WaitGroup
+	// Transactional workers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 30; i++ {
+				id, err := c.Txns.Begin(w)
+				if err != nil {
+					return
+				}
+				if err := c.Txns.Open(id, counterFile, fit.LockRecord); err != nil {
+					_ = c.Txns.Abort(id)
+					continue
+				}
+				slot := rng.Intn(slots)
+				raw, err := c.Txns.PRead(id, counterFile, int64(slot*8), 8, true)
+				if err != nil {
+					continue // aborted by timeout
+				}
+				v := binary.BigEndian.Uint64(raw)
+				buf := make([]byte, 8)
+				binary.BigEndian.PutUint64(buf, v+1)
+				if _, err := c.Txns.PWrite(id, counterFile, int64(slot*8), buf); err != nil {
+					continue
+				}
+				if err := c.Txns.End(id); err == nil {
+					mu.Lock()
+					committedIncrements++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	// Basic-file workers on their own files.
+	basicContents := make([][]byte, 3)
+	basicIDs := make([]fileservice.FileID, 3)
+	for w := 0; w < 3; w++ {
+		id, err := c.Files.Create(fit.Attributes{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		basicIDs[w] = id
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			data := make([]byte, 50000)
+			rng.Read(data)
+			for i := 0; i < 20; i++ {
+				off := rng.Intn(40000)
+				n := 1 + rng.Intn(9000)
+				if _, err := c.Files.WriteAt(basicIDs[w], int64(off), data[off:off+n]); err != nil {
+					t.Errorf("basic write: %v", err)
+					return
+				}
+			}
+			basicContents[w] = data
+		}(w)
+	}
+	wg.Wait()
+
+	// Crash and recover.
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recover(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The committed transactional total must equal the tracked count.
+	total := uint64(0)
+	for s := 0; s < slots; s++ {
+		raw, err := c.Files.ReadAt(counterFile, int64(s*8), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += binary.BigEndian.Uint64(raw)
+	}
+	if total != uint64(committedIncrements) {
+		t.Fatalf("counter total %d != %d committed increments", total, committedIncrements)
+	}
+	// Structure is clean.
+	rep, err := c.Files.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("post-crash fsck: %v", rep.Problems)
+	}
+}
+
+// TestStressTxnChurnManyFiles commits hundreds of small transactions across
+// many files, overflowing the WAL (forcing truncations), then audits every
+// file's final content.
+func TestStressTxnChurnManyFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	c := newCluster(t, func(cfg *Config) { cfg.LogFragments = 128 }) // tiny 256 KB log
+	const files = 12
+	type state struct {
+		fid  txn.FileID
+		data []byte
+	}
+	states := make([]*state, files)
+	for i := range states {
+		id, err := c.Txns.Begin(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fid, err := c.Txns.Create(id, fit.Attributes{Locking: fit.LockPage})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := make([]byte, 30000)
+		if _, err := c.Txns.PWrite(id, fid, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Txns.End(id); err != nil {
+			t.Fatal(err)
+		}
+		states[i] = &state{fid: fid, data: data}
+	}
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 300; round++ {
+		st := states[rng.Intn(files)]
+		id, err := c.Txns.Begin(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Txns.Open(id, st.fid, fit.LockNone); err != nil {
+			t.Fatal(err)
+		}
+		off := rng.Intn(25000)
+		n := 1 + rng.Intn(4000)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		if _, err := c.Txns.PWrite(id, st.fid, int64(off), buf); err != nil {
+			if errors.Is(err, txn.ErrAborted) {
+				continue
+			}
+			t.Fatal(err)
+		}
+		if err := c.Txns.End(id); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		copy(st.data[off:], buf)
+	}
+	for i, st := range states {
+		got, err := c.Files.ReadAt(st.fid, 0, len(st.data))
+		if err != nil || !bytes.Equal(got, st.data) {
+			t.Fatalf("file %d content diverged: %v", i, err)
+		}
+	}
+}

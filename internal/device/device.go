@@ -1,0 +1,324 @@
+// Package device simulates a sector-addressable disk drive with a
+// parametric timing model.
+//
+// The paper's performance claims are stated in units of "disk references" —
+// physical operations issued to a drive — and in the seek/latency costs those
+// references incur. This package reproduces exactly that accounting: every
+// Read/Write call is one disk reference, head movement is tracked per track,
+// and a Model converts (seeks, rotations, bytes) into virtual time on a
+// simclock.Clock. Data lives in memory; persistence across a simulated
+// machine crash is the natural consequence of the buffer being retained while
+// volatile caches above this layer are discarded.
+//
+// The externally visible unit is the fragment (2 KB), the paper's smallest
+// allocation unit; a block is four contiguous fragments (8 KB).
+package device
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// Storage units from the paper (§4): a fragment is 2 KB, a block is 8 KB,
+// and four contiguous fragments make one block.
+const (
+	FragmentSize      = 2 * 1024
+	BlockSize         = 8 * 1024
+	FragmentsPerBlock = BlockSize / FragmentSize
+)
+
+// Errors returned by device operations.
+var (
+	// ErrOutOfRange reports an access beyond the end of the disk.
+	ErrOutOfRange = errors.New("device: fragment address out of range")
+	// ErrFailed reports an operation on a failed (powered-off) device.
+	ErrFailed = errors.New("device: device has failed")
+	// ErrMediaError reports an unreadable fragment.
+	ErrMediaError = errors.New("device: media error")
+	// ErrShortWrite reports a write with fewer bytes than the span requires.
+	ErrShortWrite = errors.New("device: short write")
+)
+
+// Geometry describes the layout of a simulated drive.
+type Geometry struct {
+	// FragmentsPerTrack is the number of 2 KB fragments on one track.
+	FragmentsPerTrack int
+	// Tracks is the number of tracks on the drive.
+	Tracks int
+}
+
+// DefaultGeometry is a small drive (64 KB tracks, 64 MB total) suitable for
+// tests; experiments size their own.
+var DefaultGeometry = Geometry{FragmentsPerTrack: 32, Tracks: 1024}
+
+// Capacity returns the total number of fragments on the drive.
+func (g Geometry) Capacity() int { return g.FragmentsPerTrack * g.Tracks }
+
+// Bytes returns the drive capacity in bytes.
+func (g Geometry) Bytes() int64 { return int64(g.Capacity()) * FragmentSize }
+
+// Track returns the track number holding fragment addr.
+func (g Geometry) Track(addr int) int { return addr / g.FragmentsPerTrack }
+
+// TrackStart returns the address of the first fragment on the given track.
+func (g Geometry) TrackStart(track int) int { return track * g.FragmentsPerTrack }
+
+func (g Geometry) validate() error {
+	if g.FragmentsPerTrack <= 0 || g.Tracks <= 0 {
+		return fmt.Errorf("device: invalid geometry %+v", g)
+	}
+	return nil
+}
+
+// Model is the timing model of a drive. The defaults approximate an early
+// 1990s drive (3600 RPM, ~12 ms average seek) so that the experiment tables
+// land in the same regime as the paper's context.
+type Model struct {
+	// SeekBase is the fixed cost of any head movement.
+	SeekBase time.Duration
+	// SeekPerTrack is the additional cost per track of travel.
+	SeekPerTrack time.Duration
+	// RotationalLatency is the average wait for the target sector
+	// (half a revolution).
+	RotationalLatency time.Duration
+	// TransferPerFragment is the media transfer time for one fragment.
+	TransferPerFragment time.Duration
+}
+
+// DefaultModel approximates a 3600 RPM drive of the paper's era.
+var DefaultModel = Model{
+	SeekBase:            3 * time.Millisecond,
+	SeekPerTrack:        20 * time.Microsecond,
+	RotationalLatency:   8300 * time.Microsecond, // half of a 16.7 ms revolution
+	TransferPerFragment: 500 * time.Microsecond,  // ~4 MB/s media rate
+}
+
+// cost returns the virtual time for an access that moves the head `distance`
+// tracks and transfers n fragments.
+func (m Model) cost(distance, n int) time.Duration {
+	var d time.Duration
+	if distance > 0 {
+		d += m.SeekBase + time.Duration(distance)*m.SeekPerTrack
+	}
+	d += m.RotationalLatency
+	d += time.Duration(n) * m.TransferPerFragment
+	return d
+}
+
+// Disk is a simulated drive. All methods are safe for concurrent use; the
+// drive serializes operations like a real spindle.
+type Disk struct {
+	geom  Geometry
+	model Model
+	clock simclock.Clock
+	met   *metrics.Set
+
+	mu       sync.Mutex
+	data     []byte
+	head     int // current track
+	failed   bool
+	badFrags map[int]bool // fragments that return ErrMediaError
+}
+
+// Option configures a Disk.
+type Option func(*Disk)
+
+// WithModel sets the timing model.
+func WithModel(m Model) Option { return func(d *Disk) { d.model = m } }
+
+// WithClock sets the virtual clock that accumulates access time.
+func WithClock(c simclock.Clock) Option { return func(d *Disk) { d.clock = c } }
+
+// WithMetrics sets the metric set that receives reference/seek/byte counters.
+func WithMetrics(s *metrics.Set) Option { return func(d *Disk) { d.met = s } }
+
+// New creates a drive with the given geometry. The default timing model is
+// DefaultModel and the default clock is a fresh virtual clock.
+func New(g Geometry, opts ...Option) (*Disk, error) {
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	d := &Disk{
+		geom:  g,
+		model: DefaultModel,
+		clock: simclock.New(),
+		data:  make([]byte, g.Bytes()),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	return d, nil
+}
+
+// Geometry returns the drive geometry.
+func (d *Disk) Geometry() Geometry { return d.geom }
+
+// Clock returns the clock the drive charges access time to.
+func (d *Disk) Clock() simclock.Clock { return d.clock }
+
+// checkSpan validates the address range [start, start+n).
+func (d *Disk) checkSpan(start, n int) error {
+	if n <= 0 || start < 0 || start+n > d.geom.Capacity() {
+		return fmt.Errorf("%w: [%d,%d) of %d", ErrOutOfRange, start, start+n, d.geom.Capacity())
+	}
+	return nil
+}
+
+// charge accounts one disk reference transferring n fragments starting at
+// fragment addr, advancing the head. Callers must hold d.mu.
+func (d *Disk) charge(addr, n int) {
+	first := d.geom.Track(addr)
+	last := d.geom.Track(addr + n - 1)
+	distance := first - d.head
+	if distance < 0 {
+		distance = -distance
+	}
+	if distance > 0 {
+		d.met.Inc(metrics.DiskSeeks)
+	}
+	cost := d.model.cost(distance, n)
+	// A multi-track transfer drags the head across the intervening tracks;
+	// charge the (cheap, settled) track-to-track moves.
+	if last > first {
+		cost += time.Duration(last-first) * d.model.SeekPerTrack
+	}
+	d.head = last
+	d.met.Inc(metrics.DiskReferences)
+	d.met.AddSimTime(cost)
+	d.clock.Advance(cost)
+}
+
+// ReadFragments reads n fragments starting at fragment address start as one
+// disk reference, returning a fresh buffer of n*FragmentSize bytes.
+func (d *Disk) ReadFragments(start, n int) ([]byte, error) {
+	if err := d.checkSpan(start, n); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return nil, ErrFailed
+	}
+	for f := start; f < start+n; f++ {
+		if d.badFrags[f] {
+			return nil, fmt.Errorf("%w: fragment %d", ErrMediaError, f)
+		}
+	}
+	d.charge(start, n)
+	d.met.Add(metrics.DiskBytesRead, int64(n)*FragmentSize)
+	buf := make([]byte, n*FragmentSize)
+	copy(buf, d.data[start*FragmentSize:])
+	return buf, nil
+}
+
+// WriteFragments writes len(data)/FragmentSize fragments starting at fragment
+// address start as one disk reference. data must be a whole number of
+// fragments.
+func (d *Disk) WriteFragments(start int, data []byte) error {
+	if len(data) == 0 || len(data)%FragmentSize != 0 {
+		return fmt.Errorf("%w: %d bytes is not a whole number of fragments", ErrShortWrite, len(data))
+	}
+	n := len(data) / FragmentSize
+	if err := d.checkSpan(start, n); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.failed {
+		return ErrFailed
+	}
+	d.charge(start, n)
+	d.met.Add(metrics.DiskBytesWrite, int64(len(data)))
+	copy(d.data[start*FragmentSize:], data)
+	d.clearCorruption(start, n)
+	return nil
+}
+
+// ReadTrack reads the entire track holding fragment addr as one disk
+// reference, returning the track's fragments and the address of the first
+// one. This is the primitive behind the disk service's track read-ahead
+// cache (§4): the service fetches what a request needs and caches the rest
+// of the track.
+func (d *Disk) ReadTrack(addr int) (data []byte, trackStart int, err error) {
+	if err := d.checkSpan(addr, 1); err != nil {
+		return nil, 0, err
+	}
+	track := d.geom.Track(addr)
+	start := d.geom.TrackStart(track)
+	data, err = d.ReadFragments(start, d.geom.FragmentsPerTrack)
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, start, nil
+}
+
+// Fail powers the drive off: every subsequent operation returns ErrFailed
+// until Repair is called. Platter contents are retained, as on a real drive.
+func (d *Disk) Fail() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = true
+}
+
+// Repair brings a failed drive back online.
+func (d *Disk) Repair() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.failed = false
+}
+
+// Failed reports whether the drive is currently failed.
+func (d *Disk) Failed() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.failed
+}
+
+// CorruptFragment marks a fragment as unreadable (a media error). Writes to
+// the fragment succeed and clear the error, as rewriting a sector does on
+// real media.
+func (d *Disk) CorruptFragment(addr int) error {
+	if err := d.checkSpan(addr, 1); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.badFrags == nil {
+		d.badFrags = make(map[int]bool)
+	}
+	d.badFrags[addr] = true
+	return nil
+}
+
+// clearCorruption removes media errors in [start, start+n). Callers must
+// hold d.mu.
+func (d *Disk) clearCorruption(start, n int) {
+	for f := start; f < start+n; f++ {
+		delete(d.badFrags, f)
+	}
+}
+
+// RepairFragment clears a media error without rewriting data (used by
+// stable-storage recovery after it restores the mirror copy).
+func (d *Disk) RepairFragment(addr int) error {
+	if err := d.checkSpan(addr, 1); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.clearCorruption(addr, 1)
+	return nil
+}
+
+// HeadTrack returns the track the head currently rests on (for tests and
+// placement experiments).
+func (d *Disk) HeadTrack() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.head
+}

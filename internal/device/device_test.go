@@ -1,0 +1,304 @@
+package device
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+func newTestDisk(t *testing.T) (*Disk, *metrics.Set, *simclock.Virtual) {
+	t.Helper()
+	met := metrics.NewSet()
+	clk := simclock.New()
+	d, err := New(Geometry{FragmentsPerTrack: 8, Tracks: 16}, WithMetrics(met), WithClock(clk))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d, met, clk
+}
+
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i)
+	}
+	return b
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d, _, _ := newTestDisk(t)
+	want := pattern(3*FragmentSize, 7)
+	if err := d.WriteFragments(5, want); err != nil {
+		t.Fatalf("WriteFragments: %v", err)
+	}
+	got, err := d.ReadFragments(5, 3)
+	if err != nil {
+		t.Fatalf("ReadFragments: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read data differs from written data")
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	d, _, _ := newTestDisk(t)
+	if err := d.WriteFragments(0, pattern(FragmentSize, 1)); err != nil {
+		t.Fatalf("WriteFragments: %v", err)
+	}
+	got, err := d.ReadFragments(0, 1)
+	if err != nil {
+		t.Fatalf("ReadFragments: %v", err)
+	}
+	got[0] = 0xFF
+	again, err := d.ReadFragments(0, 1)
+	if err != nil {
+		t.Fatalf("ReadFragments: %v", err)
+	}
+	if again[0] == 0xFF {
+		t.Fatal("mutating returned buffer corrupted the disk")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	d, _, _ := newTestDisk(t)
+	cap := d.Geometry().Capacity()
+	cases := []struct{ start, n int }{
+		{-1, 1}, {0, 0}, {cap, 1}, {cap - 1, 2}, {0, cap + 1},
+	}
+	for _, c := range cases {
+		if _, err := d.ReadFragments(c.start, c.n); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("ReadFragments(%d,%d) = %v, want ErrOutOfRange", c.start, c.n, err)
+		}
+	}
+	if err := d.WriteFragments(cap-1, make([]byte, 2*FragmentSize)); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("WriteFragments over end = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	d, _, _ := newTestDisk(t)
+	if err := d.WriteFragments(0, make([]byte, 100)); !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("partial-fragment write = %v, want ErrShortWrite", err)
+	}
+	if err := d.WriteFragments(0, nil); !errors.Is(err, ErrShortWrite) {
+		t.Fatalf("empty write = %v, want ErrShortWrite", err)
+	}
+}
+
+func TestOneReferencePerCall(t *testing.T) {
+	d, met, _ := newTestDisk(t)
+	if _, err := d.ReadFragments(0, 8); err != nil {
+		t.Fatalf("ReadFragments: %v", err)
+	}
+	if err := d.WriteFragments(8, make([]byte, 4*FragmentSize)); err != nil {
+		t.Fatalf("WriteFragments: %v", err)
+	}
+	if got := met.Get(metrics.DiskReferences); got != 2 {
+		t.Fatalf("disk references = %d, want 2 (one per call regardless of span)", got)
+	}
+	if got := met.Get(metrics.DiskBytesRead); got != 8*FragmentSize {
+		t.Fatalf("bytes read = %d, want %d", got, 8*FragmentSize)
+	}
+	if got := met.Get(metrics.DiskBytesWrite); got != 4*FragmentSize {
+		t.Fatalf("bytes written = %d, want %d", got, 4*FragmentSize)
+	}
+}
+
+func TestSeekAccounting(t *testing.T) {
+	d, met, _ := newTestDisk(t)
+	// Head starts at track 0; a read on track 0 needs no seek.
+	if _, err := d.ReadFragments(0, 1); err != nil {
+		t.Fatalf("ReadFragments: %v", err)
+	}
+	if got := met.Get(metrics.DiskSeeks); got != 0 {
+		t.Fatalf("seeks after same-track read = %d, want 0", got)
+	}
+	// Track 10 requires a seek.
+	if _, err := d.ReadFragments(10*8, 1); err != nil {
+		t.Fatalf("ReadFragments: %v", err)
+	}
+	if got := met.Get(metrics.DiskSeeks); got != 1 {
+		t.Fatalf("seeks after cross-track read = %d, want 1", got)
+	}
+	if got := d.HeadTrack(); got != 10 {
+		t.Fatalf("head track = %d, want 10", got)
+	}
+}
+
+func TestTimingModel(t *testing.T) {
+	met := metrics.NewSet()
+	clk := simclock.New()
+	m := Model{
+		SeekBase:            1 * time.Millisecond,
+		SeekPerTrack:        100 * time.Microsecond,
+		RotationalLatency:   2 * time.Millisecond,
+		TransferPerFragment: 10 * time.Microsecond,
+	}
+	d, err := New(Geometry{FragmentsPerTrack: 8, Tracks: 16}, WithMetrics(met), WithClock(clk), WithModel(m))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	// Same-track single-fragment read: rotation + 1 transfer, no seek.
+	if _, err := d.ReadFragments(0, 1); err != nil {
+		t.Fatalf("ReadFragments: %v", err)
+	}
+	want := 2*time.Millisecond + 10*time.Microsecond
+	if got := clk.Now(); got != want {
+		t.Fatalf("clock after same-track read = %v, want %v", got, want)
+	}
+	// Seek 5 tracks, read 2 fragments.
+	start := clk.Now()
+	if _, err := d.ReadFragments(5*8, 2); err != nil {
+		t.Fatalf("ReadFragments: %v", err)
+	}
+	want = 1*time.Millisecond + 5*100*time.Microsecond + 2*time.Millisecond + 2*10*time.Microsecond
+	if got := clk.Now() - start; got != want {
+		t.Fatalf("cross-track read cost = %v, want %v", got, want)
+	}
+}
+
+func TestMultiTrackTransferMovesHead(t *testing.T) {
+	d, met, _ := newTestDisk(t)
+	// Read 16 fragments spanning tracks 0 and 1.
+	if _, err := d.ReadFragments(0, 16); err != nil {
+		t.Fatalf("ReadFragments: %v", err)
+	}
+	if got := d.HeadTrack(); got != 1 {
+		t.Fatalf("head track after spanning read = %d, want 1", got)
+	}
+	if got := met.Get(metrics.DiskReferences); got != 1 {
+		t.Fatalf("spanning read cost %d references, want 1", got)
+	}
+}
+
+func TestReadTrack(t *testing.T) {
+	d, met, _ := newTestDisk(t)
+	want := pattern(FragmentSize, 42)
+	if err := d.WriteFragments(13, want); err != nil { // track 1 (frags 8..15)
+		t.Fatalf("WriteFragments: %v", err)
+	}
+	met.Reset()
+	data, start, err := d.ReadTrack(13)
+	if err != nil {
+		t.Fatalf("ReadTrack: %v", err)
+	}
+	if start != 8 {
+		t.Fatalf("track start = %d, want 8", start)
+	}
+	if len(data) != 8*FragmentSize {
+		t.Fatalf("track data = %d bytes, want %d", len(data), 8*FragmentSize)
+	}
+	if !bytes.Equal(data[(13-8)*FragmentSize:(13-8+1)*FragmentSize], want) {
+		t.Fatal("track data does not contain the written fragment")
+	}
+	if got := met.Get(metrics.DiskReferences); got != 1 {
+		t.Fatalf("ReadTrack cost %d references, want 1", got)
+	}
+}
+
+func TestFailAndRepair(t *testing.T) {
+	d, _, _ := newTestDisk(t)
+	if err := d.WriteFragments(0, pattern(FragmentSize, 9)); err != nil {
+		t.Fatalf("WriteFragments: %v", err)
+	}
+	d.Fail()
+	if !d.Failed() {
+		t.Fatal("Failed() = false after Fail")
+	}
+	if _, err := d.ReadFragments(0, 1); !errors.Is(err, ErrFailed) {
+		t.Fatalf("read on failed disk = %v, want ErrFailed", err)
+	}
+	if err := d.WriteFragments(0, pattern(FragmentSize, 1)); !errors.Is(err, ErrFailed) {
+		t.Fatalf("write on failed disk = %v, want ErrFailed", err)
+	}
+	d.Repair()
+	got, err := d.ReadFragments(0, 1)
+	if err != nil {
+		t.Fatalf("read after repair: %v", err)
+	}
+	if !bytes.Equal(got, pattern(FragmentSize, 9)) {
+		t.Fatal("platter contents lost across fail/repair")
+	}
+}
+
+func TestMediaError(t *testing.T) {
+	d, _, _ := newTestDisk(t)
+	if err := d.CorruptFragment(3); err != nil {
+		t.Fatalf("CorruptFragment: %v", err)
+	}
+	if _, err := d.ReadFragments(3, 1); !errors.Is(err, ErrMediaError) {
+		t.Fatalf("read of corrupted fragment = %v, want ErrMediaError", err)
+	}
+	// A spanning read hitting the bad fragment also fails.
+	if _, err := d.ReadFragments(2, 3); !errors.Is(err, ErrMediaError) {
+		t.Fatalf("spanning read over corruption = %v, want ErrMediaError", err)
+	}
+	// Rewriting the fragment clears the error.
+	if err := d.WriteFragments(3, pattern(FragmentSize, 5)); err != nil {
+		t.Fatalf("rewrite of corrupted fragment: %v", err)
+	}
+	if _, err := d.ReadFragments(3, 1); err != nil {
+		t.Fatalf("read after rewrite = %v, want success", err)
+	}
+}
+
+func TestRepairFragment(t *testing.T) {
+	d, _, _ := newTestDisk(t)
+	if err := d.WriteFragments(4, pattern(FragmentSize, 8)); err != nil {
+		t.Fatalf("WriteFragments: %v", err)
+	}
+	if err := d.CorruptFragment(4); err != nil {
+		t.Fatalf("CorruptFragment: %v", err)
+	}
+	if err := d.RepairFragment(4); err != nil {
+		t.Fatalf("RepairFragment: %v", err)
+	}
+	got, err := d.ReadFragments(4, 1)
+	if err != nil {
+		t.Fatalf("read after RepairFragment: %v", err)
+	}
+	if !bytes.Equal(got, pattern(FragmentSize, 8)) {
+		t.Fatal("RepairFragment lost data")
+	}
+}
+
+func TestInvalidGeometry(t *testing.T) {
+	if _, err := New(Geometry{FragmentsPerTrack: 0, Tracks: 10}); err == nil {
+		t.Fatal("New with zero fragments/track succeeded")
+	}
+	if _, err := New(Geometry{FragmentsPerTrack: 8, Tracks: 0}); err == nil {
+		t.Fatal("New with zero tracks succeeded")
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	g := Geometry{FragmentsPerTrack: 8, Tracks: 16}
+	if got := g.Capacity(); got != 128 {
+		t.Fatalf("Capacity = %d, want 128", got)
+	}
+	if got := g.Bytes(); got != 128*FragmentSize {
+		t.Fatalf("Bytes = %d, want %d", got, 128*FragmentSize)
+	}
+	if got := g.Track(17); got != 2 {
+		t.Fatalf("Track(17) = %d, want 2", got)
+	}
+	if got := g.TrackStart(2); got != 16 {
+		t.Fatalf("TrackStart(2) = %d, want 16", got)
+	}
+}
+
+func TestFragmentBlockConstants(t *testing.T) {
+	if FragmentSize != 2048 {
+		t.Fatalf("FragmentSize = %d, want 2048 (paper §4)", FragmentSize)
+	}
+	if BlockSize != 8192 {
+		t.Fatalf("BlockSize = %d, want 8192 (paper §4)", BlockSize)
+	}
+	if FragmentsPerBlock != 4 {
+		t.Fatalf("FragmentsPerBlock = %d, want 4 (paper §4)", FragmentsPerBlock)
+	}
+}

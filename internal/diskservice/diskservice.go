@@ -1,0 +1,519 @@
+// Package diskservice implements the RHODOS disk service (§4): one server
+// per disk, managing blocks (8 KB) and fragments (2 KB) with the five
+// service functions of the paper — allocate-block, free-block, flush-block,
+// get-block and put-block.
+//
+// The semantics follow §4 exactly:
+//
+//   - Any operation on a set of contiguous blocks/fragments is accomplished
+//     in one single reference to the disk.
+//   - put-block can save data on its original location only, exclusively on
+//     stable storage (the shadow-page case), or on both (the file-index-table
+//     case); when stable storage is involved the caller chooses whether the
+//     call returns before or after the stable copy is saved.
+//   - get-block retrieves from main storage by default or from stable
+//     storage on request.
+//   - On a read the service fetches only the fragments the request needs,
+//     then caches the rest of the same track to satisfy subsequent requests
+//     (track read-ahead).
+//   - Free space is managed with a bitmap plus the 64×64 contiguous-run
+//     table (package freespace), both persisted: the bitmap on the disk
+//     itself and mirrored to stable storage, since it is vital structural
+//     information.
+//
+// Stable storage mirrors the disk's address space one-to-one, so "save this
+// fragment on stable storage" needs no extra address translation — put-block
+// at address A with StableOnly writes the stable pair at A.
+package diskservice
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cache"
+	"repro/internal/device"
+	"repro/internal/freespace"
+	"repro/internal/metrics"
+	"repro/internal/stable"
+)
+
+// Sizes re-exported for convenience of the layers above.
+const (
+	FragmentSize      = device.FragmentSize
+	BlockSize         = device.BlockSize
+	FragmentsPerBlock = device.FragmentsPerBlock
+)
+
+// Stability selects where put-block saves data (§4).
+type Stability int
+
+const (
+	// MainOnly saves on the original location only.
+	MainOnly Stability = iota + 1
+	// StableOnly saves exclusively on stable storage — the shadow-page case.
+	StableOnly
+	// MainAndStable saves on the original location and on stable storage —
+	// the file-index-table case.
+	MainAndStable
+)
+
+// String implements fmt.Stringer.
+func (s Stability) String() string {
+	switch s {
+	case MainOnly:
+		return "main-only"
+	case StableOnly:
+		return "stable-only"
+	case MainAndStable:
+		return "main+stable"
+	default:
+		return fmt.Sprintf("Stability(%d)", int(s))
+	}
+}
+
+// PutOptions control put-block.
+type PutOptions struct {
+	// Stability selects the destination; zero means MainOnly.
+	Stability Stability
+	// WaitStable, when a stable copy is requested, makes the call return only
+	// after the stable copy is saved. When false the stable write is deferred
+	// and the call returns immediately after the main-storage write (if any).
+	WaitStable bool
+}
+
+// GetOptions control get-block.
+type GetOptions struct {
+	// FromStable retrieves the data from stable storage instead of main
+	// storage.
+	FromStable bool
+	// NoReadAhead disables track read-ahead for this request (used by
+	// experiment ablations).
+	NoReadAhead bool
+}
+
+// Errors returned by the disk service.
+var (
+	ErrClosed = errors.New("diskservice: server closed")
+	// ErrNotFormatted reports a mount of a disk with no valid superblock.
+	ErrNotFormatted = errors.New("diskservice: disk not formatted")
+)
+
+const superMagic = 0x52484F44 // "RHOD"
+
+// Config configures a Server.
+type Config struct {
+	// DiskID identifies this disk within the facility.
+	DiskID int
+	// Disk is the drive this server owns. Required.
+	Disk *device.Disk
+	// Stable is the stable store mirroring this disk's address space; its
+	// capacity must equal the disk's. Required.
+	Stable *stable.Store
+	// Metrics receives operation counters. Optional.
+	Metrics *metrics.Set
+	// TrackCacheTracks is the number of tracks the read-ahead cache holds;
+	// defaults to 16.
+	TrackCacheTracks int
+	// DisableReadAhead turns the track cache off entirely (ablation E5).
+	DisableReadAhead bool
+}
+
+// Server is a disk server. It is safe for concurrent use.
+type Server struct {
+	id        int
+	disk      *device.Disk
+	stable    *stable.Store
+	met       *metrics.Set
+	readAhead bool
+
+	mu     sync.Mutex
+	closed bool
+	fsmap  *freespace.Map
+
+	trackCache *cache.Cache[int] // track number -> track bytes
+
+	// metaFrags is the size of the reserved metadata region (superblock +
+	// bitmap) at the start of the disk.
+	metaFrags int
+}
+
+// Format initializes a fresh disk: writes a superblock, reserves the
+// metadata region, and persists an empty bitmap to both the disk and stable
+// storage. It returns a mounted Server.
+func Format(cfg Config) (*Server, error) {
+	s, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	capacity := cfg.Disk.Geometry().Capacity()
+	s.metaFrags = 1 + bitmapFragments(capacity)
+	if err := s.fsmap.AllocateAt(0, s.metaFrags); err != nil {
+		return nil, fmt.Errorf("diskservice: reserving metadata region: %w", err)
+	}
+	if err := s.persistMetadataLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Mount opens a previously formatted disk, loading the bitmap (and, if the
+// on-disk copy is unreadable, recovering it from stable storage).
+func Mount(cfg Config) (*Server, error) {
+	s, err := newServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	capacity := cfg.Disk.Geometry().Capacity()
+	s.metaFrags = 1 + bitmapFragments(capacity)
+
+	super, err := s.readMeta(0, 1)
+	if err != nil {
+		return nil, fmt.Errorf("diskservice: reading superblock: %w", err)
+	}
+	if binary.BigEndian.Uint32(super) != superMagic {
+		return nil, ErrNotFormatted
+	}
+	if got := int(binary.BigEndian.Uint64(super[4:])); got != capacity {
+		return nil, fmt.Errorf("diskservice: superblock capacity %d does not match disk %d", got, capacity)
+	}
+	raw, err := s.readMeta(1, bitmapFragments(capacity))
+	if err != nil {
+		return nil, fmt.Errorf("diskservice: reading bitmap: %w", err)
+	}
+	words := make([]uint64, (capacity+63)/64)
+	for i := range words {
+		words[i] = binary.BigEndian.Uint64(raw[i*8:])
+	}
+	if err := s.fsmap.LoadBitmap(words); err != nil {
+		return nil, fmt.Errorf("diskservice: loading bitmap: %w", err)
+	}
+	return s, nil
+}
+
+// readMeta reads metadata fragments from the disk, falling back to the
+// stable mirror on a media error.
+func (s *Server) readMeta(start, n int) ([]byte, error) {
+	data, err := s.disk.ReadFragments(start, n)
+	if err == nil {
+		return data, nil
+	}
+	if !errors.Is(err, device.ErrMediaError) {
+		return nil, err
+	}
+	return s.stable.Read(start, n)
+}
+
+func newServer(cfg Config) (*Server, error) {
+	if cfg.Disk == nil {
+		return nil, errors.New("diskservice: nil disk")
+	}
+	if cfg.Stable == nil {
+		return nil, errors.New("diskservice: nil stable store")
+	}
+	capacity := cfg.Disk.Geometry().Capacity()
+	if cfg.Stable.Capacity() != capacity {
+		return nil, fmt.Errorf("diskservice: stable capacity %d does not mirror disk capacity %d",
+			cfg.Stable.Capacity(), capacity)
+	}
+	fsmap, err := freespace.NewMap(capacity)
+	if err != nil {
+		return nil, err
+	}
+	tracks := cfg.TrackCacheTracks
+	if tracks <= 0 {
+		tracks = 16
+	}
+	tc, err := cache.New(cache.Config[int]{
+		Capacity:    tracks,
+		Policy:      cache.DelayedWrite, // the track cache is read-only; never dirty
+		Metrics:     cfg.Metrics,
+		HitCounter:  metrics.TrackCacheHit,
+		MissCounter: metrics.TrackCacheMiss,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		id:         cfg.DiskID,
+		disk:       cfg.Disk,
+		stable:     cfg.Stable,
+		met:        cfg.Metrics,
+		readAhead:  !cfg.DisableReadAhead,
+		fsmap:      fsmap,
+		trackCache: tc,
+	}, nil
+}
+
+func bitmapFragments(capacity int) int {
+	bytes := ((capacity + 63) / 64) * 8
+	return (bytes + FragmentSize - 1) / FragmentSize
+}
+
+// ID returns the disk identifier.
+func (s *Server) ID() int { return s.id }
+
+// Capacity returns the disk size in fragments.
+func (s *Server) Capacity() int { return s.disk.Geometry().Capacity() }
+
+// FreeFragments returns the number of free fragments.
+func (s *Server) FreeFragments() int { return s.fsmap.FreeCount() }
+
+// LargestRun returns the longest contiguous free run, in fragments.
+func (s *Server) LargestRun() int { return s.fsmap.LargestRun() }
+
+// FreeSpaceStats exposes the allocator's work counters (experiment E4).
+func (s *Server) FreeSpaceStats() freespace.Stats { return s.fsmap.Stats() }
+
+func (s *Server) checkOpen() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// AllocateFragments claims n contiguous fragments and returns the address of
+// the first (allocate-block for fragment-granularity callers, used for file
+// index tables and other structural data).
+func (s *Server) AllocateFragments(n int) (int, error) {
+	if err := s.checkOpen(); err != nil {
+		return 0, err
+	}
+	return s.fsmap.Allocate(n)
+}
+
+// AllocateFragmentsNear is AllocateFragments preferring addresses close to
+// hint — used to place a file's first data block next to its FIT (§5).
+func (s *Server) AllocateFragmentsNear(hint, n int) (int, error) {
+	if err := s.checkOpen(); err != nil {
+		return 0, err
+	}
+	return s.fsmap.AllocateNear(hint, n)
+}
+
+// AllocateBlocks claims n contiguous blocks (4n fragments) and returns the
+// fragment address of the first — the paper's allocate-block.
+func (s *Server) AllocateBlocks(n int) (int, error) {
+	return s.AllocateFragments(n * FragmentsPerBlock)
+}
+
+// AllocateBlocksNear is AllocateBlocks with a placement hint.
+func (s *Server) AllocateBlocksNear(hint, n int) (int, error) {
+	return s.AllocateFragmentsNear(hint, n*FragmentsPerBlock)
+}
+
+// ResetBitmap discards all allocations except the metadata region. It is
+// used by the file service's mount-time reconstruction: after a crash the
+// persisted bitmap may be stale, so the authoritative allocation state is
+// rebuilt from the persisted file index tables, exactly as the paper's
+// "initialization and subsequent updation of this array is carried out by
+// scanning the bitmap" extends to rebuilding the bitmap from the structures
+// it protects.
+func (s *Server) ResetBitmap() error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	capacity := s.Capacity()
+	fsmap, err := freespace.NewMap(capacity)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.fsmap = fsmap
+	meta := s.metaFrags
+	s.mu.Unlock()
+	if meta > 0 {
+		return s.fsmap.AllocateAt(0, meta)
+	}
+	return nil
+}
+
+// AllocateAt claims the exact span [addr, addr+n) — used by layers above
+// for fixed structures like the file service's superfragment.
+func (s *Server) AllocateAt(addr, n int) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	return s.fsmap.AllocateAt(addr, n)
+}
+
+// AllocateFirstFit is the baseline allocator (experiment E4 ablation).
+func (s *Server) AllocateFirstFit(n int) (int, error) {
+	if err := s.checkOpen(); err != nil {
+		return 0, err
+	}
+	return s.fsmap.AllocateFirstFit(n)
+}
+
+// Free returns n fragments starting at addr to the free pool — the paper's
+// free-block, for any mix of blocks and fragments.
+func (s *Server) Free(addr, n int) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	return s.fsmap.Free(addr, n)
+}
+
+// Get is the paper's get-block: it reads n contiguous fragments starting at
+// addr in one disk reference. By default data comes from main storage, with
+// the track read-ahead cache consulted first; with FromStable it comes from
+// the stable mirror.
+func (s *Server) Get(addr, n int, opts GetOptions) ([]byte, error) {
+	if err := s.checkOpen(); err != nil {
+		return nil, err
+	}
+	if opts.FromStable {
+		return s.stable.Read(addr, n)
+	}
+	geom := s.disk.Geometry()
+	if n <= 0 || addr < 0 || addr+n > geom.Capacity() {
+		return nil, fmt.Errorf("%w: [%d,%d)", device.ErrOutOfRange, addr, addr+n)
+	}
+	if !s.readAhead || opts.NoReadAhead {
+		return s.disk.ReadFragments(addr, n)
+	}
+	firstTrack := geom.Track(addr)
+	lastTrack := geom.Track(addr + n - 1)
+	if firstTrack != lastTrack {
+		// Multi-track transfers bypass the track cache: they are one disk
+		// reference already and would otherwise flood the cache.
+		return s.disk.ReadFragments(addr, n)
+	}
+	off := (addr - geom.TrackStart(firstTrack)) * FragmentSize
+	if data, ok := s.trackCache.Get(firstTrack); ok {
+		return data[off : off+n*FragmentSize : off+n*FragmentSize], nil
+	}
+	// Miss: fetch the whole track in one reference, serve the requested
+	// fragments, cache the rest (§4).
+	trackData, _, err := s.disk.ReadTrack(addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.trackCache.Put(firstTrack, trackData, false); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n*FragmentSize)
+	copy(out, trackData[off:])
+	return out, nil
+}
+
+// Put is the paper's put-block: it writes data (a whole number of fragments)
+// at addr in one disk reference per destination. opts.Stability selects main
+// storage, stable storage, or both; opts.WaitStable selects whether the call
+// waits for the stable copy.
+func (s *Server) Put(addr int, data []byte, opts PutOptions) error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	st := opts.Stability
+	if st == 0 {
+		st = MainOnly
+	}
+	if st == MainOnly || st == MainAndStable {
+		if err := s.disk.WriteFragments(addr, data); err != nil {
+			return err
+		}
+		s.updateTrackCache(addr, data)
+	}
+	if st == StableOnly || st == MainAndStable {
+		if opts.WaitStable {
+			if err := s.stable.Write(addr, data); err != nil {
+				return err
+			}
+		} else {
+			if err := s.stable.WriteDeferred(addr, data); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// updateTrackCache keeps cached tracks coherent with a main-storage write.
+func (s *Server) updateTrackCache(addr int, data []byte) {
+	geom := s.disk.Geometry()
+	n := len(data) / FragmentSize
+	for frag := addr; frag < addr+n; {
+		track := geom.Track(frag)
+		trackStart := geom.TrackStart(track)
+		trackEnd := trackStart + geom.FragmentsPerTrack
+		spanEnd := addr + n
+		if spanEnd > trackEnd {
+			spanEnd = trackEnd
+		}
+		if cached, ok := s.trackCache.Get(track); ok {
+			copy(cached[(frag-trackStart)*FragmentSize:], data[(frag-addr)*FragmentSize:(spanEnd-addr)*FragmentSize])
+			// Re-put clean: the platter already has the data.
+			if err := s.trackCache.Put(track, cached, false); err != nil {
+				s.trackCache.Invalidate(track)
+			}
+		}
+		frag = spanEnd
+	}
+}
+
+// Flush is the paper's flush-block: it makes all buffered state durable —
+// deferred stable writes are drained and the bitmap is persisted to the disk
+// and its stable mirror.
+func (s *Server) Flush() error {
+	if err := s.checkOpen(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persistMetadataLocked()
+}
+
+func (s *Server) persistMetadataLocked() error {
+	super := make([]byte, FragmentSize)
+	binary.BigEndian.PutUint32(super, superMagic)
+	binary.BigEndian.PutUint64(super[4:], uint64(s.Capacity()))
+	words := s.fsmap.Bitmap()
+	raw := make([]byte, bitmapFragments(s.Capacity())*FragmentSize)
+	for i, w := range words {
+		binary.BigEndian.PutUint64(raw[i*8:], w)
+	}
+	// Vital structural information: original location and stable storage
+	// (the file-index-table flavour of put-block).
+	if err := s.disk.WriteFragments(0, super); err != nil {
+		return fmt.Errorf("diskservice: writing superblock: %w", err)
+	}
+	if err := s.disk.WriteFragments(1, raw); err != nil {
+		return fmt.Errorf("diskservice: writing bitmap: %w", err)
+	}
+	if err := s.stable.Write(0, super); err != nil {
+		return err
+	}
+	if err := s.stable.Write(1, raw); err != nil {
+		return err
+	}
+	if err := s.stable.Flush(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// InvalidateCache empties the track cache (used by experiments to force cold
+// reads).
+func (s *Server) InvalidateCache() { s.trackCache.InvalidateAll() }
+
+// Close flushes metadata and marks the server closed. The stable store is
+// not closed; its owner closes it.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.persistMetadataLocked()
+	s.closed = true
+	s.mu.Unlock()
+	return err
+}
+
+// MetadataFragments returns the size of the reserved metadata region, i.e.
+// the first allocatable address (diagnostic; used by fsck and tests).
+func (s *Server) MetadataFragments() int { return s.metaFrags }

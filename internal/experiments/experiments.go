@@ -1,0 +1,130 @@
+// Package experiments implements the reproduction harness: one runner per
+// experiment in DESIGN.md's per-experiment index (E1–E14 plus Table 1),
+// each returning a rendered table with the same rows the paper's claims are
+// stated in — disk references, cache hits, committed transactions, commit
+// I/O, recovery outcomes.
+//
+// The runners are invoked by the root benchmarks (bench_test.go) and by
+// cmd/rhodos-bench, which prints the full report used to fill
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is one experiment's result table.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper claim under test
+	Columns []string
+	Rows    [][]string
+	// Notes records the expected shape and whether it held.
+	Notes []string
+}
+
+// AddRow appends a row, formatting each value.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", x)
+		case time.Duration:
+			row[i] = fmtDuration(x)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	}
+}
+
+// Render writes the table in aligned text form.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Runner is one experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func() (*Table, error)
+}
+
+// All returns every experiment in order.
+func All() []Runner {
+	return []Runner{
+		{"T1", "Lock compatibility (Table 1)", T1LockMatrix},
+		{"E1", "Disk references vs file size", E1DiskReferences},
+		{"E2", "Contiguous transfer in one operation", E2ContiguousTransfer},
+		{"E3", "Fragments vs blocks for structural data", E3FragmentsVsBlocks},
+		{"E4", "Free-space run table vs first-fit scan", E4FreeSpaceTable},
+		{"E5", "Track read-ahead cache", E5TrackReadahead},
+		{"E6", "Multi-level caching", E6CacheLevels},
+		{"E7", "Locking granularity", E7LockGranularity},
+		{"E8", "WAL vs shadow-page commit", E8WalVsShadow},
+		{"E9", "Deadlock resolution by LT timeout", E9DeadlockTimeout},
+		{"E10", "Crash recovery", E10CrashRecovery},
+		{"E11", "Dynamic FIT placement", E11FitPlacement},
+		{"E12", "Split lock tables", E12SplitLockTables},
+		{"E13", "Idempotent message semantics", E13Idempotency},
+		{"E14", "File striping across disks", E14Striping},
+		{"E15", "Replication failover and resync", E15Replication},
+	}
+}

@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a table cell as an integer.
+func cell(t *testing.T, tbl *Table, row, col int) int {
+	t.Helper()
+	v, err := strconv.Atoi(strings.TrimSpace(tbl.Rows[row][col]))
+	if err != nil {
+		t.Fatalf("%s row %d col %d = %q: %v", tbl.ID, row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(tbl.Rows[row][col]), 64)
+	if err != nil {
+		t.Fatalf("%s row %d col %d = %q: %v", tbl.ID, row, col, tbl.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestAllRunnersListed(t *testing.T) {
+	runners := All()
+	if len(runners) != 16 {
+		t.Fatalf("All() = %d runners, want 16 (T1 + E1..E15)", len(runners))
+	}
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if seen[r.ID] {
+			t.Fatalf("duplicate runner %s", r.ID)
+		}
+		seen[r.ID] = true
+		if r.Run == nil {
+			t.Fatalf("%s has no Run", r.ID)
+		}
+	}
+}
+
+func TestT1MatchesPaperTable(t *testing.T) {
+	tbl, err := T1LockMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows: none, read-only, Iread, Iwrite.
+	want := [][]string{
+		{"none", "ok", "ok", "ok"},
+		{"read-only", "ok", "ok", "wait"},
+		{"Iread", "wait", "wait", "wait"},
+		{"Iwrite", "wait", "wait", "wait"},
+	}
+	if len(tbl.Rows) != len(want) {
+		t.Fatalf("T1 rows = %d", len(tbl.Rows))
+	}
+	for i, w := range want {
+		for j, cell := range w {
+			if tbl.Rows[i][j] != cell {
+				t.Fatalf("T1[%d][%d] = %q, want %q", i, j, tbl.Rows[i][j], cell)
+			}
+		}
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	tbl, err := E1DiskReferences()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	// Files <= 512KB (rows 0..3): RHODOS refs <= 2.
+	for row := 0; row <= 3; row++ {
+		if refs := cell(t, tbl, row, 1); refs > 2 {
+			t.Errorf("E1 %s: RHODOS refs = %d, want <= 2", tbl.Rows[row][0], refs)
+		}
+	}
+	// At every size, RHODOS needs fewer references than unixfs.
+	for row := range tbl.Rows {
+		if cell(t, tbl, row, 1) >= cell(t, tbl, row, 2) {
+			t.Errorf("E1 %s: RHODOS %d >= unixfs %d", tbl.Rows[row][0],
+				cell(t, tbl, row, 1), cell(t, tbl, row, 2))
+		}
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tbl, err := E2ContiguousTransfer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	for row := range tbl.Rows {
+		blocks := cell(t, tbl, row, 0)
+		if with := cell(t, tbl, row, 1); with != 1 {
+			t.Errorf("E2 %d blocks: with-count ops = %d, want 1", blocks, with)
+		}
+		if per := cell(t, tbl, row, 2); per != blocks {
+			t.Errorf("E2 %d blocks: per-block ops = %d, want %d", blocks, per, blocks)
+		}
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tbl, err := E3FragmentsVsBlocks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	frag := cell(t, tbl, 0, 1)
+	block := cell(t, tbl, 1, 1)
+	if block != 4*frag {
+		t.Errorf("E3: block metadata %d, fragment %d; want exactly 4x", block, frag)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tbl, err := E4FreeSpaceTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	tableWords := cellFloat(t, tbl, 0, 3)
+	ffWords := cellFloat(t, tbl, 1, 3)
+	if tableWords >= ffWords {
+		t.Errorf("E4: run table scanned %.1f words/alloc, first-fit %.1f; table must scan fewer",
+			tableWords, ffWords)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tbl, err := E5TrackReadahead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	// Row 0: sequential + readahead on; row 1: sequential + off.
+	seqOn := cell(t, tbl, 0, 2)
+	seqOff := cell(t, tbl, 1, 2)
+	if seqOn*4 > seqOff {
+		t.Errorf("E5 sequential: on=%d off=%d; read-ahead should cut refs by ~track size", seqOn, seqOff)
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tbl, err := E6CacheLevels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	full := cell(t, tbl, 0, 1)    // all caches
+	none := cell(t, tbl, 3, 1)    // no caches
+	bulletN := cell(t, tbl, 4, 1) // bullet
+	if full >= none {
+		t.Errorf("E6: full caching %d refs >= no caching %d", full, none)
+	}
+	if full >= bulletN {
+		t.Errorf("E6: full caching %d refs >= bullet %d", full, bulletN)
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tbl, err := E8WalVsShadow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	walExt := cell(t, tbl, 0, 1)
+	shadowExt := cell(t, tbl, 1, 1)
+	ruleExt := cell(t, tbl, 2, 1)
+	if walExt != 1 {
+		t.Errorf("E8: WAL left %d extents, want 1 (contiguity preserved)", walExt)
+	}
+	if shadowExt <= walExt {
+		t.Errorf("E8: shadow %d extents <= WAL %d (must fragment)", shadowExt, walExt)
+	}
+	if ruleExt != 1 {
+		t.Errorf("E8: paper rule left %d extents, want 1", ruleExt)
+	}
+	// Shadow's re-read costs more references.
+	if cell(t, tbl, 1, 4) <= cell(t, tbl, 0, 4) {
+		t.Errorf("E8: shadow re-read refs %d <= WAL %d", cell(t, tbl, 1, 4), cell(t, tbl, 0, 4))
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	tbl, err := E10CrashRecovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	for row := range tbl.Rows {
+		committed := tbl.Rows[row][0]
+		verified := tbl.Rows[row][3]
+		if verified != committed+"/"+committed {
+			t.Errorf("E10 row %d: verified %s of %s committed", row, verified, committed)
+		}
+		if leaked := cell(t, tbl, row, 4); leaked != 0 {
+			t.Errorf("E10 row %d: %d tentative transactions leaked", row, leaked)
+		}
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	tbl, err := E11FitPlacement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	rhodosGap := cellFloat(t, tbl, 0, 1)
+	if rhodosGap != 0 {
+		t.Errorf("E11: mean FIT->data gap = %.2f, want 0 (adjacency)", rhodosGap)
+	}
+	if disp := cellFloat(t, tbl, 0, 3); disp == 0 {
+		t.Errorf("E11: FIT dispersion 0; FITs must spread over the disk")
+	}
+	if disp := cellFloat(t, tbl, 1, 3); disp != 0 {
+		t.Errorf("E11: fixed inode area dispersion = %.2f, want 0", disp)
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	tbl, err := E12SplitLockTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	split := cellFloat(t, tbl, 0, 4)
+	combined := cellFloat(t, tbl, 1, 4)
+	if split >= combined {
+		t.Errorf("E12: split %.1f records/search >= combined %.1f", split, combined)
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	tbl, err := E13Idempotency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	// Rows 0,1 (cache on): zero double effects.
+	for row := 0; row <= 1; row++ {
+		if d := cell(t, tbl, row, 6); d != 0 {
+			t.Errorf("E13 row %d: %d double effects with cache on", row, d)
+		}
+	}
+	// Row 2 (ablation): double effects appear.
+	if d := cell(t, tbl, 2, 6); d <= 0 {
+		t.Errorf("E13 ablation: %d double effects, want > 0", d)
+	}
+}
+
+func TestE14Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E14 moves 16MB x 4 configurations")
+	}
+	tbl, err := E14Striping()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	speedup8 := cellFloat(t, tbl, 3, 4)
+	if speedup8 < 2 {
+		t.Errorf("E14: 8-disk speedup = %.2f, want >= 2", speedup8)
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	tbl, err := E15Replication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	for row := range tbl.Rows {
+		if tbl.Rows[row][2] != "10/10" {
+			t.Errorf("E15 row %d: reads during outage = %s, want 10/10", row, tbl.Rows[row][2])
+		}
+		if tbl.Rows[row][3] != "10/10" {
+			t.Errorf("E15 row %d: writes during outage = %s, want 10/10", row, tbl.Rows[row][3])
+		}
+		if tbl.Rows[row][5] != "true" {
+			t.Errorf("E15 row %d: resync failed", row)
+		}
+	}
+}
+
+// The heavier concurrency experiments get smoke coverage: they must complete
+// and produce well-formed tables.
+func TestE7Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E7 runs 9 concurrency configurations")
+	}
+	tbl, err := E7LockGranularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("E7 rows = %d, want 9", len(tbl.Rows))
+	}
+	for row := range tbl.Rows {
+		if c := cell(t, tbl, row, 2); c <= 0 {
+			t.Errorf("E7 row %d committed %d", row, c)
+		}
+	}
+	// The concurrency shape (§6.1): at 16 workers, record-level commits
+	// strictly more than file-level, which serializes on the single file.
+	rec16 := cell(t, tbl, 2, 2)
+	file16 := cell(t, tbl, 8, 2)
+	if rec16 <= file16 {
+		t.Errorf("E7: record@16w committed %d <= file@16w %d", rec16, file16)
+	}
+}
+
+func TestE9Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E9 provokes deadlocks with sleeps")
+	}
+	tbl, err := E9DeadlockTimeout()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	for row := range tbl.Rows {
+		if tbl.Rows[row][4] != "true" {
+			t.Errorf("E9 row %d did not resolve", row)
+		}
+	}
+}
+
+// testWriter adapts t.Log for table rendering.
+type testWriter struct{ t *testing.T }
+
+func (w testWriter) Write(p []byte) (int, error) {
+	w.t.Log(string(p))
+	return len(p), nil
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/device"
+	"repro/internal/diskservice"
+	"repro/internal/fileservice"
+	"repro/internal/fit"
+	"repro/internal/metrics"
+	"repro/internal/replication"
+	"repro/internal/stable"
+)
+
+// E15Replication exercises the replication service of Figure 1 against the
+// §2.1 reliability goal ("must have the provision to support the concept of
+// file replication"): reads stay available through replica failures, writes
+// continue on the survivors, and repair resynchronizes exactly the stale
+// state.
+func E15Replication() (*Table, error) {
+	t := &Table{
+		ID:    "E15",
+		Title: "Replicated files through failure, outage writes, and repair",
+		Claim: "read-one/write-all: no read unavailability below full failure; repair resyncs stale replicas",
+		Columns: []string{"replicas", "failed", "reads ok during outage", "writes ok during outage",
+			"stale pairs", "resync ok"},
+	}
+	for _, cfg := range []struct{ replicas, fail int }{{2, 1}, {3, 1}, {3, 2}} {
+		row, err := e15Run(cfg.replicas, cfg.fail)
+		if err != nil {
+			return nil, fmt.Errorf("E15 %d/%d: %w", cfg.replicas, cfg.fail, err)
+		}
+		t.AddRow(cfg.replicas, cfg.fail, row.readsOK, row.writesOK, row.stale, row.resyncOK)
+	}
+	t.Notes = append(t.Notes,
+		"every row keeps full availability while at least one replica survives (§2.1)")
+	return t, nil
+}
+
+type e15Result struct {
+	readsOK, writesOK string
+	stale             int
+	resyncOK          bool
+}
+
+func e15Run(replicas, fail int) (e15Result, error) {
+	g := device.Geometry{FragmentsPerTrack: 32, Tracks: 256}
+	met := metrics.NewSet()
+	var svcs []*fileservice.Service
+	var devs []*device.Disk
+	var stores []*stable.Store
+	defer func() {
+		for _, st := range stores {
+			_ = st.Close()
+		}
+	}()
+	for i := 0; i < replicas; i++ {
+		d, err := device.New(g, device.WithMetrics(met))
+		if err != nil {
+			return e15Result{}, err
+		}
+		sp, err := device.New(g)
+		if err != nil {
+			return e15Result{}, err
+		}
+		sm, err := device.New(g)
+		if err != nil {
+			return e15Result{}, err
+		}
+		st, err := stable.NewStore(sp, sm)
+		if err != nil {
+			return e15Result{}, err
+		}
+		stores = append(stores, st)
+		srv, err := diskservice.Format(diskservice.Config{DiskID: i, Disk: d, Stable: st, Metrics: met})
+		if err != nil {
+			return e15Result{}, err
+		}
+		fs, err := fileservice.New(fileservice.Config{Disks: []*diskservice.Server{srv}, Metrics: met})
+		if err != nil {
+			return e15Result{}, err
+		}
+		svcs = append(svcs, fs)
+		devs = append(devs, d)
+	}
+	mgr, err := replication.NewManager(svcs)
+	if err != nil {
+		return e15Result{}, err
+	}
+	const files = 10
+	type entry struct {
+		id   replication.RepID
+		data []byte
+	}
+	rng := rand.New(rand.NewSource(int64(replicas*10 + fail)))
+	var all []entry
+	for i := 0; i < files; i++ {
+		id, err := mgr.Create(fit.Attributes{})
+		if err != nil {
+			return e15Result{}, err
+		}
+		data := make([]byte, 1000+rng.Intn(30000))
+		rng.Read(data)
+		if _, err := mgr.WriteAt(id, 0, data); err != nil {
+			return e15Result{}, err
+		}
+		all = append(all, entry{id, data})
+	}
+	// Fail replicas.
+	for i := 0; i < fail; i++ {
+		svcs[i].InvalidateCaches()
+		devs[i].Fail()
+	}
+	readsOK, writesOK := 0, 0
+	for i := range all {
+		got, err := mgr.ReadAt(all[i].id, 0, len(all[i].data))
+		if err == nil && bytes.Equal(got, all[i].data) {
+			readsOK++
+		}
+		update := make([]byte, 500)
+		rng.Read(update)
+		if _, err := mgr.WriteAt(all[i].id, 0, update); err == nil {
+			copy(all[i].data, update)
+			writesOK++
+		}
+	}
+	stale := mgr.StaleCount()
+	// Repair.
+	resyncOK := true
+	for i := 0; i < fail; i++ {
+		devs[i].Repair()
+		if err := mgr.Repair(i); err != nil {
+			resyncOK = false
+			break
+		}
+	}
+	if resyncOK {
+		for i := range all {
+			for r := 0; r < fail; r++ {
+				fid, err := mgr.ReplicaFileID(all[i].id, r)
+				if err != nil {
+					resyncOK = false
+					break
+				}
+				got, err := svcs[r].ReadAt(fid, 0, len(all[i].data))
+				if err != nil || !bytes.Equal(got, all[i].data) {
+					resyncOK = false
+					break
+				}
+			}
+		}
+	}
+	return e15Result{
+		readsOK:  fmt.Sprintf("%d/%d", readsOK, files),
+		writesOK: fmt.Sprintf("%d/%d", writesOK, files),
+		stale:    stale,
+		resyncOK: resyncOK,
+	}, nil
+}

@@ -1,0 +1,114 @@
+package fileservice
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/diskservice"
+	"repro/internal/fit"
+	"repro/internal/stable"
+)
+
+// benchService builds a file service without a testing.T (benchmarks).
+func benchService(b *testing.B, disks int) *Service {
+	b.Helper()
+	g := device.Geometry{FragmentsPerTrack: 32, Tracks: 2048}
+	var srvs []*diskservice.Server
+	for i := 0; i < disks; i++ {
+		d, err := device.New(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp, _ := device.New(g)
+		sm, _ := device.New(g)
+		st, err := stable.NewStore(sp, sm)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { _ = st.Close() })
+		srv, err := diskservice.Format(diskservice.Config{DiskID: i, Disk: d, Stable: st})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srvs = append(srvs, srv)
+	}
+	svc, err := New(Config{Disks: srvs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return svc
+}
+
+func BenchmarkWriteAt8KB(b *testing.B) {
+	svc := benchService(b, 1)
+	id, err := svc.Create(fit.Attributes{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, BlockSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.WriteAt(id, int64(i%128)*BlockSize, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(BlockSize)
+}
+
+func BenchmarkReadAtCached8KB(b *testing.B) {
+	svc := benchService(b, 1)
+	id, err := svc.Create(fit.Attributes{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.WriteAt(id, 0, make([]byte, 64*BlockSize)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.ReadAt(id, int64(i%64)*BlockSize, BlockSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(BlockSize)
+}
+
+func BenchmarkReadAtCold512KB(b *testing.B) {
+	svc := benchService(b, 1)
+	id, err := svc.Create(fit.Attributes{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 512<<10)
+	rand.New(rand.NewSource(1)).Read(data)
+	if _, err := svc.WriteAt(id, 0, data); err != nil {
+		b.Fatal(err)
+	}
+	if err := svc.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc.InvalidateCaches()
+		svc.DropFITCache()
+		if _, err := svc.ReadAt(id, 0, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(512 << 10)
+}
+
+func BenchmarkCreateDelete(b *testing.B) {
+	svc := benchService(b, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := svc.Create(fit.Attributes{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := svc.Delete(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package fileservice
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fit"
+)
+
+func TestCheckCleanService(t *testing.T) {
+	r := newRig(t, 2)
+	for i := 0; i < 10; i++ {
+		id, err := r.svc.Create(fit.Attributes{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.svc.WriteAt(id, 0, payload(1+i*3000, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := r.svc.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("clean service has problems: %v", rep.Problems)
+	}
+	if rep.Files != 10 {
+		t.Fatalf("Files = %d, want 10", rep.Files)
+	}
+	if rep.Blocks == 0 || rep.UsedFragments == 0 {
+		t.Fatalf("Blocks=%d UsedFragments=%d", rep.Blocks, rep.UsedFragments)
+	}
+}
+
+func TestCheckAfterMountAndDeletes(t *testing.T) {
+	r := newRig(t, 1)
+	var ids []FileID
+	for i := 0; i < 8; i++ {
+		id, err := r.svc.Create(fit.Attributes{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.svc.WriteAt(id, 0, payload(5000, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids[:4] {
+		if err := r.svc.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.svc.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := Mount(Config{Disks: r.disks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := svc2.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("post-mount check: %v", rep.Problems)
+	}
+	if rep.Files != 4 {
+		t.Fatalf("Files = %d, want 4", rep.Files)
+	}
+}
+
+func TestCheckDetectsCrossLinkedFiles(t *testing.T) {
+	r := newRig(t, 1)
+	a, err := r.svc.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.WriteAt(a, 0, payload(3*BlockSize, 1)); err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.svc.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.WriteAt(b, 0, payload(BlockSize, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt in memory: point file b's extent into file a's data.
+	extsA, err := r.svc.Extents(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.svc.mu.Lock()
+	stB := r.svc.files[b]
+	stB.extents = fit.NewExtentMap([]fit.Extent{{Disk: extsA[0].Disk, Addr: extsA[0].Addr, Count: 1}})
+	r.svc.mu.Unlock()
+	rep, err := r.svc.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("cross-linked extents not detected")
+	}
+	found := false
+	for _, p := range rep.Problems {
+		if strings.Contains(p, "claimed by file") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("problems = %v, want a cross-link report", rep.Problems)
+	}
+}
+
+func TestCheckDetectsOutOfBoundsExtent(t *testing.T) {
+	r := newRig(t, 1)
+	id, err := r.svc.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.WriteAt(id, 0, payload(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	r.svc.mu.Lock()
+	st := r.svc.files[id]
+	st.extents = fit.NewExtentMap([]fit.Extent{{Disk: 0, Addr: 1 << 30, Count: 1}})
+	r.svc.mu.Unlock()
+	rep, err := r.svc.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("out-of-bounds extent not detected")
+	}
+}
+
+func TestCheckDetectsSizeBeyondBlocks(t *testing.T) {
+	r := newRig(t, 1)
+	id, err := r.svc.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.WriteAt(id, 0, payload(100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	r.svc.mu.Lock()
+	r.svc.files[id].attr.Size = 1 << 40
+	r.svc.mu.Unlock()
+	rep, err := r.svc.Check()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ok() {
+		t.Fatal("oversized attribute not detected")
+	}
+}

@@ -1,0 +1,250 @@
+package fileservice
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/diskservice"
+)
+
+// The file map — system name → FIT location — is vital structural
+// information. It is persisted as a chain of fragments starting from the
+// service superfragment (a fixed address on disk 0), each written to its
+// original location and to stable storage.
+
+// fitLocation is where a file's index table lives.
+type fitLocation struct {
+	Disk uint16
+	Addr uint32
+}
+
+const (
+	superMagic = 0x52464D31 // "RFM1"
+	chainMagic = 0x52464D32
+
+	// superfragment layout: magic(4) crc(4) nextID(8) headDisk(2)
+	// headAddr(4) headValid(1) count(2) entries...
+	superHeader = 4 + 4 + 8 + 2 + 4 + 1 + 2
+	// chain fragment layout: magic(4) crc(4) nextDisk(2) nextAddr(4)
+	// nextValid(1) count(2) entries...
+	chainHeader = 4 + 4 + 2 + 4 + 1 + 2
+	entrySize   = 8 + 2 + 4 // id, disk, addr
+)
+
+var errMapCorrupt = errors.New("fileservice: corrupt file map")
+
+// entriesPerSuper and entriesPerChain are how many map entries fit in each
+// fragment kind.
+var (
+	entriesPerSuper = (FragmentSize - superHeader) / entrySize
+	entriesPerChain = (FragmentSize - chainHeader) / entrySize
+)
+
+// persistMapLocked serializes the file map into the superfragment plus a
+// freshly allocated chain, freeing the previous chain. Callers must hold
+// s.mu.
+func (s *Service) persistMapLocked() error {
+	// Gather entries deterministically (order does not matter for
+	// correctness; keep map iteration as-is).
+	type entry struct {
+		id  FileID
+		loc fitLocation
+	}
+	entries := make([]entry, 0, len(s.fileMap))
+	for id, loc := range s.fileMap {
+		entries = append(entries, entry{id, loc})
+	}
+
+	// Free the old chain first (walk it from the current on-disk super).
+	if err := s.freeOldChainLocked(); err != nil {
+		return err
+	}
+
+	// Build chain fragments for the overflow beyond the superfragment.
+	overflow := 0
+	if len(entries) > entriesPerSuper {
+		overflow = len(entries) - entriesPerSuper
+	}
+	nChain := 0
+	if overflow > 0 {
+		nChain = (overflow + entriesPerChain - 1) / entriesPerChain
+	}
+	chainAddrs := make([]fitLocation, nChain)
+	for i := range chainAddrs {
+		disk := s.pickDiskLocked(1)
+		if disk < 0 {
+			return ErrNoSpace
+		}
+		addr, err := s.disks[disk].AllocateFragments(1)
+		if err != nil {
+			return fmt.Errorf("fileservice: allocating file-map fragment: %w", err)
+		}
+		chainAddrs[i] = fitLocation{Disk: uint16(disk), Addr: uint32(addr)}
+	}
+
+	put := func(disk int, addr int, frag []byte) error {
+		return s.disks[disk].Put(addr, frag, diskservice.PutOptions{
+			Stability: diskservice.MainAndStable, WaitStable: true,
+		})
+	}
+
+	// Write chain fragments back to front so each can point at its
+	// successor.
+	for i := nChain - 1; i >= 0; i-- {
+		lo := entriesPerSuper + i*entriesPerChain
+		hi := lo + entriesPerChain
+		if hi > len(entries) {
+			hi = len(entries)
+		}
+		frag := make([]byte, FragmentSize)
+		binary.BigEndian.PutUint32(frag[0:], chainMagic)
+		off := 8
+		if i+1 < nChain {
+			binary.BigEndian.PutUint16(frag[off:], chainAddrs[i+1].Disk)
+			binary.BigEndian.PutUint32(frag[off+2:], chainAddrs[i+1].Addr)
+			frag[off+6] = 1
+		}
+		off += 7
+		binary.BigEndian.PutUint16(frag[off:], uint16(hi-lo))
+		off += 2
+		for _, e := range entries[lo:hi] {
+			binary.BigEndian.PutUint64(frag[off:], uint64(e.id))
+			binary.BigEndian.PutUint16(frag[off+8:], e.loc.Disk)
+			binary.BigEndian.PutUint32(frag[off+10:], e.loc.Addr)
+			off += entrySize
+		}
+		binary.BigEndian.PutUint32(frag[4:], fragCRC(frag))
+		if err := put(int(chainAddrs[i].Disk), int(chainAddrs[i].Addr), frag); err != nil {
+			return err
+		}
+	}
+
+	// Superfragment.
+	frag := make([]byte, FragmentSize)
+	binary.BigEndian.PutUint32(frag[0:], superMagic)
+	binary.BigEndian.PutUint64(frag[8:], uint64(s.nextID))
+	if nChain > 0 {
+		binary.BigEndian.PutUint16(frag[16:], chainAddrs[0].Disk)
+		binary.BigEndian.PutUint32(frag[18:], chainAddrs[0].Addr)
+		frag[22] = 1
+	}
+	n := len(entries)
+	if n > entriesPerSuper {
+		n = entriesPerSuper
+	}
+	binary.BigEndian.PutUint16(frag[23:], uint16(n))
+	off := superHeader
+	for _, e := range entries[:n] {
+		binary.BigEndian.PutUint64(frag[off:], uint64(e.id))
+		binary.BigEndian.PutUint16(frag[off+8:], e.loc.Disk)
+		binary.BigEndian.PutUint32(frag[off+10:], e.loc.Addr)
+		off += entrySize
+	}
+	binary.BigEndian.PutUint32(frag[4:], fragCRC(frag))
+	return put(0, s.superAddr(), frag)
+}
+
+// freeOldChainLocked walks the persisted chain and frees its fragments.
+func (s *Service) freeOldChainLocked() error {
+	frag, err := s.readVital(0, s.superAddr())
+	if err != nil {
+		return nil // nothing persisted yet (fresh New)
+	}
+	if binary.BigEndian.Uint32(frag[0:]) != superMagic || binary.BigEndian.Uint32(frag[4:]) != fragCRC(frag) {
+		return nil
+	}
+	valid := frag[22] == 1
+	next := fitLocation{
+		Disk: binary.BigEndian.Uint16(frag[16:]),
+		Addr: binary.BigEndian.Uint32(frag[18:]),
+	}
+	for valid {
+		cf, err := s.readVital(int(next.Disk), int(next.Addr))
+		if err != nil {
+			return fmt.Errorf("fileservice: reading file-map chain: %w", err)
+		}
+		if binary.BigEndian.Uint32(cf[0:]) != chainMagic || binary.BigEndian.Uint32(cf[4:]) != fragCRC(cf) {
+			return fmt.Errorf("%w: chain fragment at %d/%d", errMapCorrupt, next.Disk, next.Addr)
+		}
+		if err := s.disks[next.Disk].Free(int(next.Addr), 1); err != nil {
+			return err
+		}
+		valid = cf[14] == 1
+		next = fitLocation{
+			Disk: binary.BigEndian.Uint16(cf[8:]),
+			Addr: binary.BigEndian.Uint32(cf[10:]),
+		}
+	}
+	return nil
+}
+
+// loadMapLocked reads the file map from the superfragment and chain.
+func (s *Service) loadMapLocked() error {
+	frag, err := s.readVital(0, s.superAddr())
+	if err != nil {
+		return fmt.Errorf("fileservice: reading superfragment: %w", err)
+	}
+	if binary.BigEndian.Uint32(frag[0:]) != superMagic {
+		return fmt.Errorf("%w: bad super magic", errMapCorrupt)
+	}
+	if binary.BigEndian.Uint32(frag[4:]) != fragCRC(frag) {
+		return fmt.Errorf("%w: super checksum", errMapCorrupt)
+	}
+	s.nextID = FileID(binary.BigEndian.Uint64(frag[8:]))
+	readEntries := func(b []byte, count int, off int) {
+		for i := 0; i < count; i++ {
+			id := FileID(binary.BigEndian.Uint64(b[off:]))
+			s.fileMap[id] = fitLocation{
+				Disk: binary.BigEndian.Uint16(b[off+8:]),
+				Addr: binary.BigEndian.Uint32(b[off+10:]),
+			}
+			off += entrySize
+		}
+	}
+	readEntries(frag, int(binary.BigEndian.Uint16(frag[23:])), superHeader)
+	s.mapChain = nil
+	valid := frag[22] == 1
+	next := fitLocation{
+		Disk: binary.BigEndian.Uint16(frag[16:]),
+		Addr: binary.BigEndian.Uint32(frag[18:]),
+	}
+	for valid {
+		s.mapChain = append(s.mapChain, next)
+		cf, err := s.readVital(int(next.Disk), int(next.Addr))
+		if err != nil {
+			return fmt.Errorf("fileservice: reading file-map chain: %w", err)
+		}
+		if binary.BigEndian.Uint32(cf[0:]) != chainMagic || binary.BigEndian.Uint32(cf[4:]) != fragCRC(cf) {
+			return fmt.Errorf("%w: chain fragment", errMapCorrupt)
+		}
+		readEntries(cf, int(binary.BigEndian.Uint16(cf[15:])), chainHeader)
+		valid = cf[14] == 1
+		next = fitLocation{
+			Disk: binary.BigEndian.Uint16(cf[8:]),
+			Addr: binary.BigEndian.Uint32(cf[10:]),
+		}
+	}
+	return nil
+}
+
+// readVital reads one fragment of vital structure, falling back to the
+// stable copy when the main copy is unreadable.
+func (s *Service) readVital(disk, addr int) ([]byte, error) {
+	data, err := s.disks[disk].Get(addr, 1, diskservice.GetOptions{NoReadAhead: true})
+	if err == nil {
+		return data, nil
+	}
+	return s.disks[disk].Get(addr, 1, diskservice.GetOptions{FromStable: true})
+}
+
+// fragCRC computes the fragment checksum with the CRC field zeroed.
+func fragCRC(frag []byte) uint32 {
+	h := crc32.NewIEEE()
+	h.Write(frag[:4])
+	var zero [4]byte
+	h.Write(zero[:])
+	h.Write(frag[8:])
+	return h.Sum32()
+}

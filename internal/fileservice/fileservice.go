@@ -1,0 +1,691 @@
+// Package fileservice implements the RHODOS basic file service (§5): a flat
+// service over mutable files, each described by a file index table (package
+// fit) whose block descriptors — with their two-byte contiguity counts — let
+// the service retrieve every contiguous run of disk blocks with one single
+// reference to the disk.
+//
+// Files are addressed by system name (FileID); attributed-name resolution is
+// the naming service's job (§3). Data location follows the paper's three
+// steps: the naming layer finds the file service, the service locates and
+// caches the file index table, then locates and caches the data blocks.
+//
+// Blocks of one file may live on different disk servers ("a file can be
+// partitioned and therefore its contents can reside on more than one disk",
+// §7); the striping policy chooses locality (fill near the FIT) or spread
+// (round-robin extents across disks).
+//
+// File index tables are created dynamically, adjacent to the file's first
+// data block when space permits (§5), and every FIT write goes to both its
+// original location and stable storage — it is vital structural information.
+// Data-block modifications follow the delayed-write policy for basic files
+// and write-through for transaction files (§5).
+package fileservice
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/diskservice"
+	"repro/internal/fit"
+	"repro/internal/metrics"
+)
+
+// FileID is a file's system name.
+type FileID uint64
+
+// Sizes re-exported for callers.
+const (
+	BlockSize         = diskservice.BlockSize
+	FragmentSize      = diskservice.FragmentSize
+	FragmentsPerBlock = diskservice.FragmentsPerBlock
+
+	// MaxSingleFetchBlocks caps how many contiguous blocks one get-block
+	// fetches: 64 blocks = 512 KB, the paper's direct-access guarantee (§5).
+	MaxSingleFetchBlocks = 64
+)
+
+// StripePolicy selects how new extents are placed across disk servers.
+type StripePolicy int
+
+const (
+	// Locality places data next to the file's FIT and previous extent,
+	// maximizing contiguity (the default).
+	Locality StripePolicy = iota + 1
+	// Spread round-robins extents across all disks, maximizing parallel
+	// bandwidth for large files (experiment E14).
+	Spread
+)
+
+// Errors.
+var (
+	ErrNotFound   = errors.New("fileservice: no such file")
+	ErrNotOpen    = errors.New("fileservice: file not open")
+	ErrNoSpace    = errors.New("fileservice: no space on any disk")
+	ErrBadOffset  = errors.New("fileservice: negative offset")
+	ErrFileBusy   = errors.New("fileservice: file is open")
+	ErrClosed     = errors.New("fileservice: service closed")
+	ErrBadRequest = errors.New("fileservice: bad request")
+)
+
+// blockKey identifies a cached data block by physical location.
+type blockKey struct {
+	disk int
+	addr int
+}
+
+// Config configures a Service.
+type Config struct {
+	// Disks are the disk servers the service stores data on. Disk IDs used
+	// in block descriptors are indexes into this slice. Required, non-empty.
+	Disks []*diskservice.Server
+	// Metrics receives cache and operation counters. Optional.
+	Metrics *metrics.Set
+	// CacheBlocks is the block-cache capacity in blocks; defaults to 256.
+	CacheBlocks int
+	// Stripe is the extent placement policy; defaults to Locality.
+	Stripe StripePolicy
+	// StripeUnitBlocks is the extent size used by the Spread policy;
+	// defaults to 8 blocks (64 KB).
+	StripeUnitBlocks int
+}
+
+// fileState is the in-memory state of one known file — the cached FIT plus
+// the decoded extent map.
+type fileState struct {
+	id       FileID
+	fitDisk  int
+	fitAddr  int
+	attr     fit.Attributes
+	extents  *fit.ExtentMap
+	indirect []fit.Extent // locations of indirect blocks
+	refCount int
+	fitDirty bool
+	// reservedAddr is the fragment address of the data block reserved
+	// adjacent to the FIT at creation (-1 when absent or consumed).
+	reservedAddr int
+}
+
+// Service is a basic file service. It is safe for concurrent use.
+type Service struct {
+	disks      []*diskservice.Server
+	met        *metrics.Set
+	stripe     StripePolicy
+	stripeUnit int
+
+	mu         sync.Mutex
+	closed     bool
+	files      map[FileID]*fileState
+	fileMap    map[FileID]fitLocation
+	mapChain   []fitLocation // persisted file-map chain fragments
+	nextID     FileID
+	nextStripe int // round-robin cursor for Spread
+
+	blockCache *cache.Cache[blockKey]
+}
+
+// New creates a Service over freshly formatted disks, claiming its
+// superfragment on disk 0.
+func New(cfg Config) (*Service, error) {
+	s, err := newService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.disks[0].AllocateAt(s.superAddr(), 1); err != nil {
+		return nil, fmt.Errorf("fileservice: claiming superfragment: %w", err)
+	}
+	s.nextID = 1
+	if err := s.persistMapLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Mount opens a Service over previously used disks, loading the file map
+// and reconstructing each disk's free-space bitmap from the persisted file
+// index tables. The persisted bitmap can be stale after a crash (it is only
+// checkpointed at flush-block time), so the FITs — which are written through
+// to disk and stable storage on every structural change — are the
+// authoritative record of what is allocated.
+func Mount(cfg Config) (*Service, error) {
+	s, err := newService(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.loadMapLocked(); err != nil {
+		return nil, err
+	}
+	if err := s.rebuildBitmapsLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// rebuildBitmapsLocked resets every disk's allocation state and re-marks all
+// structures reachable from the file map: the superfragment, the map chain,
+// every FIT, indirect blocks, and every data extent.
+func (s *Service) rebuildBitmapsLocked() error {
+	for _, d := range s.disks {
+		if err := d.ResetBitmap(); err != nil {
+			return err
+		}
+	}
+	if err := s.disks[0].AllocateAt(s.superAddr(), 1); err != nil {
+		return fmt.Errorf("fileservice: remarking superfragment: %w", err)
+	}
+	for _, loc := range s.mapChain {
+		if err := s.disks[loc.Disk].AllocateAt(int(loc.Addr), 1); err != nil {
+			return fmt.Errorf("fileservice: remarking file-map chain: %w", err)
+		}
+	}
+	for id, loc := range s.fileMap {
+		st, err := s.loadFITLocked(id, loc)
+		if err != nil {
+			return fmt.Errorf("fileservice: rebuilding from FIT of file %d: %w", id, err)
+		}
+		if err := s.disks[loc.Disk].AllocateAt(int(loc.Addr), 1); err != nil {
+			return fmt.Errorf("fileservice: remarking FIT of file %d: %w", id, err)
+		}
+		for _, e := range st.indirect {
+			if err := s.disks[e.Disk].AllocateAt(int(e.Addr), FragmentsPerBlock); err != nil {
+				return fmt.Errorf("fileservice: remarking indirect block of file %d: %w", id, err)
+			}
+		}
+		for _, e := range st.extents.Extents() {
+			if err := s.disks[e.Disk].AllocateAt(int(e.Addr), int(e.Count)*FragmentsPerBlock); err != nil {
+				return fmt.Errorf("fileservice: remarking extent of file %d: %w", id, err)
+			}
+		}
+	}
+	return nil
+}
+
+func newService(cfg Config) (*Service, error) {
+	if len(cfg.Disks) == 0 {
+		return nil, errors.New("fileservice: no disks")
+	}
+	if len(cfg.Disks) > 1<<16 {
+		return nil, errors.New("fileservice: too many disks")
+	}
+	cb := cfg.CacheBlocks
+	if cb <= 0 {
+		cb = 256
+	}
+	stripe := cfg.Stripe
+	if stripe == 0 {
+		stripe = Locality
+	}
+	unit := cfg.StripeUnitBlocks
+	if unit <= 0 {
+		unit = 8
+	}
+	s := &Service{
+		disks:      cfg.Disks,
+		met:        cfg.Metrics,
+		stripe:     stripe,
+		stripeUnit: unit,
+		files:      make(map[FileID]*fileState),
+		fileMap:    make(map[FileID]fitLocation),
+	}
+	bc, err := cache.New(cache.Config[blockKey]{
+		Capacity: cb,
+		Policy:   cache.DelayedWrite,
+		Writeback: func(k blockKey, data []byte) error {
+			return s.disks[k.disk].Put(k.addr, data, diskservice.PutOptions{})
+		},
+		Metrics:     cfg.Metrics,
+		HitCounter:  metrics.ServerCacheHit,
+		MissCounter: metrics.ServerCacheMiss,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.blockCache = bc
+	return s, nil
+}
+
+// superAddr is the fixed fragment address of the service superfragment on
+// disk 0 — the first fragment after the disk service's metadata region.
+func (s *Service) superAddr() int { return s.disks[0].MetadataFragments() }
+
+// DiskServer returns disk server i (used by the transaction service for
+// shadow-page staging and by experiments).
+func (s *Service) DiskServer(i int) *diskservice.Server { return s.disks[i] }
+
+// DiskCount returns the number of disk servers.
+func (s *Service) DiskCount() int { return len(s.disks) }
+
+// Create makes a new empty file and returns its system name. The FIT is
+// created dynamically, and when space permits the fragment after it is
+// reserved so the first data block is contiguous with the FIT (§5).
+func (s *Service) Create(attr fit.Attributes) (FileID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if attr.Service == 0 {
+		attr.Service = fit.ServiceBasic
+	}
+	if attr.Created.IsZero() {
+		attr.Created = time.Now()
+	}
+	attr.Size = 0
+	attr.RefCount = 0
+
+	disk := s.pickDiskLocked(1 + FragmentsPerBlock)
+	if disk < 0 {
+		return 0, ErrNoSpace
+	}
+	// Try FIT + first data block in one contiguous claim.
+	fitAddr, reserved := -1, -1
+	if addr, err := s.disks[disk].AllocateFragments(1 + FragmentsPerBlock); err == nil {
+		fitAddr, reserved = addr, addr+1
+	} else {
+		addr, err := s.disks[disk].AllocateFragments(1)
+		if err != nil {
+			return 0, fmt.Errorf("fileservice: allocating FIT: %w", err)
+		}
+		fitAddr = addr
+	}
+
+	id := s.nextID
+	s.nextID++
+	st := &fileState{
+		id: id, fitDisk: disk, fitAddr: fitAddr,
+		attr: attr, extents: fit.NewExtentMap(nil), reservedAddr: reserved,
+	}
+	s.files[id] = st
+	s.fileMap[id] = fitLocation{Disk: uint16(disk), Addr: uint32(fitAddr)}
+	if err := s.writeFITLocked(st, false); err != nil {
+		return 0, err
+	}
+	if err := s.persistMapLocked(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Open increments the file's reference count, loading its FIT if needed —
+// step two of the three-step data location (§5).
+func (s *Service) Open(id FileID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return err
+	}
+	st.refCount++
+	st.attr.RefCount = uint32(st.refCount)
+	return nil
+}
+
+// Close decrements the reference count and, at zero, flushes the file's
+// dirty state.
+func (s *Service) Close(id FileID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return err
+	}
+	if st.refCount == 0 {
+		return fmt.Errorf("%w: file %d", ErrNotOpen, id)
+	}
+	st.refCount--
+	st.attr.RefCount = uint32(st.refCount)
+	if st.refCount == 0 {
+		return s.flushFileLocked(st)
+	}
+	return nil
+}
+
+// Delete removes a file, freeing its data blocks, indirect blocks and FIT.
+// Open files cannot be deleted.
+func (s *Service) Delete(id FileID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return err
+	}
+	if st.refCount > 0 {
+		return fmt.Errorf("%w: file %d has %d openers", ErrFileBusy, id, st.refCount)
+	}
+	// Unlink first: a crash between the unlink and the frees leaks blocks
+	// (reclaimed by the next mount-time rebuild) instead of letting a stale
+	// map entry reference reallocated blocks.
+	delete(s.files, id)
+	delete(s.fileMap, id)
+	if err := s.persistMapLocked(); err != nil {
+		return err
+	}
+	for _, e := range st.extents.Extents() {
+		if err := s.disks[e.Disk].Free(int(e.Addr), int(e.Count)*FragmentsPerBlock); err != nil {
+			return fmt.Errorf("fileservice: freeing data extent: %w", err)
+		}
+		s.invalidateExtentLocked(e)
+	}
+	for _, e := range st.indirect {
+		if err := s.disks[e.Disk].Free(int(e.Addr), FragmentsPerBlock); err != nil {
+			return fmt.Errorf("fileservice: freeing indirect block: %w", err)
+		}
+	}
+	if st.reservedAddr >= 0 {
+		if err := s.disks[st.fitDisk].Free(st.reservedAddr, FragmentsPerBlock); err != nil {
+			return fmt.Errorf("fileservice: freeing reserved block: %w", err)
+		}
+	}
+	if err := s.disks[st.fitDisk].Free(st.fitAddr, 1); err != nil {
+		return fmt.Errorf("fileservice: freeing FIT: %w", err)
+	}
+	return nil
+}
+
+// invalidateExtentLocked drops an extent's blocks from the block cache.
+func (s *Service) invalidateExtentLocked(e fit.Extent) {
+	for b := 0; b < int(e.Count); b++ {
+		s.blockCache.Invalidate(blockKey{disk: int(e.Disk), addr: int(e.Addr) + b*FragmentsPerBlock})
+	}
+}
+
+// Attributes returns the file's attributes.
+func (s *Service) Attributes(id FileID) (fit.Attributes, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return fit.Attributes{}, err
+	}
+	return st.attr, nil
+}
+
+// SetLocking records the file's lock level (§6.1); it is persisted with the
+// FIT.
+func (s *Service) SetLocking(id FileID, l fit.LockLevel) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return err
+	}
+	st.attr.Locking = l
+	st.fitDirty = true
+	return nil
+}
+
+// SetService records which service's semantics currently govern the file.
+func (s *Service) SetService(id FileID, t fit.ServiceType) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return err
+	}
+	st.attr.Service = t
+	st.fitDirty = true
+	return nil
+}
+
+// Size returns the file size in bytes.
+func (s *Service) Size(id FileID) (int64, error) {
+	attr, err := s.Attributes(id)
+	if err != nil {
+		return 0, err
+	}
+	return int64(attr.Size), nil
+}
+
+// Extents returns the file's extent list in logical order (used by the
+// transaction service's contiguity check, §6.7).
+func (s *Service) Extents(id FileID) ([]fit.Extent, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fit.Extent, len(st.extents.Extents()))
+	copy(out, st.extents.Extents())
+	return out, nil
+}
+
+// FITLocation returns where the file's index table lives (diagnostics and
+// experiment E11).
+func (s *Service) FITLocation(id FileID) (disk, addr int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	return st.fitDisk, st.fitAddr, nil
+}
+
+// Flush writes back all dirty state: dirty data blocks, dirty FITs, and the
+// file map.
+func (s *Service) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushAllLocked()
+}
+
+func (s *Service) flushAllLocked() error {
+	if err := s.blockCache.Flush(); err != nil {
+		return err
+	}
+	for _, st := range s.files {
+		if st.fitDirty {
+			if err := s.writeFITLocked(st, false); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.persistMapLocked(); err != nil {
+		return err
+	}
+	for _, d := range s.disks {
+		if err := d.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushFileLocked flushes one file's dirty blocks and FIT.
+func (s *Service) flushFileLocked(st *fileState) error {
+	for _, e := range st.extents.Extents() {
+		for b := 0; b < int(e.Count); b++ {
+			key := blockKey{disk: int(e.Disk), addr: int(e.Addr) + b*FragmentsPerBlock}
+			if err := s.blockCache.FlushKey(key); err != nil {
+				return err
+			}
+		}
+	}
+	if st.fitDirty {
+		return s.writeFITLocked(st, false)
+	}
+	return nil
+}
+
+// Shutdown flushes everything and closes the service.
+func (s *Service) Shutdown() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	if err := s.flushAllLocked(); err != nil {
+		return err
+	}
+	s.closed = true
+	return nil
+}
+
+// InvalidateCaches drops the service block cache (experiments use this to
+// force cold reads).
+func (s *Service) InvalidateCaches() {
+	s.blockCache.InvalidateAll()
+	for _, d := range s.disks {
+		d.InvalidateCache()
+	}
+}
+
+// DropFITCache evicts in-memory FIT state for closed files, forcing the next
+// access to reload the table from disk (experiments; cold-start behaviour).
+func (s *Service) DropFITCache() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id, st := range s.files {
+		if st.refCount == 0 && !st.fitDirty {
+			delete(s.files, id)
+		}
+	}
+}
+
+// pickDiskLocked returns the disk with the most free space that can hold n
+// fragments, or -1.
+func (s *Service) pickDiskLocked(n int) int {
+	best, bestFree := -1, -1
+	for i, d := range s.disks {
+		free := d.FreeFragments()
+		if free >= n && free > bestFree {
+			best, bestFree = i, free
+		}
+	}
+	return best
+}
+
+// loadLocked returns the file state, loading the FIT from disk if needed.
+func (s *Service) loadLocked(id FileID) (*fileState, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if st, ok := s.files[id]; ok {
+		return st, nil
+	}
+	loc, ok := s.fileMap[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	return s.loadFITLocked(id, loc)
+}
+
+// loadFITLocked reads and decodes a FIT (one disk reference), falling back
+// to the stable copy if the main copy is corrupt, then loads any indirect
+// blocks.
+func (s *Service) loadFITLocked(id FileID, loc fitLocation) (*fileState, error) {
+	srv := s.disks[loc.Disk]
+	raw, err := srv.Get(int(loc.Addr), 1, diskservice.GetOptions{})
+	var tbl *fit.Table
+	if err == nil {
+		tbl, err = fit.Decode(raw)
+	}
+	if err != nil {
+		// Vital structure: recover from the stable copy.
+		raw, serr := srv.Get(int(loc.Addr), 1, diskservice.GetOptions{FromStable: true})
+		if serr != nil {
+			return nil, fmt.Errorf("fileservice: FIT of file %d unreadable: %v; stable: %w", id, err, serr)
+		}
+		tbl, serr = fit.Decode(raw)
+		if serr != nil {
+			return nil, fmt.Errorf("fileservice: FIT of file %d corrupt on both copies: %w", id, serr)
+		}
+		// Heal the main copy.
+		if herr := srv.Put(int(loc.Addr), raw, diskservice.PutOptions{}); herr != nil {
+			return nil, fmt.Errorf("fileservice: healing FIT of file %d: %w", id, herr)
+		}
+	}
+	extents := append([]fit.Extent(nil), tbl.Direct...)
+	for _, ind := range tbl.Indirect {
+		blk, err := s.disks[ind.Disk].Get(int(ind.Addr), FragmentsPerBlock, diskservice.GetOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("fileservice: reading indirect block of file %d: %w", id, err)
+		}
+		more, err := fit.DecodeIndirect(blk)
+		if err != nil {
+			return nil, fmt.Errorf("fileservice: indirect block of file %d: %w", id, err)
+		}
+		extents = append(extents, more...)
+	}
+	st := &fileState{
+		id: id, fitDisk: int(loc.Disk), fitAddr: int(loc.Addr),
+		attr: tbl.Attr, extents: fit.NewExtentMap(extents),
+		indirect:     append([]fit.Extent(nil), tbl.Indirect...),
+		reservedAddr: -1,
+	}
+	st.refCount = 0
+	st.attr.RefCount = 0
+	s.files[id] = st
+	return st, nil
+}
+
+// writeFITLocked encodes and persists the FIT to its original location and
+// stable storage (§4's put-block file-index-table flavour), rewriting
+// indirect blocks as needed. waitStable selects synchronous stable writes.
+func (s *Service) writeFITLocked(st *fileState, waitStable bool) error {
+	direct, overflow := st.extents.Split()
+	// Rewrite indirect blocks. Free any beyond what is needed now.
+	var needed int
+	if len(overflow) > 0 {
+		needed = (len(overflow) + fit.ExtentsPerIndirectBlock - 1) / fit.ExtentsPerIndirectBlock
+	}
+	if needed > fit.MaxIndirectPtrs {
+		return fmt.Errorf("fileservice: file %d exceeds maximum indirect capacity", st.id)
+	}
+	for len(st.indirect) > needed {
+		last := st.indirect[len(st.indirect)-1]
+		if err := s.disks[last.Disk].Free(int(last.Addr), FragmentsPerBlock); err != nil {
+			return err
+		}
+		st.indirect = st.indirect[:len(st.indirect)-1]
+	}
+	for len(st.indirect) < needed {
+		disk := s.pickDiskLocked(FragmentsPerBlock)
+		if disk < 0 {
+			return ErrNoSpace
+		}
+		addr, err := s.disks[disk].AllocateBlocks(1)
+		if err != nil {
+			return fmt.Errorf("fileservice: allocating indirect block: %w", err)
+		}
+		st.indirect = append(st.indirect, fit.Extent{Disk: uint16(disk), Addr: uint32(addr), Count: 1})
+	}
+	for i := 0; i < needed; i++ {
+		lo := i * fit.ExtentsPerIndirectBlock
+		hi := lo + fit.ExtentsPerIndirectBlock
+		if hi > len(overflow) {
+			hi = len(overflow)
+		}
+		blk, err := fit.EncodeIndirect(overflow[lo:hi])
+		if err != nil {
+			return err
+		}
+		ind := st.indirect[i]
+		if err := s.disks[ind.Disk].Put(int(ind.Addr), blk, diskservice.PutOptions{
+			Stability: diskservice.MainAndStable, WaitStable: waitStable,
+		}); err != nil {
+			return err
+		}
+	}
+	tbl := &fit.Table{Attr: st.attr, Direct: direct, Indirect: st.indirect}
+	raw, err := tbl.Encode()
+	if err != nil {
+		return err
+	}
+	if err := s.disks[st.fitDisk].Put(st.fitAddr, raw, diskservice.PutOptions{
+		Stability: diskservice.MainAndStable, WaitStable: waitStable,
+	}); err != nil {
+		return err
+	}
+	st.fitDirty = false
+	return nil
+}

@@ -1,0 +1,492 @@
+package fileservice
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/diskservice"
+	"repro/internal/fit"
+)
+
+// ReadAt reads up to n bytes starting at byte offset off, returning fewer
+// bytes at end of file (and zero bytes, no error, at or past it).
+//
+// The read path is the paper's: locate the block through the (cached) file
+// index table, then fetch the whole physically contiguous run the block
+// starts with one single invocation of get-block — up to 64 blocks (512 KB)
+// — and cache every block of the run, so subsequent requests on the run
+// cost no disk reference (§5).
+func (s *Service) ReadAt(id FileID, off int64, n int) ([]byte, error) {
+	if off < 0 {
+		return nil, ErrBadOffset
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("%w: negative length", ErrBadRequest)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(st.attr.Size)
+	if off >= size {
+		return nil, nil
+	}
+	if off+int64(n) > size {
+		n = int(size - off)
+	}
+	out := make([]byte, n)
+	covered := 0
+	for covered < n {
+		pos := off + int64(covered)
+		blk := int(pos / BlockSize)
+		within := int(pos % BlockSize)
+		data, err := s.blockLocked(st, blk)
+		if err != nil {
+			return nil, err
+		}
+		covered += copy(out[covered:], data[within:])
+	}
+	st.attr.LastRead = time.Now()
+	st.fitDirty = true
+	return out, nil
+}
+
+// blockLocked returns logical block blk of the file, from cache or by
+// fetching its contiguous run from disk.
+func (s *Service) blockLocked(st *fileState, blk int) ([]byte, error) {
+	disk, addr, contiguous, ok := st.extents.Lookup(blk)
+	if !ok {
+		return nil, fmt.Errorf("%w: file %d has no block %d", ErrBadRequest, st.id, blk)
+	}
+	key := blockKey{disk: int(disk), addr: int(addr)}
+	if data, ok := s.blockCache.Get(key); ok {
+		return data, nil
+	}
+	run := contiguous
+	if run > MaxSingleFetchBlocks {
+		run = MaxSingleFetchBlocks
+	}
+	raw, err := s.disks[disk].Get(int(addr), run*FragmentsPerBlock, diskservice.GetOptions{})
+	if err != nil {
+		return nil, err
+	}
+	for b := 0; b < run; b++ {
+		k := blockKey{disk: int(disk), addr: int(addr) + b*FragmentsPerBlock}
+		if err := s.blockCache.Put(k, raw[b*BlockSize:(b+1)*BlockSize], false); err != nil {
+			return nil, err
+		}
+	}
+	return raw[:BlockSize], nil
+}
+
+// WriteAt writes data at byte offset off, extending the file as needed, and
+// returns the number of bytes written. Modifications follow the file's
+// policy: delayed-write for basic files, write-through for transaction
+// files (§5).
+func (s *Service) WriteAt(id FileID, off int64, data []byte) (int, error) {
+	if off < 0 {
+		return 0, ErrBadOffset
+	}
+	if len(data) == 0 {
+		return 0, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return 0, err
+	}
+	end := off + int64(len(data))
+	needBlocks := int((end + BlockSize - 1) / BlockSize)
+	oldBlocks := st.extents.TotalBlocks()
+	grew := oldBlocks < needBlocks
+	if err := s.growLocked(st, needBlocks); err != nil {
+		return 0, err
+	}
+	// Zero-fill hole blocks between the old end and the first written block:
+	// allocation may hand back blocks with stale contents from freed files.
+	if startBlk := int(off / BlockSize); startBlk > oldBlocks {
+		if err := s.zeroFillLocked(st, oldBlocks, startBlk); err != nil {
+			return 0, err
+		}
+	}
+	writeThrough := st.attr.Service == fit.ServiceTransaction
+	written := 0
+	for written < len(data) {
+		pos := off + int64(written)
+		blk := int(pos / BlockSize)
+		within := int(pos % BlockSize)
+		chunk := BlockSize - within
+		if chunk > len(data)-written {
+			chunk = len(data) - written
+		}
+		var buf []byte
+		if within == 0 && chunk == BlockSize {
+			buf = data[written : written+BlockSize]
+		} else {
+			// Partial block: read-modify-write. Blocks beyond the old size
+			// are fresh and start zeroed.
+			if int64(blk)*BlockSize < int64(st.attr.Size) {
+				old, err := s.blockLocked(st, blk)
+				if err != nil {
+					return written, err
+				}
+				buf = old
+			} else {
+				buf = make([]byte, BlockSize)
+			}
+			copy(buf[within:], data[written:written+chunk])
+		}
+		disk, addr, _, ok := st.extents.Lookup(blk)
+		if !ok {
+			return written, fmt.Errorf("%w: block %d missing after grow", ErrBadRequest, blk)
+		}
+		key := blockKey{disk: int(disk), addr: int(addr)}
+		if err := s.blockCache.Put(key, buf, true); err != nil {
+			return written, err
+		}
+		if writeThrough {
+			if err := s.blockCache.FlushKey(key); err != nil {
+				return written, err
+			}
+		}
+		written += chunk
+	}
+	if uint64(end) > st.attr.Size {
+		st.attr.Size = uint64(end)
+		st.fitDirty = true
+	}
+	if (writeThrough || grew) && st.fitDirty {
+		// Structural changes (new extents) are vital and always written
+		// through, so the mount-time bitmap rebuild can trust on-disk FITs;
+		// transaction files additionally write attribute changes through.
+		if err := s.writeFITLocked(st, false); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// growLocked extends the file's extent map to cover needBlocks logical
+// blocks, allocating per the striping policy.
+func (s *Service) growLocked(st *fileState, needBlocks int) error {
+	missing := needBlocks - st.extents.TotalBlocks()
+	if missing <= 0 {
+		return nil
+	}
+	// Consume the block reserved adjacent to the FIT first (§5: the FIT and
+	// at least the first data block are always contiguous).
+	if st.reservedAddr >= 0 && st.extents.TotalBlocks() == 0 {
+		st.extents.Append(fit.Extent{Disk: uint16(st.fitDisk), Addr: uint32(st.reservedAddr), Count: 1})
+		st.reservedAddr = -1
+		st.fitDirty = true
+		missing--
+	}
+	for missing > 0 {
+		var n int
+		var err error
+		if s.stripe == Spread {
+			n, err = s.growSpreadLocked(st, missing)
+		} else {
+			n, err = s.growLocalityLocked(st, missing)
+		}
+		if err != nil {
+			return err
+		}
+		missing -= n
+		st.fitDirty = true
+	}
+	return nil
+}
+
+// growLocalityLocked allocates up to `missing` blocks as one run as close as
+// possible to the file's existing data (or its FIT), returning how many
+// blocks it added.
+func (s *Service) growLocalityLocked(st *fileState, missing int) (int, error) {
+	want := missing
+	if want > fit.MaxCount {
+		want = fit.MaxCount
+	}
+	// Prefer the disk the file already lives on, at the address right after
+	// its last extent.
+	disk := st.fitDisk
+	hint := st.fitAddr + 1
+	if exts := st.extents.Extents(); len(exts) > 0 {
+		last := exts[len(exts)-1]
+		disk = int(last.Disk)
+		hint = int(last.Addr) + int(last.Count)*FragmentsPerBlock
+	}
+	for n := want; n > 0; n /= 2 {
+		if addr, err := s.disks[disk].AllocateBlocksNear(hint, n); err == nil {
+			st.extents.Append(fit.Extent{Disk: uint16(disk), Addr: uint32(addr), Count: uint16(n)})
+			return n, nil
+		}
+		// Halve the run and retry; below a threshold, try other disks.
+		if n == 1 {
+			break
+		}
+	}
+	// The home disk is out of (contiguous) space: take the emptiest disk.
+	for tries := 0; tries < len(s.disks); tries++ {
+		d := s.pickDiskLocked(FragmentsPerBlock)
+		if d < 0 {
+			return 0, ErrNoSpace
+		}
+		for n := want; n > 0; n /= 2 {
+			if addr, err := s.disks[d].AllocateBlocks(n); err == nil {
+				st.extents.Append(fit.Extent{Disk: uint16(d), Addr: uint32(addr), Count: uint16(n)})
+				return n, nil
+			}
+		}
+		// pickDiskLocked returned a disk with free-but-fragmented space and
+		// not even one block fits; no other disk will be returned that could
+		// do better, so give up.
+		break
+	}
+	return 0, ErrNoSpace
+}
+
+// growSpreadLocked allocates one stripe unit on the next disk in round-robin
+// order, returning how many blocks it added.
+func (s *Service) growSpreadLocked(st *fileState, missing int) (int, error) {
+	want := missing
+	if want > s.stripeUnit {
+		want = s.stripeUnit
+	}
+	for tries := 0; tries < len(s.disks); tries++ {
+		d := s.nextStripe % len(s.disks)
+		s.nextStripe++
+		for n := want; n > 0; n /= 2 {
+			if addr, err := s.disks[d].AllocateBlocks(n); err == nil {
+				st.extents.Append(fit.Extent{Disk: uint16(d), Addr: uint32(addr), Count: uint16(n)})
+				return n, nil
+			}
+		}
+	}
+	return 0, ErrNoSpace
+}
+
+// zeroFillLocked writes zero blocks over logical blocks [from, to) — used
+// when a hole is materialized, since allocated blocks may carry stale data.
+func (s *Service) zeroFillLocked(st *fileState, from, to int) error {
+	if from >= to {
+		return nil
+	}
+	zero := make([]byte, BlockSize)
+	writeThrough := st.attr.Service == fit.ServiceTransaction
+	for b := from; b < to; b++ {
+		disk, addr, _, ok := st.extents.Lookup(b)
+		if !ok {
+			return fmt.Errorf("%w: zero-fill of unmapped block %d", ErrBadRequest, b)
+		}
+		key := blockKey{disk: int(disk), addr: int(addr)}
+		if err := s.blockCache.Put(key, zero, true); err != nil {
+			return err
+		}
+		if writeThrough {
+			if err := s.blockCache.FlushKey(key); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Truncate sets the file size, freeing blocks beyond the new end.
+func (s *Service) Truncate(id FileID, size int64) error {
+	if size < 0 {
+		return ErrBadOffset
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return err
+	}
+	if uint64(size) > st.attr.Size {
+		// Extend with a hole; freshly mapped blocks are zero-filled so the
+		// hole reads as zeros even when allocation reuses freed blocks.
+		oldBlocks := st.extents.TotalBlocks()
+		needBlocks := int((size + BlockSize - 1) / BlockSize)
+		if err := s.growLocked(st, needBlocks); err != nil {
+			return err
+		}
+		if err := s.zeroFillLocked(st, oldBlocks, needBlocks); err != nil {
+			return err
+		}
+	} else {
+		keep := int((size + BlockSize - 1) / BlockSize)
+		freed := st.extents.TruncateBlocks(keep)
+		// Zero the tail of the last kept block so a later extension reads
+		// zeros there rather than the pre-truncation bytes.
+		if within := int(size % BlockSize); within != 0 && keep > 0 {
+			buf, err := s.blockLocked(st, keep-1)
+			if err != nil {
+				return err
+			}
+			for i := within; i < BlockSize; i++ {
+				buf[i] = 0
+			}
+			disk, addr, _, _ := st.extents.Lookup(keep - 1)
+			if err := s.blockCache.Put(blockKey{disk: int(disk), addr: int(addr)}, buf, true); err != nil {
+				return err
+			}
+		}
+		st.attr.Size = uint64(size)
+		st.fitDirty = true
+		// Persist the shrunk FIT before freeing, so a crash in between leaks
+		// blocks instead of leaving the FIT referencing reallocated ones.
+		if err := s.writeFITLocked(st, false); err != nil {
+			return err
+		}
+		for _, e := range freed {
+			if err := s.disks[e.Disk].Free(int(e.Addr), int(e.Count)*FragmentsPerBlock); err != nil {
+				return err
+			}
+			s.invalidateExtentLocked(e)
+		}
+		return nil
+	}
+	st.attr.Size = uint64(size)
+	st.fitDirty = true
+	return s.writeFITLocked(st, false)
+}
+
+// BlockCount returns the number of logical blocks mapped by the file.
+func (s *Service) BlockCount(id FileID) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return 0, err
+	}
+	return st.extents.TotalBlocks(), nil
+}
+
+// ReadBlock returns logical block blk (a full 8 KB), for the transaction
+// service's page-granular access.
+func (s *Service) ReadBlock(id FileID, blk int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	return s.blockLocked(st, blk)
+}
+
+// WriteBlockThrough writes logical block blk synchronously to disk
+// (write-through), growing the file if blk is the next block.
+func (s *Service) WriteBlockThrough(id FileID, blk int, data []byte) error {
+	if len(data) != BlockSize {
+		return fmt.Errorf("%w: block write of %d bytes", ErrBadRequest, len(data))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return err
+	}
+	oldBlocks := st.extents.TotalBlocks()
+	grew := oldBlocks < blk+1
+	if err := s.growLocked(st, blk+1); err != nil {
+		return err
+	}
+	if blk > oldBlocks {
+		if err := s.zeroFillLocked(st, oldBlocks, blk); err != nil {
+			return err
+		}
+	}
+	if grew {
+		if err := s.writeFITLocked(st, false); err != nil {
+			return err
+		}
+	}
+	disk, addr, _, ok := st.extents.Lookup(blk)
+	if !ok {
+		return fmt.Errorf("%w: no block %d", ErrBadRequest, blk)
+	}
+	key := blockKey{disk: int(disk), addr: int(addr)}
+	if err := s.blockCache.Put(key, data, true); err != nil {
+		return err
+	}
+	return s.blockCache.FlushKey(key)
+}
+
+// ReplaceBlockDescriptor swaps logical block blk's descriptor for a new
+// single-block extent — the shadow-page commit step (§6.7): the FIT is
+// updated to point at the shadow block and the original block is freed.
+// The FIT is persisted synchronously, including its stable copy.
+func (s *Service) ReplaceBlockDescriptor(id FileID, blk int, newExt fit.Extent) error {
+	if newExt.Count != 1 {
+		return fmt.Errorf("%w: shadow extents are single blocks", ErrBadRequest)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return err
+	}
+	total := st.extents.TotalBlocks()
+	if blk < 0 || blk >= total {
+		return fmt.Errorf("%w: no block %d", ErrBadRequest, blk)
+	}
+	oldDisk, oldAddr, _, _ := st.extents.Lookup(blk)
+	// Rebuild the extent list with the replacement. This is the paper's
+	// third disadvantage of shadow paging: the descriptor replacement breaks
+	// contiguity (§6.7).
+	m := fit.NewExtentMap(nil)
+	for b := 0; b < total; b++ {
+		if b == blk {
+			m.Append(newExt)
+			continue
+		}
+		d, a, _, _ := st.extents.Lookup(b)
+		m.Append(fit.Extent{Disk: d, Addr: a, Count: 1})
+	}
+	st.extents = m
+	s.blockCache.Invalidate(blockKey{disk: int(oldDisk), addr: int(oldAddr)})
+	if err := s.disks[oldDisk].Free(int(oldAddr), FragmentsPerBlock); err != nil {
+		return err
+	}
+	st.fitDirty = true
+	return s.writeFITLocked(st, true)
+}
+
+// BlockLocation resolves logical block blk to its physical location (used
+// by the transaction service to stage shadow pages on stable storage).
+func (s *Service) BlockLocation(id FileID, blk int) (disk uint16, fragAddr uint32, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	d, a, _, ok := st.extents.Lookup(blk)
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: no block %d", ErrBadRequest, blk)
+	}
+	return d, a, nil
+}
+
+// ContiguityProfile reports how contiguous the file's blocks are: the number
+// of extents and the largest extent length in blocks (experiment E8's
+// post-commit contiguity measure).
+func (s *Service) ContiguityProfile(id FileID) (extents, largestRun int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, err := s.loadLocked(id)
+	if err != nil {
+		return 0, 0, err
+	}
+	exts := st.extents.Extents()
+	largest := 0
+	for _, e := range exts {
+		if int(e.Count) > largest {
+			largest = int(e.Count)
+		}
+	}
+	return len(exts), largest, nil
+}

@@ -1,0 +1,167 @@
+package fileservice
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fit"
+)
+
+// TestQuickOracleAgainstByteSlice drives random operation sequences against
+// the file service and a trivial in-memory model, checking that every read
+// and size query agrees — the strongest correctness property the service
+// offers for basic files.
+func TestQuickOracleAgainstByteSlice(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRig(t, 1)
+		type model struct {
+			id   FileID
+			data []byte
+		}
+		var files []*model
+		const steps = 120
+		for step := 0; step < steps; step++ {
+			switch op := rng.Intn(10); {
+			case op == 0 || len(files) == 0: // create
+				id, err := r.svc.Create(fit.Attributes{})
+				if err != nil {
+					t.Logf("create: %v", err)
+					return false
+				}
+				files = append(files, &model{id: id})
+			case op <= 4: // write
+				m := files[rng.Intn(len(files))]
+				off := rng.Intn(80000)
+				n := 1 + rng.Intn(30000)
+				buf := make([]byte, n)
+				rng.Read(buf)
+				if _, err := r.svc.WriteAt(m.id, int64(off), buf); err != nil {
+					t.Logf("write: %v", err)
+					return false
+				}
+				if off+n > len(m.data) {
+					grown := make([]byte, off+n)
+					copy(grown, m.data)
+					m.data = grown
+				}
+				copy(m.data[off:], buf)
+			case op <= 7: // read & compare
+				m := files[rng.Intn(len(files))]
+				off := rng.Intn(100000)
+				n := 1 + rng.Intn(40000)
+				got, err := r.svc.ReadAt(m.id, int64(off), n)
+				if err != nil {
+					t.Logf("read: %v", err)
+					return false
+				}
+				var want []byte
+				if off < len(m.data) {
+					end := off + n
+					if end > len(m.data) {
+						end = len(m.data)
+					}
+					want = m.data[off:end]
+				}
+				if !bytes.Equal(got, want) {
+					t.Logf("seed %d step %d: read mismatch at %d+%d (got %d bytes, want %d)",
+						seed, step, off, n, len(got), len(want))
+					return false
+				}
+			case op == 8: // truncate
+				m := files[rng.Intn(len(files))]
+				size := rng.Intn(60000)
+				if err := r.svc.Truncate(m.id, int64(size)); err != nil {
+					t.Logf("truncate: %v", err)
+					return false
+				}
+				if size <= len(m.data) {
+					m.data = m.data[:size]
+				} else {
+					grown := make([]byte, size)
+					copy(grown, m.data)
+					m.data = grown
+				}
+			default: // size check
+				m := files[rng.Intn(len(files))]
+				size, err := r.svc.Size(m.id)
+				if err != nil || size != int64(len(m.data)) {
+					t.Logf("size = %d, want %d (%v)", size, len(m.data), err)
+					return false
+				}
+			}
+		}
+		// Final sweep: all contents must match, and fsck must be clean.
+		for _, m := range files {
+			got, err := r.svc.ReadAt(m.id, 0, len(m.data)+10)
+			if err != nil || !bytes.Equal(got, m.data) {
+				t.Logf("final content mismatch: %v", err)
+				return false
+			}
+		}
+		rep, err := r.svc.Check()
+		if err != nil || !rep.Ok() {
+			t.Logf("fsck: %v %v", err, rep.Problems)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickOracleSurvivesRemount is the same oracle with a mount cycle in
+// the middle: everything flushed before the remount must read back
+// identically.
+func TestQuickOracleSurvivesRemount(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRig(t, 2)
+		type model struct {
+			id   FileID
+			data []byte
+		}
+		var files []*model
+		for i := 0; i < 6; i++ {
+			id, err := r.svc.Create(fit.Attributes{})
+			if err != nil {
+				return false
+			}
+			data := make([]byte, rng.Intn(100000))
+			rng.Read(data)
+			if len(data) > 0 {
+				if _, err := r.svc.WriteAt(id, 0, data); err != nil {
+					return false
+				}
+			}
+			files = append(files, &model{id: id, data: data})
+		}
+		if err := r.svc.Shutdown(); err != nil {
+			return false
+		}
+		svc2, err := Mount(Config{Disks: r.disks})
+		if err != nil {
+			t.Logf("mount: %v", err)
+			return false
+		}
+		for _, m := range files {
+			got, err := svc2.ReadAt(m.id, 0, len(m.data))
+			if err != nil || !bytes.Equal(got, m.data) {
+				t.Logf("post-mount mismatch: %v", err)
+				return false
+			}
+		}
+		rep, err := svc2.Check()
+		if err != nil || !rep.Ok() {
+			t.Logf("post-mount fsck: %v %v", err, rep.Problems)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

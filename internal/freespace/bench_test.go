@@ -1,0 +1,87 @@
+package freespace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// fragment the map: allocate everything, free scattered short runs.
+func fragmented(b *testing.B, capacity int) *Map {
+	b.Helper()
+	m, err := NewMap(capacity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Allocate(capacity); err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for f := 0; f+8 < capacity; f += 24 {
+		if err := m.Free(f, 4+rng.Intn(4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+func BenchmarkAllocateRunTable(b *testing.B) {
+	m := fragmented(b, 256*1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, err := m.Allocate(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := m.Free(addr, 4); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkAllocateFirstFit(b *testing.B) {
+	m := fragmented(b, 256*1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, err := m.AllocateFirstFit(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if err := m.Free(addr, 4); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFreeCoalesce(b *testing.B) {
+	m, err := NewMap(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := m.Allocate(1 << 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = addr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := (i * 16) % ((1 << 20) - 16)
+		if err := m.Free(f, 8); err != nil {
+			b.StopTimer()
+			// Already free from a previous lap: reallocate and continue.
+			if err := m.AllocateAt(f, 8); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			continue
+		}
+		b.StopTimer()
+		if err := m.AllocateAt(f, 8); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,226 @@
+package intentions
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestStatusTransitions(t *testing.T) {
+	l := NewList(1)
+	if l.Status() != Tentative {
+		t.Fatalf("fresh list status = %v, want tentative", l.Status())
+	}
+	if err := l.SetStatus(Committed); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetStatus(Aborted); err == nil {
+		t.Fatal("commit->abort transition allowed")
+	}
+	l2 := NewList(2)
+	if err := l2.SetStatus(Aborted); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.SetStatus(Committed); err == nil {
+		t.Fatal("abort->commit transition allowed")
+	}
+	l3 := NewList(3)
+	if err := l3.SetStatus(Tentative); err == nil {
+		t.Fatal("transition to tentative allowed")
+	}
+}
+
+func TestSetIntentionAfterDecisionRejected(t *testing.T) {
+	l := NewList(1)
+	if err := l.SetStatus(Committed); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetIntention(Record{File: 1, Kind: PageKind, Block: 0, Data: []byte("x")}); err == nil {
+		t.Fatal("intention accepted after commit")
+	}
+}
+
+func TestPageIntentionMerges(t *testing.T) {
+	l := NewList(1)
+	if err := l.SetIntention(Record{File: 1, Kind: PageKind, Block: 2, Data: []byte("old")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SetIntention(Record{File: 1, Kind: PageKind, Block: 2, Data: []byte("new")}); err != nil {
+		t.Fatal(err)
+	}
+	recs := l.GetIntentions()
+	if len(recs) != 1 || string(recs[0].Data) != "new" {
+		t.Fatalf("page intentions = %+v, want one merged record", recs)
+	}
+	// Different block: separate record.
+	if err := l.SetIntention(Record{File: 1, Kind: PageKind, Block: 3, Data: []byte("b3")}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestRecordIntentionsKeepOrder(t *testing.T) {
+	l := NewList(1)
+	for i, s := range []string{"first", "second", "third"} {
+		if err := l.SetIntention(Record{File: 1, Kind: RecordKind, Offset: int64(i), Length: len(s), Data: []byte(s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := l.GetIntentions()
+	if len(recs) != 3 {
+		t.Fatalf("Len = %d, want 3", len(recs))
+	}
+	for i, want := range []string{"first", "second", "third"} {
+		if string(recs[i].Data) != want {
+			t.Fatalf("record %d = %q, want %q", i, recs[i].Data, want)
+		}
+	}
+}
+
+func TestDataIsCopied(t *testing.T) {
+	l := NewList(1)
+	buf := []byte("abc")
+	if err := l.SetIntention(Record{File: 1, Kind: RecordKind, Offset: 0, Length: 3, Data: buf}); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = 'z'
+	if got := string(l.GetIntentions()[0].Data); got != "abc" {
+		t.Fatalf("intention data aliased caller buffer: %q", got)
+	}
+}
+
+func TestAssignTechniques(t *testing.T) {
+	l := NewList(1)
+	mustSet := func(r Record) {
+		t.Helper()
+		if err := l.SetIntention(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet(Record{File: 1, Kind: RecordKind, Offset: 0, Length: 3, Data: []byte("rec")})
+	mustSet(Record{File: 1, Kind: PageKind, Block: 0, Data: []byte("pg")})
+	mustSet(Record{File: 2, Kind: PageKind, Block: 0, Data: []byte("pg")})
+	l.AssignTechniques(func(file uint64) bool { return file == 1 }) // file 1 contiguous
+	recs := l.GetIntentions()
+	if recs[0].Technique != WAL {
+		t.Fatalf("record-mode technique = %v, want WAL (always)", recs[0].Technique)
+	}
+	if recs[1].Technique != WAL {
+		t.Fatalf("contiguous page technique = %v, want WAL", recs[1].Technique)
+	}
+	if recs[2].Technique != ShadowPage {
+		t.Fatalf("non-contiguous page technique = %v, want shadow-page", recs[2].Technique)
+	}
+}
+
+func TestRemoveIntentions(t *testing.T) {
+	l := NewList(1)
+	for i := 0; i < 3; i++ {
+		if err := l.SetIntention(Record{File: 1, Kind: RecordKind, Offset: int64(i * 10), Length: 1, Data: []byte{byte(i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := l.GetIntentions()
+	l.RemoveIntentions(recs[0].Seq, recs[2].Seq)
+	left := l.GetIntentions()
+	if len(left) != 1 || left[0].Seq != recs[1].Seq {
+		t.Fatalf("after removal: %+v", left)
+	}
+}
+
+func TestFilesAndPerFileViews(t *testing.T) {
+	l := NewList(1)
+	mustSet := func(r Record) {
+		t.Helper()
+		if err := l.SetIntention(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet(Record{File: 5, Kind: PageKind, Block: 0, Data: []byte("a")})
+	mustSet(Record{File: 3, Kind: PageKind, Block: 0, Data: []byte("b")})
+	mustSet(Record{File: 5, Kind: PageKind, Block: 1, Data: []byte("c")})
+	files := l.Files()
+	if len(files) != 2 || files[0] != 5 || files[1] != 3 {
+		t.Fatalf("Files = %v, want [5 3]", files)
+	}
+	f5 := l.IntentionsForFile(5)
+	if len(f5) != 2 {
+		t.Fatalf("IntentionsForFile(5) = %d records, want 2", len(f5))
+	}
+}
+
+func TestOverlayRecordMode(t *testing.T) {
+	l := NewList(1)
+	// Base content: 20 dots from offset 10.
+	base := bytes.Repeat([]byte("."), 20)
+	// Tentative write "HELLO" at absolute offset 15.
+	if err := l.SetIntention(Record{File: 1, Kind: RecordKind, Offset: 15, Length: 5, Data: []byte("HELLO")}); err != nil {
+		t.Fatal(err)
+	}
+	out := l.Overlay(1, 10, base, 8192)
+	want := ".....HELLO.........."[:20]
+	if string(out) != want {
+		t.Fatalf("overlay = %q, want %q", out, want)
+	}
+	// Writes to other files don't apply.
+	if err := l.SetIntention(Record{File: 2, Kind: RecordKind, Offset: 10, Length: 3, Data: []byte("XXX")}); err != nil {
+		t.Fatal(err)
+	}
+	out = l.Overlay(1, 10, bytes.Repeat([]byte("."), 20), 8192)
+	if string(out) != want {
+		t.Fatalf("overlay leaked across files: %q", out)
+	}
+}
+
+func TestOverlayLaterWritesWin(t *testing.T) {
+	l := NewList(1)
+	mustSet := func(off int64, s string) {
+		t.Helper()
+		if err := l.SetIntention(Record{File: 1, Kind: RecordKind, Offset: off, Length: len(s), Data: []byte(s)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustSet(0, "AAAA")
+	mustSet(2, "BB")
+	out := l.Overlay(1, 0, make([]byte, 4), 8192)
+	if string(out) != "AABB" {
+		t.Fatalf("overlay = %q, want AABB", out)
+	}
+}
+
+func TestOverlayPageMode(t *testing.T) {
+	l := NewList(1)
+	blockSize := 8
+	page := []byte("PAGEDATA")
+	if err := l.SetIntention(Record{File: 1, Kind: PageKind, Block: 1, Data: page}); err != nil {
+		t.Fatal(err)
+	}
+	// Read bytes [4, 12): last 4 of block 0 (base) + first 4 of block 1.
+	base := []byte("baseXXXX")
+	out := l.Overlay(1, 4, base, blockSize)
+	if string(out) != "basePAGE" {
+		t.Fatalf("overlay = %q, want basePAGE", out)
+	}
+}
+
+func TestOverlayPartialIntersections(t *testing.T) {
+	l := NewList(1)
+	if err := l.SetIntention(Record{File: 1, Kind: RecordKind, Offset: 0, Length: 10, Data: bytes.Repeat([]byte("W"), 10)}); err != nil {
+		t.Fatal(err)
+	}
+	// Read window [5, 15): first half overlaps the write.
+	out := l.Overlay(1, 5, bytes.Repeat([]byte("."), 10), 8192)
+	if string(out) != "WWWWW....." {
+		t.Fatalf("overlay = %q", out)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if Tentative.String() != "tentative" || Committed.String() != "commit" || Aborted.String() != "abort" {
+		t.Fatal("status strings wrong")
+	}
+	if WAL.String() != "wal" || ShadowPage.String() != "shadow-page" {
+		t.Fatal("technique strings wrong")
+	}
+}

@@ -1,0 +1,736 @@
+// Package lock implements the RHODOS lock manager (§6.1–§6.5): read-only,
+// Iread and Iwrite locks with the compatibility of Table 1, three optional
+// levels of granularity (record, page, file), one lock table per level, and
+// timeout-based deadlock resolution with the LT invulnerability period.
+//
+// Lock tables are what §6.5 describes: each is a list of lock records, with
+// the records for one data item queued together and searched linearly. The
+// package counts the records examined per search, which is the quantity the
+// paper's "separate table per level" argument is about (experiment E12); a
+// Combined mode folds all three levels into a single table as the ablation.
+//
+// Deadlock handling follows §6.4: every granted lock is invulnerable for a
+// period LT; when LT expires the lock is renewed only if no other
+// transaction is competing for the item, for at most N renewals; at the Nth
+// expiry the lock is broken and the holder aborted regardless of waiters.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// Mode is a lock mode (§6.3).
+type Mode int
+
+// Lock modes. Compatibility follows Table 1:
+//
+//	held \ requested   RO     IR     IW
+//	none               ok     ok     ok
+//	RO                 ok     ok     wait (IW only via same-txn conversion)
+//	IR                 wait   wait   wait (IW via same-txn conversion)
+//	IW                 wait   wait   wait
+const (
+	// ReadOnly is the shared query lock; it can be shared by other
+	// read-only locks and a single Iread lock.
+	ReadOnly Mode = iota + 1
+	// IRead is taken to read a data item with intent to modify it. Once an
+	// Iread lock is set, no new read-only lock may be set on the item, which
+	// prevents permanent blocking (§6.3).
+	IRead
+	// IWrite is the exclusive write lock; it cannot be shared with any other
+	// lock and is normally obtained by converting an Iread lock.
+	IWrite
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ReadOnly:
+		return "read-only"
+	case IRead:
+		return "Iread"
+	case IWrite:
+		return "Iwrite"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Level is a locking granularity (§6.1).
+type Level int
+
+// Locking levels.
+const (
+	// Record locks a byte range; granularity can be as fine as a single
+	// byte or as coarse as an entire file.
+	Record Level = iota + 1
+	// Page locks one page.
+	Page
+	// File locks an entire file.
+	File
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Record:
+		return "record"
+	case Page:
+		return "page"
+	case File:
+		return "file"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// TxnID identifies a transaction.
+type TxnID uint64
+
+// ItemID names a data item within a file. For Record level, Offset/Length
+// are a byte range (Length > 0); for Page level, Offset is the page number
+// and Length is ignored; for File level both are ignored.
+type ItemID struct {
+	File   uint64
+	Offset uint64
+	Length uint64
+}
+
+// Errors returned by the manager.
+var (
+	// ErrTxnBroken reports that the transaction's locks were broken by the
+	// deadlock timeout and the transaction must abort.
+	ErrTxnBroken = errors.New("lock: transaction broken by deadlock timeout")
+	// ErrLevelMismatch reports an attempt to lock a file at a second
+	// granularity while it is locked at another (§6.1's simplifying rule).
+	ErrLevelMismatch = errors.New("lock: file already locked at a different level")
+	// ErrBadItem reports a malformed item (e.g. zero-length record range).
+	ErrBadItem = errors.New("lock: malformed data item")
+	// ErrClosed reports use of a closed manager.
+	ErrClosed = errors.New("lock: manager closed")
+)
+
+// Compatible reports whether a lock of mode req can be set on a data item
+// already locked with mode held by a different transaction — Table 1.
+func Compatible(held, req Mode) bool {
+	switch held {
+	case ReadOnly:
+		return req == ReadOnly || req == IRead
+	case IRead, IWrite:
+		return false
+	default:
+		return true
+	}
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Clock supplies time for the LT windows; defaults to a wall clock.
+	Clock simclock.Clock
+	// LT is the lock invulnerability period; defaults to 100 ms.
+	LT time.Duration
+	// MaxRenewals is N, the maximum number of LT renewals before a lock is
+	// broken unconditionally; defaults to 5.
+	MaxRenewals int
+	// Metrics receives lock counters. Optional.
+	Metrics *metrics.Set
+	// Combined folds all levels into one lock table (ablation for E12).
+	Combined bool
+	// AllowMixedLevels relaxes the one-level-per-file rule of §6.1: a file
+	// may be locked at different granularities by concurrent transactions,
+	// with conflicts detected across levels by byte range. The paper defers
+	// this relaxation "at a later stage"; it is off by default.
+	AllowMixedLevels bool
+	// OnBreak, if set, is called (without the manager lock held) with each
+	// transaction aborted by the deadlock timeout.
+	OnBreak func(TxnID)
+}
+
+// hold is one granted lock — a lock-table record with granted = true.
+type hold struct {
+	txn       TxnID
+	pid       int
+	mode      Mode
+	grantedAt time.Duration
+	renewals  int
+}
+
+// waiter is one blocked request — a lock-table record with granted = false,
+// queued on its data item (§6.5).
+type waiter struct {
+	txn   TxnID
+	pid   int
+	mode  Mode
+	ch    chan error
+	seq   uint64 // global FIFO order
+	retry int    // retry count field of the lock record
+}
+
+// PageSize converts page-level item offsets to byte ranges when mixed-level
+// conflict detection is enabled; it matches the facility's 8 KB block size.
+const PageSize = 8192
+
+// item is one data item's queue head: the granted records plus the waiting
+// records in FIFO order.
+type item struct {
+	level   Level
+	file    uint64
+	off     uint64
+	length  uint64
+	holders []*hold
+	waiters []*waiter
+}
+
+// byteRange maps an item at any level onto the file's byte space, so items
+// of different granularities can be compared (the §6.1 relaxation).
+func byteRange(level Level, off, length uint64) (lo, hi uint64) {
+	switch level {
+	case File:
+		return 0, math.MaxUint64
+	case Page:
+		return off * PageSize, (off + 1) * PageSize
+	default: // Record
+		return off, off + length
+	}
+}
+
+// overlaps reports whether two items name intersecting data, comparing
+// their byte ranges. For same-level items this coincides with the natural
+// rules (pages are aligned, file covers everything); across levels it gives
+// the §6.1 relaxation its semantics.
+func (it *item) overlaps(level Level, file, off, length uint64) bool {
+	if it.file != file {
+		return false
+	}
+	aLo, aHi := byteRange(it.level, it.off, it.length)
+	bLo, bHi := byteRange(level, off, length)
+	return aLo < bHi && bLo < aHi
+}
+
+func (it *item) sameItem(level Level, file, off, length uint64) bool {
+	return it.level == level && it.file == file && it.off == off && it.length == length
+}
+
+// Manager is the lock manager. It is safe for concurrent use.
+type Manager struct {
+	clock    simclock.Clock
+	lt       time.Duration
+	maxRenew int
+	met      *metrics.Set
+	combined bool
+	mixed    bool
+	onBreak  func(TxnID)
+
+	mu     sync.Mutex
+	closed bool
+	// tables[level] is the per-level lock table: a linear list of items, as
+	// §6.5 describes. In combined mode everything lives in tables[0].
+	tables map[Level][]*item
+	// fileLevel tracks the active granularity per file for the
+	// one-level-per-file rule.
+	fileLevel map[uint64]Level
+	fileRefs  map[uint64]int
+	broken    map[TxnID]bool
+	seq       uint64
+	searches  int64 // item records examined (experiment E12)
+}
+
+// New returns a Manager.
+func New(cfg Config) *Manager {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = &simclock.Wall{}
+	}
+	lt := cfg.LT
+	if lt <= 0 {
+		lt = 100 * time.Millisecond
+	}
+	n := cfg.MaxRenewals
+	if n <= 0 {
+		n = 5
+	}
+	return &Manager{
+		clock:     clk,
+		lt:        lt,
+		maxRenew:  n,
+		met:       cfg.Metrics,
+		combined:  cfg.Combined,
+		mixed:     cfg.AllowMixedLevels,
+		onBreak:   cfg.OnBreak,
+		tables:    make(map[Level][]*item),
+		fileLevel: make(map[uint64]Level),
+		fileRefs:  make(map[uint64]int),
+		broken:    make(map[TxnID]bool),
+	}
+}
+
+// tableKey returns the table a level's items live in.
+func (m *Manager) tableKey(level Level) Level {
+	if m.combined {
+		return 0
+	}
+	return level
+}
+
+// SearchSteps returns the cumulative number of item records examined by
+// table searches (experiment E12).
+func (m *Manager) SearchSteps() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.searches
+}
+
+// findOverlapping walks the relevant table(s) linearly (counting search
+// steps) and returns the items overlapping the request, plus the exact item
+// if present. In mixed-level mode every table is searched, since items of
+// any granularity can conflict.
+func (m *Manager) findOverlapping(level Level, id ItemID, length uint64) (overlapping []*item, exact *item) {
+	scan := func(table []*item) {
+		for _, it := range table {
+			m.searches++
+			if !it.overlaps(level, id.File, id.Offset, length) {
+				continue
+			}
+			overlapping = append(overlapping, it)
+			if it.sameItem(level, id.File, id.Offset, length) {
+				exact = it
+			}
+		}
+	}
+	if m.mixed && !m.combined {
+		for _, lv := range []Level{Record, Page, File} {
+			scan(m.tables[lv])
+		}
+		return overlapping, exact
+	}
+	scan(m.tables[m.tableKey(level)])
+	return overlapping, exact
+}
+
+// normLength returns the effective range length for conflict detection.
+func normLength(level Level, id ItemID) (uint64, error) {
+	switch level {
+	case Record:
+		if id.Length == 0 {
+			return 0, fmt.Errorf("%w: record lock with zero length", ErrBadItem)
+		}
+		return id.Length, nil
+	case Page:
+		return 1, nil
+	case File:
+		return math.MaxUint64, nil
+	default:
+		return 0, fmt.Errorf("%w: level %v", ErrBadItem, level)
+	}
+}
+
+// Acquire sets a lock of the given mode on the data item, blocking until it
+// is granted or the transaction is broken by the deadlock timeout. pid is
+// the requesting process identifier recorded in the lock table (§6.5).
+//
+// A transaction that already holds a lock on the item may request a new
+// mode; the lock is converted when Table 1 permits it with respect to the
+// other holders (§6.3: an Iwrite can be set if the item is Iread locked by
+// the same transaction).
+func (m *Manager) Acquire(txn TxnID, pid int, level Level, id ItemID, mode Mode) error {
+	length, err := normLength(level, id)
+	if err != nil {
+		return err
+	}
+	if mode < ReadOnly || mode > IWrite {
+		return fmt.Errorf("%w: mode %v", ErrBadItem, mode)
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if m.broken[txn] {
+		m.mu.Unlock()
+		return ErrTxnBroken
+	}
+	// One-level-per-file rule (§6.1), unless the relaxation is enabled.
+	if cur, ok := m.fileLevel[id.File]; !m.mixed && ok && cur != level {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: file %d is %v-locked, requested %v", ErrLevelMismatch, id.File, cur, level)
+	}
+
+	overlapping, exact := m.findOverlapping(level, id, length)
+	if m.grantableLocked(txn, overlapping, mode, false) {
+		m.grantLocked(txn, pid, level, id, length, mode, exact)
+		m.mu.Unlock()
+		return nil
+	}
+
+	// Enqueue and wait.
+	if exact == nil {
+		exact = &item{level: level, file: id.File, off: id.Offset, length: length}
+		m.addItemLocked(exact)
+	}
+	m.seq++
+	w := &waiter{txn: txn, pid: pid, mode: mode, ch: make(chan error, 1), seq: m.seq}
+	exact.waiters = append(exact.waiters, w)
+	m.met.Inc(metrics.LockWaits)
+	m.mu.Unlock()
+
+	return <-w.ch
+}
+
+// TryAcquire is Acquire without blocking: it returns false when the lock
+// cannot be granted immediately.
+func (m *Manager) TryAcquire(txn TxnID, pid int, level Level, id ItemID, mode Mode) (bool, error) {
+	length, err := normLength(level, id)
+	if err != nil {
+		return false, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false, ErrClosed
+	}
+	if m.broken[txn] {
+		return false, ErrTxnBroken
+	}
+	if cur, ok := m.fileLevel[id.File]; !m.mixed && ok && cur != level {
+		return false, fmt.Errorf("%w: file %d is %v-locked, requested %v", ErrLevelMismatch, id.File, cur, level)
+	}
+	overlapping, exact := m.findOverlapping(level, id, length)
+	if !m.grantableLocked(txn, overlapping, mode, false) {
+		return false, nil
+	}
+	m.grantLocked(txn, pid, level, id, length, mode, exact)
+	return true, nil
+}
+
+// grantableLocked reports whether txn may take mode given the overlapping
+// items. barging is allowed only when re-granting to the queue head.
+func (m *Manager) grantableLocked(txn TxnID, overlapping []*item, mode Mode, isQueueHead bool) bool {
+	upgrading := false
+	for _, it := range overlapping {
+		for _, h := range it.holders {
+			if h.txn == txn {
+				upgrading = true
+				continue // a transaction never conflicts with itself
+			}
+			if !Compatible(h.mode, mode) {
+				return false
+			}
+		}
+	}
+	if isQueueHead || upgrading {
+		// Queue heads are being regranted in FIFO order; upgraders get
+		// priority over queued waiters (standard conversion priority, and
+		// required for the IRead→IWrite conversion of §6.3 to make progress).
+		return true
+	}
+	for _, it := range overlapping {
+		for _, w := range it.waiters {
+			if w.txn != txn {
+				return false // no barging past the FIFO queue
+			}
+		}
+	}
+	return true
+}
+
+// grantLocked records the grant, converting an existing hold if present.
+func (m *Manager) grantLocked(txn TxnID, pid int, level Level, id ItemID, length uint64, mode Mode, exact *item) {
+	now := m.clock.Now()
+	if exact != nil {
+		for _, h := range exact.holders {
+			if h.txn == txn {
+				if mode > h.mode {
+					h.mode = mode
+					h.grantedAt = now
+					h.renewals = 0
+					m.met.Inc(metrics.LockUpgrades)
+				}
+				return
+			}
+		}
+	}
+	if exact == nil {
+		exact = &item{level: level, file: id.File, off: id.Offset, length: length}
+		m.addItemLocked(exact)
+	}
+	exact.holders = append(exact.holders, &hold{
+		txn: txn, pid: pid, mode: mode, grantedAt: now,
+	})
+	m.met.Inc(metrics.LocksGranted)
+}
+
+func (m *Manager) addItemLocked(it *item) {
+	key := m.tableKey(it.level)
+	m.tables[key] = append(m.tables[key], it)
+	if m.fileRefs[it.file] == 0 {
+		m.fileLevel[it.file] = it.level
+	}
+	m.fileRefs[it.file]++
+}
+
+// removeEmptyItemsLocked drops items with no holders and no waiters.
+func (m *Manager) removeEmptyItemsLocked() {
+	for key, table := range m.tables {
+		kept := table[:0]
+		for _, it := range table {
+			if len(it.holders) == 0 && len(it.waiters) == 0 {
+				m.fileRefs[it.file]--
+				if m.fileRefs[it.file] == 0 {
+					delete(m.fileRefs, it.file)
+					delete(m.fileLevel, it.file)
+				}
+				continue
+			}
+			kept = append(kept, it)
+		}
+		m.tables[key] = kept
+	}
+}
+
+// regrantLocked wakes waiters that have become grantable. Queue heads are
+// considered in global FIFO order; a head that is still blocked does not
+// stall heads of other items (per-item FIFO is what §6.5's singly linked
+// waiter queues provide).
+func (m *Manager) regrantLocked() {
+	for progress := true; progress; {
+		progress = false
+		// Collect queue heads sorted by arrival order.
+		var heads []*item
+		for _, table := range m.tables {
+			for _, it := range table {
+				if len(it.waiters) > 0 {
+					heads = append(heads, it)
+				}
+			}
+		}
+		for i := 0; i < len(heads); i++ {
+			for j := i + 1; j < len(heads); j++ {
+				if heads[j].waiters[0].seq < heads[i].waiters[0].seq {
+					heads[i], heads[j] = heads[j], heads[i]
+				}
+			}
+		}
+		for _, it := range heads {
+			if len(it.waiters) == 0 {
+				continue
+			}
+			w := it.waiters[0]
+			id := ItemID{File: it.file, Offset: it.off, Length: it.length}
+			overlapping, _ := m.findOverlapping(it.level, id, it.length)
+			if !m.grantableLocked(w.txn, overlapping, w.mode, true) {
+				continue
+			}
+			it.waiters = it.waiters[1:]
+			m.grantLocked(w.txn, w.pid, it.level, id, it.length, w.mode, it)
+			w.ch <- nil
+			progress = true
+		}
+	}
+}
+
+// ReleaseAll releases every lock held by txn and cancels its waiting
+// requests — the unlocking phase of 2PL, entered only at commit or abort
+// (§6.2). It also clears the transaction's broken flag.
+func (m *Manager) ReleaseAll(txn TxnID) {
+	m.mu.Lock()
+	for _, table := range m.tables {
+		for _, it := range table {
+			keptH := it.holders[:0]
+			for _, h := range it.holders {
+				if h.txn != txn {
+					keptH = append(keptH, h)
+				}
+			}
+			it.holders = keptH
+			keptW := it.waiters[:0]
+			for _, w := range it.waiters {
+				if w.txn != txn {
+					keptW = append(keptW, w)
+				} else {
+					w.ch <- ErrTxnBroken
+				}
+			}
+			it.waiters = keptW
+		}
+	}
+	delete(m.broken, txn)
+	m.removeEmptyItemsLocked()
+	m.regrantLocked()
+	m.mu.Unlock()
+}
+
+// Broken reports whether txn has been aborted by the deadlock timeout.
+func (m *Manager) Broken(txn TxnID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.broken[txn]
+}
+
+// Sweep runs the LT expiry pass of §6.4 and returns the transactions it
+// broke. A lock whose current invulnerability window has expired is renewed
+// when no other transaction is competing for its item and it has renewals
+// left; otherwise it is broken and its holder aborted. At the Nth expiry the
+// lock is broken regardless of competition.
+func (m *Manager) Sweep() []TxnID {
+	m.mu.Lock()
+	now := m.clock.Now()
+	doomed := make(map[TxnID]bool)
+	for _, table := range m.tables {
+		for _, it := range table {
+			contested := len(it.waiters) > 0
+			for _, h := range it.holders {
+				if doomed[h.txn] {
+					continue
+				}
+				// Apply every LT expiry the lock has crossed: invulnerability
+				// is bounded by N*LT in total, however sparsely sweeps run.
+				for now >= h.grantedAt+time.Duration(h.renewals+1)*m.lt {
+					if h.renewals+1 >= m.maxRenew || contested {
+						doomed[h.txn] = true
+						break
+					}
+					h.renewals++
+				}
+			}
+		}
+	}
+	var out []TxnID
+	for txn := range doomed {
+		m.breakTxnLocked(txn)
+		out = append(out, txn)
+	}
+	if len(out) > 0 {
+		m.removeEmptyItemsLocked()
+		m.regrantLocked()
+	}
+	m.mu.Unlock()
+	if m.onBreak != nil {
+		for _, txn := range out {
+			m.onBreak(txn)
+		}
+	}
+	return out
+}
+
+// breakTxnLocked removes all of txn's holds and waiters and marks it broken.
+func (m *Manager) breakTxnLocked(txn TxnID) {
+	m.broken[txn] = true
+	m.met.Inc(metrics.TxnTimedOut)
+	for _, table := range m.tables {
+		for _, it := range table {
+			keptH := it.holders[:0]
+			for _, h := range it.holders {
+				if h.txn != txn {
+					keptH = append(keptH, h)
+				}
+			}
+			it.holders = keptH
+			keptW := it.waiters[:0]
+			for _, w := range it.waiters {
+				if w.txn != txn {
+					keptW = append(keptW, w)
+				} else {
+					w.ch <- ErrTxnBroken
+				}
+			}
+			it.waiters = keptW
+		}
+	}
+}
+
+// HeldModes returns the modes txn currently holds on the item (diagnostic).
+func (m *Manager) HeldModes(txn TxnID, level Level, id ItemID) []Mode {
+	length, err := normLength(level, id)
+	if err != nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var modes []Mode
+	for _, it := range m.tables[m.tableKey(level)] {
+		if !it.sameItem(level, id.File, id.Offset, length) {
+			continue
+		}
+		for _, h := range it.holders {
+			if h.txn == txn {
+				modes = append(modes, h.mode)
+			}
+		}
+	}
+	return modes
+}
+
+// HoldCount returns the total number of granted lock records (diagnostic,
+// the "locks to manage" quantity of §6.1's overhead discussion).
+func (m *Manager) HoldCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, table := range m.tables {
+		for _, it := range table {
+			n += len(it.holders)
+		}
+	}
+	return n
+}
+
+// Sweeper runs Sweep periodically in the background.
+type Sweeper struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartSweeper sweeps every interval until Close.
+func (m *Manager) StartSweeper(interval time.Duration) *Sweeper {
+	s := &Sweeper{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				m.Sweep()
+			}
+		}
+	}()
+	return s
+}
+
+// Close stops the sweeper and waits for it. Idempotent.
+func (s *Sweeper) Close() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+}
+
+// Close marks the manager closed, failing all current and future waiters.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, table := range m.tables {
+		for _, it := range table {
+			for _, w := range it.waiters {
+				w.ch <- ErrClosed
+			}
+			it.waiters = nil
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package metrics collects the operation counters the RHODOS experiments
+// report: disk references, seeks, bytes moved, cache hits and misses, and
+// transaction outcomes.
+//
+// A single Set is threaded through a cluster (disk servers, file services,
+// agents) so an experiment can snapshot "how many disk references did this
+// workload cost" — the unit the paper's performance claims are stated in.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Counter names used across the facility. Packages add their own counters
+// freely; these are the ones the experiment harness relies on.
+const (
+	DiskReferences = "disk.references"    // physical disk operations issued
+	DiskSeeks      = "disk.seeks"         // head movements between tracks
+	DiskBytesRead  = "disk.bytes_read"    // payload bytes read from platters
+	DiskBytesWrite = "disk.bytes_written" // payload bytes written to platters
+
+	TrackCacheHit   = "disk.track_cache.hit"
+	TrackCacheMiss  = "disk.track_cache.miss"
+	ServerCacheHit  = "fs.cache.hit"
+	ServerCacheMiss = "fs.cache.miss"
+	AgentCacheHit   = "agent.cache.hit"
+	AgentCacheMiss  = "agent.cache.miss"
+
+	StableWrites = "stable.writes"
+
+	TxnCommitted = "txn.committed"
+	TxnAborted   = "txn.aborted"
+	TxnTimedOut  = "txn.timed_out" // aborted by the N*LT deadlock timeout
+	LocksGranted = "lock.granted"
+	LockWaits    = "lock.waits"
+	LockUpgrades = "lock.upgrades"
+
+	RPCRequests   = "rpc.requests"
+	RPCDuplicates = "rpc.duplicates" // requests answered from the idempotency cache
+	RPCRetries    = "rpc.retries"
+)
+
+// Set is a concurrency-safe bag of named counters plus a virtual-time
+// accumulator. The zero value is ready to use.
+type Set struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	simTime  time.Duration
+}
+
+// NewSet returns an empty metric set.
+func NewSet() *Set { return &Set{} }
+
+// Add increments counter name by delta. Nil sets are tolerated so components
+// can be run without metrics plumbing.
+func (s *Set) Add(name string, delta int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[name] += delta
+}
+
+// Inc increments counter name by one.
+func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// AddSimTime accumulates simulated device time.
+func (s *Set) AddSimTime(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.simTime += d
+}
+
+// Get returns the current value of counter name (zero if never touched).
+func (s *Set) Get(name string) int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters[name]
+}
+
+// SimTime returns the accumulated simulated device time.
+func (s *Set) SimTime() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.simTime
+}
+
+// Snapshot returns a copy of all counters.
+func (s *Set) Snapshot() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes every counter and the simulated time.
+func (s *Set) Reset() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters = nil
+	s.simTime = 0
+}
+
+// Diff returns the per-counter difference s - prev, where prev is a snapshot
+// taken earlier with Snapshot. Counters absent from prev are treated as zero.
+func (s *Set) Diff(prev map[string]int64) map[string]int64 {
+	cur := s.Snapshot()
+	out := make(map[string]int64, len(cur))
+	for k, v := range cur {
+		if d := v - prev[k]; d != 0 {
+			out[k] = d
+		}
+	}
+	return out
+}
+
+// String renders the counters sorted by name, one per line.
+func (s *Set) String() string {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%-28s %d\n", k, snap[k])
+	}
+	if st := s.SimTime(); st != 0 {
+		fmt.Fprintf(&b, "%-28s %v\n", "sim.time", st)
+	}
+	return b.String()
+}
+
+// HitRate is a convenience for reporting cache effectiveness: it returns
+// hits/(hits+misses), or 0 when both are zero.
+func HitRate(hits, misses int64) float64 {
+	total := hits + misses
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddAndGet(t *testing.T) {
+	s := NewSet()
+	s.Add(DiskReferences, 3)
+	s.Inc(DiskReferences)
+	if got := s.Get(DiskReferences); got != 4 {
+		t.Fatalf("Get = %d, want 4", got)
+	}
+	if got := s.Get("never.touched"); got != 0 {
+		t.Fatalf("Get untouched = %d, want 0", got)
+	}
+}
+
+func TestNilSetIsSafe(t *testing.T) {
+	var s *Set
+	s.Add("x", 1)
+	s.Inc("x")
+	s.AddSimTime(time.Second)
+	if got := s.Get("x"); got != 0 {
+		t.Fatalf("nil set Get = %d, want 0", got)
+	}
+	if s.Snapshot() != nil {
+		t.Fatal("nil set Snapshot should be nil")
+	}
+	s.Reset()
+}
+
+func TestSimTime(t *testing.T) {
+	s := NewSet()
+	s.AddSimTime(5 * time.Millisecond)
+	s.AddSimTime(7 * time.Millisecond)
+	if got := s.SimTime(); got != 12*time.Millisecond {
+		t.Fatalf("SimTime = %v, want 12ms", got)
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	s := NewSet()
+	s.Inc("a")
+	snap := s.Snapshot()
+	snap["a"] = 99
+	if got := s.Get("a"); got != 1 {
+		t.Fatalf("mutating snapshot affected set: got %d", got)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	s := NewSet()
+	s.Add("a", 2)
+	prev := s.Snapshot()
+	s.Add("a", 3)
+	s.Add("b", 1)
+	d := s.Diff(prev)
+	if d["a"] != 3 || d["b"] != 1 {
+		t.Fatalf("Diff = %v, want a:3 b:1", d)
+	}
+	if len(d) != 2 {
+		t.Fatalf("Diff has %d entries, want 2 (zero deltas omitted)", len(d))
+	}
+}
+
+func TestReset(t *testing.T) {
+	s := NewSet()
+	s.Inc("a")
+	s.AddSimTime(time.Second)
+	s.Reset()
+	if s.Get("a") != 0 || s.SimTime() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	s := NewSet()
+	s.Inc("zzz")
+	s.Inc("aaa")
+	out := s.String()
+	if !strings.Contains(out, "aaa") || !strings.Contains(out, "zzz") {
+		t.Fatalf("String missing counters: %q", out)
+	}
+	if strings.Index(out, "aaa") > strings.Index(out, "zzz") {
+		t.Fatalf("String not sorted: %q", out)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if got := HitRate(0, 0); got != 0 {
+		t.Fatalf("HitRate(0,0) = %v, want 0", got)
+	}
+	if got := HitRate(3, 1); got != 0.75 {
+		t.Fatalf("HitRate(3,1) = %v, want 0.75", got)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	s := NewSet()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				s.Inc("c")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Get("c"); got != 8000 {
+		t.Fatalf("concurrent adds lost updates: got %d, want 8000", got)
+	}
+}

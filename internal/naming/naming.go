@@ -1,0 +1,255 @@
+// Package naming implements the RHODOS naming service (§3): evaluation and
+// resolution of attributed names to system names.
+//
+// Processes refer to devices (TTY objects) and files (FILE objects) by
+// attributed names — sets of attribute=value pairs such as
+// {type=FILE, path=/reports/q3}. The agents and services refer to the same
+// objects by their system names. The naming service owns the mapping, is the
+// first of the three steps of data location (§5: "locate the file service
+// which manages the file" — each entry records its managing service), and
+// resolves names idempotently, so retried resolution messages are harmless.
+//
+// A directory view is provided over the conventional "path" attribute:
+// List("/reports") enumerates entries one level below.
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ObjectType classifies named objects.
+type ObjectType int
+
+// Object types.
+const (
+	// FileObject is a FILE object, resolved to a file system name.
+	FileObject ObjectType = iota + 1
+	// DeviceObject is a TTY object, resolved to a device system name.
+	DeviceObject
+)
+
+// String implements fmt.Stringer.
+func (t ObjectType) String() string {
+	switch t {
+	case FileObject:
+		return "FILE"
+	case DeviceObject:
+		return "TTY"
+	default:
+		return fmt.Sprintf("ObjectType(%d)", int(t))
+	}
+}
+
+// Name is an attributed name: a set of attribute=value pairs.
+type Name map[string]string
+
+// ParseName parses "k1=v1,k2=v2". Whitespace around pairs is ignored.
+func ParseName(s string) (Name, error) {
+	n := Name{}
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" {
+			return nil, fmt.Errorf("naming: malformed attribute %q", pair)
+		}
+		n[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	if len(n) == 0 {
+		return nil, errors.New("naming: empty attributed name")
+	}
+	return n, nil
+}
+
+// String renders the name canonically (sorted attributes).
+func (n Name) String() string {
+	keys := make([]string, 0, len(n))
+	for k := range n {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+n[k])
+	}
+	return strings.Join(parts, ",")
+}
+
+// Matches reports whether every attribute of query is present with the same
+// value in n.
+func (n Name) Matches(query Name) bool {
+	for k, v := range query {
+		if n[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// clone copies a name.
+func (n Name) clone() Name {
+	out := make(Name, len(n))
+	for k, v := range n {
+		out[k] = v
+	}
+	return out
+}
+
+// Entry is one registered object.
+type Entry struct {
+	Name Name
+	Type ObjectType
+	// SystemName is the object's system-level identifier: a FileID for FILE
+	// objects, a device number for TTY objects.
+	SystemName uint64
+	// Service identifies the service instance managing the object (the
+	// "first step" of data location, §5); e.g. a file-service or replica
+	// group name.
+	Service string
+}
+
+// Errors.
+var (
+	ErrNotFound  = errors.New("naming: no entry matches")
+	ErrAmbiguous = errors.New("naming: attributed name matches multiple entries")
+	ErrExists    = errors.New("naming: entry already registered")
+)
+
+// Service is a naming service. It is safe for concurrent use.
+type Service struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// NewService returns an empty naming service.
+func NewService() *Service { return &Service{} }
+
+// Register adds an entry. An entry with an identical attributed name may be
+// registered only once.
+func (s *Service) Register(e Entry) error {
+	if len(e.Name) == 0 {
+		return errors.New("naming: empty name")
+	}
+	key := e.Name.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cur := range s.entries {
+		if cur.Name.String() == key {
+			return fmt.Errorf("%w: %s", ErrExists, key)
+		}
+	}
+	e.Name = e.Name.clone()
+	s.entries = append(s.entries, e)
+	return nil
+}
+
+// Resolve evaluates an attributed name: the query's attributes must select
+// exactly one entry.
+func (s *Service) Resolve(query Name) (Entry, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var found []Entry
+	for _, e := range s.entries {
+		if e.Name.Matches(query) {
+			found = append(found, e)
+		}
+	}
+	switch len(found) {
+	case 0:
+		return Entry{}, fmt.Errorf("%w: %s", ErrNotFound, query)
+	case 1:
+		return found[0], nil
+	default:
+		return Entry{}, fmt.Errorf("%w: %s (%d matches)", ErrAmbiguous, query, len(found))
+	}
+}
+
+// ResolvePath resolves the common case: a FILE object by its path attribute.
+func (s *Service) ResolvePath(path string) (Entry, error) {
+	return s.Resolve(Name{"type": "FILE", "path": path})
+}
+
+// Unregister removes the entry exactly matching the attributed name.
+func (s *Service) Unregister(name Name) error {
+	key := name.String()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, e := range s.entries {
+		if e.Name.String() == key {
+			s.entries = append(s.entries[:i], s.entries[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %s", ErrNotFound, key)
+}
+
+// UnregisterSystemName removes every entry with the given type and system
+// name (used when a file is deleted).
+func (s *Service) UnregisterSystemName(t ObjectType, sys uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.entries[:0]
+	removed := 0
+	for _, e := range s.entries {
+		if e.Type == t && e.SystemName == sys {
+			removed++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	s.entries = kept
+	return removed
+}
+
+// List returns the names one level below dir in the path hierarchy, sorted.
+// Entries without a path attribute are invisible to List.
+func (s *Service) List(dir string) []string {
+	dir = strings.TrimSuffix(dir, "/")
+	prefix := dir + "/"
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[string]bool{}
+	for _, e := range s.entries {
+		p, ok := e.Name["path"]
+		if !ok || !strings.HasPrefix(p, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(p, prefix)
+		if rest == "" {
+			continue
+		}
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			seen[rest[:i]+"/"] = true
+		} else {
+			seen[rest] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered entries.
+func (s *Service) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Entries returns a snapshot of all entries (diagnostics).
+func (s *Service) Entries() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Entry, len(s.entries))
+	copy(out, s.entries)
+	return out
+}

@@ -1,0 +1,263 @@
+package replication
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/diskservice"
+	"repro/internal/fileservice"
+	"repro/internal/fit"
+	"repro/internal/stable"
+)
+
+// rig holds n replica file services, each on its own disk, with access to
+// the underlying devices for failure injection.
+type rig struct {
+	mgr  *Manager
+	svcs []*fileservice.Service
+	devs []*device.Disk
+}
+
+func newRig(t *testing.T, n int) *rig {
+	t.Helper()
+	r := &rig{}
+	g := device.Geometry{FragmentsPerTrack: 32, Tracks: 64}
+	for i := 0; i < n; i++ {
+		d, err := device.New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, _ := device.New(g)
+		sm, _ := device.New(g)
+		st, err := stable.NewStore(sp, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = st.Close() })
+		srv, err := diskservice.Format(diskservice.Config{DiskID: i, Disk: d, Stable: st})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := fileservice.New(fileservice.Config{Disks: []*diskservice.Server{srv}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.svcs = append(r.svcs, fs)
+		r.devs = append(r.devs, d)
+	}
+	mgr, err := NewManager(r.svcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.mgr = mgr
+	return r
+}
+
+func TestCreateWritesAllReplicas(t *testing.T) {
+	r := newRig(t, 3)
+	id, err := r.mgr.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("replicated payload")
+	if _, err := r.mgr.WriteAt(id, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	// Every replica holds the data, verified directly.
+	for i, fs := range r.svcs {
+		fid, err := r.mgr.ReplicaFileID(id, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fs.ReadAt(fid, 0, len(want))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("replica %d content = %q, %v", i, got, err)
+		}
+	}
+}
+
+func TestReadFailsOverOnReplicaFailure(t *testing.T) {
+	r := newRig(t, 3)
+	id, err := r.mgr.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("survives failure")
+	if _, err := r.mgr.WriteAt(id, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	// Kill replica 0's disk; a read must fail over transparently.
+	r.svcs[0].InvalidateCaches()
+	r.devs[0].Fail()
+	got, err := r.mgr.ReadAt(id, 0, len(want))
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("failover read = %q, %v", got, err)
+	}
+	health := r.mgr.Health()
+	if !health[0] || health[1] || health[2] {
+		t.Fatalf("health after failover = %v, want [true false false]", health)
+	}
+}
+
+func TestWriteSkipsFailedReplicaAndRepairResyncs(t *testing.T) {
+	r := newRig(t, 2)
+	id, err := r.mgr.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.mgr.WriteAt(id, 0, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.MarkFailed(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.mgr.WriteAt(id, 0, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if r.mgr.StaleCount() != 1 {
+		t.Fatalf("StaleCount = %d, want 1", r.mgr.StaleCount())
+	}
+	// Replica 1 still has v1 physically.
+	fid1, _ := r.mgr.ReplicaFileID(id, 1)
+	got, err := r.svcs[1].ReadAt(fid1, 0, 2)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("stale replica content = %q, %v", got, err)
+	}
+	// Repair resynchronizes.
+	if err := r.mgr.Repair(1); err != nil {
+		t.Fatal(err)
+	}
+	if r.mgr.StaleCount() != 0 {
+		t.Fatalf("StaleCount after repair = %d", r.mgr.StaleCount())
+	}
+	got, err = r.svcs[1].ReadAt(fid1, 0, 2)
+	if err != nil || string(got) != "v2" {
+		t.Fatalf("repaired replica content = %q, %v", got, err)
+	}
+	health := r.mgr.Health()
+	if health[1] {
+		t.Fatal("replica 1 still failed after repair")
+	}
+}
+
+func TestStaleReplicaNotReadFrom(t *testing.T) {
+	r := newRig(t, 2)
+	id, err := r.mgr.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.mgr.WriteAt(id, 0, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.MarkFailed(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.mgr.WriteAt(id, 0, []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	// Replica 0 comes back without repair: it is still stale and must not
+	// serve reads.
+	r.mgr.mu.Lock()
+	r.mgr.failed[0] = false
+	r.mgr.mu.Unlock()
+	got, err := r.mgr.ReadAt(id, 0, 4)
+	if err != nil || string(got) != "bbbb" {
+		t.Fatalf("read served stale data: %q, %v", got, err)
+	}
+}
+
+func TestAllReplicasFailed(t *testing.T) {
+	r := newRig(t, 2)
+	id, err := r.mgr.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.mgr.WriteAt(id, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.MarkFailed(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.MarkFailed(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.mgr.WriteAt(id, 0, []byte("y")); !errors.Is(err, ErrAllReplicas) {
+		t.Fatalf("write with all failed = %v", err)
+	}
+	if _, err := r.mgr.ReadAt(id, 0, 1); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("read with all failed = %v", err)
+	}
+}
+
+func TestDeleteRemovesReplicas(t *testing.T) {
+	r := newRig(t, 2)
+	id, err := r.mgr.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid0, _ := r.mgr.ReplicaFileID(id, 0)
+	if _, err := r.mgr.WriteAt(id, 0, []byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svcs[0].Attributes(fid0); !errors.Is(err, fileservice.ErrNotFound) {
+		t.Fatalf("replica file survives delete: %v", err)
+	}
+	if _, err := r.mgr.ReadAt(id, 0, 1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("read of deleted = %v", err)
+	}
+}
+
+func TestSizeAndLargeResync(t *testing.T) {
+	r := newRig(t, 2)
+	id, err := r.mgr.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 10000) // 160 KB
+	if _, err := r.mgr.WriteAt(id, 0, payload); err != nil {
+		t.Fatal(err)
+	}
+	if size, err := r.mgr.Size(id); err != nil || size != int64(len(payload)) {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+	if err := r.mgr.MarkFailed(1); err != nil {
+		t.Fatal(err)
+	}
+	update := bytes.Repeat([]byte("NEW!"), 25000) // 100 KB overwrite
+	if _, err := r.mgr.WriteAt(id, 0, update); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.mgr.Repair(1); err != nil {
+		t.Fatal(err)
+	}
+	fid1, _ := r.mgr.ReplicaFileID(id, 1)
+	got, err := r.svcs[1].ReadAt(fid1, 0, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte{}, update...), payload[len(update):]...)
+	if !bytes.Equal(got, want) {
+		t.Fatal("large resync produced wrong content")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewManager(nil); err == nil {
+		t.Fatal("NewManager(nil) succeeded")
+	}
+	r := newRig(t, 1)
+	if err := r.mgr.MarkFailed(5); !errors.Is(err, ErrBadReplica) {
+		t.Fatalf("MarkFailed(5) = %v", err)
+	}
+	if err := r.mgr.Repair(-1); !errors.Is(err, ErrBadReplica) {
+		t.Fatalf("Repair(-1) = %v", err)
+	}
+	if _, err := r.mgr.WriteAt(99, 0, []byte("x")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("write unknown = %v", err)
+	}
+}

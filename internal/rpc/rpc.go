@@ -1,0 +1,301 @@
+// Package rpc implements the message layer of the RHODOS client-server
+// interface (§3): request/response messaging whose semantics make repeated
+// executions safe.
+//
+// "Certain errors caused by computer failures and communication delays may
+// lead to repeated execution of some operations. However, their repetition
+// in RHODOS does not produce any uncertain effect" — every request carries a
+// client identity and sequence number, and the receiving endpoint keeps the
+// response of each executed request in a duplicate-request cache. A retried
+// or duplicated message is answered from the cache without re-executing the
+// operation. This per-client window of past requests is exactly why the
+// paper calls the file service "nearly" stateless.
+//
+// Two transports are provided: an in-process transport with deterministic
+// fault injection (message loss and duplication) for experiments, and a TCP
+// transport (package rpc's wire format is encoding/gob) used by the
+// cmd/rhodosd server.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Request is one message from a client to a service.
+type Request struct {
+	// ClientID identifies the sending agent instance.
+	ClientID uint64
+	// Seq is the per-client request sequence number; retransmissions reuse
+	// it, which is how duplicates are recognized.
+	Seq uint64
+	// Method names the operation.
+	Method string
+	// Body is the operation's encoded argument.
+	Body []byte
+}
+
+// Response is the reply to a Request.
+type Response struct {
+	Seq  uint64
+	Body []byte
+	// Err is the service error, empty on success. (Transport errors are
+	// returned out of band.)
+	Err string
+}
+
+// Handler executes one decoded request.
+type Handler func(method string, body []byte) ([]byte, error)
+
+// Errors.
+var (
+	// ErrDropped reports a message lost by the (injected) network.
+	ErrDropped = errors.New("rpc: message dropped")
+	// ErrClosed reports use of a closed transport.
+	ErrClosed = errors.New("rpc: transport closed")
+)
+
+// DupCache is the duplicate-request cache: the memory of past requests that
+// makes operations idempotent. It keeps up to window responses per client.
+type DupCache struct {
+	mu      sync.Mutex
+	window  int
+	clients map[uint64]*clientWindow
+}
+
+type clientWindow struct {
+	responses map[uint64]Response
+	order     []uint64
+}
+
+// NewDupCache creates a cache remembering the last window responses per
+// client; window defaults to 128.
+func NewDupCache(window int) *DupCache {
+	if window <= 0 {
+		window = 128
+	}
+	return &DupCache{window: window, clients: make(map[uint64]*clientWindow)}
+}
+
+// Lookup returns the cached response for (client, seq), if any.
+func (c *DupCache) Lookup(client, seq uint64) (Response, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.clients[client]
+	if !ok {
+		return Response{}, false
+	}
+	resp, ok := w.responses[seq]
+	return resp, ok
+}
+
+// Store remembers the response for (client, seq), evicting the oldest entry
+// beyond the window.
+func (c *DupCache) Store(client, seq uint64, resp Response) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w, ok := c.clients[client]
+	if !ok {
+		w = &clientWindow{responses: make(map[uint64]Response)}
+		c.clients[client] = w
+	}
+	if _, exists := w.responses[seq]; exists {
+		w.responses[seq] = resp
+		return
+	}
+	w.responses[seq] = resp
+	w.order = append(w.order, seq)
+	for len(w.order) > c.window {
+		old := w.order[0]
+		w.order = w.order[1:]
+		delete(w.responses, old)
+	}
+}
+
+// Len returns the total number of cached responses (diagnostic).
+func (c *DupCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, w := range c.clients {
+		n += len(w.responses)
+	}
+	return n
+}
+
+// Endpoint wraps a Handler with the duplicate-request cache.
+type Endpoint struct {
+	handler Handler
+	dup     *DupCache
+	met     *metrics.Set
+	// NoDupCache disables idempotency (ablation for E13): every message is
+	// executed, duplicates included.
+	noDup bool
+}
+
+// EndpointOption configures an Endpoint.
+type EndpointOption func(*Endpoint)
+
+// WithMetrics records request/duplicate counters.
+func WithMetrics(m *metrics.Set) EndpointOption { return func(e *Endpoint) { e.met = m } }
+
+// WithoutDupCache disables the duplicate-request cache (E13 ablation).
+func WithoutDupCache() EndpointOption { return func(e *Endpoint) { e.noDup = true } }
+
+// WithWindow sets the duplicate-cache window size.
+func WithWindow(n int) EndpointOption { return func(e *Endpoint) { e.dup = NewDupCache(n) } }
+
+// NewEndpoint wraps handler.
+func NewEndpoint(handler Handler, opts ...EndpointOption) *Endpoint {
+	e := &Endpoint{handler: handler, dup: NewDupCache(0)}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Handle executes (or replays) one request.
+func (e *Endpoint) Handle(req Request) Response {
+	e.met.Inc(metrics.RPCRequests)
+	if !e.noDup {
+		if resp, ok := e.dup.Lookup(req.ClientID, req.Seq); ok {
+			e.met.Inc(metrics.RPCDuplicates)
+			return resp
+		}
+	}
+	body, err := e.handler(req.Method, req.Body)
+	resp := Response{Seq: req.Seq, Body: body}
+	if err != nil {
+		resp.Err = err.Error()
+	}
+	if !e.noDup {
+		e.dup.Store(req.ClientID, req.Seq, resp)
+	}
+	return resp
+}
+
+// Transport delivers requests to an endpoint.
+type Transport interface {
+	Send(Request) (Response, error)
+	Close() error
+}
+
+// FaultConfig injects network faults into the in-process transport.
+type FaultConfig struct {
+	// DropProb is the probability a message (request or its response) is
+	// lost; the caller sees ErrDropped and retries.
+	DropProb float64
+	// DupProb is the probability the request is delivered twice before the
+	// response returns.
+	DupProb float64
+	// Seed makes the injection deterministic.
+	Seed int64
+}
+
+// InProc is an in-process transport with optional fault injection.
+type InProc struct {
+	ep  *Endpoint
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg FaultConfig
+
+	closed bool
+}
+
+// NewInProc connects to ep with the given fault configuration.
+func NewInProc(ep *Endpoint, cfg FaultConfig) *InProc {
+	return &InProc{ep: ep, rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+}
+
+var _ Transport = (*InProc)(nil)
+
+// Send delivers the request, possibly duplicating or dropping it.
+func (t *InProc) Send(req Request) (Response, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return Response{}, ErrClosed
+	}
+	drop := t.rng.Float64() < t.cfg.DropProb
+	dup := t.rng.Float64() < t.cfg.DupProb
+	t.mu.Unlock()
+	if dup {
+		// The network delivered an extra copy; its response is lost.
+		t.ep.Handle(req)
+	}
+	if drop {
+		return Response{}, ErrDropped
+	}
+	return t.ep.Handle(req), nil
+}
+
+// Close marks the transport closed.
+func (t *InProc) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	return nil
+}
+
+// Client issues requests over a transport with retries; combined with the
+// endpoint's duplicate cache, Call is exactly-once with respect to effects.
+type Client struct {
+	t        Transport
+	clientID uint64
+	met      *metrics.Set
+	retries  int
+
+	mu  sync.Mutex
+	seq uint64
+}
+
+// NewClient creates a client with the given identity. retries bounds the
+// number of resends after a lost message (default 10).
+func NewClient(t Transport, clientID uint64, retries int, met *metrics.Set) *Client {
+	if retries <= 0 {
+		retries = 10
+	}
+	return &Client{t: t, clientID: clientID, retries: retries, met: met}
+}
+
+// Call invokes method with the encoded body, retrying lost messages.
+// Service-level failures are returned as *ServiceError.
+func (c *Client) Call(method string, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	c.seq++
+	req := Request{ClientID: c.clientID, Seq: c.seq, Method: method, Body: body}
+	c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.met.Inc(metrics.RPCRetries)
+		}
+		resp, err := c.t.Send(req)
+		if err != nil {
+			if errors.Is(err, ErrDropped) {
+				lastErr = err
+				continue
+			}
+			return nil, err
+		}
+		if resp.Err != "" {
+			return resp.Body, &ServiceError{Method: method, Message: resp.Err}
+		}
+		return resp.Body, nil
+	}
+	return nil, fmt.Errorf("rpc: %s failed after %d retries: %w", method, c.retries, lastErr)
+}
+
+// ServiceError is an application-level failure returned by the remote
+// handler.
+type ServiceError struct {
+	Method  string
+	Message string
+}
+
+// Error implements error.
+func (e *ServiceError) Error() string { return fmt.Sprintf("rpc: %s: %s", e.Method, e.Message) }

@@ -1,0 +1,289 @@
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// countingHandler counts executions per method and echoes the body.
+type countingHandler struct {
+	mu    sync.Mutex
+	execs map[string]int
+}
+
+func newCountingHandler() *countingHandler {
+	return &countingHandler{execs: make(map[string]int)}
+}
+
+func (h *countingHandler) handle(method string, body []byte) ([]byte, error) {
+	h.mu.Lock()
+	h.execs[method]++
+	h.mu.Unlock()
+	if method == "fail" {
+		return nil, errors.New("deliberate failure")
+	}
+	return append([]byte("echo:"), body...), nil
+}
+
+func (h *countingHandler) count(method string) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.execs[method]
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	h := newCountingHandler()
+	ep := NewEndpoint(h.handle)
+	c := NewClient(NewInProc(ep, FaultConfig{}), 1, 0, nil)
+	got, err := c.Call("ping", []byte("x"))
+	if err != nil || string(got) != "echo:x" {
+		t.Fatalf("Call = %q, %v", got, err)
+	}
+	if h.count("ping") != 1 {
+		t.Fatalf("handler ran %d times, want 1", h.count("ping"))
+	}
+}
+
+func TestServiceErrorPropagates(t *testing.T) {
+	h := newCountingHandler()
+	ep := NewEndpoint(h.handle)
+	c := NewClient(NewInProc(ep, FaultConfig{}), 1, 0, nil)
+	_, err := c.Call("fail", nil)
+	var se *ServiceError
+	if !errors.As(err, &se) {
+		t.Fatalf("Call = %v, want ServiceError", err)
+	}
+	if se.Method != "fail" || se.Message != "deliberate failure" {
+		t.Fatalf("ServiceError = %+v", se)
+	}
+}
+
+func TestRetriesAfterLossNoDoubleExecution(t *testing.T) {
+	// E13's heart: with 40% loss, calls still succeed and no request
+	// executes twice.
+	h := newCountingHandler()
+	met := metrics.NewSet()
+	ep := NewEndpoint(h.handle, WithMetrics(met))
+	c := NewClient(NewInProc(ep, FaultConfig{DropProb: 0.4, Seed: 7}), 1, 100, met)
+	for i := 0; i < 50; i++ {
+		m := "op" + strconv.Itoa(i)
+		if _, err := c.Call(m, nil); err != nil {
+			t.Fatalf("Call %s: %v", m, err)
+		}
+		if h.count(m) != 1 {
+			t.Fatalf("%s executed %d times, want exactly 1", m, h.count(m))
+		}
+	}
+	if met.Get(metrics.RPCRetries) == 0 {
+		t.Fatal("no retries recorded despite 40% drop rate")
+	}
+}
+
+func TestDuplicatesAnsweredFromCache(t *testing.T) {
+	h := newCountingHandler()
+	met := metrics.NewSet()
+	ep := NewEndpoint(h.handle, WithMetrics(met))
+	c := NewClient(NewInProc(ep, FaultConfig{DupProb: 1.0, Seed: 3}), 1, 10, met)
+	for i := 0; i < 20; i++ {
+		m := "dup" + strconv.Itoa(i)
+		if _, err := c.Call(m, nil); err != nil {
+			t.Fatal(err)
+		}
+		if h.count(m) != 1 {
+			t.Fatalf("%s executed %d times under duplication, want 1", m, h.count(m))
+		}
+	}
+	if met.Get(metrics.RPCDuplicates) == 0 {
+		t.Fatal("duplicate counter never incremented")
+	}
+}
+
+func TestAblationWithoutDupCacheDoubleExecutes(t *testing.T) {
+	h := newCountingHandler()
+	ep := NewEndpoint(h.handle, WithoutDupCache())
+	c := NewClient(NewInProc(ep, FaultConfig{DupProb: 1.0, Seed: 3}), 1, 10, nil)
+	if _, err := c.Call("op", nil); err != nil {
+		t.Fatal(err)
+	}
+	if h.count("op") < 2 {
+		t.Fatalf("without the cache, duplicated request executed %d times, want >= 2", h.count("op"))
+	}
+}
+
+func TestDupCacheWindowEviction(t *testing.T) {
+	c := NewDupCache(2)
+	c.Store(1, 1, Response{Seq: 1})
+	c.Store(1, 2, Response{Seq: 2})
+	c.Store(1, 3, Response{Seq: 3})
+	if _, ok := c.Lookup(1, 1); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := c.Lookup(1, 3); !ok {
+		t.Fatal("newest entry missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	// Per-client isolation.
+	c.Store(2, 1, Response{Seq: 1})
+	if _, ok := c.Lookup(2, 1); !ok {
+		t.Fatal("second client's entry missing")
+	}
+}
+
+func TestClientsHaveIndependentSequences(t *testing.T) {
+	h := newCountingHandler()
+	ep := NewEndpoint(h.handle)
+	c1 := NewClient(NewInProc(ep, FaultConfig{}), 1, 0, nil)
+	c2 := NewClient(NewInProc(ep, FaultConfig{}), 2, 0, nil)
+	if _, err := c1.Call("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Call("a", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Same seq (1) from different clients must both execute.
+	if h.count("a") != 2 {
+		t.Fatalf("executed %d times, want 2 (per-client windows)", h.count("a"))
+	}
+}
+
+func TestExhaustedRetries(t *testing.T) {
+	h := newCountingHandler()
+	ep := NewEndpoint(h.handle)
+	c := NewClient(NewInProc(ep, FaultConfig{DropProb: 1.0, Seed: 1}), 1, 3, nil)
+	if _, err := c.Call("x", nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("Call on dead network = %v, want wrapped ErrDropped", err)
+	}
+}
+
+func TestClosedTransport(t *testing.T) {
+	ep := NewEndpoint(newCountingHandler().handle)
+	tr := NewInProc(ep, FaultConfig{})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(tr, 1, 0, nil)
+	if _, err := c.Call("x", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Call after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	h := newCountingHandler()
+	ep := NewEndpoint(h.handle, WithWindow(4096))
+	c := NewClient(NewInProc(ep, FaultConfig{DropProb: 0.2, Seed: 11}), 1, 100, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := c.Call(fmt.Sprintf("w%d-%d", w, i), nil); err != nil {
+					t.Errorf("Call: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 50; i++ {
+			m := fmt.Sprintf("w%d-%d", w, i)
+			if h.count(m) != 1 {
+				t.Fatalf("%s executed %d times", m, h.count(m))
+			}
+		}
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := newCountingHandler()
+	ep := NewEndpoint(h.handle)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, ep)
+	defer func() { _ = srv.Close() }()
+	tr, err := DialTCP(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	c := NewClient(tr, 42, 3, nil)
+	got, err := c.Call("ping", []byte("net"))
+	if err != nil || string(got) != "echo:net" {
+		t.Fatalf("TCP Call = %q, %v", got, err)
+	}
+	// Errors over TCP.
+	if _, err := c.Call("fail", nil); err == nil {
+		t.Fatal("service error lost over TCP")
+	}
+}
+
+func TestTCPServerCloseUnblocksClients(t *testing.T) {
+	h := newCountingHandler()
+	ep := NewEndpoint(h.handle)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, ep)
+	tr, err := DialTCP(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(tr, 1, 1, nil)
+	if _, err := c.Call("ping", nil); err == nil {
+		t.Fatal("call to closed server succeeded")
+	}
+}
+
+func TestTCPReconnectAfterServerRestart(t *testing.T) {
+	h := newCountingHandler()
+	ep := NewEndpoint(h.handle)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := Serve(ln, ep)
+	tr, err := DialTCP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+	c := NewClient(tr, 1, 20, nil)
+	if _, err := c.Call("one", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the server on the same address (same endpoint, so the
+	// duplicate cache survives, as a restarted service's would from stable
+	// storage).
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	srv2 := Serve(ln2, ep)
+	defer func() { _ = srv2.Close() }()
+	if _, err := c.Call("two", nil); err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+	if h.count("two") != 1 {
+		t.Fatalf("post-restart call executed %d times", h.count("two"))
+	}
+}

@@ -1,0 +1,168 @@
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPServer serves an Endpoint over TCP, one goroutine per connection, with
+// gob framing. Close stops the listener and waits for connections to drain.
+type TCPServer struct {
+	ep *Endpoint
+	ln net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// Serve starts serving ep on ln. It returns immediately; the listener runs
+// until Close.
+func Serve(ln net.Listener, ep *Endpoint) *TCPServer {
+	s := &TCPServer{ep: ep, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener address.
+func (s *TCPServer) Addr() net.Addr { return s.ln.Addr() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := s.ep.Handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and closes all connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// TCPTransport is a client transport over one TCP connection, reconnecting
+// on failure. Sends are serialized.
+type TCPTransport struct {
+	addr string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	enc    *gob.Encoder
+	dec    *gob.Decoder
+	closed bool
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// DialTCP connects to a TCPServer.
+func DialTCP(addr string) (*TCPTransport, error) {
+	t := &TCPTransport{addr: addr}
+	if err := t.reconnectLocked(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *TCPTransport) reconnectLocked() error {
+	conn, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		return fmt.Errorf("rpc: dial %s: %w", t.addr, err)
+	}
+	t.conn = conn
+	t.enc = gob.NewEncoder(conn)
+	t.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// Send issues one request and waits for its response. A broken connection is
+// re-dialed once and surfaces as ErrDropped so the Client's retry (and the
+// server's duplicate cache) provide the exactly-once behaviour.
+func (t *TCPTransport) Send(req Request) (Response, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return Response{}, ErrClosed
+	}
+	if t.conn == nil {
+		if err := t.reconnectLocked(); err != nil {
+			return Response{}, errors.Join(ErrDropped, err)
+		}
+	}
+	if err := t.enc.Encode(req); err != nil {
+		t.dropConnLocked()
+		return Response{}, errors.Join(ErrDropped, err)
+	}
+	var resp Response
+	if err := t.dec.Decode(&resp); err != nil {
+		t.dropConnLocked()
+		return Response{}, errors.Join(ErrDropped, err)
+	}
+	return resp, nil
+}
+
+func (t *TCPTransport) dropConnLocked() {
+	if t.conn != nil {
+		_ = t.conn.Close()
+		t.conn = nil
+	}
+}
+
+// Close closes the connection.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	t.dropConnLocked()
+	return nil
+}

@@ -1,0 +1,351 @@
+// Package rpcfs puts the basic file service and the naming service behind
+// the message layer (package rpc), so client machines can reach a remote
+// RHODOS server: cmd/rhodosd serves this protocol over TCP and cmd/rhodos
+// (plus agent.FileService proxies) consume it.
+//
+// Arguments and replies are gob-encoded; every operation inherits the
+// idempotent request semantics of the rpc endpoint (§3).
+package rpcfs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"repro/internal/agent"
+	"repro/internal/fileservice"
+	"repro/internal/fit"
+	"repro/internal/naming"
+	"repro/internal/rpc"
+)
+
+// Method names.
+const (
+	MCreate   = "fs.create"
+	MOpen     = "fs.open"
+	MClose    = "fs.close"
+	MDelete   = "fs.delete"
+	MReadAt   = "fs.readAt"
+	MWriteAt  = "fs.writeAt"
+	MTruncate = "fs.truncate"
+	MAttr     = "fs.attributes"
+	MSize     = "fs.size"
+
+	MResolve    = "name.resolve"
+	MRegister   = "name.register"
+	MUnregister = "name.unregister"
+	MList       = "name.list"
+)
+
+// Request/reply payloads.
+type (
+	// CreateArgs creates a file; the path, when nonempty, is registered in
+	// the naming service.
+	CreateArgs struct {
+		Attr fit.Attributes
+		Path string
+	}
+	// IDArgs addresses a file by system name.
+	IDArgs struct{ ID uint64 }
+	// ReadAtArgs reads N bytes at Off.
+	ReadAtArgs struct {
+		ID  uint64
+		Off int64
+		N   int
+	}
+	// WriteAtArgs writes Data at Off.
+	WriteAtArgs struct {
+		ID   uint64
+		Off  int64
+		Data []byte
+	}
+	// TruncateArgs sets the file size.
+	TruncateArgs struct {
+		ID   uint64
+		Size int64
+	}
+	// PathArgs addresses by attributed path name.
+	PathArgs struct{ Path string }
+	// ResolveReply returns a naming entry.
+	ResolveReply struct{ Entry naming.Entry }
+	// ListReply returns directory children.
+	ListReply struct{ Names []string }
+	// IntReply returns a count or identifier.
+	IntReply struct{ V int64 }
+	// AttrReply returns attributes.
+	AttrReply struct{ Attr fit.Attributes }
+	// BytesReply returns data.
+	BytesReply struct{ Data []byte }
+	// Empty is the empty reply.
+	Empty struct{}
+)
+
+func enc(v any) ([]byte, error) {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+func dec(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+// Server adapts the file and naming services to an rpc.Handler.
+type Server struct {
+	Files  *fileservice.Service
+	Naming *naming.Service
+}
+
+// Handler returns the rpc handler.
+func (s *Server) Handler() rpc.Handler {
+	return func(method string, body []byte) ([]byte, error) {
+		switch method {
+		case MCreate:
+			var a CreateArgs
+			if err := dec(body, &a); err != nil {
+				return nil, err
+			}
+			id, err := s.Files.Create(a.Attr)
+			if err != nil {
+				return nil, err
+			}
+			if a.Path != "" {
+				if err := s.Naming.Register(naming.Entry{
+					Name:       naming.Name{"type": "FILE", "path": a.Path},
+					Type:       naming.FileObject,
+					SystemName: uint64(id),
+					Service:    "rhodosd",
+				}); err != nil {
+					_ = s.Files.Delete(id)
+					return nil, err
+				}
+			}
+			return enc(IntReply{V: int64(id)})
+		case MOpen:
+			var a IDArgs
+			if err := dec(body, &a); err != nil {
+				return nil, err
+			}
+			if err := s.Files.Open(fileservice.FileID(a.ID)); err != nil {
+				return nil, err
+			}
+			return enc(Empty{})
+		case MClose:
+			var a IDArgs
+			if err := dec(body, &a); err != nil {
+				return nil, err
+			}
+			if err := s.Files.Close(fileservice.FileID(a.ID)); err != nil {
+				return nil, err
+			}
+			return enc(Empty{})
+		case MDelete:
+			var a IDArgs
+			if err := dec(body, &a); err != nil {
+				return nil, err
+			}
+			if err := s.Files.Delete(fileservice.FileID(a.ID)); err != nil {
+				return nil, err
+			}
+			s.Naming.UnregisterSystemName(naming.FileObject, a.ID)
+			return enc(Empty{})
+		case MReadAt:
+			var a ReadAtArgs
+			if err := dec(body, &a); err != nil {
+				return nil, err
+			}
+			data, err := s.Files.ReadAt(fileservice.FileID(a.ID), a.Off, a.N)
+			if err != nil {
+				return nil, err
+			}
+			return enc(BytesReply{Data: data})
+		case MWriteAt:
+			var a WriteAtArgs
+			if err := dec(body, &a); err != nil {
+				return nil, err
+			}
+			n, err := s.Files.WriteAt(fileservice.FileID(a.ID), a.Off, a.Data)
+			if err != nil {
+				return nil, err
+			}
+			return enc(IntReply{V: int64(n)})
+		case MTruncate:
+			var a TruncateArgs
+			if err := dec(body, &a); err != nil {
+				return nil, err
+			}
+			if err := s.Files.Truncate(fileservice.FileID(a.ID), a.Size); err != nil {
+				return nil, err
+			}
+			return enc(Empty{})
+		case MAttr:
+			var a IDArgs
+			if err := dec(body, &a); err != nil {
+				return nil, err
+			}
+			attr, err := s.Files.Attributes(fileservice.FileID(a.ID))
+			if err != nil {
+				return nil, err
+			}
+			return enc(AttrReply{Attr: attr})
+		case MSize:
+			var a IDArgs
+			if err := dec(body, &a); err != nil {
+				return nil, err
+			}
+			size, err := s.Files.Size(fileservice.FileID(a.ID))
+			if err != nil {
+				return nil, err
+			}
+			return enc(IntReply{V: size})
+		case MResolve:
+			var a PathArgs
+			if err := dec(body, &a); err != nil {
+				return nil, err
+			}
+			e, err := s.Naming.ResolvePath(a.Path)
+			if err != nil {
+				return nil, err
+			}
+			return enc(ResolveReply{Entry: e})
+		case MList:
+			var a PathArgs
+			if err := dec(body, &a); err != nil {
+				return nil, err
+			}
+			return enc(ListReply{Names: s.Naming.List(a.Path)})
+		default:
+			return nil, fmt.Errorf("rpcfs: unknown method %q", method)
+		}
+	}
+}
+
+// Client is an agent.FileService implementation backed by a remote server,
+// plus the naming calls the CLI needs.
+type Client struct {
+	C *rpc.Client
+}
+
+var _ agent.FileService = (*Client)(nil)
+
+func (c *Client) call(method string, args, reply any) error {
+	body, err := enc(args)
+	if err != nil {
+		return err
+	}
+	out, err := c.C.Call(method, body)
+	if err != nil {
+		return err
+	}
+	if reply != nil {
+		return dec(out, reply)
+	}
+	return nil
+}
+
+// CreatePath creates a file registered under path.
+func (c *Client) CreatePath(attr fit.Attributes, path string) (fileservice.FileID, error) {
+	var r IntReply
+	if err := c.call(MCreate, CreateArgs{Attr: attr, Path: path}, &r); err != nil {
+		return 0, err
+	}
+	return fileservice.FileID(r.V), nil
+}
+
+// Create implements agent.FileService.
+func (c *Client) Create(attr fit.Attributes) (fileservice.FileID, error) {
+	return c.CreatePath(attr, "")
+}
+
+// Open implements agent.FileService.
+func (c *Client) Open(id fileservice.FileID) error {
+	return c.call(MOpen, IDArgs{ID: uint64(id)}, nil)
+}
+
+// Close implements agent.FileService.
+func (c *Client) Close(id fileservice.FileID) error {
+	return c.call(MClose, IDArgs{ID: uint64(id)}, nil)
+}
+
+// Delete implements agent.FileService.
+func (c *Client) Delete(id fileservice.FileID) error {
+	return c.call(MDelete, IDArgs{ID: uint64(id)}, nil)
+}
+
+// ReadAt implements agent.FileService.
+func (c *Client) ReadAt(id fileservice.FileID, off int64, n int) ([]byte, error) {
+	var r BytesReply
+	if err := c.call(MReadAt, ReadAtArgs{ID: uint64(id), Off: off, N: n}, &r); err != nil {
+		return nil, err
+	}
+	return r.Data, nil
+}
+
+// WriteAt implements agent.FileService.
+func (c *Client) WriteAt(id fileservice.FileID, off int64, data []byte) (int, error) {
+	var r IntReply
+	if err := c.call(MWriteAt, WriteAtArgs{ID: uint64(id), Off: off, Data: data}, &r); err != nil {
+		return 0, err
+	}
+	return int(r.V), nil
+}
+
+// Truncate implements agent.FileService.
+func (c *Client) Truncate(id fileservice.FileID, size int64) error {
+	return c.call(MTruncate, TruncateArgs{ID: uint64(id), Size: size}, nil)
+}
+
+// Attributes implements agent.FileService.
+func (c *Client) Attributes(id fileservice.FileID) (fit.Attributes, error) {
+	var r AttrReply
+	if err := c.call(MAttr, IDArgs{ID: uint64(id)}, &r); err != nil {
+		return fit.Attributes{}, err
+	}
+	return r.Attr, nil
+}
+
+// Size implements agent.FileService.
+func (c *Client) Size(id fileservice.FileID) (int64, error) {
+	var r IntReply
+	if err := c.call(MSize, IDArgs{ID: uint64(id)}, &r); err != nil {
+		return 0, err
+	}
+	return r.V, nil
+}
+
+// Resolve resolves an attributed path name remotely.
+func (c *Client) Resolve(path string) (naming.Entry, error) {
+	var r ResolveReply
+	if err := c.call(MResolve, PathArgs{Path: path}, &r); err != nil {
+		return naming.Entry{}, err
+	}
+	return r.Entry, nil
+}
+
+// List lists directory children remotely.
+func (c *Client) List(dir string) ([]string, error) {
+	var r ListReply
+	if err := c.call(MList, PathArgs{Path: dir}, &r); err != nil {
+		return nil, err
+	}
+	return r.Names, nil
+}
+
+// IsNotFound reports whether a remote error is a not-found condition (the
+// error crossed the wire as a string).
+func IsNotFound(err error) bool {
+	var se *rpc.ServiceError
+	return errors.As(err, &se) && containsAny(se.Message, "no such file", "no entry matches")
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if bytes.Contains([]byte(s), []byte(sub)) {
+			return true
+		}
+	}
+	return false
+}

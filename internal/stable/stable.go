@@ -1,0 +1,259 @@
+// Package stable implements stable storage (§2.1, §6.6): a pair of mirrored
+// simulated drives written with the careful-write discipline, so that every
+// vital structure survives the loss or corruption of either copy.
+//
+// Writes go to the primary first and then to the mirror; reads come from the
+// primary and fall back to the mirror (repairing the primary) on a media
+// error. A recovery scan reconciles the two copies after a crash: an
+// unreadable copy is restored from its twin, and when both are readable but
+// differ — the signature of a crash between the two careful writes — the
+// primary wins, because it is written first and therefore holds the newer
+// data.
+//
+// The store also embeds a fragment allocator so that its clients (the disk
+// service's structural mirrors, the write-ahead log, shadow-page staging)
+// can claim disjoint regions of the stable address space.
+package stable
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/freespace"
+	"repro/internal/metrics"
+)
+
+// ErrClosed reports use of a store after Close.
+var ErrClosed = errors.New("stable: store closed")
+
+// Store is a mirrored stable store. It is safe for concurrent use.
+type Store struct {
+	primary *device.Disk
+	mirror  *device.Disk
+	alloc   *freespace.Map
+	met     *metrics.Set
+
+	mu      sync.Mutex
+	closed  bool
+	pending sync.WaitGroup // deferred writes in flight
+	deferCh chan deferred
+	loopWG  sync.WaitGroup
+
+	errMu   sync.Mutex
+	lastErr error // first error from a deferred write
+}
+
+type deferred struct {
+	start int
+	data  []byte
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithMetrics sets the metric set receiving stable-write counters.
+func WithMetrics(s *metrics.Set) Option { return func(st *Store) { st.met = s } }
+
+// NewStore creates a stable store over two drives of identical geometry.
+// Close must be called to stop the deferred-write worker.
+func NewStore(primary, mirror *device.Disk, opts ...Option) (*Store, error) {
+	if primary == nil || mirror == nil {
+		return nil, errors.New("stable: nil device")
+	}
+	if primary.Geometry() != mirror.Geometry() {
+		return nil, fmt.Errorf("stable: mismatched geometries %+v vs %+v",
+			primary.Geometry(), mirror.Geometry())
+	}
+	alloc, err := freespace.NewMap(primary.Geometry().Capacity())
+	if err != nil {
+		return nil, err
+	}
+	st := &Store{
+		primary: primary,
+		mirror:  mirror,
+		alloc:   alloc,
+		deferCh: make(chan deferred, 64),
+	}
+	for _, o := range opts {
+		o(st)
+	}
+	st.loopWG.Add(1)
+	go st.deferLoop()
+	return st, nil
+}
+
+// Capacity returns the store size in fragments.
+func (s *Store) Capacity() int { return s.primary.Geometry().Capacity() }
+
+// Allocate claims n contiguous stable fragments.
+func (s *Store) Allocate(n int) (int, error) { return s.alloc.Allocate(n) }
+
+// AllocateAt claims the exact span [start, start+n).
+func (s *Store) AllocateAt(start, n int) error { return s.alloc.AllocateAt(start, n) }
+
+// Free releases a span claimed with Allocate.
+func (s *Store) Free(start, n int) error { return s.alloc.Free(start, n) }
+
+// FreeCount returns the number of unclaimed stable fragments.
+func (s *Store) FreeCount() int { return s.alloc.FreeCount() }
+
+// Write stores data (a whole number of fragments) at the given fragment
+// address on both mirrors, primary first, returning when both copies are on
+// disk. This is the "call returned after saving on stable storage" flavour
+// of put-block (§4).
+func (s *Store) Write(start int, data []byte) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	s.mu.Unlock()
+	if err := s.primary.WriteFragments(start, data); err != nil {
+		return fmt.Errorf("stable: primary write: %w", err)
+	}
+	if err := s.mirror.WriteFragments(start, data); err != nil {
+		return fmt.Errorf("stable: mirror write: %w", err)
+	}
+	s.met.Inc(metrics.StableWrites)
+	return nil
+}
+
+// WriteDeferred queues data for stable write and returns immediately — the
+// "call returned before saving on stable storage" flavour of put-block (§4).
+// The data slice is copied. Errors surface from Flush or Close.
+func (s *Store) WriteDeferred(start int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.pending.Add(1)
+	s.deferCh <- deferred{start: start, data: cp}
+	return nil
+}
+
+func (s *Store) deferLoop() {
+	defer s.loopWG.Done()
+	for d := range s.deferCh {
+		if err := s.writeBoth(d.start, d.data); err != nil {
+			s.errMu.Lock()
+			if s.lastErr == nil {
+				s.lastErr = err
+			}
+			s.errMu.Unlock()
+		}
+		s.pending.Done()
+	}
+}
+
+func (s *Store) writeBoth(start int, data []byte) error {
+	if err := s.primary.WriteFragments(start, data); err != nil {
+		return fmt.Errorf("stable: primary write: %w", err)
+	}
+	if err := s.mirror.WriteFragments(start, data); err != nil {
+		return fmt.Errorf("stable: mirror write: %w", err)
+	}
+	s.met.Inc(metrics.StableWrites)
+	return nil
+}
+
+// Flush waits for all deferred writes to reach both mirrors and returns the
+// first deferred-write error, if any.
+func (s *Store) Flush() error {
+	s.pending.Wait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.lastErr
+}
+
+// Read returns n fragments starting at start. It reads the primary and, on
+// a media error, falls back to the mirror and repairs the primary copy.
+func (s *Store) Read(start, n int) ([]byte, error) {
+	data, perr := s.primary.ReadFragments(start, n)
+	if perr == nil {
+		return data, nil
+	}
+	if !errors.Is(perr, device.ErrMediaError) && !errors.Is(perr, device.ErrFailed) {
+		return nil, perr
+	}
+	data, merr := s.mirror.ReadFragments(start, n)
+	if merr != nil {
+		return nil, fmt.Errorf("stable: both copies unreadable: primary %v, mirror %w", perr, merr)
+	}
+	// Repair the primary if it is online; a powered-off primary is repaired
+	// by the next Recover.
+	if errors.Is(perr, device.ErrMediaError) {
+		if werr := s.primary.WriteFragments(start, data); werr != nil {
+			return data, nil // data is good; repair is best-effort
+		}
+	}
+	return data, nil
+}
+
+// RecoveryReport summarizes a Recover scan.
+type RecoveryReport struct {
+	FragmentsScanned  int
+	PrimaryRepaired   int // primary fragments restored from the mirror
+	MirrorRepaired    int // mirror fragments restored from the primary
+	DivergenceHealed  int // both readable but different; primary propagated
+	UnrecoverableLost int // both copies unreadable (catastrophe)
+}
+
+// Recover reconciles the two mirrors after a crash, scanning track by track.
+// It implements the stable-storage recovery rule: restore an unreadable copy
+// from its twin; when both copies are readable but differ, the primary —
+// written first — wins.
+func (s *Store) Recover() (RecoveryReport, error) {
+	var rep RecoveryReport
+	geom := s.primary.Geometry()
+	for f := 0; f < geom.Capacity(); f++ {
+		rep.FragmentsScanned++
+		p, perr := s.primary.ReadFragments(f, 1)
+		m, merr := s.mirror.ReadFragments(f, 1)
+		switch {
+		case perr == nil && merr == nil:
+			if !bytes.Equal(p, m) {
+				if err := s.mirror.WriteFragments(f, p); err != nil {
+					return rep, fmt.Errorf("stable: healing mirror fragment %d: %w", f, err)
+				}
+				rep.DivergenceHealed++
+			}
+		case perr != nil && merr == nil:
+			if err := s.primary.WriteFragments(f, m); err != nil {
+				return rep, fmt.Errorf("stable: restoring primary fragment %d: %w", f, err)
+			}
+			rep.PrimaryRepaired++
+		case perr == nil && merr != nil:
+			if err := s.mirror.WriteFragments(f, p); err != nil {
+				return rep, fmt.Errorf("stable: restoring mirror fragment %d: %w", f, err)
+			}
+			rep.MirrorRepaired++
+		default:
+			rep.UnrecoverableLost++
+		}
+	}
+	return rep, nil
+}
+
+// Close drains deferred writes and stops the worker. It returns the first
+// deferred-write error, if any. Close is idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.pending.Wait()
+	close(s.deferCh)
+	s.loopWG.Wait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.lastErr
+}

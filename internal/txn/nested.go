@@ -1,0 +1,235 @@
+package txn
+
+import (
+	"fmt"
+
+	"repro/internal/intentions"
+)
+
+// Nested transactions. §6.4 acknowledges that "a transaction can also take a
+// long time if it is nested"; this file provides the subtransaction model
+// that remark presupposes, in the simplified Moss style:
+//
+//   - A child transaction acquires locks on behalf of its top-level ancestor
+//     (the lock manager sees one transaction), so locks survive child commit
+//     and release only when the top-level transaction ends — strict 2PL for
+//     the whole family.
+//   - A child's reads see the committed state overlaid with every ancestor's
+//     tentative data and then its own.
+//   - Child commit merges its intentions (and created/deleted lists, file
+//     opens and tentative sizes) into the parent; nothing reaches the log or
+//     the disks until the top-level commit.
+//   - Child abort discards only the child's own tentative data; the
+//     ancestors' work is untouched. Locks the child acquired are retained by
+//     the family (a conservative, safe simplification).
+
+// ErrLiveChildren reports an End/Abort of a transaction that still has
+// running subtransactions.
+var ErrLiveChildren = fmt.Errorf("txn: transaction has live subtransactions")
+
+// BeginChild starts a subtransaction of parent.
+func (s *Service) BeginChild(parent TxnID) (TxnID, error) {
+	pt, err := s.get(parent)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	ct := &txnState{
+		id: id, pid: pt.pid,
+		parent:     pt,
+		lockID:     pt.lockID,
+		files:      make(map[FileID]*txnFile),
+		openedSelf: make(map[FileID]bool),
+		list:       intentions.NewList(uint64(id)),
+	}
+	pt.mu.Lock()
+	if pt.done {
+		pt.mu.Unlock()
+		return 0, ErrAborted
+	}
+	pt.children++
+	pt.kids = append(pt.kids, ct)
+	pt.mu.Unlock()
+	s.mu.Lock()
+	s.txns[id] = ct
+	s.mu.Unlock()
+	return id, nil
+}
+
+// IsChild reports whether the transaction is a subtransaction.
+func (s *Service) IsChild(id TxnID) bool {
+	t, err := s.get(id)
+	if err != nil {
+		return false
+	}
+	return t.parent != nil
+}
+
+// ancestry returns the chain of intention lists from the top-level ancestor
+// down to (and including) t, the order overlays apply in.
+func (t *txnState) ancestry() []*intentions.List {
+	var chain []*intentions.List
+	for cur := t; cur != nil; cur = cur.parent {
+		chain = append(chain, cur.list)
+	}
+	// Reverse: root first.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain
+}
+
+// inheritedFile looks the file up in the ancestors and clones its view into
+// t. Returns nil when no ancestor has it open.
+func (t *txnState) inheritedFile(fid FileID) *txnFile {
+	for cur := t.parent; cur != nil; cur = cur.parent {
+		cur.mu.Lock()
+		f, ok := cur.files[fid]
+		if ok {
+			cp := &txnFile{
+				id: fid, level: f.level,
+				size: f.size, baseBlocks: f.baseBlocks,
+			}
+			cur.mu.Unlock()
+			return cp
+		}
+		cur.mu.Unlock()
+	}
+	return nil
+}
+
+// endChild merges the committed child into its parent.
+func (s *Service) endChild(t *txnState) error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrAborted
+	}
+	if t.children > 0 {
+		t.mu.Unlock()
+		return ErrLiveChildren
+	}
+	t.done = true
+	p := t.parent
+	files := t.files
+	openedSelf := t.openedSelf
+	created := t.created
+	deleted := t.deleted
+	t.mu.Unlock()
+
+	_ = t.list.SetStatus(intentions.Committed)
+	// Merge intentions in order; page intentions for the same block replace
+	// the parent's (the child saw the newer data).
+	for _, rec := range t.list.GetIntentions() {
+		rec.Seq = 0
+		if err := p.list.SetIntention(rec); err != nil {
+			return err
+		}
+	}
+	p.mu.Lock()
+	for fid, f := range files {
+		if pf, ok := p.files[fid]; ok {
+			pf.size = f.size // the child's tentative size is the newest view
+		} else {
+			p.files[fid] = f
+			// The child's fs-level open transfers to the parent, which will
+			// release it at top-level end.
+			if openedSelf[fid] {
+				if p.openedSelf == nil {
+					p.openedSelf = map[FileID]bool{}
+				}
+				p.openedSelf[fid] = true
+			}
+		}
+	}
+	p.created = append(p.created, created...)
+	p.deleted = append(p.deleted, deleted...)
+	p.children--
+	dropKid(p, t)
+	p.mu.Unlock()
+
+	s.mu.Lock()
+	// Ownership of uncommitted-created files moves to the parent.
+	for _, fid := range created {
+		if s.uncommitted[fid] == t.id {
+			s.uncommitted[fid] = p.id
+		}
+	}
+	delete(s.txns, t.id)
+	s.mu.Unlock()
+	return nil
+}
+
+// abortChild rolls back only the child's work.
+func (s *Service) abortChild(t *txnState) {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	p := t.parent
+	created := append([]FileID(nil), t.created...)
+	opened := make([]FileID, 0, len(t.files))
+	for fid := range t.files {
+		opened = append(opened, fid)
+	}
+	t.mu.Unlock()
+
+	_ = t.list.SetStatus(intentions.Aborted)
+	// Files the child created vanish; files it opened are closed (the
+	// parent's own opens are separate fs.Open calls and unaffected —
+	// inherited views were clones without an fs.Open).
+	createdSet := map[FileID]bool{}
+	for _, fid := range created {
+		createdSet[fid] = true
+		s.releaseFile(t, fid)
+		_ = s.fs.Delete(fid)
+	}
+	for _, fid := range opened {
+		if !createdSet[fid] && t.openedSelf[fid] {
+			s.releaseFile(t, fid)
+		}
+	}
+	p.mu.Lock()
+	p.children--
+	dropKid(p, t)
+	p.mu.Unlock()
+	s.mu.Lock()
+	for _, fid := range created {
+		delete(s.uncommitted, fid)
+	}
+	delete(s.txns, t.id)
+	s.mu.Unlock()
+	s.met.Inc(metricTxnChildAborted)
+}
+
+// dropKid removes a finished child from the parent's kid list; callers hold
+// p.mu.
+func dropKid(p, child *txnState) {
+	for i, k := range p.kids {
+		if k == child {
+			p.kids = append(p.kids[:i], p.kids[i+1:]...)
+			return
+		}
+	}
+}
+
+// sameFamily reports whether two transaction ids share a top-level ancestor
+// (callers hold s.mu).
+func (s *Service) sameFamily(a, b TxnID) bool {
+	if a == b {
+		return true
+	}
+	ta, tb := s.txns[a], s.txns[b]
+	if ta == nil || tb == nil {
+		return false
+	}
+	return ta.lockID == tb.lockID
+}
+
+// metricTxnChildAborted counts subtransaction rollbacks.
+const metricTxnChildAborted = "txn.child_aborted"

@@ -1,0 +1,267 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/fit"
+)
+
+func TestNestedCommitMergesIntoParent(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	if _, err := r.svc.PWrite(id, fid, 0, []byte("parent-data")); err != nil {
+		t.Fatal(err)
+	}
+	child, err := r.svc.BeginChild(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.svc.IsChild(child) {
+		t.Fatal("IsChild = false")
+	}
+	// The child sees the parent's tentative data.
+	got, err := r.svc.PRead(child, fid, 0, 11, false)
+	if err != nil || string(got) != "parent-data" {
+		t.Fatalf("child view = %q, %v", got, err)
+	}
+	// The child writes; the parent does not see it until child commit... in
+	// this simplified model the parent sees it only after the merge.
+	if _, err := r.svc.PWrite(child, fid, 0, []byte("CHILD")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(child); err != nil {
+		t.Fatal(err)
+	}
+	// Parent now sees the child's write.
+	got, err = r.svc.PRead(id, fid, 0, 11, false)
+	if err != nil || string(got) != "CHILD-data?"[:11] && string(got) != "CHILD-data " {
+		// Child wrote 5 bytes over "parent-data": "CHILDt-data"? No:
+		// "CHILD" over "parent-data" -> "CHILDt-data"... verify explicitly.
+		if !bytes.Equal(got, []byte("CHILDt-data")) {
+			t.Fatalf("parent view after child commit = %q, %v", got, err)
+		}
+	}
+	// Nothing is committed yet.
+	base, err := r.fs.ReadAt(fid, 0, 11)
+	if err != nil || len(base) != 0 {
+		t.Fatalf("data visible before top-level commit: %q, %v", base, err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	base, err = r.fs.ReadAt(fid, 0, 11)
+	if err != nil || !bytes.Equal(base, []byte("CHILDt-data")) {
+		t.Fatalf("committed data = %q, %v", base, err)
+	}
+}
+
+func TestNestedAbortDiscardsOnlyChildWork(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	if _, err := r.svc.PWrite(id, fid, 0, []byte("keepme")); err != nil {
+		t.Fatal(err)
+	}
+	child, err := r.svc.BeginChild(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(child, fid, 0, []byte("DISCARD")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Abort(child); err != nil {
+		t.Fatal(err)
+	}
+	// The parent's view is intact.
+	got, err := r.svc.PRead(id, fid, 0, 6, false)
+	if err != nil || string(got) != "keepme" {
+		t.Fatalf("parent view after child abort = %q, %v", got, err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	base, err := r.fs.ReadAt(fid, 0, 6)
+	if err != nil || string(base) != "keepme" {
+		t.Fatalf("committed = %q, %v", base, err)
+	}
+}
+
+func TestNestedChildCreatesFile(t *testing.T) {
+	r := newRig(t)
+	id, err := r.svc.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := r.svc.BeginChild(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, err := r.svc.Create(child, fit.Attributes{Locking: fit.LockPage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(child, fid, 0, []byte("from child")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(child); err != nil {
+		t.Fatal(err)
+	}
+	// The parent inherited the created file and can keep writing it.
+	if _, err := r.svc.PWrite(id, fid, 10, []byte(" and parent")); err != nil {
+		t.Fatalf("parent write to child-created file: %v", err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.fs.ReadAt(fid, 0, 21)
+	if err != nil || string(got) != "from child and parent" {
+		t.Fatalf("committed = %q, %v", got, err)
+	}
+}
+
+func TestNestedChildCreateAbortRemovesFile(t *testing.T) {
+	r := newRig(t)
+	id, err := r.svc.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := r.svc.BeginChild(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fid, err := r.svc.Create(child, fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Abort(child); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.fs.Attributes(fid); err == nil {
+		t.Fatal("child-created file survives child abort")
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParentEndBlockedByLiveChild(t *testing.T) {
+	r := newRig(t)
+	id, _ := r.beginWithFile(fit.LockPage)
+	child, err := r.svc.BeginChild(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); !errors.Is(err, ErrLiveChildren) {
+		t.Fatalf("parent End with live child = %v, want ErrLiveChildren", err)
+	}
+	if err := r.svc.End(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatalf("parent End after child: %v", err)
+	}
+}
+
+func TestParentAbortCascadesToChildren(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	child, err := r.svc.BeginChild(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(child, fid, 0, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Abort(id); err != nil {
+		t.Fatal(err)
+	}
+	// The child is gone too.
+	if _, err := r.svc.PRead(child, fid, 0, 1, false); !errors.Is(err, ErrNoTxn) && !errors.Is(err, ErrAborted) {
+		t.Fatalf("child op after parent abort = %v", err)
+	}
+	// The parent-created file was removed.
+	if _, err := r.fs.Attributes(fid); err == nil {
+		t.Fatal("file survives cascaded abort")
+	}
+}
+
+func TestNestedLocksSharedWithFamily(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	if _, err := r.svc.PWrite(id, fid, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	// Parent write-locks page 0; its child can write the same page without
+	// deadlocking against the parent.
+	p, err := r.svc.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Open(p, fid, fit.LockPage); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(p, fid, 0, []byte("parent")); err != nil {
+		t.Fatal(err)
+	}
+	child, err := r.svc.BeginChild(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(child, fid, 0, []byte("CHILD!")); err != nil {
+		t.Fatalf("child blocked by its own family's lock: %v", err)
+	}
+	if err := r.svc.End(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.fs.ReadAt(fid, 0, 6)
+	if err != nil || string(got) != "CHILD!" {
+		t.Fatalf("committed = %q, %v", got, err)
+	}
+}
+
+func TestGrandchildren(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	if _, err := r.svc.PWrite(id, fid, 0, []byte("AAAA")); err != nil {
+		t.Fatal(err)
+	}
+	c1, err := r.svc.BeginChild(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(c1, fid, 1, []byte("BB")); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.svc.BeginChild(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The grandchild sees both ancestors' overlays.
+	got, err := r.svc.PRead(c2, fid, 0, 4, false)
+	if err != nil || string(got) != "ABBA" {
+		t.Fatalf("grandchild view = %q, %v", got, err)
+	}
+	if _, err := r.svc.PWrite(c2, fid, 3, []byte("Z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(c2); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	base, err := r.fs.ReadAt(fid, 0, 4)
+	if err != nil || string(base) != "ABBZ" {
+		t.Fatalf("committed = %q, %v", base, err)
+	}
+}

@@ -1,0 +1,152 @@
+package txn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fit"
+)
+
+// TestQuickTxnOracle drives random serial transactions (including
+// subtransactions and aborts) against a byte-slice model: a transaction's
+// writes apply to the model only when the whole chain up to the top level
+// commits; reads inside a transaction must see the model plus the pending
+// family's writes.
+func TestQuickTxnOracle(t *testing.T) {
+	levels := []fit.LockLevel{fit.LockRecord, fit.LockPage, fit.LockFile}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRig(t)
+		level := levels[rng.Intn(len(levels))]
+		const fileSize = 40000
+
+		// Committed model and setup.
+		committed := make([]byte, fileSize)
+		rng.Read(committed)
+		setup, err := r.svc.Begin(0)
+		if err != nil {
+			return false
+		}
+		fid, err := r.svc.Create(setup, fit.Attributes{Locking: level})
+		if err != nil {
+			return false
+		}
+		if _, err := r.svc.PWrite(setup, fid, 0, committed); err != nil {
+			return false
+		}
+		if err := r.svc.End(setup); err != nil {
+			return false
+		}
+
+		for round := 0; round < 12; round++ {
+			// One transaction, possibly with a subtransaction.
+			top, err := r.svc.Begin(1)
+			if err != nil {
+				t.Logf("begin: %v", err)
+				return false
+			}
+			if err := r.svc.Open(top, fid, level); err != nil {
+				t.Logf("open: %v", err)
+				return false
+			}
+			pending := append([]byte(nil), committed...)
+			cur := top
+			var childPending []byte
+			inChild := false
+			for op := 0; op < 6; op++ {
+				switch rng.Intn(6) {
+				case 0: // maybe enter a subtransaction
+					if !inChild {
+						child, err := r.svc.BeginChild(top)
+						if err != nil {
+							t.Logf("beginChild: %v", err)
+							return false
+						}
+						cur = child
+						childPending = append([]byte(nil), pending...)
+						inChild = true
+					}
+				case 1: // maybe finish the subtransaction
+					if inChild {
+						if rng.Intn(2) == 0 {
+							if err := r.svc.End(cur); err != nil {
+								t.Logf("endChild: %v", err)
+								return false
+							}
+							pending = childPending
+						} else {
+							if err := r.svc.Abort(cur); err != nil {
+								t.Logf("abortChild: %v", err)
+								return false
+							}
+						}
+						cur = top
+						inChild = false
+					}
+				case 2, 3: // write
+					off := rng.Intn(fileSize - 200)
+					n := 1 + rng.Intn(200)
+					buf := make([]byte, n)
+					rng.Read(buf)
+					if _, err := r.svc.PWrite(cur, fid, int64(off), buf); err != nil {
+						t.Logf("pwrite: %v", err)
+						return false
+					}
+					if inChild {
+						copy(childPending[off:], buf)
+					} else {
+						copy(pending[off:], buf)
+					}
+				default: // read & compare against the current view
+					off := rng.Intn(fileSize - 300)
+					n := 1 + rng.Intn(300)
+					got, err := r.svc.PRead(cur, fid, int64(off), n, rng.Intn(2) == 0)
+					if err != nil {
+						t.Logf("pread: %v", err)
+						return false
+					}
+					want := pending
+					if inChild {
+						want = childPending
+					}
+					if !bytes.Equal(got, want[off:off+n]) {
+						t.Logf("seed %d round %d: view mismatch at %d+%d", seed, round, off, n)
+						return false
+					}
+				}
+			}
+			if inChild {
+				if err := r.svc.End(cur); err != nil {
+					t.Logf("endChild tail: %v", err)
+					return false
+				}
+				pending = childPending
+			}
+			// Commit or abort the top level.
+			if rng.Intn(3) == 0 {
+				if err := r.svc.Abort(top); err != nil {
+					t.Logf("abort: %v", err)
+					return false
+				}
+			} else {
+				if err := r.svc.End(top); err != nil {
+					t.Logf("end: %v", err)
+					return false
+				}
+				committed = pending
+			}
+			// Committed state must match the model.
+			got, err := r.fs.ReadAt(fid, 0, fileSize)
+			if err != nil || !bytes.Equal(got, committed) {
+				t.Logf("seed %d round %d: committed state mismatch (%v)", seed, round, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

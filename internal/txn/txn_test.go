@@ -1,0 +1,892 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/diskservice"
+	"repro/internal/fileservice"
+	"repro/internal/fit"
+	"repro/internal/intentions"
+	"repro/internal/metrics"
+	"repro/internal/stable"
+	"repro/internal/wal"
+)
+
+// rig is a full substrate: devices, disk server, file service, WAL, txn
+// service — rebuildable to simulate a machine crash.
+type rig struct {
+	t        *testing.T
+	met      *metrics.Set
+	dev      *device.Disk
+	stDev    [2]*device.Disk
+	logDev   [2]*device.Disk
+	st       *stable.Store
+	logSt    *stable.Store
+	disk     *diskservice.Server
+	fs       *fileservice.Service
+	log      *wal.Log
+	logStart int
+	svc      *Service
+}
+
+func newRig(t *testing.T, mutate ...func(*Config)) *rig {
+	t.Helper()
+	r := &rig{t: t, met: metrics.NewSet()}
+	g := device.Geometry{FragmentsPerTrack: 32, Tracks: 128}
+	var err error
+	r.dev, err = device.New(g, device.WithMetrics(r.met))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.stDev {
+		r.stDev[i], err = device.New(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	lg := device.Geometry{FragmentsPerTrack: 32, Tracks: 32} // 2 MB log pair
+	for i := range r.logDev {
+		r.logDev[i], err = device.New(lg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.st, err = stable.NewStore(r.stDev[0], r.stDev[1], stable.WithMetrics(r.met))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = r.st.Close() })
+	r.logSt, err = stable.NewStore(r.logDev[0], r.logDev[1], stable.WithMetrics(r.met))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = r.logSt.Close() })
+	r.disk, err = diskservice.Format(diskservice.Config{Disk: r.dev, Stable: r.st, Metrics: r.met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.fs, err = fileservice.New(fileservice.Config{Disks: []*diskservice.Server{r.disk}, Metrics: r.met})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.logStart, err = r.logSt.Allocate(256) // 512 KB log
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.log, err = wal.Open(r.logSt, r.logStart, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.buildService(mutate...)
+	return r
+}
+
+func (r *rig) buildService(mutate ...func(*Config)) {
+	cfg := Config{
+		Files: r.fs, Log: r.log, Metrics: r.met,
+		LT: 50 * time.Millisecond, MaxRenewals: 3,
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.svc = svc
+	r.t.Cleanup(svc.Close)
+}
+
+// crash simulates a machine crash and restart: volatile caches are lost, the
+// disks survive, and everything is remounted.
+func (r *rig) crash(mutate ...func(*Config)) {
+	r.t.Helper()
+	r.svc.Close()
+	// Volatile state dies with the machine.
+	r.fs.InvalidateCaches()
+	// Remount the world from the surviving media.
+	disk, err := diskservice.Mount(diskservice.Config{Disk: r.dev, Stable: r.st, Metrics: r.met})
+	if err != nil {
+		r.t.Fatalf("remount disk: %v", err)
+	}
+	r.disk = disk
+	fs, err := fileservice.Mount(fileservice.Config{Disks: []*diskservice.Server{disk}, Metrics: r.met})
+	if err != nil {
+		r.t.Fatalf("remount fs: %v", err)
+	}
+	r.fs = fs
+	log, err := wal.Open(r.logSt, r.logStart, 256)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.log = log
+	r.buildService(mutate...)
+}
+
+// begin starts a txn and opens a fresh file at the given level.
+func (r *rig) beginWithFile(level fit.LockLevel) (TxnID, FileID) {
+	r.t.Helper()
+	id, err := r.svc.Begin(1)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	fid, err := r.svc.Create(id, fit.Attributes{Locking: level})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	return id, fid
+}
+
+func TestCommitMakesWritesVisible(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	want := []byte("transactional hello")
+	if _, err := r.svc.PWrite(id, fid, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	// Before commit, the committed file is empty.
+	base, err := r.fs.ReadAt(fid, 0, 100)
+	if err != nil || len(base) != 0 {
+		t.Fatalf("tentative data visible before commit: %q, %v", base, err)
+	}
+	// But the transaction reads its own writes.
+	got, err := r.svc.PRead(id, fid, 0, len(want), false)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("own-write read = %q, %v", got, err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := r.fs.ReadAt(fid, 0, len(want))
+	if err != nil || !bytes.Equal(got2, want) {
+		t.Fatalf("committed data = %q, %v", got2, err)
+	}
+	if r.met.Get(metrics.TxnCommitted) != 1 {
+		t.Fatal("commit counter not incremented")
+	}
+}
+
+func TestAbortDiscardsWrites(t *testing.T) {
+	r := newRig(t)
+	// Commit a baseline first.
+	id, fid := r.beginWithFile(fit.LockPage)
+	if _, err := r.svc.PWrite(id, fid, 0, []byte("baseline")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	// Modify and abort.
+	id2, err := r.svc.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Open(id2, fid, fit.LockNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(id2, fid, 0, []byte("OVERWRITE")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Abort(id2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.fs.ReadAt(fid, 0, 8)
+	if err != nil || string(got) != "baseline" {
+		t.Fatalf("post-abort content = %q, %v", got, err)
+	}
+	// The aborted txn is gone.
+	if _, err := r.svc.PRead(id2, fid, 0, 1, false); !errors.Is(err, ErrNoTxn) && !errors.Is(err, ErrAborted) {
+		t.Fatalf("op on aborted txn = %v", err)
+	}
+}
+
+func TestCreateAbortRemovesFile(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	if err := r.svc.Abort(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.fs.Attributes(fid); !errors.Is(err, fileservice.ErrNotFound) {
+		t.Fatalf("aborted tcreate left the file: %v", err)
+	}
+}
+
+func TestDeleteAppliesAtCommitOnly(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockFile)
+	if _, err := r.svc.PWrite(id, fid, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	// Delete under a txn, abort: file survives.
+	id2, err := r.svc.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Open(id2, fid, fit.LockFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Delete(id2, fid); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Abort(id2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.fs.Attributes(fid); err != nil {
+		t.Fatalf("file gone after aborted tdelete: %v", err)
+	}
+	// Delete and commit: file gone.
+	id3, err := r.svc.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Open(id3, fid, fit.LockFile); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Delete(id3, fid); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.fs.Attributes(fid); !errors.Is(err, fileservice.ErrNotFound) {
+		t.Fatalf("file survives committed tdelete: %v", err)
+	}
+}
+
+func TestCursorReadWriteLSeek(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	if _, err := r.svc.Write(id, fid, []byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.Write(id, fid, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if pos, err := r.svc.LSeek(id, fid, 0, SeekSet); err != nil || pos != 0 {
+		t.Fatalf("LSeek = %d, %v", pos, err)
+	}
+	got, err := r.svc.Read(id, fid, 11, false)
+	if err != nil || string(got) != "hello world" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+	if pos, err := r.svc.LSeek(id, fid, -5, SeekEnd); err != nil || pos != 6 {
+		t.Fatalf("LSeek(End,-5) = %d, %v", pos, err)
+	}
+	got, err = r.svc.Read(id, fid, 5, false)
+	if err != nil || string(got) != "world" {
+		t.Fatalf("Read after seek = %q, %v", got, err)
+	}
+	if pos, err := r.svc.LSeek(id, fid, -2, SeekCur); err != nil || pos != 9 {
+		t.Fatalf("LSeek(Cur,-2) = %d, %v", pos, err)
+	}
+	if _, err := r.svc.LSeek(id, fid, 0, 99); !errors.Is(err, ErrBadWhence) {
+		t.Fatalf("bad whence = %v", err)
+	}
+	if _, err := r.svc.LSeek(id, fid, -100, SeekSet); !errors.Is(err, fileservice.ErrBadOffset) {
+		t.Fatalf("negative seek = %v", err)
+	}
+	attr, err := r.svc.GetAttribute(id, fid)
+	if err != nil || attr.Size != 11 {
+		t.Fatalf("GetAttribute size = %d, %v", attr.Size, err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolationPageLevel(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	if _, err := r.svc.PWrite(id, fid, 0, []byte("AAAA")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	// Writer holds an IWrite on page 0.
+	w, err := r.svc.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Open(w, fid, fit.LockNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(w, fid, 0, []byte("BBBB")); err != nil {
+		t.Fatal(err)
+	}
+	// A reader's access to page 0 blocks until the writer ends.
+	rd, err := r.svc.Begin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Open(rd, fid, fit.LockNone); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct {
+		data []byte
+		err  error
+	}, 1)
+	go func() {
+		d, err := r.svc.PRead(rd, fid, 0, 4, false)
+		done <- struct {
+			data []byte
+			err  error
+		}{d, err}
+	}()
+	select {
+	case res := <-done:
+		t.Fatalf("reader not blocked by writer's IWrite: %q, %v", res.data, res.err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	if err := r.svc.End(w); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-done:
+		if res.err != nil || string(res.data) != "BBBB" {
+			t.Fatalf("reader after writer commit = %q, %v", res.data, res.err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reader still blocked after writer committed")
+	}
+	if err := r.svc.End(rd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordLevelDisjointRangesConcurrent(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockRecord)
+	if _, err := r.svc.PWrite(id, fid, 0, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	// Two transactions write disjoint ranges; neither blocks.
+	t1, err := r.svc.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := r.svc.Begin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Open(t1, fid, fit.LockRecord); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Open(t2, fid, fit.LockRecord); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(t1, fid, 0, []byte("11111")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(t2, fid, 50, []byte("22222")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(t2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.fs.ReadAt(fid, 0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:5]) != "11111" || string(got[50:55]) != "22222" {
+		t.Fatalf("record-level commits lost: %q ... %q", got[:5], got[50:55])
+	}
+}
+
+func TestWALTechniquePreservesContiguity(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.ForceTechnique = intentions.WAL })
+	id, fid := r.beginWithFile(fit.LockPage)
+	if _, err := r.svc.PWrite(id, fid, 0, make([]byte, 4*fileservice.BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	extsBefore, _, err := r.fs.ContiguityProfile(fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update a middle block transactionally.
+	id2, err := r.svc.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Open(id2, fid, fit.LockNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(id2, fid, fileservice.BlockSize, bytes.Repeat([]byte("W"), fileservice.BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id2); err != nil {
+		t.Fatal(err)
+	}
+	extsAfter, _, err := r.fs.ContiguityProfile(fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extsAfter != extsBefore {
+		t.Fatalf("WAL commit changed contiguity: %d -> %d extents (§6.7 says it must not)", extsBefore, extsAfter)
+	}
+	got, err := r.fs.ReadAt(fid, fileservice.BlockSize, 4)
+	if err != nil || string(got) != "WWWW" {
+		t.Fatalf("WAL-committed data = %q, %v", got, err)
+	}
+}
+
+func TestShadowTechniqueBreaksContiguity(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.ForceTechnique = intentions.ShadowPage })
+	id, fid := r.beginWithFile(fit.LockPage)
+	if _, err := r.svc.PWrite(id, fid, 0, make([]byte, 4*fileservice.BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	extsBefore, _, err := r.fs.ContiguityProfile(fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := r.svc.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Open(id2, fid, fit.LockNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(id2, fid, fileservice.BlockSize, bytes.Repeat([]byte("S"), fileservice.BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id2); err != nil {
+		t.Fatal(err)
+	}
+	extsAfter, _, err := r.fs.ContiguityProfile(fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if extsAfter <= extsBefore {
+		t.Fatalf("shadow commit kept contiguity: %d -> %d extents (§6.7 says it destroys it)", extsBefore, extsAfter)
+	}
+	got, err := r.fs.ReadAt(fid, fileservice.BlockSize, 4)
+	if err != nil || string(got) != "SSSS" {
+		t.Fatalf("shadow-committed data = %q, %v", got, err)
+	}
+}
+
+func TestDefaultTechniqueFollowsContiguityRule(t *testing.T) {
+	r := newRig(t)
+	// A fresh sequentially written file is contiguous -> WAL keeps it so.
+	id, fid := r.beginWithFile(fit.LockPage)
+	if _, err := r.svc.PWrite(id, fid, 0, make([]byte, 3*fileservice.BlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	before, _, _ := r.fs.ContiguityProfile(fid)
+	if before != 1 {
+		t.Skipf("file not contiguous after create (%d extents)", before)
+	}
+	id2, _ := r.svc.Begin(1)
+	if err := r.svc.Open(id2, fid, fit.LockNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(id2, fid, 0, []byte("update")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id2); err != nil {
+		t.Fatal(err)
+	}
+	after, _, _ := r.fs.ContiguityProfile(fid)
+	if after != 1 {
+		t.Fatalf("contiguous file fragmented by default-rule commit: %d extents", after)
+	}
+}
+
+func TestCrashBeforeApplyRedoneByRecovery(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	want := bytes.Repeat([]byte("R"), 100)
+	if _, err := r.svc.PWrite(id, fid, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	r.svc.SetCrashAfterLog(true)
+	if err := r.svc.End(id); !errors.Is(err, ErrCrashInjected) {
+		t.Fatalf("End with crash hook = %v", err)
+	}
+	// The machine dies before intentions are applied.
+	r.crash()
+	committed, err := r.svc.Recover()
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if committed != 1 {
+		t.Fatalf("Recover redid %d txns, want 1", committed)
+	}
+	got, err := r.fs.ReadAt(fid, 0, 100)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("recovered data = %q, %v", got, err)
+	}
+	size, err := r.fs.Size(fid)
+	if err != nil || size != 100 {
+		t.Fatalf("recovered size = %d, %v", size, err)
+	}
+}
+
+func TestCrashBeforeCommitPointLosesNothingCommitted(t *testing.T) {
+	r := newRig(t)
+	// Commit one txn fully.
+	id, fid := r.beginWithFile(fit.LockRecord)
+	if _, err := r.svc.PWrite(id, fid, 0, []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	// Start another, write tentatively, then crash without commit.
+	id2, err := r.svc.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.Open(id2, fid, fit.LockRecord); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(id2, fid, 0, []byte("VOLATILE")); err != nil {
+		t.Fatal(err)
+	}
+	r.crash()
+	if _, err := r.svc.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.fs.ReadAt(fid, 0, 7)
+	if err != nil || string(got) != "durable" {
+		t.Fatalf("post-crash content = %q, %v (tentative data must be discarded)", got, err)
+	}
+}
+
+func TestRecoveryIdempotent(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	want := []byte("idempotent")
+	if _, err := r.svc.PWrite(id, fid, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	r.svc.SetCrashAfterLog(true)
+	if err := r.svc.End(id); !errors.Is(err, ErrCrashInjected) {
+		t.Fatal(err)
+	}
+	r.crash()
+	if _, err := r.svc.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash again right after recovery and recover again.
+	r.crash()
+	if _, err := r.svc.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.fs.ReadAt(fid, 0, len(want))
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("double-recovered data = %q, %v", got, err)
+	}
+}
+
+func TestDeadlockResolvedByTimeout(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.LT = 20 * time.Millisecond; c.MaxRenewals = 2 })
+	sw := r.svc.Locks().StartSweeper(5 * time.Millisecond)
+	defer sw.Close()
+	// Two files, two txns, opposite acquisition order.
+	a, fa := r.beginWithFile(fit.LockFile)
+	if _, err := r.svc.PWrite(a, fa, 0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(a); err != nil {
+		t.Fatal(err)
+	}
+	b, fb := r.beginWithFile(fit.LockFile)
+	if _, err := r.svc.PWrite(b, fb, 0, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(b); err != nil {
+		t.Fatal(err)
+	}
+
+	t1, _ := r.svc.Begin(1)
+	t2, _ := r.svc.Begin(2)
+	for _, pair := range []struct {
+		id  TxnID
+		fid FileID
+	}{{t1, fa}, {t1, fb}, {t2, fa}, {t2, fb}} {
+		if err := r.svc.Open(pair.id, pair.fid, fit.LockFile); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.svc.PWrite(t1, fa, 0, []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(t2, fb, 0, []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	// Now cross: both block; the sweeper must abort at least one.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, errs[0] = r.svc.PWrite(t1, fb, 0, []byte("1"))
+		if errs[0] == nil {
+			errs[0] = r.svc.End(t1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		_, errs[1] = r.svc.PWrite(t2, fa, 0, []byte("2"))
+		if errs[1] == nil {
+			errs[1] = r.svc.End(t2)
+		}
+	}()
+	waitCh := make(chan struct{})
+	go func() { wg.Wait(); close(waitCh) }()
+	select {
+	case <-waitCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock not resolved within 10s")
+	}
+	aborted := 0
+	for _, err := range errs {
+		if errors.Is(err, ErrAborted) {
+			aborted++
+		} else if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if aborted == 0 {
+		t.Fatal("deadlock resolved without aborting any transaction?")
+	}
+	if r.met.Get(metrics.TxnTimedOut) == 0 {
+		t.Fatal("timeout counter not incremented")
+	}
+}
+
+func TestSerializabilityBankTransfers(t *testing.T) {
+	// The classic invariant: concurrent transfers between accounts keep the
+	// total constant. Record-level locking on a single accounts file.
+	r := newRig(t, func(c *Config) { c.LT = 200 * time.Millisecond; c.MaxRenewals = 5 })
+	sw := r.svc.Locks().StartSweeper(20 * time.Millisecond)
+	defer sw.Close()
+	const accounts = 8
+	const initial = 1000
+
+	setup, fid := r.beginWithFile(fit.LockRecord)
+	for i := 0; i < accounts; i++ {
+		if _, err := r.svc.PWrite(setup, fid, int64(i*8), encode64(initial)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.svc.End(setup); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	workers := 6
+	transfers := 25
+	var committed, abortedCount int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < transfers; i++ {
+				from := rng.Intn(accounts)
+				to := rng.Intn(accounts)
+				if from == to {
+					continue
+				}
+				err := transfer(r.svc, fid, from, to, 1+rng.Intn(10))
+				mu.Lock()
+				if err == nil {
+					committed++
+				} else if errors.Is(err, ErrAborted) {
+					abortedCount++
+				} else {
+					t.Errorf("transfer: %v", err)
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Verify conservation.
+	total := 0
+	for i := 0; i < accounts; i++ {
+		raw, err := r.fs.ReadAt(fid, int64(i*8), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += decode64(raw)
+	}
+	if total != accounts*initial {
+		t.Fatalf("money not conserved: total %d, want %d (committed=%d aborted=%d)",
+			total, accounts*initial, committed, abortedCount)
+	}
+	if committed == 0 {
+		t.Fatal("no transfer ever committed")
+	}
+}
+
+// transfer moves amount between two accounts in one transaction.
+func transfer(svc *Service, fid FileID, from, to, amount int) error {
+	id, err := svc.Begin(from)
+	if err != nil {
+		return err
+	}
+	if err := svc.Open(id, fid, fit.LockRecord); err != nil {
+		_ = svc.Abort(id)
+		return err
+	}
+	// Lock in a canonical order to reduce (not eliminate) deadlocks; the
+	// timeout handles the rest.
+	first, second := from, to
+	if second < first {
+		first, second = second, first
+	}
+	bal := map[int]int{}
+	for _, acct := range []int{first, second} {
+		raw, err := svc.PRead(id, fid, int64(acct*8), 8, true)
+		if err != nil {
+			_ = svc.Abort(id)
+			return err
+		}
+		bal[acct] = decode64(raw)
+	}
+	bal[from] -= amount
+	bal[to] += amount
+	for _, acct := range []int{first, second} {
+		if _, err := svc.PWrite(id, fid, int64(acct*8), encode64(bal[acct])); err != nil {
+			_ = svc.Abort(id)
+			return err
+		}
+	}
+	return svc.End(id)
+}
+
+func encode64(v int) []byte {
+	b := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		b[7-i] = byte(v >> (8 * i))
+	}
+	return b
+}
+
+func decode64(b []byte) int {
+	v := 0
+	for _, x := range b {
+		v = v<<8 | int(x)
+	}
+	return v
+}
+
+func TestFileServiceClassificationFlips(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	attr, err := r.fs.Attributes(fid)
+	if err != nil || attr.Service != fit.ServiceTransaction {
+		t.Fatalf("file not classified transactional while open in txn: %+v, %v", attr, err)
+	}
+	if _, err := r.svc.PWrite(id, fid, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	attr, err = r.fs.Attributes(fid)
+	if err != nil || attr.Service != fit.ServiceBasic {
+		t.Fatalf("file not reclassified basic after txn end: %+v, %v", attr, err)
+	}
+}
+
+func TestErrorsAndEdgeCases(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.svc.PRead(999, 1, 0, 1, false); !errors.Is(err, ErrNoTxn) {
+		t.Fatalf("unknown txn = %v", err)
+	}
+	id, err := r.svc.Begin(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PRead(id, 12345, 0, 1, false); !errors.Is(err, ErrNotOpenInTxn) {
+		t.Fatalf("unopened file = %v", err)
+	}
+	fid, err := r.svc.Create(id, fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.svc.PWrite(id, fid, -1, []byte("x")); !errors.Is(err, fileservice.ErrBadOffset) {
+		t.Fatalf("negative write = %v", err)
+	}
+	// Zero-length ops are no-ops.
+	if n, err := r.svc.PWrite(id, fid, 0, nil); err != nil || n != 0 {
+		t.Fatalf("empty write = %d, %v", n, err)
+	}
+	if err := r.svc.CloseFile(id, fid); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	// Ops after end.
+	if err := r.svc.End(id); !errors.Is(err, ErrNoTxn) {
+		t.Fatalf("double End = %v", err)
+	}
+	if err := r.svc.Abort(id); !errors.Is(err, ErrNoTxn) {
+		t.Fatalf("Abort after End = %v", err)
+	}
+}
+
+func TestManyCommitsTruncateLog(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockRecord)
+	if _, err := r.svc.PWrite(id, fid, 0, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	// Enough committed bytes to overflow the 512 KB log several times.
+	payload := bytes.Repeat([]byte("L"), 8000)
+	for i := 0; i < 100; i++ {
+		tx, err := r.svc.Begin(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.svc.Open(tx, fid, fit.LockRecord); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.svc.PWrite(tx, fid, 0, payload); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if err := r.svc.End(tx); err != nil {
+			t.Fatalf("commit %d: %v", i, err)
+		}
+	}
+	got, err := r.fs.ReadAt(fid, 0, 10)
+	if err != nil || string(got) != "LLLLLLLLLL" {
+		t.Fatalf("final content = %q, %v", got, err)
+	}
+	fmt.Println("log bytes:", r.log.AppendedBytes())
+}

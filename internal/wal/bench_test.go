@@ -1,0 +1,96 @@
+package wal
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/stable"
+)
+
+func benchLog(b *testing.B, frags int) *Log {
+	b.Helper()
+	g := device.Geometry{FragmentsPerTrack: 32, Tracks: 512}
+	p, err := device.New(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := device.New(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := stable.NewStore(p, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = st.Close() })
+	start, err := st.Allocate(frags)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := Open(st, start, frags)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+func BenchmarkAppend256B(b *testing.B) {
+	l := benchLog(b, 8192)
+	rec := Record{Type: RecUpdate, Txn: 1, File: 1, Data: make([]byte, 256)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(rec); err != nil {
+			b.StopTimer()
+			if err := l.Reset(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	b.SetBytes(256)
+}
+
+func BenchmarkAppendSyncCommit(b *testing.B) {
+	l := benchLog(b, 8192)
+	upd := Record{Type: RecUpdate, Txn: 1, File: 1, Data: make([]byte, 512)}
+	commit := Record{Type: RecCommit, Txn: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.Append(upd); err != nil {
+			b.StopTimer()
+			if err := l.Reset(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			continue
+		}
+		if _, err := l.Append(commit); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Sync(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay1000Records(b *testing.B) {
+	l := benchLog(b, 8192)
+	for i := 0; i < 1000; i++ {
+		if _, err := l.Append(Record{Type: RecUpdate, Txn: uint64(i), Data: make([]byte, 64)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := l.Replay(func(Record) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 1000 {
+			b.Fatalf("replayed %d", n)
+		}
+	}
+}

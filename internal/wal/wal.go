@@ -1,0 +1,275 @@
+// Package wal implements the write-ahead logging technique of §6.7: the
+// after-images of a transaction's tentative updates are appended to a log on
+// stable storage before the in-place blocks are touched, so the sequence of
+// disk blocks storing the file's data never changes — contiguous blocks stay
+// contiguous across commits, which is the property the paper chooses WAL
+// for.
+//
+// The log is a region of a stable.Store. Records are length-prefixed and
+// CRC-protected; Replay scans until the first invalid record, which is where
+// a crash truncated the log. Records buffered but not yet Synced are lost in
+// a crash — exactly the write-ahead discipline the transaction service
+// relies on (it Syncs the commit record before applying updates in place).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"repro/internal/stable"
+)
+
+// RecordType discriminates log records.
+type RecordType byte
+
+// Record types.
+const (
+	// RecUpdate carries the after-image of one tentative update.
+	RecUpdate RecordType = iota + 1
+	// RecCommit marks a transaction committed; updates up to here are redone
+	// during recovery.
+	RecCommit
+	// RecAbort marks a transaction aborted; its updates are skipped.
+	RecAbort
+	// RecCheckpoint marks that everything before it is applied in place.
+	RecCheckpoint
+)
+
+// String implements fmt.Stringer.
+func (t RecordType) String() string {
+	switch t {
+	case RecUpdate:
+		return "update"
+	case RecCommit:
+		return "commit"
+	case RecAbort:
+		return "abort"
+	case RecCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("RecordType(%d)", byte(t))
+	}
+}
+
+// Record is one log entry. For RecUpdate, the after-image Data applies at
+// byte Offset within the fragment run starting at fragment Addr on disk
+// Disk; File names the owning file for diagnostics.
+type Record struct {
+	Type   RecordType
+	Txn    uint64
+	File   uint64
+	Disk   uint16
+	Addr   uint32
+	Offset uint32
+	Data   []byte
+}
+
+// Errors.
+var (
+	// ErrLogFull reports that the log region cannot hold the record; the
+	// caller should checkpoint and Reset.
+	ErrLogFull = errors.New("wal: log region full")
+	// ErrCorrupt reports an invalid record during Replay.
+	ErrCorrupt = errors.New("wal: corrupt record")
+)
+
+const (
+	recMagic   = 0x57414C31 // "WAL1"
+	headerSize = 4 + 4 + 8 + 4 + 1 + 8 + 8 + 2 + 4 + 4 + 4
+	trailerLen = 4 // CRC
+	fragSize   = 2 * 1024
+)
+
+// Log is a write-ahead log over a stable-storage region. It is safe for
+// concurrent use.
+type Log struct {
+	store *stable.Store
+	start int // first fragment of the region
+	frags int // region length in fragments
+
+	mu        sync.Mutex
+	buf       []byte // in-memory image of the region
+	off       int    // append offset
+	synced    int    // bytes already on stable storage
+	lsn       uint64
+	lsnSynced uint64 // lsn of the last synced record
+	// gen is the record generation. It increases whenever appends resume
+	// after a Replay, so that stale records left on disk beyond a truncation
+	// point (which may have consecutive LSNs) are recognizable: a valid log
+	// has non-decreasing generations.
+	gen uint32
+}
+
+// Open attaches to the log region [start, start+frags) of store. The region
+// must already be allocated by the caller. Open does not read the region;
+// call Replay to process existing records, or Reset to start clean.
+func Open(store *stable.Store, start, frags int) (*Log, error) {
+	if store == nil {
+		return nil, errors.New("wal: nil store")
+	}
+	if frags <= 0 || start < 0 || start+frags > store.Capacity() {
+		return nil, fmt.Errorf("wal: invalid region [%d,%d) of %d", start, start+frags, store.Capacity())
+	}
+	return &Log{store: store, start: start, frags: frags, gen: 1, buf: make([]byte, frags*fragSize)}, nil
+}
+
+// Capacity returns the region size in bytes.
+func (l *Log) Capacity() int { return l.frags * fragSize }
+
+// AppendedBytes returns the bytes appended since the last Reset (diagnostic;
+// the commit-I/O cost measure in E8).
+func (l *Log) AppendedBytes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
+}
+
+// Append buffers a record and returns its LSN. The record is not durable
+// until Sync returns.
+func (l *Log) Append(rec Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	need := headerSize + len(rec.Data) + trailerLen
+	if l.off+need > len(l.buf) {
+		return 0, fmt.Errorf("%w: need %d bytes, %d left", ErrLogFull, need, len(l.buf)-l.off)
+	}
+	l.lsn++
+	b := l.buf[l.off : l.off+need]
+	binary.BigEndian.PutUint32(b[0:], recMagic)
+	binary.BigEndian.PutUint32(b[4:], uint32(need))
+	binary.BigEndian.PutUint64(b[8:], l.lsn)
+	binary.BigEndian.PutUint32(b[16:], l.gen)
+	b[20] = byte(rec.Type)
+	binary.BigEndian.PutUint64(b[21:], rec.Txn)
+	binary.BigEndian.PutUint64(b[29:], rec.File)
+	binary.BigEndian.PutUint16(b[37:], rec.Disk)
+	binary.BigEndian.PutUint32(b[39:], rec.Addr)
+	binary.BigEndian.PutUint32(b[43:], rec.Offset)
+	binary.BigEndian.PutUint32(b[47:], uint32(len(rec.Data)))
+	copy(b[headerSize:], rec.Data)
+	crc := crc32.ChecksumIEEE(b[:need-trailerLen])
+	binary.BigEndian.PutUint32(b[need-trailerLen:], crc)
+	l.off += need
+	return l.lsn, nil
+}
+
+// Sync writes every buffered fragment that changed since the last Sync to
+// stable storage, waiting for both mirrors.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.off == l.synced {
+		return nil
+	}
+	firstFrag := l.synced / fragSize
+	lastFrag := (l.off - 1) / fragSize
+	data := l.buf[firstFrag*fragSize : (lastFrag+1)*fragSize]
+	if err := l.store.Write(l.start+firstFrag, data); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.synced = l.off
+	l.lsnSynced = l.lsn
+	return nil
+}
+
+// Replay reads the region from stable storage and calls fn for each valid
+// record in order, stopping cleanly at the end of the log (the first invalid
+// or absent record). It returns fn's first error. Replay also primes the
+// log's append state so new records go after the replayed ones.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	data, err := l.store.Read(l.start, l.frags)
+	if err != nil {
+		return fmt.Errorf("wal: reading region: %w", err)
+	}
+	copy(l.buf, data)
+	off := 0
+	var lastLSN uint64
+	var lastGen uint32
+	for off+headerSize+trailerLen <= len(l.buf) {
+		b := l.buf[off:]
+		if binary.BigEndian.Uint32(b[0:]) != recMagic {
+			break
+		}
+		need := int(binary.BigEndian.Uint32(b[4:]))
+		if need < headerSize+trailerLen || off+need > len(l.buf) {
+			break
+		}
+		crc := binary.BigEndian.Uint32(b[need-trailerLen : need])
+		if crc32.ChecksumIEEE(b[:need-trailerLen]) != crc {
+			break // torn write: the log ends here
+		}
+		lsn := binary.BigEndian.Uint64(b[8:])
+		if lsn != lastLSN+1 {
+			break // LSN discontinuity: end of log
+		}
+		gen := binary.BigEndian.Uint32(b[16:])
+		if gen < lastGen {
+			break // stale residue from before a truncation
+		}
+		rec := Record{
+			Type:   RecordType(b[20]),
+			Txn:    binary.BigEndian.Uint64(b[21:]),
+			File:   binary.BigEndian.Uint64(b[29:]),
+			Disk:   binary.BigEndian.Uint16(b[37:]),
+			Addr:   binary.BigEndian.Uint32(b[39:]),
+			Offset: binary.BigEndian.Uint32(b[43:]),
+		}
+		n := int(binary.BigEndian.Uint32(b[47:]))
+		if n != need-headerSize-trailerLen {
+			break // length fields disagree: treat as end of log
+		}
+		rec.Data = make([]byte, n)
+		copy(rec.Data, b[headerSize:headerSize+n])
+		if err := fn(rec); err != nil {
+			return err
+		}
+		lastLSN = lsn
+		lastGen = gen
+		off += need
+	}
+	l.off = off
+	l.synced = off
+	l.lsn = lastLSN
+	l.lsnSynced = lastLSN
+	l.gen = lastGen + 1 // appends after a replay start a new generation
+	return nil
+}
+
+// Reset truncates the log (after a checkpoint has applied everything in
+// place), clearing both the buffer and the stable region header so a replay
+// finds an empty log.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.buf {
+		l.buf[i] = 0
+	}
+	l.off = 0
+	l.synced = 0
+	l.lsn = 0
+	l.lsnSynced = 0
+	l.gen = 1
+	// Zero the first fragment on stable storage; a zero magic ends Replay
+	// immediately. (The rest of the region is logically dead.)
+	if err := l.store.Write(l.start, l.buf[:fragSize]); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	return nil
+}
+
+// DropUnsynced discards records appended since the last Sync — used by
+// tests and the crash injector to model the volatile buffer being lost.
+func (l *Log) DropUnsynced() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := l.synced; i < l.off; i++ {
+		l.buf[i] = 0
+	}
+	l.off = l.synced
+	l.lsn = l.lsnSynced
+}
