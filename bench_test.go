@@ -143,3 +143,11 @@ func BenchmarkE15Replication(b *testing.B) {
 	tbl := runExperiment(b, experiments.E15Replication)
 	b.ReportMetric(metric(tbl, 0, 4), "stale-pairs-2r1f")
 }
+
+// BenchmarkE16ParallelThroughput: wall-clock scaling of the parallel I/O path.
+func BenchmarkE16ParallelThroughput(b *testing.B) {
+	tbl := runExperiment(b, experiments.E16ParallelThroughput)
+	// Row 3: read mix on 8 disks; row 7: write mix on 8 disks.
+	b.ReportMetric(metric(tbl, 3, 7), "x-read-speedup-8-disks")
+	b.ReportMetric(metric(tbl, 7, 7), "x-write-speedup-8-disks")
+}

@@ -1,15 +1,17 @@
-// Command rhodos-bench runs the reproduction experiments (E1–E14 and the
+// Command rhodos-bench runs the reproduction experiments (E1–E16 and the
 // paper's Table 1) and prints their result tables — the data recorded in
 // EXPERIMENTS.md.
 //
 // Usage:
 //
-//	rhodos-bench            # run everything
-//	rhodos-bench -only E8   # run one experiment (comma-separated list)
-//	rhodos-bench -list      # list experiments
+//	rhodos-bench                  # run everything
+//	rhodos-bench -only E8         # run one experiment (comma-separated list)
+//	rhodos-bench -list            # list experiments
+//	rhodos-bench -json out.json   # also write results as JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +21,17 @@ import (
 	"repro/internal/experiments"
 )
 
+// jsonTable is the machine-readable form of one experiment's table.
+type jsonTable struct {
+	ID        string     `json:"id"`
+	Title     string     `json:"title"`
+	Claim     string     `json:"claim,omitempty"`
+	Columns   []string   `json:"columns"`
+	Rows      [][]string `json:"rows"`
+	Notes     []string   `json:"notes,omitempty"`
+	ElapsedMS int64      `json:"elapsed_ms"`
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -26,6 +39,7 @@ func main() {
 func run() int {
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E8)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.String("json", "", "write results as JSON to this file ('-' for stdout)")
 	flag.Parse()
 
 	runners := experiments.All()
@@ -41,6 +55,7 @@ func run() int {
 			want[strings.ToUpper(strings.TrimSpace(id))] = true
 		}
 	}
+	var results []jsonTable
 	failed := 0
 	for _, r := range runners {
 		if len(want) > 0 && !want[r.ID] {
@@ -48,13 +63,33 @@ func run() int {
 		}
 		start := time.Now()
 		tbl, err := r.Run()
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
 			failed++
 			continue
 		}
 		tbl.Render(os.Stdout)
-		fmt.Printf("  (%s took %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (%s took %v)\n\n", r.ID, elapsed.Round(time.Millisecond))
+		results = append(results, jsonTable{
+			ID: tbl.ID, Title: tbl.Title, Claim: tbl.Claim,
+			Columns: tbl.Columns, Rows: tbl.Rows, Notes: tbl.Notes,
+			ElapsedMS: elapsed.Milliseconds(),
+		})
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			return 1
+		}
 	}
 	if failed > 0 {
 		return 1

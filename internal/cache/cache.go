@@ -111,6 +111,15 @@ type WritebackFunc[K comparable] func(key K, data []byte) error
 
 // Cache is an LRU buffer cache. It is safe for concurrent use. Buffers are
 // copied on Put and Get, so callers may freely reuse their slices.
+//
+// Writebacks happen outside the cache mutex wherever possible, so flushing
+// one disk's buffers never blocks hits, misses, or flushes bound for another
+// disk. A per-entry generation number detects a buffer redirtied while its
+// writeback was in flight (the flush then leaves it dirty), and a per-entry
+// in-flight flag keeps writebacks of the same key serialized. One caveat for
+// WriteThrough caches: concurrent dirty Puts of the same key must be
+// serialized by the caller (every user of this package writes a given key
+// from under a per-file or per-track lock).
 type Cache[K comparable] struct {
 	capacity  int
 	policy    WritePolicy
@@ -120,14 +129,18 @@ type Cache[K comparable] struct {
 	missName  string
 
 	mu      sync.Mutex
+	cond    *sync.Cond // signaled when a writeback in flight completes
+	seq     uint64     // generation source for dirty Puts
 	entries map[K]*list.Element
 	lru     *list.List // front = most recently used
 }
 
 type entry[K comparable] struct {
-	key   K
-	data  []byte
-	dirty bool
+	key      K
+	data     []byte
+	dirty    bool
+	gen      uint64 // generation of the last dirty Put
+	flushing bool   // a writeback of this entry is in flight
 }
 
 // Config configures a Cache.
@@ -157,7 +170,7 @@ func New[K comparable](cfg Config[K]) (*Cache[K], error) {
 	if policy != DelayedWrite && policy != WriteThrough {
 		return nil, fmt.Errorf("cache: invalid policy %v", policy)
 	}
-	return &Cache[K]{
+	c := &Cache[K]{
 		capacity:  cfg.Capacity,
 		policy:    policy,
 		writeback: cfg.Writeback,
@@ -166,7 +179,9 @@ func New[K comparable](cfg Config[K]) (*Cache[K], error) {
 		missName:  cfg.MissCounter,
 		entries:   make(map[K]*list.Element),
 		lru:       list.New(),
-	}, nil
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c, nil
 }
 
 // Policy returns the cache's modification policy.
@@ -216,9 +231,10 @@ func (c *Cache[K]) Contains(key K) bool {
 // used buffer, writing it back first if dirty; a failed eviction writeback
 // fails the Put and keeps the victim.
 func (c *Cache[K]) Put(key K, data []byte, dirty bool) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if dirty && c.policy == WriteThrough {
+		// Write through before taking the cache lock, so a slow device never
+		// stalls unrelated hits. Concurrent dirty Puts of the same key are the
+		// caller's to serialize (see the type comment).
 		if c.writeback == nil {
 			return errors.New("cache: write-through cache has no writeback")
 		}
@@ -227,10 +243,16 @@ func (c *Cache[K]) Put(key K, data []byte, dirty bool) error {
 		}
 		dirty = false
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*entry[K])
 		e.data = append(e.data[:0], data...)
-		e.dirty = e.dirty || dirty
+		if dirty {
+			e.dirty = true
+			c.seq++
+			e.gen = c.seq
+		}
 		c.lru.MoveToFront(el)
 		return nil
 	}
@@ -241,90 +263,167 @@ func (c *Cache[K]) Put(key K, data []byte, dirty bool) error {
 	}
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	el := c.lru.PushFront(&entry[K]{key: key, data: cp, dirty: dirty})
+	e := &entry[K]{key: key, data: cp, dirty: dirty}
+	if dirty {
+		c.seq++
+		e.gen = c.seq
+	}
+	el := c.lru.PushFront(e)
 	c.entries[key] = el
 	return nil
 }
 
-// evictLocked removes the least recently used entry, writing it back first
-// if dirty. Callers must hold c.mu.
+// evictLocked removes the least recently used entry whose writeback is not
+// in flight, writing it back first if dirty. Callers must hold c.mu.
 func (c *Cache[K]) evictLocked() error {
-	el := c.lru.Back()
-	if el == nil {
+	for {
+		var victim *list.Element
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			if !el.Value.(*entry[K]).flushing {
+				victim = el
+				break
+			}
+		}
+		if victim == nil {
+			if c.lru.Len() == 0 {
+				return nil
+			}
+			// Every entry has a writeback in flight; wait for one to finish.
+			c.cond.Wait()
+			continue
+		}
+		e := victim.Value.(*entry[K])
+		if e.dirty {
+			if c.writeback == nil {
+				return errors.New("cache: evicting dirty buffer with no writeback")
+			}
+			if err := c.writeback(e.key, e.data); err != nil {
+				return fmt.Errorf("cache: eviction writeback: %w", err)
+			}
+		}
+		c.lru.Remove(victim)
+		delete(c.entries, e.key)
 		return nil
 	}
-	e := el.Value.(*entry[K])
-	if e.dirty {
-		if c.writeback == nil {
-			return errors.New("cache: evicting dirty buffer with no writeback")
-		}
-		if err := c.writeback(e.key, e.data); err != nil {
-			return fmt.Errorf("cache: eviction writeback: %w", err)
-		}
-	}
-	c.lru.Remove(el)
-	delete(c.entries, e.key)
-	return nil
 }
 
 // Invalidate drops key from the cache, discarding any dirty data (used when
-// the layer below changed underneath us, e.g. on transaction abort).
+// the layer below changed underneath us, e.g. on transaction abort). It
+// waits out any writeback of the key already in flight, so no stale write
+// can land after the invalidation returns.
 func (c *Cache[K]) Invalidate(key K) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.lru.Remove(el)
-		delete(c.entries, key)
+	for {
+		el, ok := c.entries[key]
+		if !ok {
+			return
+		}
+		e := el.Value.(*entry[K])
+		if !e.flushing {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			return
+		}
+		c.cond.Wait()
 	}
 }
 
-// InvalidateAll empties the cache, discarding dirty data.
+// InvalidateAll empties the cache, discarding dirty data. Like Invalidate it
+// waits out in-flight writebacks first.
 func (c *Cache[K]) InvalidateAll() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	for {
+		inFlight := false
+		for el := c.lru.Front(); el != nil; el = el.Next() {
+			if el.Value.(*entry[K]).flushing {
+				inFlight = true
+				break
+			}
+		}
+		if !inFlight {
+			break
+		}
+		c.cond.Wait()
+	}
 	c.entries = make(map[K]*list.Element)
 	c.lru.Init()
 }
 
-// Flush writes back every dirty buffer, leaving them cached clean.
+// Flush writes back every dirty buffer, leaving them cached clean. Buffers
+// dirtied concurrently with the Flush may or may not be included.
 func (c *Cache[K]) Flush() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		e := el.Value.(*entry[K])
-		if !e.dirty {
-			continue
+	for _, key := range c.DirtyKeys() {
+		if err := c.FlushKey(key); err != nil {
+			return err
 		}
-		if c.writeback == nil {
-			return errors.New("cache: flushing dirty buffer with no writeback")
-		}
-		if err := c.writeback(e.key, e.data); err != nil {
-			return fmt.Errorf("cache: flush: %w", err)
-		}
-		e.dirty = false
 	}
 	return nil
 }
 
-// FlushKey writes back the buffer under key if it is dirty.
-func (c *Cache[K]) FlushKey(key K) error {
+// DirtyKeys returns the keys of every dirty buffer, most recently used
+// first. Callers use it to partition a flush by destination (e.g. one
+// goroutine per disk) while preserving per-destination order.
+func (c *Cache[K]) DirtyKeys() []K {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		return nil
+	var keys []K
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*entry[K]); e.dirty {
+			keys = append(keys, e.key)
+		}
 	}
-	e := el.Value.(*entry[K])
-	if !e.dirty {
-		return nil
+	return keys
+}
+
+// FlushKey writes back the buffer under key if it is dirty. The writeback
+// runs outside the cache lock; a Put that redirties the key while the
+// writeback is in flight leaves the buffer dirty (detected by generation),
+// and concurrent FlushKey calls for the same key serialize on the in-flight
+// flag.
+func (c *Cache[K]) FlushKey(key K) error {
+	c.mu.Lock()
+	var e *entry[K]
+	for {
+		el, ok := c.entries[key]
+		if !ok {
+			c.mu.Unlock()
+			return nil
+		}
+		e = el.Value.(*entry[K])
+		if !e.dirty {
+			c.mu.Unlock()
+			return nil
+		}
+		if !e.flushing {
+			break
+		}
+		c.cond.Wait()
 	}
 	if c.writeback == nil {
+		c.mu.Unlock()
 		return errors.New("cache: flushing dirty buffer with no writeback")
 	}
-	if err := c.writeback(e.key, e.data); err != nil {
+	data := append([]byte(nil), e.data...)
+	gen := e.gen
+	e.flushing = true
+	c.mu.Unlock()
+
+	err := c.writeback(key, data)
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok && el.Value.(*entry[K]) == e {
+		e.flushing = false
+		if err == nil && e.gen == gen {
+			e.dirty = false
+		}
+	}
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	if err != nil {
 		return fmt.Errorf("cache: flush: %w", err)
 	}
-	e.dirty = false
 	return nil
 }
 

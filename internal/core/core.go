@@ -105,7 +105,8 @@ type Cluster struct {
 	Log *wal.Log
 
 	devices    []*device.Disk
-	diskClocks []*simclock.Virtual
+	timeGroup  *simclock.Group
+	diskClocks []*simclock.Member
 	stables    []*stable.Store
 	logDevs    [2]*device.Disk
 	logStable  *stable.Store
@@ -118,10 +119,12 @@ type Cluster struct {
 // New builds a fresh cluster (all disks formatted).
 func New(cfg Config) (*Cluster, error) {
 	cfg.fillDefaults()
-	c := &Cluster{cfg: cfg, Metrics: cfg.Metrics, Naming: naming.NewService()}
-	// Data disks, their stable mirrors, and their servers.
+	c := &Cluster{cfg: cfg, Metrics: cfg.Metrics, Naming: naming.NewService(), timeGroup: simclock.NewGroup()}
+	// Data disks, their stable mirrors, and their servers. Each disk gets a
+	// member clock of one shared group, so concurrently dispatched transfers
+	// on different disks occupy overlapping virtual intervals.
 	for i := 0; i < cfg.Disks; i++ {
-		clk := simclock.New()
+		clk := c.timeGroup.NewMember()
 		d, err := device.New(cfg.Geometry,
 			device.WithMetrics(cfg.Metrics), device.WithClock(clk), device.WithModel(cfg.Model))
 		if err != nil {
@@ -182,6 +185,7 @@ func (c *Cluster) buildServices(fresh bool) error {
 		CacheBlocks:      c.cfg.ServerCacheBlocks,
 		Stripe:           c.cfg.Stripe,
 		StripeUnitBlocks: c.cfg.StripeUnitBlocks,
+		Overlap:          c.timeGroup,
 	}
 	var err error
 	if fresh {
@@ -253,7 +257,7 @@ func (c *Cluster) Device(i int) *device.Disk { return c.devices[i] }
 // Disks returns the number of data disks.
 func (c *Cluster) Disks() int { return len(c.devices) }
 
-// DiskTimes returns each disk's accumulated virtual time.
+// DiskTimes returns each disk's accumulated virtual busy time.
 func (c *Cluster) DiskTimes() []time.Duration {
 	out := make([]time.Duration, len(c.diskClocks))
 	for i, clk := range c.diskClocks {
@@ -262,16 +266,13 @@ func (c *Cluster) DiskTimes() []time.Duration {
 	return out
 }
 
-// Makespan returns the largest per-disk virtual time — the parallel-transfer
-// completion time for striped workloads (E14).
+// Makespan returns the overlap-aware virtual completion time of all disk
+// work so far: transfers dispatched to different disks concurrently (the
+// striped scatter-gather paths) occupy overlapping intervals, strictly
+// sequential transfers sum — the parallel-transfer completion time for
+// striped workloads (E14).
 func (c *Cluster) Makespan() time.Duration {
-	var max time.Duration
-	for _, d := range c.DiskTimes() {
-		if d > max {
-			max = d
-		}
-	}
-	return max
+	return c.timeGroup.Elapsed()
 }
 
 // InvalidateCaches drops every cache level (cold-start for experiments).

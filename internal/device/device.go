@@ -88,6 +88,12 @@ type Model struct {
 	RotationalLatency time.Duration
 	// TransferPerFragment is the media transfer time for one fragment.
 	TransferPerFragment time.Duration
+	// WallFactor, when positive, makes each access occupy the spindle for
+	// cost*WallFactor of real time (a sleep while the drive mutex is held).
+	// Virtual accounting is unchanged; this exists so wall-clock throughput
+	// benchmarks observe genuine per-spindle serialization and cross-spindle
+	// parallelism. Zero (the default) keeps accesses instantaneous.
+	WallFactor float64
 }
 
 // DefaultModel approximates a 3600 RPM drive of the paper's era.
@@ -111,18 +117,23 @@ func (m Model) cost(distance, n int) time.Duration {
 }
 
 // Disk is a simulated drive. All methods are safe for concurrent use; the
-// drive serializes operations like a real spindle.
+// drive serializes operations like a real spindle, and concurrent accesses
+// to different Disks never contend: each drive has its own mutex, the timing
+// model is evaluated inside that per-drive critical section, and metric
+// updates happen outside it on striped atomics.
 type Disk struct {
 	geom  Geometry
 	model Model
 	clock simclock.Clock
+	op    simclock.OpClock // clock's op-bracketing form, when it has one
 	met   *metrics.Set
 
-	mu       sync.Mutex
-	data     []byte
-	head     int // current track
-	failed   bool
-	badFrags map[int]bool // fragments that return ErrMediaError
+	mu         sync.Mutex
+	data       []byte
+	head       int // current track
+	failed     bool
+	badFrags   map[int]bool // fragments that return ErrMediaError
+	wallFactor float64
 }
 
 // Option configures a Disk.
@@ -152,7 +163,18 @@ func New(g Geometry, opts ...Option) (*Disk, error) {
 	for _, o := range opts {
 		o(d)
 	}
+	d.op, _ = d.clock.(simclock.OpClock)
+	d.wallFactor = d.model.WallFactor
 	return d, nil
+}
+
+// SetWallFactor changes the wall-clock occupancy factor at runtime (see
+// Model.WallFactor) — benchmarks use this to run their setup phase at full
+// speed and then enable spindle occupancy for the measured phase.
+func (d *Disk) SetWallFactor(f float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wallFactor = f
 }
 
 // Geometry returns the drive geometry.
@@ -170,27 +192,53 @@ func (d *Disk) checkSpan(start, n int) error {
 }
 
 // charge accounts one disk reference transferring n fragments starting at
-// fragment addr, advancing the head. Callers must hold d.mu.
-func (d *Disk) charge(addr, n int) {
+// fragment addr: it advances the head, charges the access cost to the clock
+// at operation start, and occupies the spindle for the wall-clock window when
+// WallFactor is set. Callers must hold d.mu and, after releasing it, call
+// finish(cost, seeked) exactly once to close the operation and record the
+// metrics outside the critical section.
+func (d *Disk) charge(addr, n int) (cost time.Duration, seeked bool) {
 	first := d.geom.Track(addr)
 	last := d.geom.Track(addr + n - 1)
 	distance := first - d.head
 	if distance < 0 {
 		distance = -distance
 	}
-	if distance > 0 {
-		d.met.Inc(metrics.DiskSeeks)
-	}
-	cost := d.model.cost(distance, n)
+	cost = d.model.cost(distance, n)
 	// A multi-track transfer drags the head across the intervening tracks;
 	// charge the (cheap, settled) track-to-track moves.
 	if last > first {
 		cost += time.Duration(last-first) * d.model.SeekPerTrack
 	}
 	d.head = last
+	// Charging at operation start (BeginOp) reserves the member's virtual
+	// interval while d.mu serializes this spindle, so same-disk operations
+	// chain deterministically and cross-disk operations may overlap.
+	if d.op != nil {
+		d.op.BeginOp(cost)
+	} else {
+		d.clock.Advance(cost)
+	}
+	if d.wallFactor > 0 {
+		// Spindle occupancy: hold the drive for a slice of real time
+		// proportional to the simulated cost.
+		time.Sleep(time.Duration(float64(cost) * d.wallFactor))
+	}
+	return cost, distance > 0
+}
+
+// finish closes the operation opened by charge and records its counters on
+// the striped metric set — deliberately outside d.mu, so metric accounting
+// never extends the spindle's critical section.
+func (d *Disk) finish(cost time.Duration, seeked bool) {
+	if d.op != nil {
+		d.op.EndOp()
+	}
 	d.met.Inc(metrics.DiskReferences)
+	if seeked {
+		d.met.Inc(metrics.DiskSeeks)
+	}
 	d.met.AddSimTime(cost)
-	d.clock.Advance(cost)
 }
 
 // ReadFragments reads n fragments starting at fragment address start as one
@@ -200,19 +248,22 @@ func (d *Disk) ReadFragments(start, n int) ([]byte, error) {
 		return nil, err
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.failed {
+		d.mu.Unlock()
 		return nil, ErrFailed
 	}
 	for f := start; f < start+n; f++ {
 		if d.badFrags[f] {
+			d.mu.Unlock()
 			return nil, fmt.Errorf("%w: fragment %d", ErrMediaError, f)
 		}
 	}
-	d.charge(start, n)
-	d.met.Add(metrics.DiskBytesRead, int64(n)*FragmentSize)
+	cost, seeked := d.charge(start, n)
 	buf := make([]byte, n*FragmentSize)
 	copy(buf, d.data[start*FragmentSize:])
+	d.mu.Unlock()
+	d.finish(cost, seeked)
+	d.met.Add(metrics.DiskBytesRead, int64(n)*FragmentSize)
 	return buf, nil
 }
 
@@ -228,14 +279,16 @@ func (d *Disk) WriteFragments(start int, data []byte) error {
 		return err
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.failed {
+		d.mu.Unlock()
 		return ErrFailed
 	}
-	d.charge(start, n)
-	d.met.Add(metrics.DiskBytesWrite, int64(len(data)))
+	cost, seeked := d.charge(start, n)
 	copy(d.data[start*FragmentSize:], data)
 	d.clearCorruption(start, n)
+	d.mu.Unlock()
+	d.finish(cost, seeked)
+	d.met.Add(metrics.DiskBytesWrite, int64(len(data)))
 	return nil
 }
 

@@ -1,8 +1,8 @@
 // Package experiments implements the reproduction harness: one runner per
-// experiment in DESIGN.md's per-experiment index (E1–E14 plus Table 1),
+// experiment in DESIGN.md's per-experiment index (E1–E16 plus Table 1),
 // each returning a rendered table with the same rows the paper's claims are
 // stated in — disk references, cache hits, committed transactions, commit
-// I/O, recovery outcomes.
+// I/O, recovery outcomes, wall-clock throughput.
 //
 // The runners are invoked by the root benchmarks (bench_test.go) and by
 // cmd/rhodos-bench, which prints the full report used to fill
@@ -126,5 +126,6 @@ func All() []Runner {
 		{"E13", "Idempotent message semantics", E13Idempotency},
 		{"E14", "File striping across disks", E14Striping},
 		{"E15", "Replication failover and resync", E15Replication},
+		{"E16", "Wall-clock parallel throughput", E16ParallelThroughput},
 	}
 }

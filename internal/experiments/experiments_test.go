@@ -27,8 +27,8 @@ func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
 
 func TestAllRunnersListed(t *testing.T) {
 	runners := All()
-	if len(runners) != 16 {
-		t.Fatalf("All() = %d runners, want 16 (T1 + E1..E15)", len(runners))
+	if len(runners) != 17 {
+		t.Fatalf("All() = %d runners, want 17 (T1 + E1..E16)", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -284,6 +284,28 @@ func TestE15Shape(t *testing.T) {
 		if tbl.Rows[row][5] != "true" {
 			t.Errorf("E15 row %d: resync failed", row)
 		}
+	}
+}
+
+func TestE16Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E16 measures wall-clock time with spindle occupancy enabled")
+	}
+	// Only the read endpoints: the full table is cmd/rhodos-bench territory;
+	// here we assert the scaling claim with real elapsed time, so keep the
+	// runtime small and the threshold conservative.
+	one, err := e16Run("read", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := e16Run("read", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("E16: 1 disk %d ops in %v; 8 disks %d ops in %v", one.ops, one.wall, eight.ops, eight.wall)
+	speedup := (float64(eight.ops) / eight.wall.Seconds()) / (float64(one.ops) / one.wall.Seconds())
+	if speedup < 3 {
+		t.Errorf("E16: 8-disk wall-clock speedup = %.2f, want >= 3", speedup)
 	}
 }
 

@@ -190,7 +190,7 @@ func E14Striping() (*Table, error) {
 	t := &Table{
 		ID:      "E14",
 		Title:   "16 MB sequential file across 1/2/4/8 disks",
-		Claim:   "makespan (slowest disk's busy time) drops as stripes spread over more disks",
+		Claim:   "makespan (overlap-aware completion time) drops as stripes spread over more disks",
 		Columns: []string{"disks", "extents", "disks used", "write+read makespan", "speedup"},
 	}
 	var base float64
@@ -204,7 +204,7 @@ func E14Striping() (*Table, error) {
 		}
 		t.AddRow(disks, exts, used, fmtDuration(makespan), float64(base)/float64(makespan))
 	}
-	t.Notes = append(t.Notes, "per-disk virtual clocks model independent spindles; makespan = max over disks")
+	t.Notes = append(t.Notes, "per-disk member clocks model independent spindles; makespan merges them overlap-aware: transfers the scatter-gather path dispatches together overlap, sequential ones sum")
 	return t, nil
 }
 
@@ -213,6 +213,9 @@ func e14Run(disks int) (exts, used int, makespan time.Duration, err error) {
 		Disks:    disks,
 		Geometry: device.Geometry{FragmentsPerTrack: 32, Tracks: 1024}, // 64 MB each
 		Stripe:   fileservice.Spread, StripeUnitBlocks: 16,
+		// Hold the whole 16 MB file so the measured phase is free of
+		// eviction writebacks and the read fan-out is deterministic.
+		ServerCacheBlocks: 4096,
 	})
 	if err != nil {
 		return 0, 0, 0, err

@@ -69,14 +69,10 @@ func (s *Service) Check() (*CheckReport, error) {
 	// the check sees what the service would act on, and does not clobber
 	// open-file state); load the FIT from disk otherwise.
 	for id, loc := range s.fileMap {
-		st, ok := s.files[id]
-		if !ok {
-			var err error
-			st, err = s.loadFITLocked(id, loc)
-			if err != nil {
-				rep.Problems = append(rep.Problems, fmt.Sprintf("file %d: FIT unreadable: %v", id, err))
-				continue
-			}
+		st, err := s.loadStateLocked(id, loc)
+		if err != nil {
+			rep.Problems = append(rep.Problems, fmt.Sprintf("file %d: FIT unreadable: %v", id, err))
+			continue
 		}
 		rep.Files++
 		claim(id, "FIT", int(loc.Disk), int(loc.Addr), 1)

@@ -73,7 +73,7 @@ func (s *Service) persistMapLocked() error {
 	}
 	chainAddrs := make([]fitLocation, nChain)
 	for i := range chainAddrs {
-		disk := s.pickDiskLocked(1)
+		disk := s.pickDisk(1)
 		if disk < 0 {
 			return ErrNoSpace
 		}

@@ -19,18 +19,28 @@
 // original location and stable storage — it is vital structural information.
 // Data-block modifications follow the delayed-write policy for basic files
 // and write-through for transaction files (§5).
+//
+// Locking is two-level. A short structural lock (s.mu) guards only the
+// open-file table, the file map, and ID allocation; each file then has its
+// own lock (fileState.mu) held across its I/O. The lock order is s.mu before
+// st.mu, and s.mu is never held across data-path disk I/O, so operations on
+// different files — and their disk transfers — proceed in parallel. Striped
+// reads, writes and flushes that span several disks fan out with one
+// goroutine per disk (see io.go).
 package fileservice
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/diskservice"
 	"repro/internal/fit"
 	"repro/internal/metrics"
+	"repro/internal/simclock"
 )
 
 // FileID is a file's system name.
@@ -90,11 +100,18 @@ type Config struct {
 	// StripeUnitBlocks is the extent size used by the Spread policy;
 	// defaults to 8 blocks (64 KB).
 	StripeUnitBlocks int
+	// Overlap, when set, is notified when the service fans I/O out to
+	// several disks at once, so an overlap-aware virtual-time accounting
+	// (simclock.Group) can credit the parallelism. Optional.
+	Overlap simclock.Batcher
 }
 
 // fileState is the in-memory state of one known file — the cached FIT plus
-// the decoded extent map.
+// the decoded extent map. Its mutex guards every field below it and is held
+// across the file's I/O; the service's structural lock is not.
 type fileState struct {
+	mu sync.Mutex
+
 	id       FileID
 	fitDisk  int
 	fitAddr  int
@@ -106,6 +123,13 @@ type fileState struct {
 	// reservedAddr is the fragment address of the data block reserved
 	// adjacent to the FIT at creation (-1 when absent or consumed).
 	reservedAddr int
+	// loaded reports whether the FIT has been read; states are inserted
+	// into the table as unloaded placeholders so the structural lock never
+	// covers the load's disk I/O.
+	loaded bool
+	// gone marks a state object that was deleted or evicted from the table;
+	// a waiter that acquires mu and finds gone must retry through the map.
+	gone bool
 }
 
 // Service is a basic file service. It is safe for concurrent use.
@@ -114,14 +138,17 @@ type Service struct {
 	met        *metrics.Set
 	stripe     StripePolicy
 	stripeUnit int
+	overlap    simclock.Batcher
+	nextStripe atomic.Uint32 // round-robin cursor for Spread
 
-	mu         sync.Mutex
-	closed     bool
-	files      map[FileID]*fileState
-	fileMap    map[FileID]fitLocation
-	mapChain   []fitLocation // persisted file-map chain fragments
-	nextID     FileID
-	nextStripe int // round-robin cursor for Spread
+	// mu is the structural lock: it guards the open-file table, the file
+	// map and ID allocation, and is never held across data-path disk I/O.
+	mu       sync.Mutex
+	closed   bool
+	files    map[FileID]*fileState
+	fileMap  map[FileID]fitLocation
+	mapChain []fitLocation // persisted file-map chain fragments
+	nextID   FileID
 
 	blockCache *cache.Cache[blockKey]
 }
@@ -181,7 +208,7 @@ func (s *Service) rebuildBitmapsLocked() error {
 		}
 	}
 	for id, loc := range s.fileMap {
-		st, err := s.loadFITLocked(id, loc)
+		st, err := s.loadStateLocked(id, loc)
 		if err != nil {
 			return fmt.Errorf("fileservice: rebuilding from FIT of file %d: %w", id, err)
 		}
@@ -226,6 +253,7 @@ func newService(cfg Config) (*Service, error) {
 		met:        cfg.Metrics,
 		stripe:     stripe,
 		stripeUnit: unit,
+		overlap:    cfg.Overlap,
 		files:      make(map[FileID]*fileState),
 		fileMap:    make(map[FileID]fitLocation),
 	}
@@ -257,6 +285,96 @@ func (s *Service) DiskServer(i int) *diskservice.Server { return s.disks[i] }
 // DiskCount returns the number of disk servers.
 func (s *Service) DiskCount() int { return len(s.disks) }
 
+// newFileState returns an unloaded placeholder for a file known to live at
+// loc.
+func newFileState(id FileID, loc fitLocation) *fileState {
+	return &fileState{
+		id: id, fitDisk: int(loc.Disk), fitAddr: int(loc.Addr),
+		extents: fit.NewExtentMap(nil), reservedAddr: -1,
+	}
+}
+
+// fileHandle returns the state object for id, inserting an unloaded
+// placeholder on first reference. It takes only the structural lock and
+// performs no disk I/O.
+func (s *Service) fileHandle(id FileID) (*fileState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if st, ok := s.files[id]; ok {
+		return st, nil
+	}
+	loc, ok := s.fileMap[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	st := newFileState(id, loc)
+	s.files[id] = st
+	return st, nil
+}
+
+// lockFile returns id's state with st.mu held and the FIT loaded — step two
+// of the three-step data location (§5). The FIT load's disk I/O runs under
+// the per-file lock only, so concurrent operations on other files are not
+// blocked. Callers must release st.mu.
+func (s *Service) lockFile(id FileID) (*fileState, error) {
+	for {
+		st, err := s.fileHandle(id)
+		if err != nil {
+			return nil, err
+		}
+		st.mu.Lock()
+		if st.gone {
+			// The state was deleted or evicted while we waited for its lock;
+			// retry through the map.
+			st.mu.Unlock()
+			continue
+		}
+		if st.loaded {
+			return st, nil
+		}
+		if err := s.loadFIT(st); err != nil {
+			st.gone = true
+			st.mu.Unlock()
+			s.mu.Lock()
+			if cur, ok := s.files[id]; ok && cur == st {
+				delete(s.files, id)
+			}
+			s.mu.Unlock()
+			return nil, err
+		}
+		st.loaded = true
+		return st, nil
+	}
+}
+
+// loadStateLocked returns the cached state for id, loading it from loc and
+// caching it if absent. Callers must hold s.mu (mount-time rebuild and
+// Check, which serialize on the structural lock).
+func (s *Service) loadStateLocked(id FileID, loc fitLocation) (*fileState, error) {
+	if st, ok := s.files[id]; ok {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.loaded {
+			return st, nil
+		}
+		if err := s.loadFIT(st); err != nil {
+			return nil, err
+		}
+		st.loaded = true
+		return st, nil
+	}
+	st := newFileState(id, loc)
+	if err := s.loadFIT(st); err != nil {
+		return nil, err
+	}
+	st.loaded = true
+	s.files[id] = st
+	return st, nil
+}
+
 // Create makes a new empty file and returns its system name. The FIT is
 // created dynamically, and when space permits the fragment after it is
 // reserved so the first data block is contiguous with the FIT (§5).
@@ -275,7 +393,7 @@ func (s *Service) Create(attr fit.Attributes) (FileID, error) {
 	attr.Size = 0
 	attr.RefCount = 0
 
-	disk := s.pickDiskLocked(1 + FragmentsPerBlock)
+	disk := s.pickDisk(1 + FragmentsPerBlock)
 	if disk < 0 {
 		return 0, ErrNoSpace
 	}
@@ -296,10 +414,11 @@ func (s *Service) Create(attr fit.Attributes) (FileID, error) {
 	st := &fileState{
 		id: id, fitDisk: disk, fitAddr: fitAddr,
 		attr: attr, extents: fit.NewExtentMap(nil), reservedAddr: reserved,
+		loaded: true,
 	}
 	s.files[id] = st
 	s.fileMap[id] = fitLocation{Disk: uint16(disk), Addr: uint32(fitAddr)}
-	if err := s.writeFITLocked(st, false); err != nil {
+	if err := s.writeFIT(st, false); err != nil {
 		return 0, err
 	}
 	if err := s.persistMapLocked(); err != nil {
@@ -308,18 +427,13 @@ func (s *Service) Create(attr fit.Attributes) (FileID, error) {
 	return id, nil
 }
 
-// Open increments the file's reference count, loading its FIT if needed —
-// step two of the three-step data location (§5).
+// Open increments the file's reference count, loading its FIT if needed.
 func (s *Service) Open(id FileID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return err
 	}
+	defer st.mu.Unlock()
 	st.refCount++
 	st.attr.RefCount = uint32(st.refCount)
 	return nil
@@ -328,19 +442,18 @@ func (s *Service) Open(id FileID) error {
 // Close decrements the reference count and, at zero, flushes the file's
 // dirty state.
 func (s *Service) Close(id FileID) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return err
 	}
+	defer st.mu.Unlock()
 	if st.refCount == 0 {
 		return fmt.Errorf("%w: file %d", ErrNotOpen, id)
 	}
 	st.refCount--
 	st.attr.RefCount = uint32(st.refCount)
 	if st.refCount == 0 {
-		return s.flushFileLocked(st)
+		return s.flushFile(st)
 	}
 	return nil
 }
@@ -353,9 +466,24 @@ func (s *Service) Delete(id FileID) error {
 	if s.closed {
 		return ErrClosed
 	}
-	st, err := s.loadLocked(id)
-	if err != nil {
-		return err
+	st, ok := s.files[id]
+	if !ok {
+		loc, mapped := s.fileMap[id]
+		if !mapped {
+			return fmt.Errorf("%w: id %d", ErrNotFound, id)
+		}
+		st = newFileState(id, loc)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.gone {
+		return fmt.Errorf("%w: id %d", ErrNotFound, id)
+	}
+	if !st.loaded {
+		if err := s.loadFIT(st); err != nil {
+			return err
+		}
+		st.loaded = true
 	}
 	if st.refCount > 0 {
 		return fmt.Errorf("%w: file %d has %d openers", ErrFileBusy, id, st.refCount)
@@ -365,6 +493,7 @@ func (s *Service) Delete(id FileID) error {
 	// map entry reference reallocated blocks.
 	delete(s.files, id)
 	delete(s.fileMap, id)
+	st.gone = true
 	if err := s.persistMapLocked(); err != nil {
 		return err
 	}
@@ -372,7 +501,7 @@ func (s *Service) Delete(id FileID) error {
 		if err := s.disks[e.Disk].Free(int(e.Addr), int(e.Count)*FragmentsPerBlock); err != nil {
 			return fmt.Errorf("fileservice: freeing data extent: %w", err)
 		}
-		s.invalidateExtentLocked(e)
+		s.invalidateExtent(e)
 	}
 	for _, e := range st.indirect {
 		if err := s.disks[e.Disk].Free(int(e.Addr), FragmentsPerBlock); err != nil {
@@ -390,8 +519,8 @@ func (s *Service) Delete(id FileID) error {
 	return nil
 }
 
-// invalidateExtentLocked drops an extent's blocks from the block cache.
-func (s *Service) invalidateExtentLocked(e fit.Extent) {
+// invalidateExtent drops an extent's blocks from the block cache.
+func (s *Service) invalidateExtent(e fit.Extent) {
 	for b := 0; b < int(e.Count); b++ {
 		s.blockCache.Invalidate(blockKey{disk: int(e.Disk), addr: int(e.Addr) + b*FragmentsPerBlock})
 	}
@@ -399,24 +528,22 @@ func (s *Service) invalidateExtentLocked(e fit.Extent) {
 
 // Attributes returns the file's attributes.
 func (s *Service) Attributes(id FileID) (fit.Attributes, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return fit.Attributes{}, err
 	}
+	defer st.mu.Unlock()
 	return st.attr, nil
 }
 
 // SetLocking records the file's lock level (§6.1); it is persisted with the
 // FIT.
 func (s *Service) SetLocking(id FileID, l fit.LockLevel) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return err
 	}
+	defer st.mu.Unlock()
 	st.attr.Locking = l
 	st.fitDirty = true
 	return nil
@@ -424,12 +551,11 @@ func (s *Service) SetLocking(id FileID, l fit.LockLevel) error {
 
 // SetService records which service's semantics currently govern the file.
 func (s *Service) SetService(id FileID, t fit.ServiceType) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return err
 	}
+	defer st.mu.Unlock()
 	st.attr.Service = t
 	st.fitDirty = true
 	return nil
@@ -447,12 +573,11 @@ func (s *Service) Size(id FileID) (int64, error) {
 // Extents returns the file's extent list in logical order (used by the
 // transaction service's contiguity check, §6.7).
 func (s *Service) Extents(id FileID) ([]fit.Extent, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return nil, err
 	}
+	defer st.mu.Unlock()
 	out := make([]fit.Extent, len(st.extents.Extents()))
 	copy(out, st.extents.Extents())
 	return out, nil
@@ -461,17 +586,17 @@ func (s *Service) Extents(id FileID) ([]fit.Extent, error) {
 // FITLocation returns where the file's index table lives (diagnostics and
 // experiment E11).
 func (s *Service) FITLocation(id FileID) (disk, addr int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return 0, 0, err
 	}
+	defer st.mu.Unlock()
 	return st.fitDisk, st.fitAddr, nil
 }
 
 // Flush writes back all dirty state: dirty data blocks, dirty FITs, and the
-// file map.
+// file map. Dirty blocks bound for different disks are written back in
+// parallel, one writeback stream per disk.
 func (s *Service) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -479,39 +604,138 @@ func (s *Service) Flush() error {
 }
 
 func (s *Service) flushAllLocked() error {
-	if err := s.blockCache.Flush(); err != nil {
+	if err := s.flushCacheLocked(); err != nil {
 		return err
 	}
 	for _, st := range s.files {
-		if st.fitDirty {
-			if err := s.writeFITLocked(st, false); err != nil {
-				return err
-			}
+		st.mu.Lock()
+		var err error
+		if st.loaded && st.fitDirty {
+			err = s.writeFIT(st, false)
+		}
+		st.mu.Unlock()
+		if err != nil {
+			return err
 		}
 	}
 	if err := s.persistMapLocked(); err != nil {
 		return err
 	}
-	for _, d := range s.disks {
-		if err := d.Flush(); err != nil {
+	return s.flushDisksLocked()
+}
+
+// flushCacheLocked writes back every dirty cached block, fanning out one
+// goroutine per destination disk.
+func (s *Service) flushCacheLocked() error {
+	keys := s.blockCache.DirtyKeys()
+	if len(keys) == 0 {
+		return nil
+	}
+	byDisk := make([][]blockKey, len(s.disks))
+	for _, k := range keys {
+		byDisk[k.disk] = append(byDisk[k.disk], k)
+	}
+	var groups [][]blockKey
+	for _, g := range byDisk {
+		if len(g) > 0 {
+			groups = append(groups, g)
+		}
+	}
+	return s.flushKeyGroups(groups)
+}
+
+// flushKeyGroups flushes each group of cache keys in order, the groups in
+// parallel (they target distinct disks). On error the first failure in group
+// order is returned.
+func (s *Service) flushKeyGroups(groups [][]blockKey) error {
+	if len(groups) == 0 {
+		return nil
+	}
+	if len(groups) == 1 {
+		for _, k := range groups[0] {
+			if err := s.blockCache.FlushKey(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if s.overlap != nil {
+		s.overlap.EnterBatch()
+		defer s.overlap.LeaveBatch()
+	}
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g []blockKey) {
+			defer wg.Done()
+			for _, k := range g {
+				if err := s.blockCache.FlushKey(k); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// flushFileLocked flushes one file's dirty blocks and FIT.
-func (s *Service) flushFileLocked(st *fileState) error {
-	for _, e := range st.extents.Extents() {
-		for b := 0; b < int(e.Count); b++ {
-			key := blockKey{disk: int(e.Disk), addr: int(e.Addr) + b*FragmentsPerBlock}
-			if err := s.blockCache.FlushKey(key); err != nil {
-				return err
-			}
+// flushDisksLocked issues flush-block to every disk server, in parallel.
+func (s *Service) flushDisksLocked() error {
+	if len(s.disks) == 1 {
+		return s.disks[0].Flush()
+	}
+	if s.overlap != nil {
+		s.overlap.EnterBatch()
+		defer s.overlap.LeaveBatch()
+	}
+	errs := make([]error, len(s.disks))
+	var wg sync.WaitGroup
+	for i, d := range s.disks {
+		wg.Add(1)
+		go func(i int, d *diskservice.Server) {
+			defer wg.Done()
+			errs[i] = d.Flush()
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+// flushFile flushes one file's dirty blocks (per-disk parallel) and FIT.
+// Callers must hold st.mu.
+func (s *Service) flushFile(st *fileState) error {
+	byDisk := make(map[int][]blockKey)
+	var order []int
+	for _, e := range st.extents.Extents() {
+		d := int(e.Disk)
+		if _, ok := byDisk[d]; !ok {
+			order = append(order, d)
+		}
+		for b := 0; b < int(e.Count); b++ {
+			byDisk[d] = append(byDisk[d], blockKey{disk: d, addr: int(e.Addr) + b*FragmentsPerBlock})
+		}
+	}
+	groups := make([][]blockKey, 0, len(order))
+	for _, d := range order {
+		groups = append(groups, byDisk[d])
+	}
+	if err := s.flushKeyGroups(groups); err != nil {
+		return err
+	}
 	if st.fitDirty {
-		return s.writeFITLocked(st, false)
+		return s.writeFIT(st, false)
 	}
 	return nil
 }
@@ -541,19 +765,26 @@ func (s *Service) InvalidateCaches() {
 
 // DropFITCache evicts in-memory FIT state for closed files, forcing the next
 // access to reload the table from disk (experiments; cold-start behaviour).
+// Files whose lock is currently held are left alone.
 func (s *Service) DropFITCache() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for id, st := range s.files {
-		if st.refCount == 0 && !st.fitDirty {
+		if !st.mu.TryLock() {
+			continue
+		}
+		if st.loaded && st.refCount == 0 && !st.fitDirty {
+			st.gone = true
 			delete(s.files, id)
 		}
+		st.mu.Unlock()
 	}
 }
 
-// pickDiskLocked returns the disk with the most free space that can hold n
-// fragments, or -1.
-func (s *Service) pickDiskLocked(n int) int {
+// pickDisk returns the disk with the most free space that can hold n
+// fragments, or -1. Free-space queries are answered from each disk's
+// internally synchronized allocator, so no service lock is needed.
+func (s *Service) pickDisk(n int) int {
 	best, bestFree := -1, -1
 	for i, d := range s.disks {
 		free := d.FreeFragments()
@@ -564,74 +795,58 @@ func (s *Service) pickDiskLocked(n int) int {
 	return best
 }
 
-// loadLocked returns the file state, loading the FIT from disk if needed.
-func (s *Service) loadLocked(id FileID) (*fileState, error) {
-	if s.closed {
-		return nil, ErrClosed
-	}
-	if st, ok := s.files[id]; ok {
-		return st, nil
-	}
-	loc, ok := s.fileMap[id]
-	if !ok {
-		return nil, fmt.Errorf("%w: id %d", ErrNotFound, id)
-	}
-	return s.loadFITLocked(id, loc)
-}
-
-// loadFITLocked reads and decodes a FIT (one disk reference), falling back
-// to the stable copy if the main copy is corrupt, then loads any indirect
-// blocks.
-func (s *Service) loadFITLocked(id FileID, loc fitLocation) (*fileState, error) {
-	srv := s.disks[loc.Disk]
-	raw, err := srv.Get(int(loc.Addr), 1, diskservice.GetOptions{})
+// loadFIT reads and decodes the FIT at st's location into st (one disk
+// reference), falling back to the stable copy if the main copy is corrupt,
+// then loads any indirect blocks. Callers must hold st.mu (or have exclusive
+// access to st).
+func (s *Service) loadFIT(st *fileState) error {
+	srv := s.disks[st.fitDisk]
+	raw, err := srv.Get(st.fitAddr, 1, diskservice.GetOptions{})
 	var tbl *fit.Table
 	if err == nil {
 		tbl, err = fit.Decode(raw)
 	}
 	if err != nil {
 		// Vital structure: recover from the stable copy.
-		raw, serr := srv.Get(int(loc.Addr), 1, diskservice.GetOptions{FromStable: true})
+		raw, serr := srv.Get(st.fitAddr, 1, diskservice.GetOptions{FromStable: true})
 		if serr != nil {
-			return nil, fmt.Errorf("fileservice: FIT of file %d unreadable: %v; stable: %w", id, err, serr)
+			return fmt.Errorf("fileservice: FIT of file %d unreadable: %v; stable: %w", st.id, err, serr)
 		}
 		tbl, serr = fit.Decode(raw)
 		if serr != nil {
-			return nil, fmt.Errorf("fileservice: FIT of file %d corrupt on both copies: %w", id, serr)
+			return fmt.Errorf("fileservice: FIT of file %d corrupt on both copies: %w", st.id, serr)
 		}
 		// Heal the main copy.
-		if herr := srv.Put(int(loc.Addr), raw, diskservice.PutOptions{}); herr != nil {
-			return nil, fmt.Errorf("fileservice: healing FIT of file %d: %w", id, herr)
+		if herr := srv.Put(st.fitAddr, raw, diskservice.PutOptions{}); herr != nil {
+			return fmt.Errorf("fileservice: healing FIT of file %d: %w", st.id, herr)
 		}
 	}
 	extents := append([]fit.Extent(nil), tbl.Direct...)
 	for _, ind := range tbl.Indirect {
 		blk, err := s.disks[ind.Disk].Get(int(ind.Addr), FragmentsPerBlock, diskservice.GetOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("fileservice: reading indirect block of file %d: %w", id, err)
+			return fmt.Errorf("fileservice: reading indirect block of file %d: %w", st.id, err)
 		}
 		more, err := fit.DecodeIndirect(blk)
 		if err != nil {
-			return nil, fmt.Errorf("fileservice: indirect block of file %d: %w", id, err)
+			return fmt.Errorf("fileservice: indirect block of file %d: %w", st.id, err)
 		}
 		extents = append(extents, more...)
 	}
-	st := &fileState{
-		id: id, fitDisk: int(loc.Disk), fitAddr: int(loc.Addr),
-		attr: tbl.Attr, extents: fit.NewExtentMap(extents),
-		indirect:     append([]fit.Extent(nil), tbl.Indirect...),
-		reservedAddr: -1,
-	}
+	st.attr = tbl.Attr
+	st.extents = fit.NewExtentMap(extents)
+	st.indirect = append([]fit.Extent(nil), tbl.Indirect...)
+	st.reservedAddr = -1
 	st.refCount = 0
 	st.attr.RefCount = 0
-	s.files[id] = st
-	return st, nil
+	return nil
 }
 
-// writeFITLocked encodes and persists the FIT to its original location and
+// writeFIT encodes and persists the FIT to its original location and
 // stable storage (§4's put-block file-index-table flavour), rewriting
 // indirect blocks as needed. waitStable selects synchronous stable writes.
-func (s *Service) writeFITLocked(st *fileState, waitStable bool) error {
+// Callers must hold st.mu (or have exclusive access to st).
+func (s *Service) writeFIT(st *fileState, waitStable bool) error {
 	direct, overflow := st.extents.Split()
 	// Rewrite indirect blocks. Free any beyond what is needed now.
 	var needed int
@@ -649,7 +864,7 @@ func (s *Service) writeFITLocked(st *fileState, waitStable bool) error {
 		st.indirect = st.indirect[:len(st.indirect)-1]
 	}
 	for len(st.indirect) < needed {
-		disk := s.pickDiskLocked(FragmentsPerBlock)
+		disk := s.pickDisk(FragmentsPerBlock)
 		if disk < 0 {
 			return ErrNoSpace
 		}

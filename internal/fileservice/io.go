@@ -2,10 +2,12 @@ package fileservice
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/diskservice"
 	"repro/internal/fit"
+	"repro/internal/metrics"
 )
 
 // ReadAt reads up to n bytes starting at byte offset off, returning fewer
@@ -15,7 +17,9 @@ import (
 // index table, then fetch the whole physically contiguous run the block
 // starts with one single invocation of get-block — up to 64 blocks (512 KB)
 // — and cache every block of the run, so subsequent requests on the run
-// cost no disk reference (§5).
+// cost no disk reference (§5). Misses are planned first, then the fetches
+// fan out with one goroutine per disk, so a striped read drives all its
+// disks concurrently.
 func (s *Service) ReadAt(id FileID, off int64, n int) ([]byte, error) {
 	if off < 0 {
 		return nil, ErrBadOffset
@@ -23,12 +27,11 @@ func (s *Service) ReadAt(id FileID, off int64, n int) ([]byte, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("%w: negative length", ErrBadRequest)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return nil, err
 	}
+	defer st.mu.Unlock()
 	size := int64(st.attr.Size)
 	if off >= size {
 		return nil, nil
@@ -37,25 +40,160 @@ func (s *Service) ReadAt(id FileID, off int64, n int) ([]byte, error) {
 		n = int(size - off)
 	}
 	out := make([]byte, n)
-	covered := 0
-	for covered < n {
-		pos := off + int64(covered)
-		blk := int(pos / BlockSize)
-		within := int(pos % BlockSize)
-		data, err := s.blockLocked(st, blk)
-		if err != nil {
-			return nil, err
-		}
-		covered += copy(out[covered:], data[within:])
+	if err := s.readInto(st, out, off); err != nil {
+		return nil, err
 	}
 	st.attr.LastRead = time.Now()
 	st.fitDirty = true
 	return out, nil
 }
 
-// blockLocked returns logical block blk of the file, from cache or by
-// fetching its contiguous run from disk.
-func (s *Service) blockLocked(st *fileState, blk int) ([]byte, error) {
+// fetchSpan names bytes to copy out of one block of a fetched run.
+type fetchSpan struct {
+	outOff   int // destination offset in the caller's buffer
+	blk      int // block index within the run
+	from, to int // byte range within that block
+}
+
+// fetchTask is one contiguous-run disk fetch plus the output spans it
+// serves.
+type fetchTask struct {
+	disk, addr, run int
+	spans           []fetchSpan
+}
+
+// pendingRef locates a block inside an already planned fetch.
+type pendingRef struct {
+	t   *fetchTask
+	blk int
+}
+
+// readInto fills out with the file's bytes starting at off. It walks the
+// extent map once, serving cached blocks immediately and planning one fetch
+// per uncovered contiguous run, then executes the fetches grouped per disk.
+// Callers must hold st.mu.
+func (s *Service) readInto(st *fileState, out []byte, off int64) error {
+	var tasks []*fetchTask
+	var pending map[blockKey]pendingRef
+	covered := 0
+	for covered < len(out) {
+		pos := off + int64(covered)
+		blk := int(pos / BlockSize)
+		within := int(pos % BlockSize)
+		chunk := BlockSize - within
+		if chunk > len(out)-covered {
+			chunk = len(out) - covered
+		}
+		disk, addr, contiguous, ok := st.extents.Lookup(blk)
+		if !ok {
+			return fmt.Errorf("%w: file %d has no block %d", ErrBadRequest, st.id, blk)
+		}
+		key := blockKey{disk: int(disk), addr: int(addr)}
+		if ref, ok := pending[key]; ok {
+			// Already part of a planned run fetch; serving it from that run
+			// is the cache hit the block-at-a-time path would have scored.
+			ref.t.spans = append(ref.t.spans, fetchSpan{covered, ref.blk, within, within + chunk})
+			s.met.Inc(metrics.ServerCacheHit)
+		} else if data, ok := s.blockCache.Get(key); ok {
+			copy(out[covered:], data[within:within+chunk])
+		} else {
+			run := contiguous
+			if run > MaxSingleFetchBlocks {
+				run = MaxSingleFetchBlocks
+			}
+			t := &fetchTask{disk: int(disk), addr: int(addr), run: run}
+			t.spans = append(t.spans, fetchSpan{covered, 0, within, within + chunk})
+			tasks = append(tasks, t)
+			if pending == nil {
+				pending = make(map[blockKey]pendingRef)
+			}
+			for b := 0; b < run; b++ {
+				pending[blockKey{disk: int(disk), addr: int(addr) + b*FragmentsPerBlock}] = pendingRef{t, b}
+			}
+		}
+		covered += chunk
+	}
+	return s.runFetches(out, tasks)
+}
+
+// runFetches executes the planned fetches: tasks for the same disk run in
+// order on one goroutine (deterministic head movement), tasks for different
+// disks run concurrently.
+func (s *Service) runFetches(out []byte, tasks []*fetchTask) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	if len(tasks) == 1 {
+		return s.fetch(out, tasks[0])
+	}
+	byDisk := make(map[int][]*fetchTask)
+	var order []int
+	for _, t := range tasks {
+		if _, ok := byDisk[t.disk]; !ok {
+			order = append(order, t.disk)
+		}
+		byDisk[t.disk] = append(byDisk[t.disk], t)
+	}
+	if len(order) == 1 {
+		for _, t := range tasks {
+			if err := s.fetch(out, t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if s.overlap != nil {
+		s.overlap.EnterBatch()
+		defer s.overlap.LeaveBatch()
+	}
+	errs := make([]error, len(order))
+	var wg sync.WaitGroup
+	for i, d := range order {
+		wg.Add(1)
+		go func(i int, group []*fetchTask) {
+			defer wg.Done()
+			for _, t := range group {
+				if err := s.fetch(out, t); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i, byDisk[d])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetch reads one contiguous run with a single disk reference, caches every
+// block of the run, and copies the requested spans into the caller's buffer.
+// The spans are copied from the raw transfer, never re-read from the cache,
+// so a concurrent eviction cannot lose data.
+func (s *Service) fetch(out []byte, t *fetchTask) error {
+	raw, err := s.disks[t.disk].Get(t.addr, t.run*FragmentsPerBlock, diskservice.GetOptions{})
+	if err != nil {
+		return err
+	}
+	for b := 0; b < t.run; b++ {
+		k := blockKey{disk: t.disk, addr: t.addr + b*FragmentsPerBlock}
+		if err := s.blockCache.Put(k, raw[b*BlockSize:(b+1)*BlockSize], false); err != nil {
+			return err
+		}
+	}
+	for _, sp := range t.spans {
+		copy(out[sp.outOff:], raw[sp.blk*BlockSize+sp.from:sp.blk*BlockSize+sp.to])
+	}
+	return nil
+}
+
+// block returns logical block blk of the file, from cache or by fetching its
+// contiguous run from disk — the serial single-block path used for
+// read-modify-write and page-granular access. Callers must hold st.mu.
+func (s *Service) block(st *fileState, blk int) ([]byte, error) {
 	disk, addr, contiguous, ok := st.extents.Lookup(blk)
 	if !ok {
 		return nil, fmt.Errorf("%w: file %d has no block %d", ErrBadRequest, st.id, blk)
@@ -84,7 +222,9 @@ func (s *Service) blockLocked(st *fileState, blk int) ([]byte, error) {
 // WriteAt writes data at byte offset off, extending the file as needed, and
 // returns the number of bytes written. Modifications follow the file's
 // policy: delayed-write for basic files, write-through for transaction
-// files (§5).
+// files (§5). Write-through blocks bound for different disks are flushed in
+// parallel once the whole request is staged, one writeback stream per disk,
+// so a striped synchronous write drives all its disks concurrently.
 func (s *Service) WriteAt(id FileID, off int64, data []byte) (int, error) {
 	if off < 0 {
 		return 0, ErrBadOffset
@@ -92,27 +232,28 @@ func (s *Service) WriteAt(id FileID, off int64, data []byte) (int, error) {
 	if len(data) == 0 {
 		return 0, nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return 0, err
 	}
+	defer st.mu.Unlock()
 	end := off + int64(len(data))
 	needBlocks := int((end + BlockSize - 1) / BlockSize)
 	oldBlocks := st.extents.TotalBlocks()
 	grew := oldBlocks < needBlocks
-	if err := s.growLocked(st, needBlocks); err != nil {
+	if err := s.grow(st, needBlocks); err != nil {
 		return 0, err
 	}
 	// Zero-fill hole blocks between the old end and the first written block:
 	// allocation may hand back blocks with stale contents from freed files.
 	if startBlk := int(off / BlockSize); startBlk > oldBlocks {
-		if err := s.zeroFillLocked(st, oldBlocks, startBlk); err != nil {
+		if err := s.zeroFill(st, oldBlocks, startBlk); err != nil {
 			return 0, err
 		}
 	}
 	writeThrough := st.attr.Service == fit.ServiceTransaction
+	var wtDisks []int
+	var wtByDisk map[int][]blockKey
 	written := 0
 	for written < len(data) {
 		pos := off + int64(written)
@@ -129,7 +270,7 @@ func (s *Service) WriteAt(id FileID, off int64, data []byte) (int, error) {
 			// Partial block: read-modify-write. Blocks beyond the old size
 			// are fresh and start zeroed.
 			if int64(blk)*BlockSize < int64(st.attr.Size) {
-				old, err := s.blockLocked(st, blk)
+				old, err := s.block(st, blk)
 				if err != nil {
 					return written, err
 				}
@@ -148,11 +289,24 @@ func (s *Service) WriteAt(id FileID, off int64, data []byte) (int, error) {
 			return written, err
 		}
 		if writeThrough {
-			if err := s.blockCache.FlushKey(key); err != nil {
-				return written, err
+			if wtByDisk == nil {
+				wtByDisk = make(map[int][]blockKey)
 			}
+			if _, ok := wtByDisk[key.disk]; !ok {
+				wtDisks = append(wtDisks, key.disk)
+			}
+			wtByDisk[key.disk] = append(wtByDisk[key.disk], key)
 		}
 		written += chunk
+	}
+	if writeThrough {
+		groups := make([][]blockKey, 0, len(wtDisks))
+		for _, d := range wtDisks {
+			groups = append(groups, wtByDisk[d])
+		}
+		if err := s.flushKeyGroups(groups); err != nil {
+			return written, err
+		}
 	}
 	if uint64(end) > st.attr.Size {
 		st.attr.Size = uint64(end)
@@ -162,16 +316,18 @@ func (s *Service) WriteAt(id FileID, off int64, data []byte) (int, error) {
 		// Structural changes (new extents) are vital and always written
 		// through, so the mount-time bitmap rebuild can trust on-disk FITs;
 		// transaction files additionally write attribute changes through.
-		if err := s.writeFITLocked(st, false); err != nil {
+		if err := s.writeFIT(st, false); err != nil {
 			return written, err
 		}
 	}
 	return written, nil
 }
 
-// growLocked extends the file's extent map to cover needBlocks logical
-// blocks, allocating per the striping policy.
-func (s *Service) growLocked(st *fileState, needBlocks int) error {
+// grow extends the file's extent map to cover needBlocks logical blocks,
+// allocating per the striping policy. Callers must hold st.mu; allocation
+// goes through each disk's internally synchronized allocator, so the
+// structural lock is not needed.
+func (s *Service) grow(st *fileState, needBlocks int) error {
 	missing := needBlocks - st.extents.TotalBlocks()
 	if missing <= 0 {
 		return nil
@@ -188,9 +344,9 @@ func (s *Service) growLocked(st *fileState, needBlocks int) error {
 		var n int
 		var err error
 		if s.stripe == Spread {
-			n, err = s.growSpreadLocked(st, missing)
+			n, err = s.growSpread(st, missing)
 		} else {
-			n, err = s.growLocalityLocked(st, missing)
+			n, err = s.growLocality(st, missing)
 		}
 		if err != nil {
 			return err
@@ -201,10 +357,10 @@ func (s *Service) growLocked(st *fileState, needBlocks int) error {
 	return nil
 }
 
-// growLocalityLocked allocates up to `missing` blocks as one run as close as
+// growLocality allocates up to `missing` blocks as one run as close as
 // possible to the file's existing data (or its FIT), returning how many
 // blocks it added.
-func (s *Service) growLocalityLocked(st *fileState, missing int) (int, error) {
+func (s *Service) growLocality(st *fileState, missing int) (int, error) {
 	want := missing
 	if want > fit.MaxCount {
 		want = fit.MaxCount
@@ -230,7 +386,7 @@ func (s *Service) growLocalityLocked(st *fileState, missing int) (int, error) {
 	}
 	// The home disk is out of (contiguous) space: take the emptiest disk.
 	for tries := 0; tries < len(s.disks); tries++ {
-		d := s.pickDiskLocked(FragmentsPerBlock)
+		d := s.pickDisk(FragmentsPerBlock)
 		if d < 0 {
 			return 0, ErrNoSpace
 		}
@@ -240,24 +396,25 @@ func (s *Service) growLocalityLocked(st *fileState, missing int) (int, error) {
 				return n, nil
 			}
 		}
-		// pickDiskLocked returned a disk with free-but-fragmented space and
-		// not even one block fits; no other disk will be returned that could
-		// do better, so give up.
+		// pickDisk returned a disk with free-but-fragmented space and not
+		// even one block fits; no other disk will be returned that could do
+		// better, so give up.
 		break
 	}
 	return 0, ErrNoSpace
 }
 
-// growSpreadLocked allocates one stripe unit on the next disk in round-robin
-// order, returning how many blocks it added.
-func (s *Service) growSpreadLocked(st *fileState, missing int) (int, error) {
+// growSpread allocates one stripe unit on the next disk in round-robin
+// order, returning how many blocks it added. The round-robin cursor is a
+// service-wide atomic so files growing concurrently interleave without
+// contending on a lock.
+func (s *Service) growSpread(st *fileState, missing int) (int, error) {
 	want := missing
 	if want > s.stripeUnit {
 		want = s.stripeUnit
 	}
 	for tries := 0; tries < len(s.disks); tries++ {
-		d := s.nextStripe % len(s.disks)
-		s.nextStripe++
+		d := int((s.nextStripe.Add(1) - 1) % uint32(len(s.disks)))
 		for n := want; n > 0; n /= 2 {
 			if addr, err := s.disks[d].AllocateBlocks(n); err == nil {
 				st.extents.Append(fit.Extent{Disk: uint16(d), Addr: uint32(addr), Count: uint16(n)})
@@ -268,9 +425,10 @@ func (s *Service) growSpreadLocked(st *fileState, missing int) (int, error) {
 	return 0, ErrNoSpace
 }
 
-// zeroFillLocked writes zero blocks over logical blocks [from, to) — used
-// when a hole is materialized, since allocated blocks may carry stale data.
-func (s *Service) zeroFillLocked(st *fileState, from, to int) error {
+// zeroFill writes zero blocks over logical blocks [from, to) — used when a
+// hole is materialized, since allocated blocks may carry stale data.
+// Callers must hold st.mu.
+func (s *Service) zeroFill(st *fileState, from, to int) error {
 	if from >= to {
 		return nil
 	}
@@ -299,21 +457,20 @@ func (s *Service) Truncate(id FileID, size int64) error {
 	if size < 0 {
 		return ErrBadOffset
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return err
 	}
+	defer st.mu.Unlock()
 	if uint64(size) > st.attr.Size {
 		// Extend with a hole; freshly mapped blocks are zero-filled so the
 		// hole reads as zeros even when allocation reuses freed blocks.
 		oldBlocks := st.extents.TotalBlocks()
 		needBlocks := int((size + BlockSize - 1) / BlockSize)
-		if err := s.growLocked(st, needBlocks); err != nil {
+		if err := s.grow(st, needBlocks); err != nil {
 			return err
 		}
-		if err := s.zeroFillLocked(st, oldBlocks, needBlocks); err != nil {
+		if err := s.zeroFill(st, oldBlocks, needBlocks); err != nil {
 			return err
 		}
 	} else {
@@ -322,7 +479,7 @@ func (s *Service) Truncate(id FileID, size int64) error {
 		// Zero the tail of the last kept block so a later extension reads
 		// zeros there rather than the pre-truncation bytes.
 		if within := int(size % BlockSize); within != 0 && keep > 0 {
-			buf, err := s.blockLocked(st, keep-1)
+			buf, err := s.block(st, keep-1)
 			if err != nil {
 				return err
 			}
@@ -338,43 +495,41 @@ func (s *Service) Truncate(id FileID, size int64) error {
 		st.fitDirty = true
 		// Persist the shrunk FIT before freeing, so a crash in between leaks
 		// blocks instead of leaving the FIT referencing reallocated ones.
-		if err := s.writeFITLocked(st, false); err != nil {
+		if err := s.writeFIT(st, false); err != nil {
 			return err
 		}
 		for _, e := range freed {
 			if err := s.disks[e.Disk].Free(int(e.Addr), int(e.Count)*FragmentsPerBlock); err != nil {
 				return err
 			}
-			s.invalidateExtentLocked(e)
+			s.invalidateExtent(e)
 		}
 		return nil
 	}
 	st.attr.Size = uint64(size)
 	st.fitDirty = true
-	return s.writeFITLocked(st, false)
+	return s.writeFIT(st, false)
 }
 
 // BlockCount returns the number of logical blocks mapped by the file.
 func (s *Service) BlockCount(id FileID) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return 0, err
 	}
+	defer st.mu.Unlock()
 	return st.extents.TotalBlocks(), nil
 }
 
 // ReadBlock returns logical block blk (a full 8 KB), for the transaction
 // service's page-granular access.
 func (s *Service) ReadBlock(id FileID, blk int) ([]byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return nil, err
 	}
-	return s.blockLocked(st, blk)
+	defer st.mu.Unlock()
+	return s.block(st, blk)
 }
 
 // WriteBlockThrough writes logical block blk synchronously to disk
@@ -383,24 +538,23 @@ func (s *Service) WriteBlockThrough(id FileID, blk int, data []byte) error {
 	if len(data) != BlockSize {
 		return fmt.Errorf("%w: block write of %d bytes", ErrBadRequest, len(data))
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return err
 	}
+	defer st.mu.Unlock()
 	oldBlocks := st.extents.TotalBlocks()
 	grew := oldBlocks < blk+1
-	if err := s.growLocked(st, blk+1); err != nil {
+	if err := s.grow(st, blk+1); err != nil {
 		return err
 	}
 	if blk > oldBlocks {
-		if err := s.zeroFillLocked(st, oldBlocks, blk); err != nil {
+		if err := s.zeroFill(st, oldBlocks, blk); err != nil {
 			return err
 		}
 	}
 	if grew {
-		if err := s.writeFITLocked(st, false); err != nil {
+		if err := s.writeFIT(st, false); err != nil {
 			return err
 		}
 	}
@@ -423,12 +577,11 @@ func (s *Service) ReplaceBlockDescriptor(id FileID, blk int, newExt fit.Extent) 
 	if newExt.Count != 1 {
 		return fmt.Errorf("%w: shadow extents are single blocks", ErrBadRequest)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return err
 	}
+	defer st.mu.Unlock()
 	total := st.extents.TotalBlocks()
 	if blk < 0 || blk >= total {
 		return fmt.Errorf("%w: no block %d", ErrBadRequest, blk)
@@ -452,18 +605,17 @@ func (s *Service) ReplaceBlockDescriptor(id FileID, blk int, newExt fit.Extent) 
 		return err
 	}
 	st.fitDirty = true
-	return s.writeFITLocked(st, true)
+	return s.writeFIT(st, true)
 }
 
 // BlockLocation resolves logical block blk to its physical location (used
 // by the transaction service to stage shadow pages on stable storage).
 func (s *Service) BlockLocation(id FileID, blk int) (disk uint16, fragAddr uint32, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return 0, 0, err
 	}
+	defer st.mu.Unlock()
 	d, a, _, ok := st.extents.Lookup(blk)
 	if !ok {
 		return 0, 0, fmt.Errorf("%w: no block %d", ErrBadRequest, blk)
@@ -475,12 +627,11 @@ func (s *Service) BlockLocation(id FileID, blk int) (disk uint16, fragAddr uint3
 // of extents and the largest extent length in blocks (experiment E8's
 // post-commit contiguity measure).
 func (s *Service) ContiguityProfile(id FileID) (extents, largestRun int, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, err := s.loadLocked(id)
+	st, err := s.lockFile(id)
 	if err != nil {
 		return 0, 0, err
 	}
+	defer st.mu.Unlock()
 	exts := st.extents.Extents()
 	largest := 0
 	for _, e := range exts {

@@ -5,6 +5,10 @@
 // A single Set is threaded through a cluster (disk servers, file services,
 // agents) so an experiment can snapshot "how many disk references did this
 // workload cost" — the unit the paper's performance claims are stated in.
+//
+// Counters are striped: each named counter is a set of cache-line-padded
+// atomics, so concurrent I/O paths on different disks never contend on a
+// global mutex. Readers (Get, Snapshot) merge the stripes.
 package metrics
 
 import (
@@ -12,6 +16,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -44,16 +49,90 @@ const (
 	RPCRetries    = "rpc.retries"
 )
 
+// stripes is the number of independent atomics per counter. Power of two so
+// the stripe hint reduces with a mask.
+const stripes = 16
+
+// paddedInt64 is an atomic counter padded out to a cache line so neighbouring
+// stripes do not false-share.
+type paddedInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// counter is one named counter: a stripe of padded atomics summed on read.
+type counter struct {
+	parts [stripes]paddedInt64
+}
+
+func (c *counter) add(stripe int, delta int64) {
+	c.parts[stripe&(stripes-1)].v.Add(delta)
+}
+
+func (c *counter) sum() int64 {
+	var s int64
+	for i := range c.parts {
+		s += c.parts[i].v.Load()
+	}
+	return s
+}
+
+func (c *counter) zero() {
+	for i := range c.parts {
+		c.parts[i].v.Store(0)
+	}
+}
+
+// stripeSeq hands out initial stripe indexes; stripePool then keeps them
+// loosely affine to the calling P, spreading concurrent writers over the
+// stripes without any per-goroutine state.
+var (
+	stripeSeq  atomic.Uint32
+	stripePool = sync.Pool{New: func() any {
+		i := int(stripeSeq.Add(1))
+		return &i
+	}}
+)
+
+func stripeHint() int {
+	p := stripePool.Get().(*int)
+	i := *p
+	stripePool.Put(p)
+	return i
+}
+
 // Set is a concurrency-safe bag of named counters plus a virtual-time
-// accumulator. The zero value is ready to use.
+// accumulator. The zero value is ready to use. The mutex guards only the
+// name→counter map; the counts themselves are striped atomics, so hot
+// writers on different devices do not serialize.
 type Set struct {
-	mu       sync.Mutex
-	counters map[string]int64
-	simTime  time.Duration
+	mu       sync.RWMutex
+	counters map[string]*counter
+	simTime  counter
 }
 
 // NewSet returns an empty metric set.
 func NewSet() *Set { return &Set{} }
+
+// counterFor returns the striped counter for name, creating it on first use.
+func (s *Set) counterFor(name string) *counter {
+	s.mu.RLock()
+	c := s.counters[name]
+	s.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.counters == nil {
+		s.counters = make(map[string]*counter)
+	}
+	if c = s.counters[name]; c == nil {
+		c = &counter{}
+		s.counters[name] = c
+	}
+	return c
+}
 
 // Add increments counter name by delta. Nil sets are tolerated so components
 // can be run without metrics plumbing.
@@ -61,12 +140,7 @@ func (s *Set) Add(name string, delta int64) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.counters == nil {
-		s.counters = make(map[string]int64)
-	}
-	s.counters[name] += delta
+	s.counterFor(name).add(stripeHint(), delta)
 }
 
 // Inc increments counter name by one.
@@ -77,9 +151,7 @@ func (s *Set) AddSimTime(d time.Duration) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.simTime += d
+	s.simTime.add(stripeHint(), int64(d))
 }
 
 // Get returns the current value of counter name (zero if never touched).
@@ -87,9 +159,13 @@ func (s *Set) Get(name string) int64 {
 	if s == nil {
 		return 0
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.counters[name]
+	s.mu.RLock()
+	c := s.counters[name]
+	s.mu.RUnlock()
+	if c == nil {
+		return 0
+	}
+	return c.sum()
 }
 
 // SimTime returns the accumulated simulated device time.
@@ -97,9 +173,7 @@ func (s *Set) SimTime() time.Duration {
 	if s == nil {
 		return 0
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.simTime
+	return time.Duration(s.simTime.sum())
 }
 
 // Snapshot returns a copy of all counters.
@@ -107,16 +181,17 @@ func (s *Set) Snapshot() map[string]int64 {
 	if s == nil {
 		return nil
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	out := make(map[string]int64, len(s.counters))
-	for k, v := range s.counters {
-		out[k] = v
+	for k, c := range s.counters {
+		out[k] = c.sum()
 	}
 	return out
 }
 
-// Reset zeroes every counter and the simulated time.
+// Reset zeroes every counter and the simulated time. Concurrent increments
+// racing with a Reset may land on either side of it.
 func (s *Set) Reset() {
 	if s == nil {
 		return
@@ -124,7 +199,7 @@ func (s *Set) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.counters = nil
-	s.simTime = 0
+	s.simTime.zero()
 }
 
 // Diff returns the per-counter difference s - prev, where prev is a snapshot

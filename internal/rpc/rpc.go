@@ -18,6 +18,7 @@
 package rpc
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -60,26 +61,60 @@ var (
 )
 
 // DupCache is the duplicate-request cache: the memory of past requests that
-// makes operations idempotent. It keeps up to window responses per client.
+// makes operations idempotent. It keeps up to window responses per client,
+// and at most maxClients client windows: the least recently active client's
+// window is reclaimed when a new client would exceed the bound, so a
+// long-lived endpoint serving a churning client population stays "nearly"
+// stateless instead of accumulating a window per client ever seen.
 type DupCache struct {
-	mu      sync.Mutex
-	window  int
-	clients map[uint64]*clientWindow
+	mu         sync.Mutex
+	window     int
+	maxClients int
+	clients    map[uint64]*clientWindow
+	lru        *list.List // of uint64 client IDs, front = most recently active
 }
 
 type clientWindow struct {
 	responses map[uint64]Response
 	order     []uint64
+	elem      *list.Element
 }
 
+// DefaultMaxClients bounds how many client windows a DupCache retains.
+const DefaultMaxClients = 1024
+
 // NewDupCache creates a cache remembering the last window responses per
-// client; window defaults to 128.
+// client; window defaults to 128, the client bound to DefaultMaxClients.
 func NewDupCache(window int) *DupCache {
 	if window <= 0 {
 		window = 128
 	}
-	return &DupCache{window: window, clients: make(map[uint64]*clientWindow)}
+	return &DupCache{
+		window: window, maxClients: DefaultMaxClients,
+		clients: make(map[uint64]*clientWindow), lru: list.New(),
+	}
 }
+
+func (c *DupCache) setWindow(n int) {
+	if n <= 0 {
+		n = 128
+	}
+	c.mu.Lock()
+	c.window = n
+	c.mu.Unlock()
+}
+
+func (c *DupCache) setMaxClients(n int) {
+	if n <= 0 {
+		n = DefaultMaxClients
+	}
+	c.mu.Lock()
+	c.maxClients = n
+	c.mu.Unlock()
+}
+
+// touchLocked marks client as most recently active.
+func (c *DupCache) touchLocked(w *clientWindow) { c.lru.MoveToFront(w.elem) }
 
 // Lookup returns the cached response for (client, seq), if any.
 func (c *DupCache) Lookup(client, seq uint64) (Response, bool) {
@@ -89,19 +124,29 @@ func (c *DupCache) Lookup(client, seq uint64) (Response, bool) {
 	if !ok {
 		return Response{}, false
 	}
+	c.touchLocked(w)
 	resp, ok := w.responses[seq]
 	return resp, ok
 }
 
 // Store remembers the response for (client, seq), evicting the oldest entry
-// beyond the window.
+// beyond the per-client window and the least recently active client beyond
+// the client bound.
 func (c *DupCache) Store(client, seq uint64, resp Response) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	w, ok := c.clients[client]
 	if !ok {
+		for len(c.clients) >= c.maxClients {
+			oldest := c.lru.Back()
+			delete(c.clients, oldest.Value.(uint64))
+			c.lru.Remove(oldest)
+		}
 		w = &clientWindow{responses: make(map[uint64]Response)}
+		w.elem = c.lru.PushFront(client)
 		c.clients[client] = w
+	} else {
+		c.touchLocked(w)
 	}
 	if _, exists := w.responses[seq]; exists {
 		w.responses[seq] = resp
@@ -127,6 +172,13 @@ func (c *DupCache) Len() int {
 	return n
 }
 
+// Clients returns how many client windows are retained (diagnostic).
+func (c *DupCache) Clients() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.clients)
+}
+
 // Endpoint wraps a Handler with the duplicate-request cache.
 type Endpoint struct {
 	handler Handler
@@ -147,7 +199,12 @@ func WithMetrics(m *metrics.Set) EndpointOption { return func(e *Endpoint) { e.m
 func WithoutDupCache() EndpointOption { return func(e *Endpoint) { e.noDup = true } }
 
 // WithWindow sets the duplicate-cache window size.
-func WithWindow(n int) EndpointOption { return func(e *Endpoint) { e.dup = NewDupCache(n) } }
+func WithWindow(n int) EndpointOption { return func(e *Endpoint) { e.dup.setWindow(n) } }
+
+// WithMaxClients bounds how many client windows the duplicate cache retains
+// (default DefaultMaxClients); the least recently active client is reclaimed
+// beyond the bound.
+func WithMaxClients(n int) EndpointOption { return func(e *Endpoint) { e.dup.setMaxClients(n) } }
 
 // NewEndpoint wraps handler.
 func NewEndpoint(handler Handler, opts ...EndpointOption) *Endpoint {

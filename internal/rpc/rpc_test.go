@@ -137,6 +137,68 @@ func TestDupCacheWindowEviction(t *testing.T) {
 	}
 }
 
+func TestDupCacheClientBound(t *testing.T) {
+	c := NewDupCache(4)
+	c.setMaxClients(8)
+	for id := uint64(1); id <= 100; id++ {
+		c.Store(id, 1, Response{Seq: 1})
+	}
+	if got := c.Clients(); got != 8 {
+		t.Fatalf("Clients = %d, want 8 (bound)", got)
+	}
+	// The survivors are the most recently active clients.
+	for id := uint64(93); id <= 100; id++ {
+		if _, ok := c.Lookup(id, 1); !ok {
+			t.Fatalf("recent client %d reclaimed", id)
+		}
+	}
+	if _, ok := c.Lookup(1, 1); ok {
+		t.Fatal("least recently active client survived past the bound")
+	}
+	// Lookups count as activity: touch client 93, then add a new client; 94
+	// (now the least recent) should go, not 93.
+	if _, ok := c.Lookup(93, 1); !ok {
+		t.Fatal("client 93 missing")
+	}
+	c.Store(200, 1, Response{Seq: 1})
+	if _, ok := c.Lookup(93, 1); !ok {
+		t.Fatal("recently touched client reclaimed")
+	}
+	if _, ok := c.Lookup(94, 1); ok {
+		t.Fatal("least recently active client not reclaimed")
+	}
+}
+
+func TestDupCacheConcurrentClients(t *testing.T) {
+	// Stress the cache with many clients churning past the bound while
+	// duplicate lookups race with stores (run under -race).
+	c := NewDupCache(8)
+	c.setMaxClients(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				client := uint64(w*64 + i%32)
+				seq := uint64(i/32 + 1)
+				if resp, ok := c.Lookup(client, seq); ok && resp.Seq != seq {
+					t.Errorf("Lookup(%d,%d) = seq %d", client, seq, resp.Seq)
+					return
+				}
+				c.Store(client, seq, Response{Seq: seq})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Clients(); got > 16 {
+		t.Fatalf("Clients = %d, want <= 16", got)
+	}
+	if got := c.Len(); got > 16*8 {
+		t.Fatalf("Len = %d, want <= %d", got, 16*8)
+	}
+}
+
 func TestClientsHaveIndependentSequences(t *testing.T) {
 	h := newCountingHandler()
 	ep := NewEndpoint(h.handle)

@@ -73,3 +73,80 @@ func TestWallMonotonic(t *testing.T) {
 		t.Fatalf("Advance returned %v, want >= %v", got, b)
 	}
 }
+
+func TestGroupSequentialSums(t *testing.T) {
+	g := NewGroup()
+	a := g.NewMember()
+	b := g.NewMember()
+	a.Advance(10 * time.Millisecond)
+	b.Advance(5 * time.Millisecond)
+	a.Advance(1 * time.Millisecond)
+	if got := g.Elapsed(); got != 16*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 16ms (sequential ops sum)", got)
+	}
+	if got := a.Now(); got != 11*time.Millisecond {
+		t.Fatalf("member a busy = %v, want 11ms", got)
+	}
+	if got := b.Now(); got != 5*time.Millisecond {
+		t.Fatalf("member b busy = %v, want 5ms", got)
+	}
+}
+
+func TestGroupBatchOverlaps(t *testing.T) {
+	g := NewGroup()
+	a := g.NewMember()
+	b := g.NewMember()
+	a.Advance(2 * time.Millisecond) // sequential prelude
+	g.EnterBatch()
+	a.Advance(10 * time.Millisecond)
+	b.Advance(7 * time.Millisecond)
+	g.LeaveBatch()
+	// Batch ops overlap: elapsed = prelude + max(10ms, 7ms).
+	if got := g.Elapsed(); got != 12*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 12ms (batched ops overlap)", got)
+	}
+	// A later sequential op starts after the batch completes.
+	b.Advance(1 * time.Millisecond)
+	if got := g.Elapsed(); got != 13*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 13ms", got)
+	}
+}
+
+func TestGroupSameMemberSerializesInBatch(t *testing.T) {
+	g := NewGroup()
+	a := g.NewMember()
+	b := g.NewMember()
+	g.EnterBatch()
+	a.Advance(3 * time.Millisecond)
+	a.Advance(3 * time.Millisecond) // same spindle: must chain, not overlap
+	b.Advance(4 * time.Millisecond)
+	g.LeaveBatch()
+	if got := g.Elapsed(); got != 6*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 6ms (same member chains)", got)
+	}
+	if got := a.Now(); got != 6*time.Millisecond {
+		t.Fatalf("member a busy = %v, want 6ms", got)
+	}
+}
+
+func TestGroupBeginEndOpWindow(t *testing.T) {
+	g := NewGroup()
+	a := g.NewMember()
+	b := g.NewMember()
+	// Overlapping op windows (no batch): b begins while a is still open.
+	a.BeginOp(10 * time.Millisecond)
+	b.BeginOp(4 * time.Millisecond)
+	a.EndOp()
+	b.EndOp()
+	if got := g.Elapsed(); got != 10*time.Millisecond {
+		t.Fatalf("Elapsed = %v, want 10ms (overlapping op windows)", got)
+	}
+}
+
+func TestGroupMemberImplementsClock(t *testing.T) {
+	g := NewGroup()
+	var c Clock = g.NewMember()
+	if got := c.Advance(time.Millisecond); got != time.Millisecond {
+		t.Fatalf("Advance returned %v, want 1ms", got)
+	}
+}
