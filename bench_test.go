@@ -151,3 +151,15 @@ func BenchmarkE16ParallelThroughput(b *testing.B) {
 	b.ReportMetric(metric(tbl, 3, 7), "x-read-speedup-8-disks")
 	b.ReportMetric(metric(tbl, 7, 7), "x-write-speedup-8-disks")
 }
+
+// BenchmarkE17Parity: single-failure tolerance at (K+1)/K overhead (§2.1, §7).
+func BenchmarkE17Parity(b *testing.B) {
+	tbl := runExperiment(b, experiments.E17Parity)
+	// Overhead cells render as "1.25x"; strip the suffix. Row 1: 5 disks.
+	ov, err := strconv.ParseFloat(strings.TrimSuffix(tbl.Rows[1][1], "x"), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(ov, "x-overhead-5-disks")
+	b.ReportMetric(metric(tbl, 1, 8), "stripes-rebuilt")
+}

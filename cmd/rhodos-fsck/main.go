@@ -2,21 +2,27 @@
 // builds a cluster, applies a workload, injects a crash (and optional media
 // corruption), runs recovery, and then checks every structural invariant —
 // FIT decodability, extent bounds, overlap freedom, and free-space
-// accounting.
+// accounting. With -parity the cluster runs on the rotating-parity layout
+// and the checks extend to the stripe parity invariant (each stripe's parity
+// unit equals the XOR of its data units), plus a disk-crash scenario that
+// verifies reconstruction.
 //
 // Usage:
 //
 //	rhodos-fsck            # crash-and-check scenario
 //	rhodos-fsck -corrupt   # additionally corrupt a FIT to exercise stable healing
+//	rhodos-fsck -parity    # parity layout: stripe invariant + one-disk-crash reconstruction
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/device"
 	"repro/internal/fileservice"
 	"repro/internal/fit"
 )
@@ -27,10 +33,17 @@ func main() {
 
 func run() int {
 	corrupt := flag.Bool("corrupt", false, "corrupt a FIT on the main disk before checking")
+	parity := flag.Bool("parity", false, "run on the parity layout; check the stripe invariant and one-disk reconstruction")
 	files := flag.Int("files", 50, "files to create")
 	flag.Parse()
 
-	c, err := core.New(core.Config{})
+	cfg := core.Config{}
+	if *parity {
+		cfg.Disks = 5
+		cfg.Layout = core.LayoutParity
+		cfg.Geometry = device.Geometry{FragmentsPerTrack: 32, Tracks: 256} // 16 MB per disk
+	}
+	c, err := core.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhodos-fsck: %v\n", err)
 		return 1
@@ -109,5 +122,105 @@ func run() int {
 		return 1
 	}
 	fmt.Println("fsck: clean")
+
+	if *parity {
+		if rc := parityChecks(c); rc != 0 {
+			return rc
+		}
+	}
+	return 0
+}
+
+// parityChecks verifies the stripe parity invariant across the whole array,
+// then crashes one disk and proves every file still reads back identically
+// through XOR reconstruction.
+func parityChecks(c *core.Cluster) int {
+	arr := c.Parity()
+	if err := c.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "flush: %v\n", err)
+		return 1
+	}
+	fmt.Printf("parity: checking %d stripes over %d disks (unit %d fragment(s))...\n",
+		arr.Stripes(), arr.Disks(), arr.UnitFragments())
+	bad, err := arr.CheckParity()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parity check: %v\n", err)
+		return 1
+	}
+	if len(bad) != 0 {
+		fmt.Fprintf(os.Stderr, "PROBLEM: parity invariant violated on %d stripe(s): %v\n", len(bad), bad)
+		return 1
+	}
+	fmt.Println("parity: every stripe's parity unit equals the XOR of its data units")
+
+	// Snapshot every file, crash one disk, and re-read everything degraded.
+	type snap struct {
+		id   fileservice.FileID
+		data []byte
+	}
+	ids, err := c.Files.List()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "list: %v\n", err)
+		return 1
+	}
+	var snaps []snap
+	for _, id := range ids {
+		sz, err := c.Files.Size(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "size %d: %v\n", id, err)
+			return 1
+		}
+		if sz == 0 {
+			continue
+		}
+		data, err := c.Files.ReadAt(id, 0, int(sz))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "read %d: %v\n", id, err)
+			return 1
+		}
+		snaps = append(snaps, snap{id, data})
+	}
+	const failDisk = 2
+	fmt.Printf("parity: crashing disk %d and re-reading %d file(s) degraded...\n", failDisk, len(snaps))
+	c.Device(failDisk).Fail()
+	c.InvalidateCaches()
+	for _, s := range snaps {
+		got, err := c.Files.ReadAt(s.id, 0, len(s.data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "PROBLEM: degraded read of file %d: %v\n", s.id, err)
+			return 1
+		}
+		if !bytes.Equal(got, s.data) {
+			fmt.Fprintf(os.Stderr, "PROBLEM: file %d reconstructed incorrectly\n", s.id)
+			return 1
+		}
+	}
+	if arr.FailedDisk() != failDisk {
+		fmt.Fprintf(os.Stderr, "PROBLEM: array did not detect the failure (failed=%d)\n", arr.FailedDisk())
+		return 1
+	}
+	fmt.Printf("parity: all %d file(s) reconstructed byte-identically with disk %d down\n",
+		len(snaps), failDisk)
+
+	// Bring the disk back and rebuild to full redundancy.
+	c.Device(failDisk).Repair()
+	if err := arr.ReplaceDisk(failDisk, c.DiskServer(failDisk)); err != nil {
+		fmt.Fprintf(os.Stderr, "replace: %v\n", err)
+		return 1
+	}
+	if err := arr.Rebuild(); err != nil {
+		fmt.Fprintf(os.Stderr, "rebuild: %v\n", err)
+		return 1
+	}
+	bad, err = arr.CheckParity()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "post-rebuild parity check: %v\n", err)
+		return 1
+	}
+	if len(bad) != 0 {
+		fmt.Fprintf(os.Stderr, "PROBLEM: post-rebuild parity invariant violated on stripes %v\n", bad)
+		return 1
+	}
+	fmt.Println("parity: rebuild complete, invariant clean")
 	return 0
 }

@@ -39,7 +39,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fs, err := fileservice.New(fileservice.Config{Disks: []*diskservice.Server{srv}})
+		fs, err := fileservice.New(fileservice.Config{Disks: fileservice.Servers(srv)})
 		if err != nil {
 			log.Fatal(err)
 		}

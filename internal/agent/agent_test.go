@@ -45,7 +45,7 @@ func newRig(t *testing.T, mutate ...func(*MachineConfig)) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs, err := fileservice.New(fileservice.Config{Disks: []*diskservice.Server{srv}, Metrics: met})
+	fs, err := fileservice.New(fileservice.Config{Disks: fileservice.Servers(srv), Metrics: met})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,10 +23,25 @@ import (
 	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/naming"
+	"repro/internal/parity"
 	"repro/internal/simclock"
 	"repro/internal/stable"
 	"repro/internal/txn"
 	"repro/internal/wal"
+)
+
+// Layout selects how the file service's storage backends map onto the
+// physical disks.
+type Layout int
+
+const (
+	// LayoutPlain is the paper's arrangement: one backend per disk, files
+	// striped across them by extent placement (the default).
+	LayoutPlain Layout = iota
+	// LayoutParity presents all disks as one rotating-parity array
+	// (K data + 1 parity): single-disk-failure tolerance at (K+1)/K storage
+	// overhead, with degraded reads and online rebuild. Requires Disks >= 3.
+	LayoutParity
 )
 
 // Config sizes and tunes a cluster. The zero value is usable: one 64 MB
@@ -34,6 +49,11 @@ import (
 type Config struct {
 	// Disks is the number of data disks (default 1).
 	Disks int
+	// Layout arranges the disks under the file service (default LayoutPlain).
+	Layout Layout
+	// ParityUnitFragments is the parity layout's stripe unit (default 1
+	// fragment, so 4 data disks make an 8 KB block one full stripe).
+	ParityUnitFragments int
 	// Geometry sizes each disk (default device.DefaultGeometry, 64 MB).
 	Geometry device.Geometry
 	// Model is the drive timing model (default device.DefaultModel).
@@ -112,6 +132,7 @@ type Cluster struct {
 	logStable  *stable.Store
 	logStart   int
 	servers    []*diskservice.Server
+	parity     *parity.Array // nil unless LayoutParity
 	locks      *lock.Manager
 	sweeper    *lock.Sweeper
 }
@@ -173,14 +194,41 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := c.buildArray(); err != nil {
+		return nil, err
+	}
 	return c, c.buildServices(true)
+}
+
+// buildArray assembles the parity array over the current disk servers when
+// the parity layout is selected (also after Crash remounts the servers).
+func (c *Cluster) buildArray() error {
+	if c.cfg.Layout != LayoutParity {
+		return nil
+	}
+	var err error
+	c.parity, err = parity.New(parity.Config{
+		ID:            0,
+		Disks:         c.servers,
+		UnitFragments: c.cfg.ParityUnitFragments,
+		Metrics:       c.cfg.Metrics,
+		Overlap:       c.timeGroup,
+	})
+	if err != nil {
+		return fmt.Errorf("core: building parity array: %w", err)
+	}
+	return nil
 }
 
 // buildServices constructs (or reconstructs) the volatile service layer over
 // the current devices. fresh selects New vs Mount for the file service.
 func (c *Cluster) buildServices(fresh bool) error {
+	backends := fileservice.Servers(c.servers...)
+	if c.parity != nil {
+		backends = []fileservice.Backend{c.parity}
+	}
 	fsCfg := fileservice.Config{
-		Disks:            c.servers,
+		Disks:            backends,
 		Metrics:          c.cfg.Metrics,
 		CacheBlocks:      c.cfg.ServerCacheBlocks,
 		Stripe:           c.cfg.Stripe,
@@ -254,6 +302,9 @@ func (c *Cluster) DiskServer(i int) *diskservice.Server { return c.servers[i] }
 // Device returns drive i (failure injection in tests and examples).
 func (c *Cluster) Device(i int) *device.Disk { return c.devices[i] }
 
+// Parity returns the parity array, or nil unless LayoutParity.
+func (c *Cluster) Parity() *parity.Array { return c.parity }
+
 // Disks returns the number of data disks.
 func (c *Cluster) Disks() int { return len(c.devices) }
 
@@ -300,6 +351,9 @@ func (c *Cluster) Crash() error {
 			return fmt.Errorf("core: remounting disk %d: %w", i, err)
 		}
 		c.servers[i] = srv
+	}
+	if err := c.buildArray(); err != nil {
+		return err
 	}
 	return c.buildServices(false)
 }

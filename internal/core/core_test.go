@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/device"
 	"repro/internal/fileservice"
 	"repro/internal/fit"
 	"repro/internal/metrics"
@@ -377,5 +378,95 @@ func TestCloseIdempotentFlushes(t *testing.T) {
 	}
 	if err := c.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestParityLayout runs the full stack over the rotating-parity array:
+// writes and reads through the file service, a degraded read with one drive
+// dead, a crash/remount, and an online rebuild back to full redundancy.
+func TestParityLayout(t *testing.T) {
+	c := newCluster(t, func(cfg *Config) {
+		cfg.Disks = 5
+		cfg.Layout = LayoutParity
+		cfg.Geometry = device.Geometry{FragmentsPerTrack: 32, Tracks: 128} // 8 MB per disk
+	})
+	if c.Parity() == nil {
+		t.Fatal("LayoutParity cluster has no parity array")
+	}
+	if got := c.Parity().StorageOverhead(); got != 1.25 {
+		t.Fatalf("overhead %.2f, want 1.25", got)
+	}
+
+	data := make([]byte, 256<<10)
+	rand.New(rand.NewSource(77)).Read(data)
+	id, err := c.Files.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Files.WriteAt(id, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Files.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash and remount: the FIT scan must rebuild the array's virtual
+	// bitmap and the file must come back intact.
+	if err := c.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Files.ReadAt(id, 0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("post-crash read mismatch (err %v)", err)
+	}
+
+	// Kill a drive mid-flight: the next cold read must auto-detect the
+	// failure and reconstruct every lost unit.
+	c.Device(3).Fail()
+	c.InvalidateCaches()
+	got, err = c.Files.ReadAt(id, 0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("degraded read mismatch (err %v)", err)
+	}
+	if c.Parity().FailedDisk() != 3 {
+		t.Fatalf("failed disk = %d, want 3", c.Parity().FailedDisk())
+	}
+	if c.Metrics.Get(metrics.ParityDegradedReads) == 0 {
+		t.Fatal("no degraded reads counted")
+	}
+
+	// Writes continue while degraded.
+	update := make([]byte, 32<<10)
+	rand.New(rand.NewSource(78)).Read(update)
+	if _, err := c.Files.WriteAt(id, 8192, update); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[8192:], update)
+	if err := c.Files.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Repair the drive and rebuild online onto it.
+	c.Device(3).Repair()
+	if err := c.Parity().ReplaceDisk(3, c.DiskServer(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Parity().Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Parity().Degraded() {
+		t.Fatal("still degraded after rebuild")
+	}
+	c.InvalidateCaches()
+	got, err = c.Files.ReadAt(id, 0, len(data))
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("post-rebuild read mismatch (err %v)", err)
+	}
+	bad, err := c.Parity().CheckParity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("parity invariant violated on stripes %v", bad)
 	}
 }

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner per
-// experiment in DESIGN.md's per-experiment index (E1–E16 plus Table 1),
+// experiment in DESIGN.md's per-experiment index (E1–E17 plus Table 1),
 // each returning a rendered table with the same rows the paper's claims are
 // stated in — disk references, cache hits, committed transactions, commit
 // I/O, recovery outcomes, wall-clock throughput.
@@ -127,5 +127,6 @@ func All() []Runner {
 		{"E14", "File striping across disks", E14Striping},
 		{"E15", "Replication failover and resync", E15Replication},
 		{"E16", "Wall-clock parallel throughput", E16ParallelThroughput},
+		{"E17", "Parity-striped layout", E17Parity},
 	}
 }

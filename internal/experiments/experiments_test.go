@@ -27,8 +27,8 @@ func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
 
 func TestAllRunnersListed(t *testing.T) {
 	runners := All()
-	if len(runners) != 17 {
-		t.Fatalf("All() = %d runners, want 17 (T1 + E1..E16)", len(runners))
+	if len(runners) != 18 {
+		t.Fatalf("All() = %d runners, want 18 (T1 + E1..E17)", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -283,6 +283,39 @@ func TestE15Shape(t *testing.T) {
 		}
 		if tbl.Rows[row][5] != "true" {
 			t.Errorf("E15 row %d: resync failed", row)
+		}
+	}
+}
+
+func TestE17Shape(t *testing.T) {
+	tbl, err := E17Parity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	wantOverhead := map[int]float64{0: 1.50, 1: 1.25} // 3 disks (K=2), 5 disks (K=4)
+	for row := range tbl.Rows {
+		overhead, err := strconv.ParseFloat(strings.TrimSuffix(tbl.Rows[row][1], "x"), 64)
+		if err != nil {
+			t.Fatalf("E17 row %d overhead %q: %v", row, tbl.Rows[row][1], err)
+		}
+		if overhead != wantOverhead[row] {
+			t.Errorf("E17 row %d: overhead %.2f, want %.2f", row, overhead, wantOverhead[row])
+		}
+		if overhead >= 2.0 {
+			t.Errorf("E17 row %d: parity overhead %.2f not below replication's 2.00x", row, overhead)
+		}
+		if got := tbl.Rows[row][5]; got != "16/16" {
+			t.Errorf("E17 row %d: degraded reads ok = %s, want 16/16", row, got)
+		}
+		if got := tbl.Rows[row][6]; got != "8/8" {
+			t.Errorf("E17 row %d: degraded writes ok = %s, want 8/8", row, got)
+		}
+		if rebuilt := cell(t, tbl, row, 8); rebuilt <= 0 {
+			t.Errorf("E17 row %d: rebuilt %d stripes", row, rebuilt)
+		}
+		if tbl.Rows[row][9] != "true" {
+			t.Errorf("E17 row %d: post-rebuild byte compare or parity check failed", row)
 		}
 	}
 }

@@ -76,7 +76,7 @@ func e16Run(workload string, disks int) (e16Result, error) {
 	c, err := core.New(core.Config{
 		Disks:    disks,
 		Geometry: device.Geometry{FragmentsPerTrack: 32, Tracks: 1024}, // 64 MB each
-		Stripe:   fileservice.Spread, StripeUnitBlocks: 16, // 128 KB units
+		Stripe:   fileservice.Spread, StripeUnitBlocks: 16,             // 128 KB units
 		ServerCacheBlocks: 4096,
 		DisableReadAhead:  true, // isolate the striping effect from track caching
 	})

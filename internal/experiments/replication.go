@@ -78,7 +78,7 @@ func e15Run(replicas, fail int) (e15Result, error) {
 		if err != nil {
 			return e15Result{}, err
 		}
-		fs, err := fileservice.New(fileservice.Config{Disks: []*diskservice.Server{srv}, Metrics: met})
+		fs, err := fileservice.New(fileservice.Config{Disks: fileservice.Servers(srv), Metrics: met})
 		if err != nil {
 			return e15Result{}, err
 		}

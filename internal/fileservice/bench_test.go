@@ -33,7 +33,7 @@ func benchService(b *testing.B, disks int) *Service {
 		}
 		srvs = append(srvs, srv)
 	}
-	svc, err := New(Config{Disks: srvs})
+	svc, err := New(Config{Disks: Servers(srvs...)})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -54,7 +54,7 @@ func TestCheckAfterMountAndDeletes(t *testing.T) {
 	if err := r.svc.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
-	svc2, err := Mount(Config{Disks: r.disks})
+	svc2, err := Mount(Config{Disks: Servers(r.disks...)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,7 @@ package fileservice
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,9 +89,11 @@ type blockKey struct {
 
 // Config configures a Service.
 type Config struct {
-	// Disks are the disk servers the service stores data on. Disk IDs used
-	// in block descriptors are indexes into this slice. Required, non-empty.
-	Disks []*diskservice.Server
+	// Disks are the storage backends the service stores data on — plain
+	// disk servers, or a parity array presenting several servers as one
+	// fault-tolerant backend. Disk IDs used in block descriptors are indexes
+	// into this slice. Required, non-empty.
+	Disks []Backend
 	// Metrics receives cache and operation counters. Optional.
 	Metrics *metrics.Set
 	// CacheBlocks is the block-cache capacity in blocks; defaults to 256.
@@ -134,7 +137,7 @@ type fileState struct {
 
 // Service is a basic file service. It is safe for concurrent use.
 type Service struct {
-	disks      []*diskservice.Server
+	disks      []Backend
 	met        *metrics.Set
 	stripe     StripePolicy
 	stripeUnit int
@@ -278,9 +281,9 @@ func newService(cfg Config) (*Service, error) {
 // disk 0 — the first fragment after the disk service's metadata region.
 func (s *Service) superAddr() int { return s.disks[0].MetadataFragments() }
 
-// DiskServer returns disk server i (used by the transaction service for
+// DiskServer returns storage backend i (used by the transaction service for
 // shadow-page staging and by experiments).
-func (s *Service) DiskServer(i int) *diskservice.Server { return s.disks[i] }
+func (s *Service) DiskServer(i int) Backend { return s.disks[i] }
 
 // DiskCount returns the number of disk servers.
 func (s *Service) DiskCount() int { return len(s.disks) }
@@ -570,6 +573,22 @@ func (s *Service) Size(id FileID) (int64, error) {
 	return int64(attr.Size), nil
 }
 
+// List returns the IDs of every file known to the service, in ascending
+// order (fsck and tooling).
+func (s *Service) List() ([]FileID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	out := make([]FileID, 0, len(s.fileMap))
+	for id := range s.fileMap {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
 // Extents returns the file's extent list in logical order (used by the
 // transaction service's contiguity check, §6.7).
 func (s *Service) Extents(id FileID) ([]fit.Extent, error) {
@@ -699,7 +718,7 @@ func (s *Service) flushDisksLocked() error {
 	var wg sync.WaitGroup
 	for i, d := range s.disks {
 		wg.Add(1)
-		go func(i int, d *diskservice.Server) {
+		go func(i int, d Backend) {
 			defer wg.Done()
 			errs[i] = d.Flush()
 		}(i, d)

@@ -52,7 +52,7 @@ func newRig(t *testing.T, nDisks int, mutate ...func(*Config)) *rig {
 		r.disks = append(r.disks, srv)
 		r.devs = append(r.devs, d)
 	}
-	cfg := Config{Disks: r.disks, Metrics: met}
+	cfg := Config{Disks: Servers(r.disks...), Metrics: met}
 	for _, m := range mutate {
 		m(&cfg)
 	}
@@ -348,7 +348,7 @@ func TestPersistenceAcrossMount(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Remount over the same disk servers.
-	svc2, err := Mount(Config{Disks: r.disks, Metrics: r.met})
+	svc2, err := Mount(Config{Disks: Servers(r.disks...), Metrics: r.met})
 	if err != nil {
 		t.Fatalf("Mount: %v", err)
 	}
@@ -394,7 +394,7 @@ func TestManyFilesFileMapChain(t *testing.T) {
 	if err := r.svc.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
-	svc2, err := Mount(Config{Disks: r.disks})
+	svc2, err := Mount(Config{Disks: Servers(r.disks...)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -458,7 +458,7 @@ func TestFileLargerThanOneDisk(t *testing.T) {
 		}
 		disks = append(disks, srv)
 	}
-	svc, err := New(Config{Disks: disks, Metrics: met})
+	svc, err := New(Config{Disks: Servers(disks...), Metrics: met})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -515,7 +515,7 @@ func TestIndirectBlocks(t *testing.T) {
 	if err := r.svc.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
-	svc2, err := Mount(Config{Disks: r.disks})
+	svc2, err := Mount(Config{Disks: Servers(r.disks...)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -631,7 +631,7 @@ func TestSetLockingAndServicePersist(t *testing.T) {
 	if err := r.svc.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
-	svc2, err := Mount(Config{Disks: r.disks})
+	svc2, err := Mount(Config{Disks: Servers(r.disks...)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -695,7 +695,7 @@ func TestReplaceBlockDescriptor(t *testing.T) {
 	if err := r.svc.Shutdown(); err != nil {
 		t.Fatal(err)
 	}
-	svc2, err := Mount(Config{Disks: r.disks})
+	svc2, err := Mount(Config{Disks: Servers(r.disks...)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -142,7 +142,7 @@ func TestQuickOracleSurvivesRemount(t *testing.T) {
 		if err := r.svc.Shutdown(); err != nil {
 			return false
 		}
-		svc2, err := Mount(Config{Disks: r.disks})
+		svc2, err := Mount(Config{Disks: Servers(r.disks...)})
 		if err != nil {
 			t.Logf("mount: %v", err)
 			return false

@@ -47,6 +47,12 @@ const (
 	RPCRequests   = "rpc.requests"
 	RPCDuplicates = "rpc.duplicates" // requests answered from the idempotency cache
 	RPCRetries    = "rpc.retries"
+
+	ParityFullStripeWrites = "parity.writes.full_stripe" // parity from new data alone, no reads
+	ParityRMWWrites        = "parity.writes.rmw"         // read-modify-write parity updates
+	ParityDegradedWrites   = "parity.writes.degraded"    // writes while a disk is failed
+	ParityDegradedReads    = "parity.reads.degraded"     // units reconstructed by XOR
+	ParityRebuildStripes   = "parity.rebuild.stripes"    // stripes resynced onto a replacement
 )
 
 // stripes is the number of independent atomics per counter. Power of two so

@@ -1,0 +1,582 @@
+// Package parity implements a rotating-parity striped layout (RAID-5 style)
+// over K+1 disk services: K data units plus one XOR parity unit per stripe,
+// with the parity unit rotating across the disks so no single spindle
+// becomes the parity bottleneck.
+//
+// The paper's reliability mechanisms — stable storage (§2.1, §6.6) and
+// whole-file replication (§2.1) — both pay at least 2× storage for
+// single-failure tolerance. A parity stripe pays (K+1)/K: any one disk can
+// fail and every byte remains readable by XOR-reconstructing the missing
+// unit from the surviving K disks (a degraded read). A replacement disk is
+// brought back in sync by an online rebuild that walks the stripes under
+// per-stripe locks while reads and writes continue.
+//
+// An Array presents the K data units of every stripe as one flat fragment
+// space and implements fileservice.Backend, so the file service runs on a
+// parity array exactly as it runs on a single disk server — the layout is
+// chosen in core.Config, alongside plain striping and replication.
+//
+// Write paths:
+//
+//   - A write covering every data unit of a stripe computes the parity by
+//     XOR of the new data alone and writes all K+1 units in one fan-out
+//     (full-stripe write, no reads).
+//   - A smaller write does a read-modify-write parity update: read the old
+//     data and old parity for the affected range, then
+//     newParity = oldParity XOR oldData XOR newData (2 reads + 2 writes —
+//     the classic small-write penalty).
+//   - In degraded mode, writes to the failed disk's unit instead recompute
+//     parity from the surviving data units, so the lost unit's new content
+//     is representable even though the disk is gone.
+//
+// Parity is an invariant of main storage: parity-unit writes never go to
+// stable storage, and reconstruction always reads main copies. Stable
+// writes (shadow pages, FIT mirrors) pass through to the underlying disk
+// services untouched — each disk's stable store survives its main device's
+// failure independently, exactly as in the plain layout.
+package parity
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/device"
+	"repro/internal/diskservice"
+	"repro/internal/freespace"
+	"repro/internal/metrics"
+	"repro/internal/simclock"
+)
+
+// Sizes re-exported for callers.
+const (
+	FragmentSize      = diskservice.FragmentSize
+	BlockSize         = diskservice.BlockSize
+	FragmentsPerBlock = diskservice.FragmentsPerBlock
+)
+
+// stripeLockCount is the size of the stripe lock table; stripes hash onto it
+// so concurrent writers to different stripes rarely contend while writers to
+// the same stripe — whose read-modify-write parity updates must not
+// interleave — always serialize.
+const stripeLockCount = 64
+
+// Errors.
+var (
+	ErrTooFewDisks = errors.New("parity: need at least 3 disks (2 data + 1 parity)")
+	// ErrTooManyFailures reports a second concurrent disk failure — a parity
+	// stripe tolerates exactly one.
+	ErrTooManyFailures = errors.New("parity: more than one disk failed")
+	// ErrDegraded reports an operation that requires a healthy array.
+	ErrDegraded = errors.New("parity: array is degraded")
+	// ErrNotFailed reports a replacement of a disk that is not failed.
+	ErrNotFailed = errors.New("parity: disk is not failed")
+	// ErrBadDisk reports a disk index out of range.
+	ErrBadDisk = errors.New("parity: bad disk index")
+)
+
+// Config configures an Array.
+type Config struct {
+	// ID identifies the array as a storage backend.
+	ID int
+	// Disks are the K+1 disk servers the array stripes over. Required,
+	// at least three. The array owns the allocatable region of every disk.
+	Disks []*diskservice.Server
+	// UnitFragments is the stripe unit size in fragments; defaults to 1, so
+	// that with K = 4 data disks one 8 KB block is exactly one full stripe
+	// and block-aligned writes take the no-read full-stripe path.
+	UnitFragments int
+	// Metrics receives the parity counters. Optional.
+	Metrics *metrics.Set
+	// Overlap, when set, brackets multi-disk fan-outs so overlap-aware
+	// virtual time credits the parallelism (see simclock.Group). Optional.
+	Overlap simclock.Batcher
+}
+
+// Array is a rotating-parity striped layout over K+1 disk services,
+// presenting the data units as one flat fragment space. It is safe for
+// concurrent use and implements fileservice.Backend.
+type Array struct {
+	id      int
+	n, k    int // n = k+1 disks, k data units per stripe
+	unit    int // fragments per stripe unit
+	stripes int
+	met     *metrics.Set
+	overlap simclock.Batcher
+	fsmap   *freespace.Map // virtual data fragment space
+
+	// mu guards the failure/rebuild state and the disk table (ReplaceDisk
+	// swaps entries).
+	mu         sync.Mutex
+	disks      []*diskservice.Server
+	base       []int // first region fragment on each disk
+	failed     int   // index of the failed disk, -1 when healthy
+	rebuilding bool  // a replacement is installed and being synced
+
+	// watermark is the rebuild progress: stripes below it are in sync on
+	// the replacement disk. Only meaningful while rebuilding.
+	watermark atomic.Int64
+
+	rebuildMu   sync.Mutex // serializes rebuild steppers
+	stripeLocks [stripeLockCount]sync.Mutex
+}
+
+// New builds an array over the given disk servers, claiming the striped
+// region on each. It works over freshly formatted disks and over remounted
+// ones (the region claim is re-asserted); the virtual allocation map starts
+// empty and is rebuilt by the file service's mount-time FIT scan, the same
+// trust model as a plain disk's bitmap.
+func New(cfg Config) (*Array, error) {
+	if len(cfg.Disks) < 3 {
+		return nil, ErrTooFewDisks
+	}
+	unit := cfg.UnitFragments
+	if unit <= 0 {
+		unit = 1
+	}
+	a := &Array{
+		id:      cfg.ID,
+		n:       len(cfg.Disks),
+		k:       len(cfg.Disks) - 1,
+		unit:    unit,
+		met:     cfg.Metrics,
+		overlap: cfg.Overlap,
+		disks:   append([]*diskservice.Server(nil), cfg.Disks...),
+		base:    make([]int, len(cfg.Disks)),
+		failed:  -1,
+	}
+	a.stripes = -1
+	for i, d := range a.disks {
+		a.base[i] = d.MetadataFragments()
+		if s := (d.Capacity() - a.base[i]) / unit; a.stripes < 0 || s < a.stripes {
+			a.stripes = s
+		}
+	}
+	if a.stripes <= 0 {
+		return nil, fmt.Errorf("parity: disks too small for unit of %d fragments", unit)
+	}
+	var err error
+	a.fsmap, err = freespace.NewMap(a.stripes * a.k * unit)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.claimRegions(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// claimRegions re-asserts the array's ownership of every disk's striped
+// region in the underlying allocators.
+func (a *Array) claimRegions() error {
+	for i, d := range a.disks {
+		if err := d.ResetBitmap(); err != nil {
+			return err
+		}
+		if err := d.AllocateAt(a.base[i], a.stripes*a.unit); err != nil {
+			return fmt.Errorf("parity: claiming region on disk %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Geometry accessors.
+
+// ID returns the backend identifier.
+func (a *Array) ID() int { return a.id }
+
+// Disks returns the number of member disks (K+1).
+func (a *Array) Disks() int { return a.n }
+
+// DataDisks returns K, the number of data units per stripe.
+func (a *Array) DataDisks() int { return a.k }
+
+// Stripes returns the number of stripes.
+func (a *Array) Stripes() int { return a.stripes }
+
+// UnitFragments returns the stripe unit size in fragments.
+func (a *Array) UnitFragments() int { return a.unit }
+
+// Capacity returns the usable (data) size in fragments — K/(K+1) of the raw
+// striped space.
+func (a *Array) Capacity() int { return a.stripes * a.k * a.unit }
+
+// FreeFragments returns the number of free data fragments.
+func (a *Array) FreeFragments() int { return a.fsmap.FreeCount() }
+
+// MetadataFragments returns 0: the virtual space starts at the first data
+// fragment; the member disks' own metadata regions sit below the stripes.
+func (a *Array) MetadataFragments() int { return 0 }
+
+// StorageOverhead returns the redundancy cost factor (K+1)/K — the raw
+// fragments consumed per data fragment stored.
+func (a *Array) StorageOverhead() float64 { return float64(a.n) / float64(a.k) }
+
+// parityDisk returns the disk holding stripe s's parity unit. The parity
+// position rotates by stripe so parity update traffic spreads over all
+// spindles.
+func (a *Array) parityDisk(s int) int { return s % a.n }
+
+// dataDisk returns the disk holding data unit j of stripe s (the data units
+// occupy the non-parity disks in index order).
+func (a *Array) dataDisk(s, j int) int {
+	if p := a.parityDisk(s); j >= p {
+		return j + 1
+	}
+	return j
+}
+
+// physAddr returns the physical fragment address of offset off within
+// stripe s's unit on disk d.
+func (a *Array) physAddr(d, s, off int) int { return a.base[d] + s*a.unit + off }
+
+// Allocation — the file service's allocator surface, answered from the
+// array's own free-space map over the virtual data space. Underlying disks
+// never allocate: the array owns their whole region.
+
+// AllocateFragments claims n contiguous data fragments.
+func (a *Array) AllocateFragments(n int) (int, error) { return a.fsmap.Allocate(n) }
+
+// AllocateFragmentsNear is AllocateFragments preferring addresses near hint.
+func (a *Array) AllocateFragmentsNear(hint, n int) (int, error) { return a.fsmap.AllocateNear(hint, n) }
+
+// AllocateBlocks claims n contiguous blocks (4n fragments).
+func (a *Array) AllocateBlocks(n int) (int, error) { return a.fsmap.Allocate(n * FragmentsPerBlock) }
+
+// AllocateBlocksNear is AllocateBlocks with a placement hint.
+func (a *Array) AllocateBlocksNear(hint, n int) (int, error) {
+	return a.fsmap.AllocateNear(hint, n*FragmentsPerBlock)
+}
+
+// AllocateAt claims the exact span [addr, addr+n).
+func (a *Array) AllocateAt(addr, n int) error { return a.fsmap.AllocateAt(addr, n) }
+
+// Free returns n fragments starting at addr to the free pool.
+func (a *Array) Free(addr, n int) error { return a.fsmap.Free(addr, n) }
+
+// ResetBitmap discards all virtual allocations and re-asserts the region
+// claims on the member disks (the file service's mount-time rebuild then
+// re-marks every structure reachable from the file map).
+func (a *Array) ResetBitmap() error {
+	fsmap, err := freespace.NewMap(a.Capacity())
+	if err != nil {
+		return err
+	}
+	a.fsmap = fsmap
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.claimRegions()
+}
+
+// InvalidateCache empties every member disk's read-ahead cache.
+func (a *Array) InvalidateCache() {
+	a.mu.Lock()
+	disks := append([]*diskservice.Server(nil), a.disks...)
+	a.mu.Unlock()
+	for _, d := range disks {
+		d.InvalidateCache()
+	}
+}
+
+// Flush makes every member disk's buffered state durable, in parallel. A
+// failed member is skipped — its durable state is unreachable until rebuild.
+func (a *Array) Flush() error {
+	disks, failedIdx, _, _ := a.snapshot()
+	tasks := make([]func() error, 0, len(disks))
+	for i, d := range disks {
+		if i == failedIdx {
+			continue
+		}
+		d := d
+		tasks = append(tasks, func() error { return d.Flush() })
+	}
+	err := a.fanout(tasks)
+	if err != nil && errors.Is(err, device.ErrFailed) && failedIdx < 0 {
+		// A member died between the snapshot and the flush; one failure is
+		// survivable, so the flush of the survivors stands.
+		return nil
+	}
+	return err
+}
+
+// snapshot returns a consistent view of the disk table and failure state.
+func (a *Array) snapshot() (disks []*diskservice.Server, failed int, rebuilding bool, watermark int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.disks, a.failed, a.rebuilding, int(a.watermark.Load())
+}
+
+// noteFailure records that disk d was observed failing. It returns true if
+// the array can continue (d is the only failure), false on a second failure.
+func (a *Array) noteFailure(d int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch a.failed {
+	case -1:
+		a.failed = d
+		a.rebuilding = false
+		a.watermark.Store(0)
+		return true
+	case d:
+		if a.rebuilding {
+			// The replacement itself died: back to plain degraded mode.
+			a.rebuilding = false
+			a.watermark.Store(0)
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// MarkFailed declares disk i failed (e.g. fault injection noticed out of
+// band). Subsequent reads of its units reconstruct by XOR; writes skip it.
+func (a *Array) MarkFailed(i int) error {
+	if i < 0 || i >= a.n {
+		return ErrBadDisk
+	}
+	if !a.noteFailure(i) {
+		return ErrTooManyFailures
+	}
+	return nil
+}
+
+// FailedDisk returns the index of the failed disk, or -1 when healthy.
+func (a *Array) FailedDisk() int {
+	_, f, _, _ := a.snapshot()
+	return f
+}
+
+// Degraded reports whether the array is running with a lost or
+// not-yet-rebuilt disk.
+func (a *Array) Degraded() bool { return a.FailedDisk() >= 0 }
+
+// stripeLock returns the lock covering stripe s.
+func (a *Array) stripeLock(s int) *sync.Mutex { return &a.stripeLocks[s%stripeLockCount] }
+
+// fanout runs the tasks concurrently inside an overlap batch, so transfers
+// dispatched to different disks occupy overlapping virtual intervals (and
+// overlapping wall-clock windows when the drives simulate occupancy). The
+// first error in task order is returned.
+func (a *Array) fanout(tasks []func() error) error {
+	if len(tasks) == 0 {
+		return nil
+	}
+	if len(tasks) == 1 {
+		return tasks[0]()
+	}
+	if a.overlap != nil {
+		a.overlap.EnterBatch()
+		defer a.overlap.LeaveBatch()
+	}
+	errs := make([]error, len(tasks))
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		wg.Add(1)
+		go func(i int, t func() error) {
+			defer wg.Done()
+			errs[i] = t()
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// xorInto folds src into dst byte-wise (dst ^= src).
+func xorInto(dst, src []byte) {
+	_ = dst[len(src)-1]
+	for i, b := range src {
+		dst[i] ^= b
+	}
+}
+
+// vspan is one contiguous fragment range within a single stripe unit, the
+// planning granule of the scatter-gather paths.
+type vspan struct {
+	stripe int
+	j      int // data unit index within the stripe
+	off    int // fragment offset within the unit
+	frags  int
+	bufOff int // byte offset in the request buffer
+}
+
+// planSpans splits the virtual range [addr, addr+n) into per-unit spans, in
+// increasing virtual order.
+func (a *Array) planSpans(addr, n int) []vspan {
+	spans := make([]vspan, 0, n/a.unit+2)
+	for covered := 0; covered < n; {
+		va := addr + covered
+		u := va / a.unit
+		off := va % a.unit
+		frags := a.unit - off
+		if frags > n-covered {
+			frags = n - covered
+		}
+		spans = append(spans, vspan{
+			stripe: u / a.k, j: u % a.k, off: off, frags: frags,
+			bufOff: covered * FragmentSize,
+		})
+		covered += frags
+	}
+	return spans
+}
+
+func (a *Array) checkSpan(addr, n int) error {
+	if n <= 0 || addr < 0 || addr+n > a.Capacity() {
+		return fmt.Errorf("%w: [%d,%d) of %d", device.ErrOutOfRange, addr, addr+n, a.Capacity())
+	}
+	return nil
+}
+
+// Get reads n contiguous data fragments starting at addr. Healthy units are
+// fetched with per-disk coalesced reads fanned out across the spindles;
+// units on a failed disk are reconstructed by XOR of the surviving K disks
+// under the stripe lock (degraded read). FromStable passes through to the
+// member disks' stable stores, which survive a main-device failure
+// independently.
+func (a *Array) Get(addr, n int, opts diskservice.GetOptions) ([]byte, error) {
+	if err := a.checkSpan(addr, n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n*FragmentSize)
+	if err := a.readSpans(out, a.planSpans(addr, n), opts, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// pspan is a physically contiguous read on one disk serving one or more
+// virtual spans.
+type pspan struct {
+	phys, frags, bufOff int
+}
+
+// readSpans fills out with the spans' data: healthy spans as coalesced
+// per-disk reads in one fan-out, degraded spans by reconstruction. depth
+// guards the one retry after an in-flight disk failure.
+func (a *Array) readSpans(out []byte, spans []vspan, opts diskservice.GetOptions, depth int) error {
+	disks, failedIdx, rebuilding, w := a.snapshot()
+	perDisk := make(map[int][]pspan)
+	var degraded []vspan
+	for _, sp := range spans {
+		d := a.dataDisk(sp.stripe, sp.j)
+		// FromStable reads never degrade: the stable store of a failed main
+		// device is a separate pair of drives and stays reachable.
+		if d == failedIdx && !opts.FromStable && !(rebuilding && sp.stripe < w) {
+			degraded = append(degraded, sp)
+			continue
+		}
+		perDisk[d] = append(perDisk[d], pspan{
+			phys: a.physAddr(d, sp.stripe, sp.off), frags: sp.frags, bufOff: sp.bufOff,
+		})
+	}
+	var tasks []func() error
+	diskOrder := make([]int, 0, len(perDisk))
+	for d := range perDisk {
+		diskOrder = append(diskOrder, d)
+	}
+	sort.Ints(diskOrder)
+	for _, d := range diskOrder {
+		d, ps := d, coalesce(perDisk[d])
+		srv := disks[d]
+		tasks = append(tasks, func() error {
+			for _, p := range ps {
+				data, err := srv.Get(p.phys, p.frags, opts)
+				if err != nil {
+					if errors.Is(err, device.ErrFailed) && !opts.FromStable && !a.noteFailure(d) {
+						return fmt.Errorf("%w: disk %d: %v", ErrTooManyFailures, d, err)
+					}
+					return err
+				}
+				copy(out[p.bufOff:], data)
+			}
+			return nil
+		})
+	}
+	for _, sp := range degraded {
+		sp := sp
+		tasks = append(tasks, func() error {
+			return a.reconstructSpan(out[sp.bufOff:sp.bufOff+sp.frags*FragmentSize], sp)
+		})
+	}
+	err := a.fanout(tasks)
+	if err != nil && errors.Is(err, device.ErrFailed) && !errors.Is(err, ErrTooManyFailures) &&
+		!opts.FromStable && depth == 0 {
+		// A disk died mid-read and the failure was absorbed (noteFailure):
+		// re-plan with the updated failure state and reconstruct.
+		return a.readSpans(out, spans, opts, 1)
+	}
+	return err
+}
+
+// coalesce merges physically adjacent spans whose buffer targets are also
+// adjacent, so a long virtual run costs one underlying get-block per disk
+// per parity rotation rather than one per stripe.
+func coalesce(ps []pspan) []pspan {
+	out := ps[:0]
+	for _, p := range ps {
+		if n := len(out); n > 0 &&
+			out[n-1].phys+out[n-1].frags == p.phys &&
+			out[n-1].bufOff+out[n-1].frags*FragmentSize == p.bufOff {
+			out[n-1].frags += p.frags
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// reconstructSpan recovers the fragment range of one lost unit by XOR across
+// the surviving K disks (their data units plus the parity unit), under the
+// stripe lock so a concurrent read-modify-write cannot be observed between
+// its data and parity writes.
+func (a *Array) reconstructSpan(dst []byte, sp vspan) error {
+	lk := a.stripeLock(sp.stripe)
+	lk.Lock()
+	defer lk.Unlock()
+	disks, failedIdx, _, _ := a.snapshot()
+	lost := a.dataDisk(sp.stripe, sp.j)
+	if failedIdx >= 0 && failedIdx != lost {
+		// A different disk is the failed one, so the "survivors" of this
+		// reconstruction would include a failed disk.
+		return ErrTooManyFailures
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	bufs := make([][]byte, a.n)
+	var tasks []func() error
+	for d := 0; d < a.n; d++ {
+		if d == lost {
+			continue
+		}
+		d := d
+		srv := disks[d]
+		phys := a.physAddr(d, sp.stripe, sp.off)
+		tasks = append(tasks, func() error {
+			data, err := srv.Get(phys, sp.frags, diskservice.GetOptions{})
+			bufs[d] = data
+			return err
+		})
+	}
+	if err := a.fanout(tasks); err != nil {
+		if errors.Is(err, device.ErrFailed) {
+			return fmt.Errorf("%w: %v", ErrTooManyFailures, err)
+		}
+		return err
+	}
+	for _, b := range bufs {
+		if b != nil {
+			xorInto(dst, b)
+		}
+	}
+	a.met.Inc(metrics.ParityDegradedReads)
+	return nil
+}

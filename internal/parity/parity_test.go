@@ -1,0 +1,437 @@
+package parity
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/diskservice"
+	"repro/internal/metrics"
+	"repro/internal/stable"
+)
+
+// rig is a parity array over n freshly formatted disk services, with the
+// underlying devices exposed for fault injection.
+type rig struct {
+	arr   *Array
+	srvs  []*diskservice.Server
+	disks []*device.Disk
+	met   *metrics.Set
+}
+
+func newRig(t *testing.T, n int, opts ...func(*Config)) *rig {
+	t.Helper()
+	g := device.Geometry{FragmentsPerTrack: 8, Tracks: 32}
+	met := metrics.NewSet()
+	r := &rig{met: met}
+	for i := 0; i < n; i++ {
+		r.addDisk(t, g, i)
+	}
+	cfg := Config{ID: 100, Disks: r.srvs, Metrics: met}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	arr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.arr = arr
+	return r
+}
+
+// addDisk formats one more disk service and appends it to the rig (used for
+// the initial members and for replacement disks).
+func (r *rig) addDisk(t *testing.T, g device.Geometry, id int) *diskservice.Server {
+	t.Helper()
+	disk, err := device.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := device.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := device.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stable.NewStore(sp, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	srv, err := diskservice.Format(diskservice.Config{DiskID: id, Disk: disk, Stable: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.srvs = append(r.srvs, srv)
+	r.disks = append(r.disks, disk)
+	return srv
+}
+
+func pattern(frags int, seed int64) []byte {
+	b := make([]byte, frags*FragmentSize)
+	rnd := rand.New(rand.NewSource(seed))
+	rnd.Read(b)
+	return b
+}
+
+func mustGet(t *testing.T, a *Array, addr, n int) []byte {
+	t.Helper()
+	b, err := a.Get(addr, n, diskservice.GetOptions{})
+	if err != nil {
+		t.Fatalf("Get(%d,%d): %v", addr, n, err)
+	}
+	return b
+}
+
+func checkClean(t *testing.T, a *Array) {
+	t.Helper()
+	bad, err := a.CheckParity()
+	if err != nil {
+		t.Fatalf("CheckParity: %v", err)
+	}
+	if len(bad) != 0 {
+		t.Fatalf("parity invariant violated on stripes %v", bad)
+	}
+}
+
+func TestGeometry(t *testing.T) {
+	r := newRig(t, 5)
+	a := r.arr
+	if a.DataDisks() != 4 || a.Disks() != 5 {
+		t.Fatalf("got %d/%d disks", a.DataDisks(), a.Disks())
+	}
+	if got, want := a.StorageOverhead(), 1.25; got != want {
+		t.Fatalf("overhead %v, want %v", got, want)
+	}
+	if a.Capacity() != a.Stripes()*a.DataDisks()*a.UnitFragments() {
+		t.Fatalf("capacity %d inconsistent", a.Capacity())
+	}
+	// Every (stripe, unit) maps to a distinct disk, none the parity disk.
+	for s := 0; s < 10; s++ {
+		seen := map[int]bool{a.parityDisk(s): true}
+		for j := 0; j < a.k; j++ {
+			d := a.dataDisk(s, j)
+			if seen[d] {
+				t.Fatalf("stripe %d: disk %d used twice", s, d)
+			}
+			seen[d] = true
+		}
+	}
+	if _, err := New(Config{Disks: r.srvs[:2]}); !errors.Is(err, ErrTooFewDisks) {
+		t.Fatalf("2-disk array: %v", err)
+	}
+}
+
+func TestRoundTripAndParityInvariant(t *testing.T) {
+	r := newRig(t, 5)
+	a := r.arr
+
+	// Full-stripe aligned write (4 fragments = one stripe at unit 1).
+	full := pattern(4*3, 1)
+	if err := a.Put(0, full, diskservice.PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Unaligned partial writes exercising RMW across stripe boundaries.
+	part := pattern(5, 2)
+	if err := a.Put(17, part, diskservice.PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	single := pattern(1, 3)
+	if err := a.Put(30, single, diskservice.PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := mustGet(t, a, 0, 12); !bytes.Equal(got, full) {
+		t.Fatal("full-stripe round trip mismatch")
+	}
+	if got := mustGet(t, a, 17, 5); !bytes.Equal(got, part) {
+		t.Fatal("partial round trip mismatch")
+	}
+	if got := mustGet(t, a, 30, 1); !bytes.Equal(got, single) {
+		t.Fatal("single-fragment round trip mismatch")
+	}
+	if r.met.Get(metrics.ParityFullStripeWrites) == 0 {
+		t.Error("expected full-stripe writes")
+	}
+	if r.met.Get(metrics.ParityRMWWrites) == 0 {
+		t.Error("expected RMW writes")
+	}
+	checkClean(t, a)
+}
+
+func TestLargerUnit(t *testing.T) {
+	r := newRig(t, 4, func(c *Config) { c.UnitFragments = 4 })
+	a := r.arr
+	data := pattern(a.Capacity(), 4)
+	if err := a.Put(0, data, diskservice.PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mustGet(t, a, 0, a.Capacity()); !bytes.Equal(got, data) {
+		t.Fatal("whole-array round trip mismatch")
+	}
+	checkClean(t, a)
+}
+
+func TestDegradedRead(t *testing.T) {
+	for fail := 0; fail < 5; fail++ {
+		r := newRig(t, 5)
+		a := r.arr
+		data := pattern(40, int64(fail))
+		if err := a.Put(3, data, diskservice.PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		r.disks[fail].Fail()
+		a.InvalidateCache() // force real reads, not track-cache hits
+		if err := a.MarkFailed(fail); err != nil {
+			t.Fatal(err)
+		}
+		got := mustGet(t, a, 3, 40)
+		if !bytes.Equal(got, data) {
+			t.Fatalf("degraded read with disk %d down: mismatch", fail)
+		}
+		if r.met.Get(metrics.ParityDegradedReads) == 0 {
+			t.Errorf("disk %d: no degraded reads counted", fail)
+		}
+	}
+}
+
+func TestAutoFailureDetection(t *testing.T) {
+	r := newRig(t, 5)
+	a := r.arr
+	data := pattern(40, 7)
+	if err := a.Put(0, data, diskservice.PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Fail a disk without telling the array: the first read that trips over
+	// ErrFailed must flip to degraded mode and retry via reconstruction.
+	r.disks[2].Fail()
+	a.InvalidateCache()
+	got := mustGet(t, a, 0, 40)
+	if !bytes.Equal(got, data) {
+		t.Fatal("auto-detected degraded read mismatch")
+	}
+	if a.FailedDisk() != 2 {
+		t.Fatalf("failed disk = %d, want 2", a.FailedDisk())
+	}
+}
+
+func TestDegradedWrite(t *testing.T) {
+	for fail := 0; fail < 5; fail++ {
+		r := newRig(t, 5)
+		a := r.arr
+		base := pattern(60, int64(10+fail))
+		if err := a.Put(0, base, diskservice.PutOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		r.disks[fail].Fail()
+		a.InvalidateCache()
+		if err := a.MarkFailed(fail); err != nil {
+			t.Fatal(err)
+		}
+		// Overwrite a mix of full stripes and partial spans while degraded.
+		over1 := pattern(8, int64(20+fail)) // stripes 0-1, full
+		copy(base[0:], over1)
+		if err := a.Put(0, over1, diskservice.PutOptions{}); err != nil {
+			t.Fatalf("degraded full-stripe write, disk %d down: %v", fail, err)
+		}
+		over2 := pattern(5, int64(30+fail)) // partial, crosses stripes
+		copy(base[22*FragmentSize:], over2)
+		if err := a.Put(22, over2, diskservice.PutOptions{}); err != nil {
+			t.Fatalf("degraded partial write, disk %d down: %v", fail, err)
+		}
+		if got := mustGet(t, a, 0, 60); !bytes.Equal(got, base) {
+			t.Fatalf("degraded read-back after writes, disk %d down: mismatch", fail)
+		}
+		if r.met.Get(metrics.ParityDegradedWrites) == 0 {
+			t.Errorf("disk %d: no degraded writes counted", fail)
+		}
+
+		// Replace and rebuild; everything must match byte for byte and the
+		// parity invariant must hold on every stripe.
+		repl := r.addDisk(t, device.Geometry{FragmentsPerTrack: 8, Tracks: 32}, 90+fail)
+		if err := a.ReplaceDisk(fail, repl); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Rebuild(); err != nil {
+			t.Fatal(err)
+		}
+		if a.Degraded() {
+			t.Fatal("still degraded after rebuild")
+		}
+		if got := mustGet(t, a, 0, 60); !bytes.Equal(got, base) {
+			t.Fatalf("post-rebuild read-back, disk %d: mismatch", fail)
+		}
+		checkClean(t, a)
+		if done, total := a.RebuildProgress(); done != total {
+			t.Fatalf("rebuild progress %d/%d after completion", done, total)
+		}
+	}
+}
+
+func TestSecondFailureIsFatal(t *testing.T) {
+	r := newRig(t, 5)
+	a := r.arr
+	data := pattern(8, 5)
+	if err := a.Put(0, data, diskservice.PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MarkFailed(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MarkFailed(3); !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("second MarkFailed: %v", err)
+	}
+	r.disks[1].Fail()
+	r.disks[3].Fail()
+	a.InvalidateCache()
+	if _, err := a.Get(0, 8, diskservice.GetOptions{}); err == nil {
+		t.Fatal("read with two disks down unexpectedly succeeded")
+	}
+}
+
+func TestStablePassThrough(t *testing.T) {
+	r := newRig(t, 5)
+	a := r.arr
+	data := pattern(6, 9)
+	opts := diskservice.PutOptions{Stability: diskservice.StableOnly, WaitStable: true}
+	if err := a.Put(4, data, opts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Get(4, 6, diskservice.GetOptions{FromStable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("stable round trip mismatch")
+	}
+	// Stable writes must not disturb main storage's parity invariant.
+	checkClean(t, a)
+
+	// The stable copy survives a main-device failure.
+	r.disks[2].Fail()
+	a.InvalidateCache()
+	if err := a.MarkFailed(2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = a.Get(4, 6, diskservice.GetOptions{FromStable: true})
+	if err != nil {
+		t.Fatalf("stable read with main device down: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("stable read after failure mismatch")
+	}
+}
+
+// TestOnlineRebuild runs readers and writers concurrently with the rebuild
+// and verifies the final image and parity invariant. Run with -race.
+func TestOnlineRebuild(t *testing.T) {
+	r := newRig(t, 5)
+	a := r.arr
+	size := a.Capacity()
+	img := pattern(size, 42)
+	if err := a.Put(0, img, diskservice.PutOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	r.disks[2].Fail()
+	a.InvalidateCache()
+	if err := a.MarkFailed(2); err != nil {
+		t.Fatal(err)
+	}
+	repl := r.addDisk(t, device.Geometry{FragmentsPerTrack: 8, Tracks: 32}, 99)
+	if err := a.ReplaceDisk(2, repl); err != nil {
+		t.Fatal(err)
+	}
+
+	// Writers overwrite disjoint regions while the rebuild walks the array;
+	// readers continuously verify a quiescent prefix written before the
+	// failure.
+	var mu sync.Mutex // serializes updates to the reference image
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			region := size / 4
+			for i := 0; i < 6; i++ {
+				addr := w*region + (i*7)%(region-9)
+				chunk := pattern(9, int64(1000+w*100+i))
+				if err := a.Put(addr, chunk, diskservice.PutOptions{}); err != nil {
+					errc <- err
+					return
+				}
+				mu.Lock()
+				copy(img[addr*FragmentSize:], chunk)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			done, err := a.RebuildStep(4)
+			if err != nil {
+				errc <- err
+				return
+			}
+			if done {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	if a.Degraded() {
+		t.Fatal("array still degraded after online rebuild")
+	}
+	a.InvalidateCache()
+	if got := mustGet(t, a, 0, size); !bytes.Equal(got, img) {
+		t.Fatal("image mismatch after online rebuild")
+	}
+	checkClean(t, a)
+	if r.met.Get(metrics.ParityRebuildStripes) != int64(a.Stripes()) {
+		t.Fatalf("rebuilt %d stripes, want %d",
+			r.met.Get(metrics.ParityRebuildStripes), a.Stripes())
+	}
+}
+
+func TestAllocationSurface(t *testing.T) {
+	r := newRig(t, 5)
+	a := r.arr
+	addr, err := a.AllocateFragments(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(addr, 10); err != nil {
+		t.Fatal(err)
+	}
+	b, err := a.AllocateBlocks(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b, 2*FragmentsPerBlock); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AllocateAt(5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeFragments() != a.Capacity()-3 {
+		t.Fatalf("free %d, want %d", a.FreeFragments(), a.Capacity()-3)
+	}
+	if err := a.ResetBitmap(); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeFragments() != a.Capacity() {
+		t.Fatal("ResetBitmap did not free everything")
+	}
+}

@@ -1,0 +1,209 @@
+package parity
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/device"
+	"repro/internal/diskservice"
+	"repro/internal/metrics"
+)
+
+// ErrNoReplacement reports a rebuild attempt with no replacement installed.
+var ErrNoReplacement = errors.New("parity: degraded with no replacement disk installed")
+
+// ReplaceDisk installs srv as the replacement for the failed disk i and
+// arms the rebuild: the watermark drops to zero and every stripe is
+// considered out of sync on the replacement until Rebuild (or RebuildStep)
+// walks past it. Reattaching the original server after a device Repair is
+// also accepted. The replacement's stable store starts empty, exactly as a
+// physically swapped disk's would.
+func (a *Array) ReplaceDisk(i int, srv *diskservice.Server) error {
+	if i < 0 || i >= a.n {
+		return ErrBadDisk
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.failed != i {
+		return ErrNotFailed
+	}
+	// The striped region keeps the original disk's base address so the
+	// stripe→address mapping never changes; the replacement must fit it.
+	if srv.MetadataFragments() > a.base[i] {
+		return fmt.Errorf("parity: replacement metadata region (%d) exceeds slot base %d",
+			srv.MetadataFragments(), a.base[i])
+	}
+	if srv.Capacity() < a.base[i]+a.stripes*a.unit {
+		return fmt.Errorf("parity: replacement too small: %d < %d fragments",
+			srv.Capacity(), a.base[i]+a.stripes*a.unit)
+	}
+	if err := srv.ResetBitmap(); err != nil {
+		return err
+	}
+	if err := srv.AllocateAt(a.base[i], a.stripes*a.unit); err != nil {
+		return fmt.Errorf("parity: claiming region on replacement: %w", err)
+	}
+	// Copy-on-write: snapshot() hands the disks slice out without the lock.
+	nd := append([]*diskservice.Server(nil), a.disks...)
+	nd[i] = srv
+	a.disks = nd
+	a.rebuilding = true
+	a.watermark.Store(0)
+	return nil
+}
+
+// Rebuild resyncs the replacement disk completely, stripe by stripe. Each
+// stripe is reconstructed and written under its stripe lock, so reads and
+// writes proceed concurrently throughout; stripes below the advancing
+// watermark are already served healthily. Progress is visible in the
+// parity.rebuild.stripes counter and via RebuildProgress.
+func (a *Array) Rebuild() error {
+	for {
+		done, err := a.RebuildStep(256)
+		if err != nil || done {
+			return err
+		}
+	}
+}
+
+// RebuildStep resyncs up to max stripes and returns done=true once the
+// array is healthy again. The watermark persists across calls, so a rebuild
+// is resumable in bounded slices.
+func (a *Array) RebuildStep(max int) (bool, error) {
+	a.rebuildMu.Lock()
+	defer a.rebuildMu.Unlock()
+	for i := 0; i < max; i++ {
+		a.mu.Lock()
+		f, rebuilding, healthy := a.failed, a.rebuilding, a.failed < 0
+		disks := a.disks
+		a.mu.Unlock()
+		if healthy {
+			return true, nil
+		}
+		if !rebuilding {
+			return false, ErrNoReplacement
+		}
+		s := int(a.watermark.Load())
+		if s >= a.stripes {
+			a.mu.Lock()
+			a.failed = -1
+			a.rebuilding = false
+			a.mu.Unlock()
+			return true, nil
+		}
+		if err := a.rebuildStripe(disks, f, s); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// rebuildStripe reconstructs stripe s's unit on the replacement disk f by
+// XOR across the other n-1 disks, then advances the watermark — all under
+// the stripe lock, so a concurrent write either lands before (and is folded
+// into the reconstruction) or after (and sees the stripe as healthy).
+func (a *Array) rebuildStripe(disks []*diskservice.Server, f, s int) error {
+	lk := a.stripeLock(s)
+	lk.Lock()
+	defer lk.Unlock()
+
+	unit := make([]byte, a.unit*FragmentSize)
+	bufs := make([][]byte, a.n)
+	var tasks []func() error
+	for d := 0; d < a.n; d++ {
+		if d == f {
+			continue
+		}
+		d := d
+		srv := disks[d]
+		phys := a.physAddr(d, s, 0)
+		tasks = append(tasks, func() error {
+			b, err := srv.Get(phys, a.unit, diskservice.GetOptions{})
+			bufs[d] = b
+			return err
+		})
+	}
+	if err := a.fanout(tasks); err != nil {
+		if errors.Is(err, device.ErrFailed) {
+			return fmt.Errorf("%w: survivor failed during rebuild: %v", ErrTooManyFailures, err)
+		}
+		return err
+	}
+	for _, b := range bufs {
+		if b != nil {
+			xorInto(unit, b)
+		}
+	}
+	if err := disks[f].Put(a.physAddr(f, s, 0), unit, diskservice.PutOptions{}); err != nil {
+		if errors.Is(err, device.ErrFailed) {
+			// The replacement itself died: drop back to plain degraded mode.
+			a.noteFailure(f)
+		}
+		return err
+	}
+	a.watermark.Store(int64(s + 1))
+	a.met.Inc(metrics.ParityRebuildStripes)
+	return nil
+}
+
+// RebuildProgress returns how many stripes are in sync on the replacement
+// and the total. With no rebuild in flight it reports (total, total) when
+// healthy and (0, total) when degraded without a replacement.
+func (a *Array) RebuildProgress() (done, total int) {
+	_, failed, rebuilding, w := a.snapshot()
+	switch {
+	case rebuilding:
+		return w, a.stripes
+	case failed < 0:
+		return a.stripes, a.stripes
+	default:
+		return 0, a.stripes
+	}
+}
+
+// CheckParity verifies the parity invariant — the XOR of every stripe's
+// K+1 units is zero — reading each stripe under its stripe lock. It returns
+// the stripes that violate the invariant. The array must be healthy.
+func (a *Array) CheckParity() ([]int, error) {
+	disks, failed, _, _ := a.snapshot()
+	if failed >= 0 {
+		return nil, ErrDegraded
+	}
+	var bad []int
+	acc := make([]byte, a.unit*FragmentSize)
+	for s := 0; s < a.stripes; s++ {
+		lk := a.stripeLock(s)
+		lk.Lock()
+		for i := range acc {
+			acc[i] = 0
+		}
+		var err error
+		bufs := make([][]byte, a.n)
+		var tasks []func() error
+		for d := 0; d < a.n; d++ {
+			d := d
+			srv := disks[d]
+			phys := a.physAddr(d, s, 0)
+			tasks = append(tasks, func() error {
+				b, e := srv.Get(phys, a.unit, diskservice.GetOptions{})
+				bufs[d] = b
+				return e
+			})
+		}
+		err = a.fanout(tasks)
+		lk.Unlock()
+		if err != nil {
+			return bad, err
+		}
+		for _, b := range bufs {
+			xorInto(acc, b)
+		}
+		for _, x := range acc {
+			if x != 0 {
+				bad = append(bad, s)
+				break
+			}
+		}
+	}
+	return bad, nil
+}

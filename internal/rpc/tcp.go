@@ -6,13 +6,42 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
+
+// tcpOpts are the shared tunables of the TCP server and transport.
+type tcpOpts struct {
+	ioTimeout time.Duration
+}
+
+// TCPOption configures Serve or DialTCP.
+type TCPOption func(*tcpOpts)
+
+// WithIOTimeout bounds every network read and write: an operation that makes
+// no progress for d is abandoned and its connection dropped, instead of
+// blocking forever on a hung peer. On the client the failed send surfaces as
+// ErrDropped, so the Client retry plus the server's duplicate cache keep the
+// exactly-once behaviour; on the server the connection closes and the client
+// transparently re-dials. Zero (the default) means no deadline.
+func WithIOTimeout(d time.Duration) TCPOption {
+	return func(o *tcpOpts) { o.ioTimeout = d }
+}
+
+// deadline returns the absolute deadline for one I/O operation starting now,
+// or the zero time (no deadline) when no timeout is configured.
+func (o *tcpOpts) deadline() time.Time {
+	if o.ioTimeout <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(o.ioTimeout)
+}
 
 // TCPServer serves an Endpoint over TCP, one goroutine per connection, with
 // gob framing. Close stops the listener and waits for connections to drain.
 type TCPServer struct {
-	ep *Endpoint
-	ln net.Listener
+	ep   *Endpoint
+	ln   net.Listener
+	opts tcpOpts
 
 	mu     sync.Mutex
 	closed bool
@@ -22,8 +51,11 @@ type TCPServer struct {
 
 // Serve starts serving ep on ln. It returns immediately; the listener runs
 // until Close.
-func Serve(ln net.Listener, ep *Endpoint) *TCPServer {
+func Serve(ln net.Listener, ep *Endpoint, opts ...TCPOption) *TCPServer {
 	s := &TCPServer{ep: ep, ln: ln, conns: make(map[net.Conn]struct{})}
+	for _, o := range opts {
+		o(&s.opts)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -63,8 +95,14 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	for {
+		if err := conn.SetReadDeadline(s.opts.deadline()); err != nil {
+			return
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		if err := conn.SetWriteDeadline(s.opts.deadline()); err != nil {
 			return
 		}
 		resp := s.ep.Handle(req)
@@ -95,6 +133,7 @@ func (s *TCPServer) Close() error {
 // on failure. Sends are serialized.
 type TCPTransport struct {
 	addr string
+	opts tcpOpts
 
 	mu     sync.Mutex
 	conn   net.Conn
@@ -106,8 +145,11 @@ type TCPTransport struct {
 var _ Transport = (*TCPTransport)(nil)
 
 // DialTCP connects to a TCPServer.
-func DialTCP(addr string) (*TCPTransport, error) {
+func DialTCP(addr string, opts ...TCPOption) (*TCPTransport, error) {
 	t := &TCPTransport{addr: addr}
+	for _, o := range opts {
+		o(&t.opts)
+	}
 	if err := t.reconnectLocked(); err != nil {
 		return nil, err
 	}
@@ -115,7 +157,7 @@ func DialTCP(addr string) (*TCPTransport, error) {
 }
 
 func (t *TCPTransport) reconnectLocked() error {
-	conn, err := net.Dial("tcp", t.addr)
+	conn, err := net.DialTimeout("tcp", t.addr, t.opts.ioTimeout)
 	if err != nil {
 		return fmt.Errorf("rpc: dial %s: %w", t.addr, err)
 	}
@@ -139,7 +181,15 @@ func (t *TCPTransport) Send(req Request) (Response, error) {
 			return Response{}, errors.Join(ErrDropped, err)
 		}
 	}
+	if err := t.conn.SetWriteDeadline(t.opts.deadline()); err != nil {
+		t.dropConnLocked()
+		return Response{}, errors.Join(ErrDropped, err)
+	}
 	if err := t.enc.Encode(req); err != nil {
+		t.dropConnLocked()
+		return Response{}, errors.Join(ErrDropped, err)
+	}
+	if err := t.conn.SetReadDeadline(t.opts.deadline()); err != nil {
 		t.dropConnLocked()
 		return Response{}, errors.Join(ErrDropped, err)
 	}

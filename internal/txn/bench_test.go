@@ -30,7 +30,7 @@ func benchRig(b *testing.B) *Service {
 	if err != nil {
 		b.Fatal(err)
 	}
-	fs, err := fileservice.New(fileservice.Config{Disks: []*diskservice.Server{srv}})
+	fs, err := fileservice.New(fileservice.Config{Disks: fileservice.Servers(srv)})
 	if err != nil {
 		b.Fatal(err)
 	}

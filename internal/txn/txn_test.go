@@ -72,7 +72,7 @@ func newRig(t *testing.T, mutate ...func(*Config)) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.fs, err = fileservice.New(fileservice.Config{Disks: []*diskservice.Server{r.disk}, Metrics: r.met})
+	r.fs, err = fileservice.New(fileservice.Config{Disks: fileservice.Servers(r.disk), Metrics: r.met})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +117,7 @@ func (r *rig) crash(mutate ...func(*Config)) {
 		r.t.Fatalf("remount disk: %v", err)
 	}
 	r.disk = disk
-	fs, err := fileservice.Mount(fileservice.Config{Disks: []*diskservice.Server{disk}, Metrics: r.met})
+	fs, err := fileservice.Mount(fileservice.Config{Disks: fileservice.Servers(disk), Metrics: r.met})
 	if err != nil {
 		r.t.Fatalf("remount fs: %v", err)
 	}
