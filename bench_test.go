@@ -163,3 +163,19 @@ func BenchmarkE17Parity(b *testing.B) {
 	b.ReportMetric(ov, "x-overhead-5-disks")
 	b.ReportMetric(metric(tbl, 1, 8), "stripes-rebuilt")
 }
+
+// BenchmarkE18Torture: crash-recovery torture across every registered fault
+// point (§2.1, §6.6, §6.7).
+func BenchmarkE18Torture(b *testing.B) {
+	tbl := runExperiment(b, experiments.E18Torture)
+	held := 0
+	for _, row := range tbl.Rows {
+		if row[len(row)-1] == "all hold" {
+			held++
+		}
+	}
+	if held != len(tbl.Rows) {
+		b.Fatalf("%d/%d scenarios violated recovery invariants", len(tbl.Rows)-held, len(tbl.Rows))
+	}
+	b.ReportMetric(float64(held), "scenarios-recovered")
+}

@@ -12,6 +12,8 @@
 //	rhodos-fsck            # crash-and-check scenario
 //	rhodos-fsck -corrupt   # additionally corrupt a FIT to exercise stable healing
 //	rhodos-fsck -parity    # parity layout: stripe invariant + one-disk-crash reconstruction
+//	rhodos-fsck -torture   # run every registered crash-point scenario (E18) and check
+//	                       # the recovery invariants after each injected crash
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/experiments"
 	"repro/internal/fileservice"
 	"repro/internal/fit"
 )
@@ -35,7 +38,13 @@ func run() int {
 	corrupt := flag.Bool("corrupt", false, "corrupt a FIT on the main disk before checking")
 	parity := flag.Bool("parity", false, "run on the parity layout; check the stripe invariant and one-disk reconstruction")
 	files := flag.Int("files", 50, "files to create")
+	torture := flag.Bool("torture", false, "run the crash-recovery torture scenarios (E18) and verify recovery invariants")
+	seed := flag.Int64("seed", 1800, "base seed for -torture; scenario i runs from seed+i, making every run replayable")
 	flag.Parse()
+
+	if *torture {
+		return tortureChecks(*seed)
+	}
 
 	cfg := core.Config{}
 	if *parity {
@@ -128,6 +137,42 @@ func run() int {
 			return rc
 		}
 	}
+	return 0
+}
+
+// tortureChecks runs every E18 torture scenario — each one arms a fault at a
+// registered crash point, kills the run mid-operation, reopens the stores,
+// runs recovery, and verifies the recovery invariants (committed data
+// durable, unfinished transactions invisible, mirrors reconciled, stripe
+// parity consistent, fsck clean).
+func tortureChecks(seedBase int64) int {
+	scenarios := experiments.TortureScenarios()
+	fmt.Printf("torture: %d crash scenarios, base seed %d\n", len(scenarios), seedBase)
+	failed := 0
+	for i, sc := range scenarios {
+		seed := seedBase + int64(i)
+		res, err := experiments.RunTorture(sc, seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "PROBLEM: %s [%s] seed %d: %v\n", sc.Point, sc.Mode(), seed, err)
+			failed++
+			continue
+		}
+		status := "ok"
+		if len(res.Violations) > 0 {
+			status = "VIOLATED"
+			failed++
+		}
+		fmt.Printf("  %-28s %-18s seed %-5d fired=%d redone=%d outcome=%-9s %s\n",
+			sc.Point, sc.Mode(), seed, res.Fired, res.Redone, res.Outcome, status)
+		for _, v := range res.Violations {
+			fmt.Fprintf(os.Stderr, "PROBLEM: %s: %s\n", sc.Point, v)
+		}
+	}
+	if failed != 0 {
+		fmt.Fprintf(os.Stderr, "torture: %d/%d scenario(s) violated recovery invariants\n", failed, len(scenarios))
+		return 1
+	}
+	fmt.Printf("torture: all %d scenarios recovered with every invariant intact\n", len(scenarios))
 	return 0
 }
 

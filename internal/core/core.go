@@ -18,6 +18,7 @@ import (
 	"repro/internal/agent"
 	"repro/internal/device"
 	"repro/internal/diskservice"
+	"repro/internal/fault"
 	"repro/internal/fileservice"
 	"repro/internal/intentions"
 	"repro/internal/lock"
@@ -89,6 +90,12 @@ type Config struct {
 	DisableReadAhead   bool // disk-service track cache off (E5)
 	DisableClientCache bool // file-agent cache off (E6)
 	CombinedLockTable  bool // one lock table for all levels (E12)
+	// Fault is the deterministic fault injector threaded through the storage
+	// stack (devices, stable stores, the WAL, the commit sequence, parity
+	// rebuild). It survives Crash remounts, so a schedule armed before the
+	// crash stays armed on the rebooted services. Optional; nil injects
+	// nothing.
+	Fault *fault.Injector
 }
 
 func (c *Config) fillDefaults() {
@@ -147,7 +154,8 @@ func New(cfg Config) (*Cluster, error) {
 	for i := 0; i < cfg.Disks; i++ {
 		clk := c.timeGroup.NewMember()
 		d, err := device.New(cfg.Geometry,
-			device.WithMetrics(cfg.Metrics), device.WithClock(clk), device.WithModel(cfg.Model))
+			device.WithMetrics(cfg.Metrics), device.WithClock(clk), device.WithModel(cfg.Model),
+			device.WithFault(cfg.Fault))
 		if err != nil {
 			return nil, err
 		}
@@ -159,7 +167,7 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
-		st, err := stable.NewStore(sp, sm, stable.WithMetrics(cfg.Metrics))
+		st, err := stable.NewStore(sp, sm, stable.WithMetrics(cfg.Metrics), stable.WithFault(cfg.Fault))
 		if err != nil {
 			return nil, err
 		}
@@ -186,7 +194,8 @@ func New(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.logStable, err = stable.NewStore(c.logDevs[0], c.logDevs[1], stable.WithMetrics(cfg.Metrics))
+	c.logStable, err = stable.NewStore(c.logDevs[0], c.logDevs[1],
+		stable.WithMetrics(cfg.Metrics), stable.WithFault(cfg.Fault))
 	if err != nil {
 		return nil, err
 	}
@@ -213,6 +222,7 @@ func (c *Cluster) buildArray() error {
 		UnitFragments: c.cfg.ParityUnitFragments,
 		Metrics:       c.cfg.Metrics,
 		Overlap:       c.timeGroup,
+		Fault:         c.cfg.Fault,
 	})
 	if err != nil {
 		return fmt.Errorf("core: building parity array: %w", err)
@@ -244,7 +254,7 @@ func (c *Cluster) buildServices(fresh bool) error {
 	if err != nil {
 		return err
 	}
-	c.Log, err = wal.Open(c.logStable, c.logStart, c.cfg.LogFragments)
+	c.Log, err = wal.Open(c.logStable, c.logStart, c.cfg.LogFragments, wal.WithFault(c.cfg.Fault))
 	if err != nil {
 		return err
 	}
@@ -260,7 +270,7 @@ func (c *Cluster) buildServices(fresh bool) error {
 	c.Txns, err = txn.New(txn.Config{
 		Files: c.Files, Log: c.Log, Locks: c.locks,
 		Metrics: c.cfg.Metrics, ForceTechnique: c.cfg.ForceTechnique,
-		AdaptiveDefault: c.cfg.AdaptiveLockLevel,
+		AdaptiveDefault: c.cfg.AdaptiveLockLevel, Fault: c.cfg.Fault,
 	})
 	return err
 }
@@ -367,13 +377,28 @@ func (c *Cluster) Recover() (int, error) {
 // RecoverStable reconciles every stable-storage mirror pair (run after media
 // corruption, not needed on a clean reboot).
 func (c *Cluster) RecoverStable() error {
-	for i, st := range c.stables {
-		if _, err := st.Recover(); err != nil {
-			return fmt.Errorf("core: stable recovery of disk %d: %w", i, err)
-		}
-	}
-	_, err := c.logStable.Recover()
+	_, err := c.StableRecoverAll()
 	return err
+}
+
+// StableRecoverAll reconciles every stable-storage mirror pair and returns
+// one RecoveryReport per store: the data disks' stores in order, then the
+// log store last. The torture harness uses the reports to prove the mirrors
+// reconciled (a second pass must report zero repairs and zero divergence).
+func (c *Cluster) StableRecoverAll() ([]stable.RecoveryReport, error) {
+	out := make([]stable.RecoveryReport, 0, len(c.stables)+1)
+	for i, st := range c.stables {
+		rep, err := st.Recover()
+		if err != nil {
+			return out, fmt.Errorf("core: stable recovery of disk %d: %w", i, err)
+		}
+		out = append(out, rep)
+	}
+	rep, err := c.logStable.Recover()
+	if err != nil {
+		return out, fmt.Errorf("core: stable recovery of the log store: %w", err)
+	}
+	return append(out, rep), nil
 }
 
 // Flush makes all buffered state durable (flush-block all the way down).

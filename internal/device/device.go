@@ -20,8 +20,18 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
+)
+
+// Fault points on the raw device operations. These take error injections
+// (arm them with ErrFailed or ErrMediaError to model a dying drive without
+// powering it off) — crash injection belongs to the layers above, where the
+// careful-write ordering lives.
+var (
+	PtRead  = fault.Register("device.read")
+	PtWrite = fault.Register("device.write")
 )
 
 // Storage units from the paper (§4): a fragment is 2 KB, a block is 8 KB,
@@ -134,6 +144,8 @@ type Disk struct {
 	failed     bool
 	badFrags   map[int]bool // fragments that return ErrMediaError
 	wallFactor float64
+
+	fault *fault.Injector
 }
 
 // Option configures a Disk.
@@ -147,6 +159,10 @@ func WithClock(c simclock.Clock) Option { return func(d *Disk) { d.clock = c } }
 
 // WithMetrics sets the metric set that receives reference/seek/byte counters.
 func WithMetrics(s *metrics.Set) Option { return func(d *Disk) { d.met = s } }
+
+// WithFault attaches a fault injector to the drive's read/write paths. A nil
+// injector is valid and injects nothing.
+func WithFault(in *fault.Injector) Option { return func(d *Disk) { d.fault = in } }
 
 // New creates a drive with the given geometry. The default timing model is
 // DefaultModel and the default clock is a fresh virtual clock.
@@ -247,6 +263,9 @@ func (d *Disk) ReadFragments(start, n int) ([]byte, error) {
 	if err := d.checkSpan(start, n); err != nil {
 		return nil, err
 	}
+	if err := d.fault.Err(PtRead); err != nil {
+		return nil, err
+	}
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
@@ -276,6 +295,9 @@ func (d *Disk) WriteFragments(start int, data []byte) error {
 	}
 	n := len(data) / FragmentSize
 	if err := d.checkSpan(start, n); err != nil {
+		return err
+	}
+	if err := d.fault.Err(PtWrite); err != nil {
 		return err
 	}
 	d.mu.Lock()

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
 )
@@ -300,5 +301,42 @@ func TestFragmentBlockConstants(t *testing.T) {
 	}
 	if FragmentsPerBlock != 4 {
 		t.Fatalf("FragmentsPerBlock = %d, want 4 (paper §4)", FragmentsPerBlock)
+	}
+}
+
+func TestInjectedReadWriteErrors(t *testing.T) {
+	inj := fault.NewInjector(5)
+	d, err := New(Geometry{FragmentsPerTrack: 8, Tracks: 16}, WithFault(inj))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	want := pattern(2*FragmentSize, 3)
+	if err := d.WriteFragments(0, want); err != nil {
+		t.Fatalf("WriteFragments: %v", err)
+	}
+
+	// An injected media error fails one read and carries both sentinels, so
+	// callers distinguish "injected" from a naturally bad fragment while the
+	// mirror-fallback logic still recognizes it as a media error.
+	inj.Arm(PtRead, fault.Action{Kind: fault.KindError, Err: ErrMediaError})
+	if _, err := d.ReadFragments(0, 2); !errors.Is(err, ErrMediaError) || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("injected read = %v, want ErrMediaError and ErrInjected", err)
+	}
+	got, err := d.ReadFragments(0, 2)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("read after injection = %v (equal=%v), want clean", err, bytes.Equal(got, want))
+	}
+
+	// Same for the write path: one failed write, no bytes changed, then clean.
+	inj.Arm(PtWrite, fault.Action{Kind: fault.KindError, Err: ErrFailed})
+	if err := d.WriteFragments(0, pattern(2*FragmentSize, 9)); !errors.Is(err, ErrFailed) {
+		t.Fatalf("injected write = %v, want ErrFailed", err)
+	}
+	got, err = d.ReadFragments(0, 2)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatal("injected write error must not modify the media")
+	}
+	if err := d.WriteFragments(0, pattern(2*FragmentSize, 9)); err != nil {
+		t.Fatalf("write after injection = %v, want clean", err)
 	}
 }

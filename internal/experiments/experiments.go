@@ -128,5 +128,6 @@ func All() []Runner {
 		{"E15", "Replication failover and resync", E15Replication},
 		{"E16", "Wall-clock parallel throughput", E16ParallelThroughput},
 		{"E17", "Parity-striped layout", E17Parity},
+		{"E18", "Crash-recovery torture harness", E18Torture},
 	}
 }

@@ -27,8 +27,8 @@ func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
 
 func TestAllRunnersListed(t *testing.T) {
 	runners := All()
-	if len(runners) != 18 {
-		t.Fatalf("All() = %d runners, want 18 (T1 + E1..E17)", len(runners))
+	if len(runners) != 19 {
+		t.Fatalf("All() = %d runners, want 19 (T1 + E1..E18)", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -317,6 +317,51 @@ func TestE17Shape(t *testing.T) {
 		if tbl.Rows[row][9] != "true" {
 			t.Errorf("E17 row %d: post-rebuild byte compare or parity check failed", row)
 		}
+	}
+}
+
+func TestE18Shape(t *testing.T) {
+	tbl, err := E18Torture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Render(testWriter{t})
+	scs := TortureScenarios()
+	if len(tbl.Rows) != len(scs) {
+		t.Fatalf("E18 rows = %d, want %d", len(tbl.Rows), len(scs))
+	}
+	points := map[string]bool{}
+	for row := range tbl.Rows {
+		points[tbl.Rows[row][0]] = true
+		if fired := cell(t, tbl, row, 3); fired < 1 {
+			t.Errorf("E18 %s: armed fault never fired", tbl.Rows[row][0])
+		}
+		if inv := tbl.Rows[row][6]; inv != "all hold" {
+			t.Errorf("E18 %s: %s", tbl.Rows[row][0], inv)
+		}
+	}
+	if len(points) < 10 {
+		t.Errorf("E18 exercised %d distinct fault points, want >= 10", len(points))
+	}
+}
+
+// TestTortureReplayable proves the determinism contract: the same scenario
+// and seed fire the same fault trace and reach the same outcome twice.
+func TestTortureReplayable(t *testing.T) {
+	sc := TortureScenarios()[3] // torn primary write mid-commit
+	a, err := RunTorture(sc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTorture(sc, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fired != b.Fired || a.Outcome != b.Outcome || a.Redone != b.Redone {
+		t.Errorf("replay diverged: %+v vs %+v", a, b)
+	}
+	if len(a.Violations)+len(b.Violations) > 0 {
+		t.Errorf("violations: %v / %v", a.Violations, b.Violations)
 	}
 }
 

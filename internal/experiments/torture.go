@@ -1,0 +1,501 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fault"
+	"repro/internal/fit"
+	"repro/internal/intentions"
+	"repro/internal/parity"
+	"repro/internal/stable"
+	"repro/internal/txn"
+	"repro/internal/wal"
+)
+
+// TortureKind selects the recipe a torture scenario runs under.
+type TortureKind int
+
+// Torture recipes.
+const (
+	// TortureTxn interrupts a transaction commit at an armed point and checks
+	// the recovery contract: the earlier committed transaction stays durable,
+	// the interrupted one is either fully durable or fully invisible, and the
+	// stable mirrors reconcile.
+	TortureTxn TortureKind = iota
+	// TortureParity kills a parity rebuild mid-stripe and checks that a
+	// restarted rebuild converges to a consistent array.
+	TortureParity
+	// TortureMedia injects a media error on a stable read and checks the
+	// careful-read fallback to the mirror.
+	TortureMedia
+)
+
+// String implements fmt.Stringer.
+func (k TortureKind) String() string {
+	switch k {
+	case TortureTxn:
+		return "txn-commit"
+	case TortureParity:
+		return "parity-rebuild"
+	case TortureMedia:
+		return "media-read"
+	default:
+		return fmt.Sprintf("TortureKind(%d)", int(k))
+	}
+}
+
+// TortureScenario is one registered fault point plus the action armed at it
+// and the recovery outcome the harness demands.
+type TortureScenario struct {
+	Point  fault.Point
+	Action fault.Action
+	Kind   TortureKind
+	// Durable, for TortureTxn, is whether the interrupted commit must survive
+	// recovery (the crash point is at or past the commit point) or must leave
+	// no trace (the crash point precedes it).
+	Durable bool
+}
+
+// Mode renders the armed action for the report.
+func (sc TortureScenario) Mode() string {
+	var mode string
+	switch sc.Action.Kind {
+	case fault.KindTorn:
+		mode = fmt.Sprintf("torn(%d)+crash", sc.Action.Frags)
+	case fault.KindError:
+		mode = "media error"
+	case fault.KindCrash:
+		mode = "crash"
+	default:
+		mode = sc.Action.Kind.String()
+	}
+	if sc.Action.After > 0 {
+		mode += fmt.Sprintf(" @hit %d", sc.Action.After+1)
+	}
+	return mode
+}
+
+// TortureScenarios enumerates the full torture matrix: every crash point the
+// storage stack registers along the commit sequence (transaction service,
+// WAL sync, stable careful write) and the parity rebuild, plus a media-error
+// probe of the careful-read path. cmd/rhodos-fsck -torture runs the same
+// list.
+func TortureScenarios() []TortureScenario {
+	crash := fault.Action{Kind: fault.KindCrash}
+	// The interrupted transaction touches 3 blocks, each staged to stable
+	// storage at PWrite time, so its 4th synchronous stable write is the
+	// commit-point log sync — the stable.write scenarios skip the 3 staging
+	// writes with After to strike the careful write that carries the commit.
+	const skipStaging = 3
+	return []TortureScenario{
+		// Before the commit point: the interrupted transaction must vanish.
+		{Point: txn.PtCommitBeforeLog, Action: crash, Kind: TortureTxn, Durable: false},
+		{Point: wal.PtSyncBeforeWrite, Action: crash, Kind: TortureTxn, Durable: false},
+		{Point: stable.PtWriteBeforePrimary, Action: fault.Action{Kind: fault.KindCrash, After: skipStaging},
+			Kind: TortureTxn, Durable: false},
+		{Point: stable.PtWritePrimary,
+			Action: fault.Action{Kind: fault.KindTorn, Frags: 2, Crash: true, After: skipStaging},
+			Kind:   TortureTxn, Durable: false},
+		// At or past the commit point: the transaction must survive.
+		{Point: stable.PtWriteAfterPrimary, Action: fault.Action{Kind: fault.KindCrash, After: skipStaging},
+			Kind: TortureTxn, Durable: true},
+		{Point: stable.PtWriteMirror,
+			Action: fault.Action{Kind: fault.KindTorn, Frags: 1, Crash: true, After: skipStaging},
+			Kind:   TortureTxn, Durable: true},
+		{Point: wal.PtSyncAfterWrite, Action: crash, Kind: TortureTxn, Durable: true},
+		{Point: txn.PtCommitAfterLog, Action: crash, Kind: TortureTxn, Durable: true},
+		{Point: txn.PtCommitMidApply, Action: fault.Action{Kind: fault.KindCrash, After: 1},
+			Kind: TortureTxn, Durable: true},
+		{Point: txn.PtCommitAfterApply, Action: crash, Kind: TortureTxn, Durable: true},
+		// Parity rebuild killed mid-resync, on either side of the stripe Put.
+		{Point: parity.PtRebuildBeforePut, Action: fault.Action{Kind: fault.KindCrash, After: 3},
+			Kind: TortureParity},
+		{Point: parity.PtRebuildAfterPut, Action: fault.Action{Kind: fault.KindCrash, After: 3},
+			Kind: TortureParity},
+		// Careful read: a media error on the primary falls back to the mirror.
+		{Point: device.PtRead, Action: fault.Action{Kind: fault.KindError, Err: device.ErrMediaError},
+			Kind: TortureMedia},
+	}
+}
+
+// TortureResult is one scenario's outcome.
+type TortureResult struct {
+	// Fired is how many times the armed action fired (from the injector's
+	// trace, so a replay with the same seed fires identically).
+	Fired int
+	// Redone is the committed-transaction count replayed by recovery.
+	Redone int
+	// Outcome summarizes what recovery left behind: "durable", "invisible",
+	// "rebuilt", "mirror-fallback", or "corrupt".
+	Outcome string
+	// Violations lists every recovery invariant that failed; empty means the
+	// contract held.
+	Violations []string
+}
+
+func (r *TortureResult) fail(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// RunTorture executes one scenario from a seed. The same (scenario, seed)
+// pair arms the same schedule and fires the same faults on every run.
+func RunTorture(sc TortureScenario, seed int64) (*TortureResult, error) {
+	switch sc.Kind {
+	case TortureParity:
+		return runTortureParity(sc, seed)
+	case TortureMedia:
+		return runTortureMedia(sc, seed)
+	default:
+		return runTortureTxn(sc, seed)
+	}
+}
+
+// checkMirrors runs the stable reconcile pass and records violations: no
+// fragment may be lost on both mirrors, and when secondPass is set the pass
+// must be a pure no-op — the crash's divergence was healed by the first one.
+func checkMirrors(res *TortureResult, c *core.Cluster, secondPass bool) error {
+	reps, err := c.StableRecoverAll()
+	if err != nil {
+		return err
+	}
+	for i, r := range reps {
+		if r.UnrecoverableLost > 0 {
+			res.fail("store %d: %d fragments lost on both mirrors", i, r.UnrecoverableLost)
+		}
+		if secondPass && r.PrimaryRepaired+r.MirrorRepaired+r.DivergenceHealed > 0 {
+			res.fail("store %d: mirrors not reconciled (pass 2 repaired %d/%d, healed %d)",
+				i, r.PrimaryRepaired, r.MirrorRepaired, r.DivergenceHealed)
+		}
+	}
+	return nil
+}
+
+// runTortureTxn commits transaction A, then runs transaction B overwriting
+// A's data with the scenario's fault armed, reboots, recovers, and verifies
+// the four invariants: A durable, B atomically durable-or-invisible per the
+// scenario, mirrors reconciled, structural fsck clean.
+func runTortureTxn(sc TortureScenario, seed int64) (*TortureResult, error) {
+	inj := fault.NewInjector(seed)
+	c, err := core.New(core.Config{
+		Geometry:       device.Geometry{FragmentsPerTrack: 32, Tracks: 256},
+		LogFragments:   2048,
+		Fault:          inj,
+		ForceTechnique: intentions.WAL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.Close() }()
+
+	rng := rand.New(rand.NewSource(seed))
+	oldData := make([]byte, 20000)
+	rng.Read(oldData)
+	newData := make([]byte, len(oldData))
+	rng.Read(newData)
+
+	// Transaction A: committed and flushed before the fault is armed.
+	a, err := c.Txns.Begin(1)
+	if err != nil {
+		return nil, err
+	}
+	fid, err := c.Txns.Create(a, fit.Attributes{Locking: fit.LockPage})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Txns.PWrite(a, fid, 0, oldData); err != nil {
+		return nil, err
+	}
+	if err := c.Txns.End(a); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+
+	// Transaction B dies at the armed point while overwriting A's data.
+	inj.Arm(sc.Point, sc.Action)
+	crashed, runErr := fault.Run(func() error {
+		b, err := c.Txns.Begin(2)
+		if err != nil {
+			return err
+		}
+		if err := c.Txns.Open(b, fid, fit.LockPage); err != nil {
+			return err
+		}
+		if _, err := c.Txns.PWrite(b, fid, 0, newData); err != nil {
+			return err
+		}
+		return c.Txns.End(b)
+	})
+	inj.DisarmAll()
+	if crashed == nil {
+		return nil, fmt.Errorf("fault at %s did not kill the run (err=%v)", sc.Point, runErr)
+	}
+	if crashed.Point != sc.Point {
+		return nil, fmt.Errorf("crashed at %s, armed %s", crashed.Point, sc.Point)
+	}
+	res := &TortureResult{Fired: inj.Fired(sc.Point)}
+
+	// Reboot, reconcile the mirrors, replay the log.
+	if err := c.Crash(); err != nil {
+		return nil, err
+	}
+	if err := checkMirrors(res, c, false); err != nil {
+		return nil, err
+	}
+	res.Redone, err = c.Recover()
+	if err != nil {
+		return nil, err
+	}
+
+	got, err := c.Files.ReadAt(fid, 0, len(oldData))
+	if err != nil {
+		return nil, fmt.Errorf("reading survivor file: %w", err)
+	}
+	switch {
+	case bytes.Equal(got, newData):
+		res.Outcome = "durable"
+	case bytes.Equal(got, oldData):
+		res.Outcome = "invisible"
+	default:
+		res.Outcome = "corrupt"
+	}
+	want := "invisible"
+	if sc.Durable {
+		want = "durable"
+	}
+	if res.Outcome != want {
+		res.fail("interrupted commit: want %s, got %s", want, res.Outcome)
+	}
+	if res.Redone < 1 {
+		res.fail("recovery redid no committed transactions")
+	}
+
+	// A second reconcile pass must find nothing left to heal.
+	if err := checkMirrors(res, c, true); err != nil {
+		return nil, err
+	}
+	rep, err := c.Files.Check()
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Ok() {
+		res.fail("fsck: %s", strings.Join(rep.Problems, "; "))
+	}
+	return res, nil
+}
+
+// runTortureParity degrades a 3-disk parity array, mutates it degraded,
+// kills the rebuild of the replacement at the armed stripe, reboots, re-runs
+// the rebuild from scratch, and verifies the stripe-parity invariant, the
+// file contents, and the mirrors.
+func runTortureParity(sc TortureScenario, seed int64) (*TortureResult, error) {
+	inj := fault.NewInjector(seed)
+	c, err := core.New(core.Config{
+		Disks:    3,
+		Layout:   core.LayoutParity,
+		Geometry: device.Geometry{FragmentsPerTrack: 32, Tracks: 128},
+		Fault:    inj,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.Close() }()
+
+	rng := rand.New(rand.NewSource(seed))
+	ref := make([]byte, 256<<10)
+	rng.Read(ref)
+	fid, err := c.Files.Create(fit.Attributes{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Files.WriteAt(fid, 0, ref); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+
+	// Disk 1 dies; the file keeps changing while the array runs degraded, so
+	// the replacement's pre-failure contents are stale and only a correct
+	// rebuild can produce them.
+	c.Device(1).Fail()
+	c.InvalidateCaches()
+	arr := c.Parity()
+	if err := arr.MarkFailed(1); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 4; i++ {
+		off := int64(i) * 50000
+		patch := make([]byte, 30000)
+		rng.Read(patch)
+		copy(ref[off:], patch)
+		if _, err := c.Files.WriteAt(fid, off, patch); err != nil {
+			return nil, fmt.Errorf("degraded write %d: %w", i, err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+
+	// Replace the disk and kill the rebuild at the armed stripe.
+	c.Device(1).Repair()
+	if err := arr.ReplaceDisk(1, c.DiskServer(1)); err != nil {
+		return nil, err
+	}
+	inj.Arm(sc.Point, sc.Action)
+	crashed, runErr := fault.Run(arr.Rebuild)
+	inj.DisarmAll()
+	if crashed == nil {
+		return nil, fmt.Errorf("fault at %s did not kill the rebuild (err=%v)", sc.Point, runErr)
+	}
+	res := &TortureResult{Fired: inj.Fired(sc.Point)}
+
+	// Reboot. The half-rebuilt replacement is stale, so it is re-marked
+	// failed and the rebuild restarts from stripe zero.
+	if err := c.Crash(); err != nil {
+		return nil, err
+	}
+	arr2 := c.Parity()
+	if err := arr2.MarkFailed(1); err != nil {
+		return nil, err
+	}
+	if err := arr2.ReplaceDisk(1, c.DiskServer(1)); err != nil {
+		return nil, err
+	}
+	if err := arr2.Rebuild(); err != nil {
+		return nil, fmt.Errorf("post-crash rebuild: %w", err)
+	}
+	res.Redone, err = c.Recover()
+	if err != nil {
+		return nil, err
+	}
+	res.Outcome = "rebuilt"
+
+	bad, err := arr2.CheckParity()
+	if err != nil {
+		return nil, err
+	}
+	if len(bad) > 0 {
+		res.fail("parity inconsistent on %d stripes (first %v)", len(bad), bad[0])
+	}
+	got, err := c.Files.ReadAt(fid, 0, len(ref))
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(got, ref) {
+		res.fail("file contents diverged after rebuild")
+	}
+	if err := checkMirrors(res, c, false); err != nil {
+		return nil, err
+	}
+	if err := checkMirrors(res, c, true); err != nil {
+		return nil, err
+	}
+	rep, err := c.Files.Check()
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Ok() {
+		res.fail("fsck: %s", strings.Join(rep.Problems, "; "))
+	}
+	return res, nil
+}
+
+// runTortureMedia writes through a standalone stable store, injects a media
+// error on the next primary read, and verifies the careful-read fallback:
+// the read succeeds from the mirror and a reconcile pass finds both copies
+// whole.
+func runTortureMedia(sc TortureScenario, seed int64) (*TortureResult, error) {
+	inj := fault.NewInjector(seed)
+	geom := device.Geometry{FragmentsPerTrack: 32, Tracks: 8}
+	primary, err := device.New(geom, device.WithFault(inj))
+	if err != nil {
+		return nil, err
+	}
+	mirror, err := device.New(geom)
+	if err != nil {
+		return nil, err
+	}
+	st, err := stable.NewStore(primary, mirror, stable.WithFault(inj))
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = st.Close() }()
+
+	start, err := st.Allocate(4)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, 4*device.FragmentSize)
+	rng.Read(data)
+	if err := st.Write(start, data); err != nil {
+		return nil, err
+	}
+
+	act := sc.Action
+	if act.Times == 0 {
+		act.Times = 1 // only the primary read fails; the mirror must answer
+	}
+	inj.Arm(sc.Point, act)
+	got, err := st.Read(start, 4)
+	inj.DisarmAll()
+	res := &TortureResult{Fired: inj.Fired(sc.Point), Outcome: "mirror-fallback"}
+	if err != nil {
+		res.fail("careful read did not survive the media error: %v", err)
+		return res, nil
+	}
+	if !bytes.Equal(got, data) {
+		res.fail("mirror fallback returned wrong data")
+	}
+	rep, err := st.Recover()
+	if err != nil {
+		return nil, err
+	}
+	if rep.UnrecoverableLost > 0 {
+		res.fail("%d fragments lost on both mirrors", rep.UnrecoverableLost)
+	}
+	return res, nil
+}
+
+// E18Torture runs the crash-recovery torture matrix: for each registered
+// fault point in the commit sequence, the WAL sync, the stable careful
+// write, and the parity rebuild, it kills the run at that point from a
+// seeded schedule, reboots the facility, runs recovery, and verifies the
+// invariants — committed data durable, unfinished transactions invisible,
+// mirrors reconciled (a second reconcile pass is a no-op), stripe parity
+// consistent, and the structural fsck clean.
+func E18Torture() (*Table, error) {
+	t := &Table{
+		ID:    "E18",
+		Title: "Crash-recovery torture across the storage stack",
+		Claim: "recovery restores every invariant after a crash at any registered fault point",
+		Columns: []string{"fault point", "mode", "recipe", "fired", "redone",
+			"outcome", "invariants"},
+	}
+	const seedBase = 1800
+	scs := TortureScenarios()
+	for i, sc := range scs {
+		seed := seedBase + int64(i)
+		res, err := RunTorture(sc, seed)
+		if err != nil {
+			return nil, fmt.Errorf("E18 %s (seed %d): %w", sc.Point, seed, err)
+		}
+		inv := "all hold"
+		if len(res.Violations) > 0 {
+			inv = "VIOLATED: " + strings.Join(res.Violations, "; ")
+		}
+		t.AddRow(string(sc.Point), sc.Mode(), sc.Kind.String(), res.Fired, res.Redone,
+			res.Outcome, inv)
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("deterministic: scenario i runs from seed %d+i; the same seed fires the same faults", seedBase),
+		"invariants: committed durable; unfinished invisible; mirrors reconciled (2nd pass no-op); parity consistent; fsck clean")
+	return t, nil
+}

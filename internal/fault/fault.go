@@ -1,0 +1,337 @@
+// Package fault implements a deterministic fault-injection layer for the
+// storage stack. The reliability machinery of the paper — stable storage's
+// careful writes (§2.1, §6.6), the write-ahead log's commit point (§6.7),
+// parity rebuild — is only trustworthy if it survives failures injected at
+// the worst possible instants, not just failures waited for. This package
+// provides the instants.
+//
+// Subsystems declare named fault points with Register and consult an
+// *Injector (nil-safe; nil injects nothing) at each point:
+//
+//   - Hit fires a crash (the process "dies" at the labeled site via a panic
+//     the harness recovers with Run) or an injected delay;
+//   - Err returns an injected operation error (device.ErrFailed, media
+//     errors, message drops) to exercise swallowed-error paths;
+//   - Torn models a torn stable write: only a prefix of the fragments
+//     reaches the platter before the write "fails" or the machine dies.
+//
+// Faults are armed per point with hit counters (skip the first After hits,
+// fire Times times), so a schedule derived from a seed is exactly
+// replayable: the same seed arms the same actions and the injector's Trace
+// records every fault that actually fired, in order.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Point names one fault-injection site (e.g. "wal.sync.after-write").
+type Point string
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[Point]bool)
+)
+
+// Register declares a fault point so harnesses can enumerate every site the
+// stack exposes. It returns p, so packages declare points as
+//
+//	var ptX = fault.Register("pkg.op.site")
+func Register(p Point) Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[p] = true
+	return p
+}
+
+// Registered reports whether p was declared with Register.
+func Registered(p Point) bool {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registry[p]
+}
+
+// Points returns every registered point, sorted.
+func Points() []Point {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Point, 0, len(registry))
+	for p := range registry {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Crash is the panic value thrown at an armed crash point. The torture
+// harness recovers it with Run; anything else propagating a Crash is a
+// harness bug, so the value is loud.
+type Crash struct {
+	Point Point
+}
+
+// String implements fmt.Stringer.
+func (c Crash) String() string { return fmt.Sprintf("fault: injected crash at %s", c.Point) }
+
+// ErrInjected marks every error produced by the injector, so tests can tell
+// injected failures from real ones.
+var ErrInjected = errors.New("fault: injected error")
+
+// Kind discriminates armed actions.
+type Kind int
+
+// Action kinds.
+const (
+	// KindCrash kills the run at the point: Hit panics with Crash{Point}.
+	KindCrash Kind = iota + 1
+	// KindError makes Err return the armed error (wrapped in ErrInjected).
+	KindError
+	// KindTorn makes Torn report a torn write: the site persists only Frags
+	// fragments, then crashes (Crash true) or fails (Crash false).
+	KindTorn
+	// KindDelay makes Hit sleep for Delay, and Delay return it.
+	KindDelay
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindError:
+		return "error"
+	case KindTorn:
+		return "torn"
+	case KindDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Action is one armed fault.
+type Action struct {
+	Kind Kind
+	// After skips the first After matching hits before firing (0 = fire on
+	// the first hit).
+	After int
+	// Times bounds how often the action fires: 0 means once, negative means
+	// on every hit.
+	Times int
+	// Err is the error KindError injects; defaults to ErrInjected alone.
+	Err error
+	// Frags is how many fragments a KindTorn write persists before dying.
+	Frags int
+	// Crash, for KindTorn, kills the run after the torn prefix is persisted
+	// instead of returning an error from the write.
+	Crash bool
+	// Delay is the KindDelay sleep.
+	Delay time.Duration
+}
+
+type arm struct {
+	act   Action
+	hits  int
+	fired int
+}
+
+// Event records one fault that fired, for replay auditing.
+type Event struct {
+	Point Point
+	Kind  Kind
+	// Hit is the 1-based matching-hit number at which the action fired.
+	Hit int
+}
+
+// Injector holds the armed faults of one run. A nil *Injector is valid and
+// injects nothing, so production paths carry it unconditionally. All methods
+// are safe for concurrent use.
+type Injector struct {
+	seed int64
+
+	mu    sync.Mutex
+	arms  map[Point]*arm
+	trace []Event
+}
+
+// NewInjector creates an empty injector. The seed is not consumed by the
+// injector itself — it names the schedule that armed it, and is echoed by
+// Seed so every failure a harness injects is replayable from a logged seed.
+func NewInjector(seed int64) *Injector {
+	return &Injector{seed: seed, arms: make(map[Point]*arm)}
+}
+
+// Seed returns the schedule seed the injector was created with.
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Arm installs (or replaces) the action at point p.
+func (in *Injector) Arm(p Point, act Action) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.arms[p] = &arm{act: act}
+}
+
+// Disarm removes the action at p.
+func (in *Injector) Disarm(p Point) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.arms, p)
+}
+
+// DisarmAll removes every armed action (the trace is retained).
+func (in *Injector) DisarmAll() {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.arms = make(map[Point]*arm)
+}
+
+// Trace returns the faults that fired, in order.
+func (in *Injector) Trace() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.trace...)
+}
+
+// Fired reports how many times any action fired at p.
+func (in *Injector) Fired(p Point) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, e := range in.trace {
+		if e.Point == p {
+			n++
+		}
+	}
+	return n
+}
+
+// take consumes one matching hit at p: it counts the visit and returns the
+// armed action if it is of one of the wanted kinds and due to fire.
+func (in *Injector) take(p Point, kinds ...Kind) (Action, bool) {
+	if in == nil {
+		return Action{}, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	a := in.arms[p]
+	if a == nil {
+		return Action{}, false
+	}
+	match := false
+	for _, k := range kinds {
+		if a.act.Kind == k {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return Action{}, false
+	}
+	a.hits++
+	if a.hits <= a.act.After {
+		return Action{}, false
+	}
+	times := a.act.Times
+	if times == 0 {
+		times = 1
+	}
+	if times > 0 && a.fired >= times {
+		return Action{}, false
+	}
+	a.fired++
+	in.trace = append(in.trace, Event{Point: p, Kind: a.act.Kind, Hit: a.hits})
+	return a.act, true
+}
+
+// Hit is the generic crash-point site: it kills the run (panics with
+// Crash{p}) when a KindCrash action is due at p, and sleeps when a KindDelay
+// action is due. Nil-safe.
+func (in *Injector) Hit(p Point) {
+	act, ok := in.take(p, KindCrash, KindDelay)
+	if !ok {
+		return
+	}
+	switch act.Kind {
+	case KindCrash:
+		panic(Crash{Point: p})
+	case KindDelay:
+		time.Sleep(act.Delay)
+	}
+}
+
+// Err returns the injected error when a KindError action is due at p, nil
+// otherwise. The result always matches errors.Is(err, ErrInjected), and also
+// matches the armed Err (e.g. device.ErrFailed) when one was set.
+func (in *Injector) Err(p Point) error {
+	act, ok := in.take(p, KindError)
+	if !ok {
+		return nil
+	}
+	if act.Err != nil {
+		return fmt.Errorf("fault: injected at %s: %w", p, errors.Join(ErrInjected, act.Err))
+	}
+	return fmt.Errorf("fault: injected at %s: %w", p, ErrInjected)
+}
+
+// Torn reports a due torn-write action at p: the site must persist only
+// frags fragments of the write, then call CrashNow (crash true) or fail the
+// operation (crash false).
+func (in *Injector) Torn(p Point) (frags int, crash bool, ok bool) {
+	act, taken := in.take(p, KindTorn)
+	if !taken {
+		return 0, false, false
+	}
+	return act.Frags, act.Crash, true
+}
+
+// Delay returns the injected delay when a KindDelay action is due at p, for
+// sites that must compare the delay against a deadline instead of sleeping.
+func (in *Injector) Delay(p Point) time.Duration {
+	act, ok := in.take(p, KindDelay)
+	if !ok {
+		return 0
+	}
+	return act.Delay
+}
+
+// CrashNow unconditionally kills the run at p — used by sites after they
+// have honored a torn write's persisted prefix.
+func CrashNow(p Point) {
+	panic(Crash{Point: p})
+}
+
+// Run executes fn, recovering an injected crash: crashed is non-nil when a
+// Crash panic killed fn (err is then meaningless), and err is fn's own error
+// otherwise. Panics other than Crash propagate.
+func Run(fn func() error) (crashed *Crash, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c, ok := r.(Crash)
+			if !ok {
+				panic(r)
+			}
+			crashed = &c
+			err = nil
+		}
+	}()
+	err = fn()
+	return crashed, err
+}

@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/diskservice"
+	"repro/internal/fault"
 	"repro/internal/freespace"
 	"repro/internal/metrics"
 	"repro/internal/simclock"
@@ -77,6 +78,14 @@ var (
 	ErrBadDisk = errors.New("parity: bad disk index")
 )
 
+// ErrDoubleFailure reports that a second distinct disk failed while the
+// array was already degraded (or mid-rebuild). The stripes' data is no
+// longer representable, so the failure is permanent: every subsequent
+// operation fails with this error rather than serving reconstructions from
+// a stale watermark. It wraps ErrTooManyFailures, so existing checks keep
+// matching.
+var ErrDoubleFailure = fmt.Errorf("%w: second distinct disk failed; array data lost", ErrTooManyFailures)
+
 // Config configures an Array.
 type Config struct {
 	// ID identifies the array as a storage backend.
@@ -93,6 +102,9 @@ type Config struct {
 	// Overlap, when set, brackets multi-disk fan-outs so overlap-aware
 	// virtual time credits the parallelism (see simclock.Group). Optional.
 	Overlap simclock.Batcher
+	// Fault is the fault injector consulted at the rebuild crash points.
+	// Optional; nil injects nothing.
+	Fault *fault.Injector
 }
 
 // Array is a rotating-parity striped layout over K+1 disk services,
@@ -114,6 +126,7 @@ type Array struct {
 	base       []int // first region fragment on each disk
 	failed     int   // index of the failed disk, -1 when healthy
 	rebuilding bool  // a replacement is installed and being synced
+	dead       bool  // a second distinct disk failed: data is lost
 
 	// watermark is the rebuild progress: stripes below it are in sync on
 	// the replacement disk. Only meaningful while rebuilding.
@@ -121,6 +134,8 @@ type Array struct {
 
 	rebuildMu   sync.Mutex // serializes rebuild steppers
 	stripeLocks [stripeLockCount]sync.Mutex
+
+	fault *fault.Injector
 }
 
 // New builds an array over the given disk servers, claiming the striped
@@ -143,6 +158,7 @@ func New(cfg Config) (*Array, error) {
 		unit:    unit,
 		met:     cfg.Metrics,
 		overlap: cfg.Overlap,
+		fault:   cfg.Fault,
 		disks:   append([]*diskservice.Server(nil), cfg.Disks...),
 		base:    make([]int, len(cfg.Disks)),
 		failed:  -1,
@@ -309,7 +325,8 @@ func (a *Array) snapshot() (disks []*diskservice.Server, failed int, rebuilding 
 }
 
 // noteFailure records that disk d was observed failing. It returns true if
-// the array can continue (d is the only failure), false on a second failure.
+// the array can continue (d is the only failure); a second distinct failure
+// marks the array dead and returns false.
 func (a *Array) noteFailure(d int) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
@@ -327,18 +344,41 @@ func (a *Array) noteFailure(d int) bool {
 		}
 		return true
 	default:
+		a.dead = true
 		return false
 	}
 }
 
+// markDead records a second distinct failure observed without going through
+// noteFailure (a survivor dying inside a reconstruction fan-out).
+func (a *Array) markDead() {
+	a.mu.Lock()
+	a.dead = true
+	a.mu.Unlock()
+}
+
+// alive returns ErrDoubleFailure once the array has seen two distinct
+// failures; operations call it at entry so none serve data (or reconstruct
+// from a stale watermark) after the array is lost.
+func (a *Array) alive() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.dead {
+		return ErrDoubleFailure
+	}
+	return nil
+}
+
 // MarkFailed declares disk i failed (e.g. fault injection noticed out of
 // band). Subsequent reads of its units reconstruct by XOR; writes skip it.
+// A second distinct failure — including one during an in-flight rebuild —
+// returns ErrDoubleFailure and permanently fails the array.
 func (a *Array) MarkFailed(i int) error {
 	if i < 0 || i >= a.n {
 		return ErrBadDisk
 	}
 	if !a.noteFailure(i) {
-		return ErrTooManyFailures
+		return ErrDoubleFailure
 	}
 	return nil
 }
@@ -445,6 +485,9 @@ func (a *Array) Get(addr, n int, opts diskservice.GetOptions) ([]byte, error) {
 	if err := a.checkSpan(addr, n); err != nil {
 		return nil, err
 	}
+	if err := a.alive(); err != nil {
+		return nil, err
+	}
 	out := make([]byte, n*FragmentSize)
 	if err := a.readSpans(out, a.planSpans(addr, n), opts, 0); err != nil {
 		return nil, err
@@ -491,7 +534,7 @@ func (a *Array) readSpans(out []byte, spans []vspan, opts diskservice.GetOptions
 				data, err := srv.Get(p.phys, p.frags, opts)
 				if err != nil {
 					if errors.Is(err, device.ErrFailed) && !opts.FromStable && !a.noteFailure(d) {
-						return fmt.Errorf("%w: disk %d: %v", ErrTooManyFailures, d, err)
+						return fmt.Errorf("%w: disk %d: %v", ErrDoubleFailure, d, err)
 					}
 					return err
 				}
@@ -541,12 +584,16 @@ func (a *Array) reconstructSpan(dst []byte, sp vspan) error {
 	lk := a.stripeLock(sp.stripe)
 	lk.Lock()
 	defer lk.Unlock()
+	if err := a.alive(); err != nil {
+		return err
+	}
 	disks, failedIdx, _, _ := a.snapshot()
 	lost := a.dataDisk(sp.stripe, sp.j)
 	if failedIdx >= 0 && failedIdx != lost {
 		// A different disk is the failed one, so the "survivors" of this
 		// reconstruction would include a failed disk.
-		return ErrTooManyFailures
+		a.markDead()
+		return ErrDoubleFailure
 	}
 	for i := range dst {
 		dst[i] = 0
@@ -568,7 +615,9 @@ func (a *Array) reconstructSpan(dst []byte, sp vspan) error {
 	}
 	if err := a.fanout(tasks); err != nil {
 		if errors.Is(err, device.ErrFailed) {
-			return fmt.Errorf("%w: %v", ErrTooManyFailures, err)
+			// A survivor died while reconstructing: second distinct failure.
+			a.markDead()
+			return fmt.Errorf("%w: %v", ErrDoubleFailure, err)
 		}
 		return err
 	}

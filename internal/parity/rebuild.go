@@ -6,11 +6,22 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/diskservice"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 )
 
 // ErrNoReplacement reports a rebuild attempt with no replacement installed.
 var ErrNoReplacement = errors.New("parity: degraded with no replacement disk installed")
+
+// Fault points bracketing the per-stripe resync write. Dying before the Put
+// leaves the stripe stale on the replacement; dying after it leaves the
+// stripe synced but the watermark not advanced — either way a post-crash
+// rebuild restarted from stripe zero converges, which is what the torture
+// harness proves. Arm them with After to pick how far the rebuild gets.
+var (
+	PtRebuildBeforePut = fault.Register("parity.rebuild.before-put")
+	PtRebuildAfterPut  = fault.Register("parity.rebuild.after-put")
+)
 
 // ReplaceDisk installs srv as the replacement for the failed disk i and
 // arms the rebuild: the watermark drops to zero and every stripe is
@@ -24,6 +35,9 @@ func (a *Array) ReplaceDisk(i int, srv *diskservice.Server) error {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if a.dead {
+		return ErrDoubleFailure
+	}
 	if a.failed != i {
 		return ErrNotFailed
 	}
@@ -75,8 +89,12 @@ func (a *Array) RebuildStep(max int) (bool, error) {
 	for i := 0; i < max; i++ {
 		a.mu.Lock()
 		f, rebuilding, healthy := a.failed, a.rebuilding, a.failed < 0
+		dead := a.dead
 		disks := a.disks
 		a.mu.Unlock()
+		if dead {
+			return false, ErrDoubleFailure
+		}
 		if healthy {
 			return true, nil
 		}
@@ -125,7 +143,9 @@ func (a *Array) rebuildStripe(disks []*diskservice.Server, f, s int) error {
 	}
 	if err := a.fanout(tasks); err != nil {
 		if errors.Is(err, device.ErrFailed) {
-			return fmt.Errorf("%w: survivor failed during rebuild: %v", ErrTooManyFailures, err)
+			// A survivor died with the replacement still stale: second failure.
+			a.markDead()
+			return fmt.Errorf("%w: survivor failed during rebuild: %v", ErrDoubleFailure, err)
 		}
 		return err
 	}
@@ -134,6 +154,7 @@ func (a *Array) rebuildStripe(disks []*diskservice.Server, f, s int) error {
 			xorInto(unit, b)
 		}
 	}
+	a.fault.Hit(PtRebuildBeforePut)
 	if err := disks[f].Put(a.physAddr(f, s, 0), unit, diskservice.PutOptions{}); err != nil {
 		if errors.Is(err, device.ErrFailed) {
 			// The replacement itself died: drop back to plain degraded mode.
@@ -141,6 +162,7 @@ func (a *Array) rebuildStripe(disks []*diskservice.Server, f, s int) error {
 		}
 		return err
 	}
+	a.fault.Hit(PtRebuildAfterPut)
 	a.watermark.Store(int64(s + 1))
 	a.met.Inc(metrics.ParityRebuildStripes)
 	return nil
@@ -165,6 +187,9 @@ func (a *Array) RebuildProgress() (done, total int) {
 // K+1 units is zero — reading each stripe under its stripe lock. It returns
 // the stripes that violate the invariant. The array must be healthy.
 func (a *Array) CheckParity() ([]int, error) {
+	if err := a.alive(); err != nil {
+		return nil, err
+	}
 	disks, failed, _, _ := a.snapshot()
 	if failed >= 0 {
 		return nil, ErrDegraded

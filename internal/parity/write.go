@@ -34,6 +34,9 @@ func (a *Array) Put(addr int, data []byte, opts diskservice.PutOptions) error {
 	if err := a.checkSpan(addr, n); err != nil {
 		return err
 	}
+	if err := a.alive(); err != nil {
+		return err
+	}
 	spans := a.planSpans(addr, n)
 	if opts.Stability == diskservice.StableOnly {
 		return a.putStable(spans, data, opts)
@@ -124,7 +127,7 @@ func (a *Array) writeStripeLocked(stripe int, spans []vspan, data []byte, opts d
 func (a *Array) getNoted(srv *diskservice.Server, d, addr, frags int) ([]byte, error) {
 	b, err := srv.Get(addr, frags, diskservice.GetOptions{})
 	if err != nil && errors.Is(err, device.ErrFailed) && !a.noteFailure(d) {
-		return nil, fmt.Errorf("%w: disk %d: %v", ErrTooManyFailures, d, err)
+		return nil, fmt.Errorf("%w: disk %d: %v", ErrDoubleFailure, d, err)
 	}
 	return b, err
 }
@@ -132,7 +135,7 @@ func (a *Array) getNoted(srv *diskservice.Server, d, addr, frags int) ([]byte, e
 func (a *Array) putNoted(srv *diskservice.Server, d, addr int, data []byte, opts diskservice.PutOptions) error {
 	err := srv.Put(addr, data, opts)
 	if err != nil && errors.Is(err, device.ErrFailed) && !a.noteFailure(d) {
-		return fmt.Errorf("%w: disk %d: %v", ErrTooManyFailures, d, err)
+		return fmt.Errorf("%w: disk %d: %v", ErrDoubleFailure, d, err)
 	}
 	return err
 }

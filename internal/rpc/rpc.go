@@ -23,9 +23,17 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 )
+
+// PtSend is the fault point on the in-process transport's send path: arm it
+// with a delay to model a slow network (a delay past the caller's attempt
+// deadline executes the request but loses the response), or with an error to
+// force a drop.
+var PtSend = fault.Register("rpc.send")
 
 // Request is one message from a client to a service.
 type Request struct {
@@ -241,6 +249,14 @@ type Transport interface {
 	Close() error
 }
 
+// DeadlineTransport is implemented by transports that can bound one send
+// with an absolute I/O deadline. The Client computes the deadline fresh for
+// every attempt, so a retry never inherits the previous attempt's expired
+// deadline.
+type DeadlineTransport interface {
+	SendWithDeadline(Request, time.Time) (Response, error)
+}
+
 // FaultConfig injects network faults into the in-process transport.
 type FaultConfig struct {
 	// DropProb is the probability a message (request or its response) is
@@ -259,6 +275,7 @@ type InProc struct {
 	mu  sync.Mutex
 	rng *rand.Rand
 	cfg FaultConfig
+	inj *fault.Injector
 
 	closed bool
 }
@@ -268,10 +285,32 @@ func NewInProc(ep *Endpoint, cfg FaultConfig) *InProc {
 	return &InProc{ep: ep, rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
 }
 
-var _ Transport = (*InProc)(nil)
+var (
+	_ Transport         = (*InProc)(nil)
+	_ DeadlineTransport = (*InProc)(nil)
+)
+
+// SetInjector attaches a fault injector consulted at PtSend on every send.
+func (t *InProc) SetInjector(in *fault.Injector) {
+	t.mu.Lock()
+	t.inj = in
+	t.mu.Unlock()
+}
 
 // Send delivers the request, possibly duplicating or dropping it.
 func (t *InProc) Send(req Request) (Response, error) {
+	return t.send(req, time.Time{})
+}
+
+// SendWithDeadline is Send bounded by an absolute deadline: an injected
+// delay that would run past the deadline still delivers the request (the
+// server executes it) but the response is lost, exactly like a network whose
+// reply outlives the caller's patience.
+func (t *InProc) SendWithDeadline(req Request, deadline time.Time) (Response, error) {
+	return t.send(req, deadline)
+}
+
+func (t *InProc) send(req Request, deadline time.Time) (Response, error) {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -279,7 +318,18 @@ func (t *InProc) Send(req Request) (Response, error) {
 	}
 	drop := t.rng.Float64() < t.cfg.DropProb
 	dup := t.rng.Float64() < t.cfg.DupProb
+	inj := t.inj
 	t.mu.Unlock()
+	if err := inj.Err(PtSend); err != nil {
+		return Response{}, errors.Join(ErrDropped, err)
+	}
+	if d := inj.Delay(PtSend); d > 0 {
+		if !deadline.IsZero() && time.Now().Add(d).After(deadline) {
+			t.ep.Handle(req)
+			return Response{}, fmt.Errorf("rpc: attempt deadline exceeded: %w", ErrDropped)
+		}
+		time.Sleep(d)
+	}
 	if dup {
 		// The network delivered an extra copy; its response is lost.
 		t.ep.Handle(req)
@@ -306,8 +356,9 @@ type Client struct {
 	met      *metrics.Set
 	retries  int
 
-	mu  sync.Mutex
-	seq uint64
+	mu             sync.Mutex
+	seq            uint64
+	attemptTimeout time.Duration
 }
 
 // NewClient creates a client with the given identity. retries bounds the
@@ -319,19 +370,40 @@ func NewClient(t Transport, clientID uint64, retries int, met *metrics.Set) *Cli
 	return &Client{t: t, clientID: clientID, retries: retries, met: met}
 }
 
+// SetAttemptTimeout bounds each individual send attempt when the transport
+// supports deadlines (DeadlineTransport). Zero (the default) leaves sends
+// unbounded.
+func (c *Client) SetAttemptTimeout(d time.Duration) {
+	c.mu.Lock()
+	c.attemptTimeout = d
+	c.mu.Unlock()
+}
+
 // Call invokes method with the encoded body, retrying lost messages.
 // Service-level failures are returned as *ServiceError.
 func (c *Client) Call(method string, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	c.seq++
 	req := Request{ClientID: c.clientID, Seq: c.seq, Method: method, Body: body}
+	timeout := c.attemptTimeout
 	c.mu.Unlock()
+	dt, hasDeadline := c.t.(DeadlineTransport)
 	var lastErr error
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			c.met.Inc(metrics.RPCRetries)
 		}
-		resp, err := c.t.Send(req)
+		var resp Response
+		var err error
+		if timeout > 0 && hasDeadline {
+			// The attempt deadline is computed fresh here, inside the retry
+			// loop: a retry issued after the first attempt timed out gets its
+			// own full window, rather than inheriting an already-expired
+			// deadline and failing instantly forever.
+			resp, err = dt.SendWithDeadline(req, time.Now().Add(timeout))
+		} else {
+			resp, err = c.t.Send(req)
+		}
 		if err != nil {
 			if errors.Is(err, ErrDropped) {
 				lastErr = err

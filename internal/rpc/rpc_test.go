@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/metrics"
 )
 
@@ -422,5 +423,115 @@ func TestTCPServerReadTimeout(t *testing.T) {
 	c := NewClient(tr, 7, 3, nil)
 	if got, err := c.Call("ping", []byte("x")); err != nil || string(got) != "echo:x" {
 		t.Fatalf("call after timeout eviction = %q, %v", got, err)
+	}
+}
+
+// deadlineRecorder is a DeadlineTransport that fails its first failures
+// attempts with ErrDropped and records the absolute deadline of every
+// attempt, proving each retry gets a fresh window.
+type deadlineRecorder struct {
+	ep        *Endpoint
+	mu        sync.Mutex
+	failures  int
+	deadlines []time.Time
+}
+
+func (d *deadlineRecorder) Send(req Request) (Response, error) {
+	return d.SendWithDeadline(req, time.Time{})
+}
+
+func (d *deadlineRecorder) SendWithDeadline(req Request, deadline time.Time) (Response, error) {
+	d.mu.Lock()
+	d.deadlines = append(d.deadlines, deadline)
+	fail := d.failures > 0
+	if fail {
+		d.failures--
+	}
+	d.mu.Unlock()
+	if fail {
+		// A real timed-out attempt burns wall clock before failing, so the
+		// next attempt's fresh deadline must be strictly later.
+		time.Sleep(time.Millisecond)
+		return Response{}, ErrDropped
+	}
+	return d.ep.Handle(req), nil
+}
+
+func (d *deadlineRecorder) Close() error { return nil }
+
+func TestRetryComputesFreshAttemptDeadline(t *testing.T) {
+	h := newCountingHandler()
+	tr := &deadlineRecorder{ep: NewEndpoint(h.handle), failures: 2}
+	c := NewClient(tr, 1, 5, nil)
+	c.SetAttemptTimeout(50 * time.Millisecond)
+	got, err := c.Call("ping", []byte("x"))
+	if err != nil || string(got) != "echo:x" {
+		t.Fatalf("Call = %q, %v", got, err)
+	}
+	tr.mu.Lock()
+	deadlines := tr.deadlines
+	tr.mu.Unlock()
+	if len(deadlines) != 3 {
+		t.Fatalf("saw %d attempts, want 3", len(deadlines))
+	}
+	for i, dl := range deadlines {
+		if dl.IsZero() {
+			t.Fatalf("attempt %d had no deadline", i)
+		}
+		if i > 0 && !dl.After(deadlines[i-1]) {
+			t.Fatalf("attempt %d deadline %v does not advance past attempt %d's %v — retry inherited a stale deadline",
+				i, dl, i-1, deadlines[i-1])
+		}
+	}
+}
+
+func TestInjectedDelayPastDeadlineRetriesEffectsOnce(t *testing.T) {
+	// An injected send delay longer than the attempt timeout executes the
+	// handler (the request arrived) but loses the response. The retry gets a
+	// fresh deadline, succeeds, and is answered from the duplicate cache —
+	// the handler must not run twice.
+	h := newCountingHandler()
+	met := metrics.NewSet()
+	ep := NewEndpoint(h.handle, WithMetrics(met))
+	tr := NewInProc(ep, FaultConfig{})
+	inj := fault.NewInjector(9)
+	tr.SetInjector(inj)
+	c := NewClient(tr, 1, 5, met)
+	c.SetAttemptTimeout(10 * time.Millisecond)
+	inj.Arm(PtSend, fault.Action{Kind: fault.KindDelay, Delay: 50 * time.Millisecond})
+	got, err := c.Call("slow", []byte("x"))
+	if err != nil || string(got) != "echo:x" {
+		t.Fatalf("Call = %q, %v", got, err)
+	}
+	if n := h.count("slow"); n != 1 {
+		t.Fatalf("handler ran %d times, want 1 (dup cache must answer the retry)", n)
+	}
+	if met.Get(metrics.RPCRetries) < 1 {
+		t.Fatal("no retry recorded")
+	}
+	if met.Get(metrics.RPCDuplicates) < 1 {
+		t.Fatal("retry was not answered from the duplicate cache")
+	}
+}
+
+func TestInjectedSendErrorIsRetried(t *testing.T) {
+	// An injected error drops the request before it reaches the endpoint;
+	// the retry delivers it and the handler runs exactly once.
+	h := newCountingHandler()
+	ep := NewEndpoint(h.handle)
+	tr := NewInProc(ep, FaultConfig{})
+	inj := fault.NewInjector(9)
+	tr.SetInjector(inj)
+	c := NewClient(tr, 1, 5, nil)
+	inj.Arm(PtSend, fault.Action{Kind: fault.KindError})
+	got, err := c.Call("drop", []byte("y"))
+	if err != nil || string(got) != "echo:y" {
+		t.Fatalf("Call = %q, %v", got, err)
+	}
+	if n := h.count("drop"); n != 1 {
+		t.Fatalf("handler ran %d times, want 1", n)
+	}
+	if inj.Fired(PtSend) != 1 {
+		t.Fatalf("injector fired %d times, want 1", inj.Fired(PtSend))
 	}
 }

@@ -142,7 +142,10 @@ type TCPTransport struct {
 	closed bool
 }
 
-var _ Transport = (*TCPTransport)(nil)
+var (
+	_ Transport         = (*TCPTransport)(nil)
+	_ DeadlineTransport = (*TCPTransport)(nil)
+)
 
 // DialTCP connects to a TCPServer.
 func DialTCP(addr string, opts ...TCPOption) (*TCPTransport, error) {
@@ -171,6 +174,25 @@ func (t *TCPTransport) reconnectLocked() error {
 // re-dialed once and surfaces as ErrDropped so the Client's retry (and the
 // server's duplicate cache) provide the exactly-once behaviour.
 func (t *TCPTransport) Send(req Request) (Response, error) {
+	return t.send(req, time.Time{})
+}
+
+// SendWithDeadline is Send with an explicit absolute deadline on this
+// attempt's reads and writes, overriding the configured per-operation
+// timeout.
+func (t *TCPTransport) SendWithDeadline(req Request, deadline time.Time) (Response, error) {
+	return t.send(req, deadline)
+}
+
+// send issues one request. A zero override falls back to the per-operation
+// deadline derived from WithIOTimeout at each read/write.
+func (t *TCPTransport) send(req Request, override time.Time) (Response, error) {
+	deadline := func() time.Time {
+		if !override.IsZero() {
+			return override
+		}
+		return t.opts.deadline()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.closed {
@@ -181,7 +203,7 @@ func (t *TCPTransport) Send(req Request) (Response, error) {
 			return Response{}, errors.Join(ErrDropped, err)
 		}
 	}
-	if err := t.conn.SetWriteDeadline(t.opts.deadline()); err != nil {
+	if err := t.conn.SetWriteDeadline(deadline()); err != nil {
 		t.dropConnLocked()
 		return Response{}, errors.Join(ErrDropped, err)
 	}
@@ -189,7 +211,7 @@ func (t *TCPTransport) Send(req Request) (Response, error) {
 		t.dropConnLocked()
 		return Response{}, errors.Join(ErrDropped, err)
 	}
-	if err := t.conn.SetReadDeadline(t.opts.deadline()); err != nil {
+	if err := t.conn.SetReadDeadline(deadline()); err != nil {
 		t.dropConnLocked()
 		return Response{}, errors.Join(ErrDropped, err)
 	}

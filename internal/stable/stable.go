@@ -22,12 +22,28 @@ import (
 	"sync"
 
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/freespace"
 	"repro/internal/metrics"
 )
 
 // ErrClosed reports use of a store after Close.
 var ErrClosed = errors.New("stable: store closed")
+
+// Fault points in the careful-write sequence. The crash points bracket the
+// two mirror writes — dying between them is the classic stable-storage
+// divergence that Recover's primary-wins rule heals — and the per-disk
+// points take torn-write and error injections. The deferred points cover the
+// background worker; they are error-only sites (the worker goroutine is not
+// the harness's, so it must never be crash-armed).
+var (
+	PtWriteBeforePrimary = fault.Register("stable.write.before-primary")
+	PtWriteAfterPrimary  = fault.Register("stable.write.after-primary")
+	PtWritePrimary       = fault.Register("stable.write.primary")
+	PtWriteMirror        = fault.Register("stable.write.mirror")
+	PtDeferredPrimary    = fault.Register("stable.deferred.primary")
+	PtDeferredMirror     = fault.Register("stable.deferred.mirror")
+)
 
 // Store is a mirrored stable store. It is safe for concurrent use.
 type Store struct {
@@ -43,7 +59,9 @@ type Store struct {
 	loopWG  sync.WaitGroup
 
 	errMu   sync.Mutex
-	lastErr error // first error from a deferred write
+	lastErr error // first unobserved error from a deferred write
+
+	fault *fault.Injector
 }
 
 type deferred struct {
@@ -56,6 +74,10 @@ type Option func(*Store)
 
 // WithMetrics sets the metric set receiving stable-write counters.
 func WithMetrics(s *metrics.Set) Option { return func(st *Store) { st.met = s } }
+
+// WithFault attaches a fault injector to the store's write paths. A nil
+// injector is valid and injects nothing.
+func WithFault(in *fault.Injector) Option { return func(st *Store) { st.fault = in } }
 
 // NewStore creates a stable store over two drives of identical geometry.
 // Close must be called to stop the deferred-write worker.
@@ -111,19 +133,48 @@ func (s *Store) Write(start int, data []byte) error {
 		return ErrClosed
 	}
 	s.mu.Unlock()
-	if err := s.primary.WriteFragments(start, data); err != nil {
+	s.fault.Hit(PtWriteBeforePrimary)
+	if err := s.writeDisk(s.primary, PtWritePrimary, start, data); err != nil {
 		return fmt.Errorf("stable: primary write: %w", err)
 	}
-	if err := s.mirror.WriteFragments(start, data); err != nil {
+	s.fault.Hit(PtWriteAfterPrimary)
+	if err := s.writeDisk(s.mirror, PtWriteMirror, start, data); err != nil {
 		return fmt.Errorf("stable: mirror write: %w", err)
 	}
 	s.met.Inc(metrics.StableWrites)
 	return nil
 }
 
+// writeDisk performs one careful write to a single mirror, honoring any
+// fault armed at p: an injected error fails the write outright; a torn-write
+// action persists only the armed fragment prefix and then either kills the
+// run or fails the call, modeling a write interrupted by a crash or a drive
+// dropping power mid-transfer.
+func (s *Store) writeDisk(d *device.Disk, p fault.Point, start int, data []byte) error {
+	if err := s.fault.Err(p); err != nil {
+		return err
+	}
+	if frags, crash, ok := s.fault.Torn(p); ok {
+		n := len(data) / device.FragmentSize
+		if frags > n {
+			frags = n
+		}
+		if frags > 0 {
+			if err := d.WriteFragments(start, data[:frags*device.FragmentSize]); err != nil {
+				return err
+			}
+		}
+		if crash {
+			fault.CrashNow(p)
+		}
+		return fmt.Errorf("torn write at %d (%d/%d fragments): %w", start, frags, n, fault.ErrInjected)
+	}
+	return d.WriteFragments(start, data)
+}
+
 // WriteDeferred queues data for stable write and returns immediately — the
 // "call returned before saving on stable storage" flavour of put-block (§4).
-// The data slice is copied. Errors surface from Flush or Close.
+// The data slice is copied. Errors surface from Barrier, Flush or Close.
 func (s *Store) WriteDeferred(start int, data []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -152,10 +203,10 @@ func (s *Store) deferLoop() {
 }
 
 func (s *Store) writeBoth(start int, data []byte) error {
-	if err := s.primary.WriteFragments(start, data); err != nil {
+	if err := s.writeDisk(s.primary, PtDeferredPrimary, start, data); err != nil {
 		return fmt.Errorf("stable: primary write: %w", err)
 	}
-	if err := s.mirror.WriteFragments(start, data); err != nil {
+	if err := s.writeDisk(s.mirror, PtDeferredMirror, start, data); err != nil {
 		return fmt.Errorf("stable: mirror write: %w", err)
 	}
 	s.met.Inc(metrics.StableWrites)
@@ -163,12 +214,28 @@ func (s *Store) writeBoth(start int, data []byte) error {
 }
 
 // Flush waits for all deferred writes to reach both mirrors and returns the
-// first deferred-write error, if any.
+// first deferred-write error, if any. The error stays recorded, so every
+// later Flush or Close reports it too.
 func (s *Store) Flush() error {
 	s.pending.Wait()
 	s.errMu.Lock()
 	defer s.errMu.Unlock()
 	return s.lastErr
+}
+
+// Barrier waits for every deferred write queued so far to reach both
+// mirrors and returns the first deferred-write error since the last
+// Barrier, consuming it. A sync path that calls Barrier therefore cannot
+// complete over a silently failed deferred write, and a retry after the
+// caller repairs the fault starts clean. Flush and Close, by contrast,
+// leave the error recorded.
+func (s *Store) Barrier() error {
+	s.pending.Wait()
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	err := s.lastErr
+	s.lastErr = nil
+	return err
 }
 
 // Read returns n fragments starting at start. It reads the primary and, on
@@ -207,8 +274,10 @@ type RecoveryReport struct {
 // Recover reconciles the two mirrors after a crash, scanning track by track.
 // It implements the stable-storage recovery rule: restore an unreadable copy
 // from its twin; when both copies are readable but differ, the primary —
-// written first — wins.
+// written first — wins. Deferred writes still in flight are waited out first,
+// so the scan sees a quiescent pair.
 func (s *Store) Recover() (RecoveryReport, error) {
+	s.pending.Wait()
 	var rep RecoveryReport
 	geom := s.primary.Geometry()
 	for f := 0; f < geom.Capacity(); f++ {

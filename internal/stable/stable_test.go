@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 )
 
@@ -311,5 +312,102 @@ func TestStableWriteCounter(t *testing.T) {
 	}
 	if got := met.Get(metrics.StableWrites); got != 2 {
 		t.Fatalf("stable writes = %d, want 2", got)
+	}
+}
+
+func TestBarrierSurfacesAndConsumesDeferredFault(t *testing.T) {
+	p, m := newPair(t)
+	inj := fault.NewInjector(11)
+	st, err := NewStore(p, m, WithFault(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	start, err := st.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(PtDeferredMirror, fault.Action{Kind: fault.KindError, Err: device.ErrFailed})
+	if err := st.WriteDeferred(start, frag(1)); err != nil {
+		t.Fatal(err)
+	}
+	err = st.Barrier()
+	if err == nil {
+		t.Fatal("Barrier swallowed the failed deferred mirror write")
+	}
+	if !errors.Is(err, fault.ErrInjected) || !errors.Is(err, device.ErrFailed) {
+		t.Fatalf("Barrier error %v does not carry the injected cause", err)
+	}
+	// Barrier consumes the error: after the fault clears, a retry goes clean.
+	if err := st.Barrier(); err != nil {
+		t.Fatalf("second Barrier = %v, want nil (error consumed)", err)
+	}
+	if err := st.WriteDeferred(start, frag(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Barrier(); err != nil {
+		t.Fatalf("retried deferred write: %v", err)
+	}
+	for _, d := range []*device.Disk{p, m} {
+		got, err := d.ReadFragments(start, 1)
+		if err != nil || !bytes.Equal(got, frag(2)) {
+			t.Fatalf("mirror missing retried data: %v", err)
+		}
+	}
+}
+
+func TestCloseSurfacesDeferredFault(t *testing.T) {
+	p, m := newPair(t)
+	inj := fault.NewInjector(12)
+	st, err := NewStore(p, m, WithFault(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, err := st.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(PtDeferredPrimary, fault.Action{Kind: fault.KindError, Err: device.ErrFailed})
+	if err := st.WriteDeferred(start, frag(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err == nil || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Close = %v, want the deferred-write fault surfaced", err)
+	}
+}
+
+func TestSyncWriteTornPrimaryFailsWrite(t *testing.T) {
+	p, m := newPair(t)
+	inj := fault.NewInjector(13)
+	st, err := NewStore(p, m, WithFault(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	start, err := st.Allocate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := append(frag(7), frag(8)...)
+	inj.Arm(PtWritePrimary, fault.Action{Kind: fault.KindTorn, Frags: 1})
+	err = st.Write(start, data)
+	if err == nil || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("torn write = %v, want injected failure", err)
+	}
+	// The torn prefix reached the primary; the mirror was never touched —
+	// exactly the divergence Recover's primary-wins rule heals.
+	got, err := p.ReadFragments(start, 1)
+	if err != nil || !bytes.Equal(got, frag(7)) {
+		t.Fatalf("primary missing torn prefix: %v", err)
+	}
+	if got, _ := m.ReadFragments(start, 1); bytes.Equal(got, frag(7)) {
+		t.Fatal("mirror written despite torn primary")
+	}
+	rep, err := st.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DivergenceHealed == 0 && rep.MirrorRepaired == 0 {
+		t.Fatalf("recover healed nothing: %+v", rep)
 	}
 }

@@ -6,11 +6,25 @@ import (
 	"fmt"
 
 	"repro/internal/diskservice"
+	"repro/internal/fault"
 	"repro/internal/fileservice"
 	"repro/internal/fit"
 	"repro/internal/intentions"
 	"repro/internal/metrics"
 	"repro/internal/wal"
+)
+
+// Fault points along the commit sequence of §6.7. before-log is the last
+// instant at which the transaction can still vanish without trace; after-log
+// the commit record is durable but nothing is applied in place; mid-apply
+// dies between two in-place applications (arm with After to choose which);
+// after-apply dies with everything applied but locks still held and the
+// intentions list not yet retired.
+var (
+	PtCommitBeforeLog = fault.Register("txn.commit.before-log")
+	PtCommitAfterLog  = fault.Register("txn.commit.after-log")
+	PtCommitMidApply  = fault.Register("txn.commit.mid-apply")
+	PtCommitAfterApply = fault.Register("txn.commit.after-apply")
 )
 
 // End commits the transaction (tend): the intention flag moves to commit,
@@ -73,6 +87,7 @@ func (s *Service) End(id TxnID) error {
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 
+	s.fault.Hit(PtCommitBeforeLog)
 	if err := s.writeCommitRecords(t); err != nil {
 		// The commit never reached stable storage: abort cleanly.
 		s.log.DropUnsynced()
@@ -81,6 +96,7 @@ func (s *Service) End(id TxnID) error {
 	}
 	// The commit point has passed; the transaction is durably committed.
 	_ = t.list.SetStatus(intentions.Committed)
+	s.fault.Hit(PtCommitAfterLog)
 	if s.crashAfterLog {
 		// Test hook: simulate a crash between the commit point and the
 		// application of the intentions.
@@ -90,6 +106,7 @@ func (s *Service) End(id TxnID) error {
 		// Redo will finish the job at recovery; report but do not abort.
 		return fmt.Errorf("txn: committed but application incomplete (recoverable): %w", err)
 	}
+	s.fault.Hit(PtCommitAfterApply)
 	s.finish(t)
 	s.met.Inc(metrics.TxnCommitted)
 	s.maybeTruncateLog()
@@ -197,6 +214,7 @@ func (s *Service) writeCommitRecords(t *txnState) error {
 // intention records (§6.7).
 func (s *Service) applyIntentions(t *txnState) error {
 	for _, rec := range t.list.GetIntentions() {
+		s.fault.Hit(PtCommitMidApply)
 		if err := s.applyOne(uint64(t.id), rec); err != nil {
 			return err
 		}

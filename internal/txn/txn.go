@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/diskservice"
+	"repro/internal/fault"
 	"repro/internal/fileservice"
 	"repro/internal/fit"
 	"repro/internal/intentions"
@@ -98,6 +99,9 @@ type Config struct {
 	// ForceTechnique, when nonzero, overrides the §6.7 contiguity rule and
 	// commits every page intention with the given technique (ablation E8).
 	ForceTechnique intentions.Technique
+	// Fault is the fault injector consulted at the commit sequence's crash
+	// points. Optional; nil injects nothing.
+	Fault *fault.Injector
 }
 
 // txnFile is a transaction's view of one open file.
@@ -167,6 +171,8 @@ type Service struct {
 	// crashAfterLog is a test hook: End stops right after the commit record
 	// is durable, as if the machine crashed before applying intentions.
 	crashAfterLog bool
+
+	fault *fault.Injector
 }
 
 // New creates a transaction service.
@@ -188,6 +194,7 @@ func New(cfg Config) (*Service, error) {
 		defLevel:    level,
 		adaptive:    cfg.AdaptiveDefault,
 		force:       cfg.ForceTechnique,
+		fault:       cfg.Fault,
 		txns:        make(map[TxnID]*txnState),
 		fileUse:     make(map[FileID]int),
 		openFreq:    make(map[FileID]int),

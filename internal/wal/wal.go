@@ -19,7 +19,17 @@ import (
 	"hash/crc32"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/stable"
+)
+
+// Fault points bracketing the Sync write. Dying before the write loses the
+// buffered records (they were never durable); dying after it leaves a fully
+// durable tail that Replay picks up even though the in-memory watermarks
+// were never advanced.
+var (
+	PtSyncBeforeWrite = fault.Register("wal.sync.before-write")
+	PtSyncAfterWrite  = fault.Register("wal.sync.after-write")
 )
 
 // RecordType discriminates log records.
@@ -101,19 +111,32 @@ type Log struct {
 	// point (which may have consecutive LSNs) are recognizable: a valid log
 	// has non-decreasing generations.
 	gen uint32
+
+	fault *fault.Injector
 }
+
+// Option configures a Log.
+type Option func(*Log)
+
+// WithFault attaches a fault injector to the Sync path. A nil injector is
+// valid and injects nothing.
+func WithFault(in *fault.Injector) Option { return func(l *Log) { l.fault = in } }
 
 // Open attaches to the log region [start, start+frags) of store. The region
 // must already be allocated by the caller. Open does not read the region;
 // call Replay to process existing records, or Reset to start clean.
-func Open(store *stable.Store, start, frags int) (*Log, error) {
+func Open(store *stable.Store, start, frags int, opts ...Option) (*Log, error) {
 	if store == nil {
 		return nil, errors.New("wal: nil store")
 	}
 	if frags <= 0 || start < 0 || start+frags > store.Capacity() {
 		return nil, fmt.Errorf("wal: invalid region [%d,%d) of %d", start, start+frags, store.Capacity())
 	}
-	return &Log{store: store, start: start, frags: frags, gen: 1, buf: make([]byte, frags*fragSize)}, nil
+	l := &Log{store: store, start: start, frags: frags, gen: 1, buf: make([]byte, frags*fragSize)}
+	for _, o := range opts {
+		o(l)
+	}
+	return l, nil
 }
 
 // Capacity returns the region size in bytes.
@@ -157,19 +180,35 @@ func (l *Log) Append(rec Record) (uint64, error) {
 }
 
 // Sync writes every buffered fragment that changed since the last Sync to
-// stable storage, waiting for both mirrors.
+// stable storage, waiting for both mirrors. It also acts as a barrier for
+// the store's deferred writes, so a commit point cannot complete over a
+// silently failed background write.
+//
+// Sync is failure-atomic: on any error the synced/lsnSynced watermarks are
+// left untouched, so a retry rewrites the whole possibly-torn fragment range
+// from its start rather than resuming past a partial write.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.off == l.synced {
+		// Nothing of ours to write, but still surface deferred-write errors
+		// the store may be sitting on.
+		if err := l.store.Barrier(); err != nil {
+			return fmt.Errorf("wal: sync: deferred stable write: %w", err)
+		}
 		return nil
 	}
+	l.fault.Hit(PtSyncBeforeWrite)
 	firstFrag := l.synced / fragSize
 	lastFrag := (l.off - 1) / fragSize
 	data := l.buf[firstFrag*fragSize : (lastFrag+1)*fragSize]
 	if err := l.store.Write(l.start+firstFrag, data); err != nil {
 		return fmt.Errorf("wal: sync: %w", err)
 	}
+	if err := l.store.Barrier(); err != nil {
+		return fmt.Errorf("wal: sync: deferred stable write: %w", err)
+	}
+	l.fault.Hit(PtSyncAfterWrite)
 	l.synced = l.off
 	l.lsnSynced = l.lsn
 	return nil

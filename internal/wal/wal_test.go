@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/stable"
 )
 
@@ -293,5 +294,127 @@ func TestReplayPrimesAppendState(t *testing.T) {
 	}
 	if len(got) != 2 || got[1] != "two" {
 		t.Fatalf("replay = %v", got)
+	}
+}
+
+// faultLog is newLogStart over a store carrying a fault injector.
+func faultLog(t *testing.T, frags int, inj *fault.Injector) (*Log, *stable.Store, int) {
+	t.Helper()
+	g := device.Geometry{FragmentsPerTrack: 8, Tracks: 8}
+	p, err := device.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := device.New(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stable.NewStore(p, m, stable.WithFault(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st.Close() })
+	start, err := st.Allocate(frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(st, start, frags, WithFault(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, st, start
+}
+
+// replayTxns opens a fresh Log over the same region (a reboot's view of the
+// stable media) and returns the transaction of every valid record.
+func replayTxns(t *testing.T, st *stable.Store, start, frags int) []uint64 {
+	t.Helper()
+	l, err := Open(st, start, frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txns []uint64
+	if err := l.Replay(func(r Record) error {
+		txns = append(txns, r.Txn)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return txns
+}
+
+func TestSyncFailureAtomicUnderTornWrite(t *testing.T) {
+	inj := fault.NewInjector(21)
+	l, st, start := faultLog(t, 4, inj)
+
+	// Transaction 1 syncs cleanly.
+	if _, err := l.Append(upd(1, 0, "one")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Type: RecCommit, Txn: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transaction 2 spans fragments; its sync dies in a torn primary write.
+	big := make([]byte, 3000)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if _, err := l.Append(Record{Type: RecUpdate, Txn: 2, File: 1, Data: big}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(Record{Type: RecCommit, Txn: 2}); err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(stable.PtWritePrimary, fault.Action{Kind: fault.KindTorn, Frags: 1})
+	err := l.Sync()
+	if err == nil || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Sync over torn write = %v, want injected failure", err)
+	}
+
+	// A reboot now replays only transaction 1: the log ends at the first
+	// record the torn write cut short.
+	got := replayTxns(t, st, start, 4)
+	want := []uint64{1, 1}
+	if len(got) != len(want) || got[0] != 1 || got[1] != 1 {
+		t.Fatalf("replay after torn sync = %v, want %v (txn 2 truncated)", got, want)
+	}
+
+	// Failure-atomic: the watermarks did not advance, so a retry rewrites the
+	// whole torn range and the records become durable.
+	inj.DisarmAll()
+	if err := l.Sync(); err != nil {
+		t.Fatalf("retry Sync = %v", err)
+	}
+	got = replayTxns(t, st, start, 4)
+	if len(got) != 4 || got[2] != 2 || got[3] != 2 {
+		t.Fatalf("replay after retried sync = %v, want txn 2 present", got)
+	}
+}
+
+func TestSyncSurfacesDeferredStoreError(t *testing.T) {
+	inj := fault.NewInjector(22)
+	l, st, _ := faultLog(t, 2, inj)
+
+	// A deferred write elsewhere on the store fails in the background; the
+	// next commit-point Sync must refuse to complete over it, even with no
+	// log bytes of its own to write.
+	other, err := st.Allocate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm(stable.PtDeferredMirror, fault.Action{Kind: fault.KindError, Err: device.ErrFailed})
+	if err := st.WriteDeferred(other, make([]byte, device.FragmentSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err == nil || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Sync = %v, want the deferred-store error surfaced", err)
+	}
+	// Barrier consumed the error; with the fault gone the commit point clears.
+	if err := l.Sync(); err != nil {
+		t.Fatalf("Sync after fault cleared = %v", err)
 	}
 }
