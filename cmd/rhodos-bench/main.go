@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // jsonTable is the machine-readable form of one experiment's table.
@@ -31,6 +32,9 @@ type jsonTable struct {
 	Rows      [][]string `json:"rows"`
 	Notes     []string   `json:"notes,omitempty"`
 	ElapsedMS int64      `json:"elapsed_ms"`
+	// Profile carries the per-layer latency breakdown for experiments
+	// that run traced (E16).
+	Profile *obs.Profile `json:"profile,omitempty"`
 }
 
 func main() {
@@ -82,7 +86,7 @@ func run() int {
 		results = append(results, jsonTable{
 			ID: tbl.ID, Title: tbl.Title, Claim: tbl.Claim,
 			Columns: tbl.Columns, Rows: tbl.Rows, Notes: tbl.Notes,
-			ElapsedMS: elapsed.Milliseconds(),
+			ElapsedMS: elapsed.Milliseconds(), Profile: tbl.Profile,
 		})
 	}
 	if *jsonOut != "" {

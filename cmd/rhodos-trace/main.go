@@ -2,13 +2,21 @@
 // and reports the resulting operation and cache profile — a quick way to see
 // how the design behaves under a given file-size mix and access pattern.
 //
+// The workload is driven through a client file agent (client cache disabled)
+// so every operation descends the full Figure-1 stack and the observability
+// recorder captures a per-layer latency breakdown.
+//
 // Usage:
 //
 //	rhodos-trace -files 200 -ops 5000 -readfrac 0.8 -dist office
 //	rhodos-trace -dist exp -mean 32768 -seq
+//	rhodos-trace -profile            # per-layer p50/p95/p99 table
+//	rhodos-trace -profile -json      # machine-readable run + profile
+//	rhodos-trace -spans 3            # dump the 3 most recent span trees
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -17,14 +25,35 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/device"
-	"repro/internal/fileservice"
 	"repro/internal/fit"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/workload"
 )
 
 func main() {
 	os.Exit(run())
+}
+
+// traceResult is the machine-readable form of one rhodos-trace run (-json).
+// All durations are nanoseconds.
+type traceResult struct {
+	Files          int              `json:"files"`
+	Dist           string           `json:"dist"`
+	Ops            int              `json:"ops"`
+	ReadFrac       float64          `json:"read_frac"`
+	OpSize         int              `json:"op_size"`
+	Sequential     bool             `json:"sequential"`
+	Disks          int              `json:"disks"`
+	PopulateWallNS int64            `json:"populate_wall_ns"`
+	DriveWallNS    int64            `json:"drive_wall_ns"`
+	SimTimeNS      int64            `json:"sim_time_ns"`
+	DiskRefs       int64            `json:"disk_refs"`
+	ServerHitRate  float64          `json:"server_hit_rate"`
+	TrackHitRate   float64          `json:"track_hit_rate"`
+	Counters       map[string]int64 `json:"counters"`
+	Profile        *obs.Profile     `json:"profile,omitempty"`
+	Spans          []*obs.SpanData  `json:"spans,omitempty"`
 }
 
 func run() int {
@@ -37,6 +66,9 @@ func run() int {
 	seq := flag.Bool("seq", false, "sequential access within files")
 	seed := flag.Int64("seed", 1, "workload seed")
 	disks := flag.Int("disks", 1, "number of disks")
+	profile := flag.Bool("profile", false, "print the per-layer latency profile")
+	spans := flag.Int("spans", 0, "dump the N most recent completed span trees")
+	jsonOut := flag.Bool("json", false, "emit the run summary, counters and profile as JSON")
 	flag.Parse()
 
 	var sizeDist workload.SizeDist
@@ -53,10 +85,15 @@ func run() int {
 	}
 
 	met := metrics.NewSet()
+	rec := obs.New()
 	cluster, err := core.New(core.Config{
 		Disks:    *disks,
 		Geometry: device.Geometry{FragmentsPerTrack: 32, Tracks: 8192}, // 512 MB/disk
 		Metrics:  met,
+		// The client cache is off so every driven operation descends the
+		// full stack and the per-layer profile reflects real path costs.
+		DisableClientCache: true,
+		Obs:                rec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhodos-trace: %v\n", err)
@@ -64,25 +101,32 @@ func run() int {
 	}
 	defer func() { _ = cluster.Close() }()
 
+	m, err := cluster.NewMachine()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhodos-trace: %v\n", err)
+		return 1
+	}
+	fa, proc := m.FileAgent(), m.NewProcess()
+
 	// Populate.
 	rng := rand.New(rand.NewSource(*seed))
 	sizes := workload.FileSet(sizeDist, *files, *seed)
-	ids := make([]fileservice.FileID, 0, *files)
+	fds := make([]int, 0, *files)
 	gens := make([]*workload.AccessGen, 0, *files)
 	start := time.Now()
-	for _, size := range sizes {
-		id, err := cluster.Files.Create(fit.Attributes{})
+	for i, size := range sizes {
+		fd, err := fa.Create(proc, fmt.Sprintf("/trace/f%04d", i), fit.Attributes{})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "create: %v\n", err)
 			return 1
 		}
 		buf := make([]byte, size)
 		rng.Read(buf)
-		if _, err := cluster.Files.WriteAt(id, 0, buf); err != nil {
+		if _, err := fa.PWrite(proc, fd, 0, buf); err != nil {
 			fmt.Fprintf(os.Stderr, "populate: %v\n", err)
 			return 1
 		}
-		ids = append(ids, id)
+		fds = append(fds, fd)
 		gens = append(gens, &workload.AccessGen{
 			FileSize: int64(size), ReadFrac: *readFrac,
 			OpSize: min(*opSize, size), Sequential: *seq,
@@ -99,17 +143,17 @@ func run() int {
 	// Drive.
 	start = time.Now()
 	for i := 0; i < *ops; i++ {
-		k := rng.Intn(len(ids))
+		k := rng.Intn(len(fds))
 		a := gens[k].Next(rng)
 		if a.Read {
-			if _, err := cluster.Files.ReadAt(ids[k], a.Offset, a.Length); err != nil {
+			if _, err := fa.PRead(proc, fds[k], a.Offset, a.Length); err != nil {
 				fmt.Fprintf(os.Stderr, "read: %v\n", err)
 				return 1
 			}
 		} else {
 			buf := make([]byte, a.Length)
 			rng.Read(buf)
-			if _, err := cluster.Files.WriteAt(ids[k], a.Offset, buf); err != nil {
+			if _, err := fa.PWrite(proc, fds[k], a.Offset, buf); err != nil {
 				fmt.Fprintf(os.Stderr, "write: %v\n", err)
 				return 1
 			}
@@ -117,18 +161,65 @@ func run() int {
 	}
 	drive := time.Since(start)
 
-	refs := met.Get(metrics.DiskReferences)
+	snap := met.Snapshot()
+	refs := snap[metrics.DiskReferences]
+	serverRate := metrics.HitRate(snap[metrics.ServerCacheHit], snap[metrics.ServerCacheMiss])
+	trackRate := metrics.HitRate(snap[metrics.TrackCacheHit], snap[metrics.TrackCacheMiss])
+
+	if *jsonOut {
+		res := traceResult{
+			Files: *files, Dist: *dist, Ops: *ops, ReadFrac: *readFrac,
+			OpSize: *opSize, Sequential: *seq, Disks: *disks,
+			PopulateWallNS: populate.Nanoseconds(),
+			DriveWallNS:    drive.Nanoseconds(),
+			SimTimeNS:      met.SimTime().Nanoseconds(),
+			DiskRefs:       refs,
+			ServerHitRate:  serverRate,
+			TrackHitRate:   trackRate,
+			Counters:       snap,
+		}
+		if *profile {
+			res.Profile = rec.Profile()
+		}
+		if *spans > 0 {
+			trees := rec.Flight()
+			if len(trees) > *spans {
+				trees = trees[len(trees)-*spans:]
+			}
+			res.Spans = trees
+		}
+		out, err := json.MarshalIndent(&res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhodos-trace: %v\n", err)
+			return 1
+		}
+		fmt.Println(string(out))
+		return 0
+	}
+
 	fmt.Printf("workload : %d files (%s), %d ops (%.0f%% reads, %dB, seq=%v) on %d disk(s)\n",
 		*files, *dist, *ops, *readFrac*100, *opSize, *seq, *disks)
 	fmt.Printf("populate : %v wall\n", populate.Round(time.Millisecond))
 	fmt.Printf("drive    : %v wall, %v simulated disk time\n",
 		drive.Round(time.Millisecond), met.SimTime().Round(time.Millisecond))
 	fmt.Printf("disk refs: %d (%.3f per op)\n", refs, float64(refs)/float64(*ops))
-	fmt.Printf("caches   : server %.0f%%  track %.0f%%\n",
-		100*metrics.HitRate(met.Get(metrics.ServerCacheHit), met.Get(metrics.ServerCacheMiss)),
-		100*metrics.HitRate(met.Get(metrics.TrackCacheHit), met.Get(metrics.TrackCacheMiss)))
+	fmt.Printf("caches   : server %.0f%%  track %.0f%%\n", 100*serverRate, 100*trackRate)
 	fmt.Println("\ncounters:")
 	fmt.Print(met.String())
+	if *profile {
+		fmt.Println()
+		rec.Profile().Render(os.Stdout)
+	}
+	if *spans > 0 {
+		trees := rec.Flight()
+		if len(trees) > *spans {
+			trees = trees[len(trees)-*spans:]
+		}
+		fmt.Printf("\nmost recent span trees (%d of %d retained):\n", len(trees), len(rec.Flight()))
+		for _, tr := range trees {
+			tr.Render(os.Stdout)
+		}
+	}
 	return 0
 }
 

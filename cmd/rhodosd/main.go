@@ -5,20 +5,30 @@
 // Usage:
 //
 //	rhodosd -listen 127.0.0.1:7423 -disks 2
+//	rhodosd -debug 127.0.0.1:7480   # HTTP observability endpoints
+//
+// With -debug set, the daemon serves:
+//
+//	GET /debug/profile   per-layer latency profile (text; ?format=json)
+//	GET /debug/flight    recent + in-flight span trees and fault dumps
 //
 // Stop it with SIGINT/SIGTERM; the facility flushes and shuts down cleanly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/rpcfs"
 )
@@ -31,11 +41,14 @@ func run() int {
 	listen := flag.String("listen", "127.0.0.1:7423", "TCP listen address")
 	disks := flag.Int("disks", 1, "number of simulated data disks")
 	tracks := flag.Int("tracks", 4096, "tracks per disk (32 fragments each; 4096 = 256MB)")
+	debug := flag.String("debug", "", "HTTP listen address for /debug/profile and /debug/flight (empty = off)")
 	flag.Parse()
 
+	rec := obs.New()
 	cluster, err := core.New(core.Config{
 		Disks:    *disks,
 		Geometry: device.Geometry{FragmentsPerTrack: 32, Tracks: *tracks},
+		Obs:      rec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhodosd: building cluster: %v\n", err)
@@ -48,7 +61,7 @@ func run() int {
 	}()
 
 	srv := &rpcfs.Server{Files: cluster.Files, Naming: cluster.Naming}
-	ep := rpc.NewEndpoint(srv.Handler(), rpc.WithMetrics(cluster.Metrics))
+	ep := rpc.NewEndpoint(srv.Handler(), rpc.WithMetrics(cluster.Metrics), rpc.WithObs(rec))
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhodosd: listen: %v\n", err)
@@ -58,10 +71,89 @@ func run() int {
 	defer func() { _ = tcpSrv.Close() }()
 	fmt.Printf("rhodosd: serving %d disk(s) on %s\n", *disks, tcpSrv.Addr())
 
+	if *debug != "" {
+		dln, err := net.Listen("tcp", *debug)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhodosd: debug listen: %v\n", err)
+			return 1
+		}
+		httpSrv := &http.Server{Handler: debugMux(rec)}
+		go func() { _ = httpSrv.Serve(dln) }()
+		defer func() { _ = httpSrv.Close() }()
+		fmt.Printf("rhodosd: debug endpoints on http://%s/debug/profile\n", dln.Addr())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\nrhodosd: shutting down")
 	fmt.Print(cluster.Metrics.String())
 	return 0
+}
+
+// debugMux serves the observability endpoints: the per-layer latency
+// profile and the flight recorder's span trees.
+func debugMux(rec *obs.Recorder) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/profile", func(w http.ResponseWriter, r *http.Request) {
+		p := rec.Profile()
+		if wantsJSON(r) {
+			data, err := p.JSON()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(append(data, '\n'))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		p.Render(w)
+	})
+	mux.HandleFunc("GET /debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		trees, inFlight, dumps := rec.Flight(), rec.InFlight(), rec.FaultDumps()
+		if wantsJSON(r) {
+			out := struct {
+				Trees      []*obs.SpanData  `json:"trees"`
+				InFlight   []*obs.SpanData  `json:"in_flight,omitempty"`
+				FaultDumps []*obs.FaultDump `json:"fault_dumps,omitempty"`
+			}{trees, inFlight, dumps}
+			data, err := json.MarshalIndent(&out, "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(append(data, '\n'))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "flight recorder: %d retained tree(s), %d in flight, %d fault dump(s)\n",
+			len(trees), len(inFlight), len(dumps))
+		for _, tr := range trees {
+			tr.Render(w)
+		}
+		if len(inFlight) > 0 {
+			fmt.Fprintln(w, "in flight:")
+			for _, tr := range inFlight {
+				tr.Render(w)
+			}
+		}
+		for i, d := range dumps {
+			fmt.Fprintf(w, "fault dump %d: point=%s kind=%s\n", i, d.Point, d.Kind)
+			for _, tr := range d.InFlight {
+				tr.Render(w)
+			}
+		}
+	})
+	return mux
+}
+
+// wantsJSON reports whether the request asked for a JSON response, either
+// via ?format=json or an Accept header.
+func wantsJSON(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "json" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/json")
 }

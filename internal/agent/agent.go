@@ -24,6 +24,7 @@
 package agent
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/fit"
 	"repro/internal/metrics"
 	"repro/internal/naming"
+	"repro/internal/obs"
 	"repro/internal/txn"
 )
 
@@ -71,12 +73,24 @@ type FileService interface {
 
 var _ FileService = (*fileservice.Service)(nil)
 
+// fileServiceCtx is the optional trace-context form of FileService's data
+// path. *fileservice.Service provides it; the machine reaches it by type
+// assertion so FileService itself (and the RPC proxy) is unaffected.
+type fileServiceCtx interface {
+	ReadAtCtx(ctx context.Context, id fileservice.FileID, off int64, n int) ([]byte, error)
+	WriteAtCtx(ctx context.Context, id fileservice.FileID, off int64, data []byte) (int, error)
+}
+
+var _ fileServiceCtx = (*fileservice.Service)(nil)
+
 // Machine hosts one computer's agents.
 type Machine struct {
-	naming *naming.Service
-	files  FileService
-	txns   *txn.Service
-	met    *metrics.Set
+	naming   *naming.Service
+	files    FileService
+	filesCtx fileServiceCtx // non-nil when files supports trace contexts
+	txns     *txn.Service
+	met      *metrics.Set
+	obsRec   *obs.Recorder
 
 	fileAgent   *FileAgent
 	deviceAgent *DeviceAgent
@@ -101,6 +115,9 @@ type MachineConfig struct {
 	CacheBlocks int
 	// DisableClientCache turns the file agent's cache off (ablation E6).
 	DisableClientCache bool
+	// Obs receives agent-layer spans; agent calls root new span trees.
+	// Optional; nil disables tracing.
+	Obs *obs.Recorder
 }
 
 // NewMachine builds a machine with its file and device agents. The
@@ -112,7 +129,8 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	if cfg.Files == nil {
 		return nil, errors.New("agent: nil file service")
 	}
-	m := &Machine{naming: cfg.Naming, files: cfg.Files, txns: cfg.Txns, met: cfg.Metrics}
+	m := &Machine{naming: cfg.Naming, files: cfg.Files, txns: cfg.Txns, met: cfg.Metrics, obsRec: cfg.Obs}
+	m.filesCtx, _ = cfg.Files.(fileServiceCtx)
 	fa, err := newFileAgent(m, cfg)
 	if err != nil {
 		return nil, err
@@ -120,6 +138,23 @@ func NewMachine(cfg MachineConfig) (*Machine, error) {
 	m.fileAgent = fa
 	m.deviceAgent = newDeviceAgent(m)
 	return m, nil
+}
+
+// readAt routes a file-service read through the ctx-threaded path when the
+// service has one, so lower-layer spans join the agent's trace.
+func (m *Machine) readAt(ctx context.Context, id fileservice.FileID, off int64, n int) ([]byte, error) {
+	if m.filesCtx != nil {
+		return m.filesCtx.ReadAtCtx(ctx, id, off, n)
+	}
+	return m.files.ReadAt(id, off, n)
+}
+
+// writeAt is readAt's write-side counterpart.
+func (m *Machine) writeAt(ctx context.Context, id fileservice.FileID, off int64, data []byte) (int, error) {
+	if m.filesCtx != nil {
+		return m.filesCtx.WriteAtCtx(ctx, id, off, data)
+	}
+	return m.files.WriteAt(id, off, data)
 }
 
 // FileAgent returns the machine's file agent.

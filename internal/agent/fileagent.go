@@ -1,6 +1,7 @@
 package agent
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cache"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/fit"
 	"repro/internal/metrics"
 	"repro/internal/naming"
+	"repro/internal/obs"
 )
 
 // clientKey identifies a cached block in the file agent's cache.
@@ -151,9 +153,21 @@ func (a *FileAgent) PRead(p *Process, fd int, off int64, n int) ([]byte, error) 
 	return a.readAt(d.file, off, n)
 }
 
+// readAt roots a new agent-layer span tree: the agent is the top of
+// Figure 1's layering, so every file access a client makes traces from
+// here down through the services it touches.
 func (a *FileAgent) readAt(id fileservice.FileID, off int64, n int) ([]byte, error) {
+	ctx, sp := a.machine.obsRec.StartRoot(context.Background(), obs.LayerAgent, "readAt")
+	sp.SetFile(uint64(id))
+	data, err := a.readAtCtx(ctx, id, off, n)
+	sp.AddBytes(len(data))
+	sp.End(err)
+	return data, err
+}
+
+func (a *FileAgent) readAtCtx(ctx context.Context, id fileservice.FileID, off int64, n int) ([]byte, error) {
 	if a.cache == nil {
-		return a.machine.files.ReadAt(id, off, n)
+		return a.machine.readAt(ctx, id, off, n)
 	}
 	size, err := a.machine.files.Size(id)
 	if err != nil {
@@ -174,7 +188,7 @@ func (a *FileAgent) readAt(id fileservice.FileID, off int64, n int) ([]byte, err
 		key := clientKey{file: id, blk: blk}
 		data, ok := a.cache.Get(key)
 		if !ok {
-			data, err = a.machine.files.ReadAt(id, blk*fileservice.BlockSize, fileservice.BlockSize)
+			data, err = a.machine.readAt(ctx, id, blk*fileservice.BlockSize, fileservice.BlockSize)
 			if err != nil {
 				return nil, err
 			}
@@ -207,8 +221,17 @@ func (a *FileAgent) PWrite(p *Process, fd int, off int64, data []byte) (int, err
 }
 
 func (a *FileAgent) writeAt(id fileservice.FileID, off int64, data []byte) (int, error) {
+	ctx, sp := a.machine.obsRec.StartRoot(context.Background(), obs.LayerAgent, "writeAt")
+	sp.SetFile(uint64(id))
+	sp.AddBytes(len(data))
+	n, err := a.writeAtCtx(ctx, id, off, data)
+	sp.End(err)
+	return n, err
+}
+
+func (a *FileAgent) writeAtCtx(ctx context.Context, id fileservice.FileID, off int64, data []byte) (int, error) {
 	if a.cache == nil {
-		return a.machine.files.WriteAt(id, off, data)
+		return a.machine.writeAt(ctx, id, off, data)
 	}
 	if len(data) == 0 {
 		return 0, nil
@@ -234,7 +257,7 @@ func (a *FileAgent) writeAt(id fileservice.FileID, off int64, data []byte) (int,
 		if !ok {
 			buf = make([]byte, fileservice.BlockSize)
 			if blk*fileservice.BlockSize < size {
-				base, err := a.machine.files.ReadAt(id, blk*fileservice.BlockSize, fileservice.BlockSize)
+				base, err := a.machine.readAt(ctx, id, blk*fileservice.BlockSize, fileservice.BlockSize)
 				if err != nil {
 					return written, err
 				}

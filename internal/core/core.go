@@ -24,6 +24,7 @@ import (
 	"repro/internal/lock"
 	"repro/internal/metrics"
 	"repro/internal/naming"
+	"repro/internal/obs"
 	"repro/internal/parity"
 	"repro/internal/simclock"
 	"repro/internal/stable"
@@ -96,6 +97,12 @@ type Config struct {
 	// crash stays armed on the rebooted services. Optional; nil injects
 	// nothing.
 	Fault *fault.Injector
+	// Obs is the observability recorder threaded through every layer:
+	// spans, per-layer latency histograms, queue-depth gauges, and the
+	// flight recorder. Its virtual clock is bound to the cluster's makespan,
+	// and Fault (when both are set) is wired to dump the flight recorder the
+	// instant a fault fires. Optional; nil disables all tracing.
+	Obs *obs.Recorder
 }
 
 func (c *Config) fillDefaults() {
@@ -145,9 +152,22 @@ type Cluster struct {
 }
 
 // New builds a fresh cluster (all disks formatted).
+// backendCtx guarantees both storage layouts join span trees through the
+// file service's ctx-threaded path.
+var _ fileservice.BackendCtx = (*parity.Array)(nil)
+
 func New(cfg Config) (*Cluster, error) {
 	cfg.fillDefaults()
 	c := &Cluster{cfg: cfg, Metrics: cfg.Metrics, Naming: naming.NewService(), timeGroup: simclock.NewGroup()}
+	if cfg.Obs != nil {
+		cfg.Obs.SetVirtualClock(c.timeGroup.Elapsed)
+		if cfg.Fault != nil {
+			rec := cfg.Obs
+			cfg.Fault.SetObserver(func(ev fault.Event) {
+				rec.RecordFault(string(ev.Point), ev.Kind.String())
+			})
+		}
+	}
 	// Data disks, their stable mirrors, and their servers. Each disk gets a
 	// member clock of one shared group, so concurrently dispatched transfers
 	// on different disks occupy overlapping virtual intervals.
@@ -155,7 +175,7 @@ func New(cfg Config) (*Cluster, error) {
 		clk := c.timeGroup.NewMember()
 		d, err := device.New(cfg.Geometry,
 			device.WithMetrics(cfg.Metrics), device.WithClock(clk), device.WithModel(cfg.Model),
-			device.WithFault(cfg.Fault))
+			device.WithFault(cfg.Fault), device.WithObs(cfg.Obs))
 		if err != nil {
 			return nil, err
 		}
@@ -177,6 +197,7 @@ func New(cfg Config) (*Cluster, error) {
 		srv, err := diskservice.Format(diskservice.Config{
 			DiskID: i, Disk: d, Stable: st, Metrics: cfg.Metrics,
 			TrackCacheTracks: cfg.TrackCacheTracks, DisableReadAhead: cfg.DisableReadAhead,
+			Obs: cfg.Obs,
 		})
 		if err != nil {
 			return nil, err
@@ -223,6 +244,7 @@ func (c *Cluster) buildArray() error {
 		Metrics:       c.cfg.Metrics,
 		Overlap:       c.timeGroup,
 		Fault:         c.cfg.Fault,
+		Obs:           c.cfg.Obs,
 	})
 	if err != nil {
 		return fmt.Errorf("core: building parity array: %w", err)
@@ -244,6 +266,7 @@ func (c *Cluster) buildServices(fresh bool) error {
 		Stripe:           c.cfg.Stripe,
 		StripeUnitBlocks: c.cfg.StripeUnitBlocks,
 		Overlap:          c.timeGroup,
+		Obs:              c.cfg.Obs,
 	}
 	var err error
 	if fresh {
@@ -265,12 +288,13 @@ func (c *Cluster) buildServices(fresh bool) error {
 	c.locks = lock.New(lock.Config{
 		Clock: clk, LT: c.cfg.LT, MaxRenewals: c.cfg.MaxRenewals,
 		Metrics: c.cfg.Metrics, Combined: c.cfg.CombinedLockTable,
-		AllowMixedLevels: c.cfg.AllowMixedLevels,
+		AllowMixedLevels: c.cfg.AllowMixedLevels, Obs: c.cfg.Obs,
 	})
 	c.Txns, err = txn.New(txn.Config{
 		Files: c.Files, Log: c.Log, Locks: c.locks,
 		Metrics: c.cfg.Metrics, ForceTechnique: c.cfg.ForceTechnique,
 		AdaptiveDefault: c.cfg.AdaptiveLockLevel, Fault: c.cfg.Fault,
+		Obs: c.cfg.Obs,
 	})
 	return err
 }
@@ -284,8 +308,12 @@ func (c *Cluster) NewMachine() (*agent.Machine, error) {
 		Metrics:            c.cfg.Metrics,
 		CacheBlocks:        c.cfg.ClientCacheBlocks,
 		DisableClientCache: c.cfg.DisableClientCache,
+		Obs:                c.cfg.Obs,
 	})
 }
+
+// Obs returns the observability recorder, or nil when tracing is disabled.
+func (c *Cluster) Obs() *obs.Recorder { return c.cfg.Obs }
 
 // StartSweeper runs the deadlock-timeout sweeper in the background; stop it
 // with StopSweeper (or Close).
@@ -356,6 +384,7 @@ func (c *Cluster) Crash() error {
 		srv, err := diskservice.Mount(diskservice.Config{
 			DiskID: i, Disk: c.devices[i], Stable: c.stables[i], Metrics: c.cfg.Metrics,
 			TrackCacheTracks: c.cfg.TrackCacheTracks, DisableReadAhead: c.cfg.DisableReadAhead,
+			Obs: c.cfg.Obs,
 		})
 		if err != nil {
 			return fmt.Errorf("core: remounting disk %d: %w", i, err)

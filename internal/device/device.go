@@ -15,6 +15,7 @@
 package device
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,6 +23,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -146,6 +148,7 @@ type Disk struct {
 	wallFactor float64
 
 	fault *fault.Injector
+	obs   *obs.Recorder
 }
 
 // Option configures a Disk.
@@ -163,6 +166,12 @@ func WithMetrics(s *metrics.Set) Option { return func(d *Disk) { d.met = s } }
 // WithFault attaches a fault injector to the drive's read/write paths. A nil
 // injector is valid and injects nothing.
 func WithFault(in *fault.Injector) Option { return func(d *Disk) { d.fault = in } }
+
+// WithObs attaches an observability recorder: every disk reference lands in
+// the device-layer histograms (virtual time charged with the exact modeled
+// cost), and ctx-threaded calls contribute device spans to the request
+// tree. A nil recorder is valid and records nothing.
+func WithObs(r *obs.Recorder) Option { return func(d *Disk) { d.obs = r } }
 
 // New creates a drive with the given geometry. The default timing model is
 // DefaultModel and the default clock is a fresh virtual clock.
@@ -260,21 +269,45 @@ func (d *Disk) finish(cost time.Duration, seeked bool) {
 // ReadFragments reads n fragments starting at fragment address start as one
 // disk reference, returning a fresh buffer of n*FragmentSize bytes.
 func (d *Disk) ReadFragments(start, n int) ([]byte, error) {
+	return d.ReadFragmentsCtx(context.Background(), start, n)
+}
+
+// ReadFragmentsCtx is ReadFragments carrying a trace context: when the ctx
+// holds a span, the disk reference is recorded as a device-layer child span
+// with its exact modeled cost as the virtual duration.
+func (d *Disk) ReadFragmentsCtx(ctx context.Context, start, n int) ([]byte, error) {
+	if d.obs == nil {
+		buf, _, err := d.readFragments(start, n)
+		return buf, err
+	}
+	_, sp := obs.StartSpan(ctx, obs.LayerDevice, "read")
+	t0 := time.Now()
+	buf, cost, err := d.readFragments(start, n)
+	if sp != nil {
+		sp.AddBytes(len(buf))
+		sp.EndCost(cost, err)
+	} else {
+		d.obs.Observe(obs.LayerDevice, time.Since(t0), cost)
+	}
+	return buf, err
+}
+
+func (d *Disk) readFragments(start, n int) ([]byte, time.Duration, error) {
 	if err := d.checkSpan(start, n); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := d.fault.Err(PtRead); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
-		return nil, ErrFailed
+		return nil, 0, ErrFailed
 	}
 	for f := start; f < start+n; f++ {
 		if d.badFrags[f] {
 			d.mu.Unlock()
-			return nil, fmt.Errorf("%w: fragment %d", ErrMediaError, f)
+			return nil, 0, fmt.Errorf("%w: fragment %d", ErrMediaError, f)
 		}
 	}
 	cost, seeked := d.charge(start, n)
@@ -283,27 +316,50 @@ func (d *Disk) ReadFragments(start, n int) ([]byte, error) {
 	d.mu.Unlock()
 	d.finish(cost, seeked)
 	d.met.Add(metrics.DiskBytesRead, int64(n)*FragmentSize)
-	return buf, nil
+	return buf, cost, nil
 }
 
 // WriteFragments writes len(data)/FragmentSize fragments starting at fragment
 // address start as one disk reference. data must be a whole number of
 // fragments.
 func (d *Disk) WriteFragments(start int, data []byte) error {
+	return d.WriteFragmentsCtx(context.Background(), start, data)
+}
+
+// WriteFragmentsCtx is WriteFragments carrying a trace context (see
+// ReadFragmentsCtx).
+func (d *Disk) WriteFragmentsCtx(ctx context.Context, start int, data []byte) error {
+	if d.obs == nil {
+		_, err := d.writeFragments(start, data)
+		return err
+	}
+	_, sp := obs.StartSpan(ctx, obs.LayerDevice, "write")
+	t0 := time.Now()
+	cost, err := d.writeFragments(start, data)
+	if sp != nil {
+		sp.AddBytes(len(data))
+		sp.EndCost(cost, err)
+	} else {
+		d.obs.Observe(obs.LayerDevice, time.Since(t0), cost)
+	}
+	return err
+}
+
+func (d *Disk) writeFragments(start int, data []byte) (time.Duration, error) {
 	if len(data) == 0 || len(data)%FragmentSize != 0 {
-		return fmt.Errorf("%w: %d bytes is not a whole number of fragments", ErrShortWrite, len(data))
+		return 0, fmt.Errorf("%w: %d bytes is not a whole number of fragments", ErrShortWrite, len(data))
 	}
 	n := len(data) / FragmentSize
 	if err := d.checkSpan(start, n); err != nil {
-		return err
+		return 0, err
 	}
 	if err := d.fault.Err(PtWrite); err != nil {
-		return err
+		return 0, err
 	}
 	d.mu.Lock()
 	if d.failed {
 		d.mu.Unlock()
-		return ErrFailed
+		return 0, ErrFailed
 	}
 	cost, seeked := d.charge(start, n)
 	copy(d.data[start*FragmentSize:], data)
@@ -311,7 +367,7 @@ func (d *Disk) WriteFragments(start int, data []byte) error {
 	d.mu.Unlock()
 	d.finish(cost, seeked)
 	d.met.Add(metrics.DiskBytesWrite, int64(len(data)))
-	return nil
+	return cost, nil
 }
 
 // ReadTrack reads the entire track holding fragment addr as one disk
@@ -320,12 +376,17 @@ func (d *Disk) WriteFragments(start int, data []byte) error {
 // cache (§4): the service fetches what a request needs and caches the rest
 // of the track.
 func (d *Disk) ReadTrack(addr int) (data []byte, trackStart int, err error) {
+	return d.ReadTrackCtx(context.Background(), addr)
+}
+
+// ReadTrackCtx is ReadTrack carrying a trace context.
+func (d *Disk) ReadTrackCtx(ctx context.Context, addr int) (data []byte, trackStart int, err error) {
 	if err := d.checkSpan(addr, 1); err != nil {
 		return nil, 0, err
 	}
 	track := d.geom.Track(addr)
 	start := d.geom.TrackStart(track)
-	data, err = d.ReadFragments(start, d.geom.FragmentsPerTrack)
+	data, err = d.ReadFragmentsCtx(ctx, start, d.geom.FragmentsPerTrack)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -27,6 +27,7 @@
 package diskservice
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/freespace"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stable"
 )
 
@@ -118,6 +120,9 @@ type Config struct {
 	TrackCacheTracks int
 	// DisableReadAhead turns the track cache off entirely (ablation E5).
 	DisableReadAhead bool
+	// Obs receives per-request spans/latency observations and the disk's
+	// queue-depth gauge. Optional.
+	Obs *obs.Recorder
 }
 
 // Server is a disk server. It is safe for concurrent use.
@@ -127,6 +132,8 @@ type Server struct {
 	stable    *stable.Store
 	met       *metrics.Set
 	readAhead bool
+	obsRec    *obs.Recorder
+	queue     *obs.Gauge // in-flight get/put requests on this disk
 
 	mu     sync.Mutex
 	closed bool
@@ -241,6 +248,8 @@ func newServer(cfg Config) (*Server, error) {
 		stable:     cfg.Stable,
 		met:        cfg.Metrics,
 		readAhead:  !cfg.DisableReadAhead,
+		obsRec:     cfg.Obs,
+		queue:      cfg.Obs.Gauge(fmt.Sprintf("disk.%d.queue_depth", cfg.DiskID)),
 		fsmap:      fsmap,
 		trackCache: tc,
 	}, nil
@@ -362,6 +371,23 @@ func (s *Server) Free(addr, n int) error {
 // the track read-ahead cache consulted first; with FromStable it comes from
 // the stable mirror.
 func (s *Server) Get(addr, n int, opts GetOptions) ([]byte, error) {
+	return s.GetCtx(context.Background(), addr, n, opts)
+}
+
+// GetCtx is Get carrying a trace context: the request is bracketed by a
+// diskservice-layer span (or histogram observation) and counts against this
+// disk's queue-depth gauge.
+func (s *Server) GetCtx(ctx context.Context, addr, n int, opts GetOptions) ([]byte, error) {
+	s.queue.Inc()
+	ctx, op := s.obsRec.StartOp(ctx, obs.LayerDiskService, "get")
+	data, err := s.get(ctx, addr, n, opts)
+	op.Span().AddBytes(len(data))
+	op.End(err)
+	s.queue.Dec()
+	return data, err
+}
+
+func (s *Server) get(ctx context.Context, addr, n int, opts GetOptions) ([]byte, error) {
 	if err := s.checkOpen(); err != nil {
 		return nil, err
 	}
@@ -373,14 +399,14 @@ func (s *Server) Get(addr, n int, opts GetOptions) ([]byte, error) {
 		return nil, fmt.Errorf("%w: [%d,%d)", device.ErrOutOfRange, addr, addr+n)
 	}
 	if !s.readAhead || opts.NoReadAhead {
-		return s.disk.ReadFragments(addr, n)
+		return s.disk.ReadFragmentsCtx(ctx, addr, n)
 	}
 	firstTrack := geom.Track(addr)
 	lastTrack := geom.Track(addr + n - 1)
 	if firstTrack != lastTrack {
 		// Multi-track transfers bypass the track cache: they are one disk
 		// reference already and would otherwise flood the cache.
-		return s.disk.ReadFragments(addr, n)
+		return s.disk.ReadFragmentsCtx(ctx, addr, n)
 	}
 	off := (addr - geom.TrackStart(firstTrack)) * FragmentSize
 	if data, ok := s.trackCache.Get(firstTrack); ok {
@@ -388,7 +414,7 @@ func (s *Server) Get(addr, n int, opts GetOptions) ([]byte, error) {
 	}
 	// Miss: fetch the whole track in one reference, serve the requested
 	// fragments, cache the rest (§4).
-	trackData, _, err := s.disk.ReadTrack(addr)
+	trackData, _, err := s.disk.ReadTrackCtx(ctx, addr)
 	if err != nil {
 		return nil, err
 	}
@@ -405,6 +431,21 @@ func (s *Server) Get(addr, n int, opts GetOptions) ([]byte, error) {
 // storage, stable storage, or both; opts.WaitStable selects whether the call
 // waits for the stable copy.
 func (s *Server) Put(addr int, data []byte, opts PutOptions) error {
+	return s.PutCtx(context.Background(), addr, data, opts)
+}
+
+// PutCtx is Put carrying a trace context (see GetCtx).
+func (s *Server) PutCtx(ctx context.Context, addr int, data []byte, opts PutOptions) error {
+	s.queue.Inc()
+	ctx, op := s.obsRec.StartOp(ctx, obs.LayerDiskService, "put")
+	op.Span().AddBytes(len(data))
+	err := s.put(ctx, addr, data, opts)
+	op.End(err)
+	s.queue.Dec()
+	return err
+}
+
+func (s *Server) put(ctx context.Context, addr int, data []byte, opts PutOptions) error {
 	if err := s.checkOpen(); err != nil {
 		return err
 	}
@@ -413,7 +454,7 @@ func (s *Server) Put(addr int, data []byte, opts PutOptions) error {
 		st = MainOnly
 	}
 	if st == MainOnly || st == MainAndStable {
-		if err := s.disk.WriteFragments(addr, data); err != nil {
+		if err := s.disk.WriteFragmentsCtx(ctx, addr, data); err != nil {
 			return err
 		}
 		s.updateTrackCache(addr, data)

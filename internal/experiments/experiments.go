@@ -14,6 +14,8 @@ import (
 	"io"
 	"strings"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Table is one experiment's result table.
@@ -25,6 +27,9 @@ type Table struct {
 	Rows    [][]string
 	// Notes records the expected shape and whether it held.
 	Notes []string
+	// Profile is the per-layer latency breakdown captured while the
+	// experiment ran; nil when the experiment does not trace.
+	Profile *obs.Profile
 }
 
 // AddRow appends a row, formatting each value.
@@ -89,6 +94,13 @@ func (t *Table) Render(w io.Writer) {
 	}
 	for _, n := range t.Notes {
 		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	if t.Profile != nil {
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "  per-layer latency profile:")
+		for _, ln := range strings.Split(strings.TrimRight(t.Profile.String(), "\n"), "\n") {
+			fmt.Fprintln(w, "  "+ln)
+		}
 	}
 	fmt.Fprintln(w)
 }

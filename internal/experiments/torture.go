@@ -11,6 +11,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/fit"
 	"repro/internal/intentions"
+	"repro/internal/obs"
 	"repro/internal/parity"
 	"repro/internal/stable"
 	"repro/internal/txn"
@@ -136,6 +137,10 @@ type TortureResult struct {
 	// Violations lists every recovery invariant that failed; empty means the
 	// contract held.
 	Violations []string
+	// Dump is the flight-recorder snapshot taken the instant the armed
+	// fault fired, with the interrupted operation's span tree in-flight.
+	// Nil for scenarios that do not run a traced cluster.
+	Dump *obs.FaultDump
 }
 
 func (r *TortureResult) fail(format string, args ...any) {
@@ -181,11 +186,13 @@ func checkMirrors(res *TortureResult, c *core.Cluster, secondPass bool) error {
 // scenario, mirrors reconciled, structural fsck clean.
 func runTortureTxn(sc TortureScenario, seed int64) (*TortureResult, error) {
 	inj := fault.NewInjector(seed)
+	rec := obs.New()
 	c, err := core.New(core.Config{
 		Geometry:       device.Geometry{FragmentsPerTrack: 32, Tracks: 256},
 		LogFragments:   2048,
 		Fault:          inj,
 		ForceTechnique: intentions.WAL,
+		Obs:            rec,
 	})
 	if err != nil {
 		return nil, err
@@ -240,6 +247,11 @@ func runTortureTxn(sc TortureScenario, seed int64) (*TortureResult, error) {
 		return nil, fmt.Errorf("crashed at %s, armed %s", crashed.Point, sc.Point)
 	}
 	res := &TortureResult{Fired: inj.Fired(sc.Point)}
+	// The fault observer dumped the flight recorder as the fault fired; the
+	// dying End (or PWrite) is in that dump as an in-flight span tree.
+	if dumps := rec.FaultDumps(); len(dumps) > 0 {
+		res.Dump = dumps[0]
+	}
 
 	// Reboot, reconcile the mirrors, replay the log.
 	if err := c.Crash(); err != nil {
@@ -477,7 +489,7 @@ func E18Torture() (*Table, error) {
 		Title: "Crash-recovery torture across the storage stack",
 		Claim: "recovery restores every invariant after a crash at any registered fault point",
 		Columns: []string{"fault point", "mode", "recipe", "fired", "redone",
-			"outcome", "invariants"},
+			"outcome", "flight dump", "invariants"},
 	}
 	const seedBase = 1800
 	scs := TortureScenarios()
@@ -491,11 +503,16 @@ func E18Torture() (*Table, error) {
 		if len(res.Violations) > 0 {
 			inv = "VIOLATED: " + strings.Join(res.Violations, "; ")
 		}
+		dump := "-"
+		if res.Dump != nil {
+			dump = fmt.Sprintf("%d in-flight / %d recent", len(res.Dump.InFlight), len(res.Dump.Recent))
+		}
 		t.AddRow(string(sc.Point), sc.Mode(), sc.Kind.String(), res.Fired, res.Redone,
-			res.Outcome, inv)
+			res.Outcome, dump, inv)
 	}
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("deterministic: scenario i runs from seed %d+i; the same seed fires the same faults", seedBase),
-		"invariants: committed durable; unfinished invisible; mirrors reconciled (2nd pass no-op); parity consistent; fsck clean")
+		"invariants: committed durable; unfinished invisible; mirrors reconciled (2nd pass no-op); parity consistent; fsck clean",
+		"flight dump: span trees the flight recorder snapshotted the instant the fault fired (txn recipes run traced)")
 	return t, nil
 }

@@ -147,15 +147,33 @@ type Event struct {
 	Hit int
 }
 
+// Observer receives every fault event the instant it fires — after the hit
+// is recorded in the trace but before the action's effect (crash panic,
+// error return, torn write, delay) takes hold, and outside the injector's
+// mutex. The observability layer wires a flight-recorder snapshot here, so
+// a crash dump still sees the dying operation as in-flight.
+type Observer func(Event)
+
 // Injector holds the armed faults of one run. A nil *Injector is valid and
 // injects nothing, so production paths carry it unconditionally. All methods
 // are safe for concurrent use.
 type Injector struct {
 	seed int64
 
-	mu    sync.Mutex
-	arms  map[Point]*arm
-	trace []Event
+	mu       sync.Mutex
+	arms     map[Point]*arm
+	trace    []Event
+	observer Observer
+}
+
+// SetObserver installs fn as the fire observer (nil removes it).
+func (in *Injector) SetObserver(fn Observer) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.observer = fn
+	in.mu.Unlock()
 }
 
 // NewInjector creates an empty injector. The seed is not consumed by the
@@ -224,16 +242,25 @@ func (in *Injector) Fired(p Point) int {
 }
 
 // take consumes one matching hit at p: it counts the visit and returns the
-// armed action if it is of one of the wanted kinds and due to fire.
+// armed action if it is of one of the wanted kinds and due to fire. A due
+// fire is reported to the observer after the mutex is released.
 func (in *Injector) take(p Point, kinds ...Kind) (Action, bool) {
 	if in == nil {
 		return Action{}, false
 	}
+	act, ev, obs, ok := in.takeLocked(p, kinds...)
+	if ok && obs != nil {
+		obs(ev)
+	}
+	return act, ok
+}
+
+func (in *Injector) takeLocked(p Point, kinds ...Kind) (Action, Event, Observer, bool) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	a := in.arms[p]
 	if a == nil {
-		return Action{}, false
+		return Action{}, Event{}, nil, false
 	}
 	match := false
 	for _, k := range kinds {
@@ -243,22 +270,23 @@ func (in *Injector) take(p Point, kinds ...Kind) (Action, bool) {
 		}
 	}
 	if !match {
-		return Action{}, false
+		return Action{}, Event{}, nil, false
 	}
 	a.hits++
 	if a.hits <= a.act.After {
-		return Action{}, false
+		return Action{}, Event{}, nil, false
 	}
 	times := a.act.Times
 	if times == 0 {
 		times = 1
 	}
 	if times > 0 && a.fired >= times {
-		return Action{}, false
+		return Action{}, Event{}, nil, false
 	}
 	a.fired++
-	in.trace = append(in.trace, Event{Point: p, Kind: a.act.Kind, Hit: a.hits})
-	return a.act, true
+	ev := Event{Point: p, Kind: a.act.Kind, Hit: a.hits}
+	in.trace = append(in.trace, ev)
+	return a.act, ev, in.observer, true
 }
 
 // Hit is the generic crash-point site: it kills the run (panics with

@@ -177,3 +177,35 @@ func TestKindStrings(t *testing.T) {
 		t.Fatal("unknown kind has empty string")
 	}
 }
+
+func TestObserverSeesFireBeforeCrash(t *testing.T) {
+	in := NewInjector(1)
+	in.Arm("boom", Action{Kind: KindCrash})
+	var seen []Event
+	in.SetObserver(func(e Event) { seen = append(seen, e) })
+	crashed, _ := Run(func() error {
+		in.Hit("boom")
+		return nil
+	})
+	if crashed == nil || crashed.Point != "boom" {
+		t.Fatalf("crash not delivered: %v", crashed)
+	}
+	if len(seen) != 1 || seen[0].Point != "boom" || seen[0].Kind != KindCrash || seen[0].Hit != 1 {
+		t.Fatalf("observer events = %+v", seen)
+	}
+	// Misses (not-due hits) are not reported.
+	in.Hit("boom") // Times defaults to once; this is a miss
+	if len(seen) != 1 {
+		t.Fatalf("observer saw a miss: %+v", seen)
+	}
+	// The observer can re-enter the injector without deadlocking.
+	in.Arm("err", Action{Kind: KindError, Times: -1})
+	in.SetObserver(func(e Event) { _ = in.Trace() })
+	if in.Err("err") == nil {
+		t.Fatal("armed error did not fire")
+	}
+	in.SetObserver(nil)
+	if in.Err("err") == nil {
+		t.Fatal("armed error did not fire after observer removal")
+	}
+}

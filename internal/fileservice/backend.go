@@ -1,6 +1,8 @@
 package fileservice
 
 import (
+	"context"
+
 	"repro/internal/diskservice"
 )
 
@@ -52,7 +54,30 @@ type Backend interface {
 	InvalidateCache()
 }
 
-var _ Backend = (*diskservice.Server)(nil)
+// BackendCtx is the optional trace-context form of Backend's data path.
+// The built-in implementations provide it; the file service reaches it by
+// type assertion, so Backend itself — and any external implementation or
+// test double — is unaffected by the tracing layer.
+type BackendCtx interface {
+	// GetCtx is Get carrying a trace context.
+	GetCtx(ctx context.Context, addr, n int, opts diskservice.GetOptions) ([]byte, error)
+	// PutCtx is Put carrying a trace context.
+	PutCtx(ctx context.Context, addr int, data []byte, opts diskservice.PutOptions) error
+}
+
+var (
+	_ Backend    = (*diskservice.Server)(nil)
+	_ BackendCtx = (*diskservice.Server)(nil)
+)
+
+// backendGet routes a get-block through the ctx-threaded path when the
+// backend has one, so disk and device spans join the caller's trace.
+func (s *Service) backendGet(ctx context.Context, disk, addr, n int, opts diskservice.GetOptions) ([]byte, error) {
+	if bc := s.disksCtx[disk]; bc != nil {
+		return bc.GetCtx(ctx, addr, n, opts)
+	}
+	return s.disks[disk].Get(addr, n, opts)
+}
 
 // Servers adapts disk servers to the Backend slice Config.Disks takes —
 // the plain layout, one Backend per physical disk.

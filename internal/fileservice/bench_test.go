@@ -7,6 +7,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/diskservice"
 	"repro/internal/fit"
+	"repro/internal/obs"
 	"repro/internal/stable"
 )
 
@@ -58,6 +59,30 @@ func BenchmarkWriteAt8KB(b *testing.B) {
 
 func BenchmarkReadAtCached8KB(b *testing.B) {
 	svc := benchService(b, 1)
+	id, err := svc.Create(fit.Attributes{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.WriteAt(id, 0, make([]byte, 64*BlockSize)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.ReadAt(id, int64(i%64)*BlockSize, BlockSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(BlockSize)
+}
+
+// BenchmarkReadAtCached8KBTraced is the tracer-enabled counterpart of
+// BenchmarkReadAtCached8KB (which runs with no recorder installed — the
+// nil-safe disabled path). The pair bounds the observability overhead:
+// the disabled path must show no measurable delta against the seed, and
+// the enabled path shows what a span + two histogram records cost.
+func BenchmarkReadAtCached8KBTraced(b *testing.B) {
+	svc := benchService(b, 1)
+	svc.obsRec = obs.New()
 	id, err := svc.Create(fit.Attributes{})
 	if err != nil {
 		b.Fatal(err)

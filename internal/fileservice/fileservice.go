@@ -41,6 +41,7 @@ import (
 	"repro/internal/diskservice"
 	"repro/internal/fit"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -107,6 +108,8 @@ type Config struct {
 	// several disks at once, so an overlap-aware virtual-time accounting
 	// (simclock.Group) can credit the parallelism. Optional.
 	Overlap simclock.Batcher
+	// Obs receives per-operation spans and latency observations. Optional.
+	Obs *obs.Recorder
 }
 
 // fileState is the in-memory state of one known file — the cached FIT plus
@@ -138,7 +141,9 @@ type fileState struct {
 // Service is a basic file service. It is safe for concurrent use.
 type Service struct {
 	disks      []Backend
+	disksCtx   []BackendCtx // per-disk ctx-threaded data path; nil when unsupported
 	met        *metrics.Set
+	obsRec     *obs.Recorder
 	stripe     StripePolicy
 	stripeUnit int
 	overlap    simclock.Batcher
@@ -253,12 +258,17 @@ func newService(cfg Config) (*Service, error) {
 	}
 	s := &Service{
 		disks:      cfg.Disks,
+		disksCtx:   make([]BackendCtx, len(cfg.Disks)),
 		met:        cfg.Metrics,
+		obsRec:     cfg.Obs,
 		stripe:     stripe,
 		stripeUnit: unit,
 		overlap:    cfg.Overlap,
 		files:      make(map[FileID]*fileState),
 		fileMap:    make(map[FileID]fitLocation),
+	}
+	for i, d := range cfg.Disks {
+		s.disksCtx[i], _ = d.(BackendCtx)
 	}
 	bc, err := cache.New(cache.Config[blockKey]{
 		Capacity: cb,

@@ -1,6 +1,7 @@
 package fileservice
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/diskservice"
 	"repro/internal/fit"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // ReadAt reads up to n bytes starting at byte offset off, returning fewer
@@ -21,6 +23,22 @@ import (
 // fan out with one goroutine per disk, so a striped read drives all its
 // disks concurrently.
 func (s *Service) ReadAt(id FileID, off int64, n int) ([]byte, error) {
+	return s.ReadAtCtx(context.Background(), id, off, n)
+}
+
+// ReadAtCtx is ReadAt carrying a trace context: the read is bracketed by a
+// fileservice-layer span (nested under the caller's when ctx has one) and
+// its disk fetches contribute diskservice/device child spans.
+func (s *Service) ReadAtCtx(ctx context.Context, id FileID, off int64, n int) ([]byte, error) {
+	ctx, op := s.obsRec.StartOp(ctx, obs.LayerFileService, "readAt")
+	op.Span().SetFile(uint64(id))
+	out, err := s.readAt(ctx, id, off, n)
+	op.Span().AddBytes(len(out))
+	op.End(err)
+	return out, err
+}
+
+func (s *Service) readAt(ctx context.Context, id FileID, off int64, n int) ([]byte, error) {
 	if off < 0 {
 		return nil, ErrBadOffset
 	}
@@ -40,7 +58,7 @@ func (s *Service) ReadAt(id FileID, off int64, n int) ([]byte, error) {
 		n = int(size - off)
 	}
 	out := make([]byte, n)
-	if err := s.readInto(st, out, off); err != nil {
+	if err := s.readInto(ctx, st, out, off); err != nil {
 		return nil, err
 	}
 	st.attr.LastRead = time.Now()
@@ -72,7 +90,7 @@ type pendingRef struct {
 // extent map once, serving cached blocks immediately and planning one fetch
 // per uncovered contiguous run, then executes the fetches grouped per disk.
 // Callers must hold st.mu.
-func (s *Service) readInto(st *fileState, out []byte, off int64) error {
+func (s *Service) readInto(ctx context.Context, st *fileState, out []byte, off int64) error {
 	var tasks []*fetchTask
 	var pending map[blockKey]pendingRef
 	covered := 0
@@ -113,18 +131,18 @@ func (s *Service) readInto(st *fileState, out []byte, off int64) error {
 		}
 		covered += chunk
 	}
-	return s.runFetches(out, tasks)
+	return s.runFetches(ctx, out, tasks)
 }
 
 // runFetches executes the planned fetches: tasks for the same disk run in
 // order on one goroutine (deterministic head movement), tasks for different
 // disks run concurrently.
-func (s *Service) runFetches(out []byte, tasks []*fetchTask) error {
+func (s *Service) runFetches(ctx context.Context, out []byte, tasks []*fetchTask) error {
 	if len(tasks) == 0 {
 		return nil
 	}
 	if len(tasks) == 1 {
-		return s.fetch(out, tasks[0])
+		return s.fetch(ctx, out, tasks[0])
 	}
 	byDisk := make(map[int][]*fetchTask)
 	var order []int
@@ -136,7 +154,7 @@ func (s *Service) runFetches(out []byte, tasks []*fetchTask) error {
 	}
 	if len(order) == 1 {
 		for _, t := range tasks {
-			if err := s.fetch(out, t); err != nil {
+			if err := s.fetch(ctx, out, t); err != nil {
 				return err
 			}
 		}
@@ -153,7 +171,7 @@ func (s *Service) runFetches(out []byte, tasks []*fetchTask) error {
 		go func(i int, group []*fetchTask) {
 			defer wg.Done()
 			for _, t := range group {
-				if err := s.fetch(out, t); err != nil {
+				if err := s.fetch(ctx, out, t); err != nil {
 					errs[i] = err
 					return
 				}
@@ -173,8 +191,8 @@ func (s *Service) runFetches(out []byte, tasks []*fetchTask) error {
 // block of the run, and copies the requested spans into the caller's buffer.
 // The spans are copied from the raw transfer, never re-read from the cache,
 // so a concurrent eviction cannot lose data.
-func (s *Service) fetch(out []byte, t *fetchTask) error {
-	raw, err := s.disks[t.disk].Get(t.addr, t.run*FragmentsPerBlock, diskservice.GetOptions{})
+func (s *Service) fetch(ctx context.Context, out []byte, t *fetchTask) error {
+	raw, err := s.backendGet(ctx, t.disk, t.addr, t.run*FragmentsPerBlock, diskservice.GetOptions{})
 	if err != nil {
 		return err
 	}
@@ -193,7 +211,7 @@ func (s *Service) fetch(out []byte, t *fetchTask) error {
 // block returns logical block blk of the file, from cache or by fetching its
 // contiguous run from disk — the serial single-block path used for
 // read-modify-write and page-granular access. Callers must hold st.mu.
-func (s *Service) block(st *fileState, blk int) ([]byte, error) {
+func (s *Service) block(ctx context.Context, st *fileState, blk int) ([]byte, error) {
 	disk, addr, contiguous, ok := st.extents.Lookup(blk)
 	if !ok {
 		return nil, fmt.Errorf("%w: file %d has no block %d", ErrBadRequest, st.id, blk)
@@ -206,7 +224,7 @@ func (s *Service) block(st *fileState, blk int) ([]byte, error) {
 	if run > MaxSingleFetchBlocks {
 		run = MaxSingleFetchBlocks
 	}
-	raw, err := s.disks[disk].Get(int(addr), run*FragmentsPerBlock, diskservice.GetOptions{})
+	raw, err := s.backendGet(ctx, int(disk), int(addr), run*FragmentsPerBlock, diskservice.GetOptions{})
 	if err != nil {
 		return nil, err
 	}
@@ -226,6 +244,20 @@ func (s *Service) block(st *fileState, blk int) ([]byte, error) {
 // parallel once the whole request is staged, one writeback stream per disk,
 // so a striped synchronous write drives all its disks concurrently.
 func (s *Service) WriteAt(id FileID, off int64, data []byte) (int, error) {
+	return s.WriteAtCtx(context.Background(), id, off, data)
+}
+
+// WriteAtCtx is WriteAt carrying a trace context (see ReadAtCtx).
+func (s *Service) WriteAtCtx(ctx context.Context, id FileID, off int64, data []byte) (int, error) {
+	ctx, op := s.obsRec.StartOp(ctx, obs.LayerFileService, "writeAt")
+	op.Span().SetFile(uint64(id))
+	written, err := s.writeAt(ctx, id, off, data)
+	op.Span().AddBytes(written)
+	op.End(err)
+	return written, err
+}
+
+func (s *Service) writeAt(ctx context.Context, id FileID, off int64, data []byte) (int, error) {
 	if off < 0 {
 		return 0, ErrBadOffset
 	}
@@ -270,7 +302,7 @@ func (s *Service) WriteAt(id FileID, off int64, data []byte) (int, error) {
 			// Partial block: read-modify-write. Blocks beyond the old size
 			// are fresh and start zeroed.
 			if int64(blk)*BlockSize < int64(st.attr.Size) {
-				old, err := s.block(st, blk)
+				old, err := s.block(ctx, st, blk)
 				if err != nil {
 					return written, err
 				}
@@ -479,7 +511,7 @@ func (s *Service) Truncate(id FileID, size int64) error {
 		// Zero the tail of the last kept block so a later extension reads
 		// zeros there rather than the pre-truncation bytes.
 		if within := int(size % BlockSize); within != 0 && keep > 0 {
-			buf, err := s.block(st, keep-1)
+			buf, err := s.block(context.Background(), st, keep-1)
 			if err != nil {
 				return err
 			}
@@ -524,12 +556,17 @@ func (s *Service) BlockCount(id FileID) (int, error) {
 // ReadBlock returns logical block blk (a full 8 KB), for the transaction
 // service's page-granular access.
 func (s *Service) ReadBlock(id FileID, blk int) ([]byte, error) {
+	return s.ReadBlockCtx(context.Background(), id, blk)
+}
+
+// ReadBlockCtx is ReadBlock carrying a trace context.
+func (s *Service) ReadBlockCtx(ctx context.Context, id FileID, blk int) ([]byte, error) {
 	st, err := s.lockFile(id)
 	if err != nil {
 		return nil, err
 	}
 	defer st.mu.Unlock()
-	return s.block(st, blk)
+	return s.block(ctx, st, blk)
 }
 
 // WriteBlockThrough writes logical block blk synchronously to disk

@@ -16,6 +16,7 @@
 package lock
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -23,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -151,6 +153,9 @@ type Config struct {
 	// OnBreak, if set, is called (without the manager lock held) with each
 	// transaction aborted by the deadlock timeout.
 	OnBreak func(TxnID)
+	// Obs receives per-acquire spans/latency observations and the
+	// lock-waiter gauge. Optional.
+	Obs *obs.Recorder
 }
 
 // hold is one granted lock — a lock-table record with granted = true.
@@ -220,13 +225,15 @@ func (it *item) sameItem(level Level, file, off, length uint64) bool {
 
 // Manager is the lock manager. It is safe for concurrent use.
 type Manager struct {
-	clock    simclock.Clock
-	lt       time.Duration
-	maxRenew int
-	met      *metrics.Set
-	combined bool
-	mixed    bool
-	onBreak  func(TxnID)
+	clock     simclock.Clock
+	lt        time.Duration
+	maxRenew  int
+	met       *metrics.Set
+	obsRec    *obs.Recorder
+	waitGauge *obs.Gauge // requests currently blocked waiting for a lock
+	combined  bool
+	mixed     bool
+	onBreak   func(TxnID)
 
 	mu     sync.Mutex
 	closed bool
@@ -261,6 +268,8 @@ func New(cfg Config) *Manager {
 		lt:        lt,
 		maxRenew:  n,
 		met:       cfg.Metrics,
+		obsRec:    cfg.Obs,
+		waitGauge: cfg.Obs.Gauge("lock.wait_count"),
 		combined:  cfg.Combined,
 		mixed:     cfg.AllowMixedLevels,
 		onBreak:   cfg.OnBreak,
@@ -340,6 +349,22 @@ func normLength(level Level, id ItemID) (uint64, error) {
 // other holders (§6.3: an Iwrite can be set if the item is Iread locked by
 // the same transaction).
 func (m *Manager) Acquire(txn TxnID, pid int, level Level, id ItemID, mode Mode) error {
+	return m.AcquireCtx(context.Background(), txn, pid, level, id, mode)
+}
+
+// AcquireCtx is Acquire carrying a trace context: the request — including
+// any blocking wait — is bracketed by a lock-layer span or histogram
+// observation, so lock-wait time shows up per layer in the profile.
+func (m *Manager) AcquireCtx(ctx context.Context, txn TxnID, pid int, level Level, id ItemID, mode Mode) error {
+	_, op := m.obsRec.StartOp(ctx, obs.LayerLock, "acquire")
+	op.Span().SetFile(id.File)
+	op.Span().SetTxn(uint64(txn))
+	err := m.acquire(txn, pid, level, id, mode)
+	op.End(err)
+	return err
+}
+
+func (m *Manager) acquire(txn TxnID, pid int, level Level, id ItemID, mode Mode) error {
 	length, err := normLength(level, id)
 	if err != nil {
 		return err
@@ -381,7 +406,10 @@ func (m *Manager) Acquire(txn TxnID, pid int, level Level, id ItemID, mode Mode)
 	m.met.Inc(metrics.LockWaits)
 	m.mu.Unlock()
 
-	return <-w.ch
+	m.waitGauge.Inc()
+	err = <-w.ch
+	m.waitGauge.Dec()
+	return err
 }
 
 // TryAcquire is Acquire without blocking: it returns false when the lock

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// flightRing is the bounded ring buffer behind the flight recorder: the
+// most recent completed root span trees, overwritten oldest-first.
+type flightRing struct {
+	mu   sync.Mutex
+	buf  []*Span
+	next int
+	n    int // total ever added
+}
+
+func newFlightRing(capacity int) *flightRing {
+	if capacity <= 0 {
+		capacity = defaultFlightCap
+	}
+	return &flightRing{buf: make([]*Span, capacity)}
+}
+
+func (f *flightRing) add(sp *Span) {
+	f.mu.Lock()
+	f.buf[f.next] = sp
+	f.next = (f.next + 1) % len(f.buf)
+	f.n++
+	f.mu.Unlock()
+}
+
+// snapshot returns the retained roots oldest-first; max > 0 keeps only the
+// newest max entries.
+func (f *flightRing) snapshot(max int) []*Span {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	size := f.n
+	if size > len(f.buf) {
+		size = len(f.buf)
+	}
+	start := f.next - size
+	if start < 0 {
+		start += len(f.buf)
+	}
+	out := make([]*Span, 0, size)
+	for i := 0; i < size; i++ {
+		out = append(out, f.buf[(start+i)%len(f.buf)])
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// total returns how many trees were ever recorded (including overwritten).
+func (f *flightRing) total() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.n
+}
+
+// FaultDump is the flight-recorder state captured the instant a
+// fault-injection point fired: the interrupted (in-flight) span trees plus
+// the most recently completed ones. It is what an E18 torture failure
+// ships with — the trace of the op that died.
+type FaultDump struct {
+	Point    string      `json:"point"`
+	Kind     string      `json:"kind"`
+	WallNS   int64       `json:"wall_ns"` // since recorder epoch
+	InFlight []*SpanData `json:"in_flight,omitempty"`
+	Recent   []*SpanData `json:"recent,omitempty"`
+}
+
+// RecordFault captures a FaultDump. It is wired as the fault.Injector
+// observer, which invokes it outside the injector's mutex and — for crash
+// kinds — before the typed panic unwinds, so the dying operation is still
+// registered as in-flight when the snapshot is taken.
+func (r *Recorder) RecordFault(point, kind string) {
+	if r == nil {
+		return
+	}
+	d := &FaultDump{
+		Point:    point,
+		Kind:     kind,
+		WallNS:   time.Since(r.epoch).Nanoseconds(),
+		InFlight: r.InFlight(),
+	}
+	for _, sp := range r.flight.snapshot(faultRecentCap) {
+		d.Recent = append(d.Recent, sp.Data())
+	}
+	r.dmu.Lock()
+	if len(r.dumps) < faultDumpCap {
+		r.dumps = append(r.dumps, d)
+	} else {
+		r.dumpDrops++
+	}
+	r.dmu.Unlock()
+}
+
+// FaultDumps returns the captured dumps in arrival order. The store is
+// bounded at faultDumpCap; later fires are counted but dropped.
+func (r *Recorder) FaultDumps() []*FaultDump {
+	if r == nil {
+		return nil
+	}
+	r.dmu.Lock()
+	defer r.dmu.Unlock()
+	out := make([]*FaultDump, len(r.dumps))
+	copy(out, r.dumps)
+	return out
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets covers every possible bit length of a non-negative int64
+// nanosecond value (0..63) with headroom for the uint64 conversion.
+const histBuckets = 65
+
+// Histogram is a lock-free log-bucketed latency histogram: bucket i counts
+// durations whose nanosecond value has bit length i, i.e. the range
+// [2^(i-1), 2^i). Record, Quantile and Merge are all safe to call
+// concurrently; quantiles are computed from a best-effort snapshot of the
+// buckets, which is exact once recording quiesces. A nil Histogram accepts
+// every method.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Record adds one observation. Negative durations clamp to zero.
+func (h *Histogram) Record(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(ns))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed nanoseconds.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1): the geometric midpoint of
+// the bucket holding the ⌈q·count⌉-th observation, clamped to the observed
+// maximum. Resolution is therefore one power of two, which is plenty for a
+// per-layer p50/p95/p99 breakdown.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			var rep int64
+			if i > 0 {
+				lo := int64(1) << uint(i-1)
+				rep = lo + lo/2
+			}
+			if mx := h.max.Load(); rep > mx {
+				rep = mx
+			}
+			return time.Duration(rep)
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Merge folds o's observations into h. Histograms from different recorders
+// (or different runs) can be combined before querying percentiles.
+func (h *Histogram) Merge(o *Histogram) {
+	if h == nil || o == nil {
+		return
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	for {
+		cur := h.max.Load()
+		om := o.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+	for i := range h.buckets {
+		if n := o.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+}

@@ -1,0 +1,535 @@
+// Package obs is the observability layer: span-based request tracing
+// threaded through every Figure-1 layer of the facility, lock-free
+// per-layer latency histograms, a bounded flight recorder of recent span
+// trees, and gauges for instantaneous state (disk queue depth, lock
+// waiters).
+//
+// A Span records its layer, operation, file/txn id, start and end in both
+// wall time and virtual time (the simclock makespan), and the outcome.
+// Spans nest via context.Context, so one client operation yields a tree:
+// agent → fileservice → lock wait → diskservice → device transfer. When a
+// root span ends its completed tree is pushed into the flight recorder;
+// when a fault-injection point fires the recorder snapshots the in-flight
+// trees, so every torture failure ships with the trace of the op that died.
+//
+// Everything is nil-safe: a nil *Recorder, *Span, *Gauge or *Histogram
+// accepts every method call and does nothing. Instrumented code therefore
+// pays only a nil check — plus, on ctx-threaded paths, one context.Value
+// lookup — when tracing is off. BenchmarkSpanDisabled in this package and
+// BenchmarkReadAtCached8KB in fileservice pin that cost at ~0 ns/op.
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Layer identifies one Figure-1 layer of the facility.
+type Layer int
+
+const (
+	LayerAgent Layer = iota
+	LayerFileService
+	LayerLock
+	LayerTxn
+	LayerReplication
+	LayerParity
+	LayerDiskService
+	LayerDevice
+	LayerRPC
+	numLayers
+)
+
+var layerNames = [numLayers]string{
+	"agent", "fileservice", "lock", "txn", "replication",
+	"parity", "diskservice", "device", "rpc",
+}
+
+// String returns the layer's canonical name as used in profiles and dumps.
+func (l Layer) String() string {
+	if l < 0 || l >= numLayers {
+		return "unknown"
+	}
+	return layerNames[l]
+}
+
+// Layers returns every layer in rendering order.
+func Layers() []Layer {
+	out := make([]Layer, numLayers)
+	for i := range out {
+		out[i] = Layer(i)
+	}
+	return out
+}
+
+const (
+	defaultFlightCap = 64
+	faultDumpCap     = 8
+	faultRecentCap   = 8
+)
+
+// Recorder collects spans, histograms, gauges and fault dumps for one
+// cluster. A nil Recorder is a valid no-op sink.
+type Recorder struct {
+	epoch   time.Time
+	virtNow func() time.Duration
+	wall    [numLayers]Histogram
+	virt    [numLayers]Histogram
+	flight  *flightRing
+
+	gmu    sync.Mutex
+	gauges map[string]*Gauge
+
+	amu    sync.Mutex
+	active map[*Span]struct{}
+
+	dmu       sync.Mutex
+	dumps     []*FaultDump
+	dumpDrops int64
+}
+
+// Option configures a Recorder.
+type Option func(*Recorder)
+
+// WithFlightCapacity sets how many completed span trees the flight
+// recorder retains (default 64).
+func WithFlightCapacity(n int) Option {
+	return func(r *Recorder) { r.flight = newFlightRing(n) }
+}
+
+// WithVirtualClock sets the virtual-time source, typically the cluster's
+// simclock group makespan.
+func WithVirtualClock(now func() time.Duration) Option {
+	return func(r *Recorder) { r.virtNow = now }
+}
+
+// New creates a Recorder.
+func New(opts ...Option) *Recorder {
+	r := &Recorder{
+		epoch:  time.Now(),
+		flight: newFlightRing(defaultFlightCap),
+		gauges: make(map[string]*Gauge),
+		active: make(map[*Span]struct{}),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// SetVirtualClock installs the virtual-time source after construction. The
+// cluster calls this while wiring itself up, before any instrumented
+// operation runs; it must not be called concurrently with tracing.
+func (r *Recorder) SetVirtualClock(now func() time.Duration) {
+	if r == nil {
+		return
+	}
+	r.virtNow = now
+}
+
+func (r *Recorder) vnow() time.Duration {
+	if r == nil || r.virtNow == nil {
+		return 0
+	}
+	return r.virtNow()
+}
+
+// Observe records a histogram-only observation for a layer — used where a
+// span cannot be threaded (rpc request handling, background flushes) or
+// where an op runs outside any traced request.
+func (r *Recorder) Observe(layer Layer, wall, virt time.Duration) {
+	if r == nil || layer < 0 || layer >= numLayers {
+		return
+	}
+	r.wall[layer].Record(wall)
+	r.virt[layer].Record(virt)
+}
+
+// LayerWall returns the layer's wall-time histogram (nil on a nil Recorder).
+func (r *Recorder) LayerWall(layer Layer) *Histogram {
+	if r == nil || layer < 0 || layer >= numLayers {
+		return nil
+	}
+	return &r.wall[layer]
+}
+
+// LayerVirt returns the layer's virtual-time histogram.
+func (r *Recorder) LayerVirt(layer Layer) *Histogram {
+	if r == nil || layer < 0 || layer >= numLayers {
+		return nil
+	}
+	return &r.virt[layer]
+}
+
+// Gauge is an instantaneous value: queue depth, waiter count. A nil Gauge
+// accepts every method.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() {
+	if g != nil {
+		g.v.Add(1)
+	}
+}
+
+// Dec subtracts one.
+func (g *Gauge) Dec() {
+	if g != nil {
+		g.v.Add(-1)
+	}
+}
+
+// Add adds d.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Value returns the current value (zero on a nil Gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil —
+// still usable — on a nil Recorder.
+func (r *Recorder) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.gmu.Lock()
+	defer r.gmu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Gauges returns a snapshot of every gauge's current value.
+func (r *Recorder) Gauges() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.gmu.Lock()
+	defer r.gmu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Span is one timed operation in one layer. A nil Span accepts every
+// method and does nothing, so callers never need to check whether tracing
+// is on.
+type Span struct {
+	rec    *Recorder
+	parent *Span
+	layer  Layer
+
+	mu        sync.Mutex
+	op        string
+	file      uint64
+	txn       uint64
+	bytes     int64
+	startWall time.Time
+	startVirt time.Duration
+	endWall   time.Time
+	endVirt   time.Duration
+	errmsg    string
+	done      bool
+	children  []*Span
+}
+
+type ctxKey struct{}
+
+// FromContext returns the span active in ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// WithSpan returns ctx with sp as the active span.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// StartSpan starts a child of the span active in ctx. When ctx carries no
+// span it returns (ctx, nil) — the disabled fast path is one context
+// lookup and a nil check.
+func StartSpan(ctx context.Context, layer Layer, op string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.rec.newSpan(layer, op, parent)
+	return context.WithValue(ctx, ctxKey{}, child), child
+}
+
+// StartRoot starts a new root span tree on r. The root is registered as
+// in-flight until it ends, so fault dumps can capture it mid-operation.
+func (r *Recorder) StartRoot(ctx context.Context, layer Layer, op string) (context.Context, *Span) {
+	if r == nil {
+		return ctx, nil
+	}
+	sp := r.newSpan(layer, op, nil)
+	r.amu.Lock()
+	r.active[sp] = struct{}{}
+	r.amu.Unlock()
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
+// StartOr nests under the span in ctx when there is one, and otherwise
+// roots a new tree on r — for layers that are entry points for some
+// callers (a txn service driven directly) and interior for others.
+func (r *Recorder) StartOr(ctx context.Context, layer Layer, op string) (context.Context, *Span) {
+	if FromContext(ctx) != nil {
+		return StartSpan(ctx, layer, op)
+	}
+	return r.StartRoot(ctx, layer, op)
+}
+
+func (r *Recorder) newSpan(layer Layer, op string, parent *Span) *Span {
+	sp := &Span{
+		rec:       r,
+		parent:    parent,
+		layer:     layer,
+		op:        op,
+		startWall: time.Now(),
+		startVirt: r.vnow(),
+	}
+	if parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, sp)
+		parent.mu.Unlock()
+	}
+	return sp
+}
+
+// SetFile annotates the span with a file id.
+func (s *Span) SetFile(id uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.file = id
+	s.mu.Unlock()
+}
+
+// SetTxn annotates the span with a transaction id.
+func (s *Span) SetTxn(id uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.txn = id
+	s.mu.Unlock()
+}
+
+// AddBytes accumulates the span's transferred byte count.
+func (s *Span) AddBytes(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.bytes += int64(n)
+	s.mu.Unlock()
+}
+
+// End completes the span, recording its wall and virtual durations into
+// the layer histograms. Ending a root pushes the finished tree into the
+// flight recorder. End is idempotent.
+func (s *Span) End(err error) { s.end(err, -1) }
+
+// EndCost is End with an exact virtual-time cost. The device layer uses it
+// because its modeled seek+transfer cost is known precisely, whereas the
+// shared virtual clock folds in concurrently overlapping operations.
+func (s *Span) EndCost(cost time.Duration, err error) { s.end(err, cost) }
+
+func (s *Span) end(err error, cost time.Duration) {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	vnow := s.rec.vnow()
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		return
+	}
+	s.done = true
+	s.endWall = now
+	if cost >= 0 {
+		s.endVirt = s.startVirt + cost
+	} else {
+		s.endVirt = vnow
+		if s.endVirt < s.startVirt {
+			s.endVirt = s.startVirt
+		}
+	}
+	if err != nil {
+		s.errmsg = err.Error()
+	}
+	wallDur := now.Sub(s.startWall)
+	virtDur := s.endVirt - s.startVirt
+	layer := s.layer
+	root := s.parent == nil
+	s.mu.Unlock()
+
+	r := s.rec
+	r.wall[layer].Record(wallDur)
+	r.virt[layer].Record(virtDur)
+	if root {
+		r.amu.Lock()
+		delete(r.active, s)
+		r.amu.Unlock()
+		r.flight.add(s)
+	}
+}
+
+// Op brackets one instrumented operation with whichever sink applies: a
+// child span when ctx carries one, a histogram-only observation on r when
+// only a recorder is installed, and nothing at all otherwise. The zero Op
+// is a valid no-op, so call sites need no conditionals:
+//
+//	ctx, op := s.rec.StartOp(ctx, obs.LayerDiskService, "get")
+//	... do the work with ctx ...
+//	op.End(err)
+type Op struct {
+	sp    *Span
+	r     *Recorder
+	layer Layer
+	t0    time.Time
+	v0    time.Duration
+}
+
+// StartOp starts an operation bracket (see Op). Safe on a nil Recorder: it
+// still nests under a span already in ctx, whose own recorder it reaches
+// through the span.
+func (r *Recorder) StartOp(ctx context.Context, layer Layer, op string) (context.Context, Op) {
+	ctx2, sp := StartSpan(ctx, layer, op)
+	if sp != nil {
+		return ctx2, Op{sp: sp}
+	}
+	if r == nil {
+		return ctx, Op{}
+	}
+	return ctx, Op{r: r, layer: layer, t0: time.Now(), v0: r.vnow()}
+}
+
+// Span returns the op's span (nil when observing histograms only).
+func (o Op) Span() *Span { return o.sp }
+
+// End completes the bracket.
+func (o Op) End(err error) {
+	if o.sp != nil {
+		o.sp.End(err)
+		return
+	}
+	if o.r != nil {
+		virt := o.r.vnow() - o.v0
+		if virt < 0 {
+			virt = 0
+		}
+		o.r.Observe(o.layer, time.Since(o.t0), virt)
+	}
+}
+
+// SpanData is an immutable snapshot of a span tree, safe to render or
+// marshal while the live tree keeps mutating. Times are nanoseconds; wall
+// starts are relative to the recorder's epoch.
+type SpanData struct {
+	Layer       string      `json:"layer"`
+	Op          string      `json:"op"`
+	File        uint64      `json:"file,omitempty"`
+	Txn         uint64      `json:"txn,omitempty"`
+	Bytes       int64       `json:"bytes,omitempty"`
+	StartWallNS int64       `json:"start_wall_ns"`
+	WallNS      int64       `json:"wall_ns"`
+	StartVirtNS int64       `json:"start_virt_ns"`
+	VirtNS      int64       `json:"virt_ns"`
+	Err         string      `json:"err,omitempty"`
+	InFlight    bool        `json:"in_flight,omitempty"`
+	Children    []*SpanData `json:"children,omitempty"`
+}
+
+// Data deep-copies the span tree into its export form.
+func (s *Span) Data() *SpanData {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	d := &SpanData{
+		Layer:       s.layer.String(),
+		Op:          s.op,
+		File:        s.file,
+		Txn:         s.txn,
+		Bytes:       s.bytes,
+		StartWallNS: s.startWall.Sub(s.rec.epoch).Nanoseconds(),
+		StartVirtNS: int64(s.startVirt),
+		Err:         s.errmsg,
+		InFlight:    !s.done,
+	}
+	if s.done {
+		d.WallNS = s.endWall.Sub(s.startWall).Nanoseconds()
+		d.VirtNS = int64(s.endVirt - s.startVirt)
+	}
+	kids := make([]*Span, len(s.children))
+	copy(kids, s.children)
+	s.mu.Unlock()
+	for _, c := range kids {
+		d.Children = append(d.Children, c.Data())
+	}
+	return d
+}
+
+// Flight returns the retained completed span trees, oldest first.
+func (r *Recorder) Flight() []*SpanData {
+	if r == nil {
+		return nil
+	}
+	roots := r.flight.snapshot(0)
+	out := make([]*SpanData, len(roots))
+	for i, sp := range roots {
+		out[i] = sp.Data()
+	}
+	return out
+}
+
+// InFlight snapshots the span trees of operations still in progress,
+// ordered by start time.
+func (r *Recorder) InFlight() []*SpanData {
+	if r == nil {
+		return nil
+	}
+	r.amu.Lock()
+	roots := make([]*Span, 0, len(r.active))
+	for sp := range r.active {
+		roots = append(roots, sp)
+	}
+	r.amu.Unlock()
+	out := make([]*SpanData, 0, len(roots))
+	for _, sp := range roots {
+		out = append(out, sp.Data())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StartWallNS < out[j].StartWallNS })
+	return out
+}

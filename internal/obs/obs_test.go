@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var r *Recorder
+	ctx, sp := r.StartRoot(context.Background(), LayerAgent, "read")
+	if sp != nil {
+		t.Fatalf("nil recorder returned non-nil span")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatalf("nil recorder leaked a span into ctx")
+	}
+	_, child := StartSpan(ctx, LayerFileService, "read")
+	if child != nil {
+		t.Fatalf("StartSpan without a parent returned non-nil span")
+	}
+	// Every method must be a no-op, not a panic.
+	sp.SetFile(1)
+	sp.SetTxn(2)
+	sp.AddBytes(3)
+	sp.End(nil)
+	sp.EndCost(time.Second, errors.New("x"))
+	if sp.Data() != nil {
+		t.Fatalf("nil span Data() != nil")
+	}
+	r.Observe(LayerDevice, time.Millisecond, time.Millisecond)
+	r.RecordFault("p", "crash")
+	if r.Profile() != nil || r.Flight() != nil || r.InFlight() != nil || r.FaultDumps() != nil {
+		t.Fatalf("nil recorder returned non-nil aggregates")
+	}
+	var g *Gauge
+	g.Inc()
+	g.Dec()
+	g.Add(5)
+	g.Set(7)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %d", g.Value())
+	}
+	if r.Gauge("x") != nil {
+		t.Fatalf("nil recorder returned non-nil gauge")
+	}
+	r.SetVirtualClock(func() time.Duration { return 0 })
+}
+
+func TestSpanTreeNesting(t *testing.T) {
+	var virt time.Duration
+	r := New(WithVirtualClock(func() time.Duration { return virt }))
+	ctx, root := r.StartRoot(context.Background(), LayerAgent, "read")
+	root.SetFile(42)
+	if got := len(r.InFlight()); got != 1 {
+		t.Fatalf("in-flight roots = %d, want 1", got)
+	}
+
+	ctx2, fs := StartSpan(ctx, LayerFileService, "readAt")
+	virt += 3 * time.Millisecond
+	_, dev := StartSpan(ctx2, LayerDevice, "read")
+	dev.AddBytes(8192)
+	dev.EndCost(5*time.Millisecond, nil)
+	fs.End(nil)
+	virt += 2 * time.Millisecond
+	root.End(nil)
+
+	if got := len(r.InFlight()); got != 0 {
+		t.Fatalf("in-flight after root end = %d, want 0", got)
+	}
+	trees := r.Flight()
+	if len(trees) != 1 {
+		t.Fatalf("flight trees = %d, want 1", len(trees))
+	}
+	d := trees[0]
+	if d.Layer != "agent" || d.Op != "read" || d.File != 42 {
+		t.Fatalf("root = %+v", d)
+	}
+	if len(d.Children) != 1 || d.Children[0].Layer != "fileservice" {
+		t.Fatalf("children = %+v", d.Children)
+	}
+	devd := d.Children[0].Children[0]
+	if devd.Layer != "device" || devd.Bytes != 8192 {
+		t.Fatalf("device span = %+v", devd)
+	}
+	// EndCost pins the virtual duration to the exact modeled cost.
+	if devd.VirtNS != int64(5*time.Millisecond) {
+		t.Fatalf("device virt = %d, want %d", devd.VirtNS, 5*time.Millisecond)
+	}
+	// The root's virtual duration tracks the shared clock.
+	if d.VirtNS != int64(5*time.Millisecond) {
+		t.Fatalf("root virt = %d, want %d", d.VirtNS, 5*time.Millisecond)
+	}
+	// Histograms saw one observation per layer touched.
+	for _, l := range []Layer{LayerAgent, LayerFileService, LayerDevice} {
+		if n := r.LayerWall(l).Count(); n != 1 {
+			t.Fatalf("layer %s wall count = %d, want 1", l, n)
+		}
+	}
+	// The rendered tree mentions every layer.
+	text := d.String()
+	for _, want := range []string{"agent read", "fileservice readAt", "device read", "bytes=8192"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered tree missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStartOr(t *testing.T) {
+	r := New()
+	// Without a span in ctx, StartOr roots a new tree.
+	ctx, root := r.StartOr(context.Background(), LayerTxn, "commit")
+	if root == nil || root.parent != nil {
+		t.Fatalf("StartOr did not root a tree")
+	}
+	// With a span in ctx, StartOr nests.
+	_, child := r.StartOr(ctx, LayerLock, "wait")
+	if child == nil || child.parent != root {
+		t.Fatalf("StartOr did not nest under the ctx span")
+	}
+	child.End(nil)
+	root.End(nil)
+	// A nil recorder still nests under an existing ctx span.
+	var nilRec *Recorder
+	_, child2 := nilRec.StartOr(WithSpan(context.Background(), root), LayerLock, "wait")
+	if child2 == nil {
+		t.Fatalf("nil recorder StartOr lost the ctx span chain")
+	}
+	child2.End(nil)
+}
+
+func TestEndIdempotent(t *testing.T) {
+	r := New()
+	_, sp := r.StartRoot(context.Background(), LayerAgent, "op")
+	sp.End(nil)
+	sp.End(errors.New("second"))
+	if n := r.LayerWall(LayerAgent).Count(); n != 1 {
+		t.Fatalf("double End recorded %d observations", n)
+	}
+	if len(r.Flight()) != 1 {
+		t.Fatalf("double End pushed %d trees", len(r.Flight()))
+	}
+	if d := r.Flight()[0]; d.Err != "" {
+		t.Fatalf("second End mutated the span: err=%q", d.Err)
+	}
+}
+
+func TestFaultDumpCapturesInFlight(t *testing.T) {
+	r := New()
+	ctx, root := r.StartRoot(context.Background(), LayerTxn, "commit")
+	root.SetTxn(7)
+	_, dev := StartSpan(ctx, LayerDevice, "write")
+
+	// A previously completed op should appear under Recent.
+	_, done := r.StartRoot(context.Background(), LayerAgent, "read")
+	done.End(nil)
+
+	r.RecordFault("commit.after-log", "crash")
+
+	dumps := r.FaultDumps()
+	if len(dumps) != 1 {
+		t.Fatalf("dumps = %d, want 1", len(dumps))
+	}
+	d := dumps[0]
+	if d.Point != "commit.after-log" || d.Kind != "crash" {
+		t.Fatalf("dump header = %+v", d)
+	}
+	if len(d.InFlight) != 1 {
+		t.Fatalf("in-flight trees = %d, want 1", len(d.InFlight))
+	}
+	tree := d.InFlight[0]
+	if tree.Layer != "txn" || tree.Txn != 7 || !tree.InFlight {
+		t.Fatalf("interrupted root = %+v", tree)
+	}
+	if len(tree.Children) != 1 || tree.Children[0].Layer != "device" || !tree.Children[0].InFlight {
+		t.Fatalf("interrupted child = %+v", tree.Children)
+	}
+	if len(d.Recent) != 1 || d.Recent[0].Layer != "agent" {
+		t.Fatalf("recent trees = %+v", d.Recent)
+	}
+	dev.End(errors.New("torn"))
+	root.End(errors.New("crash"))
+
+	// The dump is a snapshot: ending the spans must not retroactively
+	// change it.
+	if d2 := r.FaultDumps()[0]; !d2.InFlight[0].InFlight {
+		t.Fatalf("dump mutated after span end")
+	}
+}
+
+func TestFaultDumpBound(t *testing.T) {
+	r := New()
+	for i := 0; i < faultDumpCap+5; i++ {
+		r.RecordFault("p", "err")
+	}
+	if n := len(r.FaultDumps()); n != faultDumpCap {
+		t.Fatalf("dumps retained = %d, want %d", n, faultDumpCap)
+	}
+}
+
+func TestGauges(t *testing.T) {
+	r := New()
+	g := r.Gauge("disk.0.queue")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if v := g.Value(); v != 1 {
+		t.Fatalf("gauge = %d, want 1", v)
+	}
+	if r.Gauge("disk.0.queue") != g {
+		t.Fatalf("gauge registry returned a different instance")
+	}
+	snap := r.Gauges()
+	if snap["disk.0.queue"] != 1 {
+		t.Fatalf("gauge snapshot = %v", snap)
+	}
+}
+
+func TestProfileRender(t *testing.T) {
+	r := New()
+	for i := 0; i < 100; i++ {
+		r.Observe(LayerDevice, time.Duration(i+1)*time.Millisecond, time.Duration(i+1)*time.Millisecond)
+	}
+	r.Gauge("lock.waiters").Set(3)
+	p := r.Profile()
+	if p == nil {
+		t.Fatal("nil profile")
+	}
+	var dev *LayerStats
+	for i := range p.Layers {
+		if p.Layers[i].Layer == "device" {
+			dev = &p.Layers[i]
+		}
+	}
+	if dev == nil || dev.Count != 100 {
+		t.Fatalf("device stats = %+v", dev)
+	}
+	if dev.WallP50NS <= 0 || dev.WallP99NS < dev.WallP50NS {
+		t.Fatalf("quantiles out of order: p50=%d p99=%d", dev.WallP50NS, dev.WallP99NS)
+	}
+	text := p.String()
+	for _, want := range []string{"device", "wall p99", "lock.waiters = 3"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("profile text missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := p.JSON(); err != nil {
+		t.Fatalf("profile JSON: %v", err)
+	}
+}
+
+// TestConcurrentSpans exercises parallel span creation, fault dumps and
+// flight snapshots under the race detector.
+func TestConcurrentSpans(t *testing.T) {
+	r := New(WithFlightCapacity(16))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, root := r.StartRoot(context.Background(), LayerAgent, "op")
+				_, child := StartSpan(ctx, LayerDevice, "io")
+				child.AddBytes(512)
+				child.End(nil)
+				if i%50 == 0 {
+					r.RecordFault("p", "delay")
+				}
+				root.End(nil)
+			}
+		}(g)
+	}
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for i := 0; i < 100; i++ {
+			r.InFlight()
+			r.Flight()
+			r.Profile()
+		}
+	}()
+	wg.Wait()
+	snapWG.Wait()
+	if n := r.LayerWall(LayerAgent).Count(); n != 8*200 {
+		t.Fatalf("agent observations = %d, want %d", n, 8*200)
+	}
+	if got := len(r.Flight()); got != 16 {
+		t.Fatalf("flight retained = %d, want 16", got)
+	}
+}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// LayerStats is one layer's latency summary inside a Profile. All times
+// are nanoseconds so the JSON form is unit-unambiguous.
+type LayerStats struct {
+	Layer      string `json:"layer"`
+	Count      int64  `json:"count"`
+	WallP50NS  int64  `json:"wall_p50_ns"`
+	WallP95NS  int64  `json:"wall_p95_ns"`
+	WallP99NS  int64  `json:"wall_p99_ns"`
+	WallMaxNS  int64  `json:"wall_max_ns"`
+	WallMeanNS int64  `json:"wall_mean_ns"`
+	VirtP50NS  int64  `json:"virt_p50_ns"`
+	VirtP99NS  int64  `json:"virt_p99_ns"`
+}
+
+// Profile is the per-layer latency breakdown plus gauge snapshot — the
+// export form served by rhodosd's /debug/profile, embedded in
+// rhodos-bench's JSON results, and printed by rhodos-trace -profile.
+type Profile struct {
+	Layers     []LayerStats     `json:"layers"`
+	Gauges     map[string]int64 `json:"gauges,omitempty"`
+	Trees      int              `json:"trees"`
+	FaultDumps int              `json:"fault_dumps,omitempty"`
+}
+
+// Profile summarizes the recorder's histograms and gauges. Layers with no
+// observations are included with zero rows so the table shape is stable.
+func (r *Recorder) Profile() *Profile {
+	if r == nil {
+		return nil
+	}
+	p := &Profile{
+		Gauges: r.Gauges(),
+		Trees:  r.flight.total(),
+	}
+	r.dmu.Lock()
+	p.FaultDumps = len(r.dumps)
+	r.dmu.Unlock()
+	for l := Layer(0); l < numLayers; l++ {
+		w, v := &r.wall[l], &r.virt[l]
+		p.Layers = append(p.Layers, LayerStats{
+			Layer:      l.String(),
+			Count:      w.Count(),
+			WallP50NS:  int64(w.Quantile(0.50)),
+			WallP95NS:  int64(w.Quantile(0.95)),
+			WallP99NS:  int64(w.Quantile(0.99)),
+			WallMaxNS:  int64(w.Max()),
+			WallMeanNS: int64(w.Mean()),
+			VirtP50NS:  int64(v.Quantile(0.50)),
+			VirtP99NS:  int64(v.Quantile(0.99)),
+		})
+	}
+	return p
+}
+
+// fmtNS renders nanoseconds with an adaptive unit.
+func fmtNS(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// Render writes the profile as an aligned text table.
+func (p *Profile) Render(w io.Writer) {
+	if p == nil {
+		return
+	}
+	cols := []string{"layer", "count", "wall p50", "wall p95", "wall p99", "wall max", "wall mean", "virt p50", "virt p99"}
+	rows := make([][]string, 0, len(p.Layers))
+	for _, ls := range p.Layers {
+		if ls.Count == 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			ls.Layer,
+			fmt.Sprint(ls.Count),
+			fmtNS(ls.WallP50NS),
+			fmtNS(ls.WallP95NS),
+			fmtNS(ls.WallP99NS),
+			fmtNS(ls.WallMaxNS),
+			fmtNS(ls.WallMeanNS),
+			fmtNS(ls.VirtP50NS),
+			fmtNS(ls.VirtP99NS),
+		})
+	}
+	fmt.Fprintln(w, "per-layer latency profile:")
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "  (no observations)")
+		return
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(cols)
+	sep := make([]string, len(cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range rows {
+		line(row)
+	}
+	if len(p.Gauges) > 0 {
+		names := make([]string, 0, len(p.Gauges))
+		for n := range p.Gauges {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "gauges:")
+		for _, n := range names {
+			fmt.Fprintf(w, "  %s = %d\n", n, p.Gauges[n])
+		}
+	}
+	if p.FaultDumps > 0 {
+		fmt.Fprintf(w, "fault dumps captured: %d\n", p.FaultDumps)
+	}
+}
+
+// String renders the profile to a string.
+func (p *Profile) String() string {
+	var b strings.Builder
+	p.Render(&b)
+	return b.String()
+}
+
+// JSON marshals the profile with indentation.
+func (p *Profile) JSON() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// Render writes the span tree as indented text, one span per line.
+func (d *SpanData) Render(w io.Writer) { d.render(w, 0) }
+
+func (d *SpanData) render(w io.Writer, depth int) {
+	if d == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString(strings.Repeat("  ", depth))
+	b.WriteString(d.Layer)
+	b.WriteByte(' ')
+	b.WriteString(d.Op)
+	if d.File != 0 {
+		fmt.Fprintf(&b, " file=%d", d.File)
+	}
+	if d.Txn != 0 {
+		fmt.Fprintf(&b, " txn=%d", d.Txn)
+	}
+	if d.Bytes != 0 {
+		fmt.Fprintf(&b, " bytes=%d", d.Bytes)
+	}
+	if d.InFlight {
+		b.WriteString(" IN-FLIGHT")
+	} else {
+		fmt.Fprintf(&b, " wall=%s virt=%s", fmtNS(d.WallNS), fmtNS(d.VirtNS))
+	}
+	if d.Err != "" {
+		fmt.Fprintf(&b, " err=%q", d.Err)
+	}
+	fmt.Fprintln(w, b.String())
+	for _, c := range d.Children {
+		c.render(w, depth+1)
+	}
+}
+
+// String renders the span tree to a string.
+func (d *SpanData) String() string {
+	var b strings.Builder
+	d.Render(&b)
+	return b.String()
+}

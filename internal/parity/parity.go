@@ -37,6 +37,7 @@
 package parity
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -48,6 +49,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/freespace"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 )
 
@@ -105,6 +107,8 @@ type Config struct {
 	// Fault is the fault injector consulted at the rebuild crash points.
 	// Optional; nil injects nothing.
 	Fault *fault.Injector
+	// Obs receives parity-layer latency observations. Optional.
+	Obs *obs.Recorder
 }
 
 // Array is a rotating-parity striped layout over K+1 disk services,
@@ -135,7 +139,8 @@ type Array struct {
 	rebuildMu   sync.Mutex // serializes rebuild steppers
 	stripeLocks [stripeLockCount]sync.Mutex
 
-	fault *fault.Injector
+	fault  *fault.Injector
+	obsRec *obs.Recorder
 }
 
 // New builds an array over the given disk servers, claiming the striped
@@ -159,6 +164,7 @@ func New(cfg Config) (*Array, error) {
 		met:     cfg.Metrics,
 		overlap: cfg.Overlap,
 		fault:   cfg.Fault,
+		obsRec:  cfg.Obs,
 		disks:   append([]*diskservice.Server(nil), cfg.Disks...),
 		base:    make([]int, len(cfg.Disks)),
 		failed:  -1,
@@ -482,6 +488,21 @@ func (a *Array) checkSpan(addr, n int) error {
 // member disks' stable stores, which survive a main-device failure
 // independently.
 func (a *Array) Get(addr, n int, opts diskservice.GetOptions) ([]byte, error) {
+	return a.GetCtx(context.Background(), addr, n, opts)
+}
+
+// GetCtx is Get carrying a trace context: the read is bracketed as a
+// parity-layer operation. Member-disk I/O is observed by the disk service's
+// own instrumentation.
+func (a *Array) GetCtx(ctx context.Context, addr, n int, opts diskservice.GetOptions) ([]byte, error) {
+	_, op := a.obsRec.StartOp(ctx, obs.LayerParity, "get")
+	data, err := a.get(addr, n, opts)
+	op.Span().AddBytes(len(data))
+	op.End(err)
+	return data, err
+}
+
+func (a *Array) get(addr, n int, opts diskservice.GetOptions) ([]byte, error) {
 	if err := a.checkSpan(addr, n); err != nil {
 		return nil, err
 	}

@@ -1,12 +1,14 @@
 package parity
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/device"
 	"repro/internal/diskservice"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Put writes len(data)/FragmentSize contiguous data fragments starting at
@@ -27,6 +29,19 @@ import (
 // the fault-injection scenarios the experiments exercise — always leave
 // every stripe consistent.
 func (a *Array) Put(addr int, data []byte, opts diskservice.PutOptions) error {
+	return a.PutCtx(context.Background(), addr, data, opts)
+}
+
+// PutCtx is Put carrying a trace context; see GetCtx.
+func (a *Array) PutCtx(ctx context.Context, addr int, data []byte, opts diskservice.PutOptions) error {
+	_, op := a.obsRec.StartOp(ctx, obs.LayerParity, "put")
+	op.Span().AddBytes(len(data))
+	err := a.put(addr, data, opts)
+	op.End(err)
+	return err
+}
+
+func (a *Array) put(addr int, data []byte, opts diskservice.PutOptions) error {
 	if len(data) == 0 || len(data)%FragmentSize != 0 {
 		return fmt.Errorf("parity: put of %d bytes is not whole fragments", len(data))
 	}

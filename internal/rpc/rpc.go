@@ -19,6 +19,7 @@ package rpc
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // PtSend is the fault point on the in-process transport's send path: arm it
@@ -192,6 +194,7 @@ type Endpoint struct {
 	handler Handler
 	dup     *DupCache
 	met     *metrics.Set
+	obsRec  *obs.Recorder
 	// NoDupCache disables idempotency (ablation for E13): every message is
 	// executed, duplicates included.
 	noDup bool
@@ -202,6 +205,10 @@ type EndpointOption func(*Endpoint)
 
 // WithMetrics records request/duplicate counters.
 func WithMetrics(m *metrics.Set) EndpointOption { return func(e *Endpoint) { e.met = m } }
+
+// WithObs observes every handled request as an rpc-layer operation
+// (duplicate-cache replays included — they are real network round trips).
+func WithObs(r *obs.Recorder) EndpointOption { return func(e *Endpoint) { e.obsRec = r } }
 
 // WithoutDupCache disables the duplicate-request cache (E13 ablation).
 func WithoutDupCache() EndpointOption { return func(e *Endpoint) { e.noDup = true } }
@@ -225,6 +232,17 @@ func NewEndpoint(handler Handler, opts ...EndpointOption) *Endpoint {
 
 // Handle executes (or replays) one request.
 func (e *Endpoint) Handle(req Request) Response {
+	_, op := e.obsRec.StartOp(context.Background(), obs.LayerRPC, req.Method)
+	resp := e.handle(req)
+	var err error
+	if resp.Err != "" {
+		err = errors.New(resp.Err)
+	}
+	op.End(err)
+	return resp
+}
+
+func (e *Endpoint) handle(req Request) Response {
 	e.met.Inc(metrics.RPCRequests)
 	if !e.noDup {
 		if resp, ok := e.dup.Lookup(req.ClientID, req.Seq); ok {

@@ -1,6 +1,7 @@
 package txn
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/fit"
 	"repro/internal/intentions"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -32,6 +34,21 @@ var (
 // permanent (WAL or shadow page per §6.7), and only then are the locks
 // released — the second phase of strict 2PL.
 func (s *Service) End(id TxnID) error {
+	return s.EndCtx(context.Background(), id)
+}
+
+// EndCtx is End carrying a trace context. If a fault-injected crash cuts
+// the commit sequence short, the span stays in-flight and the flight
+// recorder's fault dump captures the interrupted commit mid-operation.
+func (s *Service) EndCtx(ctx context.Context, id TxnID) error {
+	_, sp := s.obsRec.StartOr(ctx, obs.LayerTxn, "end")
+	sp.SetTxn(uint64(id))
+	err := s.end(id)
+	sp.End(err)
+	return err
+}
+
+func (s *Service) end(id TxnID) error {
 	t, err := s.get(id)
 	if err != nil {
 		return err

@@ -17,6 +17,7 @@
 package txn
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/intentions"
 	"repro/internal/lock"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/simclock"
 	"repro/internal/wal"
 )
@@ -102,6 +104,9 @@ type Config struct {
 	// Fault is the fault injector consulted at the commit sequence's crash
 	// points. Optional; nil injects nothing.
 	Fault *fault.Injector
+	// Obs receives transaction-layer spans and latency observations.
+	// Optional; nil disables tracing.
+	Obs *obs.Recorder
 }
 
 // txnFile is a transaction's view of one open file.
@@ -172,7 +177,8 @@ type Service struct {
 	// is durable, as if the machine crashed before applying intentions.
 	crashAfterLog bool
 
-	fault *fault.Injector
+	fault  *fault.Injector
+	obsRec *obs.Recorder
 }
 
 // New creates a transaction service.
@@ -195,6 +201,7 @@ func New(cfg Config) (*Service, error) {
 		adaptive:    cfg.AdaptiveDefault,
 		force:       cfg.ForceTechnique,
 		fault:       cfg.Fault,
+		obsRec:      cfg.Obs,
 		txns:        make(map[TxnID]*txnState),
 		fileUse:     make(map[FileID]int),
 		openFreq:    make(map[FileID]int),
@@ -209,7 +216,7 @@ func New(cfg Config) (*Service, error) {
 		}
 		s.locks = lock.New(lock.Config{
 			Clock: clk, LT: cfg.LT, MaxRenewals: cfg.MaxRenewals, Metrics: cfg.Metrics,
-			AllowMixedLevels: cfg.AllowMixedLevels,
+			AllowMixedLevels: cfg.AllowMixedLevels, Obs: cfg.Obs,
 		})
 		s.ownLocks = true
 	}
@@ -482,21 +489,21 @@ func fileWideItem(level fit.LockLevel, item lock.ItemID) lock.ItemID {
 
 // lockRangeLocked acquires the locks an access of [off, off+n) needs, per
 // the file's granularity.
-func (s *Service) lockRange(t *txnState, f *txnFile, off int64, n int, mode lock.Mode) error {
+func (s *Service) lockRange(ctx context.Context, t *txnState, f *txnFile, off int64, n int, mode lock.Mode) error {
 	if n <= 0 {
 		return nil
 	}
 	switch f.level {
 	case fit.LockFile:
-		return s.locks.Acquire(t.lockID, t.pid, lock.File, lock.ItemID{File: uint64(f.id)}, mode)
+		return s.locks.AcquireCtx(ctx, t.lockID, t.pid, lock.File, lock.ItemID{File: uint64(f.id)}, mode)
 	case fit.LockRecord:
-		return s.locks.Acquire(t.lockID, t.pid, lock.Record,
+		return s.locks.AcquireCtx(ctx, t.lockID, t.pid, lock.Record,
 			lock.ItemID{File: uint64(f.id), Offset: uint64(off), Length: uint64(n)}, mode)
 	default: // page
 		first := off / fileservice.BlockSize
 		last := (off + int64(n) - 1) / fileservice.BlockSize
 		for b := first; b <= last; b++ {
-			if err := s.locks.Acquire(t.lockID, t.pid, lock.Page,
+			if err := s.locks.AcquireCtx(ctx, t.lockID, t.pid, lock.Page,
 				lock.ItemID{File: uint64(f.id), Offset: uint64(b)}, mode); err != nil {
 				return err
 			}
@@ -508,6 +515,23 @@ func (s *Service) lockRange(t *txnState, f *txnFile, off int64, n int, mode lock
 // PRead reads n bytes at offset off (tpread). forUpdate takes an Iread lock
 // instead of read-only, for data the transaction intends to modify (§6.3).
 func (s *Service) PRead(id TxnID, fid FileID, off int64, n int, forUpdate bool) ([]byte, error) {
+	return s.PReadCtx(context.Background(), id, fid, off, n, forUpdate)
+}
+
+// PReadCtx is PRead carrying a trace context. The transaction layer is an
+// entry point when driven directly and interior under an agent, so the
+// span roots a new tree if ctx carries none.
+func (s *Service) PReadCtx(ctx context.Context, id TxnID, fid FileID, off int64, n int, forUpdate bool) ([]byte, error) {
+	ctx, sp := s.obsRec.StartOr(ctx, obs.LayerTxn, "pread")
+	sp.SetTxn(uint64(id))
+	sp.SetFile(uint64(fid))
+	data, err := s.pread(ctx, id, fid, off, n, forUpdate)
+	sp.AddBytes(len(data))
+	sp.End(err)
+	return data, err
+}
+
+func (s *Service) pread(ctx context.Context, id TxnID, fid FileID, off int64, n int, forUpdate bool) ([]byte, error) {
 	t, err := s.get(id)
 	if err != nil {
 		return nil, err
@@ -532,17 +556,17 @@ func (s *Service) PRead(id TxnID, fid FileID, off int64, n int, forUpdate bool) 
 	if forUpdate {
 		mode = lock.IRead
 	}
-	if err := s.lockRange(t, f, off, n, mode); err != nil {
+	if err := s.lockRange(ctx, t, f, off, n, mode); err != nil {
 		return nil, s.lockErr(t, err)
 	}
-	return s.readView(t, f, off, n)
+	return s.readView(ctx, t, f, off, n)
 }
 
 // readView builds the transaction's view: committed bytes overlaid with
 // every ancestor's tentative writes (root first) and then its own.
-func (s *Service) readView(t *txnState, f *txnFile, off int64, n int) ([]byte, error) {
+func (s *Service) readView(ctx context.Context, t *txnState, f *txnFile, off int64, n int) ([]byte, error) {
 	buf := make([]byte, n)
-	base, err := s.fs.ReadAt(f.id, off, n)
+	base, err := s.fs.ReadAtCtx(ctx, f.id, off, n)
 	if err != nil && !errors.Is(err, fileservice.ErrNotFound) {
 		return nil, err
 	}
@@ -579,6 +603,21 @@ func (s *Service) Read(id TxnID, fid FileID, n int, forUpdate bool) ([]byte, err
 // PWrite writes data at offset off (tpwrite), recording tentative data items
 // in the intentions list; nothing reaches the committed file until tend.
 func (s *Service) PWrite(id TxnID, fid FileID, off int64, data []byte) (int, error) {
+	return s.PWriteCtx(context.Background(), id, fid, off, data)
+}
+
+// PWriteCtx is PWrite carrying a trace context.
+func (s *Service) PWriteCtx(ctx context.Context, id TxnID, fid FileID, off int64, data []byte) (int, error) {
+	ctx, sp := s.obsRec.StartOr(ctx, obs.LayerTxn, "pwrite")
+	sp.SetTxn(uint64(id))
+	sp.SetFile(uint64(fid))
+	sp.AddBytes(len(data))
+	n, err := s.pwrite(ctx, id, fid, off, data)
+	sp.End(err)
+	return n, err
+}
+
+func (s *Service) pwrite(ctx context.Context, id TxnID, fid FileID, off int64, data []byte) (int, error) {
 	t, err := s.get(id)
 	if err != nil {
 		return 0, err
@@ -593,7 +632,7 @@ func (s *Service) PWrite(id TxnID, fid FileID, off int64, data []byte) (int, err
 	if len(data) == 0 {
 		return 0, nil
 	}
-	if err := s.lockRange(t, f, off, len(data), lock.IWrite); err != nil {
+	if err := s.lockRange(ctx, t, f, off, len(data), lock.IWrite); err != nil {
 		return 0, s.lockErr(t, err)
 	}
 
@@ -610,7 +649,7 @@ func (s *Service) PWrite(id TxnID, fid FileID, off int64, data []byte) (int, err
 		first := off / fileservice.BlockSize
 		last := (off + int64(len(data)) - 1) / fileservice.BlockSize
 		for b := first; b <= last; b++ {
-			page, err := s.tentativePage(t, f, int(b))
+			page, err := s.tentativePage(ctx, t, f, int(b))
 			if err != nil {
 				return 0, err
 			}
@@ -644,10 +683,10 @@ func (s *Service) PWrite(id TxnID, fid FileID, off int64, data []byte) (int, err
 
 // tentativePage returns the transaction's current view of one whole block,
 // including ancestors' tentative data for subtransactions.
-func (s *Service) tentativePage(t *txnState, f *txnFile, blk int) ([]byte, error) {
+func (s *Service) tentativePage(ctx context.Context, t *txnState, f *txnFile, blk int) ([]byte, error) {
 	page := make([]byte, fileservice.BlockSize)
 	off := int64(blk) * fileservice.BlockSize
-	base, err := s.fs.ReadAt(f.id, off, fileservice.BlockSize)
+	base, err := s.fs.ReadAtCtx(ctx, f.id, off, fileservice.BlockSize)
 	if err != nil {
 		return nil, err
 	}
