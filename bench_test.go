@@ -179,3 +179,13 @@ func BenchmarkE18Torture(b *testing.B) {
 	}
 	b.ReportMetric(float64(held), "scenarios-recovered")
 }
+
+// BenchmarkE19GroupCommit: commit throughput with batched WAL syncs vs one
+// barrier per commit (§6.6's stable-storage barrier, amortized).
+func BenchmarkE19GroupCommit(b *testing.B) {
+	tbl := runExperiment(b, experiments.E19GroupCommit)
+	// Rows pair solo/group per worker count: rows 6,7 are solo/group at 8
+	// workers. Column 7 is the speedup over solo, column 4 commits/sync.
+	b.ReportMetric(metric(tbl, 7, 7), "x-speedup-8-workers")
+	b.ReportMetric(metric(tbl, 7, 4), "commits/sync-8-workers")
+}

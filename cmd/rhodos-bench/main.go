@@ -1,6 +1,7 @@
-// Command rhodos-bench runs the reproduction experiments (E1–E17 and the
+// Command rhodos-bench runs the reproduction experiments (E1–E19 and the
 // paper's Table 1) and prints their result tables — the data recorded in
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. E19 (group commit) is wall-clock but fast, so it stays in
+// the -smoke pass; only E16 is dropped there.
 //
 // Usage:
 //

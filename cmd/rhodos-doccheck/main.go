@@ -1,0 +1,163 @@
+// Command rhodos-doccheck keeps the prose honest. It is a grep-style
+// linter for the repo's markdown, run by CI, that fails on:
+//
+//  1. Broken intra-repo links: [text](path) targets that are neither
+//     external URLs nor files/directories that exist relative to the
+//     markdown file.
+//  2. Vanished identifiers: backticked `pkg.Exported` references in
+//     DESIGN.md and EXPERIMENTS.md whose package directory exists under
+//     internal/ but whose exported identifier no longer appears as a
+//     declaration in that package's Go source.
+//
+// It deliberately checks declarations by regular expression, not by
+// type-checking: the docs should survive refactors that keep names, and
+// the checker should stay dependency-free and fast.
+//
+// Usage:
+//
+//	rhodos-doccheck [-root DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// identFiles are the documents whose `pkg.Ident` references must resolve
+// against the source tree. Other markdown files only get link checking.
+var identFiles = map[string]bool{
+	"DESIGN.md":      true,
+	"EXPERIMENTS.md": true,
+}
+
+var (
+	// linkRE matches [text](target); images ![alt](target) share the tail.
+	linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	// identRE matches `pkg.Exported` (optionally `pkg.Exported.Field` or a
+	// trailing call) inside backticks: a lowercase package name, a dot, an
+	// exported identifier.
+	identRE = regexp.MustCompile("`([a-z][a-z0-9]*)\\.([A-Z][A-Za-z0-9_]*)[^`]*`")
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+	os.Exit(run(*root))
+}
+
+func run(root string) int {
+	mds, err := filepath.Glob(filepath.Join(root, "*.md"))
+	if err != nil || len(mds) == 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: no markdown files under %s\n", root)
+		return 1
+	}
+	problems := 0
+	for _, md := range mds {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			return 1
+		}
+		lines := strings.Split(string(data), "\n")
+		for i, line := range lines {
+			for _, msg := range checkLinks(root, md, line) {
+				fmt.Fprintf(os.Stderr, "%s:%d: %s\n", md, i+1, msg)
+				problems++
+			}
+			if identFiles[filepath.Base(md)] {
+				for _, msg := range checkIdents(root, line) {
+					fmt.Fprintf(os.Stderr, "%s:%d: %s\n", md, i+1, msg)
+					problems++
+				}
+			}
+		}
+	}
+	if problems > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", problems)
+		return 1
+	}
+	fmt.Println("doccheck: OK")
+	return 0
+}
+
+// checkLinks reports intra-repo link targets on one line that do not exist.
+func checkLinks(root, md, line string) []string {
+	var msgs []string
+	for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue // external
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue // same-file anchor
+		}
+		var p string
+		if strings.HasPrefix(target, "/") {
+			p = filepath.Join(root, target)
+		} else {
+			p = filepath.Join(filepath.Dir(md), target)
+		}
+		if _, err := os.Stat(p); err != nil {
+			msgs = append(msgs, fmt.Sprintf("broken link: %s", m[1]))
+		}
+	}
+	return msgs
+}
+
+// checkIdents reports backticked pkg.Ident references whose package exists
+// under internal/ but whose identifier has no declaration there.
+func checkIdents(root, line string) []string {
+	var msgs []string
+	for _, m := range identRE.FindAllStringSubmatch(line, -1) {
+		pkg, ident := m[1], m[2]
+		dir := filepath.Join(root, "internal", pkg)
+		if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+			continue // stdlib or prose qualifier, not one of ours
+		}
+		ok, err := declaredIn(dir, ident)
+		if err != nil {
+			msgs = append(msgs, err.Error())
+			continue
+		}
+		if !ok {
+			msgs = append(msgs, fmt.Sprintf("vanished identifier: `%s.%s` not declared in internal/%s", pkg, ident, pkg))
+		}
+	}
+	return msgs
+}
+
+// declaredIn greps the package's Go files for a top-level (or block-entry)
+// declaration of ident.
+func declaredIn(dir, ident string) (bool, error) {
+	pats := []*regexp.Regexp{
+		regexp.MustCompile(`(?m)^func ` + ident + `[\[(]`),
+		regexp.MustCompile(`(?m)^func \([^)]*\) ` + ident + `[\[(]`),
+		regexp.MustCompile(`(?m)^type ` + ident + `[ \[]`),
+		regexp.MustCompile(`(?m)^(var|const) ` + ident + `\b`),
+		// entries inside var/const/type blocks and struct fields
+		regexp.MustCompile(`(?m)^\t` + ident + `\b`),
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return false, err
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return false, err
+		}
+		for _, p := range pats {
+			if p.Match(data) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}

@@ -13,6 +13,15 @@
 //	rhodos-trace -profile            # per-layer p50/p95/p99 table
 //	rhodos-trace -profile -json      # machine-readable run + profile
 //	rhodos-trace -spans 3            # dump the 3 most recent span trees
+//
+// With -commit N the drive phase becomes N concurrent committers running
+// record-mode transactions (splitting -ops commits between them) with the
+// log devices slowed to wall-clock, so the profile shows the commit path:
+// the wal layer's sync barriers and the txn.group.batch_size histogram.
+// -nogroup disables group commit for the one-sync-per-commit baseline:
+//
+//	rhodos-trace -commit 8 -profile           # group commit (default)
+//	rhodos-trace -commit 8 -nogroup -profile  # baseline: one sync per commit
 package main
 
 import (
@@ -21,13 +30,16 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sync"
 	"time"
 
+	"repro/internal/agent"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/fit"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/txn"
 	"repro/internal/workload"
 )
 
@@ -48,6 +60,8 @@ type traceResult struct {
 	PopulateWallNS int64            `json:"populate_wall_ns"`
 	DriveWallNS    int64            `json:"drive_wall_ns"`
 	SimTimeNS      int64            `json:"sim_time_ns"`
+	Committers     int              `json:"committers,omitempty"`
+	GroupCommit    bool             `json:"group_commit,omitempty"`
 	DiskRefs       int64            `json:"disk_refs"`
 	ServerHitRate  float64          `json:"server_hit_rate"`
 	TrackHitRate   float64          `json:"track_hit_rate"`
@@ -69,6 +83,8 @@ func run() int {
 	profile := flag.Bool("profile", false, "print the per-layer latency profile")
 	spans := flag.Int("spans", 0, "dump the N most recent completed span trees")
 	jsonOut := flag.Bool("json", false, "emit the run summary, counters and profile as JSON")
+	commit := flag.Int("commit", 0, "drive N concurrent committers (record-mode transactions) instead of the read/write mix")
+	noGroup := flag.Bool("nogroup", false, "disable group commit: one WAL sync per commit (only meaningful with -commit)")
 	flag.Parse()
 
 	var sizeDist workload.SizeDist
@@ -94,6 +110,7 @@ func run() int {
 		// full stack and the per-layer profile reflects real path costs.
 		DisableClientCache: true,
 		Obs:                rec,
+		GroupCommit:        txn.GroupCommitConfig{Disable: *noGroup},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhodos-trace: %v\n", err)
@@ -142,20 +159,27 @@ func run() int {
 
 	// Drive.
 	start = time.Now()
-	for i := 0; i < *ops; i++ {
-		k := rng.Intn(len(fds))
-		a := gens[k].Next(rng)
-		if a.Read {
-			if _, err := fa.PRead(proc, fds[k], a.Offset, a.Length); err != nil {
-				fmt.Fprintf(os.Stderr, "read: %v\n", err)
-				return 1
-			}
-		} else {
-			buf := make([]byte, a.Length)
-			rng.Read(buf)
-			if _, err := fa.PWrite(proc, fds[k], a.Offset, buf); err != nil {
-				fmt.Fprintf(os.Stderr, "write: %v\n", err)
-				return 1
+	if *commit > 0 {
+		if err := driveCommits(cluster, m, *commit, *ops, *opSize); err != nil {
+			fmt.Fprintf(os.Stderr, "commit: %v\n", err)
+			return 1
+		}
+	} else {
+		for i := 0; i < *ops; i++ {
+			k := rng.Intn(len(fds))
+			a := gens[k].Next(rng)
+			if a.Read {
+				if _, err := fa.PRead(proc, fds[k], a.Offset, a.Length); err != nil {
+					fmt.Fprintf(os.Stderr, "read: %v\n", err)
+					return 1
+				}
+			} else {
+				buf := make([]byte, a.Length)
+				rng.Read(buf)
+				if _, err := fa.PWrite(proc, fds[k], a.Offset, buf); err != nil {
+					fmt.Fprintf(os.Stderr, "write: %v\n", err)
+					return 1
+				}
 			}
 		}
 	}
@@ -173,6 +197,8 @@ func run() int {
 			PopulateWallNS: populate.Nanoseconds(),
 			DriveWallNS:    drive.Nanoseconds(),
 			SimTimeNS:      met.SimTime().Nanoseconds(),
+			Committers:     *commit,
+			GroupCommit:    *commit > 0 && !*noGroup,
 			DiskRefs:       refs,
 			ServerHitRate:  serverRate,
 			TrackHitRate:   trackRate,
@@ -197,8 +223,17 @@ func run() int {
 		return 0
 	}
 
-	fmt.Printf("workload : %d files (%s), %d ops (%.0f%% reads, %dB, seq=%v) on %d disk(s)\n",
-		*files, *dist, *ops, *readFrac*100, *opSize, *seq, *disks)
+	if *commit > 0 {
+		mode := "group commit"
+		if *noGroup {
+			mode = "no group commit (one sync per commit)"
+		}
+		fmt.Printf("workload : %d committers x %d record-mode commits (%dB), %s\n",
+			*commit, *ops / *commit, *opSize, mode)
+	} else {
+		fmt.Printf("workload : %d files (%s), %d ops (%.0f%% reads, %dB, seq=%v) on %d disk(s)\n",
+			*files, *dist, *ops, *readFrac*100, *opSize, *seq, *disks)
+	}
 	fmt.Printf("populate : %v wall\n", populate.Round(time.Millisecond))
 	fmt.Printf("drive    : %v wall, %v simulated disk time\n",
 		drive.Round(time.Millisecond), met.SimTime().Round(time.Millisecond))
@@ -221,6 +256,65 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// driveCommits splits ops commits across workers goroutines, each running
+// record-mode transactions on its own file. The log devices are slowed to
+// wall-clock for the duration (as in E19), so the sync-barrier count — not
+// scheduling noise — dominates the drive time and the wal layer's profile.
+func driveCommits(cluster *core.Cluster, m *agent.Machine, workers, ops, opSize int) error {
+	payload := make([]byte, opSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	per := ops / workers
+	if per == 0 {
+		per = 1
+	}
+	cluster.SetLogWallFactor(0.05)
+	defer cluster.SetLogWallFactor(0)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p := m.NewProcess()
+			path := fmt.Sprintf("/trace/c%04d", w)
+			for j := 0; j < per; j++ {
+				id, err := p.TBegin()
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				var fd int
+				if j == 0 {
+					fd, err = p.TCreate(id, path, fit.Attributes{Locking: fit.LockRecord})
+				} else {
+					fd, err = p.TOpen(id, path, fit.LockRecord)
+				}
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if _, err := p.TPWrite(id, fd, int64(j*opSize), payload); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := p.TEnd(id); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			return fmt.Errorf("committer %d: %w", w, err)
+		}
+	}
+	return nil
 }
 
 func min(a, b int) int {

@@ -8,6 +8,15 @@
 // (dirty buffers flushed on eviction or an explicit Flush, the policy of the
 // file agent) or write-through (every dirty Put is written back immediately,
 // the policy the file service adds for transaction data).
+//
+// Concurrency and ownership contract: Pool and Cache are safe for
+// concurrent use. Buffers are copied on Put and Get, so callers keep
+// ownership of their slices. Writebacks run outside the cache mutex
+// (per-entry in-flight flags keep writebacks of one key serialized, and a
+// generation number detects redirtying during a flush); the one duty left
+// to the caller: concurrent dirty Puts of the same key in a WriteThrough
+// cache must be serialized above — every user here does so from under a
+// per-file or per-track lock.
 package cache
 
 import (

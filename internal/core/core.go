@@ -81,6 +81,10 @@ type Config struct {
 	Metrics *metrics.Set
 	// ForceTechnique overrides the §6.7 commit-technique rule (ablation E8).
 	ForceTechnique intentions.Technique
+	// GroupCommit configures batched commit-record syncing on the
+	// transaction service (E19). Zero value = enabled with defaults; set
+	// GroupCommit.Disable for the one-sync-per-commit baseline.
+	GroupCommit txn.GroupCommitConfig
 	// AllowMixedLevels enables §6.1's deferred relaxation: one file may be
 	// locked at several granularities by concurrent transactions.
 	AllowMixedLevels bool
@@ -277,7 +281,8 @@ func (c *Cluster) buildServices(fresh bool) error {
 	if err != nil {
 		return err
 	}
-	c.Log, err = wal.Open(c.logStable, c.logStart, c.cfg.LogFragments, wal.WithFault(c.cfg.Fault))
+	c.Log, err = wal.Open(c.logStable, c.logStart, c.cfg.LogFragments,
+		wal.WithFault(c.cfg.Fault), wal.WithObs(c.cfg.Obs), wal.WithMetrics(c.cfg.Metrics))
 	if err != nil {
 		return err
 	}
@@ -294,7 +299,7 @@ func (c *Cluster) buildServices(fresh bool) error {
 		Files: c.Files, Log: c.Log, Locks: c.locks,
 		Metrics: c.cfg.Metrics, ForceTechnique: c.cfg.ForceTechnique,
 		AdaptiveDefault: c.cfg.AdaptiveLockLevel, Fault: c.cfg.Fault,
-		Obs: c.cfg.Obs,
+		Obs: c.cfg.Obs, Group: c.cfg.GroupCommit,
 	})
 	return err
 }
@@ -339,6 +344,14 @@ func (c *Cluster) DiskServer(i int) *diskservice.Server { return c.servers[i] }
 
 // Device returns drive i (failure injection in tests and examples).
 func (c *Cluster) Device(i int) *device.Disk { return c.devices[i] }
+
+// SetLogWallFactor scales real sleeps on the write-ahead log's stable pair
+// so wall-clock experiments (E19) can charge commit barriers a realistic
+// latency. The data disks are unaffected; see device.SetWallFactor.
+func (c *Cluster) SetLogWallFactor(f float64) {
+	c.logDevs[0].SetWallFactor(f)
+	c.logDevs[1].SetWallFactor(f)
+}
 
 // Parity returns the parity array, or nil unless LayoutParity.
 func (c *Cluster) Parity() *parity.Array { return c.parity }

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner per
-// experiment in DESIGN.md's per-experiment index (E1–E17 plus Table 1),
+// experiment in DESIGN.md's per-experiment index (E1–E19 plus Table 1),
 // each returning a rendered table with the same rows the paper's claims are
 // stated in — disk references, cache hits, committed transactions, commit
 // I/O, recovery outcomes, wall-clock throughput.
@@ -97,7 +97,7 @@ func (t *Table) Render(w io.Writer) {
 	}
 	if t.Profile != nil {
 		fmt.Fprintln(w)
-		fmt.Fprintln(w, "  per-layer latency profile:")
+		// Profile.String() carries its own header line.
 		for _, ln := range strings.Split(strings.TrimRight(t.Profile.String(), "\n"), "\n") {
 			fmt.Fprintln(w, "  "+ln)
 		}
@@ -141,5 +141,6 @@ func All() []Runner {
 		{"E16", "Wall-clock parallel throughput", E16ParallelThroughput},
 		{"E17", "Parity-striped layout", E17Parity},
 		{"E18", "Crash-recovery torture harness", E18Torture},
+		{"E19", "Group-commit throughput", E19GroupCommit},
 	}
 }

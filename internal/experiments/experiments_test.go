@@ -29,8 +29,8 @@ func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
 
 func TestAllRunnersListed(t *testing.T) {
 	runners := All()
-	if len(runners) != 19 {
-		t.Fatalf("All() = %d runners, want 19 (T1 + E1..E18)", len(runners))
+	if len(runners) != 20 {
+		t.Fatalf("All() = %d runners, want 20 (T1 + E1..E19)", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -343,7 +343,8 @@ func TestE18Shape(t *testing.T) {
 		}
 		// Every txn recipe runs a traced cluster: the fault observer must have
 		// dumped the flight recorder with the interrupted commit in flight.
-		if tbl.Rows[row][2] == "txn-commit" && tbl.Rows[row][6] == "-" {
+		recipe := tbl.Rows[row][2]
+		if (recipe == "txn-commit" || recipe == "group-commit") && tbl.Rows[row][6] == "-" {
 			t.Errorf("E18 %s: no flight-recorder dump captured", tbl.Rows[row][0])
 		}
 	}
@@ -461,4 +462,45 @@ type testWriter struct{ t *testing.T }
 func (w testWriter) Write(p []byte) (int, error) {
 	w.t.Log(string(p))
 	return len(p), nil
+}
+
+// TestE19Shape asserts the group-commit claim on its extremes: at 8
+// concurrent committers, group mode must amortize barriers (far fewer syncs
+// than commits) and beat solo-mode throughput. Wall-clock scaling on a
+// loaded host is noisy, so one clean attempt out of two is accepted and the
+// threshold is conservative — the typical gap is much larger.
+func TestE19Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E19 measures wall-clock time with log spindle occupancy enabled")
+	}
+	rec := obs.New()
+	var speedup float64
+	for attempt := 0; attempt < 2; attempt++ {
+		solo, err := e19Run(false, 8, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		group, err := e19Run(true, 8, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if group.syncs >= int64(group.commits) {
+			t.Fatalf("group mode issued %d syncs for %d commits; batching never happened", group.syncs, group.commits)
+		}
+		if solo.syncs != int64(solo.commits) {
+			t.Fatalf("solo mode issued %d syncs for %d commits; want exactly one barrier each", solo.syncs, solo.commits)
+		}
+		speedup = (float64(group.commits) / group.wall.Seconds()) / (float64(solo.commits) / solo.wall.Seconds())
+		t.Logf("E19 attempt %d: solo %d commits/%d syncs in %v; group %d commits/%d syncs in %v; speedup %.2f",
+			attempt, solo.commits, solo.syncs, solo.wall, group.commits, group.syncs, group.wall, speedup)
+		if speedup >= 1.5 {
+			break
+		}
+	}
+	if speedup < 1.5 {
+		t.Errorf("E19: group commit speedup %.2f at 8 workers, want >= 1.5", speedup)
+	}
+	if h := rec.ValueHist("txn.group.batch_size"); h.Count() == 0 {
+		t.Error("E19: no batch sizes recorded in the txn.group.batch_size histogram")
+	}
 }

@@ -2,9 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -34,6 +37,12 @@ const (
 	// TortureMedia injects a media error on a stable read and checks the
 	// careful-read fallback to the mirror.
 	TortureMedia
+	// TortureGroup kills a group-commit batch leader at a batch boundary
+	// while several committers share the batch, and checks the batch-wide
+	// contract: every unacknowledged member is fully durable or fully
+	// invisible after recovery — never a mix within one batch, never a torn
+	// member.
+	TortureGroup
 )
 
 // String implements fmt.Stringer.
@@ -45,6 +54,8 @@ func (k TortureKind) String() string {
 		return "parity-rebuild"
 	case TortureMedia:
 		return "media-read"
+	case TortureGroup:
+		return "group-commit"
 	default:
 		return fmt.Sprintf("TortureKind(%d)", int(k))
 	}
@@ -121,6 +132,12 @@ func TortureScenarios() []TortureScenario {
 		// Careful read: a media error on the primary falls back to the mirror.
 		{Point: device.PtRead, Action: fault.Action{Kind: fault.KindError, Err: device.ErrMediaError},
 			Kind: TortureMedia},
+		// Group commit: the batch leader dies on either side of the shared
+		// sync, with several committers parked on the batch. Before the sync
+		// nothing in the batch is durable; after it everything is, even
+		// though no follower was ever told.
+		{Point: txn.PtGroupBeforeSync, Action: crash, Kind: TortureGroup, Durable: false},
+		{Point: txn.PtGroupLeaderSynced, Action: crash, Kind: TortureGroup, Durable: true},
 	}
 }
 
@@ -155,6 +172,8 @@ func RunTorture(sc TortureScenario, seed int64) (*TortureResult, error) {
 		return runTortureParity(sc, seed)
 	case TortureMedia:
 		return runTortureMedia(sc, seed)
+	case TortureGroup:
+		return runTortureGroup(sc, seed)
 	default:
 		return runTortureTxn(sc, seed)
 	}
@@ -289,6 +308,173 @@ func runTortureTxn(sc TortureScenario, seed int64) (*TortureResult, error) {
 	}
 
 	// A second reconcile pass must find nothing left to heal.
+	if err := checkMirrors(res, c, true); err != nil {
+		return nil, err
+	}
+	rep, err := c.Files.Check()
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Ok() {
+		res.fail("fsck: %s", strings.Join(rep.Problems, "; "))
+	}
+	return res, nil
+}
+
+// runTortureGroup overwrites W per-worker files under W concurrent
+// transactions whose commits share one group-commit batch, kills the batch
+// leader at the armed point, reboots, recovers, and verifies the batch-wide
+// atomicity contract: a worker whose End returned nil is durable; a worker
+// that crashed or saw ErrCommitInterrupted is fully durable when the leader
+// had synced (Durable scenarios) and fully invisible when the crash preceded
+// the sync and no later batch synced behind it; no file is ever torn.
+func runTortureGroup(sc TortureScenario, seed int64) (*TortureResult, error) {
+	const workers = 4
+	inj := fault.NewInjector(seed)
+	rec := obs.New()
+	c, err := core.New(core.Config{
+		Geometry:       device.Geometry{FragmentsPerTrack: 32, Tracks: 256},
+		LogFragments:   2048,
+		Fault:          inj,
+		ForceTechnique: intentions.WAL,
+		Obs:            rec,
+		// MaxDelay makes the first leader linger, so all workers join one
+		// batch and the armed crash strikes a batch with parked followers.
+		GroupCommit: txn.GroupCommitConfig{MaxBatch: workers, MaxDelay: 100 * time.Millisecond},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.Close() }()
+
+	rng := rand.New(rand.NewSource(seed))
+	var fids [workers]txn.FileID
+	var olds, news [workers][]byte
+	for i := 0; i < workers; i++ {
+		olds[i] = make([]byte, 12000)
+		rng.Read(olds[i])
+		news[i] = make([]byte, len(olds[i]))
+		rng.Read(news[i])
+		a, err := c.Txns.Begin(1)
+		if err != nil {
+			return nil, err
+		}
+		fids[i], err = c.Txns.Create(a, fit.Attributes{Locking: fit.LockPage})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := c.Txns.PWrite(a, fids[i], 0, olds[i]); err != nil {
+			return nil, err
+		}
+		if err := c.Txns.End(a); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+
+	inj.Arm(sc.Point, sc.Action)
+	var wg sync.WaitGroup
+	var crashes [workers]*fault.Crash
+	var errs [workers]error
+	start := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			crashes[i], errs[i] = fault.Run(func() error {
+				b, err := c.Txns.Begin(10 + i)
+				if err != nil {
+					return err
+				}
+				if err := c.Txns.Open(b, fids[i], fit.LockPage); err != nil {
+					return err
+				}
+				if _, err := c.Txns.PWrite(b, fids[i], 0, news[i]); err != nil {
+					return err
+				}
+				return c.Txns.End(b)
+			})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	inj.DisarmAll()
+
+	nCrashed, nSuccess := 0, 0
+	for i := 0; i < workers; i++ {
+		switch {
+		case crashes[i] != nil:
+			nCrashed++
+		case errs[i] == nil:
+			nSuccess++
+		}
+	}
+	if nCrashed != 1 {
+		return nil, fmt.Errorf("fault at %s killed %d workers; want exactly the batch leader", sc.Point, nCrashed)
+	}
+	res := &TortureResult{Fired: inj.Fired(sc.Point)}
+	if dumps := rec.FaultDumps(); len(dumps) > 0 {
+		res.Dump = dumps[0]
+	}
+	for i := 0; i < workers; i++ {
+		if crashes[i] == nil && errs[i] != nil && !errors.Is(errs[i], txn.ErrCommitInterrupted) {
+			res.fail("worker %d: unexpected commit error %v", i, errs[i])
+		}
+	}
+
+	// Reboot, reconcile the mirrors, replay the log.
+	if err := c.Crash(); err != nil {
+		return nil, err
+	}
+	if err := checkMirrors(res, c, false); err != nil {
+		return nil, err
+	}
+	res.Redone, err = c.Recover()
+	if err != nil {
+		return nil, err
+	}
+
+	nDurable, nInvisible := 0, 0
+	for i := 0; i < workers; i++ {
+		got, err := c.Files.ReadAt(fids[i], 0, len(olds[i]))
+		if err != nil {
+			return nil, fmt.Errorf("reading worker %d file: %w", i, err)
+		}
+		var state string
+		switch {
+		case bytes.Equal(got, news[i]):
+			state = "durable"
+			nDurable++
+		case bytes.Equal(got, olds[i]):
+			state = "invisible"
+			nInvisible++
+		default:
+			res.fail("worker %d: file torn after recovery", i)
+			continue
+		}
+		acknowledged := crashes[i] == nil && errs[i] == nil
+		switch {
+		case acknowledged && state != "durable":
+			res.fail("worker %d: commit acknowledged but %s after recovery", i, state)
+		case !acknowledged && sc.Durable && state != "durable":
+			// The leader synced the batch before dying: every member's
+			// commit record is on stable storage.
+			res.fail("worker %d: leader synced before crashing but commit %s", i, state)
+		case !acknowledged && !sc.Durable && nSuccess == 0 && state != "invisible":
+			// No sync ever completed, so no member's record can be durable.
+			// (A straggler batch that synced behind the crash legitimately
+			// hardens earlier records; nSuccess > 0 detects that run.)
+			res.fail("worker %d: nothing was synced but commit %s", i, state)
+		}
+	}
+	res.Outcome = fmt.Sprintf("%d durable / %d invisible", nDurable, nInvisible)
+	if res.Redone < 1 {
+		res.fail("recovery redid no committed transactions")
+	}
+
 	if err := checkMirrors(res, c, true); err != nil {
 		return nil, err
 	}

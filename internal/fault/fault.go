@@ -19,6 +19,17 @@
 // fire Times times), so a schedule derived from a seed is exactly
 // replayable: the same seed arms the same actions and the injector's Trace
 // records every fault that actually fired, in order.
+//
+// Concurrency and ownership contract: Register is called from package init
+// (a global registry guarded by its own mutex); an *Injector is safe for
+// concurrent use from every instrumented goroutine — arming, hit counting
+// and the trace share one mutex, so hit counts are exact even when several
+// goroutines cross the same point (group commit's batch boundaries rely on
+// this: exactly one leader crashes). A crash is a typed panic that unwinds
+// only the goroutine that hit the point; it is owned by the fault.Run that
+// recovers it, so harnesses must enter every goroutine that can crash
+// through Run — a crash escaping a bare goroutine kills the test process,
+// which is the correct loud failure for an unguarded path.
 package fault
 
 import (

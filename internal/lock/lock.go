@@ -13,6 +13,16 @@
 // period LT; when LT expires the lock is renewed only if no other
 // transaction is competing for the item, for at most N renewals; at the Nth
 // expiry the lock is broken and the holder aborted regardless of waiters.
+//
+// Concurrency and ownership contract: a Manager is safe for concurrent use;
+// one mutex guards all tables, and blocked Acquire calls wait FIFO per item
+// outside it. Locks are owned by transaction IDs, not goroutines — the
+// transaction service acquires and releases on behalf of whichever
+// goroutine drives the transaction, and ReleaseAll(txn) at commit/abort is
+// the only bulk release (strict 2PL). Expiry is driven either by an
+// explicit Sweep call (deterministic tests) or a StartSweeper goroutine
+// owned by the caller, which must Close it; the onBreak callback runs
+// without the manager lock held and may call back into the manager.
 package lock
 
 import (

@@ -37,6 +37,10 @@ const (
 
 	StableWrites = "stable.writes"
 
+	WalSyncs        = "wal.syncs"         // stable-storage barriers issued by the log
+	TxnGroupBatches = "txn.group.batches" // group-commit batches synced by a leader
+	TxnGroupWaits   = "txn.group.waits"   // committers that parked as followers
+
 	TxnCommitted = "txn.committed"
 	TxnAborted   = "txn.aborted"
 	TxnTimedOut  = "txn.timed_out" // aborted by the N*LT deadlock timeout

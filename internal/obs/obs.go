@@ -17,6 +17,14 @@
 // pays only a nil check — plus, on ctx-threaded paths, one context.Value
 // lookup — when tracing is off. BenchmarkSpanDisabled in this package and
 // BenchmarkReadAtCached8KB in fileservice pin that cost at ~0 ns/op.
+//
+// Concurrency and ownership contract: a Recorder is safe for concurrent use
+// — histograms (latency and named value histograms alike) are lock-free
+// atomic bucket arrays, gauges are atomics, and the flight recorder's ring
+// has its own mutex. A *Span is owned by the goroutine that started it:
+// start and end it on one goroutine (children on other goroutines get their
+// own spans via the context). Profile() and Flight() return snapshots the
+// caller owns; they never alias live recorder state.
 package obs
 
 import (
@@ -35,6 +43,7 @@ const (
 	LayerFileService
 	LayerLock
 	LayerTxn
+	LayerWal
 	LayerReplication
 	LayerParity
 	LayerDiskService
@@ -44,7 +53,7 @@ const (
 )
 
 var layerNames = [numLayers]string{
-	"agent", "fileservice", "lock", "txn", "replication",
+	"agent", "fileservice", "lock", "txn", "wal", "replication",
 	"parity", "diskservice", "device", "rpc",
 }
 
@@ -82,6 +91,9 @@ type Recorder struct {
 
 	gmu    sync.Mutex
 	gauges map[string]*Gauge
+
+	vmu    sync.Mutex
+	values map[string]*Histogram
 
 	amu    sync.Mutex
 	active map[*Span]struct{}
@@ -218,6 +230,42 @@ func (r *Recorder) Gauge(name string) *Gauge {
 		r.gauges[name] = g
 	}
 	return g
+}
+
+// ValueHist returns the named unit-less value histogram, creating it on
+// first use — for integer quantities that want a distribution rather than a
+// running count (group-commit batch sizes). Record values as
+// time.Duration(n); the bucketing is the same log-scale scheme the latency
+// histograms use. Returns nil — still usable — on a nil Recorder.
+func (r *Recorder) ValueHist(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.vmu.Lock()
+	defer r.vmu.Unlock()
+	if r.values == nil {
+		r.values = make(map[string]*Histogram)
+	}
+	h := r.values[name]
+	if h == nil {
+		h = &Histogram{}
+		r.values[name] = h
+	}
+	return h
+}
+
+// ValueHists returns the named value histograms (nil map on a nil Recorder).
+func (r *Recorder) ValueHists() map[string]*Histogram {
+	if r == nil {
+		return nil
+	}
+	r.vmu.Lock()
+	defer r.vmu.Unlock()
+	out := make(map[string]*Histogram, len(r.values))
+	for name, h := range r.values {
+		out[name] = h
+	}
+	return out
 }
 
 // Gauges returns a snapshot of every gauge's current value.

@@ -23,11 +23,23 @@ type LayerStats struct {
 	VirtP99NS  int64  `json:"virt_p99_ns"`
 }
 
+// ValueStats summarizes one named unit-less value histogram (for example
+// the group-commit batch-size distribution).
+type ValueStats struct {
+	Name  string  `json:"name"`
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	Max   int64   `json:"max"`
+}
+
 // Profile is the per-layer latency breakdown plus gauge snapshot — the
 // export form served by rhodosd's /debug/profile, embedded in
 // rhodos-bench's JSON results, and printed by rhodos-trace -profile.
 type Profile struct {
 	Layers     []LayerStats     `json:"layers"`
+	Values     []ValueStats     `json:"values,omitempty"`
 	Gauges     map[string]int64 `json:"gauges,omitempty"`
 	Trees      int              `json:"trees"`
 	FaultDumps int              `json:"fault_dumps,omitempty"`
@@ -60,6 +72,17 @@ func (r *Recorder) Profile() *Profile {
 			VirtP99NS:  int64(v.Quantile(0.99)),
 		})
 	}
+	for name, h := range r.ValueHists() {
+		p.Values = append(p.Values, ValueStats{
+			Name:  name,
+			Count: h.Count(),
+			Mean:  float64(h.Mean()),
+			P50:   int64(h.Quantile(0.50)),
+			P95:   int64(h.Quantile(0.95)),
+			Max:   int64(h.Max()),
+		})
+	}
+	sort.Slice(p.Values, func(i, j int) bool { return p.Values[i].Name < p.Values[j].Name })
 	return p
 }
 
@@ -132,6 +155,13 @@ func (p *Profile) Render(w io.Writer) {
 	line(sep)
 	for _, row := range rows {
 		line(row)
+	}
+	if len(p.Values) > 0 {
+		fmt.Fprintln(w, "value histograms:")
+		for _, v := range p.Values {
+			fmt.Fprintf(w, "  %s: count=%d mean=%.1f p50=%d p95=%d max=%d\n",
+				v.Name, v.Count, v.Mean, v.P50, v.P95, v.Max)
+		}
 	}
 	if len(p.Gauges) > 0 {
 		names := make([]string, 0, len(p.Gauges))

@@ -5,6 +5,15 @@
 //
 // Arguments and replies are gob-encoded; every operation inherits the
 // idempotent request semantics of the rpc endpoint (§3).
+//
+// Concurrency and ownership contract: the package holds no mutable state of
+// its own — handlers are stateless translations, so a server is safe for
+// any number of concurrent in-flight requests; synchronization lives in the
+// file service and naming layers below, and exactly-once effects live in
+// the rpc layer's duplicate-request cache. Per-descriptor state (offsets)
+// stays on the client side: the proxy owns its descriptor table and is
+// single-client, shared across goroutines only as safely as the agent
+// sharing its process.
 package rpcfs
 
 import (

@@ -23,9 +23,9 @@ import (
 // after-apply dies with everything applied but locks still held and the
 // intentions list not yet retired.
 var (
-	PtCommitBeforeLog = fault.Register("txn.commit.before-log")
-	PtCommitAfterLog  = fault.Register("txn.commit.after-log")
-	PtCommitMidApply  = fault.Register("txn.commit.mid-apply")
+	PtCommitBeforeLog  = fault.Register("txn.commit.before-log")
+	PtCommitAfterLog   = fault.Register("txn.commit.after-log")
+	PtCommitMidApply   = fault.Register("txn.commit.mid-apply")
 	PtCommitAfterApply = fault.Register("txn.commit.after-apply")
 )
 
@@ -41,14 +41,14 @@ func (s *Service) End(id TxnID) error {
 // the commit sequence short, the span stays in-flight and the flight
 // recorder's fault dump captures the interrupted commit mid-operation.
 func (s *Service) EndCtx(ctx context.Context, id TxnID) error {
-	_, sp := s.obsRec.StartOr(ctx, obs.LayerTxn, "end")
+	ctx, sp := s.obsRec.StartOr(ctx, obs.LayerTxn, "end")
 	sp.SetTxn(uint64(id))
-	err := s.end(id)
+	err := s.end(ctx, id)
 	sp.End(err)
 	return err
 }
 
-func (s *Service) end(id TxnID) error {
+func (s *Service) end(ctx context.Context, id TxnID) error {
 	t, err := s.get(id)
 	if err != nil {
 		return err
@@ -101,17 +101,23 @@ func (s *Service) end(id TxnID) error {
 		return r.Technique
 	})
 
-	s.commitMu.Lock()
-	defer s.commitMu.Unlock()
-
 	s.fault.Hit(PtCommitBeforeLog)
-	if err := s.writeCommitRecords(t); err != nil {
-		// The commit never reached stable storage: abort cleanly.
-		s.log.DropUnsynced()
+	if err := s.gc.commit(ctx, t); err != nil {
+		if errors.Is(err, ErrCommitInterrupted) {
+			// The batch leader crashed with our commit record possibly
+			// durable: the outcome is unknown until recovery, so hold the
+			// locks and the log records rather than aborting.
+			return err
+		}
+		// The commit never reached stable storage: abort cleanly. The
+		// coordinator already backed our records out of the log.
 		s.abort(t)
 		return fmt.Errorf("%w: commit logging failed: %v", ErrAborted, err)
 	}
 	// The commit point has passed; the transaction is durably committed.
+	// From here on the transaction owes the coordinator one applied() call,
+	// which it withholds on the recoverable paths below so the log keeps the
+	// redo records until recovery.
 	_ = t.list.SetStatus(intentions.Committed)
 	s.fault.Hit(PtCommitAfterLog)
 	if s.crashAfterLog {
@@ -125,6 +131,7 @@ func (s *Service) end(id TxnID) error {
 	}
 	s.fault.Hit(PtCommitAfterApply)
 	s.finish(t)
+	s.gc.applied()
 	s.met.Inc(metrics.TxnCommitted)
 	s.maybeTruncateLog()
 	return nil
@@ -141,23 +148,14 @@ var ErrCrashInjected = errors.New("txn: crash injected after commit point")
 func (s *Service) SetCrashAfterLog(v bool) { s.crashAfterLog = v }
 
 // writeCommitRecords appends the transaction's redo records and its commit
-// record, then syncs the log — the commit point.
+// record. It does NOT sync: the group-commit coordinator (group.go) owns the
+// barrier, batching many transactions' records under one wal.Sync. On any
+// error (including wal.ErrLogFull) it returns immediately; the coordinator
+// rolls the partial append back and handles log-full recovery.
 func (s *Service) writeCommitRecords(t *txnState) error {
 	recs := t.list.GetIntentions()
 	append1 := func(r wal.Record) error {
 		_, err := s.log.Append(r)
-		if err == nil {
-			return nil
-		}
-		if errors.Is(err, wal.ErrLogFull) {
-			// Everything durable in the log is already applied (commits
-			// apply before releasing commitMu), so truncation is safe.
-			s.log.DropUnsynced()
-			if rerr := s.log.Reset(); rerr != nil {
-				return rerr
-			}
-			_, err = s.log.Append(r)
-		}
 		return err
 	}
 	for _, rec := range recs {
@@ -221,10 +219,7 @@ func (s *Service) writeCommitRecords(t *txnState) error {
 			return err
 		}
 	}
-	if err := append1(wal.Record{Type: wal.RecCommit, Txn: uint64(t.id)}); err != nil {
-		return err
-	}
-	return s.log.Sync()
+	return append1(wal.Record{Type: wal.RecCommit, Txn: uint64(t.id)})
 }
 
 // applyIntentions makes the committed changes permanent and deletes the
@@ -374,17 +369,27 @@ func (s *Service) abort(t *txnState) {
 	s.met.Inc(metrics.TxnAborted)
 }
 
-// maybeTruncateLog resets the log once it is more than half full. All
-// committed work is applied before commitMu is released, so everything in
-// the log is redundant at this point.
+// maybeTruncateLog resets the log once it is more than half full — but only
+// from a quiescent state. With group commit, other transactions' records may
+// sit in the log synced-but-unapplied (their batch is durable while they are
+// still applying intentions, or their leader crashed before waking them), and
+// those records MUST survive until redo can no longer need them.
+// beginTruncation atomically verifies no batch is forming, no sync is in
+// flight, and every batched commit has applied its intentions; until
+// endTruncation, new committers wait.
 func (s *Service) maybeTruncateLog() {
-	if s.log.AppendedBytes() > s.log.Capacity()/2 {
-		if err := s.fs.Flush(); err != nil {
-			return // keep the log; redo still possible
-		}
-		_, _ = s.log.Append(wal.Record{Type: wal.RecCheckpoint})
-		_ = s.log.Reset()
+	if s.log.AppendedBytes() <= s.log.Capacity()/2 {
+		return
 	}
+	if !s.gc.beginTruncation() {
+		return // another commit is in flight; a later End will retry
+	}
+	defer s.gc.endTruncation()
+	if err := s.fs.Flush(); err != nil {
+		return // keep the log; redo still possible
+	}
+	_, _ = s.log.Append(wal.Record{Type: wal.RecCheckpoint})
+	_ = s.log.Reset()
 }
 
 // Recover replays the write-ahead log after a crash: the updates of
@@ -392,6 +397,9 @@ func (s *Service) maybeTruncateLog() {
 // unfinished transactions is discarded, and the log is truncated. Call it
 // on a freshly mounted Service before accepting new transactions.
 func (s *Service) Recover() (committed int, err error) {
+	// Forget any pre-crash group-commit state: parked followers are gone and
+	// their unapplied counts with them; redo below settles their outcomes.
+	s.gc.reset()
 	type txnLog struct {
 		updates   []wal.Record
 		committed bool

@@ -1,0 +1,234 @@
+package txn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/fit"
+	"repro/internal/metrics"
+)
+
+// startTxns begins W transactions, each with its own record-locked file and
+// a distinct payload, ready for the concurrent End calls under test.
+func startTxns(r *rig, w int) (ids []TxnID, fids []FileID, payloads [][]byte) {
+	for i := 0; i < w; i++ {
+		id, fid := r.beginWithFile(fit.LockRecord)
+		ids = append(ids, id)
+		fids = append(fids, fid)
+		payloads = append(payloads, []byte(fmt.Sprintf("group-commit payload %d", i)))
+	}
+	return ids, fids, payloads
+}
+
+func TestGroupCommitBatchesConcurrentCommits(t *testing.T) {
+	inj := fault.NewInjector(1)
+	r := newRig(t, func(c *Config) { c.Fault = inj })
+	const W = 8
+	ids, fids, payloads := startTxns(r, W)
+	// Hold the first leader just before its sync: every other committer
+	// appends during the delay and piles into the next batch, so the run
+	// deterministically forms at least one multi-member batch.
+	inj.Arm(PtGroupBeforeSync, fault.Action{Kind: fault.KindDelay, Delay: 50 * time.Millisecond})
+
+	start := make(chan struct{})
+	errs := make([]error, W)
+	var wg sync.WaitGroup
+	for i := 0; i < W; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			if _, err := r.svc.PWrite(ids[i], fids[i], 0, payloads[i]); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = r.svc.End(ids[i])
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	if syncs := r.met.Get(metrics.WalSyncs); syncs >= W {
+		t.Fatalf("group commit issued %d syncs for %d commits; want fewer barriers than commits", syncs, W)
+	}
+	if b := r.met.Get(metrics.TxnGroupBatches); b < 1 {
+		t.Fatalf("no group batch recorded (batches=%d)", b)
+	}
+	if waits := r.met.Get(metrics.TxnGroupWaits); waits < 1 {
+		t.Fatalf("no committer ever parked as a follower (waits=%d)", waits)
+	}
+
+	// Every commit must be durable: crash, recover, read back.
+	inj.DisarmAll()
+	r.crash()
+	if _, err := r.svc.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for i, fid := range fids {
+		got, err := r.fs.ReadAt(fid, 0, len(payloads[i]))
+		if err != nil || !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("file %d after recovery: %q, %v; want %q", fid, got, err, payloads[i])
+		}
+	}
+}
+
+func TestGroupCommitDisabledOneSyncPerCommit(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.Group.Disable = true })
+	const N = 4
+	base := r.met.Get(metrics.WalSyncs)
+	for i := 0; i < N; i++ {
+		id, fid := r.beginWithFile(fit.LockRecord)
+		if _, err := r.svc.PWrite(id, fid, 0, []byte("solo")); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.svc.End(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.met.Get(metrics.WalSyncs) - base; got != N {
+		t.Fatalf("disabled group commit issued %d syncs for %d commits; want exactly one barrier each", got, N)
+	}
+	if b := r.met.Get(metrics.TxnGroupBatches); b != 0 {
+		t.Fatalf("baseline recorded %d group batches; want 0", b)
+	}
+}
+
+// TestTruncationWaitsForUnapplied pins the batch-truncation window: the log
+// must not be truncated while any batched commit's records are durable but
+// its intentions are not yet applied in place (or its committer was left
+// interrupted by a crashed leader) — truncating then would lose the only
+// copy redo depends on.
+func TestTruncationWaitsForUnapplied(t *testing.T) {
+	r := newRig(t)
+	// Another transaction somewhere in the pipeline: committed, not applied.
+	r.svc.gc.mu.Lock()
+	r.svc.gc.unapplied++
+	r.svc.gc.mu.Unlock()
+
+	// Push the log past half capacity so End wants to truncate.
+	id, fid := r.beginWithFile(fit.LockPage)
+	big := bytes.Repeat([]byte{0xAB}, 300<<10) // capacity 512 KB, threshold 256 KB
+	if _, err := r.svc.PWrite(id, fid, 0, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatal(err)
+	}
+	if r.log.AppendedBytes() == 0 {
+		t.Fatal("log truncated while a batched commit was still unapplied")
+	}
+
+	// Once the straggler applies, truncation proceeds.
+	r.svc.gc.applied()
+	r.svc.maybeTruncateLog()
+	if got := r.log.AppendedBytes(); got != 0 {
+		t.Fatalf("quiescent log not truncated: %d bytes still appended", got)
+	}
+}
+
+// TestGroupLeaderCrashAfterSync kills a batch leader right after its Sync
+// succeeded, before any follower is woken. Followers observe
+// ErrCommitInterrupted — the outcome is unknown to them — yet recovery must
+// find the entire batch durable, because the barrier completed.
+func TestGroupLeaderCrashAfterSync(t *testing.T) {
+	inj := fault.NewInjector(2)
+	withFault := func(c *Config) { c.Fault = inj }
+	r := newRig(t, withFault)
+	const W = 4
+	ids, fids, payloads := startTxns(r, W)
+	// Delay the first leader so the remaining committers form one batch
+	// behind it, then crash that batch's leader after its sync (After: 1
+	// skips the first leader's own post-sync hit).
+	inj.Arm(PtGroupBeforeSync, fault.Action{Kind: fault.KindDelay, Delay: 50 * time.Millisecond})
+	inj.Arm(PtGroupLeaderSynced, fault.Action{Kind: fault.KindCrash, After: 1})
+
+	start := make(chan struct{})
+	errs := make([]error, W)
+	crashes := make([]*fault.Crash, W)
+	var wg sync.WaitGroup
+	for i := 0; i < W; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			crashes[i], errs[i] = fault.Run(func() error {
+				if _, err := r.svc.PWrite(ids[i], fids[i], 0, payloads[i]); err != nil {
+					return err
+				}
+				return r.svc.End(ids[i])
+			})
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	nCrashed, nInterrupted := 0, 0
+	for i := range errs {
+		switch {
+		case crashes[i] != nil:
+			nCrashed++
+		case errs[i] == nil:
+		case errors.Is(errs[i], ErrCommitInterrupted):
+			nInterrupted++
+		default:
+			t.Fatalf("worker %d: unexpected error %v", i, errs[i])
+		}
+	}
+	if nCrashed != 1 {
+		t.Fatalf("crashed workers = %d; want exactly the batch leader", nCrashed)
+	}
+	if nInterrupted < 1 {
+		t.Fatalf("no follower saw ErrCommitInterrupted (interrupted=%d)", nInterrupted)
+	}
+
+	// The leader synced before dying: after recovery every member of every
+	// batch — crashed, interrupted, and successful alike — is durable.
+	inj.DisarmAll()
+	r.crash(withFault)
+	if _, err := r.svc.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	for i, fid := range fids {
+		got, err := r.fs.ReadAt(fid, 0, len(payloads[i]))
+		if err != nil || !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("file %d after leader crash + recovery: %q, %v; want %q", fid, got, err, payloads[i])
+		}
+	}
+}
+
+// TestCommitLargerThanLogAborts covers the append-rollback path: a
+// transaction whose records cannot fit even an empty log backs its partial
+// tail out, aborts cleanly, and leaves the service usable.
+func TestCommitLargerThanLogAborts(t *testing.T) {
+	r := newRig(t)
+	id, fid := r.beginWithFile(fit.LockPage)
+	huge := bytes.Repeat([]byte{0xCD}, 600<<10) // > 512 KB log capacity
+	if _, err := r.svc.PWrite(id, fid, 0, huge); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); !errors.Is(err, ErrAborted) {
+		t.Fatalf("End of oversized commit: %v; want ErrAborted", err)
+	}
+	// The rollback left no poison behind: a normal commit still works.
+	id2, fid2 := r.beginWithFile(fit.LockRecord)
+	want := []byte("after oversized abort")
+	if _, err := r.svc.PWrite(id2, fid2, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.fs.ReadAt(fid2, 0, len(want))
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("post-abort commit: %q, %v; want %q", got, err, want)
+	}
+}

@@ -14,6 +14,28 @@
 // when the file's blocks are contiguous (and always for record-mode
 // intentions), the shadow-page technique otherwise. Locks are released only
 // after the changes are permanent.
+//
+// The §6.6 stable-storage force is paid per *batch* of commits, not per
+// commit (group commit; see DESIGN.md's commit-pipeline section and E19).
+// End appends the transaction's commit records to the log, then joins the
+// current batch — or opens one and becomes its leader. The leader waits out
+// any in-flight sync (the next batch accumulates behind an in-flight
+// barrier — that pipelining is where batching comes from), issues one
+// wal.Sync for every member, and wakes the followers; each member then
+// applies its own intentions and releases its own locks. Configure with
+// Config.Group (GroupCommitConfig); Disable restores one sync per commit.
+//
+// Concurrency and ownership contract: a Service is safe for concurrent use
+// by any number of goroutines, but a single transaction is owned by one
+// goroutine at a time — its operations must not race. Commit batching is
+// internal: callers never share transaction state across End calls; a
+// parked follower owns nothing until its leader's barrier resolves. If the
+// leader dies at the barrier (crash injection), followers return
+// ErrCommitInterrupted — the outcome is unknown until Recover replays the
+// log, and the follower keeps its locks and log records until then. Log
+// truncation runs only at quiescence: no open batch, no sync in flight,
+// and every synced member done applying, so a checkpoint can never discard
+// a commit record a parked committer still needs.
 package txn
 
 import (
@@ -107,6 +129,10 @@ type Config struct {
 	// Obs receives transaction-layer spans and latency observations.
 	// Optional; nil disables tracing.
 	Obs *obs.Recorder
+	// Group configures group commit: batching concurrent End() callers'
+	// commit records under one log sync. The zero value enables it with
+	// defaults; set Group.Disable for the one-sync-per-commit baseline.
+	Group GroupCommitConfig
 }
 
 // txnFile is a transaction's view of one open file.
@@ -170,8 +196,10 @@ type Service struct {
 	// transaction; other transactions may not open them.
 	uncommitted map[FileID]TxnID
 
-	// commitMu serializes commit application and log truncation.
-	commitMu sync.Mutex
+	// gc is the group-commit coordinator: it serializes commit-record
+	// appends, batches concurrent committers under one log sync, and guards
+	// log truncation (group.go).
+	gc *groupCommit
 
 	// crashAfterLog is a test hook: End stops right after the commit record
 	// is durable, as if the machine crashed before applying intentions.
@@ -220,6 +248,7 @@ func New(cfg Config) (*Service, error) {
 		})
 		s.ownLocks = true
 	}
+	s.gc = newGroupCommit(s, cfg.Group)
 	return s, nil
 }
 

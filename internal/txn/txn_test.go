@@ -80,7 +80,7 @@ func newRig(t *testing.T, mutate ...func(*Config)) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.log, err = wal.Open(r.logSt, r.logStart, 256)
+	r.log, err = wal.Open(r.logSt, r.logStart, 256, wal.WithMetrics(r.met))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +122,7 @@ func (r *rig) crash(mutate ...func(*Config)) {
 		r.t.Fatalf("remount fs: %v", err)
 	}
 	r.fs = fs
-	log, err := wal.Open(r.logSt, r.logStart, 256)
+	log, err := wal.Open(r.logSt, r.logStart, 256, wal.WithMetrics(r.met))
 	if err != nil {
 		r.t.Fatal(err)
 	}

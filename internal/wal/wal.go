@@ -10,6 +10,20 @@
 // a crash truncated the log. Records buffered but not yet Synced are lost in
 // a crash — exactly the write-ahead discipline the transaction service
 // relies on (it Syncs the commit record before applying updates in place).
+//
+// Concurrency and ownership contract: a Log is safe for concurrent use —
+// one mutex serializes appends, syncs and resets. Append only buffers;
+// durability is bought separately by Sync, which is the §6.6 stable-storage
+// barrier and the unit the transaction service's group commit amortizes:
+// one Sync hardens every record appended before it, whichever goroutine
+// appended them, so a batch leader syncs on behalf of parked followers.
+// Sync is failure-atomic — on error the durable watermark has not advanced,
+// and the owner of the failed barrier must call DropUnsynced to discard the
+// records the barrier covered (they may belong to other goroutines; the
+// transaction service fails those commits too). Mark/Rollback let a caller
+// back out its own partial append sequence before any Sync covers it;
+// rolling back past another goroutine's records is the caller's bug.
+// Record slices are copied on Append, so callers keep their buffers.
 package wal
 
 import (
@@ -18,8 +32,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/stable"
 )
 
@@ -113,6 +130,8 @@ type Log struct {
 	gen uint32
 
 	fault *fault.Injector
+	obs   *obs.Recorder
+	met   *metrics.Set
 }
 
 // Option configures a Log.
@@ -121,6 +140,14 @@ type Option func(*Log)
 // WithFault attaches a fault injector to the Sync path. A nil injector is
 // valid and injects nothing.
 func WithFault(in *fault.Injector) Option { return func(l *Log) { l.fault = in } }
+
+// WithObs records every Sync as a wal-layer observation, so the per-layer
+// profile shows the stable-storage barrier count and latency — the quantity
+// group commit amortizes. A nil recorder is valid and records nothing.
+func WithObs(rec *obs.Recorder) Option { return func(l *Log) { l.obs = rec } }
+
+// WithMetrics counts Sync barriers (metrics.WalSyncs). A nil set is valid.
+func WithMetrics(set *metrics.Set) Option { return func(l *Log) { l.met = set } }
 
 // Open attaches to the log region [start, start+frags) of store. The region
 // must already be allocated by the caller. Open does not read the region;
@@ -190,6 +217,11 @@ func (l *Log) Append(rec Record) (uint64, error) {
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	start := time.Now()
+	defer func() {
+		l.met.Inc(metrics.WalSyncs)
+		l.obs.Observe(obs.LayerWal, time.Since(start), 0)
+	}()
 	if l.off == l.synced {
 		// Nothing of ours to write, but still surface deferred-write errors
 		// the store may be sitting on.
@@ -311,4 +343,42 @@ func (l *Log) DropUnsynced() {
 	}
 	l.off = l.synced
 	l.lsn = l.lsnSynced
+}
+
+// Mark captures the append position for a later Rollback. It is only
+// meaningful while the records after it are unsynced and the marker's owner
+// is the only appender past it — the group-commit coordinator guarantees
+// both by serializing appends and rolling back before any other committer
+// appends behind the failed one.
+type Mark struct {
+	off int
+	lsn uint64
+}
+
+// Mark returns the current append position.
+func (l *Log) Mark() Mark {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Mark{off: l.off, lsn: l.lsn}
+}
+
+// Rollback discards the records appended after m — the caller's own partial
+// tail, for backing out of a half-appended record set without touching the
+// records of transactions batched before it. It fails if any record after
+// the mark has already been synced.
+func (l *Log) Rollback(m Mark) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if m.off < 0 || m.off > l.off {
+		return fmt.Errorf("wal: rollback to invalid mark %d (off %d)", m.off, l.off)
+	}
+	if l.synced > m.off {
+		return fmt.Errorf("wal: rollback past synced watermark (%d > %d)", l.synced, m.off)
+	}
+	for i := m.off; i < l.off; i++ {
+		l.buf[i] = 0
+	}
+	l.off = m.off
+	l.lsn = m.lsn
+	return nil
 }
