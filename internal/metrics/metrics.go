@@ -37,7 +37,7 @@ const (
 
 	StableWrites = "stable.writes"
 
-	WalSyncs        = "wal.syncs"         // stable-storage barriers issued by the log
+	WalSyncs        = "wal.syncs"         // stable-storage barriers that hardened log records
 	TxnGroupBatches = "txn.group.batches" // group-commit batches synced by a leader
 	TxnGroupWaits   = "txn.group.waits"   // committers that parked as followers
 

@@ -295,6 +295,7 @@ type Span struct {
 	file      uint64
 	txn       uint64
 	bytes     int64
+	count     int64
 	startWall time.Time
 	startVirt time.Duration
 	endWall   time.Time
@@ -399,6 +400,18 @@ func (s *Span) AddBytes(n int) {
 	}
 	s.mu.Lock()
 	s.bytes += int64(n)
+	s.mu.Unlock()
+}
+
+// SetCount annotates the span with an item count (e.g. the number of
+// commits a group-sync barrier covered) — distinct from the byte count, so
+// aggregating consumers never mistake one for the other.
+func (s *Span) SetCount(n int) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.count = int64(n)
 	s.mu.Unlock()
 }
 
@@ -510,6 +523,7 @@ type SpanData struct {
 	File        uint64      `json:"file,omitempty"`
 	Txn         uint64      `json:"txn,omitempty"`
 	Bytes       int64       `json:"bytes,omitempty"`
+	Count       int64       `json:"count,omitempty"`
 	StartWallNS int64       `json:"start_wall_ns"`
 	WallNS      int64       `json:"wall_ns"`
 	StartVirtNS int64       `json:"start_virt_ns"`
@@ -531,6 +545,7 @@ func (s *Span) Data() *SpanData {
 		File:        s.file,
 		Txn:         s.txn,
 		Bytes:       s.bytes,
+		Count:       s.count,
 		StartWallNS: s.startWall.Sub(s.rec.epoch).Nanoseconds(),
 		StartVirtNS: int64(s.startVirt),
 		Err:         s.errmsg,

@@ -212,6 +212,9 @@ func (d *SpanData) render(w io.Writer, depth int) {
 	if d.Bytes != 0 {
 		fmt.Fprintf(&b, " bytes=%d", d.Bytes)
 	}
+	if d.Count != 0 {
+		fmt.Fprintf(&b, " count=%d", d.Count)
+	}
 	if d.InFlight {
 		b.WriteString(" IN-FLIGHT")
 	} else {

@@ -59,7 +59,12 @@ type GroupCommitConfig struct {
 // gcBatch is one commit batch: the transactions whose log records share a
 // single stable-storage barrier.
 type gcBatch struct {
-	size   int
+	size int
+	// epoch is g.dropEpoch at creation. If it advances before this batch's
+	// leader issues its Sync, a failed sync ahead of the batch already
+	// discarded its members' records via DropUnsynced, and the batch must
+	// fail instead of syncing a log that no longer holds them.
+	epoch  uint64
 	closed bool          // no longer accepting members; err is settled
 	err    error         // nil: every member's records are durable
 	done   chan struct{} // closed when err is settled
@@ -98,6 +103,15 @@ type groupCommit struct {
 	// resetting is true while a log truncation (checkpoint or log-full
 	// reset) is in progress; appends wait it out.
 	resetting bool
+	// dropEpoch counts DropUnsynced calls. A failed sync drops *every*
+	// unsynced record, and more than one batch can sit behind the in-flight
+	// barrier (a filled batch plus the open cur), so poisoning cur alone is
+	// not enough: every batch snapshots the epoch at creation and its leader
+	// re-checks it after the in-flight-sync wait, failing the batch if the
+	// epoch advanced underneath it.
+	dropEpoch uint64
+	// dropErr is the sync failure behind the latest dropEpoch bump.
+	dropErr error
 }
 
 func newGroupCommit(s *Service, cfg GroupCommitConfig) *groupCommit {
@@ -162,7 +176,7 @@ func (g *groupCommit) commit(ctx context.Context, t *txnState) error {
 	b := g.cur
 	leader := false
 	if b == nil || b.closed || b.size >= g.maxBatch {
-		b = &gcBatch{done: make(chan struct{})}
+		b = &gcBatch{done: make(chan struct{}), epoch: g.dropEpoch}
 		g.cur = b
 		leader = true
 	}
@@ -199,6 +213,22 @@ func (g *groupCommit) lead(ctx context.Context, b *gcBatch) error {
 		g.mu.Unlock()
 		return b.err
 	}
+	if b.epoch != g.dropEpoch {
+		// A sync ahead of this batch failed while we waited: its
+		// DropUnsynced discarded this batch's records along with the failed
+		// batch's, so there is nothing left to harden — syncing now would
+		// acknowledge every member with no durable commit record. Fail them
+		// all instead.
+		err := fmt.Errorf("txn: group sync failed ahead of this batch: %w", g.dropErr)
+		if g.cur == b {
+			g.cur = nil
+		}
+		b.closed = true
+		b.err = err
+		close(b.done)
+		g.mu.Unlock()
+		return err
+	}
 	g.linger(b)
 	if g.cur == b {
 		g.cur = nil // later arrivals start the next batch
@@ -226,7 +256,7 @@ func (g *groupCommit) lead(ctx context.Context, b *gcBatch) error {
 	}()
 
 	_, sp := obs.StartSpan(ctx, obs.LayerTxn, "group-sync")
-	sp.AddBytes(size) // the batch size, for the trace
+	sp.SetCount(size) // the batch size, for the trace
 	g.s.fault.Hit(PtGroupBeforeSync)
 	err := g.s.log.Sync()
 	if err == nil {
@@ -239,8 +269,14 @@ func (g *groupCommit) lead(ctx context.Context, b *gcBatch) error {
 	if err != nil {
 		// Nothing synced: the watermarks are untouched (wal.Sync is
 		// failure-atomic), so everything unsynced belongs to this batch and
-		// any batch formed behind it. All of it dies together.
+		// any batch formed behind it — possibly several (a filled batch plus
+		// the open cur). Drop it all and advance the epoch so the leaders of
+		// those batches fail them when they wake (the epoch re-check above);
+		// the open batch is also poisoned directly so post-drop arrivals
+		// start a clean one.
 		g.s.log.DropUnsynced()
+		g.dropEpoch++
+		g.dropErr = err
 		if nxt := g.cur; nxt != nil {
 			g.cur = nil
 			nxt.closed = true
@@ -311,8 +347,11 @@ func (g *groupCommit) commitSolo(t *txnState) error {
 	g.syncing = false
 	if err != nil {
 		// Only this commit's records are unsynced: appends waited out the
-		// sync, so nothing else is in the volatile window.
+		// sync, so nothing else is in the volatile window. (No batches exist
+		// in solo mode, but every DropUnsynced still bumps the epoch.)
 		g.s.log.DropUnsynced()
+		g.dropEpoch++
+		g.dropErr = err
 		g.unapplied--
 	}
 	g.idle.Broadcast()

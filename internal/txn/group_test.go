@@ -8,9 +8,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/device"
 	"repro/internal/fault"
 	"repro/internal/fit"
 	"repro/internal/metrics"
+	"repro/internal/stable"
 )
 
 // startTxns begins W transactions, each with its own record-locked file and
@@ -202,6 +204,109 @@ func TestGroupLeaderCrashAfterSync(t *testing.T) {
 		if err != nil || !bytes.Equal(got, payloads[i]) {
 			t.Fatalf("file %d after leader crash + recovery: %q, %v; want %q", fid, got, err, payloads[i])
 		}
+	}
+}
+
+// TestGroupSyncFailureFailsAllPendingBatches pins the multi-batch failure
+// window: while leader A's sync is in flight, a full batch B and an open
+// batch C both form behind the barrier. When A's sync fails, DropUnsynced
+// discards B's and C's records along with A's, so every member of every
+// batch must see the failure — in particular B, which is neither the
+// failing batch nor the open cur, must not be acknowledged with a nil
+// commit (its records are gone; a nil return would be an ack with no
+// durable WAL record behind it).
+func TestGroupSyncFailureFailsAllPendingBatches(t *testing.T) {
+	inj := fault.NewInjector(3)
+	r := newRig(t, func(c *Config) {
+		c.Fault = inj
+		c.Group.MaxBatch = 2
+	})
+	const W = 4
+	ids, fids, payloads := startTxns(r, W)
+
+	// Hold leader A just before its sync so the other committers pile up
+	// behind the in-flight barrier, then fail that one sync at the stable
+	// store under the log.
+	inj.Arm(PtGroupBeforeSync, fault.Action{Kind: fault.KindDelay, Delay: 500 * time.Millisecond})
+	inj.Arm(stable.PtWritePrimary, fault.Action{Kind: fault.KindError, Err: device.ErrFailed})
+
+	errs := make([]error, W)
+	var wg sync.WaitGroup
+	commit := func(i int) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.svc.PWrite(ids[i], fids[i], 0, payloads[i]); err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = r.svc.End(ids[i])
+		}()
+	}
+	waitGC := func(what string, cond func() bool) {
+		t.Helper()
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			r.svc.gc.mu.Lock()
+			ok := cond()
+			r.svc.gc.mu.Unlock()
+			if ok {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	commit(0)
+	waitGC("leader A in flight", func() bool { return r.svc.gc.syncing && r.svc.gc.cur == nil })
+	commit(1)
+	commit(2)
+	waitGC("batch B full", func() bool { return r.svc.gc.cur != nil && r.svc.gc.cur.size == 2 })
+	r.svc.gc.mu.Lock()
+	b := r.svc.gc.cur
+	r.svc.gc.mu.Unlock()
+	commit(3)
+	waitGC("batch C open behind full B", func() bool { return r.svc.gc.cur != nil && r.svc.gc.cur != b })
+	wg.Wait()
+
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("worker %d acknowledged as committed after its batch's records were dropped", i)
+		}
+	}
+	// Every failed commit retired its unapplied slot, so the pipeline is
+	// quiescent again.
+	r.svc.gc.mu.Lock()
+	unapplied := r.svc.gc.unapplied
+	r.svc.gc.mu.Unlock()
+	if unapplied != 0 {
+		t.Fatalf("unapplied = %d after all batches failed; want 0", unapplied)
+	}
+	// No acknowledged commit means nothing durable: crash, recover, verify.
+	inj.DisarmAll()
+	r.crash()
+	if n, err := r.svc.Recover(); err != nil || n != 0 {
+		t.Fatalf("Recover = %d, %v; want 0 committed transactions", n, err)
+	}
+	for i, fid := range fids {
+		if got, err := r.fs.ReadAt(fid, 0, len(payloads[i])); err == nil && len(got) > 0 {
+			t.Fatalf("file %d holds %q after a failed group sync; want nothing durable", fid, got)
+		}
+	}
+	// The service survives the failure: a fresh commit goes through.
+	id, fid := r.beginWithFile(fit.LockRecord)
+	want := []byte("after failed batch")
+	if _, err := r.svc.PWrite(id, fid, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.svc.End(id); err != nil {
+		t.Fatalf("commit after failed group sync: %v", err)
+	}
+	got, err := r.fs.ReadAt(fid, 0, len(want))
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("post-failure commit = %q, %v; want %q", got, err, want)
 	}
 }
 

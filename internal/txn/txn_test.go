@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/diskservice"
+	"repro/internal/fault"
 	"repro/internal/fileservice"
 	"repro/internal/fit"
 	"repro/internal/intentions"
@@ -24,6 +25,7 @@ import (
 type rig struct {
 	t        *testing.T
 	met      *metrics.Set
+	inj      *fault.Injector
 	dev      *device.Disk
 	stDev    [2]*device.Disk
 	logDev   [2]*device.Disk
@@ -39,6 +41,14 @@ type rig struct {
 func newRig(t *testing.T, mutate ...func(*Config)) *rig {
 	t.Helper()
 	r := &rig{t: t, met: metrics.NewSet()}
+	// Surface the test's fault injector (when the mutations install one) to
+	// the log's stable store and the log itself, so tests can fail a
+	// wal.Sync at the storage layer, not only crash at the txn-layer points.
+	var probe Config
+	for _, m := range mutate {
+		m(&probe)
+	}
+	r.inj = probe.Fault
 	g := device.Geometry{FragmentsPerTrack: 32, Tracks: 128}
 	var err error
 	r.dev, err = device.New(g, device.WithMetrics(r.met))
@@ -63,7 +73,7 @@ func newRig(t *testing.T, mutate ...func(*Config)) *rig {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = r.st.Close() })
-	r.logSt, err = stable.NewStore(r.logDev[0], r.logDev[1], stable.WithMetrics(r.met))
+	r.logSt, err = stable.NewStore(r.logDev[0], r.logDev[1], stable.WithMetrics(r.met), stable.WithFault(r.inj))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +90,7 @@ func newRig(t *testing.T, mutate ...func(*Config)) *rig {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.log, err = wal.Open(r.logSt, r.logStart, 256, wal.WithMetrics(r.met))
+	r.log, err = wal.Open(r.logSt, r.logStart, 256, wal.WithMetrics(r.met), wal.WithFault(r.inj))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +132,7 @@ func (r *rig) crash(mutate ...func(*Config)) {
 		r.t.Fatalf("remount fs: %v", err)
 	}
 	r.fs = fs
-	log, err := wal.Open(r.logSt, r.logStart, 256, wal.WithMetrics(r.met))
+	log, err := wal.Open(r.logSt, r.logStart, 256, wal.WithMetrics(r.met), wal.WithFault(r.inj))
 	if err != nil {
 		r.t.Fatal(err)
 	}

@@ -141,12 +141,16 @@ type Option func(*Log)
 // valid and injects nothing.
 func WithFault(in *fault.Injector) Option { return func(l *Log) { l.fault = in } }
 
-// WithObs records every Sync as a wal-layer observation, so the per-layer
-// profile shows the stable-storage barrier count and latency — the quantity
-// group commit amortizes. A nil recorder is valid and records nothing.
+// WithObs records every Sync that hardened records as a wal-layer
+// observation, so the per-layer profile shows the stable-storage barrier
+// count and latency — the quantity group commit amortizes. No-op syncs and
+// failed syncs are not recorded. A nil recorder is valid and records
+// nothing.
 func WithObs(rec *obs.Recorder) Option { return func(l *Log) { l.obs = rec } }
 
-// WithMetrics counts Sync barriers (metrics.WalSyncs). A nil set is valid.
+// WithMetrics counts Sync barriers that hardened records (metrics.WalSyncs);
+// no-op and failed syncs are excluded, so dividing commits by the counter
+// measures real amortization. A nil set is valid.
 func WithMetrics(set *metrics.Set) Option { return func(l *Log) { l.met = set } }
 
 // Open attaches to the log region [start, start+frags) of store. The region
@@ -218,13 +222,11 @@ func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	start := time.Now()
-	defer func() {
-		l.met.Inc(metrics.WalSyncs)
-		l.obs.Observe(obs.LayerWal, time.Since(start), 0)
-	}()
 	if l.off == l.synced {
 		// Nothing of ours to write, but still surface deferred-write errors
-		// the store may be sitting on.
+		// the store may be sitting on. Not counted below: no records were
+		// hardened, and the wal.syncs counter means barriers that hardened
+		// something (E19's commits-per-sync amortization divides by it).
 		if err := l.store.Barrier(); err != nil {
 			return fmt.Errorf("wal: sync: deferred stable write: %w", err)
 		}
@@ -243,6 +245,8 @@ func (l *Log) Sync() error {
 	l.fault.Hit(PtSyncAfterWrite)
 	l.synced = l.off
 	l.lsnSynced = l.lsn
+	l.met.Inc(metrics.WalSyncs)
+	l.obs.Observe(obs.LayerWal, time.Since(start), 0)
 	return nil
 }
 
