@@ -1,7 +1,8 @@
-// Command rhodos-bench runs the reproduction experiments (E1–E19 and the
+// Command rhodos-bench runs the reproduction experiments (E1–E20 and the
 // paper's Table 1) and prints their result tables — the data recorded in
-// EXPERIMENTS.md. E19 (group commit) is wall-clock but fast, so it stays in
-// the -smoke pass; only E16 is dropped there.
+// EXPERIMENTS.md. E19 (group commit) and E20 (transport load) are
+// wall-clock but fast, so they stay in the -smoke pass; only E16 is dropped
+// there.
 //
 // Usage:
 //
@@ -10,6 +11,9 @@
 //	rhodos-bench -smoke           # fast pass: virtual-time experiments only
 //	rhodos-bench -list            # list experiments
 //	rhodos-bench -json out.json   # also write results as JSON
+//	rhodos-bench -load -clients 64 -wire binary
+//	                              # one closed-loop load cell (E20's engine)
+//	                              # with explicit knobs
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/rpc"
 )
 
 // jsonTable is the machine-readable form of one experiment's table.
@@ -47,7 +52,16 @@ func run() int {
 	smoke := flag.Bool("smoke", false, "fast pass: skip the wall-clock experiments (E16)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.String("json", "", "write results as JSON to this file ('-' for stdout)")
+	load := flag.Bool("load", false, "run one closed-loop load cell instead of the experiment suite")
+	clients := flag.Int("clients", 64, "load: concurrent client agents")
+	perConn := flag.Int("per-conn", 8, "load: agents sharing each TCP connection")
+	ops := flag.Int("ops", 100, "load: operations per agent")
+	wireName := flag.String("wire", "binary", "load: wire format, binary or gob")
 	flag.Parse()
+
+	if *load {
+		return runLoad(*wireName, *clients, *perConn, *ops)
+	}
 
 	runners := experiments.All()
 	if *list {
@@ -107,5 +121,32 @@ func run() int {
 	if failed > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runLoad drives one closed-loop load cell (E20's engine) with explicit
+// knobs and prints throughput plus the latency percentiles.
+func runLoad(wireName string, clients, perConn, ops int) int {
+	var wire rpc.WireFormat
+	switch wireName {
+	case "binary":
+		wire = rpc.WireBinary
+	case "gob":
+		wire = rpc.WireGob
+	default:
+		fmt.Fprintf(os.Stderr, "load: unknown wire format %q (binary or gob)\n", wireName)
+		return 1
+	}
+	res, hist, err := experiments.LoadRun(wire, clients, perConn, ops, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "load: %v\n", err)
+		return 1
+	}
+	fmt.Printf("wire=%s clients=%d per-conn=%d ops=%d\n", wireName, clients, perConn, res.Ops)
+	fmt.Printf("wall=%v ops/sec=%.0f MB/s=%.1f\n",
+		res.Wall.Round(time.Millisecond), res.OpsPerSec(),
+		float64(res.Bytes)/(1<<20)/res.Wall.Seconds())
+	fmt.Printf("latency p50=%v p95=%v p99=%v max=%v\n",
+		hist.Quantile(0.50), hist.Quantile(0.95), hist.Quantile(0.99), hist.Max())
 	return 0
 }

@@ -33,12 +33,23 @@ func usage() int {
 
 func run() int {
 	addr := flag.String("addr", "127.0.0.1:7423", "rhodosd address")
+	wireName := flag.String("wire", "binary", "wire format: binary (multiplexed) or gob (legacy serial); must match the server")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
 		return usage()
 	}
-	tr, err := rpc.DialTCP(*addr)
+	var wire rpc.WireFormat
+	switch *wireName {
+	case "binary":
+		wire = rpc.WireBinary
+	case "gob":
+		wire = rpc.WireGob
+	default:
+		fmt.Fprintf(os.Stderr, "rhodos: unknown wire format %q (binary or gob)\n", *wireName)
+		return 2
+	}
+	tr, err := rpc.DialTCP(*addr, rpc.WithWireFormat(wire))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhodos: %v\n", err)
 		return 1

@@ -37,12 +37,31 @@ func main() {
 	os.Exit(run())
 }
 
+// parseWire maps the -wire flag to a transport wire format. Client
+// (cmd/rhodos) and server must agree.
+func parseWire(name string) (rpc.WireFormat, error) {
+	switch name {
+	case "binary":
+		return rpc.WireBinary, nil
+	case "gob":
+		return rpc.WireGob, nil
+	default:
+		return 0, fmt.Errorf("unknown wire format %q (binary or gob)", name)
+	}
+}
+
 func run() int {
 	listen := flag.String("listen", "127.0.0.1:7423", "TCP listen address")
 	disks := flag.Int("disks", 1, "number of simulated data disks")
 	tracks := flag.Int("tracks", 4096, "tracks per disk (32 fragments each; 4096 = 256MB)")
 	debug := flag.String("debug", "", "HTTP listen address for /debug/profile and /debug/flight (empty = off)")
+	wireName := flag.String("wire", "binary", "wire format: binary (multiplexed) or gob (legacy serial)")
 	flag.Parse()
+	wire, err := parseWire(*wireName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhodosd: %v\n", err)
+		return 2
+	}
 
 	rec := obs.New()
 	cluster, err := core.New(core.Config{
@@ -67,7 +86,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "rhodosd: listen: %v\n", err)
 		return 1
 	}
-	tcpSrv := rpc.Serve(ln, ep)
+	tcpSrv := rpc.Serve(ln, ep, rpc.WithWireFormat(wire))
 	defer func() { _ = tcpSrv.Close() }()
 	fmt.Printf("rhodosd: serving %d disk(s) on %s\n", *disks, tcpSrv.Addr())
 

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner per
-// experiment in DESIGN.md's per-experiment index (E1–E19 plus Table 1),
+// experiment in DESIGN.md's per-experiment index (E1–E20 plus Table 1),
 // each returning a rendered table with the same rows the paper's claims are
 // stated in — disk references, cache hits, committed transactions, commit
 // I/O, recovery outcomes, wall-clock throughput.
@@ -142,5 +142,6 @@ func All() []Runner {
 		{"E17", "Parity-striped layout", E17Parity},
 		{"E18", "Crash-recovery torture harness", E18Torture},
 		{"E19", "Group-commit throughput", E19GroupCommit},
+		{"E20", "Closed-loop transport load scaling", E20LoadScaling},
 	}
 }

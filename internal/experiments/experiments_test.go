@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/rpc"
 )
 
 // cell parses a table cell as an integer.
@@ -29,8 +30,8 @@ func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
 
 func TestAllRunnersListed(t *testing.T) {
 	runners := All()
-	if len(runners) != 20 {
-		t.Fatalf("All() = %d runners, want 20 (T1 + E1..E19)", len(runners))
+	if len(runners) != 21 {
+		t.Fatalf("All() = %d runners, want 21 (T1 + E1..E20)", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -370,6 +371,46 @@ func TestTortureReplayable(t *testing.T) {
 	}
 	if len(a.Violations)+len(b.Violations) > 0 {
 		t.Errorf("violations: %v / %v", a.Violations, b.Violations)
+	}
+}
+
+func TestE20Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E20 measures wall-clock throughput over real TCP")
+	}
+	// One small cell per transport, not the full matrix. With 16 clients at
+	// 8 per connection and a 1 ms injected service time, the serial
+	// transport is capped near 2×(1/1ms) ops/sec while the multiplexed one
+	// overlaps all 16 — the gap is structural (~8x on an unloaded host, and
+	// still ~2.8x on this CPU-starved container since the serial cap is
+	// sleep-bound while the mux side is compute-bound). The threshold is
+	// far below both; one clean attempt out of two is accepted.
+	const clients, ops = 16, 25
+	var ratio float64
+	for attempt := 0; attempt < 2; attempt++ {
+		gob, _, err := LoadRun(rpc.WireGob, clients, e20AgentsPerConn, ops, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mux, hist, err := LoadRun(rpc.WireBinary, clients, e20AgentsPerConn, ops, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gob.Ops != clients*ops || mux.Ops != clients*ops {
+			t.Fatalf("ops = %d gob, %d mux, want %d", gob.Ops, mux.Ops, clients*ops)
+		}
+		if hist.Count() != int64(mux.Ops) {
+			t.Fatalf("latency samples = %d, want %d", hist.Count(), mux.Ops)
+		}
+		ratio = mux.OpsPerSec() / gob.OpsPerSec()
+		t.Logf("E20 attempt %d: gob %.0f ops/sec, mux %.0f ops/sec, ratio %.2f",
+			attempt, gob.OpsPerSec(), mux.OpsPerSec(), ratio)
+		if ratio >= 2 {
+			break
+		}
+	}
+	if ratio < 2 {
+		t.Fatalf("multiplexed transport only %.2fx the serial baseline, want >= 2x", ratio)
 	}
 }
 

@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fault"
+	"repro/internal/fit"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/rpcfs"
+	"repro/internal/workload"
+)
+
+// E20 parameters. Eight client agents share each TCP connection — the
+// configuration where per-connection head-of-line blocking shows or doesn't:
+// the serial gob transport admits one request per connection at a time, so a
+// connection's throughput is capped at 1/(agentsPerConn × service time),
+// while the multiplexed transport keeps all eight requests of a connection
+// in flight at once.
+const (
+	e20AgentsPerConn = 8
+	e20OpSize        = 4 << 10
+	e20FileSize      = 128 << 10
+	e20ReadFrac      = 0.7
+	// e20ServiceTime is the injected per-request service time at the
+	// server's dispatch point (PtTCPServe) — the stand-in for media time on
+	// a server with ample internal parallelism, the same role
+	// SetWallFactor plays in E16. It is what a pipelined transport overlaps
+	// and a serial one eats per round trip.
+	e20ServiceTime = time.Millisecond
+)
+
+// e20Ops picks operations per agent so every cell finishes in a fraction of
+// a second while the percentile sample count stays useful.
+func e20Ops(clients int) int {
+	ops := 400 / clients
+	if ops < 50 {
+		ops = 50
+	}
+	return ops
+}
+
+// E20LoadScaling measures the serving path under closed-loop concurrency:
+// 1/8/64/256 client agents (8 per TCP connection) driving positional reads
+// and writes through agent → rpcfs → rpc → fileservice over real loopback
+// TCP, once over the legacy gob-serial transport and once over the
+// multiplexed binary transport. Each server-side request carries a 1 ms
+// injected service time; the multiplexed transport overlaps those across a
+// connection, the serial baseline cannot.
+func E20LoadScaling() (*Table, error) {
+	t := &Table{
+		ID:      "E20",
+		Title:   "Closed-loop load: gob-serial vs multiplexed-binary transport",
+		Claim:   "connection multiplexing sustains concurrent clients per connection; the serial transport serializes them",
+		Columns: []string{"transport", "clients", "conns", "ops", "wall", "ops/sec", "p50", "p95", "p99", "vs gob"},
+	}
+	rec := obs.New() // headline profile: the largest multiplexed cell
+	for _, clients := range []int{1, 8, 64, 256} {
+		var gobOps float64
+		for _, wire := range []rpc.WireFormat{rpc.WireGob, rpc.WireBinary} {
+			var cellRec *obs.Recorder
+			if wire == rpc.WireBinary && clients == 256 {
+				cellRec = rec
+			}
+			res, hist, err := LoadRun(wire, clients, e20AgentsPerConn, e20Ops(clients), cellRec)
+			if err != nil {
+				return nil, err
+			}
+			opsPerSec := res.OpsPerSec()
+			ratio := "—"
+			if wire == rpc.WireGob {
+				gobOps = opsPerSec
+			} else if gobOps > 0 {
+				ratio = fmt.Sprintf("%.1fx", opsPerSec/gobOps)
+			}
+			conns := (clients + e20AgentsPerConn - 1) / e20AgentsPerConn
+			t.AddRow(wire.String(), clients, conns, res.Ops, res.Wall,
+				fmt.Sprintf("%.0f", opsPerSec),
+				hist.Quantile(0.50), hist.Quantile(0.95), hist.Quantile(0.99), ratio)
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("closed loop over real loopback TCP: %d agents per connection, %d KB ops, %.0f%% reads, client cache off",
+			e20AgentsPerConn, e20OpSize>>10, e20ReadFrac*100),
+		fmt.Sprintf("every request carries a %s injected service time at the server dispatch point (rpc.tcp.serve) — the media-time stand-in the transports must overlap", e20ServiceTime),
+		"gob rows: one request in flight per connection (the old transport's mutex across the round trip)",
+		"binary rows: tagged frames multiplex each connection; the worker pool executes a connection's requests concurrently",
+		"the per-layer profile below traces the largest multiplexed cell (256 clients)")
+	t.Profile = rec.Profile()
+	return t, nil
+}
+
+// e20Agent adapts one client machine's file agent to workload.LoadAgent.
+type e20Agent struct {
+	fa   *agent.FileAgent
+	proc *agent.Process
+	fd   int
+}
+
+func (a e20Agent) ReadAt(off int64, n int) ([]byte, error) {
+	return a.fa.PRead(a.proc, a.fd, off, n)
+}
+
+func (a e20Agent) WriteAt(off int64, data []byte) (int, error) {
+	return a.fa.PWrite(a.proc, a.fd, off, data)
+}
+
+// LoadRun executes one closed-loop load cell: a fresh cluster served over
+// loopback TCP with the given wire format, clients agent machines in groups
+// of agentsPerConn per connection, each running opsPerAgent timed
+// operations. Exported for cmd/rhodos-bench's -load mode. rec (optional)
+// receives the spans of every layer on both sides of the wire.
+func LoadRun(wire rpc.WireFormat, clients, agentsPerConn, opsPerAgent int, rec *obs.Recorder) (workload.LoadResult, *obs.Histogram, error) {
+	fail := func(err error) (workload.LoadResult, *obs.Histogram, error) {
+		return workload.LoadResult{}, nil, err
+	}
+	if clients <= 0 || agentsPerConn <= 0 {
+		return fail(fmt.Errorf("experiments: bad load cell: %d clients, %d per conn", clients, agentsPerConn))
+	}
+	c, err := core.New(core.Config{
+		Disks:             2,
+		Geometry:          device.Geometry{FragmentsPerTrack: 32, Tracks: 1024}, // 64 MB each
+		ServerCacheBlocks: 4096,
+		Obs:               rec,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	defer func() { _ = c.Close() }()
+
+	srv := &rpcfs.Server{Files: c.Files, Naming: c.Naming}
+	ep := rpc.NewEndpoint(srv.Handler(), rpc.WithMetrics(c.Metrics), rpc.WithObs(rec), rpc.WithWindow(4096))
+	inj := fault.NewInjector(0)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	// Workers sized so injected service-time sleeps never starve the pool:
+	// every in-flight request can hold a worker simultaneously.
+	tsrv := rpc.Serve(ln, ep, rpc.WithWireFormat(wire), rpc.WithInjector(inj), rpc.WithWorkers(2*clients+16))
+	defer func() { _ = tsrv.Close() }()
+
+	conns := (clients + agentsPerConn - 1) / agentsPerConn
+	transports := make([]*rpc.TCPTransport, conns)
+	for i := range transports {
+		tr, err := rpc.DialTCP(tsrv.Addr().String(), rpc.WithWireFormat(wire))
+		if err != nil {
+			return fail(err)
+		}
+		defer func() { _ = tr.Close() }()
+		transports[i] = tr
+	}
+
+	// Build one agent machine per client over its share of the connections
+	// and materialize each client's file — all before the service-time
+	// injection is armed, so setup runs at full speed.
+	agents := make([]workload.LoadAgent, clients)
+	seed := make([]byte, e20FileSize)
+	for i := 0; i < clients; i++ {
+		cl := &rpcfs.Client{C: rpc.NewClient(transports[i/agentsPerConn], uint64(i+1), 10, c.Metrics)}
+		m, err := agent.NewMachine(agent.MachineConfig{
+			Naming:             c.Naming,
+			Files:              cl,
+			DisableClientCache: true, // every timed op must cross the wire
+			Obs:                rec,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		proc := m.NewProcess()
+		fa := m.FileAgent()
+		fd, err := fa.Create(proc, fmt.Sprintf("/e20/%s/client%d", wire, i), fit.Attributes{})
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := fa.PWrite(proc, fd, 0, seed); err != nil {
+			return fail(err)
+		}
+		agents[i] = e20Agent{fa: fa, proc: proc, fd: fd}
+	}
+
+	inj.Arm(rpc.PtTCPServe, fault.Action{Kind: fault.KindDelay, Delay: e20ServiceTime, Times: -1})
+	defer inj.DisarmAll()
+
+	hist := &obs.Histogram{}
+	res, err := workload.RunClosedLoop(workload.LoadConfig{
+		OpsPerAgent: opsPerAgent,
+		ReadFrac:    e20ReadFrac,
+		OpSize:      e20OpSize,
+		FileSize:    e20FileSize,
+		Seed:        1,
+		Latency:     hist,
+	}, agents)
+	if err != nil {
+		return fail(err)
+	}
+	return res, hist, nil
+}

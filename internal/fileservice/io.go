@@ -457,6 +457,10 @@ func (s *Service) growSpread(st *fileState, missing int) (int, error) {
 	return 0, ErrNoSpace
 }
 
+// zeroBlock is the shared source buffer for zero-filling. Read-only: every
+// consumer (cache.Put, device writes) copies from it, never into it.
+var zeroBlock = make([]byte, BlockSize)
+
 // zeroFill writes zero blocks over logical blocks [from, to) — used when a
 // hole is materialized, since allocated blocks may carry stale data.
 // Callers must hold st.mu.
@@ -464,7 +468,6 @@ func (s *Service) zeroFill(st *fileState, from, to int) error {
 	if from >= to {
 		return nil
 	}
-	zero := make([]byte, BlockSize)
 	writeThrough := st.attr.Service == fit.ServiceTransaction
 	for b := from; b < to; b++ {
 		disk, addr, _, ok := st.extents.Lookup(b)
@@ -472,7 +475,7 @@ func (s *Service) zeroFill(st *fileState, from, to int) error {
 			return fmt.Errorf("%w: zero-fill of unmapped block %d", ErrBadRequest, b)
 		}
 		key := blockKey{disk: int(disk), addr: int(addr)}
-		if err := s.blockCache.Put(key, zero, true); err != nil {
+		if err := s.blockCache.Put(key, zeroBlock, true); err != nil {
 			return err
 		}
 		if writeThrough {

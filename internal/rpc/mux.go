@@ -1,0 +1,273 @@
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// muxConn is the client side of one multiplexed binary-wire connection.
+// Any number of goroutines issue roundTrips concurrently: each send is
+// tagged with a fresh frame ID, registered in the pending-call map, and
+// queued to the writer goroutine; the reader goroutine decodes response
+// frames as they arrive — in any order — and completes the matching call.
+// This replaces the serial transport's hold-the-mutex-for-the-round-trip
+// design: one connection now keeps many requests in flight, so the server
+// can overlap their disk work while earlier responses are still in transit.
+//
+// Ownership: a pending call is completed by exactly one party — the reader
+// (response or expiry), or fail (connection teardown) — whichever removes it
+// from the map under pmu; its result channel is buffered so completion never
+// blocks. Attempt deadlines are enforced by the reader's socket read
+// deadline, always armed to the earliest pending deadline: an expired call
+// is failed individually and the connection survives as long as the expiry
+// caught the stream at a frame boundary.
+type muxConn struct {
+	conn net.Conn
+	opts tcpOpts
+
+	writeq chan muxWrite
+	done   chan struct{} // closed by fail; the connection is then dead
+	once   sync.Once
+	errv   atomic.Value // error stored before done closes
+
+	nextID atomic.Uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]*pendingCall
+	dead    bool
+}
+
+type muxWrite struct {
+	id  uint64
+	req Request
+}
+
+type pendingCall struct {
+	ch       chan callResult
+	deadline time.Time
+}
+
+type callResult struct {
+	resp Response
+	err  error
+}
+
+// dialMux establishes a multiplexed connection and starts its reader and
+// writer goroutines.
+func dialMux(addr string, opts tcpOpts) (*muxConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &muxConn{
+		conn:    conn,
+		opts:    opts,
+		writeq:  make(chan muxWrite, 128),
+		done:    make(chan struct{}),
+		pending: make(map[uint64]*pendingCall),
+	}
+	go c.readLoop()
+	go c.writeLoop()
+	return c, nil
+}
+
+// isDead reports whether the connection has been torn down.
+func (c *muxConn) isDead() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// err returns the teardown cause (after done is closed).
+func (c *muxConn) err() error {
+	if e, ok := c.errv.Load().(error); ok {
+		return e
+	}
+	return ErrClosed
+}
+
+// fail tears the connection down once: record the cause, close the socket,
+// unblock both loops, and complete every pending call with the cause.
+func (c *muxConn) fail(cause error) {
+	c.once.Do(func() {
+		c.errv.Store(cause)
+		close(c.done)
+		_ = c.conn.Close()
+		c.pmu.Lock()
+		calls := c.pending
+		c.pending = nil
+		c.dead = true
+		c.pmu.Unlock()
+		for _, pc := range calls {
+			pc.ch <- callResult{err: cause}
+		}
+	})
+}
+
+// close tears the connection down as an orderly local close.
+func (c *muxConn) close() { c.fail(ErrClosed) }
+
+// roundTrip issues one request and waits for its response or the attempt
+// deadline (zero = wait indefinitely).
+func (c *muxConn) roundTrip(req Request, deadline time.Time) (Response, error) {
+	id := c.nextID.Add(1)
+	pc := &pendingCall{ch: make(chan callResult, 1), deadline: deadline}
+	c.pmu.Lock()
+	if c.dead {
+		c.pmu.Unlock()
+		return Response{}, c.err()
+	}
+	c.pending[id] = pc
+	// Arm the socket deadline under pmu (see armReadDeadlineLocked): a reader
+	// that just decided to block without a deadline is interrupted by this
+	// earlier one.
+	if !deadline.IsZero() {
+		c.armReadDeadlineLocked()
+	}
+	c.pmu.Unlock()
+	select {
+	case c.writeq <- muxWrite{id: id, req: req}:
+	case <-c.done:
+		c.forget(id)
+		return Response{}, c.err()
+	}
+	select {
+	case r := <-pc.ch:
+		return r.resp, r.err
+	case <-c.done:
+		// The teardown may have raced a delivery; prefer the delivered result.
+		select {
+		case r := <-pc.ch:
+			return r.resp, r.err
+		default:
+		}
+		c.forget(id)
+		return Response{}, c.err()
+	}
+}
+
+// forget removes a call that will never be completed through the map.
+func (c *muxConn) forget(id uint64) {
+	c.pmu.Lock()
+	if c.pending != nil {
+		delete(c.pending, id)
+	}
+	c.pmu.Unlock()
+}
+
+// armReadDeadlineLocked points the socket read deadline at the earliest
+// pending attempt deadline (or clears it). Callers hold pmu, which orders
+// every SetReadDeadline: the arming that observes the newest pending set
+// always runs last.
+func (c *muxConn) armReadDeadlineLocked() {
+	var earliest time.Time
+	for _, pc := range c.pending {
+		if pc.deadline.IsZero() {
+			continue
+		}
+		if earliest.IsZero() || pc.deadline.Before(earliest) {
+			earliest = pc.deadline
+		}
+	}
+	_ = c.conn.SetReadDeadline(earliest)
+}
+
+// expireOverdue completes every pending call whose deadline has passed with
+// cause, reporting whether any were overdue.
+func (c *muxConn) expireOverdue(cause error) bool {
+	now := time.Now()
+	var expired []*pendingCall
+	c.pmu.Lock()
+	for id, pc := range c.pending {
+		if !pc.deadline.IsZero() && !pc.deadline.After(now) {
+			delete(c.pending, id)
+			expired = append(expired, pc)
+		}
+	}
+	c.pmu.Unlock()
+	for _, pc := range expired {
+		pc.ch <- callResult{err: cause}
+	}
+	return len(expired) > 0
+}
+
+// readLoop decodes response frames and completes their pending calls.
+func (c *muxConn) readLoop() {
+	fr := newFrameReader(c.conn, c.opts.maxFrame)
+	for {
+		c.pmu.Lock()
+		c.armReadDeadlineLocked()
+		c.pmu.Unlock()
+		frame, consumed, err := fr.read()
+		if err != nil {
+			var nerr net.Error
+			if consumed == 0 && errors.As(err, &nerr) && nerr.Timeout() {
+				// Frame boundary: the deadline belonged to one (or a few)
+				// overdue calls. Fail just those and keep the connection;
+				// re-arming picks up the next earliest deadline. A timeout
+				// with nothing overdue was a stale deadline from an
+				// already-completed call — just re-arm.
+				c.expireOverdue(errors.Join(ErrDropped, err))
+				continue
+			}
+			c.fail(errors.Join(ErrDropped, err))
+			return
+		}
+		if frame.kind != frameResponse {
+			c.fail(errors.Join(ErrDropped, errors.New("rpc: request frame on client connection")))
+			return
+		}
+		c.pmu.Lock()
+		pc := c.pending[frame.id]
+		if pc != nil {
+			delete(c.pending, frame.id)
+		}
+		c.pmu.Unlock()
+		if pc == nil {
+			// Response to an expired (already failed) call.
+			Recycle(frame.body)
+			continue
+		}
+		pc.ch <- callResult{resp: Response{Seq: frame.seq, Body: frame.body, Err: frame.errMsg}}
+	}
+}
+
+// writeLoop encodes queued requests, draining opportunistically so bursts of
+// concurrent sends share one flush (and one TCP segment, when they fit).
+func (c *muxConn) writeLoop() {
+	bw := bufio.NewWriterSize(c.conn, wireBufferSize)
+	for {
+		var w muxWrite
+		select {
+		case <-c.done:
+			return
+		case w = <-c.writeq:
+		}
+		if d := c.opts.ioTimeout; d > 0 {
+			_ = c.conn.SetWriteDeadline(time.Now().Add(d))
+		}
+		for {
+			if err := writeRequest(bw, w.id, &w.req, c.opts.maxFrame); err != nil {
+				c.fail(errors.Join(ErrDropped, err))
+				return
+			}
+			select {
+			case w = <-c.writeq:
+				continue
+			default:
+			}
+			break
+		}
+		if err := bw.Flush(); err != nil {
+			c.fail(errors.Join(ErrDropped, err))
+			return
+		}
+	}
+}

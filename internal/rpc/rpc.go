@@ -13,8 +13,11 @@
 //
 // Two transports are provided: an in-process transport with deterministic
 // fault injection (message loss and duplication) for experiments, and a TCP
-// transport (package rpc's wire format is encoding/gob) used by the
-// cmd/rhodosd server.
+// transport used by the cmd/rhodosd server. The TCP wire format is a
+// length-prefixed binary framing (see wire.go) multiplexed over a single
+// connection — many requests in flight, responses in any order, payload
+// buffers recycled through bounded free lists; the legacy serial
+// encoding/gob protocol remains available via WithWireFormat(WireGob).
 package rpc
 
 import (
@@ -198,6 +201,25 @@ type Endpoint struct {
 	// NoDupCache disables idempotency (ablation for E13): every message is
 	// executed, duplicates included.
 	noDup bool
+
+	// inflight tracks requests currently executing, so a duplicate that
+	// arrives while the original is still running waits for that result
+	// instead of executing again. A serial server never needed this — one
+	// connection could not deliver a retry while the original executed —
+	// but a multiplexed server dispatching one connection's frames to a
+	// worker pool can.
+	iMu      sync.Mutex
+	inflight map[clientSeq]*inflightCall
+}
+
+type clientSeq struct {
+	client uint64
+	seq    uint64
+}
+
+type inflightCall struct {
+	done chan struct{} // closed after resp is set
+	resp Response
 }
 
 // EndpointOption configures an Endpoint.
@@ -223,7 +245,7 @@ func WithMaxClients(n int) EndpointOption { return func(e *Endpoint) { e.dup.set
 
 // NewEndpoint wraps handler.
 func NewEndpoint(handler Handler, opts ...EndpointOption) *Endpoint {
-	e := &Endpoint{handler: handler, dup: NewDupCache(0)}
+	e := &Endpoint{handler: handler, dup: NewDupCache(0), inflight: make(map[clientSeq]*inflightCall)}
 	for _, o := range opts {
 		o(e)
 	}
@@ -244,11 +266,26 @@ func (e *Endpoint) Handle(req Request) Response {
 
 func (e *Endpoint) handle(req Request) Response {
 	e.met.Inc(metrics.RPCRequests)
+	var call *inflightCall
 	if !e.noDup {
+		key := clientSeq{req.ClientID, req.Seq}
+		e.iMu.Lock()
 		if resp, ok := e.dup.Lookup(req.ClientID, req.Seq); ok {
+			e.iMu.Unlock()
 			e.met.Inc(metrics.RPCDuplicates)
 			return resp
 		}
+		if prior, ok := e.inflight[key]; ok {
+			// The original is still executing; its retry waits for that
+			// single execution's result.
+			e.iMu.Unlock()
+			<-prior.done
+			e.met.Inc(metrics.RPCDuplicates)
+			return prior.resp
+		}
+		call = &inflightCall{done: make(chan struct{})}
+		e.inflight[key] = call
+		e.iMu.Unlock()
 	}
 	body, err := e.handler(req.Method, req.Body)
 	resp := Response{Seq: req.Seq, Body: body}
@@ -256,7 +293,12 @@ func (e *Endpoint) handle(req Request) Response {
 		resp.Err = err.Error()
 	}
 	if !e.noDup {
+		e.iMu.Lock()
 		e.dup.Store(req.ClientID, req.Seq, resp)
+		delete(e.inflight, clientSeq{req.ClientID, req.Seq})
+		e.iMu.Unlock()
+		call.resp = resp
+		close(call.done)
 	}
 	return resp
 }
@@ -386,6 +428,23 @@ func NewClient(t Transport, clientID uint64, retries int, met *metrics.Set) *Cli
 		retries = 10
 	}
 	return &Client{t: t, clientID: clientID, retries: retries, met: met}
+}
+
+// callerOwnsBodies is implemented by transports whose response bodies are
+// exclusively owned by the caller once Call returns — nothing else (no
+// cache, no other goroutine) retains the slice.
+type callerOwnsBodies interface{ callerOwnsBodies() bool }
+
+// ReleaseBody returns a response body obtained from Call to the wire buffer
+// free lists, when the transport hands out caller-owned bodies. The TCP
+// transport does (each response body is decoded into its own buffer); the
+// in-process transport does not — its bodies alias the server's duplicate
+// cache — and for it ReleaseBody is a no-op. Callers must not touch the
+// slice afterwards.
+func (c *Client) ReleaseBody(body []byte) {
+	if t, ok := c.t.(callerOwnsBodies); ok && t.callerOwnsBodies() {
+		Recycle(body)
+	}
 }
 
 // SetAttemptTimeout bounds each individual send attempt when the transport

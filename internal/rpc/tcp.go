@@ -1,30 +1,128 @@
 package rpc
 
 import (
+	"bufio"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
+
+// PtTCPServe is the fault point on the TCP server's dispatch path, consulted
+// once per decoded request: arm it with an error to drop the request before
+// execution (the client sees a timeout and retries), or with a delay to
+// stall the handler — the knobs the transport stress tests turn while
+// asserting exactly-once effects.
+var PtTCPServe = fault.Register("rpc.tcp.serve")
+
+// WireFormat selects the TCP wire protocol.
+type WireFormat int
+
+const (
+	// WireBinary is the default: length-prefixed binary frames tagged with
+	// per-connection frame IDs, multiplexed — many requests in flight per
+	// connection, responses in any order (see wire.go for the layout).
+	WireBinary WireFormat = iota
+	// WireGob is the legacy protocol: gob-encoded Request/Response pairs,
+	// strictly serial per connection. Kept as the measured baseline (E20)
+	// and for compatibility with old peers. Both ends must agree.
+	WireGob
+)
+
+// String implements fmt.Stringer.
+func (w WireFormat) String() string {
+	switch w {
+	case WireBinary:
+		return "binary"
+	case WireGob:
+		return "gob"
+	default:
+		return fmt.Sprintf("WireFormat(%d)", int(w))
+	}
+}
+
+// DefaultDialTimeout bounds connection establishment when WithDialTimeout is
+// not given. (Dialing used to borrow the I/O timeout, whose zero default
+// meant a dial to a black-holed address blocked forever.)
+const DefaultDialTimeout = 10 * time.Second
 
 // tcpOpts are the shared tunables of the TCP server and transport.
 type tcpOpts struct {
-	ioTimeout time.Duration
+	ioTimeout   time.Duration
+	dialTimeout time.Duration
+	wire        WireFormat
+	workers     int
+	maxFrame    int
+	inj         *fault.Injector
 }
 
 // TCPOption configures Serve or DialTCP.
 type TCPOption func(*tcpOpts)
 
 // WithIOTimeout bounds every network read and write: an operation that makes
-// no progress for d is abandoned and its connection dropped, instead of
-// blocking forever on a hung peer. On the client the failed send surfaces as
-// ErrDropped, so the Client retry plus the server's duplicate cache keep the
-// exactly-once behaviour; on the server the connection closes and the client
-// transparently re-dials. Zero (the default) means no deadline.
+// no progress for d is abandoned, instead of blocking forever on a hung
+// peer. On the client the failed send surfaces as ErrDropped, so the Client
+// retry plus the server's duplicate cache keep the exactly-once behaviour;
+// on the server the connection closes and the client transparently re-dials.
+// On a multiplexed connection the deadline bounds each attempt's round trip:
+// an overdue attempt fails alone while responses keep flowing for the rest.
+// Zero (the default) means no deadline.
 func WithIOTimeout(d time.Duration) TCPOption {
 	return func(o *tcpOpts) { o.ioTimeout = d }
+}
+
+// WithDialTimeout bounds connection establishment (and re-dials after a
+// broken connection). Defaults to DefaultDialTimeout; zero or negative
+// restores the default rather than disabling the bound.
+func WithDialTimeout(d time.Duration) TCPOption {
+	return func(o *tcpOpts) { o.dialTimeout = d }
+}
+
+// WithWireFormat selects the wire protocol (default WireBinary). Client and
+// server must agree.
+func WithWireFormat(w WireFormat) TCPOption {
+	return func(o *tcpOpts) { o.wire = w }
+}
+
+// WithWorkers sets the server's bounded handler pool size for the binary
+// wire (default 4×GOMAXPROCS). The pool is shared by every connection:
+// decoded frames queue to it and execute as workers free up, so a burst on
+// one connection cannot unboundedly multiply goroutines.
+func WithWorkers(n int) TCPOption {
+	return func(o *tcpOpts) { o.workers = n }
+}
+
+// WithMaxFrame bounds one binary-wire frame (default DefaultMaxFrame).
+func WithMaxFrame(n int) TCPOption {
+	return func(o *tcpOpts) { o.maxFrame = n }
+}
+
+// WithInjector attaches a fault injector consulted at PtTCPServe for every
+// request the server decodes.
+func WithInjector(in *fault.Injector) TCPOption {
+	return func(o *tcpOpts) { o.inj = in }
+}
+
+func applyTCPOpts(opts []TCPOption) tcpOpts {
+	var o tcpOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.dialTimeout <= 0 {
+		o.dialTimeout = DefaultDialTimeout
+	}
+	if o.workers <= 0 {
+		o.workers = 4 * runtime.GOMAXPROCS(0)
+	}
+	if o.maxFrame <= 0 {
+		o.maxFrame = DefaultMaxFrame
+	}
+	return o
 }
 
 // deadline returns the absolute deadline for one I/O operation starting now,
@@ -36,25 +134,65 @@ func (o *tcpOpts) deadline() time.Time {
 	return time.Now().Add(o.ioTimeout)
 }
 
-// TCPServer serves an Endpoint over TCP, one goroutine per connection, with
-// gob framing. Close stops the listener and waits for connections to drain.
+// TCPServer serves an Endpoint over TCP. On the binary wire each connection
+// gets a reader and a writer goroutine and decoded requests dispatch to the
+// server-wide bounded worker pool, so one connection's requests execute
+// concurrently and respond out of order; on the gob wire requests are
+// handled serially per connection. Close stops the listener and waits for
+// connections and workers to drain.
 type TCPServer struct {
 	ep   *Endpoint
 	ln   net.Listener
 	opts tcpOpts
 
+	work   chan serverTask
+	workWG sync.WaitGroup
+
 	mu     sync.Mutex
 	closed bool
-	conns  map[net.Conn]struct{}
+	conns  map[net.Conn]*serverConn
 	wg     sync.WaitGroup
+}
+
+// serverTask is one decoded request awaiting a pool worker.
+type serverTask struct {
+	sc  *serverConn
+	id  uint64
+	req Request
+}
+
+// serverConn is the per-connection state of the binary wire: the response
+// queue feeding the connection's writer goroutine, and the teardown latch.
+type serverConn struct {
+	conn   net.Conn
+	writeq chan respWrite
+	done   chan struct{}
+	once   sync.Once
+}
+
+type respWrite struct {
+	id   uint64
+	resp Response
+}
+
+// shutdown tears the connection down once; safe from any goroutine.
+func (sc *serverConn) shutdown() {
+	sc.once.Do(func() {
+		close(sc.done)
+		_ = sc.conn.Close()
+	})
 }
 
 // Serve starts serving ep on ln. It returns immediately; the listener runs
 // until Close.
 func Serve(ln net.Listener, ep *Endpoint, opts ...TCPOption) *TCPServer {
-	s := &TCPServer{ep: ep, ln: ln, conns: make(map[net.Conn]struct{})}
-	for _, o := range opts {
-		o(&s.opts)
+	s := &TCPServer{ep: ep, ln: ln, opts: applyTCPOpts(opts), conns: make(map[net.Conn]*serverConn)}
+	if s.opts.wire == WireBinary {
+		s.work = make(chan serverTask, 4*s.opts.workers)
+		for i := 0; i < s.opts.workers; i++ {
+			s.workWG.Add(1)
+			go s.worker()
+		}
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -71,38 +209,171 @@ func (s *TCPServer) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
+		sc := &serverConn{conn: conn, writeq: make(chan respWrite, 64), done: make(chan struct{})}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			_ = conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
+		s.conns[conn] = sc
 		s.mu.Unlock()
 		s.wg.Add(1)
-		go s.serveConn(conn)
+		if s.opts.wire == WireBinary {
+			go s.serveMuxConn(sc)
+		} else {
+			go s.serveGobConn(sc)
+		}
 	}
 }
 
-func (s *TCPServer) serveConn(conn net.Conn) {
+// dropped consults the fault injector for one decoded request: true means
+// the request is dropped before execution (the paper's lost message); an
+// armed delay stalls here, on the worker, before the handler runs.
+func (s *TCPServer) dropped() bool {
+	inj := s.opts.inj
+	if inj == nil {
+		return false
+	}
+	if err := inj.Err(PtTCPServe); err != nil {
+		return true
+	}
+	if d := inj.Delay(PtTCPServe); d > 0 {
+		time.Sleep(d)
+	}
+	return false
+}
+
+// worker executes queued requests from any connection. The request body is
+// a pooled wire buffer owned by the worker; handlers must not retain it
+// past return, nor alias it in their response (every handler here decodes
+// into its own structures), so it is recycled as soon as the handler
+// finishes.
+func (s *TCPServer) worker() {
+	defer s.workWG.Done()
+	for task := range s.work {
+		if s.dropped() {
+			Recycle(task.req.Body)
+			continue
+		}
+		resp := s.ep.Handle(task.req)
+		Recycle(task.req.Body)
+		select {
+		case task.sc.writeq <- respWrite{id: task.id, resp: resp}:
+		case <-task.sc.done:
+			// Connection gone; the effect happened and the duplicate cache
+			// will answer the client's retry on a fresh connection.
+		}
+	}
+}
+
+// serveMuxConn reads frames off one binary-wire connection and dispatches
+// them to the worker pool; its paired writer goroutine streams responses
+// back in completion order.
+func (s *TCPServer) serveMuxConn(sc *serverConn) {
 	defer s.wg.Done()
 	defer func() {
-		_ = conn.Close()
+		sc.shutdown()
 		s.mu.Lock()
-		delete(s.conns, conn)
+		delete(s.conns, sc.conn)
 		s.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+
+	s.wg.Add(1)
+	go s.connWriter(sc)
+
+	fr := newFrameReader(sc.conn, s.opts.maxFrame)
 	for {
-		if err := conn.SetReadDeadline(s.opts.deadline()); err != nil {
+		if err := sc.conn.SetReadDeadline(s.opts.deadline()); err != nil {
+			return
+		}
+		frame, _, err := fr.read()
+		if err != nil {
+			return
+		}
+		if frame.kind != frameRequest {
+			Recycle(frame.body)
+			return
+		}
+		task := serverTask{
+			sc: sc,
+			id: frame.id,
+			req: Request{
+				ClientID: frame.clientID,
+				Seq:      frame.seq,
+				Method:   frame.method,
+				Body:     frame.body,
+			},
+		}
+		select {
+		case s.work <- task:
+		case <-sc.done:
+			Recycle(frame.body)
+			return
+		}
+	}
+}
+
+// connWriter drains one connection's response queue, batching flushes
+// across bursts of completions.
+func (s *TCPServer) connWriter(sc *serverConn) {
+	defer s.wg.Done()
+	defer sc.shutdown()
+	bw := bufio.NewWriterSize(sc.conn, wireBufferSize)
+	for {
+		var w respWrite
+		select {
+		case <-sc.done:
+			return
+		case w = <-sc.writeq:
+		}
+		if d := s.opts.ioTimeout; d > 0 {
+			_ = sc.conn.SetWriteDeadline(time.Now().Add(d))
+		}
+		for {
+			if err := writeResponse(bw, w.id, &w.resp, s.opts.maxFrame); err != nil {
+				return
+			}
+			select {
+			case w = <-sc.writeq:
+				continue
+			default:
+			}
+			break
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// serveGobConn is the legacy serial loop: decode a request, handle it,
+// encode the response, repeat.
+func (s *TCPServer) serveGobConn(sc *serverConn) {
+	defer s.wg.Done()
+	defer func() {
+		sc.shutdown()
+		s.mu.Lock()
+		delete(s.conns, sc.conn)
+		s.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(sc.conn)
+	enc := gob.NewEncoder(sc.conn)
+	for {
+		if err := sc.conn.SetReadDeadline(s.opts.deadline()); err != nil {
 			return
 		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			return
 		}
-		if err := conn.SetWriteDeadline(s.opts.deadline()); err != nil {
+		if s.dropped() {
+			// The serial wire cannot skip a response without desynchronizing
+			// the peer's decoder, so a "dropped" request drops the connection
+			// — the network failure a serial stream actually exhibits.
+			return
+		}
+		if err := sc.conn.SetWriteDeadline(s.opts.deadline()); err != nil {
 			return
 		}
 		resp := s.ep.Handle(req)
@@ -112,7 +383,8 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
-// Close stops the server and closes all connections.
+// Close stops the server, closes all connections, and waits for the worker
+// pool to drain.
 func (s *TCPServer) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -121,25 +393,35 @@ func (s *TCPServer) Close() error {
 	}
 	s.closed = true
 	err := s.ln.Close()
-	for conn := range s.conns {
-		_ = conn.Close()
+	for _, sc := range s.conns {
+		sc.shutdown()
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.work != nil {
+		close(s.work)
+		s.workWG.Wait()
+	}
 	return err
 }
 
 // TCPTransport is a client transport over one TCP connection, reconnecting
-// on failure. Sends are serialized.
+// on failure. On the binary wire (the default) sends multiplex: any number
+// of goroutines issue concurrent Sends over the single connection, each
+// tagged with a frame ID and completed when its response frame arrives —
+// out of order, while later requests are already on the wire. On the gob
+// wire sends serialize, one round trip at a time (the legacy baseline).
 type TCPTransport struct {
 	addr string
 	opts tcpOpts
 
 	mu     sync.Mutex
-	conn   net.Conn
-	enc    *gob.Encoder
-	dec    *gob.Decoder
 	closed bool
+	mc     *muxConn // binary wire
+
+	gconn net.Conn // gob wire
+	genc  *gob.Encoder
+	gdec  *gob.Decoder
 }
 
 var (
@@ -147,46 +429,99 @@ var (
 	_ DeadlineTransport = (*TCPTransport)(nil)
 )
 
+// callerOwnsBodies reports that TCP response bodies are exclusively the
+// caller's: binary-wire bodies are decoded into pooled buffers handed to
+// exactly one waiter, and gob-wire bodies are freshly allocated by decode.
+func (t *TCPTransport) callerOwnsBodies() bool { return true }
+
 // DialTCP connects to a TCPServer.
 func DialTCP(addr string, opts ...TCPOption) (*TCPTransport, error) {
-	t := &TCPTransport{addr: addr}
-	for _, o := range opts {
-		o(&t.opts)
+	t := &TCPTransport{addr: addr, opts: applyTCPOpts(opts)}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.opts.wire == WireGob {
+		return t, t.reconnectGobLocked()
 	}
-	if err := t.reconnectLocked(); err != nil {
-		return nil, err
+	mc, err := dialMux(addr, t.opts)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: dial %s: %w", addr, err)
 	}
+	t.mc = mc
 	return t, nil
 }
 
-func (t *TCPTransport) reconnectLocked() error {
-	conn, err := net.DialTimeout("tcp", t.addr, t.opts.ioTimeout)
-	if err != nil {
-		return fmt.Errorf("rpc: dial %s: %w", t.addr, err)
-	}
-	t.conn = conn
-	t.enc = gob.NewEncoder(conn)
-	t.dec = gob.NewDecoder(conn)
-	return nil
-}
-
 // Send issues one request and waits for its response. A broken connection is
-// re-dialed once and surfaces as ErrDropped so the Client's retry (and the
-// server's duplicate cache) provide the exactly-once behaviour.
+// re-dialed on the next send and the failure surfaces as ErrDropped, so the
+// Client's retry (and the server's duplicate cache) provide the exactly-once
+// behaviour.
 func (t *TCPTransport) Send(req Request) (Response, error) {
 	return t.send(req, time.Time{})
 }
 
 // SendWithDeadline is Send with an explicit absolute deadline on this
-// attempt's reads and writes, overriding the configured per-operation
-// timeout.
+// attempt, overriding the configured per-operation timeout.
 func (t *TCPTransport) SendWithDeadline(req Request, deadline time.Time) (Response, error) {
 	return t.send(req, deadline)
 }
 
 // send issues one request. A zero override falls back to the per-operation
-// deadline derived from WithIOTimeout at each read/write.
+// deadline derived from WithIOTimeout.
 func (t *TCPTransport) send(req Request, override time.Time) (Response, error) {
+	if t.opts.wire == WireGob {
+		return t.sendGob(req, override)
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return Response{}, ErrClosed
+	}
+	mc := t.mc
+	if mc == nil || mc.isDead() {
+		fresh, err := dialMux(t.addr, t.opts)
+		if err != nil {
+			t.mu.Unlock()
+			return Response{}, errors.Join(ErrDropped, fmt.Errorf("rpc: dial %s: %w", t.addr, err))
+		}
+		t.mc = fresh
+		mc = fresh
+	}
+	t.mu.Unlock()
+	deadline := override
+	if deadline.IsZero() {
+		deadline = t.opts.deadline()
+	}
+	return mc.roundTrip(req, deadline)
+}
+
+// Close closes the connection.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	if t.mc != nil {
+		t.mc.close()
+		t.mc = nil
+	}
+	t.dropGobConnLocked()
+	return nil
+}
+
+// --- gob wire (legacy serial client path) ---
+
+func (t *TCPTransport) reconnectGobLocked() error {
+	conn, err := net.DialTimeout("tcp", t.addr, t.opts.dialTimeout)
+	if err != nil {
+		return fmt.Errorf("rpc: dial %s: %w", t.addr, err)
+	}
+	t.gconn = conn
+	t.genc = gob.NewEncoder(conn)
+	t.gdec = gob.NewDecoder(conn)
+	return nil
+}
+
+// sendGob holds the transport mutex across the whole round trip — exactly
+// one request in flight per connection, the behaviour E20 measures against.
+func (t *TCPTransport) sendGob(req Request, override time.Time) (Response, error) {
 	deadline := func() time.Time {
 		if !override.IsZero() {
 			return override
@@ -198,43 +533,34 @@ func (t *TCPTransport) send(req Request, override time.Time) (Response, error) {
 	if t.closed {
 		return Response{}, ErrClosed
 	}
-	if t.conn == nil {
-		if err := t.reconnectLocked(); err != nil {
+	if t.gconn == nil {
+		if err := t.reconnectGobLocked(); err != nil {
 			return Response{}, errors.Join(ErrDropped, err)
 		}
 	}
-	if err := t.conn.SetWriteDeadline(deadline()); err != nil {
-		t.dropConnLocked()
+	if err := t.gconn.SetWriteDeadline(deadline()); err != nil {
+		t.dropGobConnLocked()
 		return Response{}, errors.Join(ErrDropped, err)
 	}
-	if err := t.enc.Encode(req); err != nil {
-		t.dropConnLocked()
+	if err := t.genc.Encode(req); err != nil {
+		t.dropGobConnLocked()
 		return Response{}, errors.Join(ErrDropped, err)
 	}
-	if err := t.conn.SetReadDeadline(deadline()); err != nil {
-		t.dropConnLocked()
+	if err := t.gconn.SetReadDeadline(deadline()); err != nil {
+		t.dropGobConnLocked()
 		return Response{}, errors.Join(ErrDropped, err)
 	}
 	var resp Response
-	if err := t.dec.Decode(&resp); err != nil {
-		t.dropConnLocked()
+	if err := t.gdec.Decode(&resp); err != nil {
+		t.dropGobConnLocked()
 		return Response{}, errors.Join(ErrDropped, err)
 	}
 	return resp, nil
 }
 
-func (t *TCPTransport) dropConnLocked() {
-	if t.conn != nil {
-		_ = t.conn.Close()
-		t.conn = nil
+func (t *TCPTransport) dropGobConnLocked() {
+	if t.gconn != nil {
+		_ = t.gconn.Close()
+		t.gconn = nil
 	}
-}
-
-// Close closes the connection.
-func (t *TCPTransport) Close() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.closed = true
-	t.dropConnLocked()
-	return nil
 }

@@ -1,0 +1,289 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+	"sync"
+)
+
+// The binary wire format (WireBinary) frames every message with a 4-byte
+// big-endian length prefix followed by a tagged payload:
+//
+//	frame    := length(4) payload               length = len(payload)
+//	payload  := kind(1) frameID(8) rest
+//	request  := kind=1 frameID clientID(8) seq(8) mlen(2) blen(4) method body
+//	response := kind=2 frameID seq(8)      elen(2) blen(4) errmsg body
+//
+// The frameID tags each request so responses can return out of order over a
+// multiplexed connection; it is connection-local and never reaches the
+// Endpoint (idempotency still keys on ClientID/Seq). Unlike gob, the codec
+// carries no per-frame type metadata, the header encodes in place in the
+// connection writer's buffer, and the body is written to (and read from) the socket
+// directly, so a fragment payload crosses the rpc layer without an
+// intermediate copy: on encode the body slice goes straight to the buffered
+// writer (large bodies bypass even that buffer), and on decode it lands in a
+// recycled buffer from the frame free lists below.
+
+// Frame kinds.
+const (
+	frameRequest  byte = 1
+	frameResponse byte = 2
+)
+
+// Fixed header sizes after the 4-byte length prefix.
+const (
+	frameCommonLen   = 1 + 8         // kind + frameID
+	requestFixedLen  = 8 + 8 + 2 + 4 // clientID seq mlen blen
+	responseFixedLen = 8 + 2 + 4     // seq elen blen
+)
+
+// DefaultMaxFrame bounds one frame's payload (16 MB); larger frames are
+// rejected on both encode and decode so a corrupt length prefix cannot make
+// the reader allocate unboundedly.
+const DefaultMaxFrame = 16 << 20
+
+// wireBufferSize sizes the per-connection bufio reader/writer. Writes larger
+// than this pass through to the socket uncopied.
+const wireBufferSize = 64 << 10
+
+// bufFree recycles wire buffers in power-of-two size classes —
+// cache.Pool-style explicit bounded free lists rather than sync.Pool, so
+// reuse is deterministic and unaffected by GC timing. Class i holds buffers
+// of capacity exactly 1<<i.
+type bufFree struct {
+	mu   sync.Mutex
+	free [bufMaxClass + 1][][]byte
+}
+
+const (
+	bufMinClass = 9  // smallest pooled buffer: 512 B
+	bufMaxClass = 21 // largest pooled buffer: 2 MB; bigger frames go unpooled
+	bufPerClass = 32 // free buffers retained per class
+)
+
+var frameBufs bufFree
+
+// getBuf returns a buffer of length n backed by a pooled (or fresh)
+// power-of-two allocation. Contents are undefined; callers overwrite fully.
+func getBuf(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	class := bits.Len(uint(n - 1))
+	if class < bufMinClass {
+		class = bufMinClass
+	}
+	if class > bufMaxClass {
+		return make([]byte, n)
+	}
+	frameBufs.mu.Lock()
+	if l := frameBufs.free[class]; len(l) > 0 {
+		buf := l[len(l)-1]
+		frameBufs.free[class] = l[:len(l)-1]
+		frameBufs.mu.Unlock()
+		return buf[:n]
+	}
+	frameBufs.mu.Unlock()
+	return make([]byte, n, 1<<class)
+}
+
+// Recycle returns a wire buffer to the frame free lists. Bodies handed out
+// by the binary transport (Response.Body on the client, Request.Body inside
+// a handler) are backed by these lists; a consumer that has finished
+// decoding a body may Recycle it to keep the hot path allocation-free.
+// Recycling is optional (forgotten buffers are simply collected), must
+// happen at most once per buffer, and the caller must not touch the buffer
+// afterwards. Slices not obtained from the transport are ignored.
+func Recycle(buf []byte) {
+	c := cap(buf)
+	if c == 0 || c&(c-1) != 0 {
+		return // not one of ours: pooled buffers have power-of-two capacity
+	}
+	class := bits.Len(uint(c - 1))
+	if class < bufMinClass || class > bufMaxClass {
+		return
+	}
+	frameBufs.mu.Lock()
+	if len(frameBufs.free[class]) < bufPerClass {
+		frameBufs.free[class] = append(frameBufs.free[class], buf[:0])
+	}
+	frameBufs.mu.Unlock()
+}
+
+// wireFrame is one decoded frame. body is pooled (see Recycle); ownership
+// passes to whoever the reader hands the frame to.
+type wireFrame struct {
+	kind     byte
+	id       uint64
+	clientID uint64 // request only
+	seq      uint64
+	method   string // request only
+	errMsg   string // response only
+	body     []byte
+}
+
+// frameReader decodes frames from one connection. It is owned by a single
+// reader goroutine; the method intern map keeps steady-state decoding free
+// of string allocations (the method set of a connection is small and
+// stable).
+type frameReader struct {
+	br       *bufio.Reader
+	maxFrame int
+	methods  map[string]string
+	scratch  [256]byte
+}
+
+func newFrameReader(r io.Reader, maxFrame int) *frameReader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &frameReader{
+		br:       bufio.NewReaderSize(r, wireBufferSize),
+		maxFrame: maxFrame,
+		methods:  make(map[string]string),
+	}
+}
+
+// read decodes the next frame. consumed reports how many bytes of the frame
+// were read off the stream before an error: a timeout with consumed == 0
+// left the stream at a frame boundary and the connection is still usable; a
+// timeout mid-frame has lost the stream position and the connection must be
+// dropped.
+func (r *frameReader) read() (fr wireFrame, consumed int, err error) {
+	// The header parses out of the reader's persistent scratch space: a
+	// stack array would escape through io.ReadFull and cost an allocation
+	// per frame.
+	hdr := r.scratch[:4+frameCommonLen+requestFixedLen]
+	if consumed, err = r.fill(hdr[:4], consumed); err != nil {
+		return fr, consumed, err
+	}
+	frameLen := int(binary.BigEndian.Uint32(hdr[:4]))
+	if frameLen < frameCommonLen || frameLen > r.maxFrame {
+		return fr, consumed, fmt.Errorf("rpc: bad frame length %d", frameLen)
+	}
+	if consumed, err = r.fill(hdr[4:4+frameCommonLen], consumed); err != nil {
+		return fr, consumed, err
+	}
+	fr.kind = hdr[4]
+	fr.id = binary.BigEndian.Uint64(hdr[5:])
+	var strLen, bodyLen, fixed int
+	switch fr.kind {
+	case frameRequest:
+		fixed = requestFixedLen
+		p := hdr[4+frameCommonLen:]
+		if consumed, err = r.fill(p[:fixed], consumed); err != nil {
+			return fr, consumed, err
+		}
+		fr.clientID = binary.BigEndian.Uint64(p[0:])
+		fr.seq = binary.BigEndian.Uint64(p[8:])
+		strLen = int(binary.BigEndian.Uint16(p[16:]))
+		bodyLen = int(binary.BigEndian.Uint32(p[18:]))
+	case frameResponse:
+		fixed = responseFixedLen
+		p := hdr[4+frameCommonLen:]
+		if consumed, err = r.fill(p[:fixed], consumed); err != nil {
+			return fr, consumed, err
+		}
+		fr.seq = binary.BigEndian.Uint64(p[0:])
+		strLen = int(binary.BigEndian.Uint16(p[8:]))
+		bodyLen = int(binary.BigEndian.Uint32(p[10:]))
+	default:
+		return fr, consumed, fmt.Errorf("rpc: unknown frame kind %d", fr.kind)
+	}
+	if frameLen != frameCommonLen+fixed+strLen+bodyLen {
+		return fr, consumed, fmt.Errorf("rpc: inconsistent frame: length %d, fields %d+%d",
+			frameLen, strLen, bodyLen)
+	}
+	s := r.scratch[:]
+	if strLen > len(s) {
+		s = make([]byte, strLen)
+	}
+	if consumed, err = r.fill(s[:strLen], consumed); err != nil {
+		return fr, consumed, err
+	}
+	if fr.kind == frameRequest {
+		m, ok := r.methods[string(s[:strLen])]
+		if !ok {
+			m = string(s[:strLen])
+			r.methods[m] = m
+		}
+		fr.method = m
+	} else if strLen > 0 {
+		fr.errMsg = string(s[:strLen])
+	}
+	if bodyLen > 0 {
+		fr.body = getBuf(bodyLen)
+		if consumed, err = r.fill(fr.body, consumed); err != nil {
+			Recycle(fr.body)
+			fr.body = nil
+			return fr, consumed, err
+		}
+	}
+	return fr, consumed, nil
+}
+
+// fill is io.ReadFull with byte accounting for the boundary check in read.
+func (r *frameReader) fill(p []byte, consumed int) (int, error) {
+	n, err := io.ReadFull(r.br, p)
+	return consumed + n, err
+}
+
+// writeRequest encodes one request frame onto bw. The header builds in a
+// stack array and the body slice is written directly, so encoding performs
+// no allocation and no body copy beyond the writer's own buffering.
+func writeRequest(bw *bufio.Writer, id uint64, req *Request, maxFrame int) error {
+	if len(req.Method) > 0xFFFF {
+		return fmt.Errorf("rpc: method name %d bytes long", len(req.Method))
+	}
+	frameLen := frameCommonLen + requestFixedLen + len(req.Method) + len(req.Body)
+	if maxFrame > 0 && frameLen > maxFrame {
+		return fmt.Errorf("rpc: request frame %d bytes exceeds limit %d", frameLen, maxFrame)
+	}
+	// Build the header in the writer's own buffer (AvailableBuffer) so it
+	// never escapes to the heap: steady-state encode is allocation-free.
+	hdr := bw.AvailableBuffer()
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(frameLen))
+	hdr = append(hdr, frameRequest)
+	hdr = binary.BigEndian.AppendUint64(hdr, id)
+	hdr = binary.BigEndian.AppendUint64(hdr, req.ClientID)
+	hdr = binary.BigEndian.AppendUint64(hdr, req.Seq)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(req.Method)))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(req.Body)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(req.Method); err != nil {
+		return err
+	}
+	_, err := bw.Write(req.Body)
+	return err
+}
+
+// writeResponse is writeRequest's response-side counterpart.
+func writeResponse(bw *bufio.Writer, id uint64, resp *Response, maxFrame int) error {
+	if len(resp.Err) > 0xFFFF {
+		return fmt.Errorf("rpc: error message %d bytes long", len(resp.Err))
+	}
+	frameLen := frameCommonLen + responseFixedLen + len(resp.Err) + len(resp.Body)
+	if maxFrame > 0 && frameLen > maxFrame {
+		return fmt.Errorf("rpc: response frame %d bytes exceeds limit %d", frameLen, maxFrame)
+	}
+	hdr := bw.AvailableBuffer()
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(frameLen))
+	hdr = append(hdr, frameResponse)
+	hdr = binary.BigEndian.AppendUint64(hdr, id)
+	hdr = binary.BigEndian.AppendUint64(hdr, resp.Seq)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(resp.Err)))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(resp.Body)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(resp.Err); err != nil {
+		return err
+	}
+	_, err := bw.Write(resp.Body)
+	return err
+}

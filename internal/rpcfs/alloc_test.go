@@ -1,0 +1,44 @@
+package rpcfs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fit"
+)
+
+// cachedReadAllocBudget is the CI allocation gate for the full remote read
+// path: agent-visible ReadAt → gob args → multiplexed binary transport →
+// server worker → fileservice (block-cache hit) → response. The rpcfs
+// argument marshalling still builds a gob encoder/decoder pair per call
+// (~350 allocations, the dominant term and a known candidate for a later
+// pass), so the budget is loose; what it catches is a regression that
+// re-introduces per-frame wire garbage or an extra body copy on the
+// transport underneath.
+const cachedReadAllocBudget = 450
+
+func TestCachedReadAllocBudgetOverMux(t *testing.T) {
+	_, cl := newRemote(t)
+	id, err := cl.CreatePath(fit.Attributes{}, "/alloc/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xEE}, 4096)
+	if _, err := cl.WriteAt(id, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the server's block cache so the measured reads never touch the
+	// device layer.
+	if _, err := cl.ReadAt(id, 0, len(data)); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		got, err := cl.ReadAt(id, 0, len(data))
+		if err != nil || len(got) != len(data) {
+			t.Fatalf("ReadAt = %d bytes, %v", len(got), err)
+		}
+	})
+	if allocs > cachedReadAllocBudget {
+		t.Fatalf("cached remote read allocates %.1f/op, budget %d", allocs, cachedReadAllocBudget)
+	}
+}

@@ -250,9 +250,12 @@ func (c *Client) call(method string, args, reply any) error {
 		return err
 	}
 	if reply != nil {
-		return dec(out, reply)
+		err = dec(out, reply)
 	}
-	return nil
+	// Over TCP the reply body is a pooled transport buffer; it is fully
+	// decoded now, so hand it back to the free lists.
+	c.C.ReleaseBody(out)
+	return err
 }
 
 // CreatePath creates a file registered under path.
