@@ -202,3 +202,16 @@ func BenchmarkE20LoadScaling(b *testing.B) {
 		b.ReportMetric(mux/gob, "x-vs-gob-64-clients")
 	}
 }
+
+// BenchmarkE21ScaleOut: aggregate closed-loop ops/sec as the cluster grows
+// from one shard server to four under a fixed client population.
+func BenchmarkE21ScaleOut(b *testing.B) {
+	tbl := runExperiment(b, experiments.E21ScaleOut)
+	// Rows 0-3 are the closed-loop scaling cells at 1/2/4/8 servers; column
+	// 6 is ops/sec.
+	one, four := metric(tbl, 0, 6), metric(tbl, 2, 6)
+	b.ReportMetric(four, "ops/sec-4-servers")
+	if one > 0 {
+		b.ReportMetric(four/one, "x-vs-1-server")
+	}
+}

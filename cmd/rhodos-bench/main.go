@@ -1,8 +1,8 @@
-// Command rhodos-bench runs the reproduction experiments (E1–E20 and the
+// Command rhodos-bench runs the reproduction experiments (E1–E21 and the
 // paper's Table 1) and prints their result tables — the data recorded in
-// EXPERIMENTS.md. E19 (group commit) and E20 (transport load) are
-// wall-clock but fast, so they stay in the -smoke pass; only E16 is dropped
-// there.
+// EXPERIMENTS.md. E19 (group commit), E20 (transport load) and E21 (scale-
+// out) are wall-clock but fast, so they stay in the -smoke pass; only E16
+// is dropped there.
 //
 // Usage:
 //
@@ -14,6 +14,12 @@
 //	rhodos-bench -load -clients 64 -wire binary
 //	                              # one closed-loop load cell (E20's engine)
 //	                              # with explicit knobs
+//	rhodos-bench -load -rate 2000 -for 2s
+//	                              # open loop: fixed 2000 ops/sec arrival
+//	                              # schedule, latency includes queueing
+//	rhodos-bench -load -addrs 127.0.0.1:7423,127.0.0.1:7424,127.0.0.1:7425
+//	                              # closed loop against an already-running
+//	                              # multi-shard cluster (E21's smoke cell)
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/rpc"
+	"repro/internal/workload"
 )
 
 // jsonTable is the machine-readable form of one experiment's table.
@@ -52,15 +59,18 @@ func run() int {
 	smoke := flag.Bool("smoke", false, "fast pass: skip the wall-clock experiments (E16)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.String("json", "", "write results as JSON to this file ('-' for stdout)")
-	load := flag.Bool("load", false, "run one closed-loop load cell instead of the experiment suite")
+	load := flag.Bool("load", false, "run one load cell instead of the experiment suite")
 	clients := flag.Int("clients", 64, "load: concurrent client agents")
 	perConn := flag.Int("per-conn", 8, "load: agents sharing each TCP connection")
 	ops := flag.Int("ops", 100, "load: operations per agent")
+	rate := flag.Float64("rate", 0, "load: open-loop aggregate arrival rate in ops/sec (0 = closed loop)")
+	dur := flag.Duration("for", time.Second, "load: open-loop run duration (with -rate)")
+	addrs := flag.String("addrs", "", "load: comma-separated endpoints of an already-running cluster, in shard order (closed loop only)")
 	wireName := flag.String("wire", "binary", "load: wire format, binary or gob")
 	flag.Parse()
 
 	if *load {
-		return runLoad(*wireName, *clients, *perConn, *ops)
+		return runLoad(*wireName, *clients, *perConn, *ops, *rate, *dur, *addrs, *jsonOut)
 	}
 
 	runners := experiments.All()
@@ -124,9 +134,28 @@ func run() int {
 	return 0
 }
 
-// runLoad drives one closed-loop load cell (E20's engine) with explicit
-// knobs and prints throughput plus the latency percentiles.
-func runLoad(wireName string, clients, perConn, ops int) int {
+// jsonLoad is the machine-readable form of one load cell, written when
+// -json is combined with -load (the CI multi-node smoke artifact).
+type jsonLoad struct {
+	Mode      string  `json:"mode"` // closed, open, cluster
+	Wire      string  `json:"wire"`
+	Addrs     string  `json:"addrs,omitempty"`
+	Clients   int     `json:"clients"`
+	Ops       int     `json:"ops"`
+	Offered   int     `json:"offered,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50MS     float64 `json:"p50_ms"`
+	P95MS     float64 `json:"p95_ms"`
+	P99MS     float64 `json:"p99_ms"`
+}
+
+// runLoad drives one load cell with explicit knobs and prints throughput
+// plus the latency percentiles. Three modes: closed loop against a fresh
+// in-process server (default, E20's engine), open loop against the same
+// (-rate, S2's engine), or closed loop against an already-running external
+// cluster (-addrs, E21's smoke cell).
+func runLoad(wireName string, clients, perConn, ops int, rate float64, dur time.Duration, addrs, jsonOut string) int {
 	var wire rpc.WireFormat
 	switch wireName {
 	case "binary":
@@ -137,16 +166,72 @@ func runLoad(wireName string, clients, perConn, ops int) int {
 		fmt.Fprintf(os.Stderr, "load: unknown wire format %q (binary or gob)\n", wireName)
 		return 1
 	}
-	res, hist, err := experiments.LoadRun(wire, clients, perConn, ops, nil)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "load: %v\n", err)
-		return 1
+	out := jsonLoad{Wire: wireName, Clients: clients}
+	var res workload.LoadResult
+	var hist *obs.Histogram
+	switch {
+	case addrs != "":
+		if rate > 0 {
+			fmt.Fprintln(os.Stderr, "load: -rate is not supported with -addrs")
+			return 1
+		}
+		endpoints := strings.Split(addrs, ",")
+		// Client IDs and the namespace directory must miss earlier runs
+		// against the same long-lived servers: a reused client ID would hit
+		// the servers' duplicate caches, a reused path their namespace.
+		uniq := uint64(time.Now().UnixNano())
+		var err error
+		res, hist, err = experiments.ClusterLoadRun(endpoints, wire, clients, ops, uniq, fmt.Sprintf("%x", uniq))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			return 1
+		}
+		out.Mode, out.Addrs = "cluster", addrs
+		fmt.Printf("cluster=%s wire=%s clients=%d ops=%d\n", addrs, wireName, clients, res.Ops)
+	case rate > 0:
+		open, h, err := experiments.LoadRunOpen(wire, clients, perConn, rate, dur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			return 1
+		}
+		res, hist = open.LoadResult, h
+		out.Mode, out.Offered = "open", open.Offered
+		fmt.Printf("wire=%s clients=%d per-conn=%d rate=%.0f/s offered=%d completed=%d\n",
+			wireName, clients, perConn, rate, open.Offered, open.Ops)
+	default:
+		var err error
+		res, hist, err = experiments.LoadRun(wire, clients, perConn, ops, nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "load: %v\n", err)
+			return 1
+		}
+		out.Mode = "closed"
+		fmt.Printf("wire=%s clients=%d per-conn=%d ops=%d\n", wireName, clients, perConn, res.Ops)
 	}
-	fmt.Printf("wire=%s clients=%d per-conn=%d ops=%d\n", wireName, clients, perConn, res.Ops)
 	fmt.Printf("wall=%v ops/sec=%.0f MB/s=%.1f\n",
 		res.Wall.Round(time.Millisecond), res.OpsPerSec(),
 		float64(res.Bytes)/(1<<20)/res.Wall.Seconds())
 	fmt.Printf("latency p50=%v p95=%v p99=%v max=%v\n",
 		hist.Quantile(0.50), hist.Quantile(0.95), hist.Quantile(0.99), hist.Max())
+	if jsonOut != "" {
+		out.Ops = res.Ops
+		out.WallMS = float64(res.Wall.Microseconds()) / 1e3
+		out.OpsPerSec = res.OpsPerSec()
+		out.P50MS = float64(hist.Quantile(0.50).Microseconds()) / 1e3
+		out.P95MS = float64(hist.Quantile(0.95).Microseconds()) / 1e3
+		out.P99MS = float64(hist.Quantile(0.99).Microseconds()) / 1e3
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			return 1
+		}
+		data = append(data, '\n')
+		if jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			return 1
+		}
+	}
 	return 0
 }

@@ -14,6 +14,8 @@
 //	rhodos-fsck -parity    # parity layout: stripe invariant + one-disk-crash reconstruction
 //	rhodos-fsck -torture   # run every registered crash-point scenario (E18) and check
 //	                       # the recovery invariants after each injected crash
+//	rhodos-fsck -shard 1/3 # register every file under a path homed on shard 1 of 3
+//	                       # and verify the namespace-partition invariant post-recovery
 package main
 
 import (
@@ -23,11 +25,13 @@ import (
 	"math/rand"
 	"os"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/experiments"
 	"repro/internal/fileservice"
 	"repro/internal/fit"
+	"repro/internal/naming"
 )
 
 func main() {
@@ -40,10 +44,16 @@ func run() int {
 	files := flag.Int("files", 50, "files to create")
 	torture := flag.Bool("torture", false, "run the crash-recovery torture scenarios (E18) and verify recovery invariants")
 	seed := flag.Int64("seed", 1800, "base seed for -torture; scenario i runs from seed+i, making every run replayable")
+	shardSpec := flag.String("shard", "", "check one shard's namespace slice as i/N: files are registered under paths homed on shard i and the partition invariant is verified after recovery")
 	flag.Parse()
 
 	if *torture {
 		return tortureChecks(*seed)
+	}
+	shard, shards, err := cluster.ParseShard(*shardSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhodos-fsck: %v\n", err)
+		return 2
 	}
 
 	cfg := core.Config{}
@@ -60,6 +70,20 @@ func run() int {
 	defer func() { _ = c.Close() }()
 
 	fmt.Printf("populating %d files (basic + transactional)...\n", *files)
+	// With -shard, every file is also registered under an attributed path
+	// homed on this shard, the slice of the namespace this server would own
+	// in a multi-node deployment.
+	register := func(idx int, sys uint64) error {
+		if *shardSpec == "" {
+			return nil
+		}
+		return c.Naming.Register(naming.Entry{
+			Name:       naming.Name{"type": "FILE", "path": fmt.Sprintf("%s/file%d", shardDir(shard, shards), idx)},
+			Type:       naming.FileObject,
+			SystemName: sys,
+			Service:    fmt.Sprintf("shard%d", shard),
+		})
+	}
 	rng := rand.New(rand.NewSource(1))
 	var lastID uint64
 	for i := 0; i < *files; i++ {
@@ -71,6 +95,10 @@ func run() int {
 			}
 			if _, err := c.Files.WriteAt(id, 0, make([]byte, 1+rng.Intn(40000))); err != nil {
 				fmt.Fprintf(os.Stderr, "write: %v\n", err)
+				return 1
+			}
+			if err := register(i, uint64(id)); err != nil {
+				fmt.Fprintf(os.Stderr, "register: %v\n", err)
 				return 1
 			}
 			lastID = uint64(id)
@@ -91,6 +119,10 @@ func run() int {
 			}
 			if err := c.Txns.End(tid); err != nil {
 				fmt.Fprintf(os.Stderr, "tend: %v\n", err)
+				return 1
+			}
+			if err := register(i, uint64(fid)); err != nil {
+				fmt.Fprintf(os.Stderr, "register: %v\n", err)
 				return 1
 			}
 		}
@@ -132,12 +164,43 @@ func run() int {
 	}
 	fmt.Println("fsck: clean")
 
+	if *shardSpec != "" {
+		entries := c.Naming.Entries()
+		foreign := 0
+		for _, e := range entries {
+			p, ok := e.Name["path"]
+			if !ok {
+				continue
+			}
+			if home := cluster.ShardForPath(p, shards); home != shard {
+				fmt.Fprintf(os.Stderr, "PROBLEM: %s homes on shard %d, not this shard (%d)\n", p, home, shard)
+				foreign++
+			}
+		}
+		if foreign != 0 {
+			fmt.Fprintf(os.Stderr, "namespace: %d entr(ies) violate the partition invariant\n", foreign)
+			return 1
+		}
+		fmt.Printf("namespace: all %d path entries home on shard %d/%d\n", len(entries), shard, shards)
+	}
+
 	if *parity {
 		if rc := parityChecks(c); rc != 0 {
 			return rc
 		}
 	}
 	return 0
+}
+
+// shardDir returns a directory whose files home on the given shard — the
+// first probe directory whose parent-directory hash lands there.
+func shardDir(shard, shards int) string {
+	for k := 0; ; k++ {
+		d := fmt.Sprintf("/shardck/d%d", k)
+		if cluster.ShardForPath(d+"/f", shards) == shard {
+			return d
+		}
+	}
 }
 
 // tortureChecks runs every E18 torture scenario — each one arms a fault at a

@@ -9,15 +9,23 @@
 //	rhodos -addr 127.0.0.1:7423 ls /docs
 //	rhodos -addr 127.0.0.1:7423 stat /docs/report
 //	rhodos -addr 127.0.0.1:7423 rm /docs/report
+//
+// Against a multi-shard cluster, -addrs takes the full endpoint list (in
+// shard order) and routes each name to its home shard client-side:
+//
+//	rhodos -addrs 127.0.0.1:7423,127.0.0.1:7424,127.0.0.1:7425 ls /docs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/fileservice"
 	"repro/internal/fit"
+	"repro/internal/naming"
 	"repro/internal/rpc"
 	"repro/internal/rpcfs"
 )
@@ -27,12 +35,37 @@ func main() {
 }
 
 func usage() int {
-	fmt.Fprintln(os.Stderr, "usage: rhodos [-addr host:port] <put|get|ls|stat|rm> args...")
+	fmt.Fprintln(os.Stderr, "usage: rhodos [-addr host:port | -addrs a,b,c] <put|get|ls|stat|rm> args...")
 	return 2
 }
 
+// fsClient is what the subcommands need from the facility: the single-server
+// rpcfs client (via singleClient) and the multi-shard router both satisfy it.
+type fsClient interface {
+	ResolvePath(path string) (naming.Entry, error)
+	CreatePath(attr fit.Attributes, path string) (fileservice.FileID, error)
+	Delete(id fileservice.FileID) error
+	ReadAt(id fileservice.FileID, off int64, n int) ([]byte, error)
+	WriteAt(id fileservice.FileID, off int64, data []byte) (int, error)
+	Truncate(id fileservice.FileID, size int64) error
+	Attributes(id fileservice.FileID) (fit.Attributes, error)
+	Size(id fileservice.FileID) (int64, error)
+	List(dir string) ([]string, error)
+}
+
+// singleClient adapts the single-server rpcfs client to fsClient: the only
+// mismatch is the name of the path-resolution method.
+type singleClient struct {
+	*rpcfs.Client
+}
+
+func (s singleClient) ResolvePath(path string) (naming.Entry, error) {
+	return s.Client.Resolve(path)
+}
+
 func run() int {
-	addr := flag.String("addr", "127.0.0.1:7423", "rhodosd address")
+	addr := flag.String("addr", "127.0.0.1:7423", "rhodosd address (single server)")
+	addrs := flag.String("addrs", "", "comma-separated cluster endpoints in shard order (overrides -addr)")
 	wireName := flag.String("wire", "binary", "wire format: binary (multiplexed) or gob (legacy serial); must match the server")
 	flag.Parse()
 	args := flag.Args()
@@ -49,13 +82,28 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "rhodos: unknown wire format %q (binary or gob)\n", *wireName)
 		return 2
 	}
-	tr, err := rpc.DialTCP(*addr, rpc.WithWireFormat(wire))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "rhodos: %v\n", err)
-		return 1
+	var cl fsClient
+	if *addrs != "" {
+		rt, err := cluster.NewRouter(cluster.RouterConfig{
+			Endpoints: strings.Split(*addrs, ","),
+			ClientID:  uint64(os.Getpid()),
+			Wire:      wire,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhodos: %v\n", err)
+			return 1
+		}
+		defer rt.Shutdown()
+		cl = rt
+	} else {
+		tr, err := rpc.DialTCP(*addr, rpc.WithWireFormat(wire))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhodos: %v\n", err)
+			return 1
+		}
+		defer func() { _ = tr.Close() }()
+		cl = singleClient{&rpcfs.Client{C: rpc.NewClient(tr, uint64(os.Getpid()), 10, nil), Wire: wire}}
 	}
-	defer func() { _ = tr.Close() }()
-	cl := &rpcfs.Client{C: rpc.NewClient(tr, uint64(os.Getpid()), 10, nil)}
 
 	fail := func(err error) int {
 		fmt.Fprintf(os.Stderr, "rhodos: %v\n", err)
@@ -72,7 +120,7 @@ func run() int {
 		}
 		// Reuse the existing file if the name resolves, else create.
 		var id fileservice.FileID
-		if e, err := cl.Resolve(args[1]); err == nil {
+		if e, err := cl.ResolvePath(args[1]); err == nil {
 			id = fileservice.FileID(e.SystemName)
 			if err := cl.Truncate(id, 0); err != nil {
 				return fail(err)
@@ -93,7 +141,7 @@ func run() int {
 		if len(args) != 2 {
 			return usage()
 		}
-		e, err := cl.Resolve(args[1])
+		e, err := cl.ResolvePath(args[1])
 		if err != nil {
 			return fail(err)
 		}
@@ -124,7 +172,7 @@ func run() int {
 		if len(args) != 2 {
 			return usage()
 		}
-		e, err := cl.Resolve(args[1])
+		e, err := cl.ResolvePath(args[1])
 		if err != nil {
 			return fail(err)
 		}
@@ -138,7 +186,7 @@ func run() int {
 		if len(args) != 2 {
 			return usage()
 		}
-		e, err := cl.Resolve(args[1])
+		e, err := cl.ResolvePath(args[1])
 		if err != nil {
 			return fail(err)
 		}

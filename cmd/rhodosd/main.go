@@ -7,6 +7,14 @@
 //	rhodosd -listen 127.0.0.1:7423 -disks 2
 //	rhodosd -debug 127.0.0.1:7480   # HTTP observability endpoints
 //
+// A multi-node deployment runs one rhodosd per shard, each told its place
+// in the cluster and the full endpoint list (identical, in shard order, on
+// every node):
+//
+//	rhodosd -listen 127.0.0.1:7423 -shard 0/3 -peers 127.0.0.1:7423,127.0.0.1:7424,127.0.0.1:7425
+//	rhodosd -listen 127.0.0.1:7424 -shard 1/3 -peers 127.0.0.1:7423,127.0.0.1:7424,127.0.0.1:7425
+//	rhodosd -listen 127.0.0.1:7425 -shard 2/3 -peers 127.0.0.1:7423,127.0.0.1:7424,127.0.0.1:7425
+//
 // With -debug set, the daemon serves:
 //
 //	GET /debug/profile   per-layer latency profile (text; ?format=json)
@@ -26,6 +34,7 @@ import (
 	"strings"
 	"syscall"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/obs"
@@ -56,31 +65,60 @@ func run() int {
 	tracks := flag.Int("tracks", 4096, "tracks per disk (32 fragments each; 4096 = 256MB)")
 	debug := flag.String("debug", "", "HTTP listen address for /debug/profile and /debug/flight (empty = off)")
 	wireName := flag.String("wire", "binary", "wire format: binary (multiplexed) or gob (legacy serial)")
+	shardSpec := flag.String("shard", "", "this server's shard as i/N (empty = single-node 0/1)")
+	peers := flag.String("peers", "", "comma-separated endpoint list for all N shards, in shard order (defaults to -listen for a single-node cluster)")
+	leaseTTL := flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "network lock lease duration")
 	flag.Parse()
 	wire, err := parseWire(*wireName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhodosd: %v\n", err)
 		return 2
 	}
+	shard, shards, err := cluster.ParseShard(*shardSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhodosd: %v\n", err)
+		return 2
+	}
+	endpoints := []string{*listen}
+	if *peers != "" {
+		endpoints = strings.Split(*peers, ",")
+	}
+	if len(endpoints) != shards {
+		fmt.Fprintf(os.Stderr, "rhodosd: -peers lists %d endpoint(s) but -shard says %d shard(s)\n", len(endpoints), shards)
+		return 2
+	}
 
 	rec := obs.New()
-	cluster, err := core.New(core.Config{
+	fac, err := core.New(core.Config{
 		Disks:    *disks,
 		Geometry: device.Geometry{FragmentsPerTrack: 32, Tracks: *tracks},
 		Obs:      rec,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "rhodosd: building cluster: %v\n", err)
+		fmt.Fprintf(os.Stderr, "rhodosd: building facility: %v\n", err)
 		return 1
 	}
 	defer func() {
-		if err := cluster.Close(); err != nil {
+		if err := fac.Close(); err != nil {
 			fmt.Fprintf(os.Stderr, "rhodosd: shutdown: %v\n", err)
 		}
 	}()
 
-	srv := &rpcfs.Server{Files: cluster.Files, Naming: cluster.Naming}
-	ep := rpc.NewEndpoint(srv.Handler(), rpc.WithMetrics(cluster.Metrics), rpc.WithObs(rec))
+	srv := &rpcfs.Server{Files: fac.Files, Naming: fac.Naming, Wire: wire}
+	svc, err := cluster.NewService(cluster.ServiceConfig{
+		Shard:    shard,
+		Map:      cluster.Map{Version: 1, Endpoints: endpoints},
+		Inner:    srv.Handler(),
+		Wire:     wire,
+		Locks:    fac.Locks(),
+		LeaseTTL: *leaseTTL,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhodosd: %v\n", err)
+		return 1
+	}
+	defer svc.Close()
+	ep := rpc.NewEndpoint(svc.Handle, rpc.WithMetrics(fac.Metrics), rpc.WithObs(rec))
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhodosd: listen: %v\n", err)
@@ -88,7 +126,7 @@ func run() int {
 	}
 	tcpSrv := rpc.Serve(ln, ep, rpc.WithWireFormat(wire))
 	defer func() { _ = tcpSrv.Close() }()
-	fmt.Printf("rhodosd: serving %d disk(s) on %s\n", *disks, tcpSrv.Addr())
+	fmt.Printf("rhodosd: serving shard %d/%d, %d disk(s) on %s\n", shard, shards, *disks, tcpSrv.Addr())
 
 	if *debug != "" {
 		dln, err := net.Listen("tcp", *debug)
@@ -106,7 +144,7 @@ func run() int {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\nrhodosd: shutting down")
-	fmt.Print(cluster.Metrics.String())
+	fmt.Print(fac.Metrics.String())
 	return 0
 }
 

@@ -73,6 +73,27 @@ type FileService interface {
 
 var _ FileService = (*fileservice.Service)(nil)
 
+// NameService is the interface the agents need from the naming service (§3's
+// name evaluation plus registration). *naming.Service implements it locally;
+// the cluster router implements it over the wire, routing each name to its
+// home shard.
+type NameService interface {
+	Register(e naming.Entry) error
+	Resolve(query naming.Name) (naming.Entry, error)
+	ResolvePath(path string) (naming.Entry, error)
+	UnregisterSystemName(t naming.ObjectType, sys uint64) int
+}
+
+var _ NameService = (*naming.Service)(nil)
+
+// PathCreator is the optional one-round-trip form of create-and-register: a
+// remote file service that implements it registers the new file's naming
+// entry on the server that owns the path (its home shard), so creation does
+// not need a second registration message from the client.
+type PathCreator interface {
+	CreatePath(attr fit.Attributes, path string) (fileservice.FileID, error)
+}
+
 // fileServiceCtx is the optional trace-context form of FileService's data
 // path. *fileservice.Service provides it; the machine reaches it by type
 // assertion so FileService itself (and the RPC proxy) is unaffected.
@@ -85,7 +106,7 @@ var _ fileServiceCtx = (*fileservice.Service)(nil)
 
 // Machine hosts one computer's agents.
 type Machine struct {
-	naming   *naming.Service
+	naming   NameService
 	files    FileService
 	filesCtx fileServiceCtx // non-nil when files supports trace contexts
 	txns     *txn.Service
@@ -102,8 +123,9 @@ type Machine struct {
 
 // MachineConfig configures a Machine.
 type MachineConfig struct {
-	// Naming resolves attributed names. Required.
-	Naming *naming.Service
+	// Naming resolves attributed names. Required. A *naming.Service serves a
+	// single node; a cluster router shards names across servers.
+	Naming NameService
 	// Files is the basic file service. Required.
 	Files FileService
 	// Txns is the transaction service; nil disables transaction operations.

@@ -2,7 +2,6 @@ package agent
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -54,7 +53,7 @@ func (a *DeviceAgent) Register(d *Device) error {
 		Name: naming.Name{"type": "TTY", "dev": d.Name},
 		Type: naming.DeviceObject,
 	})
-	if err != nil && !errors.Is(err, naming.ErrExists) {
+	if err != nil && !naming.IsExists(err) {
 		return err
 	}
 	return nil

@@ -1,0 +1,381 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/agent"
+	"repro/internal/fileservice"
+	"repro/internal/fit"
+	"repro/internal/metrics"
+	"repro/internal/naming"
+	"repro/internal/rpc"
+	"repro/internal/rpcfs"
+)
+
+// redirectAttempts bounds the refresh-and-retry loop a shard redirect
+// triggers; with a static map one hop settles it, the slack covers a map
+// version racing in between.
+const redirectAttempts = 3
+
+// RouterConfig configures a client-side shard router.
+type RouterConfig struct {
+	// Endpoints is the bootstrap server list, one address per shard, in
+	// shard order. Required.
+	Endpoints []string
+	// ClientID identifies this agent instance to every server's duplicate
+	// cache. Required, unique per router.
+	ClientID uint64
+	// Retries is the per-call rpc retry budget (default 10).
+	Retries int
+	// Wire selects the transport and rpcfs payload format for every
+	// connection; must match the servers'.
+	Wire rpc.WireFormat
+	// Metrics receives rpc client counters. Optional.
+	Metrics *metrics.Set
+}
+
+// Router implements the agent service interfaces (FileService, NameService,
+// PathCreator) across a cluster of shard servers: one multiplexed
+// connection per server, attributed names routed to their home shard,
+// system names tagged with the shard index (RoutedID) so ID-addressed
+// operations need no name lookup, and shard redirects retried after a map
+// refresh.
+type Router struct {
+	trs []*rpc.TCPTransport
+	rcs []*rpc.Client
+	fs  []*rpcfs.Client
+
+	mu  sync.RWMutex
+	cur Map // current shard map (bootstrap until a server serves a newer one)
+
+	rr atomic.Uint64 // round-robin counter for anonymous creates
+}
+
+var (
+	_ agent.FileService = (*Router)(nil)
+	_ agent.NameService = (*Router)(nil)
+	_ agent.PathCreator = (*Router)(nil)
+)
+
+// NewRouter dials every endpoint and returns the router. Dialing is lazy in
+// the transport — a server that is down comes back transparently on its
+// next call — so construction succeeds even with servers still booting.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Endpoints) == 0 {
+		return nil, errors.New("cluster: no endpoints")
+	}
+	if cfg.ClientID == 0 {
+		return nil, errors.New("cluster: zero client ID")
+	}
+	retries := cfg.Retries
+	if retries <= 0 {
+		retries = 10
+	}
+	r := &Router{cur: Map{Endpoints: cfg.Endpoints}}
+	for _, addr := range cfg.Endpoints {
+		tr, err := rpc.DialTCP(addr, rpc.WithWireFormat(cfg.Wire))
+		if err != nil {
+			r.Shutdown()
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		rc := rpc.NewClient(tr, cfg.ClientID, retries, cfg.Metrics)
+		r.trs = append(r.trs, tr)
+		r.rcs = append(r.rcs, rc)
+		r.fs = append(r.fs, &rpcfs.Client{C: rc, Wire: cfg.Wire})
+	}
+	return r, nil
+}
+
+// Shutdown closes every server connection. (Close is the FileService
+// descriptor operation.)
+func (r *Router) Shutdown() {
+	for _, tr := range r.trs {
+		_ = tr.Close()
+	}
+}
+
+// Map returns the router's current shard map.
+func (r *Router) Map() Map {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.cur
+}
+
+// Lock returns the raw rpc client for one shard, for layering the network
+// lock service (LockClient) over the same multiplexed connection.
+func (r *Router) Lock(shard int) *rpc.Client { return r.rcs[shard] }
+
+// shards returns the shard count of the current map.
+func (r *Router) shards() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.cur.Endpoints)
+}
+
+// refreshMap pulls the shard map from the server that issued a redirect —
+// it is the one that knows a newer version — and installs it if it
+// supersedes the current one. Endpoint membership is fixed for the life of
+// the router (connections are per-bootstrap-endpoint), so maps with a
+// different endpoint count are ignored.
+func (r *Router) refreshMap(from int) {
+	body, err := r.rcs[from].Call(MMap, nil)
+	if err != nil {
+		return
+	}
+	m, err := decodeMap(body)
+	r.rcs[from].ReleaseBody(body)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	if m.Version > r.cur.Version && len(m.Endpoints) == len(r.cur.Endpoints) {
+		r.cur = m
+	}
+	r.mu.Unlock()
+}
+
+// withPath runs fn against path's home shard, following at most
+// redirectAttempts shard redirects: each redirect refreshes the map from
+// the redirecting server, then retries against the shard the redirect
+// named.
+func (r *Router) withPath(path string, fn func(c *rpcfs.Client, shard int) error) error {
+	shard := ShardForPath(path, r.shards())
+	var err error
+	for attempt := 0; attempt < redirectAttempts; attempt++ {
+		err = fn(r.fs[shard], shard)
+		home, redirected := ParseNotMine(err)
+		if !redirected {
+			return err
+		}
+		r.refreshMap(shard)
+		if home < 0 || home >= len(r.fs) {
+			return err
+		}
+		shard = home
+	}
+	return err
+}
+
+// conn splits a routed system name into the owning shard's client and the
+// raw per-server ID.
+func (r *Router) conn(id fileservice.FileID) (*rpcfs.Client, fileservice.FileID, error) {
+	shard, raw := SplitID(uint64(id))
+	if shard >= len(r.fs) {
+		return nil, 0, fmt.Errorf("cluster: system name %#x routes to unknown shard %d", uint64(id), shard)
+	}
+	return r.fs[shard], fileservice.FileID(raw), nil
+}
+
+// CreatePath creates a file and registers its name in one message on the
+// path's home shard (agent.PathCreator).
+func (r *Router) CreatePath(attr fit.Attributes, path string) (fileservice.FileID, error) {
+	var routed fileservice.FileID
+	err := r.withPath(path, func(c *rpcfs.Client, shard int) error {
+		raw, err := c.CreatePath(attr, path)
+		if err != nil {
+			return err
+		}
+		routed = fileservice.FileID(RoutedID(shard, uint64(raw)))
+		return nil
+	})
+	return routed, err
+}
+
+// Create creates an anonymous (unregistered) file on a round-robin shard.
+func (r *Router) Create(attr fit.Attributes) (fileservice.FileID, error) {
+	shard := int(r.rr.Add(1)) % r.shards()
+	raw, err := r.fs[shard].Create(attr)
+	if err != nil {
+		return 0, err
+	}
+	return fileservice.FileID(RoutedID(shard, uint64(raw))), nil
+}
+
+// Open implements agent.FileService.
+func (r *Router) Open(id fileservice.FileID) error {
+	c, raw, err := r.conn(id)
+	if err != nil {
+		return err
+	}
+	return c.Open(raw)
+}
+
+// Close implements agent.FileService: it closes one open file, not the
+// router's connections (see Shutdown).
+func (r *Router) Close(id fileservice.FileID) error {
+	c, raw, err := r.conn(id)
+	if err != nil {
+		return err
+	}
+	return c.Close(raw)
+}
+
+// Delete implements agent.FileService.
+func (r *Router) Delete(id fileservice.FileID) error {
+	c, raw, err := r.conn(id)
+	if err != nil {
+		return err
+	}
+	return c.Delete(raw)
+}
+
+// ReadAt implements agent.FileService.
+func (r *Router) ReadAt(id fileservice.FileID, off int64, n int) ([]byte, error) {
+	c, raw, err := r.conn(id)
+	if err != nil {
+		return nil, err
+	}
+	return c.ReadAt(raw, off, n)
+}
+
+// WriteAt implements agent.FileService.
+func (r *Router) WriteAt(id fileservice.FileID, off int64, data []byte) (int, error) {
+	c, raw, err := r.conn(id)
+	if err != nil {
+		return 0, err
+	}
+	return c.WriteAt(raw, off, data)
+}
+
+// Truncate implements agent.FileService.
+func (r *Router) Truncate(id fileservice.FileID, size int64) error {
+	c, raw, err := r.conn(id)
+	if err != nil {
+		return err
+	}
+	return c.Truncate(raw, size)
+}
+
+// Attributes implements agent.FileService.
+func (r *Router) Attributes(id fileservice.FileID) (fit.Attributes, error) {
+	c, raw, err := r.conn(id)
+	if err != nil {
+		return fit.Attributes{}, err
+	}
+	return c.Attributes(raw)
+}
+
+// Size implements agent.FileService.
+func (r *Router) Size(id fileservice.FileID) (int64, error) {
+	c, raw, err := r.conn(id)
+	if err != nil {
+		return 0, err
+	}
+	return c.Size(raw)
+}
+
+// Register routes a naming entry to its home shard (agent.NameService). An
+// entry whose system name is already routed must land on the shard its ID
+// lives on — registering a file's name away from its data is refused.
+func (r *Router) Register(e naming.Entry) error {
+	path, hasPath := e.Name["path"]
+	if !hasPath {
+		// Pathless entries (devices) home on shard 0 by convention; their
+		// system names stay untagged (RoutedID(0, x) == x).
+		return r.fs[0].Register(e)
+	}
+	return r.withPath(path, func(c *rpcfs.Client, shard int) error {
+		e2 := e
+		if e.SystemName != 0 {
+			owner, raw := SplitID(e.SystemName)
+			if owner != shard {
+				return fmt.Errorf("cluster: cannot register %q on shard %d: system name lives on shard %d",
+					path, shard, owner)
+			}
+			e2.SystemName = raw
+		}
+		return c.Register(e2)
+	})
+}
+
+// ResolvePath resolves an attributed path on its home shard, tagging the
+// returned system name with the shard (agent.NameService).
+func (r *Router) ResolvePath(path string) (naming.Entry, error) {
+	var out naming.Entry
+	err := r.withPath(path, func(c *rpcfs.Client, shard int) error {
+		e, err := c.Resolve(path)
+		if err != nil {
+			return err
+		}
+		e.SystemName = RoutedID(shard, e.SystemName)
+		out = e
+		return nil
+	})
+	return out, err
+}
+
+// Resolve evaluates an attributed-name query (agent.NameService). A query
+// carrying a path attribute routes to the home shard; anything else fans
+// out to every shard and requires exactly one match, preserving the naming
+// service's exactly-one semantics across the partition.
+func (r *Router) Resolve(query naming.Name) (naming.Entry, error) {
+	if _, ok := query["path"]; ok {
+		// The wire protocol resolves by path; other attributes of a
+		// path-carrying query are already part of the path's identity.
+		return r.ResolvePath(query["path"])
+	}
+	var (
+		found naming.Entry
+		hits  int
+	)
+	for shard, c := range r.fs {
+		e, err := c.ResolveQuery(query)
+		if err != nil {
+			if rpcfs.IsNotFound(err) {
+				continue
+			}
+			return naming.Entry{}, err
+		}
+		e.SystemName = RoutedID(shard, e.SystemName)
+		found = e
+		hits++
+	}
+	switch hits {
+	case 0:
+		return naming.Entry{}, fmt.Errorf("cluster: no entry matches %s", query)
+	case 1:
+		return found, nil
+	default:
+		return naming.Entry{}, fmt.Errorf("cluster: %d entries match %s", hits, query)
+	}
+}
+
+// UnregisterSystemName removes the registrations of a routed system name on
+// its shard (agent.NameService).
+func (r *Router) UnregisterSystemName(t naming.ObjectType, sys uint64) int {
+	shard, raw := SplitID(sys)
+	if shard >= len(r.fs) {
+		return 0
+	}
+	n, err := r.fs[shard].UnregisterSys(t, raw)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// List merges one directory level across every shard: names in a directory
+// may be homed anywhere once sub-directories diverge, so listing fans out
+// and unions.
+func (r *Router) List(dir string) ([]string, error) {
+	seen := make(map[string]bool)
+	for _, c := range r.fs {
+		names, err := c.List(dir)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			seen[n] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}

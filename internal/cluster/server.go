@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/lock"
+	"repro/internal/rpc"
+	"repro/internal/rpcfs"
+)
+
+// PtLeaseSweep is the fault point on the server's lease sweeper, hit once
+// per sweep that breaks at least one lease.
+var PtLeaseSweep = fault.Register("cluster.lease.sweep")
+
+// errLeaseLost is the service error a renewal (or release) gets back once
+// the lease has expired and been swept; the marker string is what
+// IsLeaseLost matches after the error has crossed the wire.
+const leaseLostMarker = "cluster: lease lost"
+
+// IsLeaseLost reports whether a remote error means the transaction's lease
+// expired server-side (its locks have been broken).
+func IsLeaseLost(err error) bool {
+	return err != nil && strings.Contains(err.Error(), leaseLostMarker)
+}
+
+// DefaultLeaseTTL is the lease duration when ServiceConfig leaves it zero.
+const DefaultLeaseTTL = 2 * time.Second
+
+// ServiceConfig configures one shard's cluster service.
+type ServiceConfig struct {
+	// Shard is this server's shard index in Map.Endpoints.
+	Shard int
+	// Map is the cluster map this server serves to clients. Required:
+	// len(Map.Endpoints) is the shard count the ownership check uses.
+	Map Map
+	// Inner is the wrapped rpcfs server handler executing owned requests.
+	// Required.
+	Inner rpc.Handler
+	// Wire is the payload codec of the inner rpcfs server, needed to decode
+	// path-addressed requests for the ownership check.
+	Wire rpc.WireFormat
+	// Locks enables the network lock service; nil serves file/name methods
+	// only.
+	Locks *lock.Manager
+	// LeaseTTL is the client lease duration (DefaultLeaseTTL when zero).
+	LeaseTTL time.Duration
+	// SweepEvery is the lease sweeper period (LeaseTTL/4 when zero).
+	SweepEvery time.Duration
+	// Now is the lease clock; nil means time.Now.
+	Now func() time.Time
+	// Fault is consulted at PtLeaseSweep. Optional.
+	Fault *fault.Injector
+}
+
+// Service is the per-shard server wrapper: it owns a slice of the naming
+// namespace, redirects path-addressed requests for names it does not own,
+// serves the shard map, and runs the leased network lock service.
+type Service struct {
+	shard   int
+	shards  int
+	mapBody []byte // pre-encoded shard map reply
+	version uint64
+	inner   rpc.Handler
+	wire    rpc.WireFormat
+	locks   *lock.Manager
+	leases  *LeaseTable
+	inj     *fault.Injector
+
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+}
+
+// NewService builds the shard service and starts its lease sweeper (when a
+// lock manager is attached). Close stops the sweeper.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.Inner == nil {
+		return nil, errors.New("cluster: nil inner handler")
+	}
+	if cfg.Map.Shards() == 0 {
+		return nil, errors.New("cluster: empty shard map")
+	}
+	if cfg.Shard < 0 || cfg.Shard >= cfg.Map.Shards() {
+		return nil, fmt.Errorf("cluster: shard %d out of range 0..%d", cfg.Shard, cfg.Map.Shards()-1)
+	}
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	sweep := cfg.SweepEvery
+	if sweep <= 0 {
+		sweep = ttl / 4
+	}
+	s := &Service{
+		shard:   cfg.Shard,
+		shards:  cfg.Map.Shards(),
+		mapBody: appendMap(make([]byte, 0, mapSize(cfg.Map)), cfg.Map),
+		version: cfg.Map.Version,
+		inner:   cfg.Inner,
+		wire:    cfg.Wire,
+		locks:   cfg.Locks,
+		inj:     cfg.Fault,
+		stop:    make(chan struct{}),
+	}
+	if cfg.Locks != nil {
+		s.leases = NewLeaseTable(ttl, cfg.Now)
+		s.wg.Add(1)
+		go s.sweep(sweep)
+	}
+	return s, nil
+}
+
+// Close stops the lease sweeper. It does not close the wrapped lock
+// manager or handler.
+func (s *Service) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// Leases exposes the lease table (experiments and tests); nil without a
+// lock manager.
+func (s *Service) Leases() *LeaseTable { return s.leases }
+
+// Handle is the rpc.Handler: cluster methods are served here, everything
+// else passes the namespace ownership check and delegates to the wrapped
+// rpcfs handler.
+func (s *Service) Handle(method string, body []byte) ([]byte, error) {
+	switch method {
+	case MMap:
+		return s.mapBody, nil
+	case MLockAcquire:
+		return s.handleAcquire(body)
+	case MLockRenew:
+		return s.handleRenew(body)
+	case MLockRelease:
+		return s.handleRelease(body)
+	}
+	// Ownership check: a path-addressed request for a name homed on another
+	// shard is redirected, not executed. ID-addressed requests carry raw
+	// per-server IDs (the router strips the shard tag), and name.list is
+	// answered locally — the router fans it out and merges.
+	if path, ok, err := rpcfs.PathOfRequest(method, body, s.wire); err != nil {
+		return nil, err
+	} else if ok {
+		if home := ShardForPath(path, s.shards); home != s.shard {
+			return nil, NotMine(home, s.version)
+		}
+	}
+	return s.inner(method, body)
+}
+
+func (s *Service) handleAcquire(body []byte) ([]byte, error) {
+	if s.locks == nil {
+		return nil, errors.New("cluster: no lock service on this shard")
+	}
+	a, err := decodeLockAcquire(body)
+	if err != nil {
+		return nil, err
+	}
+	// One transaction, one owning client: reject before touching the lock
+	// manager so a stray second client cannot piggyback on the lease.
+	ok, created := s.leases.Grant(a.Client, a.Txn)
+	if !ok {
+		return nil, fmt.Errorf("cluster: txn %d leased to another client", a.Txn)
+	}
+	item := lock.ItemID{File: a.File, Offset: a.Off, Length: a.Len}
+	granted, err := s.locks.TryAcquire(lock.TxnID(a.Txn), int(a.PID), lock.Level(a.Level), item, lock.Mode(a.Mode))
+	if (err != nil || !granted) && created {
+		// The acquire this lease was minted for was denied: drop it, or the
+		// sweeper would later break a transaction whose client was never
+		// told it had a lease to renew.
+		s.leases.Release(a.Txn)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return appendLockReply(make([]byte, 0, 1), LockReply{Granted: granted}), nil
+}
+
+func (s *Service) handleRenew(body []byte) ([]byte, error) {
+	if s.locks == nil {
+		return nil, errors.New("cluster: no lock service on this shard")
+	}
+	a, err := decodeLockTxn(body)
+	if err != nil {
+		return nil, err
+	}
+	if !s.leases.Renew(a.Client, a.Txn) {
+		return nil, fmt.Errorf("%s: txn %d", leaseLostMarker, a.Txn)
+	}
+	return nil, nil
+}
+
+func (s *Service) handleRelease(body []byte) ([]byte, error) {
+	if s.locks == nil {
+		return nil, errors.New("cluster: no lock service on this shard")
+	}
+	a, err := decodeLockTxn(body)
+	if err != nil {
+		return nil, err
+	}
+	s.locks.ReleaseAll(lock.TxnID(a.Txn))
+	s.leases.Release(a.Txn)
+	return nil, nil
+}
+
+// sweep periodically breaks the locks of transactions whose lease expired:
+// their client is dead or partitioned, and §6.4's break path makes the
+// transaction abort at its next lock operation (or via OnBreak).
+func (s *Service) sweep(every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			due := s.leases.ExpireDue()
+			if len(due) == 0 {
+				continue
+			}
+			s.inj.Hit(PtLeaseSweep)
+			for _, txn := range due {
+				s.locks.Break(lock.TxnID(txn))
+			}
+		}
+	}
+}

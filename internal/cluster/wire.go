@@ -1,0 +1,157 @@
+package cluster
+
+// Cluster control-plane methods and their payloads. These are new with the
+// multi-node subsystem, so unlike rpcfs there is no gob legacy: payloads are
+// always the fixed-layout binary encoding (big-endian integers, u32-length-
+// prefixed strings), independent of the transport's wire format.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Cluster method names.
+const (
+	// MMap serves the shard map (no arguments, Map reply).
+	MMap = "cluster.map"
+	// MLockAcquire tries to acquire one lock for a leased transaction
+	// (LockAcquireArgs, LockReply). The try is non-blocking on the server —
+	// a blocked acquire would pin a server worker — so clients poll.
+	MLockAcquire = "cluster.lock.acquire"
+	// MLockRenew renews a transaction's lease (LockTxnArgs, empty reply;
+	// a lost lease is a service error).
+	MLockRenew = "cluster.lock.renew"
+	// MLockRelease releases all of a transaction's locks and its lease
+	// (LockTxnArgs, empty reply).
+	MLockRelease = "cluster.lock.release"
+)
+
+// LockAcquireArgs asks for one lock on behalf of transaction Txn, leased to
+// client Client. Level/Mode are internal/lock enums; File/Off/Len name the
+// data item per lock.ItemID.
+type LockAcquireArgs struct {
+	Client uint64
+	Txn    uint64
+	PID    int64
+	Level  uint8
+	Mode   uint8
+	File   uint64
+	Off    uint64
+	Len    uint64
+}
+
+// LockTxnArgs names a leased transaction.
+type LockTxnArgs struct {
+	Client uint64
+	Txn    uint64
+}
+
+// LockReply reports whether a non-blocking acquire was granted.
+type LockReply struct {
+	Granted bool
+}
+
+const lockAcquireLen = 8 + 8 + 8 + 1 + 1 + 8 + 8 + 8
+
+func appendLockAcquire(dst []byte, a LockAcquireArgs) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, a.Client)
+	dst = binary.BigEndian.AppendUint64(dst, a.Txn)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(a.PID))
+	dst = append(dst, a.Level, a.Mode)
+	dst = binary.BigEndian.AppendUint64(dst, a.File)
+	dst = binary.BigEndian.AppendUint64(dst, a.Off)
+	return binary.BigEndian.AppendUint64(dst, a.Len)
+}
+
+func decodeLockAcquire(data []byte) (LockAcquireArgs, error) {
+	var a LockAcquireArgs
+	if len(data) != lockAcquireLen {
+		return a, fmt.Errorf("cluster: lock acquire payload %d bytes, want %d", len(data), lockAcquireLen)
+	}
+	a.Client = binary.BigEndian.Uint64(data[0:])
+	a.Txn = binary.BigEndian.Uint64(data[8:])
+	a.PID = int64(binary.BigEndian.Uint64(data[16:]))
+	a.Level = data[24]
+	a.Mode = data[25]
+	a.File = binary.BigEndian.Uint64(data[26:])
+	a.Off = binary.BigEndian.Uint64(data[34:])
+	a.Len = binary.BigEndian.Uint64(data[42:])
+	return a, nil
+}
+
+const lockTxnLen = 8 + 8
+
+func appendLockTxn(dst []byte, a LockTxnArgs) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, a.Client)
+	return binary.BigEndian.AppendUint64(dst, a.Txn)
+}
+
+func decodeLockTxn(data []byte) (LockTxnArgs, error) {
+	var a LockTxnArgs
+	if len(data) != lockTxnLen {
+		return a, fmt.Errorf("cluster: lock txn payload %d bytes, want %d", len(data), lockTxnLen)
+	}
+	a.Client = binary.BigEndian.Uint64(data[0:])
+	a.Txn = binary.BigEndian.Uint64(data[8:])
+	return a, nil
+}
+
+func appendLockReply(dst []byte, r LockReply) []byte {
+	b := byte(0)
+	if r.Granted {
+		b = 1
+	}
+	return append(dst, b)
+}
+
+func decodeLockReply(data []byte) (LockReply, error) {
+	if len(data) != 1 {
+		return LockReply{}, fmt.Errorf("cluster: lock reply payload %d bytes, want 1", len(data))
+	}
+	return LockReply{Granted: data[0] == 1}, nil
+}
+
+func mapSize(m Map) int {
+	n := 8 + 4
+	for _, e := range m.Endpoints {
+		n += 4 + len(e)
+	}
+	return n
+}
+
+func appendMap(dst []byte, m Map) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, m.Version)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Endpoints)))
+	for _, e := range m.Endpoints {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(e)))
+		dst = append(dst, e...)
+	}
+	return dst
+}
+
+func decodeMap(data []byte) (Map, error) {
+	var m Map
+	if len(data) < 12 {
+		return m, fmt.Errorf("cluster: map payload %d bytes, want >= 12", len(data))
+	}
+	m.Version = binary.BigEndian.Uint64(data)
+	n := int(binary.BigEndian.Uint32(data[8:]))
+	off := 12
+	if n > len(data) { // sanity: each endpoint needs at least its length word
+		return m, fmt.Errorf("cluster: map endpoint count %d exceeds payload", n)
+	}
+	m.Endpoints = make([]string, n)
+	for i := range m.Endpoints {
+		if off+4 > len(data) {
+			return m, fmt.Errorf("cluster: truncated map payload")
+		}
+		l := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		if off+l > len(data) {
+			return m, fmt.Errorf("cluster: truncated map payload")
+		}
+		m.Endpoints[i] = string(data[off : off+l])
+		off += l
+	}
+	return m, nil
+}

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner per
-// experiment in DESIGN.md's per-experiment index (E1–E20 plus Table 1),
+// experiment in DESIGN.md's per-experiment index (E1–E21 plus Table 1),
 // each returning a rendered table with the same rows the paper's claims are
 // stated in — disk references, cache hits, committed transactions, commit
 // I/O, recovery outcomes, wall-clock throughput.
@@ -143,5 +143,6 @@ func All() []Runner {
 		{"E18", "Crash-recovery torture harness", E18Torture},
 		{"E19", "Group-commit throughput", E19GroupCommit},
 		{"E20", "Closed-loop transport load scaling", E20LoadScaling},
+		{"E21", "Multi-node scale-out and fail-over", E21ScaleOut},
 	}
 }

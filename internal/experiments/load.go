@@ -3,9 +3,11 @@ package experiments
 import (
 	"fmt"
 	"net"
+	"runtime"
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/fault"
@@ -110,17 +112,29 @@ func (a e20Agent) WriteAt(off int64, data []byte) (int, error) {
 	return a.fa.PWrite(a.proc, a.fd, off, data)
 }
 
-// LoadRun executes one closed-loop load cell: a fresh cluster served over
-// loopback TCP with the given wire format, clients agent machines in groups
-// of agentsPerConn per connection, each running opsPerAgent timed
-// operations. Exported for cmd/rhodos-bench's -load mode. rec (optional)
-// receives the spans of every layer on both sides of the wire.
-func LoadRun(wire rpc.WireFormat, clients, agentsPerConn, opsPerAgent int, rec *obs.Recorder) (workload.LoadResult, *obs.Histogram, error) {
-	fail := func(err error) (workload.LoadResult, *obs.Histogram, error) {
-		return workload.LoadResult{}, nil, err
+// loadRig is the single-server load harness shared by the closed- and
+// open-loop entry points: a fresh cluster served over loopback TCP, clients
+// agent machines in groups of agentsPerConn per connection, each with its
+// file materialized and the per-request service time armed.
+type loadRig struct {
+	agents []workload.LoadAgent
+	closes []func()
+}
+
+func (r *loadRig) close() {
+	for i := len(r.closes) - 1; i >= 0; i-- {
+		r.closes[i]()
 	}
+}
+
+func newLoadRig(wire rpc.WireFormat, clients, agentsPerConn int, rec *obs.Recorder) (*loadRig, error) {
 	if clients <= 0 || agentsPerConn <= 0 {
-		return fail(fmt.Errorf("experiments: bad load cell: %d clients, %d per conn", clients, agentsPerConn))
+		return nil, fmt.Errorf("experiments: bad load cell: %d clients, %d per conn", clients, agentsPerConn)
+	}
+	r := &loadRig{}
+	fail := func(err error) (*loadRig, error) {
+		r.close()
+		return nil, err
 	}
 	c, err := core.New(core.Config{
 		Disks:             2,
@@ -131,9 +145,11 @@ func LoadRun(wire rpc.WireFormat, clients, agentsPerConn, opsPerAgent int, rec *
 	if err != nil {
 		return fail(err)
 	}
-	defer func() { _ = c.Close() }()
+	r.closes = append(r.closes, func() { _ = c.Close() })
 
-	srv := &rpcfs.Server{Files: c.Files, Naming: c.Naming}
+	// The payload codec follows the transport: gob rows measure the legacy
+	// stack end to end (gob frames, gob payloads), binary rows the new one.
+	srv := &rpcfs.Server{Files: c.Files, Naming: c.Naming, Wire: wire}
 	ep := rpc.NewEndpoint(srv.Handler(), rpc.WithMetrics(c.Metrics), rpc.WithObs(rec), rpc.WithWindow(4096))
 	inj := fault.NewInjector(0)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -143,7 +159,7 @@ func LoadRun(wire rpc.WireFormat, clients, agentsPerConn, opsPerAgent int, rec *
 	// Workers sized so injected service-time sleeps never starve the pool:
 	// every in-flight request can hold a worker simultaneously.
 	tsrv := rpc.Serve(ln, ep, rpc.WithWireFormat(wire), rpc.WithInjector(inj), rpc.WithWorkers(2*clients+16))
-	defer func() { _ = tsrv.Close() }()
+	r.closes = append(r.closes, func() { _ = tsrv.Close() })
 
 	conns := (clients + agentsPerConn - 1) / agentsPerConn
 	transports := make([]*rpc.TCPTransport, conns)
@@ -152,17 +168,17 @@ func LoadRun(wire rpc.WireFormat, clients, agentsPerConn, opsPerAgent int, rec *
 		if err != nil {
 			return fail(err)
 		}
-		defer func() { _ = tr.Close() }()
+		r.closes = append(r.closes, func() { _ = tr.Close() })
 		transports[i] = tr
 	}
 
 	// Build one agent machine per client over its share of the connections
 	// and materialize each client's file — all before the service-time
 	// injection is armed, so setup runs at full speed.
-	agents := make([]workload.LoadAgent, clients)
+	r.agents = make([]workload.LoadAgent, clients)
 	seed := make([]byte, e20FileSize)
 	for i := 0; i < clients; i++ {
-		cl := &rpcfs.Client{C: rpc.NewClient(transports[i/agentsPerConn], uint64(i+1), 10, c.Metrics)}
+		cl := &rpcfs.Client{C: rpc.NewClient(transports[i/agentsPerConn], uint64(i+1), 10, c.Metrics), Wire: wire}
 		m, err := agent.NewMachine(agent.MachineConfig{
 			Naming:             c.Naming,
 			Files:              cl,
@@ -181,12 +197,113 @@ func LoadRun(wire rpc.WireFormat, clients, agentsPerConn, opsPerAgent int, rec *
 		if _, err := fa.PWrite(proc, fd, 0, seed); err != nil {
 			return fail(err)
 		}
-		agents[i] = e20Agent{fa: fa, proc: proc, fd: fd}
+		r.agents[i] = e20Agent{fa: fa, proc: proc, fd: fd}
 	}
 
 	inj.Arm(rpc.PtTCPServe, fault.Action{Kind: fault.KindDelay, Delay: e20ServiceTime, Times: -1})
-	defer inj.DisarmAll()
+	r.closes = append(r.closes, inj.DisarmAll)
+	return r, nil
+}
 
+// LoadRun executes one closed-loop load cell: each of the rig's agents runs
+// opsPerAgent timed operations back to back. Exported for cmd/rhodos-bench's
+// -load mode. rec (optional) receives the spans of every layer on both sides
+// of the wire.
+func LoadRun(wire rpc.WireFormat, clients, agentsPerConn, opsPerAgent int, rec *obs.Recorder) (workload.LoadResult, *obs.Histogram, error) {
+	rig, err := newLoadRig(wire, clients, agentsPerConn, rec)
+	if err != nil {
+		return workload.LoadResult{}, nil, err
+	}
+	defer rig.close()
+
+	hist := &obs.Histogram{}
+	res, err := workload.RunClosedLoop(workload.LoadConfig{
+		OpsPerAgent: opsPerAgent,
+		ReadFrac:    e20ReadFrac,
+		OpSize:      e20OpSize,
+		FileSize:    e20FileSize,
+		Seed:        1,
+		Latency:     hist,
+	}, rig.agents)
+	if err != nil {
+		return workload.LoadResult{}, nil, err
+	}
+	return res, hist, nil
+}
+
+// LoadRunOpen executes one open-loop load cell over the same rig: operations
+// arrive on a fixed schedule at rate ops/sec in aggregate for the given
+// duration, so latency includes queueing delay and a shortfall between
+// offered and completed rate is the overload signature. Exported for
+// cmd/rhodos-bench's -load -rate mode.
+func LoadRunOpen(wire rpc.WireFormat, clients, agentsPerConn int, rate float64, duration time.Duration) (workload.OpenLoopResult, *obs.Histogram, error) {
+	rig, err := newLoadRig(wire, clients, agentsPerConn, nil)
+	if err != nil {
+		return workload.OpenLoopResult{}, nil, err
+	}
+	defer rig.close()
+
+	// The open loop measures latency against a fixed arrival schedule;
+	// collect setup garbage now so GC pauses do not bleed into it.
+	runtime.GC()
+	hist := &obs.Histogram{}
+	res, err := workload.RunOpenLoop(workload.LoadConfig{
+		ReadFrac: e20ReadFrac,
+		OpSize:   e20OpSize,
+		FileSize: e20FileSize,
+		Seed:     1,
+		Latency:  hist,
+	}, rate, duration, rig.agents)
+	if err != nil {
+		return workload.OpenLoopResult{}, nil, err
+	}
+	return res, hist, nil
+}
+
+// ClusterLoadRun executes one closed-loop load cell against an
+// already-running cluster of rhodosd shards: one Router per client agent,
+// each client's file homed on a shard by its directory hash. baseID and tag
+// must be unique per invocation (the caller derives them from its PID) so
+// client IDs miss the servers' duplicate caches and file names miss the
+// namespace of earlier runs. Exported for cmd/rhodos-bench's -addrs mode.
+func ClusterLoadRun(endpoints []string, wire rpc.WireFormat, clients, opsPerAgent int, baseID uint64, tag string) (workload.LoadResult, *obs.Histogram, error) {
+	fail := func(err error) (workload.LoadResult, *obs.Histogram, error) {
+		return workload.LoadResult{}, nil, err
+	}
+	if len(endpoints) == 0 || clients <= 0 {
+		return fail(fmt.Errorf("experiments: bad cluster load cell: %d endpoints, %d clients", len(endpoints), clients))
+	}
+	agents := make([]workload.LoadAgent, clients)
+	seed := make([]byte, e20FileSize)
+	for i := 0; i < clients; i++ {
+		rt, err := cluster.NewRouter(cluster.RouterConfig{
+			Endpoints: endpoints,
+			ClientID:  baseID + uint64(i) + 1,
+			Wire:      wire,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		defer rt.Shutdown()
+		m, err := agent.NewMachine(agent.MachineConfig{
+			Naming:             rt,
+			Files:              rt,
+			DisableClientCache: true,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		proc := m.NewProcess()
+		fa := m.FileAgent()
+		fd, err := fa.Create(proc, fmt.Sprintf("/bench/%s-%d/f", tag, i), fit.Attributes{})
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := fa.PWrite(proc, fd, 0, seed); err != nil {
+			return fail(err)
+		}
+		agents[i] = e20Agent{fa: fa, proc: proc, fd: fd}
+	}
 	hist := &obs.Histogram{}
 	res, err := workload.RunClosedLoop(workload.LoadConfig{
 		OpsPerAgent: opsPerAgent,

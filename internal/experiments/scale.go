@@ -1,0 +1,460 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fault"
+	"repro/internal/fit"
+	"repro/internal/lock"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/rpcfs"
+	"repro/internal/workload"
+)
+
+// E21 parameters. Every server's worker pool is capped and every request
+// carries an injected service time, so a single server has a hard capacity
+// ceiling (workers / service time ≈ 8k ops/s) and the only way the client
+// population's demand is met is by adding servers: aggregate throughput
+// then scales with the shard count until the closed-loop clients themselves
+// become the bound.
+const (
+	e21OpSize           = 4 << 10
+	e21FileSize         = 128 << 10
+	e21ReadFrac         = 0.7
+	e21ServiceTime      = time.Millisecond
+	e21WorkersPerServer = 8
+	e21Clients          = 24
+	// e21OpsPerAgent keeps the slowest cell (one server serving all 24
+	// clients at ~8k ops/s) around a third of a second.
+	e21OpsPerAgent = 100
+)
+
+// shardRig is an N-shard cluster on loopback TCP: one core (disks, caches,
+// locks) per shard, each wrapped in a cluster.Service for namespace
+// ownership and leases, each behind its own capped worker pool.
+type shardRig struct {
+	cores []*core.Cluster
+	svcs  []*cluster.Service
+	srvs  []*rpc.TCPServer
+	eps   []*rpc.Endpoint
+	injs  []*fault.Injector
+	m     cluster.Map
+}
+
+func newShardRig(servers int, leaseTTL time.Duration) (*shardRig, error) {
+	r := &shardRig{}
+	lns := make([]net.Listener, servers)
+	addrs := make([]string, servers)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	r.m = cluster.Map{Version: 1, Endpoints: addrs}
+	for i := 0; i < servers; i++ {
+		c, err := core.New(core.Config{
+			Disks:             2,
+			Geometry:          device.Geometry{FragmentsPerTrack: 32, Tracks: 1024},
+			ServerCacheBlocks: 4096,
+		})
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.cores = append(r.cores, c)
+		fsrv := &rpcfs.Server{Files: c.Files, Naming: c.Naming}
+		svc, err := cluster.NewService(cluster.ServiceConfig{
+			Shard:    i,
+			Map:      r.m,
+			Inner:    fsrv.Handler(),
+			Locks:    c.Locks(),
+			LeaseTTL: leaseTTL,
+		})
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.svcs = append(r.svcs, svc)
+		inj := fault.NewInjector(0)
+		r.injs = append(r.injs, inj)
+		ep := rpc.NewEndpoint(svc.Handle, rpc.WithMetrics(c.Metrics), rpc.WithWindow(4096))
+		r.eps = append(r.eps, ep)
+		r.srvs = append(r.srvs, rpc.Serve(lns[i], ep,
+			rpc.WithInjector(inj), rpc.WithWorkers(e21WorkersPerServer)))
+	}
+	return r, nil
+}
+
+// armServiceTime injects the per-request service time on every server.
+func (r *shardRig) armServiceTime() {
+	for _, inj := range r.injs {
+		inj.Arm(rpc.PtTCPServe, fault.Action{Kind: fault.KindDelay, Delay: e21ServiceTime, Times: -1})
+	}
+}
+
+// kill closes shard i's TCP server: connections drop, the port stops
+// answering. The shard's core — including its lock manager and lease
+// sweeper — stays alive, which is exactly a server cut off from clients.
+func (r *shardRig) kill(i int) { _ = r.srvs[i].Close() }
+
+// restart brings shard i's TCP server back on the same address with the
+// same endpoint, so the duplicate cache and client sequence numbers carry
+// over; clients' transports re-dial on their next call.
+func (r *shardRig) restart(i int) error {
+	ln, err := net.Listen("tcp", r.m.Endpoints[i])
+	if err != nil {
+		return err
+	}
+	r.srvs[i] = rpc.Serve(ln, r.eps[i], rpc.WithInjector(r.injs[i]), rpc.WithWorkers(e21WorkersPerServer))
+	return nil
+}
+
+func (r *shardRig) close() {
+	for _, s := range r.srvs {
+		_ = s.Close()
+	}
+	for _, s := range r.svcs {
+		s.Close()
+	}
+	for _, c := range r.cores {
+		_ = c.Close()
+	}
+}
+
+// pathForShard probes directory names until one homes on the wanted shard.
+func pathForShard(tag string, shard, servers int) string {
+	for i := 0; ; i++ {
+		p := fmt.Sprintf("/e21/%s-%d/f", tag, i)
+		if cluster.ShardForPath(p, servers) == shard {
+			return p
+		}
+	}
+}
+
+// e21Client is one load client: its own router (own connections, own rpc
+// client identity) and one seeded file pinned to a chosen shard.
+type e21Client struct {
+	rt    *cluster.Router
+	agent e20Agent
+	shard int
+}
+
+// e21Setup boots a rig and clients pinned round-robin across shards, each
+// with a seeded file, ready for load. Callers own both cleanups.
+func e21Setup(servers, clients int, leaseTTL time.Duration, retries int) (*shardRig, []e21Client, func(), error) {
+	rig, err := newShardRig(servers, leaseTTL)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var cls []e21Client
+	cleanup := func() {
+		for _, cl := range cls {
+			cl.rt.Shutdown()
+		}
+		rig.close()
+	}
+	seed := make([]byte, e21FileSize)
+	for i := 0; i < clients; i++ {
+		rt, err := cluster.NewRouter(cluster.RouterConfig{
+			Endpoints: rig.m.Endpoints,
+			ClientID:  uint64(i + 1),
+			Retries:   retries,
+		})
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		cls = append(cls, e21Client{rt: rt, shard: i % servers})
+		m, err := agent.NewMachine(agent.MachineConfig{Naming: rt, Files: rt, DisableClientCache: true})
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		proc := m.NewProcess()
+		fa := m.FileAgent()
+		fd, err := fa.Create(proc, pathForShard(fmt.Sprintf("c%d", i), i%servers, servers), fit.Attributes{})
+		if err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		if _, err := fa.PWrite(proc, fd, 0, seed); err != nil {
+			cleanup()
+			return nil, nil, nil, err
+		}
+		cls[i].agent = e20Agent{fa: fa, proc: proc, fd: fd}
+	}
+	return rig, cls, cleanup, nil
+}
+
+// ScaleRun executes one closed-loop scale-out cell: `servers` shards behind
+// capped worker pools with injected service time, `clients` client machines
+// routed across them. Exported for the shape test and cmd/rhodos-bench.
+func ScaleRun(servers, clients, opsPerAgent int) (workload.LoadResult, *obs.Histogram, error) {
+	rig, cls, cleanup, err := e21Setup(servers, clients, 0, 10)
+	if err != nil {
+		return workload.LoadResult{}, nil, err
+	}
+	defer cleanup()
+	rig.armServiceTime()
+	agents := make([]workload.LoadAgent, len(cls))
+	for i, cl := range cls {
+		agents[i] = cl.agent
+	}
+	hist := &obs.Histogram{}
+	res, err := workload.RunClosedLoop(workload.LoadConfig{
+		OpsPerAgent: opsPerAgent,
+		ReadFrac:    e21ReadFrac,
+		OpSize:      e21OpSize,
+		FileSize:    e21FileSize,
+		Seed:        21,
+		Latency:     hist,
+	}, agents)
+	if err != nil {
+		return workload.LoadResult{}, nil, err
+	}
+	return res, hist, nil
+}
+
+// ScaleRunOpen is ScaleRun's open-loop counterpart: a fixed offered rate
+// for a fixed duration, so overload shows up as offered-minus-completed and
+// queueing latency rather than as a silently slower closed loop.
+func ScaleRunOpen(servers, clients int, rate float64, duration time.Duration) (workload.OpenLoopResult, *obs.Histogram, error) {
+	rig, cls, cleanup, err := e21Setup(servers, clients, 0, 10)
+	if err != nil {
+		return workload.OpenLoopResult{}, nil, err
+	}
+	defer cleanup()
+	rig.armServiceTime()
+	agents := make([]workload.LoadAgent, len(cls))
+	for i, cl := range cls {
+		agents[i] = cl.agent
+	}
+	// The open loop measures latency against a fixed schedule, so garbage
+	// left by earlier cells (rig setup, prior experiments) must not bleed
+	// collection pauses into it.
+	runtime.GC()
+	hist := &obs.Histogram{}
+	res, err := workload.RunOpenLoop(workload.LoadConfig{
+		ReadFrac: e21ReadFrac,
+		OpSize:   e21OpSize,
+		FileSize: e21FileSize,
+		Seed:     22,
+		Latency:  hist,
+	}, rate, duration, agents)
+	if err != nil {
+		return workload.OpenLoopResult{}, nil, err
+	}
+	return res, hist, nil
+}
+
+// KillPhase is one phase of the kill-a-server cell, with operation counts
+// split between clients homed on the victim shard and the survivors.
+type KillPhase struct {
+	Name        string
+	Wall        time.Duration
+	SurvivorOK  int64
+	SurvivorErr int64
+	VictimOK    int64
+	VictimErr   int64
+}
+
+// KillResult is the kill-a-server cell's outcome.
+type KillResult struct {
+	VictimShard int
+	Phases      []KillPhase // before, down, recovered
+	// LeaseBroken reports that the transaction leased through the victim
+	// shard was broken by the lease sweeper while the server was
+	// unreachable (its client could not renew).
+	LeaseBroken bool
+	// CompetitorAcquired reports that after the restart a second client
+	// obtained the lock the dead client's transaction had held.
+	CompetitorAcquired bool
+}
+
+// killPhase drives every client with error-tolerant operations for d,
+// counting successes and failures per group. Unlike RunClosedLoop, an error
+// does not abort the run — failing against a dead shard while the rest of
+// the cluster serves is the point.
+func killPhase(name string, d time.Duration, cls []e21Client, victim int) KillPhase {
+	ph := KillPhase{Name: name, Wall: d}
+	var wg sync.WaitGroup
+	var sOK, sErr, vOK, vErr atomic.Int64
+	deadline := time.Now().Add(d)
+	for i, cl := range cls {
+		wg.Add(1)
+		go func(i int, cl e21Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + i)))
+			gen := workload.AccessGen{FileSize: e21FileSize, ReadFrac: e21ReadFrac, OpSize: e21OpSize}
+			buf := make([]byte, e21OpSize)
+			for time.Now().Before(deadline) {
+				acc := gen.Next(rng)
+				var err error
+				if acc.Read {
+					_, err = cl.agent.ReadAt(acc.Offset, acc.Length)
+				} else {
+					_, err = cl.agent.WriteAt(acc.Offset, buf[:acc.Length])
+				}
+				ok, bad := &sOK, &sErr
+				if cl.shard == victim {
+					ok, bad = &vOK, &vErr
+				}
+				if err != nil {
+					bad.Add(1)
+				} else {
+					ok.Add(1)
+				}
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	ph.SurvivorOK, ph.SurvivorErr = sOK.Load(), sErr.Load()
+	ph.VictimOK, ph.VictimErr = vOK.Load(), vErr.Load()
+	return ph
+}
+
+// KillServerRun executes the kill-a-server cell: 3 shards, clients pinned
+// across them, a transaction holding a network lock through the victim
+// shard. Mid-run the victim's TCP server is killed; the surviving shards
+// keep serving, the dead shard's lease expires and its transaction's locks
+// are broken, and after a restart the victim's clients fail over (their
+// transports re-dial) and a competitor wins the freed lock.
+func KillServerRun(phase time.Duration) (*KillResult, error) {
+	const (
+		servers  = 3
+		clients  = 12
+		victim   = 1
+		leaseTTL = 150 * time.Millisecond
+	)
+	rig, cls, cleanup, err := e21Setup(servers, clients, leaseTTL, 3)
+	if err != nil {
+		return nil, err
+	}
+	defer cleanup()
+	// No injected service time here: the cell is about availability, not
+	// capacity.
+	res := &KillResult{VictimShard: victim}
+
+	// A client holds a lock through the victim shard; its renewals stop
+	// when the server dies (the transport has nowhere to deliver them).
+	lcDead := cluster.NewLockClient(cls[0].rt.Lock(victim), 9001, leaseTTL, nil)
+	defer lcDead.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	item := lock.ItemID{File: 7, Offset: 0, Length: 64}
+	if err := lcDead.Acquire(ctx, 900, 1, lock.Record, item, lock.IWrite); err != nil {
+		return nil, fmt.Errorf("lease-holder acquire: %w", err)
+	}
+
+	res.Phases = append(res.Phases, killPhase("before", phase, cls, victim))
+
+	rig.kill(victim)
+	res.Phases = append(res.Phases, killPhase("down", phase, cls, victim))
+	// The victim's lease sweeper ran throughout the outage: the unrenewed
+	// lease expired and the transaction's locks were broken (§6.4's break
+	// path, driven by client liveness instead of lock age).
+	res.LeaseBroken = rig.cores[victim].Locks().Broken(900)
+
+	if err := rig.restart(victim); err != nil {
+		return nil, fmt.Errorf("restart shard %d: %w", victim, err)
+	}
+	res.Phases = append(res.Phases, killPhase("recovered", phase, cls, victim))
+
+	// With the server back and the dead client's locks broken, a second
+	// client wins the lock.
+	lcComp := cluster.NewLockClient(cls[1].rt.Lock(victim), 9002, leaseTTL, nil)
+	defer lcComp.Close()
+	acqCtx, acqCancel := context.WithTimeout(ctx, 10*time.Second)
+	err = lcComp.Acquire(acqCtx, 901, 2, lock.Record, item, lock.IWrite)
+	acqCancel()
+	res.CompetitorAcquired = err == nil
+	return res, nil
+}
+
+// E21ScaleOut measures multi-node scale-out: aggregate closed-loop
+// throughput as servers grow 1→8 under a fixed 24-client population,
+// open-loop latency under and over the cluster's capacity, and the
+// kill-a-server availability cell.
+func E21ScaleOut() (*Table, error) {
+	t := &Table{
+		ID:      "E21",
+		Title:   "Multi-node scale-out: sharded namespace, routed clients, leased locks",
+		Claim:   "aggregate throughput grows with server count until clients are the bound; killing one shard leaves the rest serving and expires the dead shard's leases",
+		Columns: []string{"cell", "servers", "clients", "ok", "err", "wall", "ops/sec", "p95", "note"},
+	}
+	var base float64
+	for _, servers := range []int{1, 2, 4, 8} {
+		res, hist, err := ScaleRun(servers, e21Clients, e21OpsPerAgent)
+		if err != nil {
+			return nil, err
+		}
+		opsPerSec := res.OpsPerSec()
+		note := "baseline"
+		if servers == 1 {
+			base = opsPerSec
+		} else if base > 0 {
+			note = fmt.Sprintf("%.1fx vs 1 server", opsPerSec/base)
+		}
+		t.AddRow("closed-loop", servers, e21Clients, res.Ops, 0, res.Wall,
+			fmt.Sprintf("%.0f", opsPerSec), hist.Quantile(0.95), note)
+	}
+
+	// Open-loop: the same 2-server rig offered half and quadruple its
+	// measured ~8k ops/s capacity (each agent-level operation costs one
+	// server request against 16 pooled workers). Under overload the offered
+	// rate is not met and latency (measured from scheduled arrival) shows
+	// the queueing.
+	for _, cell := range []struct {
+		name string
+		rate float64
+	}{{"open-loop under", 4000}, {"open-loop over", 32000}} {
+		res, hist, err := ScaleRunOpen(2, e21Clients, cell.rate, 400*time.Millisecond)
+		if err != nil {
+			return nil, err
+		}
+		note := fmt.Sprintf("offered %.0f/s, completed %d of %d", cell.rate, res.Ops, res.Offered)
+		t.AddRow(cell.name, 2, e21Clients, res.Ops, 0, res.Wall,
+			fmt.Sprintf("%.0f", res.OpsPerSec()), hist.Quantile(0.95), note)
+	}
+
+	kr, err := KillServerRun(400 * time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	for _, ph := range kr.Phases {
+		note := fmt.Sprintf("victim %d ok / %d err", ph.VictimOK, ph.VictimErr)
+		if ph.Name == "down" {
+			note += fmt.Sprintf("; lease broken=%v", kr.LeaseBroken)
+		}
+		if ph.Name == "recovered" {
+			note += fmt.Sprintf("; competitor lock=%v", kr.CompetitorAcquired)
+		}
+		t.AddRow("kill-server/"+ph.Name, 3, 12, ph.SurvivorOK+ph.VictimOK,
+			ph.SurvivorErr+ph.VictimErr, ph.Wall, "—", "—", note)
+	}
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("each server: %d workers, %s injected service time → ~%d ops/s capacity; %d closed-loop clients",
+			e21WorkersPerServer, e21ServiceTime, e21WorkersPerServer*int(time.Second/e21ServiceTime), e21Clients),
+		"namespace sharded by parent-directory hash; clients route via the versioned shard map and follow wrong-shard redirects",
+		"client files pinned round-robin across shards so every scaling cell loads all servers",
+		"kill cell: the victim's TCP server closes mid-run; survivors keep serving, the victim's unrenewed lock lease expires (sweeper breaks the txn), and after restart its clients' transports re-dial and fail over",
+		"open-loop rows measure latency from each operation's scheduled arrival, so overload shows up as queueing delay and unmet offered load")
+	return t, nil
+}

@@ -2,20 +2,28 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/agent"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/fault"
 	"repro/internal/fit"
 	"repro/internal/intentions"
+	"repro/internal/lock"
 	"repro/internal/obs"
 	"repro/internal/parity"
+	"repro/internal/rpc"
+	"repro/internal/rpcfs"
 	"repro/internal/stable"
 	"repro/internal/txn"
 	"repro/internal/wal"
@@ -43,6 +51,17 @@ const (
 	// invisible after recovery — never a mix within one batch, never a torn
 	// member.
 	TortureGroup
+	// TortureKillServer reboots one shard of a two-shard networked cluster:
+	// the victim's machine dies at the armed commit point (its TCP server
+	// goes with it) while the surviving shard keeps serving; after log
+	// replay the interrupted commit honors the durability contract and the
+	// restarted server picks its clients back up.
+	TortureKillServer
+	// TortureLease partitions a lock-holding client from its shard: armed
+	// renewal drops starve the lease, the server's sweeper breaks the
+	// transaction's locks, and a competitor wins them (§6.4's break path
+	// driven by client liveness instead of lock age).
+	TortureLease
 )
 
 // String implements fmt.Stringer.
@@ -56,6 +75,10 @@ func (k TortureKind) String() string {
 		return "media-read"
 	case TortureGroup:
 		return "group-commit"
+	case TortureKillServer:
+		return "kill-server"
+	case TortureLease:
+		return "lease-expiry"
 	default:
 		return fmt.Sprintf("TortureKind(%d)", int(k))
 	}
@@ -80,7 +103,11 @@ func (sc TortureScenario) Mode() string {
 	case fault.KindTorn:
 		mode = fmt.Sprintf("torn(%d)+crash", sc.Action.Frags)
 	case fault.KindError:
-		mode = "media error"
+		if sc.Kind == TortureLease {
+			mode = "renewals dropped"
+		} else {
+			mode = "media error"
+		}
 	case fault.KindCrash:
 		mode = "crash"
 	default:
@@ -138,6 +165,16 @@ func TortureScenarios() []TortureScenario {
 		// though no follower was ever told.
 		{Point: txn.PtGroupBeforeSync, Action: crash, Kind: TortureGroup, Durable: false},
 		{Point: txn.PtGroupLeaderSynced, Action: crash, Kind: TortureGroup, Durable: true},
+		// A whole server dies mid-commit: same commit points as the txn
+		// recipe, but the crash takes a shard of a networked cluster down
+		// with it — the survivors must keep serving and the rebooted shard
+		// must rejoin.
+		{Point: txn.PtCommitBeforeLog, Action: crash, Kind: TortureKillServer, Durable: false},
+		{Point: txn.PtCommitAfterLog, Action: crash, Kind: TortureKillServer, Durable: true},
+		// A partitioned lock holder: every lease renewal drops until the
+		// server's sweeper breaks the transaction.
+		{Point: cluster.PtLeaseRenew, Action: fault.Action{Kind: fault.KindError, Times: -1},
+			Kind: TortureLease},
 	}
 }
 
@@ -174,6 +211,10 @@ func RunTorture(sc TortureScenario, seed int64) (*TortureResult, error) {
 		return runTortureMedia(sc, seed)
 	case TortureGroup:
 		return runTortureGroup(sc, seed)
+	case TortureKillServer:
+		return runTortureKillServer(sc, seed)
+	case TortureLease:
+		return runTortureLease(sc, seed)
 	default:
 		return runTortureTxn(sc, seed)
 	}
@@ -662,6 +703,327 @@ func runTortureMedia(sc TortureScenario, seed int64) (*TortureResult, error) {
 	return res, nil
 }
 
+// tortureShardPath probes directory names until one homes on the wanted
+// shard of a 2-shard namespace.
+func tortureShardPath(shard, shards int) string {
+	for i := 0; ; i++ {
+		p := fmt.Sprintf("/e18/d%d/f", i)
+		if cluster.ShardForPath(p, shards) == shard {
+			return p
+		}
+	}
+}
+
+// runTortureKillServer runs the txn-commit recipe against one shard of a
+// two-shard networked cluster and kills the whole shard with it: transaction
+// B dies at the armed commit point on the victim's machine, the victim's TCP
+// server closes (the machine is down), and the harness checks availability
+// alongside the commit contract — the surviving shard serves throughout, the
+// victim's clients fail fast during the outage, and after log replay and a
+// restart on the same endpoint they pick the shard back up.
+func runTortureKillServer(sc TortureScenario, seed int64) (*TortureResult, error) {
+	const shards = 2
+	const victim = 1
+	inj := fault.NewInjector(seed)
+
+	lns := make([]net.Listener, shards)
+	addrs := make([]string, shards)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	m := cluster.Map{Version: 1, Endpoints: addrs}
+
+	cores := make([]*core.Cluster, shards)
+	srvs := make([]*rpc.TCPServer, shards)
+	eps := make([]*rpc.Endpoint, shards)
+	// The victim's file and naming services are rebuilt when it reboots; the
+	// indirection lets the restarted TCP server serve the recovered core
+	// behind the same endpoint (duplicate cache and client sequence numbers
+	// carry over, as in a real server restart).
+	var victimInner atomic.Value
+	defer func() {
+		for _, s := range srvs {
+			if s != nil {
+				_ = s.Close()
+			}
+		}
+		for _, c := range cores {
+			if c != nil {
+				_ = c.Close()
+			}
+		}
+	}()
+	for i := range cores {
+		cfg := core.Config{
+			Geometry:       device.Geometry{FragmentsPerTrack: 32, Tracks: 256},
+			LogFragments:   2048,
+			ForceTechnique: intentions.WAL,
+		}
+		if i == victim {
+			cfg.Fault = inj
+		}
+		c, err := core.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = c
+		inner := rpc.Handler((&rpcfs.Server{Files: c.Files, Naming: c.Naming}).Handler())
+		if i == victim {
+			victimInner.Store(inner)
+			inner = func(method string, body []byte) ([]byte, error) {
+				return victimInner.Load().(rpc.Handler)(method, body)
+			}
+		}
+		svc, err := cluster.NewService(cluster.ServiceConfig{Shard: i, Map: m, Inner: inner})
+		if err != nil {
+			return nil, err
+		}
+		defer svc.Close()
+		eps[i] = rpc.NewEndpoint(svc.Handle)
+		srvs[i] = rpc.Serve(lns[i], eps[i])
+	}
+
+	// A routed client with one probe file per shard, flushed so the reboot
+	// cannot take them with it.
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Endpoints: addrs, ClientID: 1, Retries: 3})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Shutdown()
+	mach, err := agent.NewMachine(agent.MachineConfig{Naming: rt, Files: rt, DisableClientCache: true})
+	if err != nil {
+		return nil, err
+	}
+	proc := mach.NewProcess()
+	fa := mach.FileAgent()
+	rng := rand.New(rand.NewSource(seed))
+	probe := make([]byte, 4096)
+	rng.Read(probe)
+	fds := make([]int, shards)
+	for i := range fds {
+		fd, err := fa.Create(proc, tortureShardPath(i, shards), fit.Attributes{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fa.PWrite(proc, fd, 0, probe); err != nil {
+			return nil, err
+		}
+		fds[i] = fd
+	}
+
+	// Transaction A on the victim's machine: committed and flushed (the
+	// flush also hardens the probe files) before the fault is armed.
+	oldData := make([]byte, 20000)
+	rng.Read(oldData)
+	newData := make([]byte, len(oldData))
+	rng.Read(newData)
+	vc := cores[victim]
+	a, err := vc.Txns.Begin(1)
+	if err != nil {
+		return nil, err
+	}
+	fid, err := vc.Txns.Create(a, fit.Attributes{Locking: fit.LockPage})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := vc.Txns.PWrite(a, fid, 0, oldData); err != nil {
+		return nil, err
+	}
+	if err := vc.Txns.End(a); err != nil {
+		return nil, err
+	}
+	if err := vc.Flush(); err != nil {
+		return nil, err
+	}
+
+	// Transaction B dies at the armed point; the machine dies with it.
+	inj.Arm(sc.Point, sc.Action)
+	crashed, runErr := fault.Run(func() error {
+		b, err := vc.Txns.Begin(2)
+		if err != nil {
+			return err
+		}
+		if err := vc.Txns.Open(b, fid, fit.LockPage); err != nil {
+			return err
+		}
+		if _, err := vc.Txns.PWrite(b, fid, 0, newData); err != nil {
+			return err
+		}
+		return vc.Txns.End(b)
+	})
+	inj.DisarmAll()
+	if crashed == nil {
+		return nil, fmt.Errorf("fault at %s did not kill the run (err=%v)", sc.Point, runErr)
+	}
+	if crashed.Point != sc.Point {
+		return nil, fmt.Errorf("crashed at %s, armed %s", crashed.Point, sc.Point)
+	}
+	res := &TortureResult{Fired: inj.Fired(sc.Point)}
+	_ = srvs[victim].Close()
+
+	// The outage: the survivor serves, the victim's clients fail fast.
+	if _, err := fa.PRead(proc, fds[0], 0, 64); err != nil {
+		res.fail("surviving shard stopped serving during the outage: %v", err)
+	}
+	if _, err := fa.PRead(proc, fds[victim], 0, 64); err == nil {
+		res.fail("reads through the dead shard succeeded during the outage")
+	}
+
+	// Reboot the victim: reconcile its mirrors, replay its log, check the
+	// interrupted commit.
+	if err := vc.Crash(); err != nil {
+		return nil, err
+	}
+	if err := checkMirrors(res, vc, false); err != nil {
+		return nil, err
+	}
+	res.Redone, err = vc.Recover()
+	if err != nil {
+		return nil, err
+	}
+	got, err := vc.Files.ReadAt(fid, 0, len(oldData))
+	if err != nil {
+		return nil, fmt.Errorf("reading survivor file: %w", err)
+	}
+	switch {
+	case bytes.Equal(got, newData):
+		res.Outcome = "durable"
+	case bytes.Equal(got, oldData):
+		res.Outcome = "invisible"
+	default:
+		res.Outcome = "corrupt"
+	}
+	want := "invisible"
+	if sc.Durable {
+		want = "durable"
+	}
+	if res.Outcome != want {
+		res.fail("interrupted commit: want %s, got %s", want, res.Outcome)
+	}
+	if res.Redone < 1 {
+		res.fail("recovery redid no committed transactions")
+	}
+
+	// Restart the shard's server over the recovered services, on the same
+	// address and endpoint; the router's transport re-dials on the next call.
+	victimInner.Store(rpc.Handler((&rpcfs.Server{Files: vc.Files, Naming: vc.Naming}).Handler()))
+	ln, err := net.Listen("tcp", addrs[victim])
+	if err != nil {
+		return nil, err
+	}
+	srvs[victim] = rpc.Serve(ln, eps[victim])
+	back, err := fa.PRead(proc, fds[victim], 0, 64)
+	if err != nil {
+		res.fail("victim clients did not fail over after the restart: %v", err)
+	} else if !bytes.Equal(back, probe[:64]) {
+		res.fail("probe file corrupt after the restart")
+	}
+
+	if err := checkMirrors(res, vc, true); err != nil {
+		return nil, err
+	}
+	rep, err := vc.Files.Check()
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Ok() {
+		res.fail("fsck: %s", strings.Join(rep.Problems, "; "))
+	}
+	return res, nil
+}
+
+// runTortureLease partitions a lock-holding client from its shard: the armed
+// action drops every lease renewal, the server's sweeper breaks the starved
+// transaction's locks, and a competitor wins them.
+func runTortureLease(sc TortureScenario, seed int64) (*TortureResult, error) {
+	inj := fault.NewInjector(seed)
+	c, err := core.New(core.Config{Geometry: device.Geometry{FragmentsPerTrack: 32, Tracks: 64}})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.Close() }()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	const ttl = 50 * time.Millisecond
+	fsrv := &rpcfs.Server{Files: c.Files, Naming: c.Naming}
+	svc, err := cluster.NewService(cluster.ServiceConfig{
+		Map:      cluster.Map{Version: 1, Endpoints: []string{ln.Addr().String()}},
+		Inner:    fsrv.Handler(),
+		Locks:    c.Locks(),
+		LeaseTTL: ttl,
+		Fault:    inj,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer svc.Close()
+	srv := rpc.Serve(ln, rpc.NewEndpoint(svc.Handle))
+	defer func() { _ = srv.Close() }()
+
+	dial := func(rpcID uint64) (*rpc.Client, func(), error) {
+		tr, err := rpc.DialTCP(srv.Addr().String())
+		if err != nil {
+			return nil, nil, err
+		}
+		return rpc.NewClient(tr, rpcID, 5, nil), func() { _ = tr.Close() }, nil
+	}
+	rcA, closeA, err := dial(11)
+	if err != nil {
+		return nil, err
+	}
+	defer closeA()
+
+	// The holder's renewals drop from the very first tick: the armed point
+	// is the partition. A zero-delay action at the sweep point makes the
+	// sweeper's break visible in the injector's trace.
+	inj.Arm(sc.Point, sc.Action)
+	inj.Arm(cluster.PtLeaseSweep, fault.Action{Kind: fault.KindDelay, Times: -1})
+	defer inj.DisarmAll()
+	lcA := cluster.NewLockClient(rcA, 1, ttl, inj)
+	defer lcA.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	item := lock.ItemID{File: 3, Offset: 0, Length: 128}
+	if err := lcA.Acquire(ctx, 1, 1, lock.Record, item, lock.IWrite); err != nil {
+		return nil, fmt.Errorf("holder acquire: %w", err)
+	}
+
+	// The sweeper must break the starved lease within a few TTLs.
+	res := &TortureResult{}
+	deadline := time.Now().Add(5 * time.Second)
+	for !c.Locks().Broken(1) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	res.Fired = inj.Fired(sc.Point)
+	if !c.Locks().Broken(1) {
+		res.fail("lease sweeper never broke the partitioned holder's transaction")
+	}
+	if inj.Fired(cluster.PtLeaseSweep) < 1 {
+		res.fail("lease sweep fault point never fired")
+	}
+
+	// A healthy competitor wins the freed lock.
+	rcB, closeB, err := dial(12)
+	if err != nil {
+		return nil, err
+	}
+	defer closeB()
+	lcB := cluster.NewLockClient(rcB, 2, ttl, nil)
+	defer lcB.Close()
+	if err := lcB.Acquire(ctx, 2, 2, lock.Record, item, lock.IWrite); err != nil {
+		res.fail("competitor could not win the broken lease's lock: %v", err)
+	}
+	res.Outcome = "lease-broken"
+	return res, nil
+}
+
 // E18Torture runs the crash-recovery torture matrix: for each registered
 // fault point in the commit sequence, the WAL sync, the stable careful
 // write, and the parity rebuild, it kills the run at that point from a
@@ -699,6 +1061,8 @@ func E18Torture() (*Table, error) {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("deterministic: scenario i runs from seed %d+i; the same seed fires the same faults", seedBase),
 		"invariants: committed durable; unfinished invisible; mirrors reconciled (2nd pass no-op); parity consistent; fsck clean",
-		"flight dump: span trees the flight recorder snapshotted the instant the fault fired (txn recipes run traced)")
+		"flight dump: span trees the flight recorder snapshotted the instant the fault fired (txn recipes run traced)",
+		"kill-server: a 2-shard cluster's victim server crashes mid-commit and its TCP listener closes; the other shard must keep serving during the outage and the victim must recover and serve again on the same endpoint",
+		"lease-expiry: every renewal is dropped at cluster.lease.renew until the server-side sweeper breaks the client's transaction and a competitor wins its lock")
 	return t, nil
 }

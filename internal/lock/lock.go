@@ -658,6 +658,26 @@ func (m *Manager) Sweep() []TxnID {
 	return out
 }
 
+// Break forcibly breaks every lock txn holds and marks it broken, exactly
+// as an exhausted LT renewal does (§6.4): waiters are failed with
+// ErrTxnBroken, newly grantable locks are regranted, and the OnBreak
+// callback fires so the transaction service aborts the holder. The network
+// lock service uses it to revoke the locks of a client whose lease expired.
+func (m *Manager) Break(txn TxnID) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.breakTxnLocked(txn)
+	m.removeEmptyItemsLocked()
+	m.regrantLocked()
+	m.mu.Unlock()
+	if m.onBreak != nil {
+		m.onBreak(txn)
+	}
+}
+
 // breakTxnLocked removes all of txn's holds and waiters and marks it broken.
 func (m *Manager) breakTxnLocked(txn TxnID) {
 	m.broken[txn] = true

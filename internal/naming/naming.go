@@ -121,6 +121,12 @@ var (
 	ErrExists    = errors.New("naming: entry already registered")
 )
 
+// IsExists reports whether err means ErrExists, including after the error
+// has crossed an rpc boundary and survives only as message text.
+func IsExists(err error) bool {
+	return err != nil && (errors.Is(err, ErrExists) || strings.Contains(err.Error(), ErrExists.Error()))
+}
+
 // Service is a naming service. It is safe for concurrent use.
 type Service struct {
 	mu      sync.Mutex

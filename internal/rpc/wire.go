@@ -90,6 +90,13 @@ func getBuf(n int) []byte {
 	return make([]byte, n, 1<<class)
 }
 
+// Buffer returns a buffer of length n drawn from the frame free lists (or
+// freshly allocated). Contents are undefined; callers overwrite fully.
+// Codec layers above the transport (e.g. rpcfs's binary argument marshaling)
+// use it so request bodies come from — and return to, via Recycle — the same
+// bounded pools as the wire frames themselves.
+func Buffer(n int) []byte { return getBuf(n) }
+
 // Recycle returns a wire buffer to the frame free lists. Bodies handed out
 // by the binary transport (Response.Body on the client, Request.Body inside
 // a handler) are backed by these lists; a consumer that has finished

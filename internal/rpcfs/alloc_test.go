@@ -8,14 +8,14 @@ import (
 )
 
 // cachedReadAllocBudget is the CI allocation gate for the full remote read
-// path: agent-visible ReadAt → gob args → multiplexed binary transport →
-// server worker → fileservice (block-cache hit) → response. The rpcfs
-// argument marshalling still builds a gob encoder/decoder pair per call
-// (~350 allocations, the dominant term and a known candidate for a later
-// pass), so the budget is loose; what it catches is a regression that
-// re-introduces per-frame wire garbage or an extra body copy on the
-// transport underneath.
-const cachedReadAllocBudget = 450
+// path: agent-visible ReadAt → binary payload codec → multiplexed binary
+// transport → server worker → fileservice (block-cache hit) → response.
+// With the hand-rolled payload codec on both sides the path runs at ~13
+// allocations per op (reply buffer, frame bookkeeping, and the result
+// copy); the budget leaves ~2x headroom. A jump past it means per-call
+// encoder state, per-frame wire garbage, or an extra body copy crept back
+// in — the regressions the gob codec used to hide under its ~350 allocs.
+const cachedReadAllocBudget = 25
 
 func TestCachedReadAllocBudgetOverMux(t *testing.T) {
 	_, cl := newRemote(t)

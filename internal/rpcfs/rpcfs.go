@@ -3,7 +3,9 @@
 // RHODOS server: cmd/rhodosd serves this protocol over TCP and cmd/rhodos
 // (plus agent.FileService proxies) consume it.
 //
-// Arguments and replies are gob-encoded; every operation inherits the
+// Arguments and replies are marshaled with the fixed-layout binary codec
+// (codec.go) by default, matching the transport's binary wire format; the
+// legacy gob encoding is kept behind WireGob. Every operation inherits the
 // idempotent request semantics of the rpc endpoint (§3).
 //
 // Concurrency and ownership contract: the package holds no mutable state of
@@ -41,10 +43,12 @@ const (
 	MAttr     = "fs.attributes"
 	MSize     = "fs.size"
 
-	MResolve    = "name.resolve"
-	MRegister   = "name.register"
-	MUnregister = "name.unregister"
-	MList       = "name.list"
+	MResolve       = "name.resolve"
+	MRegister      = "name.register"
+	MUnregister    = "name.unregister"
+	MUnregisterSys = "name.unregisterSys"
+	MList          = "name.list"
+	MResolveQuery  = "name.resolveQuery"
 )
 
 // Request/reply payloads.
@@ -76,6 +80,17 @@ type (
 	}
 	// PathArgs addresses by attributed path name.
 	PathArgs struct{ Path string }
+	// RegisterArgs registers a naming entry.
+	RegisterArgs struct{ Entry naming.Entry }
+	// QueryArgs evaluates a general attributed-name query (exactly-one
+	// match semantics, like naming.Service.Resolve).
+	QueryArgs struct{ Query naming.Name }
+	// UnregisterSysArgs removes every naming entry with the given object
+	// type and system name.
+	UnregisterSysArgs struct {
+		Type uint8
+		Sys  uint64
+	}
 	// ResolveReply returns a naming entry.
 	ResolveReply struct{ Entry naming.Entry }
 	// ListReply returns directory children.
@@ -106,6 +121,28 @@ func dec(data []byte, v any) error {
 type Server struct {
 	Files  *fileservice.Service
 	Naming *naming.Service
+	// Wire selects the payload codec; the zero value is the binary codec
+	// (rpc.WireBinary), matching the transport default. Client and server
+	// must agree, as they already must on the transport format.
+	Wire rpc.WireFormat
+}
+
+// dec decodes an argument payload with the configured codec.
+func (s *Server) dec(data []byte, v any) error {
+	if s.Wire == rpc.WireGob {
+		return dec(data, v)
+	}
+	return unmarshalPayload(data, v)
+}
+
+// enc encodes a reply payload. Reply bodies are retained by the endpoint's
+// duplicate-request cache, so they are plain allocations, never drawn from
+// the transport's recycled buffer pools.
+func (s *Server) enc(v any) ([]byte, error) {
+	if s.Wire == rpc.WireGob {
+		return enc(v)
+	}
+	return appendPayload(make([]byte, 0, payloadSize(v)), v)
 }
 
 // Handler returns the rpc handler.
@@ -114,7 +151,7 @@ func (s *Server) Handler() rpc.Handler {
 		switch method {
 		case MCreate:
 			var a CreateArgs
-			if err := dec(body, &a); err != nil {
+			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
 			id, err := s.Files.Create(a.Attr)
@@ -132,100 +169,126 @@ func (s *Server) Handler() rpc.Handler {
 					return nil, err
 				}
 			}
-			return enc(IntReply{V: int64(id)})
+			return s.enc(IntReply{V: int64(id)})
 		case MOpen:
 			var a IDArgs
-			if err := dec(body, &a); err != nil {
+			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
 			if err := s.Files.Open(fileservice.FileID(a.ID)); err != nil {
 				return nil, err
 			}
-			return enc(Empty{})
+			return s.enc(Empty{})
 		case MClose:
 			var a IDArgs
-			if err := dec(body, &a); err != nil {
+			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
 			if err := s.Files.Close(fileservice.FileID(a.ID)); err != nil {
 				return nil, err
 			}
-			return enc(Empty{})
+			return s.enc(Empty{})
 		case MDelete:
 			var a IDArgs
-			if err := dec(body, &a); err != nil {
+			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
 			if err := s.Files.Delete(fileservice.FileID(a.ID)); err != nil {
 				return nil, err
 			}
 			s.Naming.UnregisterSystemName(naming.FileObject, a.ID)
-			return enc(Empty{})
+			return s.enc(Empty{})
 		case MReadAt:
 			var a ReadAtArgs
-			if err := dec(body, &a); err != nil {
+			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
 			data, err := s.Files.ReadAt(fileservice.FileID(a.ID), a.Off, a.N)
 			if err != nil {
 				return nil, err
 			}
-			return enc(BytesReply{Data: data})
+			return s.enc(BytesReply{Data: data})
 		case MWriteAt:
 			var a WriteAtArgs
-			if err := dec(body, &a); err != nil {
+			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
 			n, err := s.Files.WriteAt(fileservice.FileID(a.ID), a.Off, a.Data)
 			if err != nil {
 				return nil, err
 			}
-			return enc(IntReply{V: int64(n)})
+			return s.enc(IntReply{V: int64(n)})
 		case MTruncate:
 			var a TruncateArgs
-			if err := dec(body, &a); err != nil {
+			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
 			if err := s.Files.Truncate(fileservice.FileID(a.ID), a.Size); err != nil {
 				return nil, err
 			}
-			return enc(Empty{})
+			return s.enc(Empty{})
 		case MAttr:
 			var a IDArgs
-			if err := dec(body, &a); err != nil {
+			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
 			attr, err := s.Files.Attributes(fileservice.FileID(a.ID))
 			if err != nil {
 				return nil, err
 			}
-			return enc(AttrReply{Attr: attr})
+			return s.enc(AttrReply{Attr: attr})
 		case MSize:
 			var a IDArgs
-			if err := dec(body, &a); err != nil {
+			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
 			size, err := s.Files.Size(fileservice.FileID(a.ID))
 			if err != nil {
 				return nil, err
 			}
-			return enc(IntReply{V: size})
+			return s.enc(IntReply{V: size})
 		case MResolve:
 			var a PathArgs
-			if err := dec(body, &a); err != nil {
+			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
 			e, err := s.Naming.ResolvePath(a.Path)
 			if err != nil {
 				return nil, err
 			}
-			return enc(ResolveReply{Entry: e})
-		case MList:
-			var a PathArgs
-			if err := dec(body, &a); err != nil {
+			return s.enc(ResolveReply{Entry: e})
+		case MRegister:
+			var a RegisterArgs
+			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
-			return enc(ListReply{Names: s.Naming.List(a.Path)})
+			if err := s.Naming.Register(a.Entry); err != nil {
+				return nil, err
+			}
+			return s.enc(Empty{})
+		case MUnregisterSys:
+			var a UnregisterSysArgs
+			if err := s.dec(body, &a); err != nil {
+				return nil, err
+			}
+			n := s.Naming.UnregisterSystemName(naming.ObjectType(a.Type), a.Sys)
+			return s.enc(IntReply{V: int64(n)})
+		case MResolveQuery:
+			var a QueryArgs
+			if err := s.dec(body, &a); err != nil {
+				return nil, err
+			}
+			e, err := s.Naming.Resolve(a.Query)
+			if err != nil {
+				return nil, err
+			}
+			return s.enc(ResolveReply{Entry: e})
+		case MList:
+			var a PathArgs
+			if err := s.dec(body, &a); err != nil {
+				return nil, err
+			}
+			return s.enc(ListReply{Names: s.Naming.List(a.Path)})
 		default:
 			return nil, fmt.Errorf("rpcfs: unknown method %q", method)
 		}
@@ -233,14 +296,49 @@ func (s *Server) Handler() rpc.Handler {
 }
 
 // Client is an agent.FileService implementation backed by a remote server,
-// plus the naming calls the CLI needs.
+// plus the naming calls the CLI and the cluster router need.
 type Client struct {
 	C *rpc.Client
+	// Wire selects the payload codec; the zero value is the binary codec.
+	// Must match the server's.
+	Wire rpc.WireFormat
 }
 
 var _ agent.FileService = (*Client)(nil)
 
 func (c *Client) call(method string, args, reply any) error {
+	if c.Wire == rpc.WireGob {
+		return c.callGob(method, args, reply)
+	}
+	// Binary codec: the argument body comes from the transport's buffer
+	// pools and goes back once the call has completed (a failed call may
+	// still have the body queued on the connection writer, so it is leaked
+	// to the garbage collector instead).
+	body, err := appendPayload(rpc.Buffer(payloadSize(args))[:0], args)
+	if err != nil {
+		return err
+	}
+	out, err := c.C.Call(method, body)
+	if err != nil {
+		return err
+	}
+	rpc.Recycle(body)
+	if reply != nil {
+		if err := unmarshalPayload(out, reply); err != nil {
+			c.C.ReleaseBody(out)
+			return err
+		}
+	}
+	if br, ok := reply.(*BytesReply); ok && len(br.Data) > 0 {
+		// br.Data aliases the reply body — ownership transfers to the
+		// caller, so the buffer must not go back to the free lists here.
+		return nil
+	}
+	c.C.ReleaseBody(out)
+	return nil
+}
+
+func (c *Client) callGob(method string, args, reply any) error {
 	body, err := enc(args)
 	if err != nil {
 		return err
@@ -252,8 +350,8 @@ func (c *Client) call(method string, args, reply any) error {
 	if reply != nil {
 		err = dec(out, reply)
 	}
-	// Over TCP the reply body is a pooled transport buffer; it is fully
-	// decoded now, so hand it back to the free lists.
+	// The gob decoder copies everything out of the reply body, so it goes
+	// straight back to the free lists.
 	c.C.ReleaseBody(out)
 	return err
 }
@@ -337,6 +435,30 @@ func (c *Client) Resolve(path string) (naming.Entry, error) {
 	return r.Entry, nil
 }
 
+// ResolveQuery evaluates a general attributed-name query remotely.
+func (c *Client) ResolveQuery(query naming.Name) (naming.Entry, error) {
+	var r ResolveReply
+	if err := c.call(MResolveQuery, QueryArgs{Query: query}, &r); err != nil {
+		return naming.Entry{}, err
+	}
+	return r.Entry, nil
+}
+
+// Register registers a naming entry remotely.
+func (c *Client) Register(e naming.Entry) error {
+	return c.call(MRegister, RegisterArgs{Entry: e}, nil)
+}
+
+// UnregisterSys removes every naming entry with the given object type and
+// system name remotely, returning how many were removed.
+func (c *Client) UnregisterSys(t naming.ObjectType, sys uint64) (int, error) {
+	var r IntReply
+	if err := c.call(MUnregisterSys, UnregisterSysArgs{Type: uint8(t), Sys: sys}, &r); err != nil {
+		return 0, err
+	}
+	return int(r.V), nil
+}
+
 // List lists directory children remotely.
 func (c *Client) List(dir string) ([]string, error) {
 	var r ListReply
@@ -344,6 +466,47 @@ func (c *Client) List(dir string) ([]string, error) {
 		return nil, err
 	}
 	return r.Names, nil
+}
+
+// PathOfRequest extracts the attributed path from a path-addressed request
+// body (fs.create, name.resolve, name.register), so a shard wrapper can
+// check namespace ownership without re-implementing the codec. ok is false
+// for methods that do not address an object by path.
+func PathOfRequest(method string, body []byte, wire rpc.WireFormat) (path string, ok bool, err error) {
+	decode := func(v any) error {
+		if wire == rpc.WireGob {
+			return dec(body, v)
+		}
+		return unmarshalPayload(body, v)
+	}
+	switch method {
+	case MCreate:
+		var a CreateArgs
+		if err := decode(&a); err != nil {
+			return "", false, err
+		}
+		if a.Path == "" {
+			return "", false, nil // anonymous create has no namespace home
+		}
+		return a.Path, true, nil
+	case MResolve:
+		var a PathArgs
+		if err := decode(&a); err != nil {
+			return "", false, err
+		}
+		return a.Path, true, nil
+	case MRegister:
+		var a RegisterArgs
+		if err := decode(&a); err != nil {
+			return "", false, err
+		}
+		if p, exists := a.Entry.Name["path"]; exists {
+			return p, true, nil
+		}
+		return "", false, nil
+	default:
+		return "", false, nil
+	}
 }
 
 // IsNotFound reports whether a remote error is a not-found condition (the

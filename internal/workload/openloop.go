@@ -1,0 +1,119 @@
+package workload
+
+// Open-loop load generation: operations arrive on a fixed schedule whether
+// or not earlier ones have completed, which is what distinguishes a latency
+// measurement under overload from one under self-throttling. A closed loop
+// can never show queueing collapse — its arrival rate falls to match
+// service capacity — so saturation experiments (E20/E21's overload cells)
+// drive the open loop instead and measure latency from each operation's
+// *scheduled* arrival, making queueing delay visible.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// OpenLoopResult extends the closed-loop summary with the offered schedule:
+// Offered is how many operations the schedule called for; Ops is how many
+// completed. Under overload each agent's FIFO falls behind, and the gap
+// between offered rate and OpsPerSec is the overload signature.
+type OpenLoopResult struct {
+	LoadResult
+	// Offered is the number of operations the arrival schedule issued.
+	Offered int
+	// OfferedRate is the configured aggregate arrival rate (ops/sec).
+	OfferedRate float64
+}
+
+// RunOpenLoop drives the agents with a fixed aggregate arrival rate
+// (ops/sec, spread evenly across agents with per-agent phase offsets) for
+// the given duration. Each agent is a FIFO server of its own schedule: an
+// operation whose arrival time has passed starts immediately after its
+// predecessor, and its latency is measured from the scheduled arrival, so
+// time spent queued behind a slow system counts. cfg.OpsPerAgent is
+// ignored; the schedule derives from rate and duration.
+func RunOpenLoop(cfg LoadConfig, rate float64, duration time.Duration, agents []LoadAgent) (OpenLoopResult, error) {
+	if cfg.OpSize <= 0 || cfg.FileSize <= 0 || rate <= 0 || duration <= 0 || len(agents) == 0 {
+		return OpenLoopResult{}, fmt.Errorf("workload: bad open-loop config (rate=%v duration=%v)", rate, duration)
+	}
+	// Per-agent inter-arrival gap; agent i's k-th operation is scheduled at
+	// start + phase(i) + k*gap.
+	gap := time.Duration(float64(len(agents)) / rate * float64(time.Second))
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	perAgent := int(duration / gap)
+	if perAgent <= 0 {
+		return OpenLoopResult{}, fmt.Errorf("workload: duration %v shorter than inter-arrival gap %v", duration, gap)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(agents))
+	done := make([]int, len(agents))
+	start := time.Now()
+	deadline := start.Add(duration)
+	for i, a := range agents {
+		wg.Add(1)
+		go func(i int, a LoadAgent) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			gen := AccessGen{
+				FileSize:   cfg.FileSize,
+				ReadFrac:   cfg.ReadFrac,
+				OpSize:     cfg.OpSize,
+				Sequential: cfg.Sequential,
+			}
+			phase := gap * time.Duration(i) / time.Duration(len(agents))
+			buf := make([]byte, cfg.OpSize)
+			for op := 0; op < perAgent; op++ {
+				// The run ends at the deadline: operations still queued
+				// behind a backed-up FIFO stay offered-but-uncompleted,
+				// which is the overload signature.
+				if !time.Now().Before(deadline) {
+					return
+				}
+				scheduled := start.Add(phase + gap*time.Duration(op))
+				if wait := time.Until(scheduled); wait > 0 {
+					time.Sleep(wait)
+				}
+				acc := gen.Next(rng)
+				var err error
+				if acc.Read {
+					_, err = a.ReadAt(acc.Offset, acc.Length)
+				} else {
+					_, err = a.WriteAt(acc.Offset, buf[:acc.Length])
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("workload: agent %d op %d: %w", i, op, err)
+					return
+				}
+				// Latency from scheduled arrival, not operation start:
+				// queueing behind the agent's FIFO is part of the cost.
+				cfg.Latency.Record(time.Since(scheduled))
+				done[i]++
+			}
+		}(i, a)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return OpenLoopResult{}, err
+		}
+	}
+	ops := 0
+	for _, n := range done {
+		ops += n
+	}
+	return OpenLoopResult{
+		LoadResult: LoadResult{
+			Agents: len(agents),
+			Ops:    ops,
+			Bytes:  int64(ops) * int64(cfg.OpSize),
+			Wall:   wall,
+		},
+		Offered:     perAgent * len(agents),
+		OfferedRate: rate,
+	}, nil
+}

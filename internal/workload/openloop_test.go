@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// slowAgent serves each operation in a fixed time, so the open loop's
+// offered-vs-completed gap is predictable.
+type slowAgent struct {
+	memAgent
+	service time.Duration
+}
+
+func (a *slowAgent) ReadAt(off int64, n int) ([]byte, error) {
+	time.Sleep(a.service)
+	return a.memAgent.ReadAt(off, n)
+}
+
+func (a *slowAgent) WriteAt(off int64, data []byte) (int, error) {
+	time.Sleep(a.service)
+	return a.memAgent.WriteAt(off, data)
+}
+
+func TestRunOpenLoopMeetsOfferedRate(t *testing.T) {
+	// 4 agents, fast service, modest rate: the schedule should be met and
+	// every offered operation completed.
+	las := make([]LoadAgent, 4)
+	for i := range las {
+		las[i] = &memAgent{data: make([]byte, 1<<16)}
+	}
+	cfg := LoadConfig{ReadFrac: 0.5, OpSize: 512, FileSize: 1 << 16, Seed: 1}
+	res, err := RunOpenLoop(cfg, 400, 250*time.Millisecond, las)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != res.Offered {
+		t.Fatalf("uncontended open loop completed %d of %d offered", res.Ops, res.Offered)
+	}
+	if res.OfferedRate != 400 {
+		t.Fatalf("OfferedRate = %v", res.OfferedRate)
+	}
+}
+
+func TestRunOpenLoopOverloadShowsQueueing(t *testing.T) {
+	// One agent, 5ms service time, offered 1000 ops/sec: capacity is
+	// ~200/s, so latency measured from scheduled arrival must blow far
+	// past the service time as the FIFO backs up.
+	h := &obs.Histogram{}
+	la := &slowAgent{memAgent: memAgent{data: make([]byte, 1 << 16)}, service: 5 * time.Millisecond}
+	cfg := LoadConfig{ReadFrac: 1, OpSize: 512, FileSize: 1 << 16, Seed: 1, Latency: h}
+	res, err := RunOpenLoop(cfg, 1000, 300*time.Millisecond, []LoadAgent{la})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops >= res.Offered {
+		t.Fatalf("overloaded agent kept up: %d of %d", res.Ops, res.Offered)
+	}
+	// p90 queueing delay should dwarf one service time.
+	if p90 := h.Quantile(0.9); p90 < 20*time.Millisecond {
+		t.Fatalf("p90 latency %v under overload, want >> 5ms service time", p90)
+	}
+}
+
+func TestRunOpenLoopRejectsBadConfig(t *testing.T) {
+	la := []LoadAgent{&memAgent{data: make([]byte, 64)}}
+	cfg := LoadConfig{ReadFrac: 1, OpSize: 16, FileSize: 64}
+	if _, err := RunOpenLoop(cfg, 0, time.Second, la); err == nil {
+		t.Fatal("zero rate accepted")
+	}
+	if _, err := RunOpenLoop(cfg, 100, 0, la); err == nil {
+		t.Fatal("zero duration accepted")
+	}
+	if _, err := RunOpenLoop(cfg, 100, time.Second, nil); err == nil {
+		t.Fatal("no agents accepted")
+	}
+}
