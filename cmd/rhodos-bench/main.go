@@ -66,11 +66,12 @@ func run() int {
 	rate := flag.Float64("rate", 0, "load: open-loop aggregate arrival rate in ops/sec (0 = closed loop)")
 	dur := flag.Duration("for", time.Second, "load: open-loop run duration (with -rate)")
 	addrs := flag.String("addrs", "", "load: comma-separated endpoints of an already-running cluster, in shard order (closed loop only)")
+	backups := flag.String("backups", "", "load: comma-separated backup address per shard for failover (with -addrs; empty entries allowed)")
 	wireName := flag.String("wire", "binary", "load: wire format, binary or gob")
 	flag.Parse()
 
 	if *load {
-		return runLoad(*wireName, *clients, *perConn, *ops, *rate, *dur, *addrs, *jsonOut)
+		return runLoad(*wireName, *clients, *perConn, *ops, *rate, *dur, *addrs, *backups, *jsonOut)
 	}
 
 	runners := experiments.All()
@@ -155,7 +156,7 @@ type jsonLoad struct {
 // in-process server (default, E20's engine), open loop against the same
 // (-rate, S2's engine), or closed loop against an already-running external
 // cluster (-addrs, E21's smoke cell).
-func runLoad(wireName string, clients, perConn, ops int, rate float64, dur time.Duration, addrs, jsonOut string) int {
+func runLoad(wireName string, clients, perConn, ops int, rate float64, dur time.Duration, addrs, backups, jsonOut string) int {
 	var wire rpc.WireFormat
 	switch wireName {
 	case "binary":
@@ -176,12 +177,16 @@ func runLoad(wireName string, clients, perConn, ops int, rate float64, dur time.
 			return 1
 		}
 		endpoints := strings.Split(addrs, ",")
+		var backupList []string
+		if backups != "" {
+			backupList = strings.Split(backups, ",")
+		}
 		// Client IDs and the namespace directory must miss earlier runs
 		// against the same long-lived servers: a reused client ID would hit
 		// the servers' duplicate caches, a reused path their namespace.
 		uniq := uint64(time.Now().UnixNano())
 		var err error
-		res, hist, err = experiments.ClusterLoadRun(endpoints, wire, clients, ops, uniq, fmt.Sprintf("%x", uniq))
+		res, hist, err = experiments.ClusterLoadRun(endpoints, backupList, wire, clients, ops, uniq, fmt.Sprintf("%x", uniq))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "load: %v\n", err)
 			return 1

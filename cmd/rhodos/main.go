@@ -66,6 +66,7 @@ func (s singleClient) ResolvePath(path string) (naming.Entry, error) {
 func run() int {
 	addr := flag.String("addr", "127.0.0.1:7423", "rhodosd address (single server)")
 	addrs := flag.String("addrs", "", "comma-separated cluster endpoints in shard order (overrides -addr)")
+	backups := flag.String("backups", "", "comma-separated backup address per shard for failover (with -addrs; empty entries allowed)")
 	wireName := flag.String("wire", "binary", "wire format: binary (multiplexed) or gob (legacy serial); must match the server")
 	flag.Parse()
 	args := flag.Args()
@@ -84,8 +85,13 @@ func run() int {
 	}
 	var cl fsClient
 	if *addrs != "" {
+		var backupList []string
+		if *backups != "" {
+			backupList = strings.Split(*backups, ",")
+		}
 		rt, err := cluster.NewRouter(cluster.RouterConfig{
 			Endpoints: strings.Split(*addrs, ","),
+			Backups:   backupList,
 			ClientID:  uint64(os.Getpid()),
 			Wire:      wire,
 		})

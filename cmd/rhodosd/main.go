@@ -15,6 +15,17 @@
 //	rhodosd -listen 127.0.0.1:7424 -shard 1/3 -peers 127.0.0.1:7423,127.0.0.1:7424,127.0.0.1:7425
 //	rhodosd -listen 127.0.0.1:7425 -shard 2/3 -peers 127.0.0.1:7423,127.0.0.1:7424,127.0.0.1:7425
 //
+// A shard may be replicated: -backups lists one backup address per shard
+// (empty entries for shards without one), the shard's primary adds
+// -role primary, and a second rhodosd at the backup address runs with
+// -role backup and the same -shard/-peers/-backups. The primary ships
+// committed mutations to the backup and holds acks until it confirms; if
+// the primary dies, the backup promotes itself after -repl-ttl of silence
+// and clients fail over to it:
+//
+//	rhodosd -listen 127.0.0.1:7424 -shard 1/3 -peers ... -backups ,127.0.0.1:7434, -role primary
+//	rhodosd -listen 127.0.0.1:7434 -shard 1/3 -peers ... -backups ,127.0.0.1:7434, -role backup
+//
 // With -debug set, the daemon serves:
 //
 //	GET /debug/profile   per-layer latency profile (text; ?format=json)
@@ -32,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 
 	"repro/internal/cluster"
@@ -40,6 +52,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/rpcfs"
+	"repro/internal/txn"
 )
 
 func main() {
@@ -68,6 +81,9 @@ func run() int {
 	shardSpec := flag.String("shard", "", "this server's shard as i/N (empty = single-node 0/1)")
 	peers := flag.String("peers", "", "comma-separated endpoint list for all N shards, in shard order (defaults to -listen for a single-node cluster)")
 	leaseTTL := flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "network lock lease duration")
+	backupsSpec := flag.String("backups", "", "comma-separated backup address per shard, in shard order (empty entries for unreplicated shards)")
+	roleName := flag.String("role", "none", "replication role for this shard: none, primary, or backup")
+	replTTL := flag.Duration("repl-ttl", cluster.DefaultReplTTL, "replication lease: the backup promotes after this much primary silence")
 	flag.Parse()
 	wire, err := parseWire(*wireName)
 	if err != nil {
@@ -87,12 +103,51 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "rhodosd: -peers lists %d endpoint(s) but -shard says %d shard(s)\n", len(endpoints), shards)
 		return 2
 	}
+	var backups []string
+	if *backupsSpec != "" {
+		backups = strings.Split(*backupsSpec, ",")
+		if len(backups) != shards {
+			fmt.Fprintf(os.Stderr, "rhodosd: -backups lists %d address(es) but -shard says %d shard(s)\n", len(backups), shards)
+			return 2
+		}
+	}
+	var role cluster.Role
+	switch *roleName {
+	case "none":
+		role = cluster.RoleNone
+	case "primary":
+		role = cluster.RolePrimary
+	case "backup":
+		role = cluster.RoleBackup
+	default:
+		fmt.Fprintf(os.Stderr, "rhodosd: unknown role %q (none, primary, or backup)\n", *roleName)
+		return 2
+	}
+	if role != cluster.RoleNone && (backups == nil || backups[shard] == "") {
+		fmt.Fprintf(os.Stderr, "rhodosd: -role %s requires a -backups entry for shard %d\n", *roleName, shard)
+		return 2
+	}
+
+	// A replicated primary holds each group-commit ack until the batch's
+	// mutations are on the backup. The service that owns the barrier is
+	// built after the facility, so the hook indirects through a pointer.
+	var svcPtr atomic.Pointer[cluster.Service]
+	var barrier func() error
+	if role == cluster.RolePrimary {
+		barrier = func() error {
+			if s := svcPtr.Load(); s != nil {
+				return s.ReplBarrier()
+			}
+			return nil
+		}
+	}
 
 	rec := obs.New()
 	fac, err := core.New(core.Config{
-		Disks:    *disks,
-		Geometry: device.Geometry{FragmentsPerTrack: 32, Tracks: *tracks},
-		Obs:      rec,
+		Disks:       *disks,
+		Geometry:    device.Geometry{FragmentsPerTrack: 32, Tracks: *tracks},
+		Obs:         rec,
+		GroupCommit: txn.GroupCommitConfig{Barrier: barrier},
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhodosd: building facility: %v\n", err)
@@ -104,21 +159,37 @@ func run() int {
 		}
 	}()
 
+	var backupClient *rpc.Client
+	if role == cluster.RolePrimary {
+		tr, err := rpc.DialTCP(backups[shard], rpc.WithWireFormat(wire), rpc.WithLazyDial())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rhodosd: dialing backup: %v\n", err)
+			return 1
+		}
+		defer func() { _ = tr.Close() }()
+		backupClient = rpc.NewClient(tr, cluster.ReplClientID(shard), 3, nil)
+	}
+
 	srv := &rpcfs.Server{Files: fac.Files, Naming: fac.Naming, Wire: wire}
 	svc, err := cluster.NewService(cluster.ServiceConfig{
 		Shard:    shard,
-		Map:      cluster.Map{Version: 1, Endpoints: endpoints},
+		Map:      cluster.Map{Version: 1, Endpoints: endpoints, Backups: backups},
 		Inner:    srv.Handler(),
 		Wire:     wire,
 		Locks:    fac.Locks(),
 		LeaseTTL: *leaseTTL,
+		Role:     role,
+		Backup:   backupClient,
+		ReplTTL:  *replTTL,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhodosd: %v\n", err)
 		return 1
 	}
 	defer svc.Close()
-	ep := rpc.NewEndpoint(svc.Handle, rpc.WithMetrics(fac.Metrics), rpc.WithObs(rec))
+	svcPtr.Store(svc)
+	ep := rpc.NewEndpoint(nil, rpc.WithRequestHandler(svc.HandleRequest), rpc.WithMetrics(fac.Metrics), rpc.WithObs(rec))
+	svc.BindEndpoint(ep)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhodosd: listen: %v\n", err)
@@ -126,7 +197,7 @@ func run() int {
 	}
 	tcpSrv := rpc.Serve(ln, ep, rpc.WithWireFormat(wire))
 	defer func() { _ = tcpSrv.Close() }()
-	fmt.Printf("rhodosd: serving shard %d/%d, %d disk(s) on %s\n", shard, shards, *disks, tcpSrv.Addr())
+	fmt.Printf("rhodosd: serving shard %d/%d (role %v), %d disk(s) on %s\n", shard, shards, svc.Role(), *disks, tcpSrv.Addr())
 
 	if *debug != "" {
 		dln, err := net.Listen("tcp", *debug)

@@ -83,12 +83,19 @@ func (l *LockClient) Acquire(ctx context.Context, txn lock.TxnID, pid int, level
 	}
 	backoff := acquireBackoffMin
 	for {
-		body := appendLockAcquire(rpc.Buffer(lockAcquireLen)[:0], args)
-		out, err := l.c.Call(MLockAcquire, body)
-		if err != nil {
+		// An already-canceled context must not issue a network call; the
+		// mid-loop select alone only observes cancellation after a denied
+		// try's backoff.
+		if err := ctx.Err(); err != nil {
 			return err
 		}
+		body := appendLockAcquire(rpc.Buffer(lockAcquireLen)[:0], args)
+		out, err := l.c.Call(MLockAcquire, body)
 		rpc.Recycle(body)
+		if err != nil {
+			l.c.ReleaseBody(out)
+			return err
+		}
 		reply, err := decodeLockReply(out)
 		l.c.ReleaseBody(out)
 		if err != nil {
@@ -118,12 +125,9 @@ func (l *LockClient) Release(txn lock.TxnID) error {
 	l.mu.Unlock()
 	body := appendLockTxn(rpc.Buffer(lockTxnLen)[:0], LockTxnArgs{Client: l.clientID, Txn: uint64(txn)})
 	out, err := l.c.Call(MLockRelease, body)
-	if err != nil {
-		return err
-	}
 	rpc.Recycle(body)
 	l.c.ReleaseBody(out)
-	return nil
+	return err
 }
 
 // StopRenewing drops txn from the renewal set without releasing it: the
@@ -159,16 +163,13 @@ func (l *LockClient) renewLoop(every time.Duration) {
 		for _, txn := range txns {
 			body := appendLockTxn(rpc.Buffer(lockTxnLen)[:0], LockTxnArgs{Client: l.clientID, Txn: txn})
 			out, err := l.c.Call(MLockRenew, body)
-			if err != nil {
-				if IsLeaseLost(err) {
-					l.mu.Lock()
-					delete(l.txns, txn)
-					l.mu.Unlock()
-				}
-				continue
-			}
 			rpc.Recycle(body)
 			l.c.ReleaseBody(out)
+			if err != nil && IsLeaseLost(err) {
+				l.mu.Lock()
+				delete(l.txns, txn)
+				l.mu.Unlock()
+			}
 		}
 	}
 }

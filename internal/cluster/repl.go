@@ -1,0 +1,390 @@
+package cluster
+
+// Primary/backup shard replication and failover. A shard may run as a
+// replicated pair: the primary executes mutations and ships the committed
+// operation stream to a hot backup (internal/replication's Shipper/Applier)
+// over a dedicated rpc connection, holding each reply until the backup has
+// confirmed the mutation — replication rides the same barrier discipline as
+// the group-commit sync. The backup replays the stream against its own file
+// service and seeds its duplicate-request cache with the primary's replies,
+// so a client retransmission that lands after a failover still gets the
+// exactly-once answer.
+//
+// Failure handling is lease-shaped, like the lock service:
+//
+//   - The primary heartbeats the backup every TTL/3. A failed ship or
+//     heartbeat marks the stream down and the primary serves solo (it drops
+//     the backup from its map and bumps the version) — availability over
+//     replication; re-syncing a lost backup is future work.
+//
+//   - The backup watches for primary silence. After a full TTL without a
+//     ship or heartbeat it promotes itself: role flips to primary, its map
+//     rewrites the shard's endpoint to its own address, version bumped.
+//     Until then it refuses ordinary requests with a retriable "not
+//     primary" error, which the router treats as a failover signal.
+//
+//   - A deposed primary that hears "promoted" from its backup fences
+//     itself (RoleFenced) rather than keep serving a shard the cluster has
+//     moved; rejoining as a backup is future work.
+//
+// Lock leases are not replicated: a failover breaks outstanding leases just
+// as a server crash would, and transactions recover through the usual abort
+// path against the promoted backup.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/replication"
+	"repro/internal/rpc"
+	"repro/internal/rpcfs"
+)
+
+// Replication methods.
+const (
+	// MReplApply ships one mutation batch primary→backup (batch frame,
+	// 8-byte applied-watermark reply).
+	MReplApply = "cluster.repl.apply"
+	// MReplHeartbeat keeps the backup's promotion watchdog quiet between
+	// mutations (no arguments, empty reply).
+	MReplHeartbeat = "cluster.repl.heartbeat"
+)
+
+// Fault points on the replication path.
+var (
+	// PtReplShip is consulted before each batch ship: an error severs the
+	// stream (the primary goes solo), a delay stalls the commit barrier.
+	PtReplShip = fault.Register("cluster.repl.ship")
+	// PtReplAck is consulted after the backup confirms, before the client is
+	// answered: a delay here is the crash-before-ack window the failover
+	// torture scenarios widen.
+	PtReplAck = fault.Register("cluster.repl.ack")
+)
+
+// notPrimaryMarker is the service-error message a backup (or fenced former
+// primary) answers ordinary requests with; it crosses the wire as a string,
+// so IsNotReady matches the substring.
+const notPrimaryMarker = "cluster: not primary for this shard"
+
+// promotedMarker is what a promoted backup answers replication traffic
+// with: the sender is a deposed primary and must fence itself.
+const promotedMarker = "cluster: backup promoted"
+
+// IsNotReady reports whether a remote error means the addressed server is
+// not (or no longer) the shard's primary — the retriable failover signal
+// the router's retry predicate matches.
+func IsNotReady(err error) bool {
+	return err != nil && strings.Contains(err.Error(), notPrimaryMarker)
+}
+
+// isPromoted reports whether a replication-path error means the backup has
+// promoted itself.
+func isPromoted(err error) bool {
+	return err != nil && strings.Contains(err.Error(), promotedMarker)
+}
+
+// Role is a shard server's replication role.
+type Role int32
+
+const (
+	// RoleNone is an unreplicated shard (the zero value): no backup, no
+	// role checks — the pre-replication behaviour.
+	RoleNone Role = iota
+	// RolePrimary executes mutations and ships them to the backup.
+	RolePrimary
+	// RoleBackup replays the primary's stream and promotes on silence.
+	RoleBackup
+	// RoleFenced is a deposed primary: it refuses everything but the map,
+	// pointing clients at its successor.
+	RoleFenced
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleNone:
+		return "none"
+	case RolePrimary:
+		return "primary"
+	case RoleBackup:
+		return "backup"
+	case RoleFenced:
+		return "fenced"
+	default:
+		return fmt.Sprintf("Role(%d)", int32(r))
+	}
+}
+
+// DefaultReplTTL is the replication lease when ServiceConfig leaves it
+// zero: the backup promotes after this much primary silence.
+const DefaultReplTTL = time.Second
+
+// ReplClientID is the rpc client identity the shard's replication stream
+// uses toward the backup, far above any real agent's ID.
+func ReplClientID(shard int) uint64 { return 1<<62 + uint64(shard) }
+
+// replState is the replication half of a Service, present only on
+// replicated shards.
+type replState struct {
+	ttl time.Duration
+
+	// Primary side. ordMu serializes execute+append so the shipped stream
+	// is one serialization order of the shard's mutations — the cost is
+	// that replicated mutations execute one at a time (documented tradeoff;
+	// reads are unaffected).
+	ordMu sync.Mutex
+	bc    *rpc.Client // dedicated connection to the backup
+	sh    *replication.Shipper
+
+	// Backup side.
+	ap *replication.Applier
+}
+
+// mutatesState reports whether an rpcfs method changes server state and so
+// must be replicated. Reads and name lookups are served from the primary's
+// state alone.
+func mutatesState(method string) bool {
+	switch method {
+	case rpcfs.MCreate, rpcfs.MOpen, rpcfs.MClose, rpcfs.MDelete,
+		rpcfs.MWriteAt, rpcfs.MTruncate, rpcfs.MRegister, rpcfs.MUnregisterSys:
+		return true
+	}
+	return false
+}
+
+// Role returns the server's current replication role.
+func (s *Service) Role() Role { return Role(s.role.Load()) }
+
+// BindEndpoint hands the Service the rpc endpoint serving it, so a backup
+// can seed the endpoint's duplicate-request cache with the primary's
+// replies. Call before serving traffic on a backup.
+func (s *Service) BindEndpoint(ep *rpc.Endpoint) { s.ep.Store(ep) }
+
+// ReplBarrier is the group-commit barrier hook of a replicated primary:
+// it flushes the shipped stream, so every mutation in the synced batch is
+// on the backup before any of them is acknowledged. A down stream does not
+// fail the commit — the records are durable locally and the primary has
+// already dropped the backup from the map — so the barrier always reports
+// success; it exists to hold the ack until replication caught up.
+func (s *Service) ReplBarrier() error {
+	if r := s.repl; r != nil && r.sh != nil && s.Role() == RolePrimary {
+		r.sh.Flush()
+	}
+	return nil
+}
+
+// checkServing refuses ordinary traffic on a server that is not the
+// shard's primary. The error is retriable client-side — the router rebinds
+// toward the current map and retries — and marked transient server-side so
+// the endpoint's duplicate cache does not pin the refusal to the retry's
+// sequence number: the same retransmission must execute once this server
+// has promoted.
+func (s *Service) checkServing() error {
+	switch s.Role() {
+	case RoleBackup, RoleFenced:
+		return rpc.Transient(errors.New(notPrimaryMarker))
+	}
+	return nil
+}
+
+// execReplicated executes one owned rpcfs request and, on a replicated
+// primary, ships successful mutations to the backup before returning —
+// the reply is withheld until the backup confirms (or the stream goes
+// down). The order lock serializes execute+append so the shipped stream
+// is a serialization order of the shard's state machine.
+func (s *Service) execReplicated(req rpc.Request) ([]byte, error) {
+	r := s.repl
+	if r == nil || r.sh == nil || s.Role() != RolePrimary || !mutatesState(req.Method) {
+		return s.inner(req.Method, req.Body)
+	}
+	r.ordMu.Lock()
+	out, err := s.inner(req.Method, req.Body)
+	if err != nil {
+		// Failed mutations change nothing and are not shipped; a replay of
+		// the retry fails identically on the backup.
+		r.ordMu.Unlock()
+		return out, err
+	}
+	seq, ok := r.sh.Append(replication.Rec{
+		Client: req.ClientID,
+		CSeq:   req.Seq,
+		Method: req.Method,
+		Body:   req.Body,
+		Reply:  out,
+	})
+	r.ordMu.Unlock()
+	if ok {
+		r.sh.Wait(seq)
+		if d := s.inj.Delay(PtReplAck); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return out, nil
+}
+
+// handleReplApply replays one shipped batch on the backup.
+func (s *Service) handleReplApply(body []byte) ([]byte, error) {
+	r := s.repl
+	if r == nil || r.ap == nil {
+		return nil, errors.New("cluster: not a replication backup")
+	}
+	if s.Role() != RoleBackup {
+		return nil, errors.New(promotedMarker)
+	}
+	s.touch()
+	applied, err := r.ap.ApplyBatch(body)
+	if err != nil {
+		return nil, err
+	}
+	return binary.BigEndian.AppendUint64(make([]byte, 0, 8), applied), nil
+}
+
+// handleReplHeartbeat quiets the backup's promotion watchdog.
+func (s *Service) handleReplHeartbeat() ([]byte, error) {
+	r := s.repl
+	if r == nil || r.ap == nil {
+		return nil, errors.New("cluster: not a replication backup")
+	}
+	if s.Role() != RoleBackup {
+		return nil, errors.New(promotedMarker)
+	}
+	s.touch()
+	return nil, nil
+}
+
+// touch records that the primary was heard from just now.
+func (s *Service) touch() { s.lastHeard.Store(s.now().UnixNano()) }
+
+// heartbeatLoop keeps the backup's watchdog quiet while the primary is
+// idle. It exits once the stream is down or the primary is deposed — both
+// terminal states for this pairing.
+func (s *Service) heartbeatLoop() {
+	defer s.wg.Done()
+	r := s.repl
+	t := time.NewTicker(r.ttl / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		if s.Role() != RolePrimary || r.sh.Down() {
+			return
+		}
+		out, err := r.bc.Call(MReplHeartbeat, nil)
+		r.bc.ReleaseBody(out)
+		if err != nil {
+			if isPromoted(err) {
+				s.stepDown()
+			} else {
+				r.sh.MarkDown(fmt.Errorf("cluster: heartbeat: %w", err))
+			}
+			return
+		}
+	}
+}
+
+// watchdogLoop promotes the backup once the primary has been silent for a
+// full replication TTL. Silence only counts after the primary's first
+// contact (lastHeard stays zero until then): a backup that has never heard
+// from its primary is a pairing that is not live yet, not a dead shard.
+func (s *Service) watchdogLoop() {
+	defer s.wg.Done()
+	r := s.repl
+	t := time.NewTicker(r.ttl / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		if s.Role() != RoleBackup {
+			return
+		}
+		last := s.lastHeard.Load()
+		if last != 0 && s.now().UnixNano()-last >= int64(r.ttl) {
+			s.promote()
+			return
+		}
+	}
+}
+
+// promote flips the backup to primary: its map now names it as the shard's
+// endpoint (no backup), at a higher version, so clients that refresh — or
+// whose transports fail over — land here and are served.
+func (s *Service) promote() {
+	if !s.role.CompareAndSwap(int32(RoleBackup), int32(RolePrimary)) {
+		return
+	}
+	s.updateMap(func(m *Map) {
+		m.Endpoints[s.shard] = s.self
+		if s.shard < len(m.Backups) {
+			m.Backups[s.shard] = ""
+		}
+	})
+}
+
+// stepDown fences a deposed primary: its backup has promoted itself, so
+// this server stops serving and its map points at the successor.
+func (s *Service) stepDown() {
+	if !s.role.CompareAndSwap(int32(RolePrimary), int32(RoleFenced)) {
+		return
+	}
+	s.updateMap(func(m *Map) {
+		m.Endpoints[s.shard] = s.backupAddr
+		if s.shard < len(m.Backups) {
+			m.Backups[s.shard] = ""
+		}
+	})
+}
+
+// backupDown drops a lost backup from the map: the primary serves solo and
+// clients stop considering the dead backup a failover target.
+func (s *Service) backupDown() {
+	s.updateMap(func(m *Map) {
+		if s.shard < len(m.Backups) {
+			m.Backups[s.shard] = ""
+		}
+	})
+}
+
+// updateMap applies one mutation to the served shard map at a bumped
+// version, re-encoding the cached reply body.
+func (s *Service) updateMap(mutate func(*Map)) {
+	s.mMu.Lock()
+	defer s.mMu.Unlock()
+	m := s.cur.Clone()
+	mutate(&m)
+	m.Version++
+	s.cur = m
+	s.mapBody = appendMap(make([]byte, 0, mapSize(m)), m)
+}
+
+// mapReply returns the cached encoded shard map.
+func (s *Service) mapReply() []byte {
+	s.mMu.RLock()
+	defer s.mMu.RUnlock()
+	return s.mapBody
+}
+
+// curVersion returns the served map's version.
+func (s *Service) curVersion() uint64 {
+	s.mMu.RLock()
+	defer s.mMu.RUnlock()
+	return s.cur.Version
+}
+
+// Map returns a copy of the currently served shard map (tests and the
+// failover experiments inspect promotion through it).
+func (s *Service) Map() Map {
+	s.mMu.RLock()
+	defer s.mMu.RUnlock()
+	return s.cur.Clone()
+}

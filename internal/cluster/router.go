@@ -31,6 +31,12 @@ type RouterConfig struct {
 	ClientID uint64
 	// Retries is the per-call rpc retry budget (default 10).
 	Retries int
+	// Backups is the bootstrap backup list, one address per shard in shard
+	// order ("" for shards without a backup). Optional; when set its length
+	// must match Endpoints. A shard with a backup fails over: on connection
+	// errors or not-primary rejections the shard's transport alternates
+	// between the pair until one answers as primary.
+	Backups []string
 	// Wire selects the transport and rpcfs payload format for every
 	// connection; must match the servers'.
 	Wire rpc.WireFormat
@@ -61,9 +67,14 @@ var (
 	_ agent.PathCreator = (*Router)(nil)
 )
 
-// NewRouter dials every endpoint and returns the router. Dialing is lazy in
-// the transport — a server that is down comes back transparently on its
-// next call — so construction succeeds even with servers still booting.
+// NewRouter dials every endpoint and returns the router. Dialing is lazy —
+// the first call pays the dial — so construction succeeds even with servers
+// still booting (or a dead primary whose backup will take over). Each
+// shard's transport re-resolves its address from the current map on every
+// re-dial, alternating with the shard's backup when one exists, and
+// not-primary rejections (an unpromoted backup, a fenced ex-primary) are
+// retried the same way, so a failover is invisible to callers beyond
+// latency.
 func NewRouter(cfg RouterConfig) (*Router, error) {
 	if len(cfg.Endpoints) == 0 {
 		return nil, errors.New("cluster: no endpoints")
@@ -71,23 +82,46 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if cfg.ClientID == 0 {
 		return nil, errors.New("cluster: zero client ID")
 	}
+	if len(cfg.Backups) != 0 && len(cfg.Backups) != len(cfg.Endpoints) {
+		return nil, fmt.Errorf("cluster: %d backup addresses for %d shards", len(cfg.Backups), len(cfg.Endpoints))
+	}
 	retries := cfg.Retries
 	if retries <= 0 {
 		retries = 10
 	}
-	r := &Router{cur: Map{Endpoints: cfg.Endpoints}}
-	for _, addr := range cfg.Endpoints {
-		tr, err := rpc.DialTCP(addr, rpc.WithWireFormat(cfg.Wire))
+	r := &Router{cur: Map{Endpoints: cfg.Endpoints, Backups: cfg.Backups}}
+	for i, addr := range cfg.Endpoints {
+		shard := i
+		tr, err := rpc.DialTCP(addr,
+			rpc.WithWireFormat(cfg.Wire),
+			rpc.WithLazyDial(),
+			rpc.WithAddrResolver(func(prev string) string { return r.failoverAddr(shard, prev) }))
 		if err != nil {
 			r.Shutdown()
 			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
 		}
 		rc := rpc.NewClient(tr, cfg.ClientID, retries, cfg.Metrics)
+		rc.SetRetryOn(func(se *rpc.ServiceError) bool { return IsNotReady(se) })
 		r.trs = append(r.trs, tr)
 		r.rcs = append(r.rcs, rc)
 		r.fs = append(r.fs, &rpcfs.Client{C: rc, Wire: cfg.Wire})
 	}
 	return r, nil
+}
+
+// failoverAddr picks the address for a shard connection's next dial: the
+// shard's current map endpoint, or — when the previous dial used exactly
+// that endpoint and the shard has a backup — the backup, so re-dials
+// alternate between the pair until one of them answers as primary. It runs
+// under the transport's lock and only reads the router's map.
+func (r *Router) failoverAddr(shard int, prev string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p := r.cur.Endpoints[shard]
+	if b := r.cur.Backup(shard); b != "" && prev == p {
+		return b
+	}
+	return p
 }
 
 // Shutdown closes every server connection. (Close is the FileService
@@ -118,9 +152,10 @@ func (r *Router) shards() int {
 
 // refreshMap pulls the shard map from the server that issued a redirect —
 // it is the one that knows a newer version — and installs it if it
-// supersedes the current one. Endpoint membership is fixed for the life of
-// the router (connections are per-bootstrap-endpoint), so maps with a
-// different endpoint count are ignored.
+// supersedes the current one. The shard count is fixed for the life of the
+// router (connections are per-shard), so maps with a different endpoint
+// count are ignored; the endpoints themselves may change, which is how a
+// promotion or fencing reaches the failover address resolver.
 func (r *Router) refreshMap(from int) {
 	body, err := r.rcs[from].Call(MMap, nil)
 	if err != nil {
@@ -187,7 +222,9 @@ func (r *Router) CreatePath(attr fit.Attributes, path string) (fileservice.FileI
 
 // Create creates an anonymous (unregistered) file on a round-robin shard.
 func (r *Router) Create(attr fit.Attributes) (fileservice.FileID, error) {
-	shard := int(r.rr.Add(1)) % r.shards()
+	// Reduce modulo in uint64: converting the raw counter first would go
+	// negative after wraparound on 32-bit platforms.
+	shard := int(r.rr.Add(1) % uint64(r.shards()))
 	raw, err := r.fs[shard].Create(attr)
 	if err != nil {
 		return 0, err

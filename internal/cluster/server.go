@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/lock"
+	"repro/internal/replication"
 	"repro/internal/rpc"
 	"repro/internal/rpcfs"
 )
@@ -53,23 +55,51 @@ type ServiceConfig struct {
 	SweepEvery time.Duration
 	// Now is the lease clock; nil means time.Now.
 	Now func() time.Time
-	// Fault is consulted at PtLeaseSweep. Optional.
+	// Fault is consulted at PtLeaseSweep, PtReplShip, and PtReplAck.
+	// Optional.
 	Fault *fault.Injector
+
+	// Role selects the shard's replication role (RoleNone — unreplicated —
+	// when zero; see repl.go). A primary requires Backup and a backup
+	// address in Map.Backups[Shard]; a backup requires its own address
+	// there, the address it promotes the shard's endpoint to.
+	Role Role
+	// Backup is a primary's dedicated rpc connection to its backup
+	// (typically over its own transport, client ID ReplClientID(Shard)).
+	Backup *rpc.Client
+	// ReplTTL is the replication lease: the primary heartbeats at a third
+	// of it, the backup promotes after a full one of silence
+	// (DefaultReplTTL when zero).
+	ReplTTL time.Duration
 }
 
 // Service is the per-shard server wrapper: it owns a slice of the naming
 // namespace, redirects path-addressed requests for names it does not own,
-// serves the shard map, and runs the leased network lock service.
+// serves the shard map, runs the leased network lock service, and — on
+// replicated shards — the primary/backup replication machinery (repl.go).
 type Service struct {
-	shard   int
-	shards  int
+	shard  int
+	shards int
+	inner  rpc.Handler
+	wire   rpc.WireFormat
+	locks  *lock.Manager
+	leases *LeaseTable
+	inj    *fault.Injector
+	now    func() time.Time
+
+	// The served map is mutable: promotion, fencing, and a lost backup
+	// rewrite it at a bumped version.
+	mMu     sync.RWMutex
+	cur     Map
 	mapBody []byte // pre-encoded shard map reply
-	version uint64
-	inner   rpc.Handler
-	wire    rpc.WireFormat
-	locks   *lock.Manager
-	leases  *LeaseTable
-	inj     *fault.Injector
+
+	// Replication state (repl.go); role is RoleNone on unreplicated shards.
+	role       atomic.Int32
+	repl       *replState
+	self       string // backup: own address, installed on promotion
+	backupAddr string // primary: successor address, installed on fencing
+	lastHeard  atomic.Int64 // backup: UnixNano of last primary contact
+	ep         atomic.Pointer[rpc.Endpoint]
 
 	stop     chan struct{}
 	wg       sync.WaitGroup
@@ -96,29 +126,113 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 	if sweep <= 0 {
 		sweep = ttl / 4
 	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	m := cfg.Map.Clone()
 	s := &Service{
 		shard:   cfg.Shard,
 		shards:  cfg.Map.Shards(),
-		mapBody: appendMap(make([]byte, 0, mapSize(cfg.Map)), cfg.Map),
-		version: cfg.Map.Version,
+		cur:     m,
+		mapBody: appendMap(make([]byte, 0, mapSize(m)), m),
 		inner:   cfg.Inner,
 		wire:    cfg.Wire,
 		locks:   cfg.Locks,
 		inj:     cfg.Fault,
+		now:     now,
 		stop:    make(chan struct{}),
 	}
+	s.role.Store(int32(cfg.Role))
 	if cfg.Locks != nil {
 		s.leases = NewLeaseTable(ttl, cfg.Now)
 		s.wg.Add(1)
 		go s.sweep(sweep)
 	}
+	rttl := cfg.ReplTTL
+	if rttl <= 0 {
+		rttl = DefaultReplTTL
+	}
+	switch cfg.Role {
+	case RoleNone:
+	case RolePrimary:
+		if cfg.Backup == nil {
+			return nil, errors.New("cluster: primary role requires a backup connection")
+		}
+		if m.Backup(cfg.Shard) == "" {
+			return nil, errors.New("cluster: primary role requires a backup address in the map")
+		}
+		s.backupAddr = m.Backup(cfg.Shard)
+		r := &replState{ttl: rttl, bc: cfg.Backup}
+		r.sh = replication.NewShipper(replication.ShipperConfig{
+			Send:   s.shipBatch,
+			OnDown: s.streamDown,
+		})
+		s.repl = r
+		s.wg.Add(1)
+		go s.heartbeatLoop()
+	case RoleBackup:
+		if m.Backup(cfg.Shard) == "" {
+			return nil, errors.New("cluster: backup role requires its own address in the map")
+		}
+		s.self = m.Backup(cfg.Shard)
+		s.repl = &replState{ttl: rttl, ap: &replication.Applier{
+			Apply: cfg.Inner,
+			Seed:  s.seedDup,
+		}}
+		// The promotion clock starts at the primary's first contact, not at
+		// construction: a backup that boots before its (possibly slow)
+		// primary must not usurp a shard nobody has served through it yet.
+		s.wg.Add(1)
+		go s.watchdogLoop()
+	default:
+		return nil, fmt.Errorf("cluster: cannot start in role %v", cfg.Role)
+	}
 	return s, nil
 }
 
-// Close stops the lease sweeper. It does not close the wrapped lock
-// manager or handler.
+// shipBatch is the Shipper's Send: one MReplApply round trip to the
+// backup, with PtReplShip consulted first.
+func (s *Service) shipBatch(batch []byte) error {
+	if err := s.inj.Err(PtReplShip); err != nil {
+		return err
+	}
+	if d := s.inj.Delay(PtReplShip); d > 0 {
+		time.Sleep(d)
+	}
+	out, err := s.repl.bc.Call(MReplApply, batch)
+	s.repl.bc.ReleaseBody(out)
+	return err
+}
+
+// streamDown is the Shipper's OnDown: a deposed primary fences itself, a
+// primary that merely lost its backup drops it from the map and serves
+// solo.
+func (s *Service) streamDown(cause error) {
+	if isPromoted(cause) {
+		s.stepDown()
+	} else {
+		s.backupDown()
+	}
+}
+
+// seedDup stores a replayed reply in the serving endpoint's duplicate
+// cache (see Applier.Seed). Replies are plain allocations — rpcfs's enc
+// never draws from the transport pools — so retaining them is safe.
+func (s *Service) seedDup(client, cseq uint64, reply []byte) {
+	if ep := s.ep.Load(); ep != nil {
+		ep.SeedDup(client, cseq, reply, "")
+	}
+}
+
+// Close stops the lease sweeper and the replication loops, and shuts the
+// ship stream down. It does not close the wrapped lock manager, handler,
+// or the backup connection (the caller owns that transport).
 func (s *Service) Close() {
 	s.stopOnce.Do(func() { close(s.stop) })
+	if r := s.repl; r != nil && r.sh != nil {
+		r.sh.Close()
+	}
 	s.wg.Wait()
 }
 
@@ -126,32 +240,55 @@ func (s *Service) Close() {
 // lock manager.
 func (s *Service) Leases() *LeaseTable { return s.leases }
 
-// Handle is the rpc.Handler: cluster methods are served here, everything
-// else passes the namespace ownership check and delegates to the wrapped
-// rpcfs handler.
+// Handle is the rpc.Handler adapter over HandleRequest for callers without
+// request identity (tests, single-process rigs). Mutations executed through
+// it replicate without duplicate-cache seeding — there is no client to
+// seed for.
 func (s *Service) Handle(method string, body []byte) ([]byte, error) {
-	switch method {
+	return s.HandleRequest(rpc.Request{Method: method, Body: body})
+}
+
+// HandleRequest is the rpc.RequestHandler: cluster methods are served
+// here, everything else passes the role and namespace ownership checks and
+// delegates to the wrapped rpcfs handler (replicated to the backup when
+// this shard is a primary — see execReplicated). Serve it via
+// rpc.WithRequestHandler so replication records carry the originating
+// client's identity.
+func (s *Service) HandleRequest(req rpc.Request) ([]byte, error) {
+	switch req.Method {
 	case MMap:
-		return s.mapBody, nil
+		return s.mapReply(), nil
+	case MReplApply:
+		return s.handleReplApply(req.Body)
+	case MReplHeartbeat:
+		return s.handleReplHeartbeat()
+	}
+	// A backup (or fenced former primary) serves the map and replication
+	// traffic above, nothing else: clients get a retriable refusal and
+	// re-route toward the current primary.
+	if err := s.checkServing(); err != nil {
+		return nil, err
+	}
+	switch req.Method {
 	case MLockAcquire:
-		return s.handleAcquire(body)
+		return s.handleAcquire(req.Body)
 	case MLockRenew:
-		return s.handleRenew(body)
+		return s.handleRenew(req.Body)
 	case MLockRelease:
-		return s.handleRelease(body)
+		return s.handleRelease(req.Body)
 	}
 	// Ownership check: a path-addressed request for a name homed on another
 	// shard is redirected, not executed. ID-addressed requests carry raw
 	// per-server IDs (the router strips the shard tag), and name.list is
 	// answered locally — the router fans it out and merges.
-	if path, ok, err := rpcfs.PathOfRequest(method, body, s.wire); err != nil {
+	if path, ok, err := rpcfs.PathOfRequest(req.Method, req.Body, s.wire); err != nil {
 		return nil, err
 	} else if ok {
 		if home := ShardForPath(path, s.shards); home != s.shard {
-			return nil, NotMine(home, s.version)
+			return nil, NotMine(home, s.curVersion())
 		}
 	}
-	return s.inner(method, body)
+	return s.execReplicated(req)
 }
 
 func (s *Service) handleAcquire(body []byte) ([]byte, error) {

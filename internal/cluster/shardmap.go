@@ -38,14 +38,40 @@ const rawIDMask = uint64(1)<<ShardShift - 1
 
 // Map is the versioned shard map: endpoint i serves shard i of
 // len(Endpoints). Servers hand it to clients via the cluster.map method;
-// higher versions supersede lower ones.
+// higher versions supersede lower ones. Backups, when present, holds one
+// address per shard in shard order — the hot standby a client may fail over
+// to when the shard's primary stops answering ("" for shards without one).
+// Failover and promotion rewrite Endpoints/Backups and bump Version; the
+// shard count never changes within a map's lifetime.
 type Map struct {
 	Version   uint64
 	Endpoints []string
+	Backups   []string
 }
 
 // Shards returns the number of shards in the map.
 func (m Map) Shards() int { return len(m.Endpoints) }
+
+// Backup returns shard i's backup address, or "" when it has none.
+func (m Map) Backup(i int) string {
+	if i < 0 || i >= len(m.Backups) {
+		return ""
+	}
+	return m.Backups[i]
+}
+
+// Clone deep-copies the map, so a holder may mutate its copy (promotion,
+// fencing) without racing readers of the original.
+func (m Map) Clone() Map {
+	c := Map{Version: m.Version}
+	if m.Endpoints != nil {
+		c.Endpoints = append([]string(nil), m.Endpoints...)
+	}
+	if m.Backups != nil {
+		c.Backups = append([]string(nil), m.Backups...)
+	}
+	return c
+}
 
 // ShardForPath returns the home shard of an attributed path name among n
 // shards: a hash of the parent directory, so all files in one directory

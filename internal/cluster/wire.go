@@ -116,6 +116,10 @@ func mapSize(m Map) int {
 	for _, e := range m.Endpoints {
 		n += 4 + len(e)
 	}
+	n += 4
+	for _, b := range m.Backups {
+		n += 4 + len(b)
+	}
 	return n
 }
 
@@ -125,6 +129,13 @@ func appendMap(dst []byte, m Map) []byte {
 	for _, e := range m.Endpoints {
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(e)))
 		dst = append(dst, e...)
+	}
+	// Backups section, appended after the endpoints so a legacy decoder that
+	// stops there still reads a valid (backup-less) map.
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(m.Backups)))
+	for _, b := range m.Backups {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(b)))
+		dst = append(dst, b...)
 	}
 	return dst
 }
@@ -151,6 +162,30 @@ func decodeMap(data []byte) (Map, error) {
 			return m, fmt.Errorf("cluster: truncated map payload")
 		}
 		m.Endpoints[i] = string(data[off : off+l])
+		off += l
+	}
+	if off == len(data) {
+		return m, nil // legacy payload: no backups section
+	}
+	if off+4 > len(data) {
+		return m, fmt.Errorf("cluster: truncated map payload")
+	}
+	nb := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	if nb > len(data) {
+		return m, fmt.Errorf("cluster: map backup count %d exceeds payload", nb)
+	}
+	m.Backups = make([]string, nb)
+	for i := range m.Backups {
+		if off+4 > len(data) {
+			return m, fmt.Errorf("cluster: truncated map payload")
+		}
+		l := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		if off+l > len(data) {
+			return m, fmt.Errorf("cluster: truncated map payload")
+		}
+		m.Backups[i] = string(data[off : off+l])
 		off += l
 	}
 	return m, nil

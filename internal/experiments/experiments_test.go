@@ -494,6 +494,47 @@ func TestE21KillServer(t *testing.T) {
 	}
 }
 
+func TestE21Failover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E21 failover cell runs three wall-clock phases over TCP")
+	}
+	res, err := FailoverRun(400 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(res.Phases))
+	}
+	if !res.Promoted {
+		t.Fatal("backup did not promote itself during the outage")
+	}
+	before, during, after := res.Phases[0], res.Phases[1], res.Phases[2]
+	if before.VictimErr != 0 || before.SurvivorErr != 0 {
+		t.Fatalf("errors before the kill: victim %d, survivor %d", before.VictimErr, before.SurvivorErr)
+	}
+	if before.VictimOK == 0 || before.SurvivorOK == 0 {
+		t.Fatalf("no throughput before the kill: victim %d, survivor %d", before.VictimOK, before.SurvivorOK)
+	}
+	// The zero-unavailability claim: the victim shard's clients keep
+	// completing operations through the outage — retries span the promotion
+	// window — and the survivors never notice.
+	for _, ph := range []FailoverPhase{during, after} {
+		if ph.VictimOK == 0 {
+			t.Errorf("%s phase: victim clients completed nothing (%d errors)", ph.Name, ph.VictimErr)
+		}
+		if ph.SurvivorErr != 0 {
+			t.Errorf("%s phase: survivors saw %d errors", ph.Name, ph.SurvivorErr)
+		}
+	}
+	// Once the backup has taken over, the victim shard serves cleanly again.
+	if after.VictimErr != 0 {
+		t.Errorf("after phase: victim clients still failing: %d ok, %d err", after.VictimOK, after.VictimErr)
+	}
+	t.Logf("failover: victim before %d ok, during %d ok / %d err (p99 %v), after %d ok (p99 %v)",
+		before.VictimOK, during.VictimOK, during.VictimErr, during.Victim.Quantile(0.99),
+		after.VictimOK, after.Victim.Quantile(0.99))
+}
+
 func TestE16Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("E16 measures wall-clock time with spindle occupancy enabled")

@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/agent"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/fault"
+	"repro/internal/fit"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/rpcfs"
+	"repro/internal/workload"
+)
+
+// E21's failover cell: one shard of the scale-out rig runs as a replicated
+// primary/backup pair, the primary is killed mid-load, and the cell measures
+// what the paper's availability claim actually promises — the victim shard's
+// clients stall for roughly one replication TTL and then keep going against
+// the promoted backup, with no failed operations required and no lost acks.
+const (
+	failoverReplTTL = 150 * time.Millisecond
+	// failoverRetries sizes each client's rpc retry budget so it spans the
+	// promotion window: retries alternate primary/backup with backoff
+	// 5→100 ms, so ~25 attempts cover well over a second of outage while
+	// the watchdog promotes after failoverReplTTL (~150 ms + one tick).
+	failoverRetries = 25
+)
+
+// failoverRig is the replicated variant of shardRig: `servers` primary
+// shards plus one hot backup paired with the victim shard. The backup is
+// built and listening before the victim primary boots, so the first shipped
+// batch finds it.
+type failoverRig struct {
+	cores []*core.Cluster
+	svcs  []*cluster.Service
+	srvs  []*rpc.TCPServer
+	injs  []*fault.Injector
+
+	bCore *core.Cluster
+	bSvc  *cluster.Service
+	bSrv  *rpc.TCPServer
+	bTr   *rpc.TCPTransport // victim primary's dedicated link to the backup
+
+	m      cluster.Map
+	victim int
+}
+
+// newFailoverRig boots `servers` shards with shard `victim` replicated to a
+// hot backup under the given replication TTL.
+func newFailoverRig(servers, victim int, leaseTTL, replTTL time.Duration) (*failoverRig, error) {
+	r := &failoverRig{victim: victim}
+	lns := make([]net.Listener, servers)
+	addrs := make([]string, servers)
+	backups := make([]string, servers)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	bLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		r.close()
+		return nil, err
+	}
+	backups[victim] = bLn.Addr().String()
+	r.m = cluster.Map{Version: 1, Endpoints: addrs, Backups: backups}
+
+	newCore := func() (*core.Cluster, error) {
+		return core.New(core.Config{
+			Disks:             2,
+			Geometry:          device.Geometry{FragmentsPerTrack: 32, Tracks: 1024},
+			ServerCacheBlocks: 4096,
+		})
+	}
+
+	// The backup first: it must be applying before the primary ships.
+	bc, err := newCore()
+	if err != nil {
+		r.close()
+		_ = bLn.Close()
+		return nil, err
+	}
+	r.bCore = bc
+	bSvc, err := cluster.NewService(cluster.ServiceConfig{
+		Shard:    victim,
+		Map:      r.m,
+		Inner:    (&rpcfs.Server{Files: bc.Files, Naming: bc.Naming}).Handler(),
+		Locks:    bc.Locks(),
+		LeaseTTL: leaseTTL,
+		Role:     cluster.RoleBackup,
+		ReplTTL:  replTTL,
+	})
+	if err != nil {
+		r.close()
+		_ = bLn.Close()
+		return nil, err
+	}
+	r.bSvc = bSvc
+	bEp := rpc.NewEndpoint(nil, rpc.WithRequestHandler(bSvc.HandleRequest),
+		rpc.WithMetrics(bc.Metrics), rpc.WithWindow(4096))
+	bSvc.BindEndpoint(bEp)
+	r.bSrv = rpc.Serve(bLn, bEp, rpc.WithWorkers(e21WorkersPerServer))
+
+	for i := 0; i < servers; i++ {
+		c, err := newCore()
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.cores = append(r.cores, c)
+		inj := fault.NewInjector(0)
+		r.injs = append(r.injs, inj)
+		cfg := cluster.ServiceConfig{
+			Shard:    i,
+			Map:      r.m,
+			Inner:    (&rpcfs.Server{Files: c.Files, Naming: c.Naming}).Handler(),
+			Locks:    c.Locks(),
+			LeaseTTL: leaseTTL,
+			Fault:    inj,
+		}
+		if i == victim {
+			tr, err := rpc.DialTCP(backups[victim], rpc.WithLazyDial())
+			if err != nil {
+				r.close()
+				return nil, err
+			}
+			r.bTr = tr
+			cfg.Role = cluster.RolePrimary
+			cfg.Backup = rpc.NewClient(tr, cluster.ReplClientID(i), 3, nil)
+			cfg.ReplTTL = replTTL
+		}
+		svc, err := cluster.NewService(cfg)
+		if err != nil {
+			r.close()
+			return nil, err
+		}
+		r.svcs = append(r.svcs, svc)
+		// WithRequestHandler, not the plain Handle adapter: replication
+		// records must carry each client's identity so the backup can seed
+		// its duplicate cache and answer post-failover retries exactly once.
+		ep := rpc.NewEndpoint(nil, rpc.WithRequestHandler(svc.HandleRequest),
+			rpc.WithMetrics(c.Metrics), rpc.WithWindow(4096))
+		svc.BindEndpoint(ep)
+		r.srvs = append(r.srvs, rpc.Serve(lns[i], ep, rpc.WithInjector(inj), rpc.WithWorkers(e21WorkersPerServer)))
+	}
+	return r, nil
+}
+
+// killPrimary takes the victim primary down whole: TCP server, service
+// (heartbeats and ship stream die with it), and its link to the backup. The
+// backup's watchdog promotes after the replication TTL of silence.
+func (r *failoverRig) killPrimary() {
+	_ = r.srvs[r.victim].Close()
+	r.svcs[r.victim].Close()
+	if r.bTr != nil {
+		_ = r.bTr.Close()
+	}
+}
+
+// promoted reports whether the backup has taken the victim shard over.
+func (r *failoverRig) promoted() bool {
+	return r.bSvc != nil && r.bSvc.Role() == cluster.RolePrimary
+}
+
+func (r *failoverRig) close() {
+	for _, s := range r.srvs {
+		_ = s.Close()
+	}
+	if r.bSrv != nil {
+		_ = r.bSrv.Close()
+	}
+	for _, s := range r.svcs {
+		s.Close()
+	}
+	if r.bSvc != nil {
+		r.bSvc.Close()
+	}
+	if r.bTr != nil {
+		_ = r.bTr.Close()
+	}
+	for _, c := range r.cores {
+		_ = c.Close()
+	}
+	if r.bCore != nil {
+		_ = r.bCore.Close()
+	}
+}
+
+// FailoverPhase is one phase of the failover cell: per-group success/error
+// counts plus full latency histograms, so the promotion stall is visible as
+// a victim-side tail rather than averaged away.
+type FailoverPhase struct {
+	Name        string
+	Wall        time.Duration
+	VictimOK    int64
+	VictimErr   int64
+	SurvivorOK  int64
+	SurvivorErr int64
+	Victim      *obs.Histogram
+	Survivor    *obs.Histogram
+}
+
+// FailoverResult is the failover cell's outcome.
+type FailoverResult struct {
+	VictimShard int
+	// Promoted reports that the backup answered as the shard's primary by
+	// the end of the outage phase.
+	Promoted bool
+	Phases   []FailoverPhase // before, failover, after
+}
+
+// failoverPhase drives every client with error-tolerant operations for d,
+// recording latency per group. Victim-side errors are tolerated (counted)
+// but with a retry budget spanning the promotion window they should not
+// occur — that is the zero-unavailability claim under test.
+func failoverPhase(name string, d time.Duration, cls []e21Client, victim int) FailoverPhase {
+	ph := FailoverPhase{Name: name, Wall: d, Victim: &obs.Histogram{}, Survivor: &obs.Histogram{}}
+	var wg sync.WaitGroup
+	var sOK, sErr, vOK, vErr atomic.Int64
+	deadline := time.Now().Add(d)
+	for i, cl := range cls {
+		wg.Add(1)
+		go func(i int, cl e21Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(2000 + i)))
+			gen := workload.AccessGen{FileSize: e21FileSize, ReadFrac: e21ReadFrac, OpSize: e21OpSize}
+			buf := make([]byte, e21OpSize)
+			hist, ok, bad := ph.Survivor, &sOK, &sErr
+			if cl.shard == victim {
+				hist, ok, bad = ph.Victim, &vOK, &vErr
+			}
+			for time.Now().Before(deadline) {
+				acc := gen.Next(rng)
+				start := time.Now()
+				var err error
+				if acc.Read {
+					_, err = cl.agent.ReadAt(acc.Offset, acc.Length)
+				} else {
+					_, err = cl.agent.WriteAt(acc.Offset, buf[:acc.Length])
+				}
+				hist.Record(time.Since(start))
+				if err != nil {
+					bad.Add(1)
+				} else {
+					ok.Add(1)
+				}
+			}
+		}(i, cl)
+	}
+	wg.Wait()
+	ph.SurvivorOK, ph.SurvivorErr = sOK.Load(), sErr.Load()
+	ph.VictimOK, ph.VictimErr = vOK.Load(), vErr.Load()
+	return ph
+}
+
+// FailoverRun executes the zero-unavailability failover cell: 3 shards with
+// shard 1 replicated to a hot backup, 9 clients pinned across them. Mid-run
+// the victim primary dies whole; its clients' calls retry through the
+// promotion window (their transports alternate primary/backup) and land on
+// the promoted backup, so the outage shows up as a victim-side latency tail
+// — not as failed operations, the dark slice the unreplicated kill cell has.
+func FailoverRun(phase time.Duration) (*FailoverResult, error) {
+	const (
+		servers  = 3
+		clients  = 9
+		victim   = 1
+		leaseTTL = 500 * time.Millisecond
+	)
+	rig, err := newFailoverRig(servers, victim, leaseTTL, failoverReplTTL)
+	if err != nil {
+		return nil, err
+	}
+	defer rig.close()
+
+	var cls []e21Client
+	defer func() {
+		for _, cl := range cls {
+			cl.rt.Shutdown()
+		}
+	}()
+	seed := make([]byte, e21FileSize)
+	for i := 0; i < clients; i++ {
+		rt, err := cluster.NewRouter(cluster.RouterConfig{
+			Endpoints: rig.m.Endpoints,
+			Backups:   rig.m.Backups,
+			ClientID:  uint64(i + 1),
+			Retries:   failoverRetries,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cls = append(cls, e21Client{rt: rt, shard: i % servers})
+		mach, err := agent.NewMachine(agent.MachineConfig{Naming: rt, Files: rt, DisableClientCache: true})
+		if err != nil {
+			return nil, err
+		}
+		proc := mach.NewProcess()
+		fa := mach.FileAgent()
+		fd, err := fa.Create(proc, pathForShard(fmt.Sprintf("fo%d", i), i%servers, servers), fit.Attributes{})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fa.PWrite(proc, fd, 0, seed); err != nil {
+			return nil, err
+		}
+		cls[i].agent = e20Agent{fa: fa, proc: proc, fd: fd}
+	}
+
+	res := &FailoverResult{VictimShard: victim}
+	res.Phases = append(res.Phases, failoverPhase("before", phase, cls, victim))
+
+	rig.killPrimary()
+	// The failover phase covers the outage: the watchdog promotes the backup
+	// after failoverReplTTL of silence, well inside the phase.
+	res.Phases = append(res.Phases, failoverPhase("failover", phase, cls, victim))
+	res.Promoted = rig.promoted()
+
+	res.Phases = append(res.Phases, failoverPhase("after", phase, cls, victim))
+	return res, nil
+}

@@ -262,11 +262,13 @@ func LoadRunOpen(wire rpc.WireFormat, clients, agentsPerConn int, rate float64, 
 
 // ClusterLoadRun executes one closed-loop load cell against an
 // already-running cluster of rhodosd shards: one Router per client agent,
-// each client's file homed on a shard by its directory hash. baseID and tag
-// must be unique per invocation (the caller derives them from its PID) so
-// client IDs miss the servers' duplicate caches and file names miss the
-// namespace of earlier runs. Exported for cmd/rhodos-bench's -addrs mode.
-func ClusterLoadRun(endpoints []string, wire rpc.WireFormat, clients, opsPerAgent int, baseID uint64, tag string) (workload.LoadResult, *obs.Histogram, error) {
+// each client's file homed on a shard by its directory hash. backups, when
+// non-nil, is the per-shard backup list the routers fail over to (may be
+// nil for an unreplicated cluster). baseID and tag must be unique per
+// invocation (the caller derives them from its PID) so client IDs miss the
+// servers' duplicate caches and file names miss the namespace of earlier
+// runs. Exported for cmd/rhodos-bench's -addrs mode.
+func ClusterLoadRun(endpoints, backups []string, wire rpc.WireFormat, clients, opsPerAgent int, baseID uint64, tag string) (workload.LoadResult, *obs.Histogram, error) {
 	fail := func(err error) (workload.LoadResult, *obs.Histogram, error) {
 		return workload.LoadResult{}, nil, err
 	}
@@ -278,6 +280,7 @@ func ClusterLoadRun(endpoints []string, wire rpc.WireFormat, clients, opsPerAgen
 	for i := 0; i < clients; i++ {
 		rt, err := cluster.NewRouter(cluster.RouterConfig{
 			Endpoints: endpoints,
+			Backups:   backups,
 			ClientID:  baseID + uint64(i) + 1,
 			Wire:      wire,
 		})

@@ -449,12 +449,28 @@ func E21ScaleOut() (*Table, error) {
 			ph.SurvivorErr+ph.VictimErr, ph.Wall, "—", "—", note)
 	}
 
+	fr, err := FailoverRun(400 * time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	for _, ph := range fr.Phases {
+		note := fmt.Sprintf("victim %d ok / %d err, p50 %v p99 %v",
+			ph.VictimOK, ph.VictimErr, ph.Victim.Quantile(0.50), ph.Victim.Quantile(0.99))
+		if ph.Name == "failover" {
+			note += fmt.Sprintf("; promoted=%v", fr.Promoted)
+		}
+		ok := ph.SurvivorOK + ph.VictimOK
+		t.AddRow("failover/"+ph.Name, 3, 9, ok, ph.SurvivorErr+ph.VictimErr, ph.Wall,
+			fmt.Sprintf("%.0f", float64(ok)/ph.Wall.Seconds()), ph.Survivor.Quantile(0.95), note)
+	}
+
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("each server: %d workers, %s injected service time → ~%d ops/s capacity; %d closed-loop clients",
 			e21WorkersPerServer, e21ServiceTime, e21WorkersPerServer*int(time.Second/e21ServiceTime), e21Clients),
 		"namespace sharded by parent-directory hash; clients route via the versioned shard map and follow wrong-shard redirects",
 		"client files pinned round-robin across shards so every scaling cell loads all servers",
 		"kill cell: the victim's TCP server closes mid-run; survivors keep serving, the victim's unrenewed lock lease expires (sweeper breaks the txn), and after restart its clients' transports re-dial and fail over",
+		fmt.Sprintf("failover cell: shard 1 runs as a replicated primary/backup pair (repl TTL %s); the primary dies whole mid-run and the backup self-promotes — the outage is a victim-side latency tail, not failed operations", failoverReplTTL),
 		"open-loop rows measure latency from each operation's scheduled arrival, so overload shows up as queueing delay and unmet offered load")
 	return t, nil
 }

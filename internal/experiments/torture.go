@@ -62,6 +62,13 @@ const (
 	// transaction's locks, and a competitor wins them (§6.4's break path
 	// driven by client liveness instead of lock age).
 	TortureLease
+	// TortureFailover kills the primary of a replicated shard pair at the
+	// armed replication point and checks the failover contract: a mutation
+	// acknowledged nowhere (the primary died holding the reply) completes
+	// exactly once against the promoted backup, replicated state survives
+	// the handover, unreplicated state does not outlive a severed stream,
+	// and the promoted backup serves new mutations.
+	TortureFailover
 )
 
 // String implements fmt.Stringer.
@@ -79,6 +86,8 @@ func (k TortureKind) String() string {
 		return "kill-server"
 	case TortureLease:
 		return "lease-expiry"
+	case TortureFailover:
+		return "shard-failover"
 	default:
 		return fmt.Sprintf("TortureKind(%d)", int(k))
 	}
@@ -103,13 +112,22 @@ func (sc TortureScenario) Mode() string {
 	case fault.KindTorn:
 		mode = fmt.Sprintf("torn(%d)+crash", sc.Action.Frags)
 	case fault.KindError:
-		if sc.Kind == TortureLease {
+		switch sc.Kind {
+		case TortureLease:
 			mode = "renewals dropped"
-		} else {
+		case TortureFailover:
+			mode = "stream severed+kill"
+		default:
 			mode = "media error"
 		}
 	case fault.KindCrash:
 		mode = "crash"
+	case fault.KindDelay:
+		if sc.Kind == TortureFailover {
+			mode = "ack stalled+kill"
+		} else {
+			mode = sc.Action.Kind.String()
+		}
 	default:
 		mode = sc.Action.Kind.String()
 	}
@@ -175,6 +193,19 @@ func TortureScenarios() []TortureScenario {
 		// server's sweeper breaks the transaction.
 		{Point: cluster.PtLeaseRenew, Action: fault.Action{Kind: fault.KindError, Times: -1},
 			Kind: TortureLease},
+		// Shard failover, crash-before-ack: the mutation is executed and
+		// replicated, but the primary dies inside the stalled ack window —
+		// the client was never answered, and its same-sequence retry must be
+		// answered exactly once from the promoted backup's seeded duplicate
+		// cache.
+		{Point: cluster.PtReplAck, Action: fault.Action{Kind: fault.KindDelay, Delay: 400 * time.Millisecond},
+			Kind: TortureFailover},
+		// Shard failover, severed stream: every ship fails, the primary goes
+		// solo, then dies. The replicated prefix survives on the promoted
+		// backup; the solo suffix does not — the documented window of a
+		// primary that chose availability over replication.
+		{Point: cluster.PtReplShip, Action: fault.Action{Kind: fault.KindError, Times: -1},
+			Kind: TortureFailover},
 	}
 }
 
@@ -215,6 +246,8 @@ func RunTorture(sc TortureScenario, seed int64) (*TortureResult, error) {
 		return runTortureKillServer(sc, seed)
 	case TortureLease:
 		return runTortureLease(sc, seed)
+	case TortureFailover:
+		return runTortureFailover(sc, seed)
 	default:
 		return runTortureTxn(sc, seed)
 	}
@@ -1024,6 +1057,137 @@ func runTortureLease(sc TortureScenario, seed int64) (*TortureResult, error) {
 	return res, nil
 }
 
+// runTortureFailover kills the primary of a one-shard replicated pair at
+// the armed replication point and verifies the failover contract against
+// the promoted backup.
+//
+// KindDelay at cluster.repl.ack is the crash-before-ack window: a create is
+// executed and replicated, then the primary dies holding the stalled reply.
+// The client's same-sequence retransmission must be answered exactly once —
+// from the duplicate cache the backup seeded while replaying the stream —
+// and the created name must resolve exactly once afterwards.
+//
+// KindError at cluster.repl.ship severs the stream: the primary drops its
+// backup and serves solo, then dies. The replicated prefix must survive on
+// the promoted backup; the solo suffix must not (the documented window of a
+// primary that chose availability over replication); and the promoted
+// backup must serve fresh mutations.
+func runTortureFailover(sc TortureScenario, seed int64) (*TortureResult, error) {
+	rig, err := newFailoverRig(1, 0, 500*time.Millisecond, failoverReplTTL)
+	if err != nil {
+		return nil, err
+	}
+	defer rig.close()
+	inj := rig.injs[0]
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Endpoints: rig.m.Endpoints,
+		Backups:   rig.m.Backups,
+		ClientID:  1,
+		Retries:   failoverRetries,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Shutdown()
+	mach, err := agent.NewMachine(agent.MachineConfig{Naming: rt, Files: rt, DisableClientCache: true})
+	if err != nil {
+		return nil, err
+	}
+	proc := mach.NewProcess()
+	fa := mach.FileAgent()
+
+	// The replicated baseline: on the backup before any fault is armed.
+	rng := rand.New(rand.NewSource(seed))
+	w1 := make([]byte, 8192)
+	rng.Read(w1)
+	fd1, err := fa.Create(proc, "/e18/rep/f1", fit.Attributes{})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fa.PWrite(proc, fd1, 0, w1); err != nil {
+		return nil, err
+	}
+
+	res := &TortureResult{}
+	inj.Arm(sc.Point, sc.Action)
+	defer inj.DisarmAll()
+	switch sc.Action.Kind {
+	case fault.KindDelay:
+		// Crash before the ack: the create below executes and replicates,
+		// then stalls at the armed ack point; the primary is killed inside
+		// the stall, so nobody ever answered the client.
+		done := make(chan error, 1)
+		go func() {
+			_, err := fa.Create(proc, "/e18/rep/f2", fit.Attributes{})
+			done <- err
+		}()
+		deadline := time.Now().Add(5 * time.Second)
+		for inj.Fired(sc.Point) == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		if inj.Fired(sc.Point) == 0 {
+			return nil, fmt.Errorf("fault at %s never fired", sc.Point)
+		}
+		rig.killPrimary()
+		if err := <-done; err != nil {
+			res.fail("mutation acked nowhere did not complete across the failover: %v", err)
+		}
+		// Exactly once: the name resolves, and a second create of it is
+		// refused — the retransmission was answered from the seeded
+		// duplicate cache, not re-executed.
+		if _, err := rt.ResolvePath("/e18/rep/f2"); err != nil {
+			res.fail("created name lost across the failover: %v", err)
+		}
+		if _, err := fa.Create(proc, "/e18/rep/f2", fit.Attributes{}); err == nil {
+			res.fail("re-creating the failed-over name succeeded; want already-registered")
+		}
+		res.Outcome = "acked exactly once"
+	case fault.KindError:
+		// Sever the stream: this create's ship fails, the primary drops the
+		// backup and acknowledges solo. Everything from here on lives only
+		// on the primary.
+		fd2, err := fa.Create(proc, "/e18/solo/f2", fit.Attributes{})
+		if err != nil {
+			return nil, fmt.Errorf("solo create: %w", err)
+		}
+		if _, err := fa.PWrite(proc, fd2, 0, w1); err != nil {
+			return nil, fmt.Errorf("solo write: %w", err)
+		}
+		rig.killPrimary()
+		// The replicated prefix survives on the promoted backup; the solo
+		// suffix does not.
+		if _, err := rt.ResolvePath("/e18/rep/f1"); err != nil {
+			res.fail("replicated name lost across the failover: %v", err)
+		}
+		if _, err := rt.ResolvePath("/e18/solo/f2"); err == nil {
+			res.fail("solo-era name survived on the backup; the severed stream cannot have shipped it")
+		}
+		res.Outcome = "replicated prefix"
+	default:
+		return nil, fmt.Errorf("failover recipe cannot run action %v", sc.Action.Kind)
+	}
+	res.Fired = inj.Fired(sc.Point)
+
+	// The replicated baseline reads back whole, and the promoted backup
+	// serves fresh mutations.
+	got, err := fa.PRead(proc, fd1, 0, len(w1))
+	if err != nil {
+		res.fail("replicated file unreadable after the failover: %v", err)
+	} else if !bytes.Equal(got, w1) {
+		res.fail("replicated file corrupt after the failover")
+	}
+	fd3, err := fa.Create(proc, "/e18/rep/f3", fit.Attributes{})
+	if err != nil {
+		res.fail("promoted backup refused a fresh create: %v", err)
+	} else if _, err := fa.PWrite(proc, fd3, 0, w1[:512]); err != nil {
+		res.fail("promoted backup refused a fresh write: %v", err)
+	}
+	if rig.bSvc.Role() != cluster.RolePrimary {
+		res.fail("backup never promoted itself (role %v)", rig.bSvc.Role())
+	}
+	return res, nil
+}
+
 // E18Torture runs the crash-recovery torture matrix: for each registered
 // fault point in the commit sequence, the WAL sync, the stable careful
 // write, and the parity rebuild, it kills the run at that point from a
@@ -1063,6 +1227,7 @@ func E18Torture() (*Table, error) {
 		"invariants: committed durable; unfinished invisible; mirrors reconciled (2nd pass no-op); parity consistent; fsck clean",
 		"flight dump: span trees the flight recorder snapshotted the instant the fault fired (txn recipes run traced)",
 		"kill-server: a 2-shard cluster's victim server crashes mid-commit and its TCP listener closes; the other shard must keep serving during the outage and the victim must recover and serve again on the same endpoint",
-		"lease-expiry: every renewal is dropped at cluster.lease.renew until the server-side sweeper breaks the client's transaction and a competitor wins its lock")
+		"lease-expiry: every renewal is dropped at cluster.lease.renew until the server-side sweeper breaks the client's transaction and a competitor wins its lock",
+		"shard-failover: a replicated pair's primary dies at the armed replication point; cluster.repl.ack is the crash-before-ack window (the retransmission must hit the backup's seeded duplicate cache exactly once), cluster.repl.ship severs the stream (only the replicated prefix may survive the handover)")
 	return t, nil
 }

@@ -1,0 +1,340 @@
+// Log shipping: the network half of primary/backup shard replication.
+//
+// The cluster layer replicates a shard not by copying disk blocks but by
+// shipping the stream of committed mutations — rpcfs-level operation records
+// — to a backup that re-executes them against its own file service. The
+// stream is sequenced and gapless, so the backup's state is a deterministic
+// replay of the primary's; each record also carries the originating client's
+// identity and the primary's reply, which the backup uses to seed its
+// duplicate-request cache so a client retry that lands after a failover
+// still gets the exactly-once answer.
+//
+// Shipper runs on the primary: mutations append records, a single sender
+// goroutine batches and ships them, and Wait blocks a committing batch until
+// its records are confirmed by the backup (the group-commit barrier). A ship
+// failure marks the stream down — the primary then serves solo rather than
+// stall (availability over replication; the cluster layer drops the backup
+// from the map). Applier runs on the backup: it checks sequencing and CRC,
+// re-executes each record, and verifies the replay produced the primary's
+// reply.
+package replication
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// Rec is one shipped mutation record.
+type Rec struct {
+	Seq    uint64 // position in the shard's replication stream (1-based)
+	Client uint64 // originating rpc client (0: no duplicate-cache seeding)
+	CSeq   uint64 // the client's request sequence number
+	Method string // rpcfs method name
+	Body   []byte // request body, in the shard's wire codec
+	Reply  []byte // the primary's reply body (replay must reproduce it)
+}
+
+// ErrShipDown marks the replication stream as broken: the backup is
+// unreachable or has diverged, and no further records will be confirmed.
+var ErrShipDown = errors.New("replication: ship stream down")
+
+// --- batch codec ---
+//
+// A batch frame is
+//
+//	count  u32
+//	recs   count × [seq u64, client u64, cseq u64, mlen u16, blen u32,
+//	                rlen u32, method, body, reply]
+//	crc    u32 (IEEE, over everything before it)
+//
+// The CRC guards against a corrupt or truncated frame replaying garbage
+// into the backup's state machine.
+
+// appendBatch encodes recs onto dst.
+func appendBatch(dst []byte, recs []Rec) []byte {
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(recs)))
+	for i := range recs {
+		r := &recs[i]
+		dst = binary.BigEndian.AppendUint64(dst, r.Seq)
+		dst = binary.BigEndian.AppendUint64(dst, r.Client)
+		dst = binary.BigEndian.AppendUint64(dst, r.CSeq)
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(r.Method)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Body)))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Reply)))
+		dst = append(dst, r.Method...)
+		dst = append(dst, r.Body...)
+		dst = append(dst, r.Reply...)
+	}
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// decodeBatch decodes a batch frame. The returned records alias data.
+func decodeBatch(data []byte) ([]Rec, error) {
+	if len(data) < 8 {
+		return nil, errors.New("replication: short batch frame")
+	}
+	payload, trailer := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.BigEndian.Uint32(trailer) {
+		return nil, errors.New("replication: batch CRC mismatch")
+	}
+	count := binary.BigEndian.Uint32(payload)
+	off := 4
+	recs := make([]Rec, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if len(payload)-off < 34 {
+			return nil, errors.New("replication: truncated batch record")
+		}
+		var r Rec
+		r.Seq = binary.BigEndian.Uint64(payload[off:])
+		r.Client = binary.BigEndian.Uint64(payload[off+8:])
+		r.CSeq = binary.BigEndian.Uint64(payload[off+16:])
+		mlen := int(binary.BigEndian.Uint16(payload[off+24:]))
+		blen := int(binary.BigEndian.Uint32(payload[off+26:]))
+		rlen := int(binary.BigEndian.Uint32(payload[off+30:]))
+		off += 34
+		if len(payload)-off < mlen+blen+rlen {
+			return nil, errors.New("replication: truncated batch record")
+		}
+		r.Method = string(payload[off : off+mlen])
+		off += mlen
+		r.Body = payload[off : off+blen : off+blen]
+		off += blen
+		r.Reply = payload[off : off+rlen : off+rlen]
+		off += rlen
+		recs = append(recs, r)
+	}
+	if off != len(payload) {
+		return nil, errors.New("replication: trailing bytes in batch frame")
+	}
+	return recs, nil
+}
+
+// ShipperConfig configures a Shipper.
+type ShipperConfig struct {
+	// Send ships one encoded batch frame and returns once the backup has
+	// confirmed applying it (typically one rpc round trip). An error marks
+	// the stream down.
+	Send func(batch []byte) error
+	// OnDown, when set, runs once (from the sender goroutine or MarkDown's
+	// caller) when the stream goes down, with the cause.
+	OnDown func(err error)
+}
+
+// Shipper sequences and ships mutation records to one backup. Appenders and
+// the single sender goroutine rendezvous on a queue: Append assigns the next
+// sequence number and enqueues; the sender drains whatever has accumulated,
+// ships it as one batch, and advances the confirmed watermark. Wait blocks
+// until a record is confirmed or the stream is down — the commit barrier.
+type Shipper struct {
+	send   func([]byte) error
+	onDown func(error)
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     []Rec
+	nextSeq   uint64 // last assigned sequence number
+	confirmed uint64 // highest backup-confirmed sequence number
+	inflight  uint64 // highest seq in the batch the sender holds right now
+	down      bool
+	downErr   error
+	closed    bool
+
+	wg sync.WaitGroup
+}
+
+// NewShipper starts a shipper and its sender goroutine.
+func NewShipper(cfg ShipperConfig) *Shipper {
+	s := &Shipper{send: cfg.Send, onDown: cfg.OnDown}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(1)
+	go s.sender()
+	return s
+}
+
+// Append assigns the next stream sequence number to r, queues it for
+// shipping, and returns the assigned number. ok is false when the stream is
+// down or closed — the record is not queued and the caller proceeds solo.
+// The record's byte slices are retained until the batch containing them has
+// been shipped; callers must not recycle them before Wait returns.
+func (s *Shipper) Append(r Rec) (seq uint64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.down || s.closed {
+		return 0, false
+	}
+	s.nextSeq++
+	r.Seq = s.nextSeq
+	s.queue = append(s.queue, r)
+	s.cond.Broadcast()
+	return r.Seq, true
+}
+
+// Wait blocks until seq is confirmed by the backup (true) or the stream
+// goes down or closes first (false). A false return also guarantees the
+// sender no longer holds the record — its byte slices are the caller's
+// again — so a record in the batch being encoded when the stream went down
+// is waited out rather than released early.
+func (s *Shipper) Wait(seq uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.confirmed < seq && !((s.down || s.closed) && seq > s.inflight) {
+		s.cond.Wait()
+	}
+	return s.confirmed >= seq
+}
+
+// Flush waits until every appended record is confirmed, or the stream is
+// down or closed (false).
+func (s *Shipper) Flush() bool {
+	s.mu.Lock()
+	seq := s.nextSeq
+	s.mu.Unlock()
+	if seq == 0 {
+		return !s.Down()
+	}
+	return s.Wait(seq)
+}
+
+// Down reports whether the stream is down.
+func (s *Shipper) Down() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// MarkDown forces the stream down with cause (heartbeat failure path);
+// waiters unblock with false and OnDown fires once.
+func (s *Shipper) MarkDown(cause error) { s.setDown(cause) }
+
+func (s *Shipper) setDown(cause error) {
+	s.mu.Lock()
+	if s.down || s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.down = true
+	s.downErr = cause
+	s.queue = nil
+	s.cond.Broadcast()
+	onDown := s.onDown
+	s.mu.Unlock()
+	if onDown != nil {
+		onDown(cause)
+	}
+}
+
+// Close stops the sender. Unconfirmed records are abandoned (waiters get
+// false); OnDown does not fire.
+func (s *Shipper) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.queue = nil
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// sender drains the queue, shipping each accumulated run as one batch. Under
+// group-commit-style load many appends pile up behind one in-flight ship, so
+// batching amortizes the backup round trip the same way the txn layer
+// amortizes the disk sync.
+func (s *Shipper) sender() {
+	defer s.wg.Done()
+	var frame []byte
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed && !s.down {
+			s.cond.Wait()
+		}
+		if s.closed || s.down {
+			s.mu.Unlock()
+			return
+		}
+		batch := s.queue
+		s.queue = nil
+		s.inflight = batch[len(batch)-1].Seq
+		s.mu.Unlock()
+
+		frame = appendBatch(frame[:0], batch)
+		err := s.send(frame)
+		s.mu.Lock()
+		s.inflight = 0
+		if err == nil {
+			s.confirmed = batch[len(batch)-1].Seq
+		}
+		s.cond.Broadcast()
+		s.mu.Unlock()
+		if err != nil {
+			s.setDown(fmt.Errorf("%w: %v", ErrShipDown, err))
+			return
+		}
+	}
+}
+
+// Applier is the backup's replay half: it validates and re-executes shipped
+// batches in stream order.
+type Applier struct {
+	// Apply re-executes one record against the backup's state machine and
+	// returns the reply it produced.
+	Apply func(method string, body []byte) ([]byte, error)
+	// Seed, when set, records (client, cseq) → reply in the backup's
+	// duplicate-request cache, so a client retry after failover is answered
+	// without re-execution. reply is owned by the callee.
+	Seed func(client, cseq uint64, reply []byte)
+
+	mu      sync.Mutex
+	applied uint64 // highest applied sequence number
+}
+
+// Applied returns the highest applied sequence number.
+func (a *Applier) Applied() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.applied
+}
+
+// ApplyBatch decodes and replays one batch frame. Records at or below the
+// applied watermark are skipped (a resent batch is harmless); a gap or a
+// replay that produces a different reply than the primary's is divergence
+// and fails the batch — the stream cannot safely continue. Returns the new
+// applied watermark.
+func (a *Applier) ApplyBatch(data []byte) (uint64, error) {
+	recs, err := decodeBatch(data)
+	if err != nil {
+		return a.Applied(), err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i := range recs {
+		r := &recs[i]
+		if r.Seq <= a.applied {
+			continue
+		}
+		if r.Seq != a.applied+1 {
+			return a.applied, fmt.Errorf("replication: sequence gap: have %d, got %d", a.applied, r.Seq)
+		}
+		// Only successful mutations are shipped, so a replay that errors —
+		// or answers differently — means the replicas have diverged.
+		out, aerr := a.Apply(r.Method, r.Body)
+		if aerr != nil {
+			return a.applied, fmt.Errorf("replication: divergence at seq %d (%s): replay failed: %v", r.Seq, r.Method, aerr)
+		}
+		if !bytes.Equal(out, r.Reply) {
+			return a.applied, fmt.Errorf("replication: divergence at seq %d (%s): replay reply differs", r.Seq, r.Method)
+		}
+		if a.Seed != nil && r.Client != 0 {
+			a.Seed(r.Client, r.CSeq, out)
+		}
+		a.applied = r.Seq
+	}
+	return a.applied, nil
+}

@@ -25,6 +25,13 @@ import (
 // deadline, always armed to the earliest pending deadline: an expired call
 // is failed individually and the connection survives as long as the expiry
 // caught the stream at a frame boundary.
+//
+// Request-body ownership: the writer claims a call under pmu before encoding
+// its body and skips calls that have already been removed from the map, and
+// every completion path that doesn't go through the writer (expiry, forget,
+// teardown) waits for an in-progress claim to clear first. Together these
+// guarantee the connection never touches a request body after roundTrip
+// returns, so callers may recycle it immediately on any outcome.
 type muxConn struct {
 	conn net.Conn
 	opts tcpOpts
@@ -37,6 +44,7 @@ type muxConn struct {
 	nextID atomic.Uint64
 
 	pmu     sync.Mutex
+	wcond   *sync.Cond // signals pendingCall.writing transitions (on pmu)
 	pending map[uint64]*pendingCall
 	dead    bool
 }
@@ -44,11 +52,16 @@ type muxConn struct {
 type muxWrite struct {
 	id  uint64
 	req Request
+	pc  *pendingCall
 }
 
 type pendingCall struct {
 	ch       chan callResult
 	deadline time.Time
+	// writing marks the call's request as on the writer's encoder right now
+	// (guarded by pmu): completion paths that would hand body ownership back
+	// to the caller wait for it to clear.
+	writing bool
 }
 
 type callResult struct {
@@ -70,6 +83,7 @@ func dialMux(addr string, opts tcpOpts) (*muxConn, error) {
 		done:    make(chan struct{}),
 		pending: make(map[uint64]*pendingCall),
 	}
+	c.wcond = sync.NewCond(&c.pmu)
 	go c.readLoop()
 	go c.writeLoop()
 	return c, nil
@@ -104,6 +118,13 @@ func (c *muxConn) fail(cause error) {
 		calls := c.pending
 		c.pending = nil
 		c.dead = true
+		// A writer mid-encode still holds a detached call's request body;
+		// wait it out before completing (the closed socket unblocks it).
+		for _, pc := range calls {
+			for pc.writing {
+				c.wcond.Wait()
+			}
+		}
 		c.pmu.Unlock()
 		for _, pc := range calls {
 			pc.ch <- callResult{err: cause}
@@ -133,9 +154,9 @@ func (c *muxConn) roundTrip(req Request, deadline time.Time) (Response, error) {
 	}
 	c.pmu.Unlock()
 	select {
-	case c.writeq <- muxWrite{id: id, req: req}:
+	case c.writeq <- muxWrite{id: id, req: req, pc: pc}:
 	case <-c.done:
-		c.forget(id)
+		c.forget(id, pc)
 		return Response{}, c.err()
 	}
 	select {
@@ -148,16 +169,21 @@ func (c *muxConn) roundTrip(req Request, deadline time.Time) (Response, error) {
 			return r.resp, r.err
 		default:
 		}
-		c.forget(id)
+		c.forget(id, pc)
 		return Response{}, c.err()
 	}
 }
 
-// forget removes a call that will never be completed through the map.
-func (c *muxConn) forget(id uint64) {
+// forget removes a call that will never be completed through the map. It
+// returns only once the writer holds no claim on the call, so the caller
+// regains exclusive ownership of the request body.
+func (c *muxConn) forget(id uint64, pc *pendingCall) {
 	c.pmu.Lock()
 	if c.pending != nil {
 		delete(c.pending, id)
+	}
+	for pc.writing {
+		c.wcond.Wait()
 	}
 	c.pmu.Unlock()
 }
@@ -180,16 +206,25 @@ func (c *muxConn) armReadDeadlineLocked() {
 }
 
 // expireOverdue completes every pending call whose deadline has passed with
-// cause, reporting whether any were overdue.
+// cause, reporting whether any were overdue. An overdue call the writer is
+// encoding right now is waited out first — completing it early would hand
+// its request body back to the caller while the encoder still reads it.
 func (c *muxConn) expireOverdue(cause error) bool {
 	now := time.Now()
 	var expired []*pendingCall
 	c.pmu.Lock()
+restart:
 	for id, pc := range c.pending {
-		if !pc.deadline.IsZero() && !pc.deadline.After(now) {
-			delete(c.pending, id)
-			expired = append(expired, pc)
+		if pc.deadline.IsZero() || pc.deadline.After(now) {
+			continue
 		}
+		if pc.writing {
+			// Wait releases pmu; the map may change under us, so rescan.
+			c.wcond.Wait()
+			goto restart
+		}
+		delete(c.pending, id)
+		expired = append(expired, pc)
 	}
 	c.pmu.Unlock()
 	for _, pc := range expired {
@@ -239,8 +274,33 @@ func (c *muxConn) readLoop() {
 	}
 }
 
+// claimWrite marks w's call as having its request on the encoder. False
+// means the call is already gone — expired, forgotten, or torn down — and
+// the frame must not be written: its body may belong to someone else again.
+// (A skipped frame never reaches the server; the client retries under the
+// same sequence number, so the duplicate cache keeps it exactly-once.)
+func (c *muxConn) claimWrite(w muxWrite) bool {
+	c.pmu.Lock()
+	defer c.pmu.Unlock()
+	if c.dead || c.pending[w.id] != w.pc {
+		return false
+	}
+	w.pc.writing = true
+	return true
+}
+
+// releaseWrite clears the claim and wakes completion paths waiting on it.
+func (c *muxConn) releaseWrite(pc *pendingCall) {
+	c.pmu.Lock()
+	pc.writing = false
+	c.pmu.Unlock()
+	c.wcond.Broadcast()
+}
+
 // writeLoop encodes queued requests, draining opportunistically so bursts of
 // concurrent sends share one flush (and one TCP segment, when they fit).
+// Each dequeued request is encoded only under a claim (see claimWrite) so
+// body ownership hands back cleanly on every completion path.
 func (c *muxConn) writeLoop() {
 	bw := bufio.NewWriterSize(c.conn, wireBufferSize)
 	for {
@@ -253,10 +313,16 @@ func (c *muxConn) writeLoop() {
 		if d := c.opts.ioTimeout; d > 0 {
 			_ = c.conn.SetWriteDeadline(time.Now().Add(d))
 		}
+		wrote := false
 		for {
-			if err := writeRequest(bw, w.id, &w.req, c.opts.maxFrame); err != nil {
-				c.fail(errors.Join(ErrDropped, err))
-				return
+			if c.claimWrite(w) {
+				err := writeRequest(bw, w.id, &w.req, c.opts.maxFrame)
+				c.releaseWrite(w.pc)
+				if err != nil {
+					c.fail(errors.Join(ErrDropped, err))
+					return
+				}
+				wrote = true
 			}
 			select {
 			case w = <-c.writeq:
@@ -264,6 +330,9 @@ func (c *muxConn) writeLoop() {
 			default:
 			}
 			break
+		}
+		if !wrote {
+			continue
 		}
 		if err := bw.Flush(); err != nil {
 			c.fail(errors.Join(ErrDropped, err))

@@ -186,3 +186,50 @@ func TestMuxAttemptDeadlineExpiresAlone(t *testing.T) {
 		t.Fatalf("call after expiry = %q, %v", resp.Body, err)
 	}
 }
+
+// TestMuxExpiredBodyRecycleRace hammers the writer's claim/skip protocol:
+// callers recycle their request body the moment a call returns — including
+// calls that expired while still queued behind the writer — and immediately
+// draw fresh buffers (often the same memory) for the next call. If the
+// writer ever encoded a frame without holding a claim on a still-pending
+// call, it would read a buffer another goroutine is filling; run with -race
+// to catch it.
+func TestMuxExpiredBodyRecycleRace(t *testing.T) {
+	ep := NewEndpoint(func(method string, body []byte) ([]byte, error) {
+		time.Sleep(2 * time.Millisecond) // outlive the client attempt deadline
+		return []byte("ok"), nil
+	}, WithWindow(4096))
+	srv := Serve(listen(t), ep)
+	defer func() { _ = srv.Close() }()
+	tr, err := DialTCP(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = tr.Close() }()
+
+	const goroutines, iters = 16, 120
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := NewClient(tr, uint64(7000+g), 1, nil)
+			c.SetAttemptTimeout(time.Millisecond)
+			for i := 0; i < iters; i++ {
+				body := Buffer(512)
+				for j := range body {
+					body[j] = byte(i)
+				}
+				out, err := c.Call("m", body)
+				// The transport guarantees the body is the caller's again on
+				// every outcome — success, expiry, teardown — so recycling
+				// here must never race the writer.
+				Recycle(body)
+				if err == nil {
+					c.ReleaseBody(out)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -65,6 +65,11 @@ type Response struct {
 // Handler executes one decoded request.
 type Handler func(method string, body []byte) ([]byte, error)
 
+// RequestHandler executes one decoded request with the client identity
+// visible — what a replicating service needs in order to forward
+// (ClientID, Seq) alongside the operation it ships to its backup.
+type RequestHandler func(Request) ([]byte, error)
+
 // Errors.
 var (
 	// ErrDropped reports a message lost by the (injected) network.
@@ -192,10 +197,29 @@ func (c *DupCache) Clients() int {
 	return len(c.clients)
 }
 
+// Transient wraps a handler error so the endpoint's duplicate cache does
+// not retain the response: the refusal reflects a condition — a shard's
+// backup not yet promoted, a service still warming up — that a retry of the
+// same sequence number may legitimately outlive. Without the wrap, the
+// cached refusal would answer every same-sequence retransmission forever,
+// turning a transient condition into a permanent one. The wrapped message
+// crosses the wire unchanged.
+func Transient(err error) error { return transientErr{err} }
+
+type transientErr struct{ error }
+
+func (t transientErr) Unwrap() error { return t.error }
+
+func isTransient(err error) bool {
+	var t transientErr
+	return errors.As(err, &t)
+}
+
 // Endpoint wraps a Handler with the duplicate-request cache.
 type Endpoint struct {
-	handler Handler
-	dup     *DupCache
+	handler    Handler
+	reqHandler RequestHandler // used instead of handler when set
+	dup        *DupCache
 	met     *metrics.Set
 	obsRec  *obs.Recorder
 	// NoDupCache disables idempotency (ablation for E13): every message is
@@ -243,6 +267,15 @@ func WithWindow(n int) EndpointOption { return func(e *Endpoint) { e.dup.setWind
 // beyond the bound.
 func WithMaxClients(n int) EndpointOption { return func(e *Endpoint) { e.dup.setMaxClients(n) } }
 
+// WithRequestHandler executes requests through h instead of the plain
+// method/body handler, exposing the client identity to the service: the
+// cluster layer forwards (ClientID, Seq) with each replicated mutation so
+// the backup can seed its own duplicate cache. The idempotency machinery —
+// duplicate cache, in-flight suppression — is unchanged.
+func WithRequestHandler(h RequestHandler) EndpointOption {
+	return func(e *Endpoint) { e.reqHandler = h }
+}
+
 // NewEndpoint wraps handler.
 func NewEndpoint(handler Handler, opts ...EndpointOption) *Endpoint {
 	e := &Endpoint{handler: handler, dup: NewDupCache(0), inflight: make(map[clientSeq]*inflightCall)}
@@ -287,20 +320,46 @@ func (e *Endpoint) handle(req Request) Response {
 		e.inflight[key] = call
 		e.iMu.Unlock()
 	}
-	body, err := e.handler(req.Method, req.Body)
+	var body []byte
+	var err error
+	if e.reqHandler != nil {
+		body, err = e.reqHandler(req)
+	} else {
+		body, err = e.handler(req.Method, req.Body)
+	}
 	resp := Response{Seq: req.Seq, Body: body}
 	if err != nil {
 		resp.Err = err.Error()
 	}
 	if !e.noDup {
 		e.iMu.Lock()
-		e.dup.Store(req.ClientID, req.Seq, resp)
+		// Transient refusals are not remembered: a same-sequence retry must
+		// re-execute once the refusing condition has passed.
+		if err == nil || !isTransient(err) {
+			e.dup.Store(req.ClientID, req.Seq, resp)
+		}
 		delete(e.inflight, clientSeq{req.ClientID, req.Seq})
 		e.iMu.Unlock()
 		call.resp = resp
 		close(call.done)
 	}
 	return resp
+}
+
+// SeedDup stores a response into the duplicate-request cache without
+// executing anything, keyed as if (clientID, seq) had been served here. A
+// backup endpoint seeded with its primary's (client, seq, reply) triples
+// answers a post-failover retransmission of an already-executed mutation
+// from the cache — exactly-once across the failover. The cache retains
+// body, so it must not be a pooled buffer the caller later recycles. No-op
+// when the duplicate cache is disabled.
+func (e *Endpoint) SeedDup(clientID, seq uint64, body []byte, errMsg string) {
+	if e.noDup {
+		return
+	}
+	e.iMu.Lock()
+	e.dup.Store(clientID, seq, Response{Seq: seq, Body: body, Err: errMsg})
+	e.iMu.Unlock()
 }
 
 // Transport delivers requests to an endpoint.
@@ -419,6 +478,34 @@ type Client struct {
 	mu             sync.Mutex
 	seq            uint64
 	attemptTimeout time.Duration
+	retryOn        func(*ServiceError) bool
+}
+
+// Rebinder is implemented by transports that can drop their current
+// connection and re-resolve the peer address on the next send. The Client
+// asks for a rebind before retrying a service error its retryOn predicate
+// marked retriable — the shard-failover path, where the retry must reach
+// the newly promoted server rather than the one that refused.
+type Rebinder interface{ Rebind() }
+
+// Retriable service-error backoff bounds: the first retry waits
+// retryOnBackoffMin, doubling up to retryOnBackoffMax — together long
+// enough within a default retry budget for a backup's promotion watchdog to
+// fire.
+const (
+	retryOnBackoffMin = 5 * time.Millisecond
+	retryOnBackoffMax = 100 * time.Millisecond
+)
+
+// SetRetryOn makes service errors matching pred retriable: Call releases
+// the reply, asks a Rebinder transport to re-resolve its peer, backs off,
+// and re-sends under the same sequence number, so the duplicate cache still
+// guarantees at-most-one execution. Non-matching service errors return
+// immediately, as before.
+func (c *Client) SetRetryOn(pred func(*ServiceError) bool) {
+	c.mu.Lock()
+	c.retryOn = pred
+	c.mu.Unlock()
 }
 
 // NewClient creates a client with the given identity. retries bounds the
@@ -463,9 +550,11 @@ func (c *Client) Call(method string, body []byte) ([]byte, error) {
 	c.seq++
 	req := Request{ClientID: c.clientID, Seq: c.seq, Method: method, Body: body}
 	timeout := c.attemptTimeout
+	retryOn := c.retryOn
 	c.mu.Unlock()
 	dt, hasDeadline := c.t.(DeadlineTransport)
 	var lastErr error
+	backoff := retryOnBackoffMin
 	for attempt := 0; attempt <= c.retries; attempt++ {
 		if attempt > 0 {
 			c.met.Inc(metrics.RPCRetries)
@@ -489,7 +578,23 @@ func (c *Client) Call(method string, body []byte) ([]byte, error) {
 			return nil, err
 		}
 		if resp.Err != "" {
-			return resp.Body, &ServiceError{Method: method, Message: resp.Err}
+			se := &ServiceError{Method: method, Message: resp.Err}
+			if retryOn != nil && attempt < c.retries && retryOn(se) {
+				// A retriable refusal (e.g. a shard's backup not yet
+				// promoted): drop the reply, re-resolve the peer, back off,
+				// and resend the same sequence number.
+				lastErr = se
+				c.ReleaseBody(resp.Body)
+				if rb, ok := c.t.(Rebinder); ok {
+					rb.Rebind()
+				}
+				time.Sleep(backoff)
+				if backoff < retryOnBackoffMax {
+					backoff *= 2
+				}
+				continue
+			}
+			return resp.Body, se
 		}
 		return resp.Body, nil
 	}

@@ -53,12 +53,14 @@ const DefaultDialTimeout = 10 * time.Second
 
 // tcpOpts are the shared tunables of the TCP server and transport.
 type tcpOpts struct {
-	ioTimeout   time.Duration
-	dialTimeout time.Duration
-	wire        WireFormat
-	workers     int
-	maxFrame    int
-	inj         *fault.Injector
+	ioTimeout    time.Duration
+	dialTimeout  time.Duration
+	wire         WireFormat
+	workers      int
+	maxFrame     int
+	inj          *fault.Injector
+	lazyDial     bool
+	addrResolver func(prev string) string
 }
 
 // TCPOption configures Serve or DialTCP.
@@ -106,6 +108,26 @@ func WithMaxFrame(n int) TCPOption {
 // request the server decodes.
 func WithInjector(in *fault.Injector) TCPOption {
 	return func(o *tcpOpts) { o.inj = in }
+}
+
+// WithLazyDial defers the first connection to the first Send instead of
+// dialing eagerly in DialTCP, so a transport can be constructed toward an
+// address that is not up yet (a router holds one per shard; some may point
+// at servers that only matter after a failover).
+func WithLazyDial() TCPOption {
+	return func(o *tcpOpts) { o.lazyDial = true }
+}
+
+// WithAddrResolver installs a callback consulted before every re-dial: it
+// receives the address of the last attempt and returns the address to try
+// next (empty keeps the current one). The first dial always targets the
+// configured address — the resolver only moves a transport that has already
+// tried somewhere — which is what lets a shard client fail over to a backup
+// when its primary stops answering, and fall back when the map changes
+// again. The callback runs under the transport's lock and must not call
+// back into the transport.
+func WithAddrResolver(fn func(prev string) string) TCPOption {
+	return func(o *tcpOpts) { o.addrResolver = fn }
 }
 
 func applyTCPOpts(opts []TCPOption) tcpOpts {
@@ -412,10 +434,11 @@ func (s *TCPServer) Close() error {
 // out of order, while later requests are already on the wire. On the gob
 // wire sends serialize, one round trip at a time (the legacy baseline).
 type TCPTransport struct {
-	addr string
 	opts tcpOpts
 
 	mu     sync.Mutex
+	addr   string // current dial target; may move via WithAddrResolver
+	tried  bool   // at least one dial attempted (success or failure)
 	closed bool
 	mc     *muxConn // binary wire
 
@@ -434,11 +457,16 @@ var (
 // exactly one waiter, and gob-wire bodies are freshly allocated by decode.
 func (t *TCPTransport) callerOwnsBodies() bool { return true }
 
-// DialTCP connects to a TCPServer.
+// DialTCP connects to a TCPServer (or, with WithLazyDial, prepares to on
+// the first Send).
 func DialTCP(addr string, opts ...TCPOption) (*TCPTransport, error) {
 	t := &TCPTransport{addr: addr, opts: applyTCPOpts(opts)}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.opts.lazyDial {
+		return t, nil
+	}
+	t.tried = true
 	if t.opts.wire == WireGob {
 		return t, t.reconnectGobLocked()
 	}
@@ -448,6 +476,42 @@ func DialTCP(addr string, opts ...TCPOption) (*TCPTransport, error) {
 	}
 	t.mc = mc
 	return t, nil
+}
+
+// resolveAddrLocked applies the address resolver ahead of a (re-)dial. The
+// very first attempt always goes to the configured address; every later
+// attempt lets the resolver move the target first — so a dead primary is
+// retried once, then the transport rotates to wherever the resolver points
+// (typically the shard's backup, then back as the map settles).
+func (t *TCPTransport) resolveAddrLocked() {
+	if t.tried && t.opts.addrResolver != nil {
+		if next := t.opts.addrResolver(t.addr); next != "" {
+			t.addr = next
+		}
+	}
+	t.tried = true
+}
+
+// errRebound marks a connection dropped by Rebind rather than by a network
+// failure; joined with ErrDropped so Client retries see a retriable error.
+var errRebound = errors.New("rpc: transport rebound")
+
+// Rebind drops the current connection so the next send re-dials, consulting
+// the address resolver for a possibly different target. In-flight calls on
+// the dropped connection fail as ErrDropped and retry through the Client's
+// usual path. Rebind is what a retry policy calls when the server answers
+// but says "not me" — the connection is healthy, the address is wrong.
+func (t *TCPTransport) Rebind() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	if t.mc != nil {
+		t.mc.fail(errors.Join(ErrDropped, errRebound))
+		t.mc = nil
+	}
+	t.dropGobConnLocked()
 }
 
 // Send issues one request and waits for its response. A broken connection is
@@ -477,6 +541,7 @@ func (t *TCPTransport) send(req Request, override time.Time) (Response, error) {
 	}
 	mc := t.mc
 	if mc == nil || mc.isDead() {
+		t.resolveAddrLocked()
 		fresh, err := dialMux(t.addr, t.opts)
 		if err != nil {
 			t.mu.Unlock()
@@ -534,6 +599,7 @@ func (t *TCPTransport) sendGob(req Request, override time.Time) (Response, error
 		return Response{}, ErrClosed
 	}
 	if t.gconn == nil {
+		t.resolveAddrLocked()
 		if err := t.reconnectGobLocked(); err != nil {
 			return Response{}, errors.Join(ErrDropped, err)
 		}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // The binary wire format (WireBinary) frames every message with a 4-byte
@@ -66,6 +67,20 @@ const (
 
 var frameBufs bufFree
 
+// bufGets / bufPuts count pooled-class buffer handouts (getBuf / Buffer)
+// and returns (Recycle), whether or not a free list actually absorbed the
+// buffer. They measure the ownership discipline, not list occupancy: a code
+// path that obtains pooled buffers and abandons them grows gets−puts without
+// bound, which is exactly what the free-list balance CI gate asserts against
+// (see BufferBalance). Buffers above bufMaxClass are unpooled and uncounted.
+var bufGets, bufPuts atomic.Int64
+
+// BufferBalance returns how many pooled-class buffers have been handed out
+// and returned since process start. gets−puts is the number currently owned
+// by callers or leaked to the garbage collector; a workload that recycles
+// every buffer it takes keeps the difference bounded by its in-flight count.
+func BufferBalance() (gets, puts int64) { return bufGets.Load(), bufPuts.Load() }
+
 // getBuf returns a buffer of length n backed by a pooled (or fresh)
 // power-of-two allocation. Contents are undefined; callers overwrite fully.
 func getBuf(n int) []byte {
@@ -79,6 +94,7 @@ func getBuf(n int) []byte {
 	if class > bufMaxClass {
 		return make([]byte, n)
 	}
+	bufGets.Add(1)
 	frameBufs.mu.Lock()
 	if l := frameBufs.free[class]; len(l) > 0 {
 		buf := l[len(l)-1]
@@ -113,6 +129,7 @@ func Recycle(buf []byte) {
 	if class < bufMinClass || class > bufMaxClass {
 		return
 	}
+	bufPuts.Add(1)
 	frameBufs.mu.Lock()
 	if len(frameBufs.free[class]) < bufPerClass {
 		frameBufs.free[class] = append(frameBufs.free[class], buf[:0])

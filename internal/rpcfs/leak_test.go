@@ -1,0 +1,103 @@
+package rpcfs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/fit"
+	"repro/internal/naming"
+	"repro/internal/rpc"
+)
+
+// TestFreeListBalance is the buffer-leak regression gate for the client call
+// path: every pooled wire buffer handed out for a request or reply must go
+// back to the free lists on every outcome — success, service error, and
+// decode — except a ReadAt reply, whose data intentionally transfers to the
+// caller. The call() error paths used to leak exactly these buffers.
+func TestFreeListBalance(t *testing.T) {
+	_, cl := newRemote(t)
+	id, err := cl.CreatePath(fit.Attributes{}, "/leak/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0x5A}, 4096)
+	if _, err := cl.WriteAt(id, 0, data); err != nil {
+		t.Fatal(err)
+	}
+
+	// The server worker recycles a request body slightly after the client
+	// sees the response, so sample until the ledger stops moving.
+	settle := func() int64 {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		gets, puts := rpc.BufferBalance()
+		last := gets - puts
+		stable := 0
+		for stable < 5 {
+			time.Sleep(2 * time.Millisecond)
+			gets, puts = rpc.BufferBalance()
+			if d := gets - puts; d != last {
+				last, stable = d, 0
+			} else {
+				stable++
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("buffer ledger never settled (gets-puts = %d)", last)
+			}
+		}
+		return last
+	}
+	waitBalance := func(want int64, what string) {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			gets, puts := rpc.BufferBalance()
+			if gets-puts == want {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: pooled buffers out of balance: gets-puts = %d, want %d", what, gets-puts, want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	base := settle()
+
+	// A mix of successful and failing calls that must all balance exactly.
+	for i := 0; i < 20; i++ {
+		if _, err := cl.WriteAt(id, int64(i), data[:512]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Size(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Open(999999); err == nil { // service error reply
+			t.Fatal("open of a bogus id succeeded")
+		}
+		if _, err := cl.Resolve("/leak/missing"); err == nil {
+			t.Fatal("resolve of a missing path succeeded")
+		}
+		// Duplicate registration errors server-side after decode.
+		if err := cl.Register(naming.Entry{
+			Name:       naming.Name{"type": "FILE", "path": "/leak/file"},
+			Type:       naming.FileObject,
+			SystemName: uint64(id),
+			Service:    "rhodosd",
+		}); err == nil {
+			t.Fatal("duplicate register succeeded")
+		}
+	}
+	waitBalance(base, "after mixed success/error calls")
+
+	// Reads transfer reply-buffer ownership to the caller: exactly one
+	// outstanding pooled buffer per read, never more.
+	const reads = 5
+	for i := 0; i < reads; i++ {
+		got, err := cl.ReadAt(id, 0, 1024)
+		if err != nil || len(got) != 1024 {
+			t.Fatalf("ReadAt = %d bytes, %v", len(got), err)
+		}
+	}
+	waitBalance(base+reads, "after ownership-transferring reads")
+}

@@ -311,18 +311,21 @@ func (c *Client) call(method string, args, reply any) error {
 		return c.callGob(method, args, reply)
 	}
 	// Binary codec: the argument body comes from the transport's buffer
-	// pools and goes back once the call has completed (a failed call may
-	// still have the body queued on the connection writer, so it is leaked
-	// to the garbage collector instead).
+	// pools and goes back once Call returns — on every path, including
+	// failure. The transport never retains a request body past Call (the
+	// connection writer claims it only while the call is still pending), so
+	// recycling here is always safe.
 	body, err := appendPayload(rpc.Buffer(payloadSize(args))[:0], args)
 	if err != nil {
+		rpc.Recycle(body)
 		return err
 	}
 	out, err := c.C.Call(method, body)
+	rpc.Recycle(body)
 	if err != nil {
+		c.C.ReleaseBody(out)
 		return err
 	}
-	rpc.Recycle(body)
 	if reply != nil {
 		if err := unmarshalPayload(out, reply); err != nil {
 			c.C.ReleaseBody(out)

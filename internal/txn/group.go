@@ -54,6 +54,15 @@ type GroupCommitConfig struct {
 	// wait, so virtual-time runs stay deterministic. Leave nil for wall
 	// runs.
 	Clock simclock.Clock
+	// Barrier, when set, runs after each successful batch Sync and before
+	// any member of the batch is acknowledged — the hook shard replication
+	// uses to hold commit acks until the backup confirms the batch's
+	// mutations. It is called outside the pipeline lock, once per batch. A
+	// Barrier error does NOT drop the batch's records (they are durable;
+	// only the acknowledgement is in doubt), so it surfaces to every member
+	// as ErrCommitInterrupted: locks and records are held until Recover,
+	// exactly like a leader crash after the sync.
+	Barrier func() error
 }
 
 // gcBatch is one commit batch: the transactions whose log records share a
@@ -86,6 +95,7 @@ type groupCommit struct {
 	maxBatch int
 	maxDelay time.Duration
 	clock    simclock.Clock
+	barrier  func() error
 
 	mu   sync.Mutex
 	idle *sync.Cond // broadcast whenever cur/syncing/unapplied/resetting change
@@ -121,6 +131,7 @@ func newGroupCommit(s *Service, cfg GroupCommitConfig) *groupCommit {
 		maxBatch: cfg.MaxBatch,
 		maxDelay: cfg.MaxDelay,
 		clock:    cfg.Clock,
+		barrier:  cfg.Barrier,
 	}
 	if g.maxBatch <= 0 {
 		g.maxBatch = 64
@@ -259,14 +270,23 @@ func (g *groupCommit) lead(ctx context.Context, b *gcBatch) error {
 	sp.SetCount(size) // the batch size, for the trace
 	g.s.fault.Hit(PtGroupBeforeSync)
 	err := g.s.log.Sync()
+	syncFailed := err != nil
 	if err == nil {
 		g.s.fault.Hit(PtGroupLeaderSynced)
+		if g.barrier != nil {
+			if berr := g.barrier(); berr != nil {
+				// The records ARE durable — only the barrier (replication)
+				// failed — so this must not drop them below: members get the
+				// leader-crashed treatment and recovery resolves them.
+				err = fmt.Errorf("%w: replication barrier: %v", ErrCommitInterrupted, berr)
+			}
+		}
 	}
 	sp.End(err)
 
 	g.mu.Lock()
 	g.syncing = false
-	if err != nil {
+	if syncFailed {
 		// Nothing synced: the watermarks are untouched (wal.Sync is
 		// failure-atomic), so everything unsynced belongs to this batch and
 		// any batch formed behind it — possibly several (a filled batch plus
@@ -339,13 +359,21 @@ func (g *groupCommit) commitSolo(t *txnState) error {
 
 	g.s.fault.Hit(PtGroupBeforeSync)
 	err := g.s.log.Sync()
+	syncFailed := err != nil
 	if err == nil {
 		g.s.fault.Hit(PtGroupLeaderSynced)
+		if g.barrier != nil {
+			if berr := g.barrier(); berr != nil {
+				// Durable but unacknowledgeable, as in lead: leave the records
+				// (and the unapplied count) for recovery.
+				err = fmt.Errorf("%w: replication barrier: %v", ErrCommitInterrupted, berr)
+			}
+		}
 	}
 
 	g.mu.Lock()
 	g.syncing = false
-	if err != nil {
+	if syncFailed {
 		// Only this commit's records are unsynced: appends waited out the
 		// sync, so nothing else is in the volatile window. (No batches exist
 		// in solo mode, but every DropUnsynced still bumps the epoch.)

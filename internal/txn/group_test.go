@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -307,6 +308,70 @@ func TestGroupSyncFailureFailsAllPendingBatches(t *testing.T) {
 	got, err := r.fs.ReadAt(fid, 0, len(want))
 	if err != nil || !bytes.Equal(got, want) {
 		t.Fatalf("post-failure commit = %q, %v; want %q", got, err, want)
+	}
+}
+
+// TestGroupCommitBarrier pins the replication-barrier hook's contract: it
+// runs after each successful sync and before the batch is acknowledged, and
+// a barrier failure surfaces as ErrCommitInterrupted WITHOUT dropping the
+// batch's records — they are durable, so recovery resolves the commit.
+func TestGroupCommitBarrier(t *testing.T) {
+	for _, solo := range []bool{false, true} {
+		name := "grouped"
+		if solo {
+			name = "solo"
+		}
+		t.Run(name, func(t *testing.T) {
+			var calls atomic.Int64
+			var failBarrier atomic.Bool
+			withBarrier := func(c *Config) {
+				c.Group.Disable = solo
+				c.Group.Barrier = func() error {
+					calls.Add(1)
+					if failBarrier.Load() {
+						return errors.New("backup unreachable")
+					}
+					return nil
+				}
+			}
+			r := newRig(t, withBarrier)
+
+			// Healthy barrier: the commit is acknowledged and the hook ran.
+			id, fid := r.beginWithFile(fit.LockRecord)
+			if _, err := r.svc.PWrite(id, fid, 0, []byte("replicated")); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.svc.End(id); err != nil {
+				t.Fatal(err)
+			}
+			if calls.Load() < 1 {
+				t.Fatal("barrier never ran on the commit path")
+			}
+
+			// Failing barrier: durable but unacknowledgeable. The committer
+			// must get the leader-crashed treatment, not a nil ack and not a
+			// dropped batch.
+			failBarrier.Store(true)
+			id2, fid2 := r.beginWithFile(fit.LockRecord)
+			payload := []byte("synced, then the backup vanished")
+			if _, err := r.svc.PWrite(id2, fid2, 0, payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.svc.End(id2); !errors.Is(err, ErrCommitInterrupted) {
+				t.Fatalf("End with failing barrier = %v, want ErrCommitInterrupted", err)
+			}
+
+			// The records were synced before the barrier failed, so recovery
+			// lands the interrupted commit.
+			r.crash()
+			if _, err := r.svc.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.fs.ReadAt(fid2, 0, len(payload))
+			if err != nil || !bytes.Equal(got, payload) {
+				t.Fatalf("interrupted commit after recovery = %q, %v; want %q", got, err, payload)
+			}
+		})
 	}
 }
 
