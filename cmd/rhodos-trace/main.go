@@ -22,6 +22,15 @@
 //
 //	rhodos-trace -commit 8 -profile           # group commit (default)
 //	rhodos-trace -commit 8 -nogroup -profile  # baseline: one sync per commit
+//
+// With -cluster the command is a fleet scraper instead of a workload
+// driver: it polls each listed rhodosd debug address (/debug/healthz,
+// /debug/profile, /debug/events, /debug/flight), merges the per-node
+// histograms into one fleet-wide per-layer profile, prints the failover
+// event timeline across nodes, and stitches cross-node span trees:
+//
+//	rhodos-trace -cluster 127.0.0.1:7481,127.0.0.1:7482 -spans 3
+//	rhodos-trace -cluster 127.0.0.1:7481,127.0.0.1:7482 -json > fleet.json
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
@@ -85,7 +95,12 @@ func run() int {
 	jsonOut := flag.Bool("json", false, "emit the run summary, counters and profile as JSON")
 	commit := flag.Int("commit", 0, "drive N concurrent committers (record-mode transactions) instead of the read/write mix")
 	noGroup := flag.Bool("nogroup", false, "disable group commit: one WAL sync per commit (only meaningful with -commit)")
+	clusterAddrs := flag.String("cluster", "", "comma-separated rhodosd debug addresses: scrape and merge the fleet's profiles instead of driving a workload")
 	flag.Parse()
+
+	if *clusterAddrs != "" {
+		return runFleet(strings.Split(*clusterAddrs, ","), *jsonOut, *spans)
+	}
 
 	var sizeDist workload.SizeDist
 	switch *dist {

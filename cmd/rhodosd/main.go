@@ -30,6 +30,8 @@
 //
 //	GET /debug/profile   per-layer latency profile (text; ?format=json)
 //	GET /debug/flight    recent + in-flight span trees and fault dumps
+//	GET /debug/events    failover/lease event log (text; ?format=json)
+//	GET /debug/healthz   role, shard, and map version as JSON
 //
 // Stop it with SIGINT/SIGTERM; the facility flushes and shuts down cleanly.
 package main
@@ -45,6 +47,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"syscall"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -175,12 +178,14 @@ func run() int {
 		Shard:    shard,
 		Map:      cluster.Map{Version: 1, Endpoints: endpoints, Backups: backups},
 		Inner:    srv.Handler(),
+		InnerCtx: srv.HandlerCtx(),
 		Wire:     wire,
 		Locks:    fac.Locks(),
 		LeaseTTL: *leaseTTL,
 		Role:     role,
 		Backup:   backupClient,
 		ReplTTL:  *replTTL,
+		Obs:      rec,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rhodosd: %v\n", err)
@@ -188,7 +193,7 @@ func run() int {
 	}
 	defer svc.Close()
 	svcPtr.Store(svc)
-	ep := rpc.NewEndpoint(nil, rpc.WithRequestHandler(svc.HandleRequest), rpc.WithMetrics(fac.Metrics), rpc.WithObs(rec))
+	ep := rpc.NewEndpoint(nil, rpc.WithCtxRequestHandler(svc.HandleRequestCtx), rpc.WithMetrics(fac.Metrics), rpc.WithObs(rec))
 	svc.BindEndpoint(ep)
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -205,7 +210,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "rhodosd: debug listen: %v\n", err)
 			return 1
 		}
-		httpSrv := &http.Server{Handler: debugMux(rec)}
+		httpSrv := &http.Server{Handler: debugMux(rec, svc, shard, shards, *listen)}
 		go func() { _ = httpSrv.Serve(dln) }()
 		defer func() { _ = httpSrv.Close() }()
 		fmt.Printf("rhodosd: debug endpoints on http://%s/debug/profile\n", dln.Addr())
@@ -220,9 +225,48 @@ func run() int {
 }
 
 // debugMux serves the observability endpoints: the per-layer latency
-// profile and the flight recorder's span trees.
-func debugMux(rec *obs.Recorder) *http.ServeMux {
+// profile, the flight recorder's span trees, the failover event log, and a
+// health summary for deployment scripts.
+func debugMux(rec *obs.Recorder, svc *cluster.Service, shard, shards int, addr string) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/healthz", func(w http.ResponseWriter, r *http.Request) {
+		out := struct {
+			Role       string `json:"role"`
+			Shard      int    `json:"shard"`
+			Shards     int    `json:"shards"`
+			MapVersion uint64 `json:"map_version"`
+			Addr       string `json:"addr"`
+		}{svc.Role().String(), shard, shards, svc.Map().Version, addr}
+		data, err := json.Marshal(&out)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
+	mux.HandleFunc("GET /debug/events", func(w http.ResponseWriter, r *http.Request) {
+		events := rec.Events()
+		if wantsJSON(r) {
+			out := struct {
+				Events []obs.Event `json:"events"`
+				Total  int         `json:"total"`
+			}{events, rec.EventTotal()}
+			data, err := json.MarshalIndent(&out, "", "  ")
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(append(data, '\n'))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "event log: %d retained of %d total\n", len(events), rec.EventTotal())
+		for _, e := range events {
+			fmt.Fprintf(w, "%s  %-12s %s\n", time.Unix(0, e.WallUnixNS).Format(time.RFC3339Nano), e.Name, e.Detail)
+		}
+	})
 	mux.HandleFunc("GET /debug/profile", func(w http.ResponseWriter, r *http.Request) {
 		p := rec.Profile()
 		if wantsJSON(r) {

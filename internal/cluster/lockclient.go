@@ -3,10 +3,12 @@ package cluster
 import (
 	"context"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 )
 
@@ -24,6 +26,7 @@ type LockClient struct {
 	c        *rpc.Client
 	clientID uint64
 	inj      *fault.Injector
+	rec      atomic.Pointer[obs.Recorder]
 
 	mu   sync.Mutex
 	txns map[uint64]bool
@@ -59,6 +62,11 @@ func NewLockClient(c *rpc.Client, clientID uint64, ttl time.Duration, inj *fault
 	go l.renewLoop(every)
 	return l
 }
+
+// SetObs attaches a recorder after construction (the renew loop is already
+// running, hence the atomic): renew round trips land in the
+// cluster.lease.renew_ns histogram.
+func (l *LockClient) SetObs(r *obs.Recorder) { l.rec.Store(r) }
 
 // Close stops the background renewer. It does not release held locks —
 // that is exactly what the server's lease sweeper is for.
@@ -162,7 +170,9 @@ func (l *LockClient) renewLoop(every time.Duration) {
 		l.mu.Unlock()
 		for _, txn := range txns {
 			body := appendLockTxn(rpc.Buffer(lockTxnLen)[:0], LockTxnArgs{Client: l.clientID, Txn: txn})
+			t0 := time.Now()
 			out, err := l.c.Call(MLockRenew, body)
+			l.rec.Load().ValueHist(MetricLeaseRenewNS).Record(time.Since(t0))
 			rpc.Recycle(body)
 			l.c.ReleaseBody(out)
 			if err != nil && IsLeaseLost(err) {

@@ -32,6 +32,7 @@ package cluster
 // path against the promoted backup.
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -40,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/rpc"
 	"repro/internal/rpcfs"
@@ -197,38 +199,51 @@ func (s *Service) checkServing() error {
 // the reply is withheld until the backup confirms (or the stream goes
 // down). The order lock serializes execute+append so the shipped stream
 // is a serialization order of the shard's state machine.
-func (s *Service) execReplicated(req rpc.Request) ([]byte, error) {
+func (s *Service) execReplicated(ctx context.Context, req rpc.Request) ([]byte, error) {
 	r := s.repl
 	if r == nil || r.sh == nil || s.Role() != RolePrimary || !mutatesState(req.Method) {
-		return s.inner(req.Method, req.Body)
+		return s.innerCtx(ctx, req.Method, req.Body)
 	}
+	// The group-commit span brackets execute + append + barrier; its
+	// identity rides the replication record (in memory) so the shipper's
+	// ship span — and, across the wire, the backup's apply — parent here.
+	gctx, op := s.rec.StartOp(ctx, obs.LayerCluster, "group-commit")
 	r.ordMu.Lock()
-	out, err := s.inner(req.Method, req.Body)
+	out, err := s.innerCtx(gctx, req.Method, req.Body)
 	if err != nil {
 		// Failed mutations change nothing and are not shipped; a replay of
 		// the retry fails identically on the backup.
 		r.ordMu.Unlock()
+		op.End(err)
 		return out, err
 	}
 	seq, ok := r.sh.Append(replication.Rec{
-		Client: req.ClientID,
-		CSeq:   req.Seq,
-		Method: req.Method,
-		Body:   req.Body,
-		Reply:  out,
+		Client:  req.ClientID,
+		CSeq:    req.Seq,
+		Method:  req.Method,
+		Body:    req.Body,
+		Reply:   out,
+		TraceID: op.Span().TraceID(),
+		SpanID:  op.Span().SpanID(),
 	})
 	r.ordMu.Unlock()
 	if ok {
+		w0 := time.Now()
 		r.sh.Wait(seq)
+		s.rec.ValueHist(MetricReplLagNS).Record(time.Since(w0))
 		if d := s.inj.Delay(PtReplAck); d > 0 {
 			time.Sleep(d)
 		}
 	}
+	op.End(nil)
 	return out, nil
 }
 
-// handleReplApply replays one shipped batch on the backup.
-func (s *Service) handleReplApply(body []byte) ([]byte, error) {
+// handleReplApply replays one shipped batch on the backup. ctx carries
+// the endpoint's serve span — the continuation of the primary's ship span
+// when the batch arrived on a traced frame — so replayed mutations nest
+// inside the originating trace.
+func (s *Service) handleReplApply(ctx context.Context, body []byte) ([]byte, error) {
 	r := s.repl
 	if r == nil || r.ap == nil {
 		return nil, errors.New("cluster: not a replication backup")
@@ -237,7 +252,7 @@ func (s *Service) handleReplApply(body []byte) ([]byte, error) {
 		return nil, errors.New(promotedMarker)
 	}
 	s.touch()
-	applied, err := r.ap.ApplyBatch(body)
+	applied, err := r.ap.ApplyBatchCtx(ctx, body)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +324,12 @@ func (s *Service) watchdogLoop() {
 			return
 		}
 		last := s.lastHeard.Load()
-		if last != 0 && s.now().UnixNano()-last >= int64(r.ttl) {
+		if last == 0 {
+			continue
+		}
+		gap := s.now().UnixNano() - last
+		s.rec.Gauge(MetricReplHeartbeatGap).Set(gap)
+		if gap >= int64(r.ttl) {
 			s.promote()
 			return
 		}
@@ -323,12 +343,14 @@ func (s *Service) promote() {
 	if !s.role.CompareAndSwap(int32(RoleBackup), int32(RolePrimary)) {
 		return
 	}
+	silence := time.Duration(s.now().UnixNano() - s.lastHeard.Load())
 	s.updateMap(func(m *Map) {
 		m.Endpoints[s.shard] = s.self
 		if s.shard < len(m.Backups) {
 			m.Backups[s.shard] = ""
 		}
 	})
+	s.rec.Eventf("promote", "shard %d: backup promoted after %v primary silence, map v%d", s.shard, silence, s.curVersion())
 }
 
 // stepDown fences a deposed primary: its backup has promoted itself, so
@@ -343,6 +365,7 @@ func (s *Service) stepDown() {
 			m.Backups[s.shard] = ""
 		}
 	})
+	s.rec.Eventf("fence", "shard %d: deposed primary fenced, successor %s, map v%d", s.shard, s.backupAddr, s.curVersion())
 }
 
 // backupDown drops a lost backup from the map: the primary serves solo and
@@ -353,6 +376,7 @@ func (s *Service) backupDown() {
 			m.Backups[s.shard] = ""
 		}
 	})
+	s.rec.Eventf("solo", "shard %d: backup dropped from map, primary serving solo, map v%d", s.shard, s.curVersion())
 }
 
 // updateMap applies one mutation to the served shard map at a bumped

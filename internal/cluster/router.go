@@ -1,17 +1,20 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/agent"
 	"repro/internal/fileservice"
 	"repro/internal/fit"
 	"repro/internal/metrics"
 	"repro/internal/naming"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/rpcfs"
 )
@@ -42,6 +45,10 @@ type RouterConfig struct {
 	Wire rpc.WireFormat
 	// Metrics receives rpc client counters. Optional.
 	Metrics *metrics.Set
+	// Obs, when set, receives router telemetry: per-shard routing spans on
+	// the traced read/write path, redirect and rebind counters, and the
+	// map-refresh latency histogram. Optional.
+	Obs *obs.Recorder
 }
 
 // Router implements the agent service interfaces (FileService, NameService,
@@ -54,6 +61,7 @@ type Router struct {
 	trs []*rpc.TCPTransport
 	rcs []*rpc.Client
 	fs  []*rpcfs.Client
+	rec *obs.Recorder
 
 	mu  sync.RWMutex
 	cur Map // current shard map (bootstrap until a server serves a newer one)
@@ -89,7 +97,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if retries <= 0 {
 		retries = 10
 	}
-	r := &Router{cur: Map{Endpoints: cfg.Endpoints, Backups: cfg.Backups}}
+	r := &Router{cur: Map{Endpoints: cfg.Endpoints, Backups: cfg.Backups}, rec: cfg.Obs}
 	for i, addr := range cfg.Endpoints {
 		shard := i
 		tr, err := rpc.DialTCP(addr,
@@ -119,6 +127,7 @@ func (r *Router) failoverAddr(shard int, prev string) string {
 	defer r.mu.RUnlock()
 	p := r.cur.Endpoints[shard]
 	if b := r.cur.Backup(shard); b != "" && prev == p {
+		r.rec.Gauge(MetricRouterRebinds).Inc()
 		return b
 	}
 	return p
@@ -157,7 +166,9 @@ func (r *Router) shards() int {
 // count are ignored; the endpoints themselves may change, which is how a
 // promotion or fencing reaches the failover address resolver.
 func (r *Router) refreshMap(from int) {
+	t0 := time.Now()
 	body, err := r.rcs[from].Call(MMap, nil)
+	r.rec.ValueHist(MetricRouterMapRefresh).Record(time.Since(t0))
 	if err != nil {
 		return
 	}
@@ -167,10 +178,14 @@ func (r *Router) refreshMap(from int) {
 		return
 	}
 	r.mu.Lock()
-	if m.Version > r.cur.Version && len(m.Endpoints) == len(r.cur.Endpoints) {
+	installed := m.Version > r.cur.Version && len(m.Endpoints) == len(r.cur.Endpoints)
+	if installed {
 		r.cur = m
 	}
 	r.mu.Unlock()
+	if installed {
+		r.rec.Eventf("rebind", "installed map v%d from shard %d", m.Version, from)
+	}
 }
 
 // withPath runs fn against path's home shard, following at most
@@ -186,6 +201,7 @@ func (r *Router) withPath(path string, fn func(c *rpcfs.Client, shard int) error
 		if !redirected {
 			return err
 		}
+		r.rec.Gauge(MetricRouterRedirects).Inc()
 		r.refreshMap(shard)
 		if home < 0 || home >= len(r.fs) {
 			return err
@@ -276,6 +292,33 @@ func (r *Router) WriteAt(id fileservice.FileID, off int64, data []byte) (int, er
 		return 0, err
 	}
 	return c.WriteAt(raw, off, data)
+}
+
+// ReadAtCtx is the traced ReadAt: the agent's cache layer discovers it by
+// type assertion and threads its span context through, so the routing hop
+// appears as a cluster-layer span between the agent and the server's rpc
+// serve span.
+func (r *Router) ReadAtCtx(ctx context.Context, id fileservice.FileID, off int64, n int) ([]byte, error) {
+	c, raw, err := r.conn(id)
+	if err != nil {
+		return nil, err
+	}
+	rctx, op := r.rec.StartOp(ctx, obs.LayerCluster, "readAt")
+	out, err := c.ReadAtCtx(rctx, raw, off, n)
+	op.End(err)
+	return out, err
+}
+
+// WriteAtCtx is the traced WriteAt (see ReadAtCtx).
+func (r *Router) WriteAtCtx(ctx context.Context, id fileservice.FileID, off int64, data []byte) (int, error) {
+	c, raw, err := r.conn(id)
+	if err != nil {
+		return 0, err
+	}
+	rctx, op := r.rec.StartOp(ctx, obs.LayerCluster, "writeAt")
+	n, err := c.WriteAtCtx(rctx, raw, off, data)
+	op.End(err)
+	return n, err
 }
 
 // Truncate implements agent.FileService.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/lock"
+	"repro/internal/obs"
 	"repro/internal/replication"
 	"repro/internal/rpc"
 	"repro/internal/rpcfs"
@@ -58,6 +60,15 @@ type ServiceConfig struct {
 	// Fault is consulted at PtLeaseSweep, PtReplShip, and PtReplAck.
 	// Optional.
 	Fault *fault.Injector
+	// Obs, when set, receives this server's cluster/replication telemetry:
+	// group-commit spans, lease and failover counters, the replication-lag
+	// histogram, and the failover event log. Optional; nil records nothing.
+	Obs *obs.Recorder
+	// InnerCtx, when set, is the context-aware form of Inner (an rpcfs
+	// Server.HandlerCtx), used so owned requests execute under the cluster
+	// span and the file service's own spans nest inside the caller's trace.
+	// Falls back to Inner when nil.
+	InnerCtx func(ctx context.Context, method string, body []byte) ([]byte, error)
 
 	// Role selects the shard's replication role (RoleNone — unreplicated —
 	// when zero; see repl.go). A primary requires Backup and a backup
@@ -78,14 +89,16 @@ type ServiceConfig struct {
 // serves the shard map, runs the leased network lock service, and — on
 // replicated shards — the primary/backup replication machinery (repl.go).
 type Service struct {
-	shard  int
-	shards int
-	inner  rpc.Handler
-	wire   rpc.WireFormat
-	locks  *lock.Manager
-	leases *LeaseTable
-	inj    *fault.Injector
-	now    func() time.Time
+	shard    int
+	shards   int
+	inner    rpc.Handler
+	wire     rpc.WireFormat
+	locks    *lock.Manager
+	leases   *LeaseTable
+	inj      *fault.Injector
+	now      func() time.Time
+	rec      *obs.Recorder
+	innerCtx func(ctx context.Context, method string, body []byte) ([]byte, error)
 
 	// The served map is mutable: promotion, fencing, and a lost backup
 	// rewrite it at a bumped version.
@@ -96,8 +109,8 @@ type Service struct {
 	// Replication state (repl.go); role is RoleNone on unreplicated shards.
 	role       atomic.Int32
 	repl       *replState
-	self       string // backup: own address, installed on promotion
-	backupAddr string // primary: successor address, installed on fencing
+	self       string       // backup: own address, installed on promotion
+	backupAddr string       // primary: successor address, installed on fencing
 	lastHeard  atomic.Int64 // backup: UnixNano of last primary contact
 	ep         atomic.Pointer[rpc.Endpoint]
 
@@ -138,10 +151,17 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		mapBody: appendMap(make([]byte, 0, mapSize(m)), m),
 		inner:   cfg.Inner,
 		wire:    cfg.Wire,
+		rec:     cfg.Obs,
 		locks:   cfg.Locks,
 		inj:     cfg.Fault,
 		now:     now,
 		stop:    make(chan struct{}),
+	}
+	s.innerCtx = cfg.InnerCtx
+	if s.innerCtx == nil {
+		s.innerCtx = func(_ context.Context, method string, body []byte) ([]byte, error) {
+			return cfg.Inner(method, body)
+		}
 	}
 	s.role.Store(int32(cfg.Role))
 	if cfg.Locks != nil {
@@ -167,6 +187,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		r.sh = replication.NewShipper(replication.ShipperConfig{
 			Send:   s.shipBatch,
 			OnDown: s.streamDown,
+			Obs:    cfg.Obs,
 		})
 		s.repl = r
 		s.wg.Add(1)
@@ -177,8 +198,10 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		}
 		s.self = m.Backup(cfg.Shard)
 		s.repl = &replState{ttl: rttl, ap: &replication.Applier{
-			Apply: cfg.Inner,
-			Seed:  s.seedDup,
+			Apply:    cfg.Inner,
+			ApplyCtx: s.innerCtx,
+			Seed:     s.seedDup,
+			Obs:      cfg.Obs,
 		}}
 		// The promotion clock starts at the primary's first contact, not at
 		// construction: a backup that boots before its (possibly slow)
@@ -192,15 +215,16 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 }
 
 // shipBatch is the Shipper's Send: one MReplApply round trip to the
-// backup, with PtReplShip consulted first.
-func (s *Service) shipBatch(batch []byte) error {
+// backup, with PtReplShip consulted first. ctx carries the ship span, so
+// the traced frame continues the trace on the backup.
+func (s *Service) shipBatch(ctx context.Context, batch []byte) error {
 	if err := s.inj.Err(PtReplShip); err != nil {
 		return err
 	}
 	if d := s.inj.Delay(PtReplShip); d > 0 {
 		time.Sleep(d)
 	}
-	out, err := s.repl.bc.Call(MReplApply, batch)
+	out, err := s.repl.bc.CallCtx(ctx, MReplApply, batch)
 	s.repl.bc.ReleaseBody(out)
 	return err
 }
@@ -248,18 +272,25 @@ func (s *Service) Handle(method string, body []byte) ([]byte, error) {
 	return s.HandleRequest(rpc.Request{Method: method, Body: body})
 }
 
-// HandleRequest is the rpc.RequestHandler: cluster methods are served
-// here, everything else passes the role and namespace ownership checks and
-// delegates to the wrapped rpcfs handler (replicated to the backup when
-// this shard is a primary — see execReplicated). Serve it via
-// rpc.WithRequestHandler so replication records carry the originating
-// client's identity.
+// HandleRequest is the rpc.RequestHandler adapter over HandleRequestCtx
+// for callers without a span context.
 func (s *Service) HandleRequest(req rpc.Request) ([]byte, error) {
+	return s.HandleRequestCtx(context.Background(), req)
+}
+
+// HandleRequestCtx is the rpc.CtxRequestHandler: cluster methods are
+// served here, everything else passes the role and namespace ownership
+// checks and delegates to the wrapped rpcfs handler (replicated to the
+// backup when this shard is a primary — see execReplicated). Serve it via
+// rpc.WithCtxRequestHandler so replication records carry the originating
+// client's identity and ctx carries the endpoint's serve span, keeping the
+// whole execution inside the caller's trace.
+func (s *Service) HandleRequestCtx(ctx context.Context, req rpc.Request) ([]byte, error) {
 	switch req.Method {
 	case MMap:
 		return s.mapReply(), nil
 	case MReplApply:
-		return s.handleReplApply(req.Body)
+		return s.handleReplApply(ctx, req.Body)
 	case MReplHeartbeat:
 		return s.handleReplHeartbeat()
 	}
@@ -288,7 +319,7 @@ func (s *Service) HandleRequest(req rpc.Request) ([]byte, error) {
 			return nil, NotMine(home, s.curVersion())
 		}
 	}
-	return s.execReplicated(req)
+	return s.execReplicated(ctx, req)
 }
 
 func (s *Service) handleAcquire(body []byte) ([]byte, error) {
@@ -304,6 +335,9 @@ func (s *Service) handleAcquire(body []byte) ([]byte, error) {
 	ok, created := s.leases.Grant(a.Client, a.Txn)
 	if !ok {
 		return nil, fmt.Errorf("cluster: txn %d leased to another client", a.Txn)
+	}
+	if created {
+		s.rec.Gauge(MetricLeaseGrants).Inc()
 	}
 	item := lock.ItemID{File: a.File, Offset: a.Off, Length: a.Len}
 	granted, err := s.locks.TryAcquire(lock.TxnID(a.Txn), int(a.PID), lock.Level(a.Level), item, lock.Mode(a.Mode))
@@ -330,6 +364,7 @@ func (s *Service) handleRenew(body []byte) ([]byte, error) {
 	if !s.leases.Renew(a.Client, a.Txn) {
 		return nil, fmt.Errorf("%s: txn %d", leaseLostMarker, a.Txn)
 	}
+	s.rec.Gauge(MetricLeaseRenews).Inc()
 	return nil, nil
 }
 
@@ -343,6 +378,7 @@ func (s *Service) handleRelease(body []byte) ([]byte, error) {
 	}
 	s.locks.ReleaseAll(lock.TxnID(a.Txn))
 	s.leases.Release(a.Txn)
+	s.rec.Gauge(MetricLeaseReleases).Inc()
 	return nil, nil
 }
 
@@ -363,6 +399,8 @@ func (s *Service) sweep(every time.Duration) {
 				continue
 			}
 			s.inj.Hit(PtLeaseSweep)
+			s.rec.Gauge(MetricLeaseExpired).Add(int64(len(due)))
+			s.rec.Eventf("lease-break", "shard %d: broke %d expired lease(s)", s.shard, len(due))
 			for _, txn := range due {
 				s.locks.Break(lock.TxnID(txn))
 			}

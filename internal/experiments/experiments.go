@@ -144,5 +144,6 @@ func All() []Runner {
 		{"E19", "Group-commit throughput", E19GroupCommit},
 		{"E20", "Closed-loop transport load scaling", E20LoadScaling},
 		{"E21", "Multi-node scale-out and fail-over", E21ScaleOut},
+		{"E22", "Fleet observability: cross-node traces and merged profiles", E22FleetObservability},
 	}
 }

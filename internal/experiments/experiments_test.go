@@ -31,8 +31,8 @@ func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
 
 func TestAllRunnersListed(t *testing.T) {
 	runners := All()
-	if len(runners) != 22 {
-		t.Fatalf("All() = %d runners, want 22 (T1 + E1..E21)", len(runners))
+	if len(runners) != 23 {
+		t.Fatalf("All() = %d runners, want 23 (T1 + E1..E22)", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -533,6 +533,52 @@ func TestE21Failover(t *testing.T) {
 	t.Logf("failover: victim before %d ok, during %d ok / %d err (p99 %v), after %d ok (p99 %v)",
 		before.VictimOK, during.VictimOK, during.VictimErr, during.Victim.Quantile(0.99),
 		after.VictimOK, after.Victim.Quantile(0.99))
+}
+
+func TestE22Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E22 runs wall-clock failover phases over TCP")
+	}
+	tbl, err := E22FleetObservability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 is the traced-write cell; a second traced-write row only appears
+	// when stitching failed or spans went missing.
+	for _, row := range tbl.Rows {
+		if strings.TrimSpace(row[0]) == "traced-write" && strings.TrimSpace(row[2]) != "0" {
+			t.Fatalf("traced-write cell reported an error: %v", row)
+		}
+	}
+	want := "client, router, primary-serve, group-commit, ship, backup-serve, backup-apply"
+	if got := tbl.Rows[0][4]; !strings.Contains(got, want) {
+		t.Fatalf("stitched tree missing spans: %q", got)
+	}
+	// The promotion row must carry a positive window read from the event log.
+	var promRow []string
+	for _, row := range tbl.Rows {
+		if strings.TrimSpace(row[0]) == "promotion" {
+			promRow = row
+		}
+	}
+	if promRow == nil {
+		t.Fatal("no promotion row")
+	}
+	if ok := cell(t, tbl, len(tbl.Rows)-1, 1); ok != 1 {
+		t.Fatalf("promotion window not measured: %v", promRow)
+	}
+	if tbl.Profile == nil {
+		t.Fatal("E22 table has no merged profile")
+	}
+	var lag bool
+	for _, v := range tbl.Profile.Values {
+		if v.Name == "cluster.repl.lag_ns" && v.Count > 0 {
+			lag = true
+		}
+	}
+	if !lag {
+		t.Error("merged profile lost the replication-lag histogram")
+	}
 }
 
 func TestE16Shape(t *testing.T) {

@@ -43,11 +43,13 @@ type failoverRig struct {
 	svcs  []*cluster.Service
 	srvs  []*rpc.TCPServer
 	injs  []*fault.Injector
+	recs  []*obs.Recorder // per-shard server recorders (spans, events, repl metrics)
 
 	bCore *core.Cluster
 	bSvc  *cluster.Service
 	bSrv  *rpc.TCPServer
 	bTr   *rpc.TCPTransport // victim primary's dedicated link to the backup
+	bRec  *obs.Recorder     // backup's recorder: holds the promote event
 
 	m      cluster.Map
 	victim int
@@ -77,30 +79,35 @@ func newFailoverRig(servers, victim int, leaseTTL, replTTL time.Duration) (*fail
 	backups[victim] = bLn.Addr().String()
 	r.m = cluster.Map{Version: 1, Endpoints: addrs, Backups: backups}
 
-	newCore := func() (*core.Cluster, error) {
+	newCore := func(rec *obs.Recorder) (*core.Cluster, error) {
 		return core.New(core.Config{
 			Disks:             2,
 			Geometry:          device.Geometry{FragmentsPerTrack: 32, Tracks: 1024},
 			ServerCacheBlocks: 4096,
+			Obs:               rec,
 		})
 	}
 
 	// The backup first: it must be applying before the primary ships.
-	bc, err := newCore()
+	r.bRec = obs.New()
+	bc, err := newCore(r.bRec)
 	if err != nil {
 		r.close()
 		_ = bLn.Close()
 		return nil, err
 	}
 	r.bCore = bc
+	bFS := &rpcfs.Server{Files: bc.Files, Naming: bc.Naming}
 	bSvc, err := cluster.NewService(cluster.ServiceConfig{
 		Shard:    victim,
 		Map:      r.m,
-		Inner:    (&rpcfs.Server{Files: bc.Files, Naming: bc.Naming}).Handler(),
+		Inner:    bFS.Handler(),
+		InnerCtx: bFS.HandlerCtx(),
 		Locks:    bc.Locks(),
 		LeaseTTL: leaseTTL,
 		Role:     cluster.RoleBackup,
 		ReplTTL:  replTTL,
+		Obs:      r.bRec,
 	})
 	if err != nil {
 		r.close()
@@ -108,13 +115,15 @@ func newFailoverRig(servers, victim int, leaseTTL, replTTL time.Duration) (*fail
 		return nil, err
 	}
 	r.bSvc = bSvc
-	bEp := rpc.NewEndpoint(nil, rpc.WithRequestHandler(bSvc.HandleRequest),
-		rpc.WithMetrics(bc.Metrics), rpc.WithWindow(4096))
+	bEp := rpc.NewEndpoint(nil, rpc.WithCtxRequestHandler(bSvc.HandleRequestCtx),
+		rpc.WithMetrics(bc.Metrics), rpc.WithWindow(4096), rpc.WithObs(r.bRec))
 	bSvc.BindEndpoint(bEp)
 	r.bSrv = rpc.Serve(bLn, bEp, rpc.WithWorkers(e21WorkersPerServer))
 
 	for i := 0; i < servers; i++ {
-		c, err := newCore()
+		rec := obs.New()
+		r.recs = append(r.recs, rec)
+		c, err := newCore(rec)
 		if err != nil {
 			r.close()
 			return nil, err
@@ -122,13 +131,16 @@ func newFailoverRig(servers, victim int, leaseTTL, replTTL time.Duration) (*fail
 		r.cores = append(r.cores, c)
 		inj := fault.NewInjector(0)
 		r.injs = append(r.injs, inj)
+		fs := &rpcfs.Server{Files: c.Files, Naming: c.Naming}
 		cfg := cluster.ServiceConfig{
 			Shard:    i,
 			Map:      r.m,
-			Inner:    (&rpcfs.Server{Files: c.Files, Naming: c.Naming}).Handler(),
+			Inner:    fs.Handler(),
+			InnerCtx: fs.HandlerCtx(),
 			Locks:    c.Locks(),
 			LeaseTTL: leaseTTL,
 			Fault:    inj,
+			Obs:      rec,
 		}
 		if i == victim {
 			tr, err := rpc.DialTCP(backups[victim], rpc.WithLazyDial())
@@ -147,11 +159,12 @@ func newFailoverRig(servers, victim int, leaseTTL, replTTL time.Duration) (*fail
 			return nil, err
 		}
 		r.svcs = append(r.svcs, svc)
-		// WithRequestHandler, not the plain Handle adapter: replication
+		// WithCtxRequestHandler, not the plain Handle adapter: replication
 		// records must carry each client's identity so the backup can seed
-		// its duplicate cache and answer post-failover retries exactly once.
-		ep := rpc.NewEndpoint(nil, rpc.WithRequestHandler(svc.HandleRequest),
-			rpc.WithMetrics(c.Metrics), rpc.WithWindow(4096))
+		// its duplicate cache and answer post-failover retries exactly once
+		// (and the serve context must flow for cross-node traces).
+		ep := rpc.NewEndpoint(nil, rpc.WithCtxRequestHandler(svc.HandleRequestCtx),
+			rpc.WithMetrics(c.Metrics), rpc.WithWindow(4096), rpc.WithObs(rec))
 		svc.BindEndpoint(ep)
 		r.srvs = append(r.srvs, rpc.Serve(lns[i], ep, rpc.WithInjector(inj), rpc.WithWorkers(e21WorkersPerServer)))
 	}
@@ -218,7 +231,13 @@ type FailoverResult struct {
 	// Promoted reports that the backup answered as the shard's primary by
 	// the end of the outage phase.
 	Promoted bool
-	Phases   []FailoverPhase // before, failover, after
+	// PromotionWindow is the measured unavailability window: from the
+	// primary's kill to the backup's "promote" event (from its event log) —
+	// the ground truth the latency-tail eyeballing used to approximate.
+	PromotionWindow time.Duration
+	// Events is the backup's event log (promotion, lease breaks, ...).
+	Events []obs.Event
+	Phases []FailoverPhase // before, failover, after
 }
 
 // failoverPhase drives every client with error-tolerant operations for d,
@@ -321,6 +340,7 @@ func FailoverRun(phase time.Duration) (*FailoverResult, error) {
 	res := &FailoverResult{VictimShard: victim}
 	res.Phases = append(res.Phases, failoverPhase("before", phase, cls, victim))
 
+	killAt := time.Now()
 	rig.killPrimary()
 	// The failover phase covers the outage: the watchdog promotes the backup
 	// after failoverReplTTL of silence, well inside the phase.
@@ -328,5 +348,12 @@ func FailoverRun(phase time.Duration) (*FailoverResult, error) {
 	res.Promoted = rig.promoted()
 
 	res.Phases = append(res.Phases, failoverPhase("after", phase, cls, victim))
+	res.Events = rig.bRec.Events()
+	for _, e := range res.Events {
+		if e.Name == "promote" {
+			res.PromotionWindow = time.Duration(e.WallUnixNS - killAt.UnixNano())
+			break
+		}
+	}
 	return res, nil
 }

@@ -471,6 +471,7 @@ func E21ScaleOut() (*Table, error) {
 		"client files pinned round-robin across shards so every scaling cell loads all servers",
 		"kill cell: the victim's TCP server closes mid-run; survivors keep serving, the victim's unrenewed lock lease expires (sweeper breaks the txn), and after restart its clients' transports re-dial and fail over",
 		fmt.Sprintf("failover cell: shard 1 runs as a replicated primary/backup pair (repl TTL %s); the primary dies whole mid-run and the backup self-promotes — the outage is a victim-side latency tail, not failed operations", failoverReplTTL),
+		fmt.Sprintf("failover promotion window %v, measured kill→promote from the backup's event log (promoted=%v) — not inferred from the p99 tail", fr.PromotionWindow.Round(time.Millisecond), fr.Promoted),
 		"open-loop rows measure latency from each operation's scheduled arrival, so overload shows up as queueing delay and unmet offered load")
 	return t, nil
 }

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// defaultEventCap bounds the per-recorder event log; newest events
+// overwrite the oldest once full.
+const defaultEventCap = 256
+
+// Event is one entry in the recorder's bounded event log: a rare,
+// state-changing cluster occurrence (backup promotion, primary fencing,
+// solo-drop of a dead backup, client rebind, lease break) that a latency
+// histogram cannot represent. Unlike span times — which are relative to one
+// recorder's epoch — the wall timestamp is absolute (UnixNano), so events
+// scraped from different processes sort into one fleet-wide timeline.
+type Event struct {
+	Name       string `json:"name"`
+	Detail     string `json:"detail,omitempty"`
+	WallUnixNS int64  `json:"wall_unix_ns"`
+	VirtNS     int64  `json:"virt_ns"`
+}
+
+// Time returns the event's absolute wall time.
+func (e Event) Time() time.Time { return time.Unix(0, e.WallUnixNS) }
+
+// Event appends an entry to the bounded event log. Nil-safe.
+func (r *Recorder) Event(name, detail string) {
+	if r == nil {
+		return
+	}
+	ev := Event{
+		Name:       name,
+		Detail:     detail,
+		WallUnixNS: time.Now().UnixNano(),
+		VirtNS:     int64(r.vnow()),
+	}
+	r.emu.Lock()
+	if r.events == nil {
+		if r.ecap <= 0 {
+			r.ecap = defaultEventCap
+		}
+		r.events = make([]Event, r.ecap)
+	}
+	r.events[r.enext] = ev
+	r.enext = (r.enext + 1) % len(r.events)
+	r.etotal++
+	r.emu.Unlock()
+}
+
+// Eventf is Event with a formatted detail string.
+func (r *Recorder) Eventf(name, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Event(name, fmt.Sprintf(format, args...))
+}
+
+// Events returns the retained events oldest-first. The slice is a snapshot
+// the caller owns.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.emu.Lock()
+	defer r.emu.Unlock()
+	size := r.etotal
+	if size > len(r.events) {
+		size = len(r.events)
+	}
+	start := r.enext - size
+	if start < 0 {
+		start += len(r.events)
+	}
+	out := make([]Event, 0, size)
+	for i := 0; i < size; i++ {
+		out = append(out, r.events[(start+i)%len(r.events)])
+	}
+	return out
+}
+
+// EventTotal returns how many events were ever logged, including any the
+// bounded ring has since overwritten.
+func (r *Recorder) EventTotal() int {
+	if r == nil {
+		return 0
+	}
+	r.emu.Lock()
+	defer r.emu.Unlock()
+	return r.etotal
+}

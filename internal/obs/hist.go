@@ -118,6 +118,99 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return time.Duration(h.max.Load())
 }
 
+// HistData is the exportable snapshot of a Histogram: the same log-scale
+// buckets in sparse form, JSON-marshalable, so snapshots scraped from
+// different processes can be merged and re-queried for fleet-wide
+// quantiles. A nil HistData accepts every method.
+type HistData struct {
+	Count int64 `json:"count"`
+	SumNS int64 `json:"sum_ns"`
+	MaxNS int64 `json:"max_ns"`
+	// Buckets maps bucket index (the bit length of the observed
+	// nanosecond value, as in Histogram) to its count; empty buckets are
+	// omitted, so snapshots with disjoint ranges merge cleanly.
+	Buckets map[int]int64 `json:"buckets,omitempty"`
+}
+
+// Data snapshots the histogram, or nil when it has no observations.
+func (h *Histogram) Data() *HistData {
+	if h == nil || h.count.Load() == 0 {
+		return nil
+	}
+	d := &HistData{
+		Count:   h.count.Load(),
+		SumNS:   h.sum.Load(),
+		MaxNS:   h.max.Load(),
+		Buckets: make(map[int]int64),
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n != 0 {
+			d.Buckets[i] = n
+		}
+	}
+	return d
+}
+
+// Merge folds o into d. Bucket sets may be disjoint or partially
+// overlapping — absent buckets are zeros.
+func (d *HistData) Merge(o *HistData) {
+	if d == nil || o == nil {
+		return
+	}
+	d.Count += o.Count
+	d.SumNS += o.SumNS
+	if o.MaxNS > d.MaxNS {
+		d.MaxNS = o.MaxNS
+	}
+	if d.Buckets == nil && len(o.Buckets) > 0 {
+		d.Buckets = make(map[int]int64, len(o.Buckets))
+	}
+	for i, n := range o.Buckets {
+		d.Buckets[i] += n
+	}
+}
+
+// Quantile estimates the q-quantile with the same scheme as
+// Histogram.Quantile: geometric bucket midpoint, clamped to the maximum.
+func (d *HistData) Quantile(q float64) time.Duration {
+	if d == nil || d.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(d.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += d.Buckets[i]
+		if cum >= rank {
+			var rep int64
+			if i > 0 {
+				lo := int64(1) << uint(i-1)
+				rep = lo + lo/2
+			}
+			if rep > d.MaxNS {
+				rep = d.MaxNS
+			}
+			return time.Duration(rep)
+		}
+	}
+	return time.Duration(d.MaxNS)
+}
+
+// Mean returns the average observation.
+func (d *HistData) Mean() time.Duration {
+	if d == nil || d.Count == 0 {
+		return 0
+	}
+	return time.Duration(d.SumNS / d.Count)
+}
+
 // Merge folds o's observations into h. Histograms from different recorders
 // (or different runs) can be combined before querying percentiles.
 func (h *Histogram) Merge(o *Histogram) {

@@ -29,6 +29,7 @@ package obs
 
 import (
 	"context"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -49,12 +50,13 @@ const (
 	LayerDiskService
 	LayerDevice
 	LayerRPC
+	LayerCluster
 	numLayers
 )
 
 var layerNames = [numLayers]string{
 	"agent", "fileservice", "lock", "txn", "wal", "replication",
-	"parity", "diskservice", "device", "rpc",
+	"parity", "diskservice", "device", "rpc", "cluster",
 }
 
 // String returns the layer's canonical name as used in profiles and dumps.
@@ -101,6 +103,12 @@ type Recorder struct {
 	dmu       sync.Mutex
 	dumps     []*FaultDump
 	dumpDrops int64
+
+	emu    sync.Mutex
+	events []Event
+	enext  int
+	etotal int
+	ecap   int
 }
 
 // Option configures a Recorder.
@@ -110,6 +118,12 @@ type Option func(*Recorder)
 // recorder retains (default 64).
 func WithFlightCapacity(n int) Option {
 	return func(r *Recorder) { r.flight = newFlightRing(n) }
+}
+
+// WithEventCapacity sets how many events the event log retains
+// (default 256).
+func WithEventCapacity(n int) Option {
+	return func(r *Recorder) { r.ecap = n }
 }
 
 // WithVirtualClock sets the virtual-time source, typically the cluster's
@@ -290,6 +304,14 @@ type Span struct {
 	parent *Span
 	layer  Layer
 
+	// Identity for cross-process stitching, fixed at creation: every span
+	// gets a process-unique spanID; roots mint a traceID that children
+	// inherit; a continuation root started by StartRemote also records the
+	// remote caller's span as remoteParent.
+	traceID      uint64
+	spanID       uint64
+	remoteParent uint64
+
 	mu        sync.Mutex
 	op        string
 	file      uint64
@@ -346,6 +368,26 @@ func (r *Recorder) StartRoot(ctx context.Context, layer Layer, op string) (conte
 	return context.WithValue(ctx, ctxKey{}, sp), sp
 }
 
+// StartRemote continues a span tree that began in another process: it
+// starts a root span on r that carries the caller's traceID and records
+// parentSpanID as its remote parent, so StitchTraces can reattach the two
+// trees into one. A zero traceID falls back to StartRoot.
+func (r *Recorder) StartRemote(ctx context.Context, layer Layer, op string, traceID, parentSpanID uint64) (context.Context, *Span) {
+	if r == nil {
+		return ctx, nil
+	}
+	if traceID == 0 {
+		return r.StartRoot(ctx, layer, op)
+	}
+	sp := r.newSpan(layer, op, nil)
+	sp.traceID = traceID
+	sp.remoteParent = parentSpanID
+	r.amu.Lock()
+	r.active[sp] = struct{}{}
+	r.amu.Unlock()
+	return context.WithValue(ctx, ctxKey{}, sp), sp
+}
+
 // StartOr nests under the span in ctx when there is one, and otherwise
 // roots a new tree on r — for layers that are entry points for some
 // callers (a txn service driven directly) and interior for others.
@@ -356,21 +398,56 @@ func (r *Recorder) StartOr(ctx context.Context, layer Layer, op string) (context
 	return r.StartRoot(ctx, layer, op)
 }
 
+// idState seeds span/trace IDs: a random per-process origin advanced by an
+// odd constant (a Weyl sequence), so IDs are process-unique without
+// coordination and two processes' sequences never collide in practice.
+var idState atomic.Uint64
+
+func init() { idState.Store(rand.Uint64() | 1) }
+
+func newID() uint64 {
+	id := idState.Add(0x9e3779b97f4a7c15)
+	if id == 0 {
+		id = idState.Add(0x9e3779b97f4a7c15)
+	}
+	return id
+}
+
 func (r *Recorder) newSpan(layer Layer, op string, parent *Span) *Span {
 	sp := &Span{
 		rec:       r,
 		parent:    parent,
 		layer:     layer,
 		op:        op,
+		spanID:    newID(),
 		startWall: time.Now(),
 		startVirt: r.vnow(),
 	}
 	if parent != nil {
+		sp.traceID = parent.traceID
 		parent.mu.Lock()
 		parent.children = append(parent.children, sp)
 		parent.mu.Unlock()
+	} else {
+		sp.traceID = newID()
 	}
 	return sp
+}
+
+// TraceID returns the span's trace identity (zero on a nil Span).
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's process-unique identity (zero on a nil Span).
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.spanID
 }
 
 // SetFile annotates the span with a file id.
@@ -496,6 +573,20 @@ func (r *Recorder) StartOp(ctx context.Context, layer Layer, op string) (context
 	return ctx, Op{r: r, layer: layer, t0: time.Now(), v0: r.vnow()}
 }
 
+// StartRemoteOp is StartOp for a request that arrived with cross-process
+// trace identity: with a nonzero traceID it continues the remote caller's
+// tree via StartRemote; otherwise it behaves exactly like StartOp.
+func (r *Recorder) StartRemoteOp(ctx context.Context, layer Layer, op string, traceID, parentSpanID uint64) (context.Context, Op) {
+	if traceID == 0 {
+		return r.StartOp(ctx, layer, op)
+	}
+	ctx2, sp := r.StartRemote(ctx, layer, op, traceID, parentSpanID)
+	if sp == nil {
+		return ctx, Op{}
+	}
+	return ctx2, Op{sp: sp}
+}
+
 // Span returns the op's span (nil when observing histograms only).
 func (o Op) Span() *Span { return o.sp }
 
@@ -518,19 +609,26 @@ func (o Op) End(err error) {
 // marshal while the live tree keeps mutating. Times are nanoseconds; wall
 // starts are relative to the recorder's epoch.
 type SpanData struct {
-	Layer       string      `json:"layer"`
-	Op          string      `json:"op"`
-	File        uint64      `json:"file,omitempty"`
-	Txn         uint64      `json:"txn,omitempty"`
-	Bytes       int64       `json:"bytes,omitempty"`
-	Count       int64       `json:"count,omitempty"`
-	StartWallNS int64       `json:"start_wall_ns"`
-	WallNS      int64       `json:"wall_ns"`
-	StartVirtNS int64       `json:"start_virt_ns"`
-	VirtNS      int64       `json:"virt_ns"`
-	Err         string      `json:"err,omitempty"`
-	InFlight    bool        `json:"in_flight,omitempty"`
-	Children    []*SpanData `json:"children,omitempty"`
+	Layer string `json:"layer"`
+	Op    string `json:"op"`
+	// TraceID groups the spans of one logical operation across processes;
+	// SpanID identifies this span; ParentSpanID is set only on continuation
+	// roots (StartRemote) and names the remote caller's span, which
+	// StitchTraces uses to reattach the trees.
+	TraceID      uint64      `json:"trace_id,omitempty"`
+	SpanID       uint64      `json:"span_id,omitempty"`
+	ParentSpanID uint64      `json:"parent_span_id,omitempty"`
+	File         uint64      `json:"file,omitempty"`
+	Txn          uint64      `json:"txn,omitempty"`
+	Bytes        int64       `json:"bytes,omitempty"`
+	Count        int64       `json:"count,omitempty"`
+	StartWallNS  int64       `json:"start_wall_ns"`
+	WallNS       int64       `json:"wall_ns"`
+	StartVirtNS  int64       `json:"start_virt_ns"`
+	VirtNS       int64       `json:"virt_ns"`
+	Err          string      `json:"err,omitempty"`
+	InFlight     bool        `json:"in_flight,omitempty"`
+	Children     []*SpanData `json:"children,omitempty"`
 }
 
 // Data deep-copies the span tree into its export form.
@@ -540,16 +638,19 @@ func (s *Span) Data() *SpanData {
 	}
 	s.mu.Lock()
 	d := &SpanData{
-		Layer:       s.layer.String(),
-		Op:          s.op,
-		File:        s.file,
-		Txn:         s.txn,
-		Bytes:       s.bytes,
-		Count:       s.count,
-		StartWallNS: s.startWall.Sub(s.rec.epoch).Nanoseconds(),
-		StartVirtNS: int64(s.startVirt),
-		Err:         s.errmsg,
-		InFlight:    !s.done,
+		Layer:        s.layer.String(),
+		Op:           s.op,
+		TraceID:      s.traceID,
+		SpanID:       s.spanID,
+		ParentSpanID: s.remoteParent,
+		File:         s.file,
+		Txn:          s.txn,
+		Bytes:        s.bytes,
+		Count:        s.count,
+		StartWallNS:  s.startWall.Sub(s.rec.epoch).Nanoseconds(),
+		StartVirtNS:  int64(s.startVirt),
+		Err:          s.errmsg,
+		InFlight:     !s.done,
 	}
 	if s.done {
 		d.WallNS = s.endWall.Sub(s.startWall).Nanoseconds()

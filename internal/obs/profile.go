@@ -21,17 +21,23 @@ type LayerStats struct {
 	WallMeanNS int64  `json:"wall_mean_ns"`
 	VirtP50NS  int64  `json:"virt_p50_ns"`
 	VirtP99NS  int64  `json:"virt_p99_ns"`
+	// Wall and Virt carry the raw histogram buckets, so profiles scraped
+	// from different processes can be merged (MergeProfiles) and their
+	// fleet-wide quantiles recomputed rather than averaged.
+	Wall *HistData `json:"wall_hist,omitempty"`
+	Virt *HistData `json:"virt_hist,omitempty"`
 }
 
 // ValueStats summarizes one named unit-less value histogram (for example
 // the group-commit batch-size distribution).
 type ValueStats struct {
-	Name  string  `json:"name"`
-	Count int64   `json:"count"`
-	Mean  float64 `json:"mean"`
-	P50   int64   `json:"p50"`
-	P95   int64   `json:"p95"`
-	Max   int64   `json:"max"`
+	Name  string    `json:"name"`
+	Count int64     `json:"count"`
+	Mean  float64   `json:"mean"`
+	P50   int64     `json:"p50"`
+	P95   int64     `json:"p95"`
+	Max   int64     `json:"max"`
+	Hist  *HistData `json:"hist,omitempty"`
 }
 
 // Profile is the per-layer latency breakdown plus gauge snapshot — the
@@ -42,6 +48,7 @@ type Profile struct {
 	Values     []ValueStats     `json:"values,omitempty"`
 	Gauges     map[string]int64 `json:"gauges,omitempty"`
 	Trees      int              `json:"trees"`
+	Events     int              `json:"events,omitempty"`
 	FaultDumps int              `json:"fault_dumps,omitempty"`
 }
 
@@ -54,6 +61,7 @@ func (r *Recorder) Profile() *Profile {
 	p := &Profile{
 		Gauges: r.Gauges(),
 		Trees:  r.flight.total(),
+		Events: r.EventTotal(),
 	}
 	r.dmu.Lock()
 	p.FaultDumps = len(r.dumps)
@@ -70,6 +78,8 @@ func (r *Recorder) Profile() *Profile {
 			WallMeanNS: int64(w.Mean()),
 			VirtP50NS:  int64(v.Quantile(0.50)),
 			VirtP99NS:  int64(v.Quantile(0.99)),
+			Wall:       w.Data(),
+			Virt:       v.Data(),
 		})
 	}
 	for name, h := range r.ValueHists() {
@@ -80,6 +90,7 @@ func (r *Recorder) Profile() *Profile {
 			P50:   int64(h.Quantile(0.50)),
 			P95:   int64(h.Quantile(0.95)),
 			Max:   int64(h.Max()),
+			Hist:  h.Data(),
 		})
 	}
 	sort.Slice(p.Values, func(i, j int) bool { return p.Values[i].Name < p.Values[j].Name })

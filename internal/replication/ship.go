@@ -21,11 +21,25 @@ package replication
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Named metrics this package records (on the recorder passed in via
+// ShipperConfig.Obs / Applier.Obs). Values are unit-less counts for the
+// batch histograms and nanoseconds for the latency ones.
+const (
+	MetricShipBatchRecords = "repl.ship.batch_records"
+	MetricShipBatchBytes   = "repl.ship.batch_bytes"
+	MetricShipNS           = "repl.ship.ns"
+	MetricApplyNS          = "repl.apply.ns"
 )
 
 // Rec is one shipped mutation record.
@@ -36,6 +50,13 @@ type Rec struct {
 	Method string // rpcfs method name
 	Body   []byte // request body, in the shard's wire codec
 	Reply  []byte // the primary's reply body (replay must reproduce it)
+
+	// TraceID and SpanID carry the group-commit span that appended the
+	// record, in memory only (never encoded into the batch frame): the
+	// sender uses the first traced record to parent its ship span, which
+	// then rides the rpc frame header to the backup.
+	TraceID uint64
+	SpanID  uint64
 }
 
 // ErrShipDown marks the replication stream as broken: the backup is
@@ -118,11 +139,15 @@ func decodeBatch(data []byte) ([]Rec, error) {
 type ShipperConfig struct {
 	// Send ships one encoded batch frame and returns once the backup has
 	// confirmed applying it (typically one rpc round trip). An error marks
-	// the stream down.
-	Send func(batch []byte) error
+	// the stream down. ctx carries the sender's ship span so a tracing
+	// transport can propagate it to the backup.
+	Send func(ctx context.Context, batch []byte) error
 	// OnDown, when set, runs once (from the sender goroutine or MarkDown's
 	// caller) when the stream goes down, with the cause.
 	OnDown func(err error)
+	// Obs, when set, records a ship span and the batch-size/latency
+	// histograms per shipped batch.
+	Obs *obs.Recorder
 }
 
 // Shipper sequences and ships mutation records to one backup. Appenders and
@@ -131,8 +156,9 @@ type ShipperConfig struct {
 // ships it as one batch, and advances the confirmed watermark. Wait blocks
 // until a record is confirmed or the stream is down — the commit barrier.
 type Shipper struct {
-	send   func([]byte) error
+	send   func(context.Context, []byte) error
 	onDown func(error)
+	rec    *obs.Recorder
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -149,7 +175,7 @@ type Shipper struct {
 
 // NewShipper starts a shipper and its sender goroutine.
 func NewShipper(cfg ShipperConfig) *Shipper {
-	s := &Shipper{send: cfg.Send, onDown: cfg.OnDown}
+	s := &Shipper{send: cfg.Send, onDown: cfg.OnDown, rec: cfg.Obs}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(1)
 	go s.sender()
@@ -265,7 +291,28 @@ func (s *Shipper) sender() {
 		s.mu.Unlock()
 
 		frame = appendBatch(frame[:0], batch)
-		err := s.send(frame)
+		// The ship span continues the group-commit span of the first traced
+		// record in the batch (later records in the same batch share the
+		// ride but not the span), and the Send context carries it across
+		// the wire to the backup.
+		ctx := context.Background()
+		var op obs.Op
+		var tid, sid uint64
+		for i := range batch {
+			if batch[i].TraceID != 0 {
+				tid, sid = batch[i].TraceID, batch[i].SpanID
+				break
+			}
+		}
+		ctx, op = s.rec.StartRemoteOp(ctx, obs.LayerReplication, "ship", tid, sid)
+		op.Span().SetCount(len(batch))
+		op.Span().AddBytes(len(frame))
+		t0 := time.Now()
+		err := s.send(ctx, frame)
+		op.End(err)
+		s.rec.ValueHist(MetricShipBatchRecords).Record(time.Duration(len(batch)))
+		s.rec.ValueHist(MetricShipBatchBytes).Record(time.Duration(len(frame)))
+		s.rec.ValueHist(MetricShipNS).Record(time.Since(t0))
 		s.mu.Lock()
 		s.inflight = 0
 		if err == nil {
@@ -286,10 +333,17 @@ type Applier struct {
 	// Apply re-executes one record against the backup's state machine and
 	// returns the reply it produced.
 	Apply func(method string, body []byte) ([]byte, error)
+	// ApplyCtx, when set, is used instead of Apply and receives the batch
+	// context, which carries the backup-apply span — so the backup's own
+	// fileservice/txn/wal spans nest inside the shipped trace.
+	ApplyCtx func(ctx context.Context, method string, body []byte) ([]byte, error)
 	// Seed, when set, records (client, cseq) → reply in the backup's
 	// duplicate-request cache, so a client retry after failover is answered
 	// without re-execution. reply is owned by the callee.
 	Seed func(client, cseq uint64, reply []byte)
+	// Obs, when set, records a backup-apply span and per-record apply
+	// latency.
+	Obs *obs.Recorder
 
 	mu      sync.Mutex
 	applied uint64 // highest applied sequence number
@@ -308,6 +362,13 @@ func (a *Applier) Applied() uint64 {
 // and fails the batch — the stream cannot safely continue. Returns the new
 // applied watermark.
 func (a *Applier) ApplyBatch(data []byte) (uint64, error) {
+	return a.ApplyBatchCtx(context.Background(), data)
+}
+
+// ApplyBatchCtx is ApplyBatch with the receiving rpc's context threaded
+// through: each record replays under a backup-apply span nested in ctx's
+// tree (the primary's ship span, when the batch arrived traced).
+func (a *Applier) ApplyBatchCtx(ctx context.Context, data []byte) (uint64, error) {
 	recs, err := decodeBatch(data)
 	if err != nil {
 		return a.Applied(), err
@@ -324,7 +385,17 @@ func (a *Applier) ApplyBatch(data []byte) (uint64, error) {
 		}
 		// Only successful mutations are shipped, so a replay that errors —
 		// or answers differently — means the replicas have diverged.
-		out, aerr := a.Apply(r.Method, r.Body)
+		t0 := time.Now()
+		rctx, op := a.Obs.StartOp(ctx, obs.LayerReplication, "backup-apply")
+		var out []byte
+		var aerr error
+		if a.ApplyCtx != nil {
+			out, aerr = a.ApplyCtx(rctx, r.Method, r.Body)
+		} else {
+			out, aerr = a.Apply(r.Method, r.Body)
+		}
+		op.End(aerr)
+		a.Obs.ValueHist(MetricApplyNS).Record(time.Since(t0))
 		if aerr != nil {
 			return a.applied, fmt.Errorf("replication: divergence at seq %d (%s): replay failed: %v", r.Seq, r.Method, aerr)
 		}

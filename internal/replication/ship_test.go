@@ -2,6 +2,7 @@ package replication
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -77,7 +78,7 @@ func TestBatchCodecRejectsCorruption(t *testing.T) {
 func TestShipperConfirmsInOrder(t *testing.T) {
 	var mu sync.Mutex
 	var shipped []Rec
-	s := NewShipper(ShipperConfig{Send: func(batch []byte) error {
+	s := NewShipper(ShipperConfig{Send: func(_ context.Context, batch []byte) error {
 		recs, err := decodeBatch(batch)
 		if err != nil {
 			return err
@@ -134,7 +135,7 @@ func TestShipperSendFailureMarksDown(t *testing.T) {
 	var downs []error
 	var mu sync.Mutex
 	s := NewShipper(ShipperConfig{
-		Send:   func([]byte) error { return cause },
+		Send:   func(context.Context, []byte) error { return cause },
 		OnDown: func(err error) { mu.Lock(); downs = append(downs, err); mu.Unlock() },
 	})
 	defer s.Close()
@@ -169,7 +170,7 @@ func TestShipperSendFailureMarksDown(t *testing.T) {
 func TestShipperMarkDownWaitsOutInflight(t *testing.T) {
 	sendEntered := make(chan struct{})
 	sendRelease := make(chan struct{})
-	s := NewShipper(ShipperConfig{Send: func([]byte) error {
+	s := NewShipper(ShipperConfig{Send: func(context.Context, []byte) error {
 		close(sendEntered)
 		<-sendRelease
 		return errors.New("severed mid-flight")

@@ -51,6 +51,13 @@ type Request struct {
 	Method string
 	// Body is the operation's encoded argument.
 	Body []byte
+	// TraceID and SpanID carry the caller's span identity for cross-node
+	// tracing (see internal/obs): when nonzero, the binary wire encodes the
+	// traced frame kind and the serving endpoint continues the caller's
+	// span tree instead of rooting its own. Zero — tracing off — keeps the
+	// original frame layout byte-for-byte (and gob omits zero fields).
+	TraceID uint64
+	SpanID  uint64
 }
 
 // Response is the reply to a Request.
@@ -69,6 +76,12 @@ type Handler func(method string, body []byte) ([]byte, error)
 // visible — what a replicating service needs in order to forward
 // (ClientID, Seq) alongside the operation it ships to its backup.
 type RequestHandler func(Request) ([]byte, error)
+
+// CtxRequestHandler is a RequestHandler that also receives the request
+// context, which carries the endpoint's serving span when the request
+// arrived traced — services thread it through their own instrumented
+// layers so the whole execution lands in the caller's span tree.
+type CtxRequestHandler func(ctx context.Context, req Request) ([]byte, error)
 
 // Errors.
 var (
@@ -218,10 +231,11 @@ func isTransient(err error) bool {
 // Endpoint wraps a Handler with the duplicate-request cache.
 type Endpoint struct {
 	handler    Handler
-	reqHandler RequestHandler // used instead of handler when set
+	reqHandler RequestHandler    // used instead of handler when set
+	ctxHandler CtxRequestHandler // preferred over both when set
 	dup        *DupCache
-	met     *metrics.Set
-	obsRec  *obs.Recorder
+	met        *metrics.Set
+	obsRec     *obs.Recorder
 	// NoDupCache disables idempotency (ablation for E13): every message is
 	// executed, duplicates included.
 	noDup bool
@@ -276,6 +290,13 @@ func WithRequestHandler(h RequestHandler) EndpointOption {
 	return func(e *Endpoint) { e.reqHandler = h }
 }
 
+// WithCtxRequestHandler is WithRequestHandler for services that accept the
+// request context, so a traced request's span tree flows into the service's
+// own instrumentation.
+func WithCtxRequestHandler(h CtxRequestHandler) EndpointOption {
+	return func(e *Endpoint) { e.ctxHandler = h }
+}
+
 // NewEndpoint wraps handler.
 func NewEndpoint(handler Handler, opts ...EndpointOption) *Endpoint {
 	e := &Endpoint{handler: handler, dup: NewDupCache(0), inflight: make(map[clientSeq]*inflightCall)}
@@ -285,10 +306,13 @@ func NewEndpoint(handler Handler, opts ...EndpointOption) *Endpoint {
 	return e
 }
 
-// Handle executes (or replays) one request.
+// Handle executes (or replays) one request. A request carrying trace
+// identity continues the caller's span tree (StartRemoteOp), so the serving
+// span — and everything the handler nests under it — stitches into one
+// cross-process tree; an untraced request is observed exactly as before.
 func (e *Endpoint) Handle(req Request) Response {
-	_, op := e.obsRec.StartOp(context.Background(), obs.LayerRPC, req.Method)
-	resp := e.handle(req)
+	ctx, op := e.obsRec.StartRemoteOp(context.Background(), obs.LayerRPC, req.Method, req.TraceID, req.SpanID)
+	resp := e.handle(ctx, req)
 	var err error
 	if resp.Err != "" {
 		err = errors.New(resp.Err)
@@ -297,7 +321,7 @@ func (e *Endpoint) Handle(req Request) Response {
 	return resp
 }
 
-func (e *Endpoint) handle(req Request) Response {
+func (e *Endpoint) handle(ctx context.Context, req Request) Response {
 	e.met.Inc(metrics.RPCRequests)
 	var call *inflightCall
 	if !e.noDup {
@@ -322,9 +346,12 @@ func (e *Endpoint) handle(req Request) Response {
 	}
 	var body []byte
 	var err error
-	if e.reqHandler != nil {
+	switch {
+	case e.ctxHandler != nil:
+		body, err = e.ctxHandler(ctx, req)
+	case e.reqHandler != nil:
 		body, err = e.reqHandler(req)
-	} else {
+	default:
 		body, err = e.handler(req.Method, req.Body)
 	}
 	resp := Response{Seq: req.Seq, Body: body}
@@ -546,9 +573,23 @@ func (c *Client) SetAttemptTimeout(d time.Duration) {
 // Call invokes method with the encoded body, retrying lost messages.
 // Service-level failures are returned as *ServiceError.
 func (c *Client) Call(method string, body []byte) ([]byte, error) {
+	return c.call(method, body, 0, 0)
+}
+
+// CallCtx is Call carrying the span active in ctx across the wire: the
+// request is stamped with the span's trace identity, so the serving
+// endpoint continues the same span tree. With no span in ctx — tracing
+// off — it is exactly Call: one context lookup, nothing on the wire.
+func (c *Client) CallCtx(ctx context.Context, method string, body []byte) ([]byte, error) {
+	sp := obs.FromContext(ctx)
+	return c.call(method, body, sp.TraceID(), sp.SpanID())
+}
+
+func (c *Client) call(method string, body []byte, traceID, spanID uint64) ([]byte, error) {
 	c.mu.Lock()
 	c.seq++
-	req := Request{ClientID: c.clientID, Seq: c.seq, Method: method, Body: body}
+	req := Request{ClientID: c.clientID, Seq: c.seq, Method: method, Body: body,
+		TraceID: traceID, SpanID: spanID}
 	timeout := c.attemptTimeout
 	retryOn := c.retryOn
 	c.mu.Unlock()

@@ -313,7 +313,7 @@ func (s *TCPServer) serveMuxConn(sc *serverConn) {
 		if err != nil {
 			return
 		}
-		if frame.kind != frameRequest {
+		if frame.kind != frameRequest && frame.kind != frameRequestTraced {
 			Recycle(frame.body)
 			return
 		}
@@ -325,6 +325,8 @@ func (s *TCPServer) serveMuxConn(sc *serverConn) {
 				Seq:      frame.seq,
 				Method:   frame.method,
 				Body:     frame.body,
+				TraceID:  frame.traceID,
+				SpanID:   frame.spanID,
 			},
 		}
 		select {

@@ -17,6 +17,13 @@ import (
 //	payload  := kind(1) frameID(8) rest
 //	request  := kind=1 frameID clientID(8) seq(8) mlen(2) blen(4) method body
 //	response := kind=2 frameID seq(8)      elen(2) blen(4) errmsg body
+//	traced   := kind=3 frameID clientID(8) seq(8) traceID(8) spanID(8) mlen(2) blen(4) method body
+//
+// A traced request (kind 3) is a request carrying the caller's span
+// identity; the server endpoint continues that span tree instead of rooting
+// its own. Untraced requests use kind 1 with the exact pre-trace layout, so
+// tracing off means no frame growth and no extra work; the gob legacy
+// format never emits trace fields (gob omits zero values).
 //
 // The frameID tags each request so responses can return out of order over a
 // multiplexed connection; it is connection-local and never reaches the
@@ -30,15 +37,17 @@ import (
 
 // Frame kinds.
 const (
-	frameRequest  byte = 1
-	frameResponse byte = 2
+	frameRequest       byte = 1
+	frameResponse      byte = 2
+	frameRequestTraced byte = 3
 )
 
 // Fixed header sizes after the 4-byte length prefix.
 const (
-	frameCommonLen   = 1 + 8         // kind + frameID
-	requestFixedLen  = 8 + 8 + 2 + 4 // clientID seq mlen blen
-	responseFixedLen = 8 + 2 + 4     // seq elen blen
+	frameCommonLen        = 1 + 8                   // kind + frameID
+	requestFixedLen       = 8 + 8 + 2 + 4           // clientID seq mlen blen
+	requestTracedFixedLen = requestFixedLen + 8 + 8 // + traceID spanID
+	responseFixedLen      = 8 + 2 + 4               // seq elen blen
 )
 
 // DefaultMaxFrame bounds one frame's payload (16 MB); larger frames are
@@ -144,6 +153,8 @@ type wireFrame struct {
 	id       uint64
 	clientID uint64 // request only
 	seq      uint64
+	traceID  uint64 // traced request only
+	spanID   uint64 // traced request only
 	method   string // request only
 	errMsg   string // response only
 	body     []byte
@@ -180,7 +191,7 @@ func (r *frameReader) read() (fr wireFrame, consumed int, err error) {
 	// The header parses out of the reader's persistent scratch space: a
 	// stack array would escape through io.ReadFull and cost an allocation
 	// per frame.
-	hdr := r.scratch[:4+frameCommonLen+requestFixedLen]
+	hdr := r.scratch[:4+frameCommonLen+requestTracedFixedLen]
 	if consumed, err = r.fill(hdr[:4], consumed); err != nil {
 		return fr, consumed, err
 	}
@@ -205,6 +216,18 @@ func (r *frameReader) read() (fr wireFrame, consumed int, err error) {
 		fr.seq = binary.BigEndian.Uint64(p[8:])
 		strLen = int(binary.BigEndian.Uint16(p[16:]))
 		bodyLen = int(binary.BigEndian.Uint32(p[18:]))
+	case frameRequestTraced:
+		fixed = requestTracedFixedLen
+		p := hdr[4+frameCommonLen:]
+		if consumed, err = r.fill(p[:fixed], consumed); err != nil {
+			return fr, consumed, err
+		}
+		fr.clientID = binary.BigEndian.Uint64(p[0:])
+		fr.seq = binary.BigEndian.Uint64(p[8:])
+		fr.traceID = binary.BigEndian.Uint64(p[16:])
+		fr.spanID = binary.BigEndian.Uint64(p[24:])
+		strLen = int(binary.BigEndian.Uint16(p[32:]))
+		bodyLen = int(binary.BigEndian.Uint32(p[34:]))
 	case frameResponse:
 		fixed = responseFixedLen
 		p := hdr[4+frameCommonLen:]
@@ -228,7 +251,7 @@ func (r *frameReader) read() (fr wireFrame, consumed int, err error) {
 	if consumed, err = r.fill(s[:strLen], consumed); err != nil {
 		return fr, consumed, err
 	}
-	if fr.kind == frameRequest {
+	if fr.kind == frameRequest || fr.kind == frameRequestTraced {
 		m, ok := r.methods[string(s[:strLen])]
 		if !ok {
 			m = string(s[:strLen])
@@ -262,7 +285,14 @@ func writeRequest(bw *bufio.Writer, id uint64, req *Request, maxFrame int) error
 	if len(req.Method) > 0xFFFF {
 		return fmt.Errorf("rpc: method name %d bytes long", len(req.Method))
 	}
-	frameLen := frameCommonLen + requestFixedLen + len(req.Method) + len(req.Body)
+	// A request with span identity encodes as the traced frame kind; an
+	// untraced request keeps the exact pre-trace layout, so disabling
+	// tracing costs nothing on the wire.
+	kind, fixed := frameRequest, requestFixedLen
+	if req.TraceID != 0 {
+		kind, fixed = frameRequestTraced, requestTracedFixedLen
+	}
+	frameLen := frameCommonLen + fixed + len(req.Method) + len(req.Body)
 	if maxFrame > 0 && frameLen > maxFrame {
 		return fmt.Errorf("rpc: request frame %d bytes exceeds limit %d", frameLen, maxFrame)
 	}
@@ -270,10 +300,14 @@ func writeRequest(bw *bufio.Writer, id uint64, req *Request, maxFrame int) error
 	// never escapes to the heap: steady-state encode is allocation-free.
 	hdr := bw.AvailableBuffer()
 	hdr = binary.BigEndian.AppendUint32(hdr, uint32(frameLen))
-	hdr = append(hdr, frameRequest)
+	hdr = append(hdr, kind)
 	hdr = binary.BigEndian.AppendUint64(hdr, id)
 	hdr = binary.BigEndian.AppendUint64(hdr, req.ClientID)
 	hdr = binary.BigEndian.AppendUint64(hdr, req.Seq)
+	if kind == frameRequestTraced {
+		hdr = binary.BigEndian.AppendUint64(hdr, req.TraceID)
+		hdr = binary.BigEndian.AppendUint64(hdr, req.SpanID)
+	}
 	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(req.Method)))
 	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(req.Body)))
 	if _, err := bw.Write(hdr); err != nil {

@@ -20,6 +20,7 @@ package rpcfs
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -145,9 +146,23 @@ func (s *Server) enc(v any) ([]byte, error) {
 	return appendPayload(make([]byte, 0, payloadSize(v)), v)
 }
 
+// CtxHandler executes one decoded request with its context, which carries
+// the serving span when the request arrived traced.
+type CtxHandler func(ctx context.Context, method string, body []byte) ([]byte, error)
+
 // Handler returns the rpc handler.
 func (s *Server) Handler() rpc.Handler {
+	h := s.HandlerCtx()
 	return func(method string, body []byte) ([]byte, error) {
+		return h(context.Background(), method, body)
+	}
+}
+
+// HandlerCtx is Handler with the request context threaded through to the
+// instrumented file-service data path (ReadAtCtx/WriteAtCtx), so a traced
+// request's fileservice/txn/wal spans nest inside the caller's tree.
+func (s *Server) HandlerCtx() CtxHandler {
+	return func(ctx context.Context, method string, body []byte) ([]byte, error) {
 		switch method {
 		case MCreate:
 			var a CreateArgs
@@ -203,7 +218,7 @@ func (s *Server) Handler() rpc.Handler {
 			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
-			data, err := s.Files.ReadAt(fileservice.FileID(a.ID), a.Off, a.N)
+			data, err := s.Files.ReadAtCtx(ctx, fileservice.FileID(a.ID), a.Off, a.N)
 			if err != nil {
 				return nil, err
 			}
@@ -213,7 +228,7 @@ func (s *Server) Handler() rpc.Handler {
 			if err := s.dec(body, &a); err != nil {
 				return nil, err
 			}
-			n, err := s.Files.WriteAt(fileservice.FileID(a.ID), a.Off, a.Data)
+			n, err := s.Files.WriteAtCtx(ctx, fileservice.FileID(a.ID), a.Off, a.Data)
 			if err != nil {
 				return nil, err
 			}
@@ -307,8 +322,14 @@ type Client struct {
 var _ agent.FileService = (*Client)(nil)
 
 func (c *Client) call(method string, args, reply any) error {
+	return c.callCtx(context.Background(), method, args, reply)
+}
+
+// callCtx is call carrying ctx's span identity across the wire (see
+// rpc.Client.CallCtx); with no span in ctx it is exactly call.
+func (c *Client) callCtx(ctx context.Context, method string, args, reply any) error {
 	if c.Wire == rpc.WireGob {
-		return c.callGob(method, args, reply)
+		return c.callGob(ctx, method, args, reply)
 	}
 	// Binary codec: the argument body comes from the transport's buffer
 	// pools and goes back once Call returns — on every path, including
@@ -320,7 +341,7 @@ func (c *Client) call(method string, args, reply any) error {
 		rpc.Recycle(body)
 		return err
 	}
-	out, err := c.C.Call(method, body)
+	out, err := c.C.CallCtx(ctx, method, body)
 	rpc.Recycle(body)
 	if err != nil {
 		c.C.ReleaseBody(out)
@@ -341,12 +362,12 @@ func (c *Client) call(method string, args, reply any) error {
 	return nil
 }
 
-func (c *Client) callGob(method string, args, reply any) error {
+func (c *Client) callGob(ctx context.Context, method string, args, reply any) error {
 	body, err := enc(args)
 	if err != nil {
 		return err
 	}
-	out, err := c.C.Call(method, body)
+	out, err := c.C.CallCtx(ctx, method, body)
 	if err != nil {
 		return err
 	}
@@ -390,8 +411,13 @@ func (c *Client) Delete(id fileservice.FileID) error {
 
 // ReadAt implements agent.FileService.
 func (c *Client) ReadAt(id fileservice.FileID, off int64, n int) ([]byte, error) {
+	return c.ReadAtCtx(context.Background(), id, off, n)
+}
+
+// ReadAtCtx is ReadAt carrying ctx's span across the wire.
+func (c *Client) ReadAtCtx(ctx context.Context, id fileservice.FileID, off int64, n int) ([]byte, error) {
 	var r BytesReply
-	if err := c.call(MReadAt, ReadAtArgs{ID: uint64(id), Off: off, N: n}, &r); err != nil {
+	if err := c.callCtx(ctx, MReadAt, ReadAtArgs{ID: uint64(id), Off: off, N: n}, &r); err != nil {
 		return nil, err
 	}
 	return r.Data, nil
@@ -399,8 +425,13 @@ func (c *Client) ReadAt(id fileservice.FileID, off int64, n int) ([]byte, error)
 
 // WriteAt implements agent.FileService.
 func (c *Client) WriteAt(id fileservice.FileID, off int64, data []byte) (int, error) {
+	return c.WriteAtCtx(context.Background(), id, off, data)
+}
+
+// WriteAtCtx is WriteAt carrying ctx's span across the wire.
+func (c *Client) WriteAtCtx(ctx context.Context, id fileservice.FileID, off int64, data []byte) (int, error) {
 	var r IntReply
-	if err := c.call(MWriteAt, WriteAtArgs{ID: uint64(id), Off: off, Data: data}, &r); err != nil {
+	if err := c.callCtx(ctx, MWriteAt, WriteAtArgs{ID: uint64(id), Off: off, Data: data}, &r); err != nil {
 		return 0, err
 	}
 	return int(r.V), nil
