@@ -8,10 +8,16 @@
 //     DESIGN.md and EXPERIMENTS.md whose package directory exists under
 //     internal/ but whose exported identifier no longer appears as a
 //     declaration in that package's Go source.
+//  3. CLI flag drift, both directions: a doc line that names a cmd/
+//     binary and shows a -flag the binary does not register fails, and a
+//     registered flag no doc line ever shows next to its binary fails.
+//  4. Unindexed experiments: every E<n> token anywhere in the docs must
+//     have an index row in EXPERIMENTS.md's summary table.
 //
-// It deliberately checks declarations by regular expression, not by
-// type-checking: the docs should survive refactors that keep names, and
-// the checker should stay dependency-free and fast.
+// It scans *.md at the root and under docs/. It deliberately checks
+// declarations by regular expression, not by type-checking: the docs
+// should survive refactors that keep names, and the checker should stay
+// dependency-free and fast.
 //
 // Usage:
 //
@@ -32,6 +38,14 @@ import (
 var identFiles = map[string]bool{
 	"DESIGN.md":      true,
 	"EXPERIMENTS.md": true,
+}
+
+// logFiles are append-only logs and per-PR specs, not user docs: their
+// lines summarize many tools at once, so the flag and experiment-index
+// cross-checks skip them (link checking still applies).
+var logFiles = map[string]bool{
+	"CHANGES.md": true,
+	"ISSUE.md":   true,
 }
 
 var (
@@ -55,6 +69,22 @@ func run(root string) int {
 		fmt.Fprintf(os.Stderr, "doccheck: no markdown files under %s\n", root)
 		return 1
 	}
+	if sub, err := filepath.Glob(filepath.Join(root, "docs", "*.md")); err == nil {
+		mds = append(mds, sub...)
+	}
+	regFlags, err := registeredFlags(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		return 1
+	}
+	indexed, err := indexedExperiments(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		return 1
+	}
+	// documented[binary][flag] = true once any doc line shows -flag next
+	// to the binary's name; the reverse direction checks it at the end.
+	documented := map[string]map[string]bool{}
 	problems := 0
 	for _, md := range mds {
 		data, err := os.ReadFile(md)
@@ -74,6 +104,24 @@ func run(root string) int {
 					problems++
 				}
 			}
+			if !logFiles[filepath.Base(md)] {
+				for _, msg := range checkDocFlags(line, regFlags, documented) {
+					fmt.Fprintf(os.Stderr, "%s:%d: %s\n", md, i+1, msg)
+					problems++
+				}
+				for _, msg := range checkExperimentTokens(line, indexed) {
+					fmt.Fprintf(os.Stderr, "%s:%d: %s\n", md, i+1, msg)
+					problems++
+				}
+			}
+		}
+	}
+	for bin, flags := range regFlags {
+		for f := range flags {
+			if !documented[bin][f] {
+				fmt.Fprintf(os.Stderr, "cmd/%s: flag -%s is registered but no doc line shows it with %s\n", bin, f, bin)
+				problems++
+			}
 		}
 	}
 	if problems > 0 {
@@ -82,6 +130,137 @@ func run(root string) int {
 	}
 	fmt.Println("doccheck: OK")
 	return 0
+}
+
+var (
+	// flagRegRE matches a flag registration in a binary's source.
+	flagRegRE = regexp.MustCompile(`flag\.(?:String|Bool|Int|Int64|Uint64|Float64|Duration)\("([a-z][a-z0-9-]*)"`)
+	// flagTokenRE matches a -flag token after punctuation stripping.
+	flagTokenRE = regexp.MustCompile(`^-([a-z][a-z0-9-]*)$`)
+	// indexRowRE matches an experiment index row's ID cell in the summary
+	// table of EXPERIMENTS.md.
+	indexRowRE = regexp.MustCompile(`^\|\s*([A-Z]\d+)\s*\|`)
+	// expTokenRE matches an E<n> experiment reference anywhere in prose.
+	expTokenRE = regexp.MustCompile(`\bE(\d+)\b`)
+)
+
+// registeredFlags scans every binary under cmd/ for flag registrations and
+// returns binary name → set of flag names.
+func registeredFlags(root string) (map[string]map[string]bool, error) {
+	dirs, err := filepath.Glob(filepath.Join(root, "cmd", "*"))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]map[string]bool{}
+	for _, dir := range dirs {
+		st, err := os.Stat(dir)
+		if err != nil || !st.IsDir() {
+			continue
+		}
+		bin := filepath.Base(dir)
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return nil, err
+			}
+			for _, m := range flagRegRE.FindAllStringSubmatch(string(data), -1) {
+				if out[bin] == nil {
+					out[bin] = map[string]bool{}
+				}
+				out[bin][m[1]] = true
+			}
+		}
+	}
+	return out, nil
+}
+
+// indexedExperiments returns the experiment IDs with an index row in
+// EXPERIMENTS.md's summary table.
+func indexedExperiments(root string) (map[string]bool, error) {
+	data, err := os.ReadFile(filepath.Join(root, "EXPERIMENTS.md"))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if m := indexRowRE.FindStringSubmatch(line); m != nil {
+			out[m[1]] = true
+		}
+	}
+	return out, nil
+}
+
+// lineTokens splits a doc line into tokens with surrounding markdown
+// punctuation stripped (backticks, quotes, table pipes, brackets), keeping
+// a leading dash so flag tokens survive.
+func lineTokens(line string) []string {
+	fields := strings.Fields(line)
+	toks := make([]string, 0, len(fields))
+	for _, f := range fields {
+		toks = append(toks, strings.Trim(f, "`\"'|[](){}<>,.;:*"))
+	}
+	return toks
+}
+
+// checkDocFlags verifies every -flag shown on a line next to a cmd/ binary
+// name against that binary's registered flags, and records the sighting so
+// the caller can check the reverse direction (registered but undocumented).
+func checkDocFlags(line string, regFlags map[string]map[string]bool, documented map[string]map[string]bool) []string {
+	toks := lineTokens(line)
+	var bins []string
+	for _, t := range toks {
+		t = strings.TrimPrefix(t, "./")
+		if i := strings.LastIndexByte(t, '/'); i >= 0 {
+			t = t[i+1:]
+		}
+		if _, ok := regFlags[t]; ok {
+			bins = append(bins, t)
+		}
+	}
+	if len(bins) == 0 {
+		return nil
+	}
+	var msgs []string
+	for _, t := range toks {
+		m := flagTokenRE.FindStringSubmatch(t)
+		if m == nil {
+			continue
+		}
+		known := false
+		for _, bin := range bins {
+			if regFlags[bin][m[1]] {
+				if documented[bin] == nil {
+					documented[bin] = map[string]bool{}
+				}
+				documented[bin][m[1]] = true
+				known = true
+			}
+		}
+		if !known {
+			msgs = append(msgs, fmt.Sprintf("flag -%s is not registered by %s", m[1], strings.Join(bins, " or ")))
+		}
+	}
+	return msgs
+}
+
+// checkExperimentTokens verifies every E<n> reference has an index row in
+// EXPERIMENTS.md's summary table.
+func checkExperimentTokens(line string, indexed map[string]bool) []string {
+	var msgs []string
+	seen := map[string]bool{}
+	for _, m := range expTokenRE.FindAllStringSubmatch(line, -1) {
+		id := "E" + m[1]
+		if indexed[id] || seen[id] {
+			continue
+		}
+		seen[id] = true
+		msgs = append(msgs, fmt.Sprintf("experiment %s has no index row in EXPERIMENTS.md", id))
+	}
+	return msgs
 }
 
 // checkLinks reports intra-repo link targets on one line that do not exist.

@@ -14,18 +14,30 @@
 // shard order) and routes each name to its home shard client-side:
 //
 //	rhodos -addrs 127.0.0.1:7423,127.0.0.1:7424,127.0.0.1:7425 ls /docs
+//
+// With -cache, file reads and writes go through the coherent client cache:
+// the client holds server-granted leases, re-reads are served locally, and
+// the server recalls the lease over the connection's push channel when
+// another client conflicts. The cacheprobe subcommand reads a file twice
+// through the cache and reports whether the second read stayed local:
+//
+//	rhodos -cache -addrs ... cacheprobe /docs/report
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 
+	"repro/internal/ccache"
 	"repro/internal/cluster"
 	"repro/internal/fileservice"
 	"repro/internal/fit"
 	"repro/internal/naming"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/rpcfs"
 )
@@ -35,7 +47,7 @@ func main() {
 }
 
 func usage() int {
-	fmt.Fprintln(os.Stderr, "usage: rhodos [-addr host:port | -addrs a,b,c] <put|get|ls|stat|rm> args...")
+	fmt.Fprintln(os.Stderr, "usage: rhodos [-addr host:port | -addrs a,b,c] [-cache] <put|get|ls|stat|rm|cacheprobe> args...")
 	return 2
 }
 
@@ -63,11 +75,32 @@ func (s singleClient) ResolvePath(path string) (naming.Entry, error) {
 	return s.Client.Resolve(path)
 }
 
+// cachedFS fronts the file operations with the coherent client cache;
+// naming operations (resolve, create-path, list) pass through untouched.
+type cachedFS struct {
+	fsClient
+	cc *ccache.Client
+}
+
+func (c cachedFS) Delete(id fileservice.FileID) error { return c.cc.Delete(id) }
+func (c cachedFS) ReadAt(id fileservice.FileID, off int64, n int) ([]byte, error) {
+	return c.cc.ReadAt(id, off, n)
+}
+func (c cachedFS) WriteAt(id fileservice.FileID, off int64, data []byte) (int, error) {
+	return c.cc.WriteAt(id, off, data)
+}
+func (c cachedFS) Truncate(id fileservice.FileID, size int64) error { return c.cc.Truncate(id, size) }
+func (c cachedFS) Attributes(id fileservice.FileID) (fit.Attributes, error) {
+	return c.cc.Attributes(id)
+}
+func (c cachedFS) Size(id fileservice.FileID) (int64, error) { return c.cc.Size(id) }
+
 func run() int {
 	addr := flag.String("addr", "127.0.0.1:7423", "rhodosd address (single server)")
 	addrs := flag.String("addrs", "", "comma-separated cluster endpoints in shard order (overrides -addr)")
 	backups := flag.String("backups", "", "comma-separated backup address per shard for failover (with -addrs; empty entries allowed)")
 	wireName := flag.String("wire", "binary", "wire format: binary (multiplexed) or gob (legacy serial); must match the server")
+	cache := flag.Bool("cache", false, "coherent client cache: lease-protected local reads, recall callbacks, write-back on exit")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -83,7 +116,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "rhodos: unknown wire format %q (binary or gob)\n", *wireName)
 		return 2
 	}
+	clientID := uint64(os.Getpid())
+	rec := obs.New()
 	var cl fsClient
+	var ccc *ccache.Client
 	if *addrs != "" {
 		var backupList []string
 		if *backups != "" {
@@ -92,7 +128,7 @@ func run() int {
 		rt, err := cluster.NewRouter(cluster.RouterConfig{
 			Endpoints: strings.Split(*addrs, ","),
 			Backups:   backupList,
-			ClientID:  uint64(os.Getpid()),
+			ClientID:  clientID,
 			Wire:      wire,
 		})
 		if err != nil {
@@ -101,14 +137,71 @@ func run() int {
 		}
 		defer rt.Shutdown()
 		cl = rt
+		if *cache {
+			cc, err := ccache.New(ccache.Config{Inner: rt, Lease: rt, ClientID: clientID, Obs: rec})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rhodos: %v\n", err)
+				return 1
+			}
+			// Recall pushes carry the shard's raw file ID; the cache keys
+			// files by routed ID, so re-route before delivering.
+			rt.SetPushSink(func(shard int, method string, body []byte) {
+				if method != ccache.MRecall {
+					return
+				}
+				if file, ver, err := ccache.DecodeRecall(body); err == nil {
+					cc.Recall(fileservice.FileID(cluster.RoutedID(shard, file)), ver)
+				}
+			}, func(shard int, err error) { cc.DropLeases(nil) })
+			ccc = cc
+			cl = cachedFS{fsClient: rt, cc: cc}
+		}
 	} else {
-		tr, err := rpc.DialTCP(*addr, rpc.WithWireFormat(wire))
+		var ccp atomic.Pointer[ccache.Client]
+		var dialOpts []rpc.TCPOption
+		dialOpts = append(dialOpts, rpc.WithWireFormat(wire))
+		if *cache {
+			dialOpts = append(dialOpts,
+				rpc.WithPushHandler(func(method string, body []byte) {
+					if method != ccache.MRecall {
+						return
+					}
+					if file, ver, err := ccache.DecodeRecall(body); err == nil {
+						if cc := ccp.Load(); cc != nil {
+							cc.Recall(fileservice.FileID(file), ver)
+						}
+					}
+				}),
+				rpc.WithConnDown(func(error) {
+					if cc := ccp.Load(); cc != nil {
+						cc.DropLeases(nil)
+					}
+				}))
+		}
+		tr, err := rpc.DialTCP(*addr, dialOpts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rhodos: %v\n", err)
 			return 1
 		}
 		defer func() { _ = tr.Close() }()
-		cl = singleClient{&rpcfs.Client{C: rpc.NewClient(tr, uint64(os.Getpid()), 10, nil), Wire: wire}}
+		rcl := rpc.NewClient(tr, clientID, 10, nil)
+		base := singleClient{&rpcfs.Client{C: rcl, Wire: wire}}
+		cl = base
+		if *cache {
+			cc, err := ccache.New(ccache.Config{
+				Inner:    base.Client,
+				Lease:    &ccache.DirectLease{C: rcl},
+				ClientID: clientID,
+				Obs:      rec,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rhodos: %v\n", err)
+				return 1
+			}
+			ccp.Store(cc)
+			ccc = cc
+			cl = cachedFS{fsClient: base, cc: cc}
+		}
 	}
 
 	fail := func(err error) int {
@@ -141,6 +234,13 @@ func run() int {
 		}
 		if _, err := cl.WriteAt(id, 0, data); err != nil {
 			return fail(err)
+		}
+		if ccc != nil {
+			// Cached writes are buffered dirty; write them back before
+			// claiming success.
+			if err := ccc.FlushFile(id); err != nil {
+				return fail(err)
+			}
 		}
 		fmt.Printf("put %s (%d bytes) as file %d\n", args[1], len(data), id)
 	case "get":
@@ -200,8 +300,50 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Printf("removed %s\n", args[1])
+	case "cacheprobe":
+		// Read the file twice through the client cache and report whether
+		// the second read stayed local — the CI coherence smoke.
+		if len(args) != 2 {
+			return usage()
+		}
+		if ccc == nil {
+			return fail(errors.New("cacheprobe requires -cache"))
+		}
+		e, err := cl.ResolvePath(args[1])
+		if err != nil {
+			return fail(err)
+		}
+		id := fileservice.FileID(e.SystemName)
+		size, err := cl.Size(id)
+		if err != nil {
+			return fail(err)
+		}
+		if _, err := cl.ReadAt(id, 0, int(size)); err != nil {
+			return fail(err)
+		}
+		h0 := rec.Gauge(ccache.MetricHits).Value()
+		m0 := rec.Gauge(ccache.MetricMisses).Value()
+		if _, err := cl.ReadAt(id, 0, int(size)); err != nil {
+			return fail(err)
+		}
+		h1 := rec.Gauge(ccache.MetricHits).Value()
+		m1 := rec.Gauge(ccache.MetricMisses).Value()
+		local := h1 > h0 && m1 == m0
+		fmt.Printf("cacheprobe %s: %d bytes; ccache.hits=%d ccache.misses=%d second-read-local=%v\n",
+			args[1], size, h1, m1, local)
+		if !local {
+			return 1
+		}
 	default:
 		return usage()
+	}
+	if ccc != nil {
+		// Write back anything still dirty and hand the leases back, so the
+		// next client (cached or not) doesn't pay a recall against an
+		// exited process.
+		if err := ccc.Shutdown(); err != nil {
+			return fail(err)
+		}
 	}
 	return 0
 }

@@ -49,9 +49,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ccache"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/fileservice"
 	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/rpcfs"
@@ -174,11 +176,27 @@ func run() int {
 	}
 
 	srv := &rpcfs.Server{Files: fac.Files, Naming: fac.Naming, Wire: wire}
+	// The client-cache lease manager sits between the cluster service and
+	// the rpcfs handler: it serves cc.lease.* acquires, recalls conflicting
+	// holders over the connection's push channel, and versions mutations.
+	// On a backup it sees the primary's replicated replays, so its lease
+	// table survives a failover with the data.
+	ccSrv, err := ccache.NewServer(ccache.ServerConfig{
+		Inner: srv.HandlerCtx(),
+		Wire:  wire,
+		Size:  func(file uint64) (int64, error) { return fac.Files.Size(fileservice.FileID(file)) },
+		Obs:   rec,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rhodosd: %v\n", err)
+		return 1
+	}
+	defer ccSrv.Close()
 	svc, err := cluster.NewService(cluster.ServiceConfig{
 		Shard:    shard,
 		Map:      cluster.Map{Version: 1, Endpoints: endpoints, Backups: backups},
-		Inner:    srv.Handler(),
-		InnerCtx: srv.HandlerCtx(),
+		Inner:    ccSrv.Handler,
+		InnerCtx: ccSrv.HandlerCtx,
 		Wire:     wire,
 		Locks:    fac.Locks(),
 		LeaseTTL: *leaseTTL,

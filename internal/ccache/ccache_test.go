@@ -1,0 +1,729 @@
+package ccache
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fileservice"
+	"repro/internal/fit"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/rpcfs"
+)
+
+// TestCodecRoundTrips pins the lease protocol's wire layouts.
+func TestCodecRoundTrips(t *testing.T) {
+	f, cl, mode := uint64(0xdeadbeef), uint64(42), ModeWrite
+	gotF, gotC, gotM, err := DecodeAcquireArgs(AppendAcquireArgs(nil, f, cl, mode))
+	if err != nil || gotF != f || gotC != cl || gotM != mode {
+		t.Fatalf("acquire round trip = %#x %d %d, %v", gotF, gotC, gotM, err)
+	}
+	g := Grant{Ver: 7, Size: 123456, TTL: 1500 * time.Millisecond}
+	gotG, err := DecodeGrant(AppendGrant(nil, g))
+	if err != nil || gotG != g {
+		t.Fatalf("grant round trip = %+v, %v", gotG, err)
+	}
+	gotF, gotC, err = DecodeLeaseIDArgs(AppendLeaseIDArgs(nil, f, cl))
+	if err != nil || gotF != f || gotC != cl {
+		t.Fatalf("lease-id round trip = %#x %d, %v", gotF, gotC, err)
+	}
+	gotF, ver, err := DecodeRecall(AppendRecall(nil, f, 9))
+	if err != nil || gotF != f || ver != 9 {
+		t.Fatalf("recall round trip = %#x %d, %v", gotF, ver, err)
+	}
+	if _, _, _, err := DecodeAcquireArgs([]byte{1, 2}); err == nil {
+		t.Fatal("short acquire args decoded")
+	}
+	if _, err := DecodeGrant(nil); err == nil {
+		t.Fatal("empty grant decoded")
+	}
+}
+
+func TestBusyAndLeaseMethodPredicates(t *testing.T) {
+	busy := rpc.Transient(fmt.Errorf("%s: file %#x", busyMarker, 1))
+	if !IsBusy(busy) || IsBusy(nil) || IsBusy(fmt.Errorf("other")) {
+		t.Fatal("IsBusy misclassifies")
+	}
+	if !IsLeaseMethod(MLeaseAcquire) || !IsLeaseMethod(MLeaseRelease) || !IsLeaseMethod(MLeaseAck) {
+		t.Fatal("lease methods not recognized")
+	}
+	if IsLeaseMethod(MRecall) || IsLeaseMethod(rpcfs.MReadAt) {
+		t.Fatal("non-lease method recognized")
+	}
+}
+
+// TestMetricNamesAudit pins the metric namespace: every name the package
+// records is registered, prefixed, and unique.
+func TestMetricNamesAudit(t *testing.T) {
+	seen := map[string]bool{}
+	for _, name := range MetricNames {
+		if !strings.HasPrefix(name, "ccache.") {
+			t.Errorf("metric %q outside the ccache. namespace", name)
+		}
+		if seen[name] {
+			t.Errorf("metric %q registered twice", name)
+		}
+		seen[name] = true
+	}
+	if len(MetricNames) != 9 {
+		t.Fatalf("MetricNames has %d entries, want 9 — update the audit with the new metric", len(MetricNames))
+	}
+}
+
+// rig is a loopback file server wrapped by a lease manager.
+type rig struct {
+	t     *testing.T
+	core  *core.Cluster
+	srv   *Server
+	addr  string
+	reads atomic.Int64 // fs.readAt RPCs that reached the file service
+	clk   *fakeClock   // nil for real time
+	srec  *obs.Recorder
+}
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func newRig(t *testing.T, clk *fakeClock) *rig {
+	t.Helper()
+	c, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	r := &rig{t: t, core: c, clk: clk}
+	fsrv := &rpcfs.Server{Files: c.Files, Naming: c.Naming}
+	inner := fsrv.HandlerCtx()
+	counted := func(ctx context.Context, method string, body []byte) ([]byte, error) {
+		if method == rpcfs.MReadAt {
+			r.reads.Add(1)
+		}
+		return inner(ctx, method, body)
+	}
+	r.srec = obs.New()
+	scfg := ServerConfig{
+		Inner: counted,
+		Size:  func(file uint64) (int64, error) { return c.Files.Size(fileservice.FileID(file)) },
+		Obs:   r.srec,
+	}
+	if clk != nil {
+		scfg.Now = clk.Now
+	}
+	srv, err := NewServer(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	r.srv = srv
+	ep := rpc.NewEndpoint(nil, rpc.WithCtxRequestHandler(func(ctx context.Context, req rpc.Request) ([]byte, error) {
+		return srv.HandlerCtx(ctx, req.Method, req.Body)
+	}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tsrv := rpc.Serve(ln, ep)
+	t.Cleanup(func() { _ = tsrv.Close() })
+	r.addr = tsrv.Addr().String()
+	return r
+}
+
+// client dials one cached client: push handler wired to Recall, conn-down
+// to DropLeases, lease transport direct over the same connection.
+func (r *rig) client(id uint64) (*Client, *obs.Recorder) {
+	r.t.Helper()
+	var ccp atomic.Pointer[Client]
+	tr, err := rpc.DialTCP(r.addr,
+		rpc.WithPushHandler(func(method string, body []byte) {
+			if method != MRecall {
+				return
+			}
+			file, ver, err := DecodeRecall(body)
+			if err != nil {
+				return
+			}
+			ccp.Load().Recall(fileservice.FileID(file), ver)
+		}),
+		rpc.WithConnDown(func(error) { ccp.Load().DropLeases(nil) }))
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	r.t.Cleanup(func() { _ = tr.Close() })
+	rcl := rpc.NewClient(tr, id, 8, nil)
+	rec := obs.New()
+	cfg := Config{
+		Inner:    &rpcfs.Client{C: rcl},
+		Lease:    &DirectLease{C: rcl},
+		ClientID: id,
+		Obs:      rec,
+	}
+	if r.clk != nil {
+		cfg.Now = r.clk.Now
+	}
+	cc, err := New(cfg)
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	ccp.Store(cc)
+	return cc, rec
+}
+
+func (r *rig) create(path string) fileservice.FileID {
+	r.t.Helper()
+	id, err := r.core.Files.Create(fit.Attributes{})
+	if err != nil {
+		r.t.Fatal(err)
+	}
+	_ = path
+	return id
+}
+
+// TestCachedReReadBypassesServer is the core promise: after the first
+// read faults blocks in, re-reads are served locally — zero read RPCs.
+func TestCachedReReadBypassesServer(t *testing.T) {
+	r := newRig(t, nil)
+	ccA, _ := r.client(101)
+	ccB, recB := r.client(102)
+	id := r.create("/cc/hot")
+
+	want := bytes.Repeat([]byte("hotspot-"), 4096) // 4 blocks
+	if _, err := ccA.WriteAt(id, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := ccA.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ccB.ReadAt(id, 0, len(want))
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("first read: %v (len %d)", err, len(got))
+	}
+	before := r.reads.Load()
+	for i := 0; i < 10; i++ {
+		got, err = ccB.ReadAt(id, 0, len(want))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("re-read %d: %v", i, err)
+		}
+	}
+	if after := r.reads.Load(); after != before {
+		t.Fatalf("re-reads issued %d read RPCs, want 0", after-before)
+	}
+	if hits := recB.Gauge(MetricHits).Value(); hits < 10 {
+		t.Fatalf("ccache.hits = %d, want >= 10", hits)
+	}
+	// Size is served from the lease too.
+	if size, err := ccB.Size(id); err != nil || size != int64(len(want)) {
+		t.Fatalf("Size = %d, %v", size, err)
+	}
+}
+
+// TestWriteBackOnRecall: a reader's lease acquisition forces the writer
+// to flush its delayed writes first, so the reader sees them.
+func TestWriteBackOnRecall(t *testing.T) {
+	r := newRig(t, nil)
+	ccW, _ := r.client(201)
+	ccR, recR := r.client(202)
+	id := r.create("/cc/shared")
+
+	want := bytes.Repeat([]byte("delayed!"), 3000)
+	if _, err := ccW.WriteAt(id, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if ccW.DirtyBlocks() == 0 {
+		t.Fatal("write was not buffered")
+	}
+	got, err := ccR.ReadAt(id, 0, len(want))
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("reader missed delayed writes: %v", err)
+	}
+	if ccW.DirtyBlocks() != 0 {
+		t.Fatalf("writer still has %d dirty blocks after recall", ccW.DirtyBlocks())
+	}
+	// The reader's data had to come over the wire, not from a stale cache.
+	if recR.Gauge(MetricMisses).Value() == 0 {
+		t.Fatal("reader reported no miss")
+	}
+}
+
+// TestRecallStorm: one writer invalidates many readers; every reader's
+// next read observes the new data.
+func TestRecallStorm(t *testing.T) {
+	r := newRig(t, nil)
+	const nReaders = 6
+	id := r.create("/cc/storm")
+
+	seed := bytes.Repeat([]byte("v0______"), 2048) // 2 blocks
+	if _, err := r.core.Files.WriteAt(id, 0, seed); err != nil {
+		t.Fatal(err)
+	}
+	readers := make([]*Client, nReaders)
+	recs := make([]*obs.Recorder, nReaders)
+	for i := range readers {
+		readers[i], recs[i] = r.client(uint64(301 + i))
+		got, err := readers[i].ReadAt(id, 0, len(seed))
+		if err != nil || !bytes.Equal(got, seed) {
+			t.Fatalf("reader %d seed read: %v", i, err)
+		}
+	}
+	if n := r.srv.Holders(uint64(id)); n != nReaders {
+		t.Fatalf("server tracks %d holders, want %d", n, nReaders)
+	}
+
+	ccW, _ := r.client(400)
+	want := bytes.Repeat([]byte("v1!!!!!!"), 2048)
+	if _, err := ccW.WriteAt(id, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := ccW.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, rd := range readers {
+		got, err := rd.ReadAt(id, 0, len(want))
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("reader %d read stale data after recall: %v", i, err)
+		}
+		if recs[i].Gauge(MetricRecalls).Value() == 0 {
+			t.Fatalf("reader %d never processed a recall push", i)
+		}
+	}
+}
+
+// TestConcurrentRecallReadStress races recalls against reads and writes
+// on one file (run under -race). Invariants: no operation errors, and
+// once the writer quiesces and flushes, every client converges on the
+// final bytes.
+func TestConcurrentRecallReadStress(t *testing.T) {
+	r := newRig(t, nil)
+	id := r.create("/cc/stress")
+	region := 4 * BlockSize
+
+	seed := bytes.Repeat([]byte{0xAA}, region)
+	if _, err := r.core.Files.WriteAt(id, 0, seed); err != nil {
+		t.Fatal(err)
+	}
+
+	const nReaders = 3
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, nReaders+1)
+
+	ccW, _ := r.client(501)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, region)
+		for v := byte(1); ; v++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for i := range buf {
+				buf[i] = v
+			}
+			if _, err := ccW.WriteAt(id, 0, buf); err != nil {
+				errs <- fmt.Errorf("writer: %w", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < nReaders; i++ {
+		cc, _ := r.client(uint64(601 + i))
+		wg.Add(1)
+		go func(i int, cc *Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(i)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := int64(rng.Intn(region))
+				n := rng.Intn(region - int(off))
+				if _, err := cc.ReadAt(id, off, n); err != nil {
+					errs <- fmt.Errorf("reader %d: %w", i, err)
+					return
+				}
+			}
+		}(i, cc)
+	}
+	time.Sleep(600 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	if err := ccW.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Convergence: a fresh client and the server agree on final content.
+	final, err := r.core.Files.ReadAt(id, 0, region)
+	if err != nil || len(final) != region {
+		t.Fatalf("server final read: %d bytes, %v", len(final), err)
+	}
+	ccV, _ := r.client(700)
+	got, err := ccV.ReadAt(id, 0, region)
+	if err != nil || !bytes.Equal(got, final) {
+		t.Fatalf("verifier diverged from server: %v", err)
+	}
+}
+
+// TestExpiredLeaseNeverServesStale pins the §6.4-style sweep semantics:
+// a holder whose lease expired (clock, not callback) is dropped
+// server-side without a recall, and its client — including after a
+// reconnect-style DropLeases — refetches rather than serving stale bytes.
+func TestExpiredLeaseNeverServesStale(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1700000000, 0)}
+	r := newRig(t, clk)
+	cc1, _ := r.client(801)
+	cc2, _ := r.client(802)
+	id := r.create("/cc/stale")
+
+	old := bytes.Repeat([]byte("old-data"), 1024)
+	if _, err := r.core.Files.WriteAt(id, 0, old); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cc1.ReadAt(id, 0, len(old))
+	if err != nil || !bytes.Equal(got, old) {
+		t.Fatal("seed read failed")
+	}
+	if n := r.srv.Holders(uint64(id)); n != 1 {
+		t.Fatalf("holders = %d, want 1", n)
+	}
+
+	// Let the lease lapse on both clocks; the sweeper path drops it
+	// without any callback traffic.
+	clk.Advance(DefaultTTL + time.Second)
+	r.srv.sweepOnce()
+	if n := r.srv.Holders(uint64(id)); n != 0 {
+		t.Fatalf("holders after sweep = %d, want 0", n)
+	}
+
+	// A writer now changes the file; cc1 was never recalled (its lease
+	// already expired), so only the expiry check protects coherence.
+	fresh := bytes.Repeat([]byte("new-data"), 1024)
+	if _, err := cc2.WriteAt(id, 0, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err = cc1.ReadAt(id, 0, len(fresh))
+	if err != nil || !bytes.Equal(got, fresh) {
+		t.Fatalf("expired client served stale data (err %v)", err)
+	}
+
+	// Reconnect flavor: revoke local state wholesale (the conn-down hook)
+	// after another remote write, then read again.
+	clk.Advance(DefaultTTL + time.Second)
+	fresh2 := bytes.Repeat([]byte("newer!!!"), 1024)
+	if _, err := cc2.WriteAt(id, 0, fresh2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cc1.DropLeases(nil)
+	got, err = cc1.ReadAt(id, 0, len(fresh2))
+	if err != nil || !bytes.Equal(got, fresh2) {
+		t.Fatalf("reconnected client served stale data (err %v)", err)
+	}
+}
+
+// TestLeaseBufferBalance gates buffer ownership on the lease RPC path
+// and the recall push path: a churn of acquires, recalls, and releases
+// must not grow the pooled-buffer ledger. Reads are avoided here because
+// a read reply's buffer intentionally transfers to the caller (the rpcfs
+// aliasing contract) — Size and WriteAt exercise the same lease and
+// recall machinery with fully balanced buffers.
+func TestLeaseBufferBalance(t *testing.T) {
+	r := newRig(t, nil)
+	ccA, recA := r.client(901)
+	ccB, recB := r.client(902)
+	id := r.create("/cc/balance")
+
+	data := []byte("x")
+	if _, err := ccA.WriteAt(id, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	gets0, puts0 := rpc.BufferBalance()
+	for i := 0; i < 50; i++ {
+		// A's buffered write needs the W lease back, recalling B; B's
+		// size query needs an R lease, recalling A (flush + ack).
+		if _, err := ccA.WriteAt(id, 0, data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ccB.Size(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if recA.Gauge(MetricRecalls).Value() == 0 || recB.Gauge(MetricRecalls).Value() == 0 {
+		t.Fatal("lease churn produced no recalls — the test lost its subject")
+	}
+	// The server worker recycles request bodies slightly after replies
+	// land; give the ledger a moment to settle.
+	var leak int64
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		gets1, puts1 := rpc.BufferBalance()
+		leak = (gets1 - puts1) - (gets0 - puts0)
+		if leak <= 8 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if leak > 8 {
+		t.Fatalf("lease/recall path leaked %d pooled buffers", leak)
+	}
+}
+
+// TestLocalModeMirrorsFileService drives the cache in local mode (no
+// lease transport) against one file while issuing the same operations
+// uncached against a second, and requires identical observable state —
+// the cache must be semantically invisible.
+func TestLocalModeMirrorsFileService(t *testing.T) {
+	c, err := core.New(core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = c.Close() }()
+	cached, err := New(Config{Inner: c.Files})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idC, err := c.Files.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idP, err := c.Files.Create(fit.Attributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(step string) {
+		t.Helper()
+		sizeC, err1 := cached.Size(idC)
+		sizeP, err2 := c.Files.Size(idP)
+		if err1 != nil || err2 != nil || sizeC != sizeP {
+			t.Fatalf("%s: size %d vs %d (%v, %v)", step, sizeC, sizeP, err1, err2)
+		}
+		gotC, err1 := cached.ReadAt(idC, 0, int(sizeP)+100)
+		gotP, err2 := c.Files.ReadAt(idP, 0, int(sizeP)+100)
+		if err1 != nil || err2 != nil || !bytes.Equal(gotC, gotP) {
+			t.Fatalf("%s: contents diverge (%v, %v): %d vs %d bytes", step, err1, err2, len(gotC), len(gotP))
+		}
+	}
+
+	// Regression: aligned-offset write whose end falls mid-block must
+	// preserve the existing tail bytes of that same block (RMW fetch).
+	full := bytes.Repeat([]byte("tailtail"), BlockSize/8)
+	if _, err := c.Files.WriteAt(idP, 0, full); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Files.WriteAt(idC, 0, full); err != nil {
+		t.Fatal(err)
+	}
+	head := bytes.Repeat([]byte("H"), 100)
+	if _, err := cached.WriteAt(idC, 0, head); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Files.WriteAt(idP, 0, head); err != nil {
+		t.Fatal(err)
+	}
+	check("aligned-head RMW")
+
+	rng := rand.New(rand.NewSource(7))
+	span := int64(6 * BlockSize)
+	for i := 0; i < 120; i++ {
+		op := rng.Intn(10)
+		off := rng.Int63n(span)
+		n := rng.Intn(3*BlockSize) + 1
+		switch {
+		case op < 5: // write
+			data := make([]byte, n)
+			rng.Read(data)
+			if _, err := cached.WriteAt(idC, off, data); err != nil {
+				t.Fatalf("op %d cached write: %v", i, err)
+			}
+			if _, err := c.Files.WriteAt(idP, off, data); err != nil {
+				t.Fatalf("op %d plain write: %v", i, err)
+			}
+		case op < 8: // read both and compare
+			gotC, err1 := cached.ReadAt(idC, off, n)
+			gotP, err2 := c.Files.ReadAt(idP, off, n)
+			if err1 != nil || err2 != nil || !bytes.Equal(gotC, gotP) {
+				t.Fatalf("op %d read diverges at off=%d n=%d (%v, %v)", i, off, n, err1, err2)
+			}
+		case op < 9: // truncate (shrink or grow)
+			sz := rng.Int63n(span)
+			if err := cached.Truncate(idC, sz); err != nil {
+				t.Fatalf("op %d cached truncate: %v", i, err)
+			}
+			if err := c.Files.Truncate(idP, sz); err != nil {
+				t.Fatalf("op %d plain truncate: %v", i, err)
+			}
+		default: // flush
+			if err := cached.Flush(); err != nil {
+				t.Fatalf("op %d flush: %v", i, err)
+			}
+		}
+	}
+	check("random ops")
+	if err := cached.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if cached.DirtyBlocks() != 0 {
+		t.Fatalf("dirty blocks after flush: %d", cached.DirtyBlocks())
+	}
+	// After the flush the server-side twin file must equal the plain one.
+	szP, _ := c.Files.Size(idP)
+	gotC, err1 := c.Files.ReadAt(idC, 0, int(szP)+100)
+	gotP, err2 := c.Files.ReadAt(idP, 0, int(szP)+100)
+	if err1 != nil || err2 != nil || !bytes.Equal(gotC, gotP) {
+		t.Fatalf("flushed state diverges (%v, %v)", err1, err2)
+	}
+
+	// Edge semantics must pass through identically.
+	if _, err := cached.ReadAt(idC, -1, 4); err == nil {
+		t.Fatal("negative offset read succeeded")
+	}
+	if out, err := cached.ReadAt(idC, 1<<40, 16); err != nil || out != nil {
+		t.Fatalf("read past EOF = %v, %v (want nil, nil)", out, err)
+	}
+	if n, err := cached.WriteAt(idC, 0, nil); n != 0 || err != nil {
+		t.Fatalf("empty write = %d, %v", n, err)
+	}
+}
+
+// TestCloseFlushesAndReleases pins close-to-open consistency: Close
+// write-backs dirty state and drops the lease, so a different client
+// immediately reads the final bytes.
+func TestCloseFlushesAndReleases(t *testing.T) {
+	r := newRig(t, nil)
+	ccA, _ := r.client(1001)
+	ccB, _ := r.client(1002)
+	id := r.create("/cc/close")
+
+	want := bytes.Repeat([]byte("closing!"), 1024)
+	if err := ccA.Open(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ccA.WriteAt(id, 0, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := ccA.Close(id); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.srv.Holders(uint64(id)); n != 0 {
+		t.Fatalf("holders after close = %d, want 0", n)
+	}
+	got, err := ccB.ReadAt(id, 0, len(want))
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("close-to-open consistency broken: %v", err)
+	}
+}
+
+// TestShutdownFlushesAndReleasesAll pins the graceful-exit path: Shutdown
+// writes back every dirty block and hands every lease back, so a later
+// client reads the data without paying a recall.
+func TestShutdownFlushesAndReleasesAll(t *testing.T) {
+	r := newRig(t, nil)
+	ccA, _ := r.client(1051)
+	ccB, _ := r.client(1052)
+	idX := r.create("/cc/shutdown-x")
+	idY := r.create("/cc/shutdown-y")
+
+	wantX := bytes.Repeat([]byte("exiting!"), 1024)
+	wantY := bytes.Repeat([]byte("goodbye."), 512)
+	if _, err := ccA.WriteAt(idX, 0, wantX); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ccA.WriteAt(idY, 0, wantY); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ccA.ReadAt(idX, 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := ccA.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []fileservice.FileID{idX, idY} {
+		if n := r.srv.Holders(uint64(id)); n != 0 {
+			t.Fatalf("holders on %d after shutdown = %d, want 0", id, n)
+		}
+	}
+	if got, err := ccB.ReadAt(idX, 0, len(wantX)); err != nil || !bytes.Equal(got, wantX) {
+		t.Fatalf("X after shutdown: %v", err)
+	}
+	if got, err := ccB.ReadAt(idY, 0, len(wantY)); err != nil || !bytes.Equal(got, wantY) {
+		t.Fatalf("Y after shutdown: %v", err)
+	}
+}
+
+// TestTruncateCoherent pins write-through truncate: local cache state is
+// trimmed and other clients observe the truncation.
+func TestTruncateCoherent(t *testing.T) {
+	r := newRig(t, nil)
+	ccA, _ := r.client(1101)
+	ccB, _ := r.client(1102)
+	id := r.create("/cc/trunc")
+
+	data := bytes.Repeat([]byte("truncate"), 2048) // 2 blocks
+	if _, err := ccA.WriteAt(id, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := ccA.Truncate(id, 100); err != nil {
+		t.Fatal(err)
+	}
+	if size, err := ccA.Size(id); err != nil || size != 100 {
+		t.Fatalf("A size after truncate = %d, %v", size, err)
+	}
+	got, err := ccB.ReadAt(id, 0, 1000)
+	if err != nil || !bytes.Equal(got, data[:100]) {
+		t.Fatalf("B after truncate: %d bytes, %v", len(got), err)
+	}
+	// Growth after shrink: the reclaimed range reads as zeros everywhere.
+	if _, err := ccA.WriteAt(id, int64(BlockSize), []byte("far")); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]byte, BlockSize+3)
+	copy(want, data[:100])
+	copy(want[BlockSize:], "far")
+	gotA, err := ccA.ReadAt(id, 0, len(want))
+	if err != nil || !bytes.Equal(gotA, want) {
+		t.Fatalf("A hole read: %v", err)
+	}
+	if err := ccA.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := ccB.ReadAt(id, 0, len(want))
+	if err != nil || !bytes.Equal(gotB, want) {
+		t.Fatalf("B hole read: %v", err)
+	}
+}

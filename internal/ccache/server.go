@@ -1,0 +1,542 @@
+package ccache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/rpcfs"
+)
+
+// ServerConfig configures the server-side lease manager.
+type ServerConfig struct {
+	// Inner is the wrapped handler executing file requests (an rpcfs
+	// Server.HandlerCtx). Required.
+	Inner func(ctx context.Context, method string, body []byte) ([]byte, error)
+	// Wire decodes file requests for the conflict check; must match the
+	// inner rpcfs server's payload codec.
+	Wire rpc.WireFormat
+	// Size reports a file's current size for lease grants (raw file
+	// IDs). Required.
+	Size func(file uint64) (int64, error)
+	// TTL is the lease duration (DefaultTTL when zero).
+	TTL time.Duration
+	// RecallWait bounds how long a conflicting operation waits for a
+	// recalled holder before the lease is broken (DefaultRecallWait when
+	// zero).
+	RecallWait time.Duration
+	// SweepEvery is the expired-lease sweeper period (TTL/4 when zero).
+	SweepEvery time.Duration
+	// Obs receives lease telemetry. Optional.
+	Obs *obs.Recorder
+	// Now is the lease clock; nil means time.Now.
+	Now func() time.Time
+}
+
+// srvHolder is one client's lease on one file.
+type srvHolder struct {
+	mode    byte
+	expires time.Time
+	// recallAt is nonzero once a recall push went out: the deadline
+	// after which the lease is broken without an ack.
+	recallAt    time.Time
+	recallStart time.Time
+}
+
+// srvFile is the per-file lease record.
+type srvFile struct {
+	ver     uint64
+	holders map[uint64]*srvHolder
+	// inflight counts mutations currently executing against the file.
+	// Lease acquires answer busy while it is nonzero: a grant issued
+	// mid-mutation could carry the pre-mutation version and let the
+	// client cache pre-mutation bytes under a live lease — stale data
+	// no later recall would ever fix, because the mutation's conflict
+	// check already ran.
+	inflight int
+	// fence counts exclusive operations mid-recall. Acquires answer busy
+	// while it is nonzero so a hot reader population cannot re-acquire
+	// faster than a writer's recall rounds clear it — without the fence
+	// the writer livelocks until the recall deadline breaks everyone.
+	fence int
+}
+
+// empty reports whether the record holds nothing worth keeping.
+func (f *srvFile) empty() bool { return len(f.holders) == 0 && f.inflight == 0 && f.fence == 0 }
+
+// Server is the lease manager: it wraps a file-request handler,
+// serves the cc.lease.* methods, intercepts file operations that
+// conflict with outstanding leases (recalling their holders over the
+// connection's push channel), and versions every mutation so
+// re-acquiring clients know whether their cached blocks survived.
+//
+// Layering: on a clustered shard the Server sits between the cluster
+// service and the rpcfs server (cluster's InnerCtx), so replicated
+// replays on a backup maintain the backup's lease table too. Recalls
+// initiated while the shard's replication order lock is held cannot
+// wait for a write-lease holder's flush (the flush itself needs that
+// lock), so conflicts with a write lease answer a transient
+// recall-in-progress refusal and the caller retries; read-lease
+// conflicts only need acks, which bypass the order lock, and are waited
+// out inline.
+type Server struct {
+	inner      func(ctx context.Context, method string, body []byte) ([]byte, error)
+	wire       rpc.WireFormat
+	sizeFn     func(file uint64) (int64, error)
+	ttl        time.Duration
+	recallWait time.Duration
+	rec        *obs.Recorder
+	now        func() time.Time
+
+	// verGen mints file versions: globally unique and monotonic, so a
+	// file whose lease record was garbage-collected and recreated can
+	// never hand out a version an old client might still be caching
+	// under.
+	verGen atomic.Uint64
+
+	mu      sync.Mutex
+	files   map[uint64]*srvFile
+	pushers map[uint64]rpc.Pusher
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewServer builds the lease manager and starts its sweeper. Close
+// stops it.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Inner == nil {
+		return nil, errors.New("ccache: nil inner handler")
+	}
+	if cfg.Size == nil {
+		return nil, errors.New("ccache: nil size callback")
+	}
+	ttl := cfg.TTL
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	wait := cfg.RecallWait
+	if wait <= 0 {
+		wait = DefaultRecallWait
+	}
+	sweep := cfg.SweepEvery
+	if sweep <= 0 {
+		sweep = ttl / 4
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	s := &Server{
+		inner:      cfg.Inner,
+		wire:       cfg.Wire,
+		sizeFn:     cfg.Size,
+		ttl:        ttl,
+		recallWait: wait,
+		rec:        cfg.Obs,
+		now:        now,
+		files:      make(map[uint64]*srvFile),
+		pushers:    make(map[uint64]rpc.Pusher),
+		stop:       make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.sweepLoop(sweep)
+	return s, nil
+}
+
+// Close stops the sweeper.
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// Handler is the context-free adapter over HandlerCtx (tests, the
+// cluster service's Inner fallback). Requests through it carry no peer,
+// so they recall every conflicting holder — including the caller's own.
+func (s *Server) Handler(method string, body []byte) ([]byte, error) {
+	return s.HandlerCtx(context.Background(), method, body)
+}
+
+// HandlerCtx serves the lease protocol and guards everything else with
+// the conflict check before delegating to the wrapped handler. Wire it
+// as the cluster service's InnerCtx (or directly under an endpoint via
+// rpc.WithCtxRequestHandler on single-server rigs).
+func (s *Server) HandlerCtx(ctx context.Context, method string, body []byte) ([]byte, error) {
+	peer, hasPeer := rpc.PeerFromContext(ctx)
+	if hasPeer && peer.Pusher != nil && peer.ClientID != 0 {
+		// Latest connection wins: a reconnecting client's pushes must go
+		// to the live conn, not the dead one.
+		s.mu.Lock()
+		s.pushers[peer.ClientID] = peer.Pusher
+		s.mu.Unlock()
+	}
+	switch method {
+	case MLeaseAcquire:
+		return s.handleAcquire(body)
+	case MLeaseRelease:
+		return nil, s.handleRelease(body)
+	case MLeaseAck:
+		return nil, s.handleAck(body)
+	}
+	fid, mutating, ok, err := rpcfs.FileOfRequest(method, body, s.wire)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return s.inner(ctx, method, body)
+	}
+	if err := s.beginFileOp(fid, peer.ClientID, mutating); err != nil {
+		return nil, err
+	}
+	out, err := s.inner(ctx, method, body)
+	if mutating {
+		s.endMutation(fid, err == nil)
+	}
+	return out, err
+}
+
+// handleAcquire grants or renews a lease. Replicated to backups on
+// clustered shards, so the grant survives failover; on a backup (no
+// pushers registered) every conflicting holder breaks immediately, so
+// the replay is never refused.
+func (s *Server) handleAcquire(body []byte) ([]byte, error) {
+	file, client, mode, err := DecodeAcquireArgs(body)
+	if err != nil {
+		return nil, err
+	}
+	if client == 0 {
+		return nil, errors.New("ccache: acquire with zero client ID")
+	}
+	if mode != ModeRead && mode != ModeWrite {
+		return nil, fmt.Errorf("ccache: acquire with unknown mode %d", mode)
+	}
+	if err := s.recallConflicts(file, client, mode == ModeWrite); err != nil {
+		return nil, err
+	}
+	size, err := s.sizeFn(file)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	f := s.files[file]
+	if f != nil && (f.inflight > 0 || f.fence > 0) {
+		// A mutation is executing (a grant now could carry the
+		// pre-mutation version while the client fetches post- or
+		// mid-mutation bytes), or an exclusive recall is converging.
+		// Busy; the client retries.
+		s.mu.Unlock()
+		return nil, rpc.Transient(fmt.Errorf("%s: file %#x", busyMarker, file))
+	}
+	if f == nil {
+		f = &srvFile{ver: s.verGen.Add(1), holders: make(map[uint64]*srvHolder)}
+		s.files[file] = f
+	}
+	h := f.holders[client]
+	if h == nil {
+		h = &srvHolder{}
+		f.holders[client] = h
+	}
+	h.mode = mode
+	h.expires = s.now().Add(s.ttl)
+	h.recallAt = time.Time{}
+	ver := f.ver
+	s.mu.Unlock()
+	s.rec.Gauge(MetricLeaseGrants).Inc()
+	return AppendGrant(make([]byte, 0, acquireReplyLen), Grant{Ver: ver, Size: size, TTL: s.ttl}), nil
+}
+
+func (s *Server) handleRelease(body []byte) error {
+	file, client, err := DecodeLeaseIDArgs(body)
+	if err != nil {
+		return err
+	}
+	s.dropHolder(file, client, false)
+	return nil
+}
+
+func (s *Server) handleAck(body []byte) error {
+	file, client, err := DecodeLeaseIDArgs(body)
+	if err != nil {
+		return err
+	}
+	s.dropHolder(file, client, true)
+	return nil
+}
+
+// dropHolder removes one holder; acked recalls feed the wait histogram.
+func (s *Server) dropHolder(file, client uint64, acked bool) {
+	s.mu.Lock()
+	var waited time.Duration
+	if f := s.files[file]; f != nil {
+		if h := f.holders[client]; h != nil {
+			if acked && !h.recallStart.IsZero() {
+				waited = s.now().Sub(h.recallStart)
+			}
+			delete(f.holders, client)
+		}
+		if f.empty() {
+			delete(s.files, file)
+		}
+	}
+	s.mu.Unlock()
+	if waited > 0 {
+		s.rec.ValueHist(MetricRecallWaitNS).Record(waited)
+	}
+}
+
+// beginFileOp clears the way for a file operation: read-class operations
+// conflict with another client's write lease, mutating ones with any
+// other client's lease. Conflicting holders are recalled; the call waits
+// out ack-only conflicts and answers busy for flush-bearing ones (see
+// the Server doc comment for why). A mutation additionally pins the
+// file record (inflight, released by endMutation) under the same lock
+// that verified no conflicting holders remain, so no lease can be
+// granted between the conflict check and the mutation's completion.
+func (s *Server) beginFileOp(file, requester uint64, mutating bool) error {
+	for {
+		if err := s.recallConflicts(file, requester, mutating); err != nil {
+			return err
+		}
+		if !mutating {
+			return nil
+		}
+		s.mu.Lock()
+		f := s.files[file]
+		if f == nil {
+			f = &srvFile{ver: s.verGen.Add(1), holders: make(map[uint64]*srvHolder)}
+			s.files[file] = f
+		}
+		raced := false
+		for client := range f.holders {
+			if client != requester {
+				raced = true
+				break
+			}
+		}
+		if raced {
+			// An acquire slipped in between the recall pass and this
+			// lock; run another pass to recall it too.
+			s.mu.Unlock()
+			continue
+		}
+		f.inflight++
+		s.mu.Unlock()
+		return nil
+	}
+}
+
+// endMutation unpins the file record and, on success, mints the version
+// that tells re-acquiring clients their cached blocks are gone.
+func (s *Server) endMutation(file uint64, ok bool) {
+	s.mu.Lock()
+	if f := s.files[file]; f != nil {
+		f.inflight--
+		if ok {
+			f.ver = s.verGen.Add(1)
+		}
+		if f.empty() {
+			delete(s.files, file)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// recallConflicts recalls every holder that conflicts with the given
+// access (exclusive = a write or write-lease acquire, which conflicts
+// with every other holder; shared conflicts only with write leases).
+func (s *Server) recallConflicts(file, requester uint64, exclusive bool) error {
+	deadline := s.now().Add(s.recallWait)
+	fenced := false
+	defer func() {
+		if fenced {
+			s.mu.Lock()
+			if f := s.files[file]; f != nil {
+				f.fence--
+				if f.empty() {
+					delete(s.files, file)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}()
+	for {
+		pending, hasWriter := s.recallRound(file, requester, exclusive)
+		if pending == 0 {
+			return nil
+		}
+		if hasWriter {
+			// The writer must flush before it acks; on a replicated
+			// shard that flush needs the order lock this very call may
+			// be holding. Hand the wait back to the caller.
+			return rpc.Transient(fmt.Errorf("%s: file %#x", busyMarker, file))
+		}
+		if exclusive && !fenced {
+			// Gate new acquires while this recall is outstanding, or a
+			// hot reader population re-acquires faster than its acks
+			// arrive and the wait never converges.
+			s.mu.Lock()
+			if f := s.files[file]; f != nil {
+				f.fence++
+				fenced = true
+			}
+			s.mu.Unlock()
+		}
+		if !s.now().Before(deadline) {
+			s.breakConflicts(file, requester, exclusive)
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// recallRound initiates recalls for the current conflicting holders and
+// reports how many are still outstanding, plus whether any of them holds
+// a write lease. Holders that cannot be reached (no push channel — a
+// backup replay, a dead connection) or whose recall deadline passed are
+// broken immediately.
+func (s *Server) recallRound(file, requester uint64, exclusive bool) (pending int, hasWriter bool) {
+	type push struct {
+		p    rpc.Pusher
+		body []byte
+	}
+	var pushes []push
+	now := s.now()
+	s.mu.Lock()
+	f := s.files[file]
+	if f == nil {
+		s.mu.Unlock()
+		return 0, false
+	}
+	for client, h := range f.holders {
+		if client == requester {
+			continue
+		}
+		if !exclusive && h.mode != ModeWrite {
+			continue
+		}
+		if now.After(h.expires) || (!h.recallAt.IsZero() && now.After(h.recallAt)) {
+			// Expired, or recalled long enough ago: break the lease. The
+			// holder's own clock has (or will have) stopped it serving
+			// cached data.
+			delete(f.holders, client)
+			s.rec.Gauge(MetricLeaseBroken).Inc()
+			continue
+		}
+		if h.recallAt.IsZero() {
+			p := s.pushers[client]
+			if p == nil {
+				delete(f.holders, client)
+				s.rec.Gauge(MetricLeaseBroken).Inc()
+				continue
+			}
+			h.recallAt = now.Add(s.recallWait)
+			h.recallStart = now
+			// Push bodies must be plain allocations (see rpc.Pusher):
+			// AppendRecall over nil allocates fresh.
+			pushes = append(pushes, push{p, AppendRecall(nil, file, f.ver)})
+		}
+		pending++
+		if h.mode == ModeWrite {
+			hasWriter = true
+		}
+	}
+	if f.empty() {
+		delete(s.files, file)
+	}
+	s.mu.Unlock()
+	for _, p := range pushes {
+		s.rec.Gauge(MetricLeaseRecalls).Inc()
+		if err := p.p.Push(MRecall, p.body); err != nil {
+			// Dead connection: the holder cannot ack; the next round (or
+			// the deadline) breaks it.
+			continue
+		}
+	}
+	return pending, hasWriter
+}
+
+// breakConflicts force-drops the remaining conflicting holders after
+// the recall wait expired.
+func (s *Server) breakConflicts(file, requester uint64, exclusive bool) {
+	s.mu.Lock()
+	f := s.files[file]
+	if f == nil {
+		s.mu.Unlock()
+		return
+	}
+	broken := 0
+	for client, h := range f.holders {
+		if client == requester {
+			continue
+		}
+		if !exclusive && h.mode != ModeWrite {
+			continue
+		}
+		delete(f.holders, client)
+		broken++
+	}
+	if f.empty() {
+		delete(s.files, file)
+	}
+	s.mu.Unlock()
+	if broken > 0 {
+		s.rec.Gauge(MetricLeaseBroken).Add(int64(broken))
+		s.rec.Eventf("ccache-break", "broke %d lease(s) on file %#x after recall timeout", broken, file)
+	}
+}
+
+// Holders reports the live holder count for one file (tests).
+func (s *Server) Holders(file uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f := s.files[file]
+	if f == nil {
+		return 0
+	}
+	return len(f.holders)
+}
+
+// sweepLoop periodically drops expired leases — the client side stopped
+// trusting them at the same moment by its own clock — and overdue
+// recalls whose conflicting operation has long given up.
+func (s *Server) sweepLoop(every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.sweepOnce()
+		}
+	}
+}
+
+func (s *Server) sweepOnce() {
+	now := s.now()
+	expired := 0
+	s.mu.Lock()
+	for file, f := range s.files {
+		for client, h := range f.holders {
+			if now.After(h.expires) || (!h.recallAt.IsZero() && now.After(h.recallAt)) {
+				delete(f.holders, client)
+				expired++
+			}
+		}
+		if f.empty() {
+			delete(s.files, file)
+		}
+	}
+	s.mu.Unlock()
+	if expired > 0 {
+		s.rec.Gauge(MetricLeaseExpired).Add(int64(expired))
+		s.rec.Eventf("ccache-sweep", "swept %d expired client-cache lease(s)", expired)
+	}
+}

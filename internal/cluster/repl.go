@@ -40,6 +40,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/ccache"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/replication"
@@ -150,10 +151,18 @@ type replState struct {
 // mutatesState reports whether an rpcfs method changes server state and so
 // must be replicated. Reads and name lookups are served from the primary's
 // state alone.
+//
+// Of the client-cache lease protocol only acquires replicate: the backup's
+// lease table then covers every grant that could outlive a failover, while
+// releases and recall acks stay off the replication path on purpose — an
+// ack must land while a recalling mutation still holds ordMu, so routing
+// it through execReplicated would deadlock. The backup over-approximates
+// the holder set and converges through its own expiry sweep.
 func mutatesState(method string) bool {
 	switch method {
 	case rpcfs.MCreate, rpcfs.MOpen, rpcfs.MClose, rpcfs.MDelete,
-		rpcfs.MWriteAt, rpcfs.MTruncate, rpcfs.MRegister, rpcfs.MUnregisterSys:
+		rpcfs.MWriteAt, rpcfs.MTruncate, rpcfs.MRegister, rpcfs.MUnregisterSys,
+		ccache.MLeaseAcquire:
 		return true
 	}
 	return false

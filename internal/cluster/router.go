@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/ccache"
 	"repro/internal/fileservice"
 	"repro/internal/fit"
 	"repro/internal/metrics"
@@ -58,10 +59,18 @@ type RouterConfig struct {
 // operations need no name lookup, and shard redirects retried after a map
 // refresh.
 type Router struct {
-	trs []*rpc.TCPTransport
-	rcs []*rpc.Client
-	fs  []*rpcfs.Client
-	rec *obs.Recorder
+	trs    []*rpc.TCPTransport
+	rcs    []*rpc.Client
+	fs     []*rpcfs.Client
+	leases []*ccache.DirectLease
+	rec    *obs.Recorder
+
+	// sink receives server pushes (lease recalls) and connection-death
+	// notices from every shard connection. Installed after construction
+	// (SetPushSink) because the consumer — the client cache — is built on
+	// top of the router; the dial-time handlers read it atomically, so
+	// pushes survive failover re-dials without rewiring.
+	sink atomic.Pointer[pushSink]
 
 	mu  sync.RWMutex
 	cur Map // current shard map (bootstrap until a server serves a newer one)
@@ -69,10 +78,17 @@ type Router struct {
 	rr atomic.Uint64 // round-robin counter for anonymous creates
 }
 
+// pushSink is the router's installed push/conn-down fan-in.
+type pushSink struct {
+	onPush func(shard int, method string, body []byte)
+	onDown func(shard int, err error)
+}
+
 var (
-	_ agent.FileService = (*Router)(nil)
-	_ agent.NameService = (*Router)(nil)
-	_ agent.PathCreator = (*Router)(nil)
+	_ agent.FileService     = (*Router)(nil)
+	_ agent.NameService     = (*Router)(nil)
+	_ agent.PathCreator     = (*Router)(nil)
+	_ ccache.LeaseTransport = (*Router)(nil)
 )
 
 // NewRouter dials every endpoint and returns the router. Dialing is lazy —
@@ -103,7 +119,17 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		tr, err := rpc.DialTCP(addr,
 			rpc.WithWireFormat(cfg.Wire),
 			rpc.WithLazyDial(),
-			rpc.WithAddrResolver(func(prev string) string { return r.failoverAddr(shard, prev) }))
+			rpc.WithAddrResolver(func(prev string) string { return r.failoverAddr(shard, prev) }),
+			rpc.WithPushHandler(func(method string, body []byte) {
+				if s := r.sink.Load(); s != nil && s.onPush != nil {
+					s.onPush(shard, method, body)
+				}
+			}),
+			rpc.WithConnDown(func(err error) {
+				if s := r.sink.Load(); s != nil && s.onDown != nil {
+					s.onDown(shard, err)
+				}
+			}))
 		if err != nil {
 			r.Shutdown()
 			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
@@ -113,8 +139,19 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		r.trs = append(r.trs, tr)
 		r.rcs = append(r.rcs, rc)
 		r.fs = append(r.fs, &rpcfs.Client{C: rc, Wire: cfg.Wire})
+		r.leases = append(r.leases, &ccache.DirectLease{C: rc})
 	}
 	return r, nil
+}
+
+// SetPushSink installs the router's push fan-in: onPush receives every
+// server push (shard index, method, body — the body is only valid for the
+// duration of the call), onDown fires once per shard-connection death.
+// Either may be nil. The client cache wires its recall handler and its
+// drop-leases-on-disconnect hook here; installing after construction is
+// safe because the handlers read the sink atomically.
+func (r *Router) SetPushSink(onPush func(shard int, method string, body []byte), onDown func(shard int, err error)) {
+	r.sink.Store(&pushSink{onPush: onPush, onDown: onDown})
 }
 
 // failoverAddr picks the address for a shard connection's next dial: the
@@ -346,6 +383,47 @@ func (r *Router) Size(id fileservice.FileID) (int64, error) {
 		return 0, err
 	}
 	return c.Size(raw)
+}
+
+// leaseConn splits a routed file ID into the owning shard's lease
+// transport and the raw per-server ID.
+func (r *Router) leaseConn(file uint64) (*ccache.DirectLease, uint64, int, error) {
+	shard, raw := SplitID(file)
+	if shard >= len(r.leases) {
+		return nil, 0, 0, fmt.Errorf("cluster: system name %#x routes to unknown shard %d", file, shard)
+	}
+	return r.leases[shard], raw, shard, nil
+}
+
+// AcquireLease implements ccache.LeaseTransport across shards: the routed
+// file ID picks the owning shard's connection, and the raw ID crosses the
+// wire. Failover is transparent — the shard client's not-primary retry
+// rebinds toward the promoted backup, whose lease table already holds the
+// replicated grants.
+func (r *Router) AcquireLease(file, client uint64, mode byte) (ccache.Grant, error) {
+	dl, raw, _, err := r.leaseConn(file)
+	if err != nil {
+		return ccache.Grant{}, err
+	}
+	return dl.AcquireLease(raw, client, mode)
+}
+
+// ReleaseLease implements ccache.LeaseTransport (see AcquireLease).
+func (r *Router) ReleaseLease(file, client uint64) error {
+	dl, raw, _, err := r.leaseConn(file)
+	if err != nil {
+		return err
+	}
+	return dl.ReleaseLease(raw, client)
+}
+
+// AckRecall implements ccache.LeaseTransport (see AcquireLease).
+func (r *Router) AckRecall(file, client uint64) error {
+	dl, raw, _, err := r.leaseConn(file)
+	if err != nil {
+		return err
+	}
+	return dl.AckRecall(raw, client)
 }
 
 // Register routes a naming entry to its home shard (agent.NameService). An

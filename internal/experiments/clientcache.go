@@ -1,0 +1,401 @@
+package experiments
+
+// E23: coherent client caching. One file server fronted by the ccache lease
+// manager, N clients re-reading a hot file — first through plain rpcfs
+// (every read is a server round trip), then through the lease-backed client
+// cache (after warm-up, re-reads are local memory and the server's read-RPC
+// counter stays flat). A recall-storm cell then has one writer invalidating
+// the whole reader population per round, which is the coherence protocol's
+// worst case.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ccache"
+	"repro/internal/core"
+	"repro/internal/fileservice"
+	"repro/internal/fit"
+	"repro/internal/obs"
+	"repro/internal/rpc"
+	"repro/internal/rpcfs"
+	"repro/internal/workload"
+)
+
+// E23 parameters: a hot file comfortably inside every client's cache, 4 KiB
+// re-reads, and a client population large enough that the uncached cell
+// meaningfully loads the server.
+const (
+	e23Clients     = 8
+	e23FileSize    = 64 << 10
+	e23OpSize      = 4 << 10
+	e23OpsPerAgent = 1500
+	e23StormRounds = 40
+	e23StormReads  = 25
+)
+
+// e23Rig is a single file server with the ccache lease manager layered over
+// the rpcfs handler, serving loopback TCP with push frames enabled, and a
+// counter on every read RPC that actually reaches the disk service.
+type e23Rig struct {
+	core  *core.Cluster
+	srv   *ccache.Server
+	tsrv  *rpc.TCPServer
+	addr  string
+	srec  *obs.Recorder
+	reads atomic.Int64
+	hot   fileservice.FileID
+
+	mu  sync.Mutex
+	trs []*rpc.TCPTransport
+}
+
+func newE23Rig() (*e23Rig, error) {
+	c, err := core.New(core.Config{ServerCacheBlocks: 1024})
+	if err != nil {
+		return nil, err
+	}
+	r := &e23Rig{core: c, srec: obs.New()}
+	fsrv := &rpcfs.Server{Files: c.Files, Naming: c.Naming}
+	inner := fsrv.HandlerCtx()
+	counted := func(ctx context.Context, method string, body []byte) ([]byte, error) {
+		if method == rpcfs.MReadAt {
+			r.reads.Add(1)
+		}
+		return inner(ctx, method, body)
+	}
+	r.srv, err = ccache.NewServer(ccache.ServerConfig{
+		Inner: counted,
+		Size:  func(file uint64) (int64, error) { return c.Files.Size(fileservice.FileID(file)) },
+		Obs:   r.srec,
+	})
+	if err != nil {
+		_ = c.Close()
+		return nil, err
+	}
+	ep := rpc.NewEndpoint(nil, rpc.WithCtxRequestHandler(func(ctx context.Context, req rpc.Request) ([]byte, error) {
+		return r.srv.HandlerCtx(ctx, req.Method, req.Body)
+	}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		r.srv.Close()
+		_ = c.Close()
+		return nil, err
+	}
+	r.tsrv = rpc.Serve(ln, ep)
+	r.addr = r.tsrv.Addr().String()
+
+	r.hot, err = c.Files.Create(fit.Attributes{})
+	if err != nil {
+		r.close()
+		return nil, err
+	}
+	seed := make([]byte, e23FileSize)
+	for i := range seed {
+		seed[i] = byte(i)
+	}
+	if _, err := c.Files.WriteAt(r.hot, 0, seed); err != nil {
+		r.close()
+		return nil, err
+	}
+	return r, nil
+}
+
+func (r *e23Rig) close() {
+	r.mu.Lock()
+	trs := r.trs
+	r.trs = nil
+	r.mu.Unlock()
+	for _, tr := range trs {
+		_ = tr.Close()
+	}
+	if r.tsrv != nil {
+		_ = r.tsrv.Close()
+	}
+	r.srv.Close()
+	_ = r.core.Close()
+}
+
+// rawClient dials a plain rpcfs client: no lease, no cache, every read a
+// server round trip (the uncached baseline).
+func (r *e23Rig) rawClient(id uint64) (*rpcfs.Client, error) {
+	tr, err := rpc.DialTCP(r.addr)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.trs = append(r.trs, tr)
+	r.mu.Unlock()
+	return &rpcfs.Client{C: rpc.NewClient(tr, id, 8, nil)}, nil
+}
+
+// cachedClient dials one lease-holding cache client, with the recall push
+// handler and the drop-leases-on-disconnect hook the protocol requires.
+func (r *e23Rig) cachedClient(id uint64) (*ccache.Client, *obs.Recorder, error) {
+	var ccp atomic.Pointer[ccache.Client]
+	tr, err := rpc.DialTCP(r.addr,
+		rpc.WithPushHandler(func(method string, body []byte) {
+			if method != ccache.MRecall {
+				return
+			}
+			if file, ver, err := ccache.DecodeRecall(body); err == nil {
+				ccp.Load().Recall(fileservice.FileID(file), ver)
+			}
+		}),
+		rpc.WithConnDown(func(error) { ccp.Load().DropLeases(nil) }))
+	if err != nil {
+		return nil, nil, err
+	}
+	r.mu.Lock()
+	r.trs = append(r.trs, tr)
+	r.mu.Unlock()
+	rcl := rpc.NewClient(tr, id, 8, nil)
+	rec := obs.New()
+	cc, err := ccache.New(ccache.Config{
+		Inner:    &rpcfs.Client{C: rcl},
+		Lease:    &ccache.DirectLease{C: rcl},
+		ClientID: id,
+		Obs:      rec,
+	})
+	if err != nil {
+		_ = tr.Close()
+		return nil, nil, err
+	}
+	ccp.Store(cc)
+	return cc, rec, nil
+}
+
+// e23Agent adapts positional I/O on the rig's hot file to workload.LoadAgent.
+type e23Agent struct {
+	read  func(off int64, n int) ([]byte, error)
+	write func(off int64, data []byte) (int, error)
+}
+
+func (a e23Agent) ReadAt(off int64, n int) ([]byte, error)     { return a.read(off, n) }
+func (a e23Agent) WriteAt(off int64, data []byte) (int, error) { return a.write(off, data) }
+
+// e23ReRead drives the read-only closed loop over the hot file and reports
+// throughput, latency quantiles, and how many read RPCs reached the disk
+// service during the measured window.
+func (r *e23Rig) e23ReRead(agents []workload.LoadAgent) (workload.LoadResult, *obs.Histogram, int64, error) {
+	hist := &obs.Histogram{}
+	before := r.reads.Load()
+	res, err := workload.RunClosedLoop(workload.LoadConfig{
+		OpsPerAgent: e23OpsPerAgent,
+		ReadFrac:    1.0,
+		OpSize:      e23OpSize,
+		FileSize:    e23FileSize,
+		Seed:        23,
+		Latency:     hist,
+	}, agents)
+	if err != nil {
+		return workload.LoadResult{}, nil, 0, err
+	}
+	return res, hist, r.reads.Load() - before, nil
+}
+
+// CachedReadRun executes the before/after hot-spot cells against one rig:
+// the uncached baseline, then the cached population (warmed by one full-file
+// read each). Exported for the shape test. Returns uncached and cached
+// (result, hist, server read RPCs) plus the hit count observed by client 0.
+func CachedReadRun() (unc, cac workload.LoadResult, uncHist, cacHist *obs.Histogram, uncReads, cacReads, hits int64, err error) {
+	rig, err := newE23Rig()
+	if err != nil {
+		return
+	}
+	defer rig.close()
+
+	raws := make([]workload.LoadAgent, e23Clients)
+	for i := range raws {
+		rc, cerr := rig.rawClient(uint64(1 + i))
+		if cerr != nil {
+			err = cerr
+			return
+		}
+		raws[i] = e23Agent{
+			read:  func(off int64, n int) ([]byte, error) { return rc.ReadAt(rig.hot, off, n) },
+			write: func(off int64, data []byte) (int, error) { return rc.WriteAt(rig.hot, off, data) },
+		}
+	}
+	unc, uncHist, uncReads, err = rig.e23ReRead(raws)
+	if err != nil {
+		return
+	}
+
+	cached := make([]workload.LoadAgent, e23Clients)
+	var rec0 *obs.Recorder
+	for i := range cached {
+		cc, rec, cerr := rig.cachedClient(uint64(100 + i))
+		if cerr != nil {
+			err = cerr
+			return
+		}
+		if i == 0 {
+			rec0 = rec
+		}
+		// Warm-up: one full-file read acquires the lease and populates every
+		// block, so the measured loop is pure re-read.
+		if _, cerr := cc.ReadAt(rig.hot, 0, e23FileSize); cerr != nil {
+			err = cerr
+			return
+		}
+		cached[i] = e23Agent{
+			read:  func(off int64, n int) ([]byte, error) { return cc.ReadAt(rig.hot, off, n) },
+			write: func(off int64, data []byte) (int, error) { return cc.WriteAt(rig.hot, off, data) },
+		}
+	}
+	cac, cacHist, cacReads, err = rig.e23ReRead(cached)
+	if err != nil {
+		return
+	}
+	hits = rec0.Gauge(ccache.MetricHits).Value()
+	return
+}
+
+// StormResult is the recall-storm cell's outcome.
+type StormResult struct {
+	Rounds    int
+	Readers   int
+	ReadOps   int64
+	Recalls   int64 // server-initiated recall pushes
+	Wall      time.Duration
+	Converged bool // every reader observed the final version's bytes
+}
+
+// RecallStormRun executes the recall-storm cell: `readers` cache clients
+// re-reading the hot file while one writer mutates it every round. Each
+// write conflicts with every read lease, so the server recalls the whole
+// population per round; the cell checks the cost of that storm and that
+// every reader converges on the final bytes.
+func RecallStormRun(rounds, readers, readsPerRound int) (*StormResult, error) {
+	rig, err := newE23Rig()
+	if err != nil {
+		return nil, err
+	}
+	defer rig.close()
+
+	writer, _, err := rig.cachedClient(1)
+	if err != nil {
+		return nil, err
+	}
+	ccs := make([]*ccache.Client, readers)
+	for i := range ccs {
+		cc, _, cerr := rig.cachedClient(uint64(10 + i))
+		if cerr != nil {
+			return nil, cerr
+		}
+		ccs[i] = cc
+	}
+
+	res := &StormResult{Rounds: rounds, Readers: readers}
+	var readOps atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make([]error, readers)
+	for i, cc := range ccs {
+		wg.Add(1)
+		go func(i int, cc *ccache.Client) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := 0; j < readsPerRound; j++ {
+					if _, err := cc.ReadAt(rig.hot, int64(j%16)*e23OpSize/2, e23OpSize); err != nil {
+						errs[i] = err
+						return
+					}
+					readOps.Add(1)
+				}
+			}
+		}(i, cc)
+	}
+
+	start := time.Now()
+	buf := make([]byte, e23OpSize)
+	for round := 0; round < rounds; round++ {
+		for i := range buf {
+			buf[i] = byte(round + i)
+		}
+		if _, err := writer.WriteAt(rig.hot, 0, buf); err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, fmt.Errorf("storm writer round %d: %w", round, err)
+		}
+		if err := writer.FlushFile(rig.hot); err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, fmt.Errorf("storm flush round %d: %w", round, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	res.Wall = time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.ReadOps = readOps.Load()
+	res.Recalls = rig.srec.Gauge(ccache.MetricLeaseRecalls).Value()
+
+	// Convergence: after the last write's flush and recalls, every reader's
+	// next read must see the final round's bytes.
+	want := byte(rounds - 1)
+	res.Converged = true
+	for _, cc := range ccs {
+		got, err := cc.ReadAt(rig.hot, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		if len(got) != 1 || got[0] != want {
+			res.Converged = false
+		}
+	}
+	return res, nil
+}
+
+// E23ClientCache measures the coherent client cache: hot-spot re-read
+// throughput uncached vs cached (the cached population must not touch the
+// disk service in steady state), and the recall-storm worst case.
+func E23ClientCache() (*Table, error) {
+	t := &Table{
+		ID:      "E23",
+		Title:   "Coherent client caching: leases, recalls, write-back",
+		Claim:   "cached re-reads of a hot file never reach the disk service and beat the uncached path by >5x; one writer recalling the whole reader population stays correct",
+		Columns: []string{"cell", "clients", "ops", "wall", "ops/sec", "read RPCs", "p50", "p99", "note"},
+	}
+	unc, cac, uncHist, cacHist, uncReads, cacReads, hits, err := CachedReadRun()
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("uncached re-read", e23Clients, unc.Ops, unc.Wall,
+		fmt.Sprintf("%.0f", unc.OpsPerSec()), uncReads,
+		uncHist.Quantile(0.50), uncHist.Quantile(0.99), "every read a server round trip")
+	speedup := cac.OpsPerSec() / unc.OpsPerSec()
+	t.AddRow("cached re-read", e23Clients, cac.Ops, cac.Wall,
+		fmt.Sprintf("%.0f", cac.OpsPerSec()), cacReads,
+		cacHist.Quantile(0.50), cacHist.Quantile(0.99),
+		fmt.Sprintf("%.1fx vs uncached; client-0 hits %d", speedup, hits))
+
+	st, err := RecallStormRun(e23StormRounds, e23Clients-1, e23StormReads)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("recall storm", st.Readers+1, st.ReadOps, st.Wall,
+		fmt.Sprintf("%.0f", float64(st.ReadOps)/st.Wall.Seconds()), "—", "—", "—",
+		fmt.Sprintf("%d writer rounds, %d recalls, converged=%v", st.Rounds, st.Recalls, st.Converged))
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("hot file %d KiB, %d KiB reads, %d clients x %d ops per cell", e23FileSize>>10, e23OpSize>>10, e23Clients, e23OpsPerAgent),
+		"cached cell warms each client with one full-file read, then measures pure re-read; the read-RPC column counts requests reaching the disk service during the measured window (cached steady state: 0)",
+		"recall storm: every write conflicts with every reader's lease, so the server recalls the whole population per round; readers re-acquire and refetch, and all converge on the final bytes",
+		"write-back rides the group-commit barrier (txn.ChainBarriers composes the cache flush with shard replication); the crash-with-dirty-write-back case is E18's writeback scenario")
+	return t, nil
+}

@@ -145,5 +145,6 @@ func All() []Runner {
 		{"E20", "Closed-loop transport load scaling", E20LoadScaling},
 		{"E21", "Multi-node scale-out and fail-over", E21ScaleOut},
 		{"E22", "Fleet observability: cross-node traces and merged profiles", E22FleetObservability},
+		{"E23", "Coherent client caching: leases, recalls, write-back", E23ClientCache},
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -31,8 +32,8 @@ func cellFloat(t *testing.T, tbl *Table, row, col int) float64 {
 
 func TestAllRunnersListed(t *testing.T) {
 	runners := All()
-	if len(runners) != 23 {
-		t.Fatalf("All() = %d runners, want 23 (T1 + E1..E22)", len(runners))
+	if len(runners) != 24 {
+		t.Fatalf("All() = %d runners, want 24 (T1 + E1..E23)", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -352,6 +353,31 @@ func TestE18Shape(t *testing.T) {
 	}
 	if len(points) < 10 {
 		t.Errorf("E18 exercised %d distinct fault points, want >= 10", len(points))
+	}
+}
+
+// TestTortureWriteback pins the cache write-back crash contract directly:
+// the group leader dies after the shared sync, so the flush's two
+// non-adjacent dirty runs must both be durable — and the harness must
+// classify them as one unit.
+func TestTortureWriteback(t *testing.T) {
+	scs := TortureScenarios()
+	sc := scs[len(scs)-1]
+	if sc.Kind != TortureWriteback {
+		t.Fatalf("last scenario kind = %s, want cache-writeback", sc.Kind)
+	}
+	res, err := RunTorture(sc, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fired < 1 {
+		t.Error("armed fault never fired")
+	}
+	if res.Outcome != "durable" {
+		t.Errorf("outcome = %s, want durable (crash is past the sync)", res.Outcome)
+	}
+	if len(res.Violations) > 0 {
+		t.Errorf("violations: %v", res.Violations)
 	}
 }
 
@@ -710,5 +736,44 @@ func TestE19Shape(t *testing.T) {
 	}
 	if h := rec.ValueHist("txn.group.batch_size"); h.Count() == 0 {
 		t.Error("E19: no batch sizes recorded in the txn.group.batch_size histogram")
+	}
+}
+
+// TestE23Shape runs the client-cache experiment end to end and pins its
+// load-bearing claims: the cached cell's measured window drives zero read
+// RPCs into the disk service, the speedup over uncached is real, and the
+// recall storm converges.
+func TestE23Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E23 drives wall-clock load over TCP")
+	}
+	tbl, err := E23ClientCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("E23 rows = %d, want 3", len(tbl.Rows))
+	}
+	unc, cac, storm := tbl.Rows[0], tbl.Rows[1], tbl.Rows[2]
+	if got := strings.TrimSpace(cac[5]); got != "0" {
+		t.Fatalf("cached cell reached the disk service: %s read RPCs", got)
+	}
+	if got := strings.TrimSpace(unc[5]); got == "0" {
+		t.Fatal("uncached cell recorded no server reads")
+	}
+	// The 5x claim holds with wide margin on loopback; assert a conservative
+	// floor so a loaded CI machine does not flake the shape test.
+	if !strings.Contains(cac[8], "x vs uncached") {
+		t.Fatalf("cached row note missing speedup: %q", cac[8])
+	}
+	var speedup float64
+	if _, err := fmt.Sscanf(strings.TrimSpace(cac[8]), "%fx vs uncached", &speedup); err != nil {
+		t.Fatalf("parse speedup from %q: %v", cac[8], err)
+	}
+	if speedup < 2 {
+		t.Fatalf("cached speedup %.1fx, want >=2x", speedup)
+	}
+	if !strings.Contains(storm[8], "converged=true") {
+		t.Fatalf("recall storm did not converge: %q", storm[8])
 	}
 }

@@ -13,10 +13,12 @@ import (
 	"time"
 
 	"repro/internal/agent"
+	"repro/internal/ccache"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/fault"
+	"repro/internal/fileservice"
 	"repro/internal/fit"
 	"repro/internal/intentions"
 	"repro/internal/lock"
@@ -69,6 +71,13 @@ const (
 	// the handover, unreplicated state does not outlive a severed stream,
 	// and the promoted backup serves new mutations.
 	TortureFailover
+	// TortureWriteback crashes a client-cache write-back at the commit
+	// barrier: dirty blocks buffered in the cache flush through a
+	// transactional sink (one transaction per flush), the group-commit
+	// leader dies at the armed point, and after recovery every dirty run
+	// the flush carried must be durable or invisible as a unit — never one
+	// run without the other, never a torn block.
+	TortureWriteback
 )
 
 // String implements fmt.Stringer.
@@ -88,6 +97,8 @@ func (k TortureKind) String() string {
 		return "lease-expiry"
 	case TortureFailover:
 		return "shard-failover"
+	case TortureWriteback:
+		return "cache-writeback"
 	default:
 		return fmt.Sprintf("TortureKind(%d)", int(k))
 	}
@@ -206,6 +217,11 @@ func TortureScenarios() []TortureScenario {
 		// primary that chose availability over replication.
 		{Point: cluster.PtReplShip, Action: fault.Action{Kind: fault.KindError, Times: -1},
 			Kind: TortureFailover},
+		// Client-cache write-back: the flush's dirty runs ride one
+		// transaction into the group-commit barrier, and the leader dies
+		// right after the shared sync — past the commit point, so the whole
+		// write-back must be durable.
+		{Point: txn.PtGroupLeaderSynced, Action: crash, Kind: TortureWriteback, Durable: true},
 	}
 }
 
@@ -248,6 +264,8 @@ func RunTorture(sc TortureScenario, seed int64) (*TortureResult, error) {
 		return runTortureLease(sc, seed)
 	case TortureFailover:
 		return runTortureFailover(sc, seed)
+	case TortureWriteback:
+		return runTortureWriteback(sc, seed)
 	default:
 		return runTortureTxn(sc, seed)
 	}
@@ -545,6 +563,191 @@ func runTortureGroup(sc TortureScenario, seed int64) (*TortureResult, error) {
 		}
 	}
 	res.Outcome = fmt.Sprintf("%d durable / %d invisible", nDurable, nInvisible)
+	if res.Redone < 1 {
+		res.fail("recovery redid no committed transactions")
+	}
+
+	if err := checkMirrors(res, c, true); err != nil {
+		return nil, err
+	}
+	rep, err := c.Files.Check()
+	if err != nil {
+		return nil, err
+	}
+	if !rep.Ok() {
+		res.fail("fsck: %s", strings.Join(rep.Problems, "; "))
+	}
+	return res, nil
+}
+
+// txnFlushSink commits each cache flush as one transaction: every dirty
+// run the flush carries becomes a PWrite inside a single Begin/End, so the
+// whole write-back reaches the commit barrier atomically. This is the
+// transactional-sink shape ccache.Config.Sink documents for callers that
+// need crash atomicity across a flush.
+type txnFlushSink struct {
+	c   *core.Cluster
+	pid int
+}
+
+func (s *txnFlushSink) WriteAt(id fileservice.FileID, off int64, data []byte) (int, error) {
+	if err := s.FlushFileBatch(id, []ccache.Run{{Off: off, Data: data}}); err != nil {
+		return 0, err
+	}
+	return len(data), nil
+}
+
+func (s *txnFlushSink) FlushFileBatch(id fileservice.FileID, runs []ccache.Run) error {
+	b, err := s.c.Txns.Begin(s.pid)
+	if err != nil {
+		return err
+	}
+	if err := s.c.Txns.Open(b, id, fit.LockPage); err != nil {
+		return err
+	}
+	for _, r := range runs {
+		if _, err := s.c.Txns.PWrite(b, id, r.Off, r.Data); err != nil {
+			return err
+		}
+	}
+	return s.c.Txns.End(b)
+}
+
+// runTortureWriteback buffers two widely separated dirty runs in the client
+// cache, flushes them through a transactional sink whose single commit rides
+// the group-commit barrier, and kills the batch leader at the armed point.
+// After reboot and replay both runs must be durable together or invisible
+// together — never one without the other, never a torn block — and the
+// seeded bytes between them untouched.
+func runTortureWriteback(sc TortureScenario, seed int64) (*TortureResult, error) {
+	inj := fault.NewInjector(seed)
+	rec := obs.New()
+	c, err := core.New(core.Config{
+		Geometry:       device.Geometry{FragmentsPerTrack: 32, Tracks: 256},
+		LogFragments:   2048,
+		Fault:          inj,
+		ForceTechnique: intentions.WAL,
+		Obs:            rec,
+		GroupCommit:    txn.GroupCommitConfig{MaxBatch: 1, MaxDelay: 100 * time.Millisecond},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = c.Close() }()
+
+	// Seed a 5-block file with committed, flushed content the crash must
+	// not disturb.
+	const fileLen = 5 * int(ccache.BlockSize)
+	rng := rand.New(rand.NewSource(seed))
+	old := make([]byte, fileLen)
+	rng.Read(old)
+	a, err := c.Txns.Begin(1)
+	if err != nil {
+		return nil, err
+	}
+	fid, err := c.Txns.Create(a, fit.Attributes{Locking: fit.LockPage})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Txns.PWrite(a, fid, 0, old); err != nil {
+		return nil, err
+	}
+	if err := c.Txns.End(a); err != nil {
+		return nil, err
+	}
+	if err := c.Flush(); err != nil {
+		return nil, err
+	}
+
+	// A local-mode cache over the recovered-facility file service, flushing
+	// through the transactional sink. Two dirty runs: a full aligned block
+	// at the front and an unaligned run straddling the block-3 boundary, so
+	// the flush carries non-adjacent runs and the unaligned one exercises
+	// the read-modify-write pre-image fetch.
+	cc, err := ccache.New(ccache.Config{Inner: c.Files, Sink: &txnFlushSink{c: c, pid: 7}})
+	if err != nil {
+		return nil, err
+	}
+	runA := ccache.Run{Off: 0, Data: make([]byte, ccache.BlockSize)}
+	runB := ccache.Run{Off: 3*ccache.BlockSize - 100, Data: make([]byte, 300)}
+	rng.Read(runA.Data)
+	rng.Read(runB.Data)
+	want := append([]byte(nil), old...)
+	copy(want[runA.Off:], runA.Data)
+	copy(want[runB.Off:], runB.Data)
+	for _, r := range []ccache.Run{runA, runB} {
+		if _, err := cc.WriteAt(fid, r.Off, r.Data); err != nil {
+			return nil, fmt.Errorf("buffering dirty run at %d: %w", r.Off, err)
+		}
+	}
+
+	inj.Arm(sc.Point, sc.Action)
+	crash, err := fault.Run(func() error { return cc.FlushFile(fid) })
+	inj.DisarmAll()
+	res := &TortureResult{Fired: inj.Fired(sc.Point)}
+	if dumps := rec.FaultDumps(); len(dumps) > 0 {
+		res.Dump = dumps[0]
+	}
+	if crash == nil {
+		return nil, fmt.Errorf("fault at %s never fired (flush err %v)", sc.Point, err)
+	}
+
+	// Reboot, reconcile the mirrors, replay the log.
+	if err := c.Crash(); err != nil {
+		return nil, err
+	}
+	if err := checkMirrors(res, c, false); err != nil {
+		return nil, err
+	}
+	res.Redone, err = c.Recover()
+	if err != nil {
+		return nil, err
+	}
+
+	got, err := c.Files.ReadAt(fid, 0, fileLen)
+	if err != nil {
+		return nil, fmt.Errorf("reading cached file after recovery: %w", err)
+	}
+	regionState := func(r ccache.Run) string {
+		end := r.Off + int64(len(r.Data))
+		switch {
+		case bytes.Equal(got[r.Off:end], r.Data):
+			return "durable"
+		case bytes.Equal(got[r.Off:end], old[r.Off:end]):
+			return "invisible"
+		default:
+			return "torn"
+		}
+	}
+	stateA, stateB := regionState(runA), regionState(runB)
+	switch {
+	case stateA == "torn" || stateB == "torn":
+		res.fail("write-back torn within a run (front %s, straddle %s)", stateA, stateB)
+	case stateA != stateB:
+		res.fail("write-back torn across runs: front block %s but straddling run %s", stateA, stateB)
+	case sc.Durable && stateA != "durable":
+		res.fail("leader synced before crashing but write-back %s", stateA)
+	case !sc.Durable && stateA != "invisible":
+		res.fail("nothing was synced but write-back %s", stateA)
+	}
+	// Everything outside the two dirty runs must still be the seeded bytes.
+	mask := make([]bool, fileLen)
+	for _, r := range []ccache.Run{runA, runB} {
+		for i := range r.Data {
+			mask[r.Off+int64(i)] = true
+		}
+	}
+	for i := 0; i < fileLen; i++ {
+		if !mask[i] && got[i] != old[i] {
+			res.fail("seeded byte %d disturbed by write-back crash", i)
+			break
+		}
+	}
+	if stateA == "torn" || stateB == "torn" || stateA != stateB {
+		res.Outcome = "corrupt"
+	} else {
+		res.Outcome = stateA
+	}
 	if res.Redone < 1 {
 		res.fail("recovery redid no committed transactions")
 	}
@@ -1228,6 +1431,7 @@ func E18Torture() (*Table, error) {
 		"flight dump: span trees the flight recorder snapshotted the instant the fault fired (txn recipes run traced)",
 		"kill-server: a 2-shard cluster's victim server crashes mid-commit and its TCP listener closes; the other shard must keep serving during the outage and the victim must recover and serve again on the same endpoint",
 		"lease-expiry: every renewal is dropped at cluster.lease.renew until the server-side sweeper breaks the client's transaction and a competitor wins its lock",
-		"shard-failover: a replicated pair's primary dies at the armed replication point; cluster.repl.ack is the crash-before-ack window (the retransmission must hit the backup's seeded duplicate cache exactly once), cluster.repl.ship severs the stream (only the replicated prefix may survive the handover)")
+		"shard-failover: a replicated pair's primary dies at the armed replication point; cluster.repl.ack is the crash-before-ack window (the retransmission must hit the backup's seeded duplicate cache exactly once), cluster.repl.ship severs the stream (only the replicated prefix may survive the handover)",
+		"cache-writeback: dirty client-cache blocks flush through a transactional sink into the group-commit barrier and the leader dies after the shared sync; the flush's non-adjacent runs must be durable as a unit — never one run without the other, never a torn block")
 	return t, nil
 }

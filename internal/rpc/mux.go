@@ -47,12 +47,88 @@ type muxConn struct {
 	wcond   *sync.Cond // signals pendingCall.writing transitions (on pmu)
 	pending map[uint64]*pendingCall
 	dead    bool
+
+	// pushes queues server push frames for the dispatcher goroutine; nil
+	// when neither a push handler nor a conn-down hook is configured (push
+	// frames are then dropped on the floor, recycled).
+	pushes *pushQueue
 }
 
 type muxWrite struct {
 	id  uint64
 	req Request
 	pc  *pendingCall
+}
+
+// pushedFrame is one server push awaiting the dispatcher; body is a pooled
+// wire buffer the dispatcher recycles after the handler returns.
+type pushedFrame struct {
+	method string
+	body   []byte
+}
+
+// pushQueue hands server pushes from the reader goroutine to a dedicated
+// dispatcher goroutine. The handoff is essential, not a convenience: a push
+// handler typically issues RPCs of its own on the same connection (a lease
+// recall is acked back to the server), which would deadlock if it ran on the
+// reader — the goroutine that must keep decoding responses. The queue is
+// unbounded; it is drained as fast as the handler runs, and a handler that
+// wedges only grows this queue, never stalls the reader.
+type pushQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames []pushedFrame
+	dead   bool
+}
+
+func newPushQueue() *pushQueue {
+	q := &pushQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// put enqueues one push; ownership of body transfers to the queue.
+func (q *pushQueue) put(method string, body []byte) {
+	q.mu.Lock()
+	if q.dead {
+		q.mu.Unlock()
+		Recycle(body)
+		return
+	}
+	q.frames = append(q.frames, pushedFrame{method, body})
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// take blocks for the next push; false means the connection died. Frames
+// still queued at death are recycled undelivered — a recall for a connection
+// that no longer exists is moot, the conn-down hook invalidates everything.
+func (q *pushQueue) take() (pushedFrame, bool) {
+	q.mu.Lock()
+	for !q.dead && len(q.frames) == 0 {
+		q.cond.Wait()
+	}
+	if q.dead {
+		frames := q.frames
+		q.frames = nil
+		q.mu.Unlock()
+		for _, fr := range frames {
+			Recycle(fr.body)
+		}
+		return pushedFrame{}, false
+	}
+	fr := q.frames[0]
+	q.frames = q.frames[1:]
+	q.mu.Unlock()
+	return fr, true
+}
+
+// kill unblocks take with the death verdict.
+func (q *pushQueue) kill() {
+	q.mu.Lock()
+	q.dead = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
 }
 
 type pendingCall struct {
@@ -84,9 +160,33 @@ func dialMux(addr string, opts tcpOpts) (*muxConn, error) {
 		pending: make(map[uint64]*pendingCall),
 	}
 	c.wcond = sync.NewCond(&c.pmu)
+	if opts.pushHandler != nil || opts.connDown != nil {
+		c.pushes = newPushQueue()
+		go c.pushLoop()
+	}
 	go c.readLoop()
 	go c.writeLoop()
 	return c, nil
+}
+
+// pushLoop delivers server pushes to the configured handler, one at a time
+// in arrival order, and fires the conn-down hook exactly once after the
+// connection dies. Handler contract: the body is a pooled buffer owned by
+// the loop — handlers must not retain or recycle it past return.
+func (c *muxConn) pushLoop() {
+	for {
+		fr, ok := c.pushes.take()
+		if !ok {
+			break
+		}
+		if h := c.opts.pushHandler; h != nil {
+			h(fr.method, fr.body)
+		}
+		Recycle(fr.body)
+	}
+	if down := c.opts.connDown; down != nil {
+		down(c.err())
+	}
 }
 
 // isDead reports whether the connection has been torn down.
@@ -128,6 +228,9 @@ func (c *muxConn) fail(cause error) {
 		c.pmu.Unlock()
 		for _, pc := range calls {
 			pc.ch <- callResult{err: cause}
+		}
+		if c.pushes != nil {
+			c.pushes.kill()
 		}
 	})
 }
@@ -254,6 +357,15 @@ func (c *muxConn) readLoop() {
 			}
 			c.fail(errors.Join(ErrDropped, err))
 			return
+		}
+		if frame.kind == framePush {
+			if c.pushes != nil {
+				c.pushes.put(frame.method, frame.body)
+			} else {
+				// No handler configured: pushes are advisory, drop them.
+				Recycle(frame.body)
+			}
+			continue
 		}
 		if frame.kind != frameResponse {
 			c.fail(errors.Join(ErrDropped, errors.New("rpc: request frame on client connection")))

@@ -91,6 +91,41 @@ var (
 	ErrClosed = errors.New("rpc: transport closed")
 )
 
+// Pusher sends one-way push frames to a connected client — the reverse
+// direction of the request/response flow. The TCP server's per-connection
+// state implements it; handlers obtain one via PeerFromContext. Push takes
+// ownership of body (pass a plain allocation, not a pooled buffer) and
+// queues the frame; delivery is at-most-once with no reply.
+type Pusher interface {
+	Push(method string, body []byte) error
+}
+
+// Peer is the connection-level identity of the client behind a request:
+// the wire ClientID plus, on transports that support server push, a Pusher
+// bound to the client's connection. A lease-granting service registers the
+// Pusher against the ClientID so it can recall leases later — including
+// from requests on other connections.
+type Peer struct {
+	ClientID uint64
+	Pusher   Pusher
+}
+
+type peerKey struct{}
+
+// ContextWithPeer attaches the requesting connection's Peer to ctx; the
+// transport calls it before handing a request to the Endpoint.
+func ContextWithPeer(ctx context.Context, p Peer) context.Context {
+	return context.WithValue(ctx, peerKey{}, p)
+}
+
+// PeerFromContext returns the Peer of the request being handled, if the
+// transport provided one (the binary-wire TCP server does; the gob wire and
+// the in-process transport do not).
+func PeerFromContext(ctx context.Context) (Peer, bool) {
+	p, ok := ctx.Value(peerKey{}).(Peer)
+	return p, ok
+}
+
 // DupCache is the duplicate-request cache: the memory of past requests that
 // makes operations idempotent. It keeps up to window responses per client,
 // and at most maxClients client windows: the least recently active client's
@@ -311,7 +346,15 @@ func NewEndpoint(handler Handler, opts ...EndpointOption) *Endpoint {
 // span — and everything the handler nests under it — stitches into one
 // cross-process tree; an untraced request is observed exactly as before.
 func (e *Endpoint) Handle(req Request) Response {
-	ctx, op := e.obsRec.StartRemoteOp(context.Background(), obs.LayerRPC, req.Method, req.TraceID, req.SpanID)
+	return e.HandleCtx(context.Background(), req)
+}
+
+// HandleCtx is Handle with a caller-supplied base context, which the serving
+// span (and so the ctx handed to a CtxRequestHandler) descends from. The TCP
+// server's worker pool uses it to thread the requesting connection's Peer —
+// ClientID plus push capability — down to services that grant leases.
+func (e *Endpoint) HandleCtx(base context.Context, req Request) Response {
+	ctx, op := e.obsRec.StartRemoteOp(base, obs.LayerRPC, req.Method, req.TraceID, req.SpanID)
 	resp := e.handle(ctx, req)
 	var err error
 	if resp.Err != "" {

@@ -2,6 +2,7 @@ package rpc
 
 import (
 	"bufio"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -61,6 +62,8 @@ type tcpOpts struct {
 	inj          *fault.Injector
 	lazyDial     bool
 	addrResolver func(prev string) string
+	pushHandler  func(method string, body []byte)
+	connDown     func(err error)
 }
 
 // TCPOption configures Serve or DialTCP.
@@ -130,6 +133,28 @@ func WithAddrResolver(fn func(prev string) string) TCPOption {
 	return func(o *tcpOpts) { o.addrResolver = fn }
 }
 
+// WithPushHandler installs the client-side receiver for server push frames
+// (binary wire only — the gob wire has no push support). The handler runs on
+// a dedicated dispatcher goroutine, one push at a time in arrival order,
+// never on the connection's reader: it may therefore issue RPCs on this very
+// transport (acking a lease recall) without deadlocking. The body is a
+// pooled wire buffer owned by the dispatcher; the handler must not retain or
+// recycle it past return. The option survives re-dials — every connection
+// the transport establishes delivers pushes to the same handler.
+func WithPushHandler(fn func(method string, body []byte)) TCPOption {
+	return func(o *tcpOpts) { o.pushHandler = fn }
+}
+
+// WithConnDown installs a hook fired once per connection after it dies (for
+// any reason: network failure, Rebind, Close), on the push dispatcher
+// goroutine, after pending calls have been failed and queued pushes dropped.
+// A cache layer uses it to invalidate every lease it held through the dead
+// connection — the server may have granted conflicting leases to others
+// while this client was unreachable.
+func WithConnDown(fn func(err error)) TCPOption {
+	return func(o *tcpOpts) { o.connDown = fn }
+}
+
 func applyTCPOpts(opts []TCPOption) tcpOpts {
 	var o tcpOpts
 	for _, fn := range opts {
@@ -192,9 +217,13 @@ type serverConn struct {
 	once   sync.Once
 }
 
+// respWrite is one frame bound for the connection writer: a response when
+// pushMethod is empty, a one-way push frame otherwise.
 type respWrite struct {
-	id   uint64
-	resp Response
+	id         uint64
+	resp       Response
+	pushMethod string
+	pushBody   []byte
 }
 
 // shutdown tears the connection down once; safe from any goroutine.
@@ -203,6 +232,25 @@ func (sc *serverConn) shutdown() {
 		close(sc.done)
 		_ = sc.conn.Close()
 	})
+}
+
+// Push queues a one-way push frame to this connection's client (Pusher).
+// Ownership of body transfers to the connection; callers must pass a plain
+// allocation, never a pooled wire buffer — a push dropped by connection
+// death is simply garbage-collected, so only unpooled bodies keep the
+// BufferBalance ledger exact. Delivery is at-most-once: ErrClosed means the
+// connection is gone and the frame was not sent; a nil return means the
+// frame was queued, not that the client processed it.
+func (sc *serverConn) Push(method string, body []byte) error {
+	if method == "" {
+		return fmt.Errorf("rpc: push with empty method")
+	}
+	select {
+	case sc.writeq <- respWrite{pushMethod: method, pushBody: body}:
+		return nil
+	case <-sc.done:
+		return ErrClosed
+	}
 }
 
 // Serve starts serving ep on ln. It returns immediately; the listener runs
@@ -278,7 +326,11 @@ func (s *TCPServer) worker() {
 			Recycle(task.req.Body)
 			continue
 		}
-		resp := s.ep.Handle(task.req)
+		// The handler sees the connection as a Peer: the wire-level client
+		// identity plus a Pusher for one-way frames back to this client —
+		// what a lease-granting cache layer needs to recall later.
+		ctx := ContextWithPeer(context.Background(), Peer{ClientID: task.req.ClientID, Pusher: task.sc})
+		resp := s.ep.HandleCtx(ctx, task.req)
 		Recycle(task.req.Body)
 		select {
 		case task.sc.writeq <- respWrite{id: task.id, resp: resp}:
@@ -355,7 +407,13 @@ func (s *TCPServer) connWriter(sc *serverConn) {
 			_ = sc.conn.SetWriteDeadline(time.Now().Add(d))
 		}
 		for {
-			if err := writeResponse(bw, w.id, &w.resp, s.opts.maxFrame); err != nil {
+			var err error
+			if w.pushMethod != "" {
+				err = writePush(bw, w.pushMethod, w.pushBody, s.opts.maxFrame)
+			} else {
+				err = writeResponse(bw, w.id, &w.resp, s.opts.maxFrame)
+			}
+			if err != nil {
 				return
 			}
 			select {

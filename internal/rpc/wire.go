@@ -18,12 +18,21 @@ import (
 //	request  := kind=1 frameID clientID(8) seq(8) mlen(2) blen(4) method body
 //	response := kind=2 frameID seq(8)      elen(2) blen(4) errmsg body
 //	traced   := kind=3 frameID clientID(8) seq(8) traceID(8) spanID(8) mlen(2) blen(4) method body
+//	push     := kind=4 frameID=0 mlen(2) blen(4) method body
 //
 // A traced request (kind 3) is a request carrying the caller's span
 // identity; the server endpoint continues that span tree instead of rooting
 // its own. Untraced requests use kind 1 with the exact pre-trace layout, so
 // tracing off means no frame growth and no extra work; the gob legacy
 // format never emits trace fields (gob omits zero values).
+//
+// A push (kind 4) is a one-way server-to-client notification — the cache
+// coherence layer's lease recalls ride it. It reuses the kind-tag extension
+// point the traced frame introduced: old clients reject unknown kinds, so
+// both ends must speak the binary wire at this revision before a server may
+// push. Pushes carry no frameID (there is no reply to match) and no
+// client/seq identity (they are not idempotent requests); delivery is
+// at-most-once, exactly as reliable as the connection itself.
 //
 // The frameID tags each request so responses can return out of order over a
 // multiplexed connection; it is connection-local and never reaches the
@@ -40,6 +49,7 @@ const (
 	frameRequest       byte = 1
 	frameResponse      byte = 2
 	frameRequestTraced byte = 3
+	framePush          byte = 4
 )
 
 // Fixed header sizes after the 4-byte length prefix.
@@ -48,6 +58,7 @@ const (
 	requestFixedLen       = 8 + 8 + 2 + 4           // clientID seq mlen blen
 	requestTracedFixedLen = requestFixedLen + 8 + 8 // + traceID spanID
 	responseFixedLen      = 8 + 2 + 4               // seq elen blen
+	pushFixedLen          = 2 + 4                   // mlen blen
 )
 
 // DefaultMaxFrame bounds one frame's payload (16 MB); larger frames are
@@ -237,6 +248,14 @@ func (r *frameReader) read() (fr wireFrame, consumed int, err error) {
 		fr.seq = binary.BigEndian.Uint64(p[0:])
 		strLen = int(binary.BigEndian.Uint16(p[8:]))
 		bodyLen = int(binary.BigEndian.Uint32(p[10:]))
+	case framePush:
+		fixed = pushFixedLen
+		p := hdr[4+frameCommonLen:]
+		if consumed, err = r.fill(p[:fixed], consumed); err != nil {
+			return fr, consumed, err
+		}
+		strLen = int(binary.BigEndian.Uint16(p[0:]))
+		bodyLen = int(binary.BigEndian.Uint32(p[2:]))
 	default:
 		return fr, consumed, fmt.Errorf("rpc: unknown frame kind %d", fr.kind)
 	}
@@ -251,7 +270,7 @@ func (r *frameReader) read() (fr wireFrame, consumed int, err error) {
 	if consumed, err = r.fill(s[:strLen], consumed); err != nil {
 		return fr, consumed, err
 	}
-	if fr.kind == frameRequest || fr.kind == frameRequestTraced {
+	if fr.kind == frameRequest || fr.kind == frameRequestTraced || fr.kind == framePush {
 		m, ok := r.methods[string(s[:strLen])]
 		if !ok {
 			m = string(s[:strLen])
@@ -317,6 +336,32 @@ func writeRequest(bw *bufio.Writer, id uint64, req *Request, maxFrame int) error
 		return err
 	}
 	_, err := bw.Write(req.Body)
+	return err
+}
+
+// writePush encodes one one-way push frame onto bw. Pushes carry no frame
+// ID: nothing ever answers them, so there is nothing to match.
+func writePush(bw *bufio.Writer, method string, body []byte, maxFrame int) error {
+	if len(method) > 0xFFFF {
+		return fmt.Errorf("rpc: method name %d bytes long", len(method))
+	}
+	frameLen := frameCommonLen + pushFixedLen + len(method) + len(body)
+	if maxFrame > 0 && frameLen > maxFrame {
+		return fmt.Errorf("rpc: push frame %d bytes exceeds limit %d", frameLen, maxFrame)
+	}
+	hdr := bw.AvailableBuffer()
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(frameLen))
+	hdr = append(hdr, framePush)
+	hdr = binary.BigEndian.AppendUint64(hdr, 0)
+	hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(method)))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(body)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(method); err != nil {
+		return err
+	}
+	_, err := bw.Write(body)
 	return err
 }
 

@@ -543,6 +543,56 @@ func PathOfRequest(method string, body []byte, wire rpc.WireFormat) (path string
 	}
 }
 
+// FileOfRequest extracts the file ID from an ID-addressed file-service
+// request body, and reports whether the method mutates that file's data —
+// what a coherence layer needs in order to recall conflicting client leases
+// before the operation executes. ok is false for methods that do not address
+// a single file by ID (path-addressed and naming methods; see PathOfRequest).
+func FileOfRequest(method string, body []byte, wire rpc.WireFormat) (id uint64, mutating, ok bool, err error) {
+	decode := func(v any) error {
+		if wire == rpc.WireGob {
+			return dec(body, v)
+		}
+		return unmarshalPayload(body, v)
+	}
+	switch method {
+	case MWriteAt:
+		// The binary decode of WriteAtArgs aliases the payload for Data
+		// (no copy); only the leading ID is read here, the alias dies with a.
+		var a WriteAtArgs
+		if err := decode(&a); err != nil {
+			return 0, false, false, err
+		}
+		return a.ID, true, true, nil
+	case MTruncate:
+		var a TruncateArgs
+		if err := decode(&a); err != nil {
+			return 0, false, false, err
+		}
+		return a.ID, true, true, nil
+	case MDelete:
+		var a IDArgs
+		if err := decode(&a); err != nil {
+			return 0, false, false, err
+		}
+		return a.ID, true, true, nil
+	case MReadAt:
+		var a ReadAtArgs
+		if err := decode(&a); err != nil {
+			return 0, false, false, err
+		}
+		return a.ID, false, true, nil
+	case MSize, MAttr, MOpen, MClose:
+		var a IDArgs
+		if err := decode(&a); err != nil {
+			return 0, false, false, err
+		}
+		return a.ID, false, true, nil
+	default:
+		return 0, false, false, nil
+	}
+}
+
 // IsNotFound reports whether a remote error is a not-found condition (the
 // error crossed the wire as a string).
 func IsNotFound(err error) bool {

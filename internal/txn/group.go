@@ -65,6 +65,27 @@ type GroupCommitConfig struct {
 	Barrier func() error
 }
 
+// ChainBarriers composes several commit-barrier hooks into one Barrier
+// function: each runs in order, and the first error stops the chain and is
+// returned. Nil entries are skipped, so callers can chain optional hooks
+// without guarding. The order is load-bearing — the client-cache write-back
+// barrier must run before the replication barrier, so dirty blocks flushed
+// by the cache land in the same replicated batch whose acknowledgement the
+// replication hook is holding back.
+func ChainBarriers(fns ...func() error) func() error {
+	return func() error {
+		for _, fn := range fns {
+			if fn == nil {
+				continue
+			}
+			if err := fn(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
 // gcBatch is one commit batch: the transactions whose log records share a
 // single stable-storage barrier.
 type gcBatch struct {

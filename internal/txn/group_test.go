@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -400,5 +401,37 @@ func TestCommitLargerThanLogAborts(t *testing.T) {
 	got, err := r.fs.ReadAt(fid2, 0, len(want))
 	if err != nil || !bytes.Equal(got, want) {
 		t.Fatalf("post-abort commit: %q, %v; want %q", got, err, want)
+	}
+}
+
+// TestChainBarriers pins the composition contract: hooks run in order, nil
+// entries are skipped, and the first error short-circuits the rest.
+func TestChainBarriers(t *testing.T) {
+	var order []string
+	errBoom := errors.New("boom")
+	b := ChainBarriers(
+		func() error { order = append(order, "a"); return nil },
+		nil,
+		func() error { order = append(order, "b"); return nil },
+	)
+	if err := b(); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	if got := strings.Join(order, ","); got != "a,b" {
+		t.Fatalf("order = %q, want a,b", got)
+	}
+	order = nil
+	b = ChainBarriers(
+		func() error { order = append(order, "a"); return errBoom },
+		func() error { order = append(order, "never"); return nil },
+	)
+	if err := b(); err != errBoom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if got := strings.Join(order, ","); got != "a" {
+		t.Fatalf("order = %q, want a (short-circuit)", got)
+	}
+	if err := ChainBarriers()(); err != nil {
+		t.Fatalf("empty chain: %v", err)
 	}
 }

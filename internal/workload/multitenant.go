@@ -1,0 +1,123 @@
+package workload
+
+// Multi-tenant closed-loop load: like RunClosedLoop, but every operation
+// first draws a target file from a Zipfian chooser, so N agents share a
+// file population with a configurable hot spot. This is the contention
+// shape the client-cache experiments need — with Theta high, most traffic
+// lands on a handful of hot files that every agent re-reads (a lease-cache
+// best case), while the cold tail keeps the miss path honest.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MultiAgent is one concurrent client of a multi-file system under load:
+// positional I/O addressed by a dense tenant-file index [0, Files).
+type MultiAgent interface {
+	ReadFileAt(file int, off int64, n int) ([]byte, error)
+	WriteFileAt(file int, off int64, data []byte) (int, error)
+}
+
+// MultiTenantConfig shapes one multi-tenant closed-loop run. The embedded
+// LoadConfig fields keep their single-file meanings (offsets are per file).
+type MultiTenantConfig struct {
+	LoadConfig
+	// Files is the shared file population every agent draws from. Required.
+	Files int
+	// Theta skews file selection (see ItemChooser): 0 is uniform, higher
+	// concentrates traffic on low-numbered hot files.
+	Theta float64
+}
+
+// MultiTenantResult extends the closed-loop summary with the observed file
+// distribution, so a run can assert its hot spot actually formed.
+type MultiTenantResult struct {
+	LoadResult
+	// FileOps counts completed operations per file index.
+	FileOps []int64
+}
+
+// HotFrac is the fraction of operations that landed on the hottest file.
+func (r MultiTenantResult) HotFrac() float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	var max int64
+	for _, n := range r.FileOps {
+		if n > max {
+			max = n
+		}
+	}
+	return float64(max) / float64(r.Ops)
+}
+
+// RunMultiTenant drives every agent with its own seeded stream of
+// (file, access) pairs and returns aggregate throughput plus the per-file
+// operation counts. The loop is closed — one operation outstanding per
+// agent — and file choice is resampled per operation, so with Theta > 0
+// the same hot files are hit from many agents concurrently.
+func RunMultiTenant(cfg MultiTenantConfig, agents []MultiAgent) (MultiTenantResult, error) {
+	if cfg.Files <= 0 {
+		return MultiTenantResult{}, fmt.Errorf("workload: bad file count %d", cfg.Files)
+	}
+	if cfg.OpsPerAgent <= 0 || cfg.OpSize <= 0 || cfg.FileSize <= 0 {
+		return MultiTenantResult{}, fmt.Errorf("workload: bad load config %+v", cfg.LoadConfig)
+	}
+	chooser := ItemChooser{Items: cfg.Files, Theta: cfg.Theta}
+	fileOps := make([]int64, cfg.Files)
+	var wg sync.WaitGroup
+	errs := make([]error, len(agents))
+	start := time.Now()
+	for i, a := range agents {
+		wg.Add(1)
+		go func(i int, a MultiAgent) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			gen := AccessGen{
+				FileSize:   cfg.FileSize,
+				ReadFrac:   cfg.ReadFrac,
+				OpSize:     cfg.OpSize,
+				Sequential: cfg.Sequential,
+			}
+			buf := make([]byte, cfg.OpSize)
+			for op := 0; op < cfg.OpsPerAgent; op++ {
+				file := chooser.Choose(rng)
+				acc := gen.Next(rng)
+				opStart := time.Now()
+				var err error
+				if acc.Read {
+					_, err = a.ReadFileAt(file, acc.Offset, acc.Length)
+				} else {
+					_, err = a.WriteFileAt(file, acc.Offset, buf[:acc.Length])
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("workload: agent %d op %d file %d: %w", i, op, file, err)
+					return
+				}
+				cfg.Latency.Record(time.Since(opStart))
+				atomic.AddInt64(&fileOps[file], 1)
+			}
+		}(i, a)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return MultiTenantResult{}, err
+		}
+	}
+	ops := len(agents) * cfg.OpsPerAgent
+	return MultiTenantResult{
+		LoadResult: LoadResult{
+			Agents: len(agents),
+			Ops:    ops,
+			Bytes:  int64(ops) * int64(cfg.OpSize),
+			Wall:   wall,
+		},
+		FileOps: fileOps,
+	}, nil
+}

@@ -49,7 +49,7 @@ func TestRunOpenLoopOverloadShowsQueueing(t *testing.T) {
 	// ~200/s, so latency measured from scheduled arrival must blow far
 	// past the service time as the FIFO backs up.
 	h := &obs.Histogram{}
-	la := &slowAgent{memAgent: memAgent{data: make([]byte, 1 << 16)}, service: 5 * time.Millisecond}
+	la := &slowAgent{memAgent: memAgent{data: make([]byte, 1<<16)}, service: 5 * time.Millisecond}
 	cfg := LoadConfig{ReadFrac: 1, OpSize: 512, FileSize: 1 << 16, Seed: 1, Latency: h}
 	res, err := RunOpenLoop(cfg, 1000, 300*time.Millisecond, []LoadAgent{la})
 	if err != nil {
